@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one paper figure (or ablation) at a reduced but
+representative scale, prints the reproduction table to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them), and appends the
+rendered text to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+refreshed from artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_result():
+    """Write a bench's rendered table to benchmarks/results/<name>.txt."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def paper_testbed():
+    """The paper's default 6 HServer + 2 SServer cluster."""
+    from repro.experiments.figures import default_testbed
+
+    return default_testbed()

@@ -1,0 +1,61 @@
+"""Ablation: two-phase collective I/O vs independent nested-strided I/O.
+
+BTIO's access pattern is thousands of tiny strided pieces per rank;
+collective buffering coalesces them into large contiguous aggregator
+requests before they reach the PFS. This bench measures how much of BTIO's
+throughput comes from that coalescing — and that HARL composes with it.
+"""
+
+from repro.experiments.harness import harl_plan, run_workload
+from repro.pfs.layout import FixedLayout
+from repro.util.units import KiB
+from repro.workloads.btio import BTIOConfig, BTIOWorkload
+
+
+class IndependentBTIO:
+    """Adapter running BTIO's 'simple' subtype (no collective buffering)."""
+
+    def __init__(self, workload: BTIOWorkload):
+        self.workload = workload
+        self.config = workload.config
+
+    def rank_program(self, mf):
+        return self.workload.rank_program(mf, collective=False)
+
+    def synthetic_trace(self):
+        return self.workload.piece_trace()
+
+
+def test_ablation_collective(benchmark, paper_testbed, record_result):
+    config = BTIOConfig(n_processes=16, grid=32, timesteps=10, write_interval=5)
+    collective = BTIOWorkload(config)
+    independent = IndependentBTIO(collective)
+    layout = FixedLayout(6, 2, 64 * KiB)
+
+    outcome = {}
+
+    def run():
+        outcome["collective"] = run_workload(
+            paper_testbed, collective, layout, layout_name="64K+collective"
+        )
+        outcome["independent"] = run_workload(
+            paper_testbed, independent, layout, layout_name="64K+independent"
+        )
+        rst = harl_plan(paper_testbed, collective)
+        outcome["harl"] = run_workload(
+            paper_testbed, collective, rst, layout_name="HARL+collective"
+        )
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["=== Ablation: collective buffering for BTIO ==="]
+    for key in ("independent", "collective", "harl"):
+        result = outcome[key]
+        lines.append(f"{result.layout_name:<18} {result.throughput_mib:>8.1f} MiB/s")
+    record_result("ablation_collective", "\n".join(lines))
+
+    # Coalescing tiny strided pieces is a large win...
+    assert outcome["collective"].throughput > 2 * outcome["independent"].throughput
+    # ...and the region-level layout adds on top of it.
+    assert outcome["harl"].throughput >= outcome["collective"].throughput

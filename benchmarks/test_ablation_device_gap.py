@@ -1,0 +1,34 @@
+"""Ablation: sensitivity of HARL's gain to the device performance gap.
+
+The headline results depend on the simulated devices; this bench scans the
+SServer:HServer bandwidth ratio from 1× (a genuinely homogeneous cluster)
+to 16× and re-runs the Fig. 7 write comparison at each point. Expected
+shape: the gain grows monotonically with the gap, the planner shifts ever
+more data to the fast class (ending SServer-only), and at 1× the advantage
+vanishes — in fact HARL slightly *loses* there, because Algorithm 2's grid
+assumes heterogeneity (s strictly greater than h) and cannot express the
+uniform stripe that is optimal for a homogeneous cluster. The paper's
+scheme is safe exactly where it is meant to be used.
+"""
+
+from repro.experiments.sweeps import sweep_device_gap
+
+RATIOS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def test_ablation_device_gap(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: sweep_device_gap(ratios=RATIOS), rounds=1, iterations=1
+    )
+    record_result("ablation_device_gap", result.render())
+
+    gains = result.gains()
+    # Monotone growth with the gap...
+    assert all(b > a for a, b in zip(gains, gains[1:]))
+    # ...vanishing (slightly negative) at homogeneity...
+    assert -0.25 < gains[0] < 0.05
+    # ...and large once the gap reaches SSD territory.
+    assert gains[-1] > 1.0
+    # The plan shifts toward the fast class: the last points are
+    # fast-class-only (h = 0).
+    assert result.points[-1].harl_plan.startswith("0B-")

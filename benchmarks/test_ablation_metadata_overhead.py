@@ -1,0 +1,75 @@
+"""Ablation: region count vs metadata overhead (Sec. III-C's motivation).
+
+"One potential issue is that this algorithm may generate too many regions,
+which leads to substantial extra metadata management overhead and
+compromises the final I/O performance." This bench makes that concrete:
+the same workload runs under layouts with identical stripes but 1 to 4096
+regions. Costs come from two places the simulator models — deeper RST
+lookups at the MDS, and requests splitting at region boundaries into
+multiple PFS operations — and together they motivate the region-count
+guard and adjacent-region merging.
+"""
+
+from repro.core.rst import RegionStripeTable, RSTEntry
+from repro.experiments.harness import run_workload
+from repro.pfs.layout import RegionLevelLayout
+from repro.pfs.mapping import StripingConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+def fragmented_layout(n_regions: int, extent: int, h: int, s: int) -> RegionLevelLayout:
+    """Same (h, s) everywhere, artificially split into ``n_regions``."""
+    chunk = max(1, extent // n_regions)
+    entries = []
+    for i in range(n_regions):
+        entries.append(
+            RSTEntry(
+                i,
+                i * chunk,
+                (i + 1) * chunk if i + 1 < n_regions else None,
+                StripingConfig(6, 2, h, s),
+            )
+        )
+    return RegionLevelLayout(RegionStripeTable(entries))
+
+
+def test_ablation_metadata_overhead(benchmark, paper_testbed, record_result):
+    extent = 32 * MiB
+    workload = IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=extent, op="write")
+    )
+    h, s = 16 * KiB, 208 * KiB  # The HARL-optimal pair for this workload.
+    region_counts = (1, 16, 256, 1024, 4096)
+
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n_regions in region_counts:
+            layout = fragmented_layout(n_regions, extent, h, s)
+            result = run_workload(
+                paper_testbed, workload, layout, layout_name=f"{n_regions} regions"
+            )
+            rows.append((n_regions, result.throughput_mib))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "=== Ablation: region count vs metadata/split overhead ===",
+        f"{'regions':>8} {'MiB/s':>8}",
+    ]
+    for n_regions, mib in rows:
+        lines.append(f"{n_regions:>8} {mib:>8.1f}")
+    record_result("ablation_metadata_overhead", "\n".join(lines))
+
+    throughput = dict(rows)
+    # Modest region counts are essentially free...
+    assert throughput[16] > 0.95 * throughput[1]
+    # ...runaway fragmentation is not (requests split across many tiny
+    # regions, each with its own MDS consult and sub-request fan-out).
+    assert throughput[4096] < 0.8 * throughput[1]
+    # Monotone-ish decay.
+    values = [throughput[n] for n in region_counts]
+    assert values[0] >= values[-1]

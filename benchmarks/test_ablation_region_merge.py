@@ -1,0 +1,56 @@
+"""Ablation: RST adjacent-region merging (Sec. III-E).
+
+Merging adjacent regions with identical stripe pairs shrinks the RST (less
+metadata) without changing any lookup — this bench verifies both halves on
+a workload whose CV splits produce same-stripe neighbors.
+"""
+
+from repro.core.planner import HARLPlanner
+from repro.experiments.harness import run_workload
+from repro.util.units import KiB, MiB
+from repro.workloads.synthetic import RegionSpec, SyntheticRegionWorkload
+
+
+def test_ablation_region_merge(benchmark, paper_testbed, record_result):
+    # Two same-request-size phases separated by size noise tend to receive
+    # identical stripe pairs -> merge fodder; the middle phase differs.
+    workload = SyntheticRegionWorkload(
+        regions=[
+            RegionSpec(size=8 * MiB, request_size=256 * KiB),
+            RegionSpec(size=16 * MiB, request_size=1024 * KiB),
+            RegionSpec(size=8 * MiB, request_size=256 * KiB),
+        ],
+        n_processes=16,
+        op="write",
+    )
+    params = paper_testbed.parameters(request_hint=512 * KiB)
+    trace = workload.synthetic_trace()
+
+    outcome = {}
+
+    def run():
+        merged = HARLPlanner(params, step=None, merge_regions=True).plan(trace)
+        unmerged = HARLPlanner(params, step=None, merge_regions=False).plan(trace)
+        merged_run = run_workload(paper_testbed, workload, merged, layout_name="merged")
+        unmerged_run = run_workload(paper_testbed, workload, unmerged, layout_name="unmerged")
+        outcome.update(
+            merged=merged, unmerged=unmerged, merged_run=merged_run, unmerged_run=unmerged_run
+        )
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "=== Ablation: RST adjacent-region merging ===",
+        f"regions without merge: {len(outcome['unmerged'])}",
+        f"regions with merge:    {len(outcome['merged'])}",
+        f"throughput unmerged:   {outcome['unmerged_run'].throughput_mib:.1f} MiB/s",
+        f"throughput merged:     {outcome['merged_run'].throughput_mib:.1f} MiB/s",
+    ]
+    record_result("ablation_region_merge", "\n".join(lines))
+
+    assert len(outcome["merged"]) <= len(outcome["unmerged"])
+    # Merging is metadata-only: same stripes at every probe offset, so
+    # throughput is identical up to MDS-lookup noise.
+    ratio = outcome["merged_run"].throughput / outcome["unmerged_run"].throughput
+    assert 0.95 < ratio < 1.05

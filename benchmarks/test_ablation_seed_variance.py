@@ -1,0 +1,51 @@
+"""Ablation: is HARL's advantage robust to device-latency randomness?
+
+The paper reports single runs per configuration. This bench replicates the
+headline Fig. 7 write comparison over five independently seeded testbeds
+and checks (a) run-to-run spread is small (startup draws average out over
+thousands of sub-requests), and (b) HARL's win holds on *every* seed, not
+just on average.
+"""
+
+from repro.experiments.harness import harl_plan, run_replicated
+from repro.pfs.layout import FixedLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_ablation_seed_variance(benchmark, paper_testbed, record_result):
+    workload = IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=32 * MiB, op="write")
+    )
+    rst = harl_plan(paper_testbed, workload)
+
+    outcome = {}
+
+    def run():
+        outcome["default"] = run_replicated(
+            paper_testbed, workload, FixedLayout(6, 2, 64 * KiB), seeds=SEEDS
+        )
+        outcome["harl"] = run_replicated(paper_testbed, workload, rst, seeds=SEEDS)
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    default, harl = outcome["default"], outcome["harl"]
+    lines = ["=== Ablation: seed-to-seed variance (Fig. 7 write, 5 seeds) ==="]
+    for name, rep in (("64K default", default), ("HARL", harl)):
+        lines.append(
+            f"{name:<12} mean {rep.mean_throughput_mib:7.1f} MiB/s, "
+            f"std {rep.std_throughput / MiB:5.2f} (CV {100 * rep.cv:.2f}%)"
+        )
+    per_seed = ", ".join(
+        f"seed{i}: +{100 * (h.throughput / d.throughput - 1):.0f}%"
+        for i, (h, d) in enumerate(zip(harl.results, default.results))
+    )
+    lines.append(f"HARL gain per seed: {per_seed}")
+    record_result("ablation_seed_variance", "\n".join(lines))
+
+    assert default.cv < 0.05 and harl.cv < 0.05
+    for h, d in zip(harl.results, default.results):
+        assert h.throughput > 1.5 * d.throughput

@@ -1,0 +1,53 @@
+"""Ablation: Algorithm 2's grid step (Sec. III-E).
+
+The paper: "Finer 'step' values result in more precise h and s values, but
+with increased cost calculation overhead." This bench quantifies both sides:
+modeled cost of the chosen pair and wall-clock search time for steps of
+4K (the paper's default), 16K, and 64K.
+"""
+
+import time
+
+from repro.core.stripe_determination import determine_stripes
+from repro.util.units import KiB, format_size
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.traces import trace_arrays
+
+
+def test_ablation_step_size(benchmark, paper_testbed, record_result):
+    workload = IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=32 * 1024 * KiB, op="write")
+    )
+    offsets, sizes, is_read = trace_arrays(workload.synthetic_trace())
+    params = paper_testbed.parameters(request_hint=512 * KiB)
+
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for step in (4 * KiB, 16 * KiB, 64 * KiB):
+            started = time.perf_counter()
+            choice = determine_stripes(
+                params, offsets, sizes, is_read, step=step, max_requests=256
+            )
+            elapsed = time.perf_counter() - started
+            rows.append((step, choice, elapsed))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["=== Ablation: Algorithm 2 grid step ===",
+             f"{'step':>6} {'choice':>14} {'modeled cost (s)':>18} {'search (s)':>11}"]
+    for step, choice, elapsed in rows:
+        lines.append(
+            f"{format_size(step):>6} {choice.describe():>14} {choice.cost:>18.6f} {elapsed:>11.4f}"
+        )
+    record_result("ablation_step_size", "\n".join(lines))
+
+    costs = {step: choice.cost for step, choice, _ in rows}
+    # Finer grids never produce worse modeled plans (they scan supersets up
+    # to rounding of the R-bar bound).
+    assert costs[4 * KiB] <= costs[16 * KiB] * 1.001
+    assert costs[4 * KiB] <= costs[64 * KiB] * 1.001
+    # And the search stays cheap (offline arithmetic, as the paper argues).
+    assert all(elapsed < 10.0 for _, _, elapsed in rows)

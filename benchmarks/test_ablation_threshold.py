@@ -1,0 +1,56 @@
+"""Ablation: Algorithm 1's CV threshold vs region count (Sec. III-C).
+
+The paper bounds metadata overhead by raising the threshold until the
+region count drops below the fixed-size division's count. This bench sweeps
+the threshold on a noisy multi-phase workload and reports region counts,
+verifying monotonicity and the bounded-division guard.
+"""
+
+import numpy as np
+
+from repro.core.region_division import divide_regions, divide_regions_bounded
+from repro.util.units import KiB, MiB
+
+
+def make_noisy_stream(seed=0, n=600):
+    """Three phases with intra-phase size noise — provokes CV splits."""
+    rng = np.random.default_rng(seed)
+    sizes = np.concatenate(
+        [
+            rng.choice([48 * KiB, 64 * KiB, 96 * KiB], n // 3),
+            rng.choice([768 * KiB, 1024 * KiB], n // 3),
+            rng.choice([192 * KiB, 256 * KiB, 384 * KiB], n // 3),
+        ]
+    ).astype(np.int64)
+    offsets = np.cumsum(sizes) - sizes
+    return offsets, sizes
+
+
+def test_ablation_threshold(benchmark, record_result):
+    offsets, sizes = make_noisy_stream()
+    thresholds = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+    counts = {}
+
+    def sweep():
+        counts.clear()
+        for threshold in thresholds:
+            counts[threshold] = len(
+                divide_regions(offsets, sizes, threshold=threshold, min_requests=2)
+            )
+        return counts
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["=== Ablation: Algorithm 1 CV threshold ===", f"{'threshold':>10} {'regions':>8}"]
+    for threshold in thresholds:
+        lines.append(f"{threshold:>10.2f} {counts[threshold]:>8}")
+
+    regions, used = divide_regions_bounded(offsets, sizes, region_chunk=32 * MiB, min_requests=2)
+    lines.append(f"bounded division: {len(regions)} regions at threshold {used:.2f}")
+    record_result("ablation_threshold", "\n".join(lines))
+
+    ordered = [counts[t] for t in thresholds]
+    assert ordered == sorted(ordered, reverse=True)  # Looser -> fewer regions.
+    assert counts[thresholds[0]] > counts[thresholds[-1]]
+    file_extent = int((offsets + sizes).max())
+    assert len(regions) <= max(1, -(-file_extent // (32 * MiB)))

@@ -1,0 +1,62 @@
+"""Extension experiment: HARL vs the related-work layout schemes.
+
+The paper positions HARL against the segment-level scheme [10]
+(region-adaptive but heterogeneity-blind) and the server-level scheme
+[22]/[32] (heterogeneity-aware but region-blind). On a hybrid cluster the
+paper's argument is that heterogeneity is the dominant dimension: the
+server-level scheme gains a lot over the fixed default, the
+heterogeneity-blind segment-level scheme gains little or nothing (its
+per-segment "optimal" uniform stripes cannot express load balance between
+classes), and HARL — combining both dimensions — wins outright.
+"""
+
+from repro.core.baselines import plan_segment_level, plan_server_level
+from repro.experiments.harness import compare_layouts, harl_plan
+from repro.pfs.layout import FixedLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.synthetic import RegionSpec, SyntheticRegionWorkload
+
+
+def test_ext_baseline_schemes(benchmark, paper_testbed, record_result):
+    workload = SyntheticRegionWorkload(
+        regions=[
+            RegionSpec(16 * MiB, 64 * KiB),
+            RegionSpec(64 * MiB, 1024 * KiB, coverage=0.5),
+            RegionSpec(32 * MiB, 256 * KiB, coverage=0.5),
+        ],
+        n_processes=16,
+        op="write",
+    )
+    trace = workload.synthetic_trace()
+    params = paper_testbed.parameters(request_hint=512 * KiB)
+
+    tables = {}
+
+    def run():
+        layouts = {
+            "64K fixed": FixedLayout(6, 2, 64 * KiB),
+            "segment-level": plan_segment_level(params, trace, segment_size=16 * MiB),
+            "server-level": plan_server_level(params, trace),
+            "HARL": harl_plan(paper_testbed, workload),
+        }
+        tables["result"] = compare_layouts(
+            paper_testbed, workload, layouts, title="layout schemes (non-uniform workload)"
+        )
+        return tables
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = tables["result"]
+    record_result("ext_baseline_schemes", table.render())
+
+    fixed = table.result("64K fixed").throughput
+    segment = table.result("segment-level").throughput
+    server = table.result("server-level").throughput
+    harl = table.result("HARL").throughput
+    # Heterogeneity-awareness is the big win on a hybrid cluster...
+    assert server > 1.3 * fixed
+    # ...heterogeneity-blind region adaptation cannot deliver it (within
+    # noise of the fixed default)...
+    assert segment > 0.6 * fixed
+    # ...and HARL, combining both dimensions, wins outright.
+    assert harl > server and harl > segment and harl > fixed

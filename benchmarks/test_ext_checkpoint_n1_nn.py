@@ -1,0 +1,64 @@
+"""Extension experiment: checkpoint styles x layouts (the PLFS contrast).
+
+The paper's related work cites PLFS [16], whose premise is that N-1
+(shared-file) checkpoints underperform N-N (file-per-process). On a hybrid
+cluster, layout choice is a second axis: HARL helps the N-1 file directly,
+and per-file plans help N-N. This bench writes the same checkpoint state
+four ways: {N-1, N-N} x {64K default, HARL}.
+"""
+
+from repro.experiments.harness import (
+    harl_plan,
+    run_concurrent_workloads,
+    run_workload,
+)
+from repro.pfs.layout import FixedLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.checkpoint import CheckpointConfig, CheckpointN1Workload, n_n_apps
+
+
+def test_ext_checkpoint_n1_nn(benchmark, paper_testbed, record_result):
+    config = CheckpointConfig(
+        n_processes=16, state_per_process=2 * MiB, request_size=512 * KiB, rounds=2
+    )
+    n1 = CheckpointN1Workload(config)
+
+    outcome = {}
+
+    def run():
+        default = FixedLayout(6, 2, 64 * KiB)
+        outcome[("n1", "64K")] = run_workload(
+            paper_testbed, n1, default, layout_name="N-1/64K"
+        ).throughput_mib
+        rst = harl_plan(paper_testbed, n1)
+        outcome[("n1", "HARL")] = run_workload(
+            paper_testbed, n1, rst, layout_name="N-1/HARL"
+        ).throughput_mib
+
+        nn = n_n_apps(config)
+        outcome[("nn", "64K")] = run_concurrent_workloads(
+            paper_testbed, [(name, w, FixedLayout(6, 2, 64 * KiB)) for name, w in nn]
+        ).aggregate_throughput_mib
+        nn_plans = [(name, w, harl_plan(paper_testbed, w)) for name, w in nn]
+        outcome[("nn", "HARL")] = run_concurrent_workloads(
+            paper_testbed, nn_plans
+        ).aggregate_throughput_mib
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "=== Extension: checkpoint style x layout (MiB/s) ===",
+        f"{'':>6} {'64K':>8} {'HARL':>8}",
+        f"{'N-1':>6} {outcome[('n1', '64K')]:>8.1f} {outcome[('n1', 'HARL')]:>8.1f}",
+        f"{'N-N':>6} {outcome[('nn', '64K')]:>8.1f} {outcome[('nn', 'HARL')]:>8.1f}",
+    ]
+    record_result("ext_checkpoint_n1_nn", "\n".join(lines))
+
+    # HARL helps both checkpoint styles substantially...
+    assert outcome[("n1", "HARL")] > 1.3 * outcome[("n1", "64K")]
+    assert outcome[("nn", "HARL")] > 1.3 * outcome[("nn", "64K")]
+    # ...and under a fixed default layout N-N is at least competitive with
+    # N-1 (the gap PLFS exploits; our simulator has no lock contention, the
+    # historical N-1 killer, so the gap here is small).
+    assert outcome[("nn", "64K")] > 0.8 * outcome[("n1", "64K")]

@@ -1,0 +1,82 @@
+"""Extension experiment: planning around a degraded (straggler) server.
+
+The paper's cost model is class-level: all HServers share one profile. A
+real cluster often has one disk running degraded (remapped sectors,
+throttling). The multi-tier generalization handles this for free: model
+the straggler as its own one-server class with its own probed profile, and
+the coordinate-descent search assigns it a proportionally smaller stripe —
+instead of letting the slowest disk pace every request, as happens when a
+class-level plan treats it like its healthy peers.
+"""
+
+from repro.experiments.harness import run_workload
+from repro.experiments.tiered import TierDef, TieredTestbed, tiered_harl_plan
+from repro.pfs.tiered import MultiClassStripingConfig, TieredFixedLayout
+from repro.util.units import KiB, MiB, format_size
+from repro.workloads.ior import IORConfig, IORWorkload
+
+#: The straggler: a quarter of the healthy HDD bandwidth, slower seeks.
+DEGRADED_HDD = {"bandwidth": 12 * MiB, "alpha_min": 3e-4, "alpha_max": 9e-4}
+
+
+def test_ext_degraded_server(benchmark, record_result):
+    # 5 healthy HDDs + 1 degraded HDD + 2 SSDs, as three tiers.
+    testbed = TieredTestbed(
+        tiers=[
+            TierDef("hdd", 5, {}),
+            TierDef("hdd", 1, DEGRADED_HDD),
+            TierDef("ssd", 2, {}),
+        ],
+        seed=0,
+    )
+    workload = IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=32 * MiB, op="write")
+    )
+
+    outcome = {}
+
+    def run():
+        # Degradation-blind plan: what a class-level planner would do —
+        # treat all six HDDs alike (healthy-class stripe on the straggler).
+        blind_rst = tiered_harl_plan(
+            TieredTestbed(tiers=[TierDef("hdd", 5, {}), TierDef("hdd", 1, {}), TierDef("ssd", 2, {})], seed=0),
+            workload,
+        )
+        blind_stripes = blind_rst.entries[0].config.stripes
+        blind_layout = TieredFixedLayout(
+            MultiClassStripingConfig(
+                [(5, blind_stripes[0]), (1, blind_stripes[0]), (2, blind_stripes[2])]
+            )
+        )
+        aware_rst = tiered_harl_plan(testbed, workload)
+        outcome["uniform-64K"] = run_workload(
+            testbed,
+            workload,
+            TieredFixedLayout(
+                MultiClassStripingConfig([(5, 64 * KiB), (1, 64 * KiB), (2, 64 * KiB)])
+            ),
+            layout_name="uniform-64K",
+        )
+        outcome["blind"] = run_workload(testbed, workload, blind_layout, layout_name="blind")
+        outcome["aware"] = run_workload(testbed, workload, aware_rst, layout_name="aware")
+        outcome["aware_stripes"] = aware_rst.entries[0].config.stripes
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    healthy, degraded, ssd = outcome["aware_stripes"]
+    lines = [
+        "=== Extension: degraded-server-aware planning ===",
+        f"aware plan: healthy HDDs {format_size(healthy)}, degraded HDD "
+        f"{format_size(degraded)}, SSDs {format_size(ssd)}",
+    ]
+    for key in ("uniform-64K", "blind", "aware"):
+        result = outcome[key]
+        lines.append(f"{result.layout_name:<12} {result.throughput_mib:>8.1f} MiB/s")
+    record_result("ext_degraded_server", "\n".join(lines))
+
+    # The aware plan starves the straggler relative to healthy disks...
+    assert degraded < healthy
+    # ...and beats both the uniform default and the degradation-blind plan.
+    assert outcome["aware"].throughput > outcome["uniform-64K"].throughput
+    assert outcome["aware"].throughput > 1.1 * outcome["blind"].throughput

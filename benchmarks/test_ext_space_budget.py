@@ -1,0 +1,67 @@
+"""Extension experiment: space-bounded HARL (Discussion, Sec. IV-D).
+
+The paper notes HARL consumes disproportionate SServer space and proposes
+bounding it. This bench sweeps the per-SServer capacity budget for a 32 MiB
+file and shows the performance/space trade-off: tight budgets push data
+back onto HServers, costing throughput but respecting capacity — the
+graceful degradation the Discussion argues for.
+"""
+
+import numpy as np
+
+from repro.core.planner import HARLPlanner
+from repro.core.space import SpaceConstraint
+from repro.experiments.harness import run_workload
+from repro.util.units import GiB, KiB, MiB, format_size
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+def test_ext_space_budget(benchmark, paper_testbed, record_result):
+    workload = IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=32 * MiB, op="write")
+    )
+    trace = workload.synthetic_trace()
+    params = paper_testbed.parameters(request_hint=512 * KiB)
+    extent = 32 * MiB
+    budgets = (GiB, 12 * MiB, 8 * MiB, 4 * MiB, 2 * MiB)
+
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for budget in budgets:
+            planner = HARLPlanner(params, step=None, space_budgets=(GiB, budget))
+            rst = planner.plan(trace)
+            result = run_workload(
+                paper_testbed, workload, rst, layout_name=f"budget={format_size(budget)}"
+            )
+            stripes = rst.entries[0].config.stripes
+            footprint = SpaceConstraint(
+                class_counts=(6, 2), per_server_budgets=(GiB, budget), region_extent=extent
+            ).footprint_per_server(stripes)[1]
+            rows.append((budget, stripes, footprint, result.throughput_mib))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "=== Extension: per-SServer space budget vs throughput ===",
+        f"{'budget':>8} {'plan':>12} {'SServer use':>12} {'MiB/s':>8}",
+    ]
+    for budget, stripes, footprint, mib in rows:
+        plan = f"{format_size(stripes[0])}-{format_size(stripes[1])}"
+        lines.append(
+            f"{format_size(budget):>8} {plan:>12} {format_size(int(footprint)):>12} {mib:>8.1f}"
+        )
+    record_result("ext_space_budget", "\n".join(lines))
+
+    # Footprints never exceed budgets.
+    for budget, _, footprint, _ in rows:
+        assert footprint <= budget * 1.001
+    # Tighter budgets monotonically reduce the SServer share...
+    footprints = [footprint for _, _, footprint, _ in rows]
+    assert all(a >= b - 1 for a, b in zip(footprints, footprints[1:]))
+    # ...and cost throughput relative to the unconstrained plan.
+    throughputs = [mib for *_, mib in rows]
+    assert throughputs[0] >= max(throughputs) * 0.999
+    assert throughputs[-1] < throughputs[0]

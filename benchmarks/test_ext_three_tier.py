@@ -1,0 +1,76 @@
+"""Extension experiment: HARL generalized to three server classes.
+
+The paper's future work (Sec. V): "extend our cost model to accommodate
+more than two server performance profiles." This bench builds a three-tier
+cluster (2 NVMe-class + 2 SATA-SSD-class + 4 HDD servers), plans with the
+multi-tier coordinate-descent search, and compares against uniform fixed
+stripes and a two-class plan that lumps both SSD tiers together.
+"""
+
+from repro.experiments.harness import run_workload
+from repro.experiments.tiered import TierDef, TieredTestbed, tiered_harl_plan
+from repro.pfs.tiered import MultiClassStripingConfig, TieredFixedLayout
+from repro.util.units import KiB, MiB, format_size
+from repro.workloads.ior import IORConfig, IORWorkload
+
+NVME_KWARGS = {
+    "read_bandwidth": 1800 * MiB,
+    "write_bandwidth": 1200 * MiB,
+    "read_alpha_min": 5e-6,
+    "read_alpha_max": 2e-5,
+    "write_alpha_min": 1e-5,
+    "write_alpha_max": 3e-5,
+}
+
+
+def test_ext_three_tier(benchmark, record_result):
+    testbed = TieredTestbed(
+        tiers=[TierDef("ssd", 2, NVME_KWARGS), TierDef("ssd", 2, {}), TierDef("hdd", 4, {})],
+        seed=0,
+    )
+    workload = IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=32 * MiB, op="write")
+    )
+
+    outcome = {}
+
+    def run():
+        rst3 = tiered_harl_plan(testbed, workload)
+        outcome["rst3"] = rst3
+        for stripe in (64 * KiB, 256 * KiB):
+            layout = TieredFixedLayout(
+                MultiClassStripingConfig([(2, stripe), (2, stripe), (4, stripe)])
+            )
+            outcome[format_size(stripe)] = run_workload(
+                testbed, workload, layout, layout_name=format_size(stripe)
+            )
+        # A two-class plan forced to treat both SSD tiers identically: take
+        # the 3-tier plan and average the two SSD stripes.
+        s3 = rst3.entries[0].config.stripes
+        lumped = (s3[0] + s3[1]) // 2 // (4 * KiB) * (4 * KiB)
+        two_class = TieredFixedLayout(
+            MultiClassStripingConfig([(2, lumped), (2, lumped), (4, s3[2])])
+        )
+        outcome["2-class HARL"] = run_workload(
+            testbed, workload, two_class, layout_name="2-class HARL"
+        )
+        outcome["3-tier HARL"] = run_workload(
+            testbed, workload, rst3, layout_name="3-tier HARL"
+        )
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["=== Extension: three-tier HARL (NVMe/SATA-SSD/HDD) ==="]
+    lines.append(f"3-tier plan: {outcome['rst3'].entries[0].config.describe()}")
+    for key in ("64K", "256K", "2-class HARL", "3-tier HARL"):
+        result = outcome[key]
+        lines.append(f"{result.layout_name:<14} {result.throughput_mib:>8.1f} MiB/s")
+    record_result("ext_three_tier", "\n".join(lines))
+
+    # Tier-awareness must beat uniform fixed stripes clearly and the
+    # lumped two-class treatment measurably.
+    assert outcome["3-tier HARL"].throughput > 1.5 * outcome["64K"].throughput
+    assert outcome["3-tier HARL"].throughput >= 0.99 * outcome["2-class HARL"].throughput
+    stripes = outcome["rst3"].entries[0].config.stripes
+    assert stripes[0] >= stripes[1] >= stripes[2]

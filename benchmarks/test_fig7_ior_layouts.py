@@ -1,0 +1,25 @@
+"""Figure 7: IOR read/write throughput across layouts — the headline result.
+
+Paper: HARL's optimal pairs ({32K,160K} read / {36K,148K} write) improve
+throughput by 73.4% (read) and 176.7% (write) over the 64K default, up to
+138.6%/177.6% over other fixed stripes and 154.5%/215.4% over random
+stripes. Reproduction criteria: HARL wins every comparison and the gain
+over the default is large (tens of percent at minimum).
+"""
+
+from repro.experiments.figures import fig7
+from repro.util.units import MiB
+
+
+def test_fig7_ior_layouts(benchmark, paper_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: fig7(paper_testbed, file_size=32 * MiB), rounds=1, iterations=1
+    )
+    record_result("fig7", result.render())
+    assert len(result.tables) == 2
+    for table in result.tables:
+        assert table.best().layout_name == "HARL", table.title
+        assert table.improvement_over("64K") > 0.40, table.title
+        # Beats the random-stripe baselines too.
+        for name in ("rand#1", "rand#2"):
+            assert table.result("HARL").throughput > table.result(name).throughput

@@ -1,0 +1,27 @@
+"""Figure 8: IOR throughput vs process count (8/32/128/256).
+
+Paper: HARL improves reads by 144.1%/141.8%/202.7%/274.1% and writes by
+116.4%/182.7%/192.8%/268.3% over fixed-size layouts as the process count
+grows — i.e. HARL's advantage persists (and tends to grow) with scale.
+"""
+
+from repro.devices.base import OpType
+from repro.experiments.figures import fig8
+
+
+def test_fig8_process_scaling(benchmark, paper_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: fig8(
+            paper_testbed,
+            process_counts=(8, 32, 128, 256),
+            requests_per_process=4,
+            ops=(OpType.READ, OpType.WRITE),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig8", result.render())
+    assert len(result.tables) == 8  # 2 ops x 4 process counts.
+    for table in result.tables:
+        assert table.best().layout_name == "HARL", table.title
+        assert table.improvement_over("64K") > 0.25, table.title

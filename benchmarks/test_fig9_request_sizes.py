@@ -1,0 +1,33 @@
+"""Figure 9: IOR throughput vs request size (128K and 1024K).
+
+Paper: HARL improves reads by 24.1-325.0% and writes by 32.4-293.5% over
+fixed layouts. At 128 KB the optimal pair is {0K, 64K} — the file lives on
+the two SServers only; at 1024 KB both server classes are used.
+"""
+
+from repro.devices.base import OpType
+from repro.experiments.figures import fig9
+from repro.util.units import KiB
+
+
+def test_fig9_request_sizes(benchmark, paper_testbed, record_result):
+    result = benchmark.pedantic(
+        lambda: fig9(
+            paper_testbed,
+            request_sizes=(128 * KiB, 1024 * KiB),
+            requests_per_process=8,
+            ops=(OpType.READ, OpType.WRITE),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig9", result.render())
+    for table in result.tables:
+        assert table.best().layout_name == "HARL", table.title
+    # The qualitative optima match the paper: SServer-only for 128K...
+    for op in ("read", "write"):
+        small = result.harl_tables[f"{op}/128K"].entries[0].config
+        assert small.hstripe == 0, op
+        # ...both classes, with s > h, for 1024K.
+        large = result.harl_tables[f"{op}/1M"].entries[0].config
+        assert large.hstripe > 0 and large.sstripe > large.hstripe, op

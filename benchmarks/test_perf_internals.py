@@ -1,0 +1,93 @@
+"""Performance regression benches for the library's hot paths.
+
+Unlike the figure benches (one deterministic simulation per test), these
+use pytest-benchmark's repeated timing to track the speed of the three
+paths everything else stands on: the DES kernel's event loop, the striping
+decomposition, and the vectorized cost-model sweep that is Algorithm 2's
+inner loop. Regressions here multiply into every experiment.
+"""
+
+import numpy as np
+
+from repro.core.cost_model import total_cost_vectorized
+from repro.core.params import CostModelParameters
+from repro.devices.profiles import DeviceProfile
+from repro.pfs.mapping import StripingConfig, critical_params_vectorized, decompose
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import Resource
+from repro.util.units import KiB
+
+PARAMS = CostModelParameters(
+    n_hservers=6,
+    n_sservers=2,
+    unit_network_time=2e-9,
+    hserver=DeviceProfile(5e-5, 1.5e-4, 5e-5, 1.5e-4, 2.1e-8, 2.1e-8, "h"),
+    sserver=DeviceProfile(1e-5, 4e-5, 2e-5, 6e-5, 1.6e-9, 3.2e-9, "s"),
+)
+
+
+def test_perf_des_event_loop(benchmark):
+    """Ping-pong processes through a capacity-1 resource: ~30k events."""
+
+    def run():
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            for _ in range(500):
+                grant = yield resource.request()
+                yield sim.timeout(0.001)
+                resource.release(grant)
+
+        for _ in range(10):
+            sim.process(worker())
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_perf_decompose(benchmark):
+    """Scalar sub-request decomposition, 2000 requests."""
+    config = StripingConfig(6, 2, 36 * KiB, 148 * KiB)
+    rng = np.random.default_rng(0)
+    offsets = rng.integers(0, 2**30, 2000)
+    sizes = rng.integers(4 * KiB, 2048 * KiB, 2000)
+
+    def run():
+        total = 0
+        for offset, size in zip(offsets, sizes):
+            total += len(decompose(config, int(offset), int(size)))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_perf_critical_params_vectorized(benchmark):
+    """Vectorized critical params over 50k requests."""
+    config = StripingConfig(6, 2, 36 * KiB, 148 * KiB)
+    rng = np.random.default_rng(0)
+    offsets = rng.integers(0, 2**30, 50_000).astype(np.int64)
+    sizes = rng.integers(4 * KiB, 2048 * KiB, 50_000).astype(np.int64)
+
+    def run():
+        s_m, s_n, m, n = critical_params_vectorized(config, offsets, sizes)
+        return int(s_m.sum())
+
+    assert benchmark(run) > 0
+
+
+def test_perf_algorithm2_inner_loop(benchmark):
+    """One full h-scan of Algorithm 2: 128 s-candidates x 512 requests."""
+    rng = np.random.default_rng(0)
+    offsets = rng.integers(0, 2**26, 512).astype(np.int64)
+    sizes = np.full(512, 512 * KiB, dtype=np.int64)
+    is_read = np.zeros(512, dtype=bool)
+    s_candidates = np.arange(4 * KiB, 516 * KiB, 4 * KiB, dtype=np.int64)
+
+    def run():
+        costs = total_cost_vectorized(PARAMS, offsets, sizes, is_read, 16 * KiB, s_candidates)
+        return float(costs.min())
+
+    assert benchmark(run) > 0

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Extending the testbed: custom devices, calibration, and the cost model.
+
+Shows what a downstream user adapting HARL to their own cluster would do:
+define device characteristics, probe them into Table-I parameters exactly
+as the paper's Analysis Phase does, inspect the measured profiles, query
+the cost model directly, and see how the optimal stripe pair moves as the
+device gap changes.
+
+Run:  python examples/custom_cluster_calibration.py
+"""
+
+import numpy as np
+
+from repro import (
+    KiB,
+    MiB,
+    Testbed,
+    determine_stripes,
+    format_size,
+    request_cost,
+)
+from repro.core.cost_model import request_cost_breakdown
+
+
+def show_cluster(name: str, hdd_kwargs: dict, ssd_kwargs: dict) -> None:
+    testbed = Testbed(
+        n_hservers=6, n_sservers=2, seed=0, hdd_kwargs=hdd_kwargs, ssd_kwargs=ssd_kwargs
+    )
+    params = testbed.parameters(request_hint=512 * KiB)
+    print(f"--- {name} ---")
+    print(f"calibrated: {params.describe()}")
+
+    # Query the cost model for a single 512K request under two layouts.
+    for h, s in ((64 * KiB, 64 * KiB), (32 * KiB, 160 * KiB)):
+        breakdown = request_cost_breakdown(params, "write", 0, 512 * KiB, h, s)
+        print(
+            f"  write 512K @ {{{format_size(h)}, {format_size(s)}}}: "
+            f"{1e3 * breakdown.total:.3f} ms "
+            f"(net {1e3 * breakdown.network:.3f} + startup {1e3 * breakdown.startup:.3f} "
+            f"+ xfer {1e3 * breakdown.transfer:.3f})"
+        )
+
+    # Algorithm 2 on a uniform 512K region — where does the optimum land?
+    offsets = np.arange(64, dtype=np.int64) * 512 * KiB
+    sizes = np.full(64, 512 * KiB, dtype=np.int64)
+    for op, is_read in (("read", True), ("write", False)):
+        choice = determine_stripes(
+            params, offsets, sizes, np.full(64, is_read), step=4 * KiB, max_requests=64
+        )
+        print(f"  optimal {op} pair: {choice.describe()}")
+    print()
+
+
+def main() -> None:
+    # The paper-like default cluster.
+    show_cluster("paper-like cluster (defaults)", {}, {})
+
+    # A cluster with nearly-HDD-speed SSDs: the gap shrinks, so HARL should
+    # spread data more evenly (larger h relative to s).
+    show_cluster(
+        "narrow-gap cluster (slow SSDs)",
+        {},
+        {"read_bandwidth": 120 * MiB, "write_bandwidth": 80 * MiB},
+    )
+
+    # A cluster with extremely fast NVMe-class SServers: expect SSD-heavy
+    # or SSD-only placement even for large requests.
+    show_cluster(
+        "wide-gap cluster (NVMe-class SSDs)",
+        {"bandwidth": 30 * MiB},
+        {"read_bandwidth": 2000 * MiB, "write_bandwidth": 1500 * MiB},
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: HARL vs the default fixed layout on one IOR workload.
+
+Builds the paper's testbed (6 HDD servers + 2 SSD servers), runs the IOR
+benchmark under the OrangeFS default layout (64K fixed stripes), then runs
+the full HARL pipeline — trace, analyze (region division + stripe
+determination), place — and compares throughput.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FixedLayout,
+    IORConfig,
+    IORWorkload,
+    KiB,
+    MiB,
+    Testbed,
+    harl_plan,
+    run_workload,
+)
+
+
+def main() -> None:
+    # The paper's default cluster: six HServers (HDD), two SServers (SSD).
+    testbed = Testbed(n_hservers=6, n_sservers=2, seed=0)
+
+    # IOR as in Sec. IV-B: 16 processes, 512 KB requests, shared file, each
+    # process hitting random offsets within its own 1/16 segment.
+    workload = IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=32 * MiB, op="write")
+    )
+
+    # Baseline: the PFS default — 64 KB stripes on every server.
+    default = run_workload(
+        testbed,
+        workload,
+        FixedLayout(6, 2, 64 * KiB),
+        layout_name="64K default",
+    )
+
+    # HARL: calibrate the cost model by probing (Analysis phase), divide the
+    # traced file into regions, grid-search stripe pairs, build the RST.
+    rst = harl_plan(testbed, workload)
+    harl = run_workload(testbed, workload, rst, layout_name="HARL")
+
+    print("Region Stripe Table (the Fig. 6 artifact):")
+    print(rst.describe_table())
+    print()
+    print(f"{default.layout_name:>12}: {default.throughput_mib:8.1f} MiB/s")
+    print(f"{harl.layout_name:>12}: {harl.throughput_mib:8.1f} MiB/s")
+    gain = harl.throughput / default.throughput - 1
+    print(f"{'improvement':>12}: {100 * gain:8.1f} %")
+
+
+if __name__ == "__main__":
+    main()

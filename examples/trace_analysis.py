@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Trace tooling: collect, persist, analyze, and plan from an I/O trace.
+
+Walks the artifact chain a real deployment would produce: run an
+application once with the IOSIG collector attached, save the trace CSV,
+summarize it (is this workload a HARL candidate?), and feed it to the
+planner — then do the same for a non-uniform workload and compare the
+summaries.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    FixedLayout,
+    HARLPlanner,
+    IORConfig,
+    IORWorkload,
+    KiB,
+    MiB,
+    RegionSpec,
+    Simulator,
+    SyntheticRegionWorkload,
+    Testbed,
+    TraceCollector,
+    analyze_trace,
+    render_report,
+    run_workload,
+)
+from repro.workloads.traces import TraceFile
+
+
+def main() -> None:
+    testbed = Testbed(n_hservers=6, n_sservers=2, seed=0)
+
+    # --- A uniform IOR run, traced through the middleware.
+    ior = IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=16 * MiB, op="write")
+    )
+    collector = TraceCollector(Simulator())
+    run_workload(testbed, ior, FixedLayout(6, 2, 64 * KiB), collector=collector)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ior.trace.csv"
+        collector.save(path)
+        print(f"trace saved: {path.name}, {path.stat().st_size} bytes")
+        records = TraceFile.load(path)
+
+    report = analyze_trace(records)
+    print()
+    print(render_report(report, title="IOR 512K write"))
+    print(f"-> single-region candidate: {report.is_uniform}")
+
+    # --- A non-uniform workload: the analysis flags the structure, the
+    # planner turns it into regions.
+    nonuniform = SyntheticRegionWorkload(
+        regions=[
+            RegionSpec(4 * MiB, 64 * KiB),
+            RegionSpec(16 * MiB, 1024 * KiB),
+            RegionSpec(8 * MiB, 256 * KiB),
+        ],
+        n_processes=16,
+        op="write",
+    )
+    trace = nonuniform.synthetic_trace()
+    print()
+    print(render_report(analyze_trace(trace), title="non-uniform three-phase file"))
+
+    planner = HARLPlanner(testbed.parameters(request_hint=512 * KiB), step=None)
+    rst = planner.plan(trace)
+    print()
+    print("planner output:")
+    print(rst.describe_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim for offline editable installs.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+517 editable builds (which need ``bdist_wheel``) fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

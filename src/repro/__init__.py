@@ -1,0 +1,157 @@
+"""repro — reproduction of HARL (He et al., ICPP 2015).
+
+A heterogeneity-aware region-level (HARL) data layout for hybrid parallel
+file systems, reproduced end-to-end in pure Python: a discrete-event
+simulated hybrid PFS (HDD + SSD file servers), the HARL planner (region
+division, access cost model, stripe-size determination, RST), an MPI-IO-like
+middleware with two-phase collective I/O and IOSIG tracing, the IOR/BTIO
+workload generators, and the full experiment harness regenerating every
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        Testbed, IORConfig, IORWorkload, FixedLayout, harl_plan, run_workload,
+    )
+
+    testbed = Testbed(n_hservers=6, n_sservers=2)
+    workload = IORWorkload(IORConfig(op="write"))
+    default = run_workload(
+        testbed, workload,
+        FixedLayout(6, 2, 64 * 1024), layout_name="64K default",
+    )
+    harl = run_workload(testbed, workload, harl_plan(testbed, workload),
+                        layout_name="HARL")
+    print(default.throughput_mib, "->", harl.throughput_mib, "MiB/s")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    CostModelParameters,
+    HARLPlanner,
+    MultiTierParameters,
+    MultiTierPlanner,
+    R2FTable,
+    RegionStripeTable,
+    RSTEntry,
+    SpaceConstraint,
+    StripeChoice,
+    TierSpec,
+    determine_stripes,
+    divide_regions,
+    request_cost,
+)
+from repro.core.baselines import plan_segment_level, plan_server_level
+from repro.devices import DeviceProfile, HDDModel, OpType, SSDModel
+from repro.experiments import (
+    RunResult,
+    Testbed,
+    calibrate_parameters,
+    compare_layouts,
+    harl_plan,
+    run_workload,
+)
+from repro.middleware import MPIIOFile, SimMPI, TraceCollector
+from repro.network import NetworkModel
+from repro.online import OnlineHARLController, WorkloadMonitor, run_workload_online
+from repro.pfs import (
+    FixedLayout,
+    HybridFixedLayout,
+    HybridPFS,
+    RandomLayout,
+    RegionLevelLayout,
+    StripingConfig,
+)
+from repro.simulate import Simulator
+from repro.util import KiB, MiB, GiB, format_size, parse_size
+from repro.pfs.tiered import ClassStripe, MultiClassStripingConfig, TieredFixedLayout, TieredPFS
+from repro.workloads import (
+    BTIOConfig,
+    BTIOWorkload,
+    CheckpointConfig,
+    CheckpointN1Workload,
+    IORConfig,
+    IORWorkload,
+    PhaseSpec,
+    RegionSpec,
+    ReplayConfig,
+    SyntheticRegionWorkload,
+    TemporalPhaseWorkload,
+    TraceRecord,
+    TraceReplayWorkload,
+    analyze_trace,
+    n_n_apps,
+    render_report,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BTIOConfig",
+    "BTIOWorkload",
+    "CheckpointConfig",
+    "CheckpointN1Workload",
+    "ClassStripe",
+    "CostModelParameters",
+    "DeviceProfile",
+    "FixedLayout",
+    "GiB",
+    "HARLPlanner",
+    "HDDModel",
+    "HybridFixedLayout",
+    "HybridPFS",
+    "IORConfig",
+    "IORWorkload",
+    "KiB",
+    "MPIIOFile",
+    "MiB",
+    "MultiClassStripingConfig",
+    "MultiTierParameters",
+    "MultiTierPlanner",
+    "NetworkModel",
+    "OnlineHARLController",
+    "OpType",
+    "PhaseSpec",
+    "R2FTable",
+    "RSTEntry",
+    "RandomLayout",
+    "RegionLevelLayout",
+    "RegionSpec",
+    "RegionStripeTable",
+    "ReplayConfig",
+    "RunResult",
+    "SSDModel",
+    "SimMPI",
+    "Simulator",
+    "SpaceConstraint",
+    "StripeChoice",
+    "StripingConfig",
+    "SyntheticRegionWorkload",
+    "TemporalPhaseWorkload",
+    "Testbed",
+    "TierSpec",
+    "TieredFixedLayout",
+    "TieredPFS",
+    "TraceCollector",
+    "TraceRecord",
+    "TraceReplayWorkload",
+    "WorkloadMonitor",
+    "analyze_trace",
+    "calibrate_parameters",
+    "compare_layouts",
+    "determine_stripes",
+    "divide_regions",
+    "format_size",
+    "harl_plan",
+    "n_n_apps",
+    "parse_size",
+    "plan_segment_level",
+    "plan_server_level",
+    "render_report",
+    "request_cost",
+    "run_workload",
+    "run_workload_online",
+    "__version__",
+]

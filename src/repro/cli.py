@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``calibrate`` — probe a testbed's devices and print the Table-I bundle;
+- ``plan`` — run the Analysis Phase on a trace CSV and emit the RST JSON;
+- ``run-ior`` — simulate IOR under a chosen layout and print throughput;
+- ``run-figure`` — regenerate one paper figure and print its table;
+- ``list-figures`` — enumerate the reproducible figures.
+
+Every command is pure-offline (simulated cluster); sizes accept suffixes
+(``512K``, ``32M``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.planner import HARLPlanner
+from repro.experiments import figures
+from repro.experiments.harness import Testbed, harl_plan, run_workload
+from repro.pfs.layout import FixedLayout, RandomLayout
+from repro.util.units import format_size, parse_size
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.traces import TraceFile, sort_trace
+
+#: Figure name → (callable, kwargs) registry for ``run-figure``.
+FIGURES = {
+    "fig1a": (figures.fig1a, {}),
+    "fig1b": (figures.fig1b, {}),
+    "fig6": (figures.fig6, {}),
+    "fig7": (figures.fig7, {}),
+    "fig8": (figures.fig8, {}),
+    "fig9": (figures.fig9, {}),
+    "fig10": (figures.fig10, {}),
+    "fig11": (figures.fig11, {}),
+    "fig12": (figures.fig12, {}),
+}
+
+
+def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hservers", type=int, default=6, help="HDD server count (default 6)")
+    parser.add_argument("--sservers", type=int, default=2, help="SSD server count (default 2)")
+    parser.add_argument("--seed", type=int, default=0, help="testbed RNG seed")
+
+
+def _testbed(args: argparse.Namespace) -> Testbed:
+    return Testbed(n_hservers=args.hservers, n_sservers=args.sservers, seed=args.seed)
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    testbed = _testbed(args)
+    hint = parse_size(args.request_hint) if args.request_hint else None
+    params = testbed.parameters(request_hint=hint)
+    print(params.describe())
+    for label, profile in (("HServer", params.hserver), ("SServer", params.sserver)):
+        print(
+            f"{label}: read alpha [{profile.read_alpha_min:.3g}, {profile.read_alpha_max:.3g}] s, "
+            f"beta {profile.beta_read:.3g} s/B; "
+            f"write alpha [{profile.write_alpha_min:.3g}, {profile.write_alpha_max:.3g}] s, "
+            f"beta {profile.beta_write:.3g} s/B"
+        )
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    trace = TraceFile.load(args.trace)
+    if not trace:
+        print("error: trace is empty", file=sys.stderr)
+        return 2
+    testbed = _testbed(args)
+    mean = int(sum(r.size for r in trace) / len(trace))
+    planner = HARLPlanner(
+        testbed.parameters(request_hint=mean),
+        step=parse_size(args.step) if args.step else None,
+    )
+    rst = planner.plan(sort_trace(trace))
+    print(rst.describe_table())
+    if planner.last_report is not None:
+        print()
+        print(planner.last_report.summary())
+    if args.output:
+        rst.save(args.output)
+        print(f"\nRST written to {args.output}")
+    return 0
+
+
+def cmd_run_ior(args: argparse.Namespace) -> int:
+    testbed = _testbed(args)
+    config = IORConfig(
+        n_processes=args.processes,
+        request_size=parse_size(args.request_size),
+        file_size=parse_size(args.file_size),
+        op=args.op,
+        random_offsets=not args.sequential,
+        segments=args.segments,
+        queue_depth=args.queue_depth,
+    )
+    workload = IORWorkload(config)
+    name = args.layout.lower()
+    if name == "harl":
+        layout = harl_plan(testbed, workload)
+        label = "HARL"
+    elif name.startswith("rand"):
+        seed = int(name[4:] or 1)
+        layout = RandomLayout(args.hservers, args.sservers, seed=seed)
+        label = layout.describe()
+    else:
+        stripe = parse_size(args.layout)
+        layout = FixedLayout(args.hservers, args.sservers, stripe)
+        label = format_size(stripe)
+    result = run_workload(testbed, workload, layout, layout_name=label)
+    print(
+        f"IOR {config.op.value}, {config.n_processes} procs, "
+        f"{format_size(config.request_size)} requests, "
+        f"{format_size(config.file_size)} file, layout {label}:"
+    )
+    print(f"  {result.throughput_mib:.1f} MiB/s (makespan {result.makespan:.4f}s)")
+    if name == "harl":
+        plan = ", ".join(entry.config.describe() for entry in layout.entries)
+        print(f"  plan: {plan}")
+    return 0
+
+
+def cmd_run_figure(args: argparse.Namespace) -> int:
+    try:
+        fn, kwargs = FIGURES[args.figure]
+    except KeyError:
+        print(
+            f"error: unknown figure {args.figure!r}; use one of {', '.join(FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = fn(**kwargs)
+    text = result.render()
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.workloads.replay import ReplayConfig, TraceReplayWorkload
+
+    trace = TraceFile.load(args.trace)
+    if not trace:
+        print("error: trace is empty", file=sys.stderr)
+        return 2
+    workload = TraceReplayWorkload(
+        trace, ReplayConfig(preserve_think_time=args.think_time)
+    )
+    testbed = _testbed(args)
+    name = args.layout.lower()
+    if name == "harl":
+        layout = harl_plan(testbed, workload)
+        label = "HARL"
+    else:
+        layout = FixedLayout(args.hservers, args.sservers, parse_size(args.layout))
+        label = format_size(parse_size(args.layout))
+    result = run_workload(testbed, workload, layout, layout_name=label)
+    print(
+        f"replayed {len(trace)} requests on {workload.n_processes} ranks, layout {label}:"
+    )
+    print(f"  {result.throughput_mib:.1f} MiB/s (makespan {result.makespan:.4f}s)")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.workloads.analysis import analyze_trace, render_report
+
+    trace = TraceFile.load(args.trace)
+    if not trace:
+        print("error: trace is empty", file=sys.stderr)
+        return 2
+    print(render_report(analyze_trace(trace), title=args.trace))
+    return 0
+
+
+def cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    names = tuple(args.figures) if args.figures else None
+    report = generate_report(names=names)
+    text = report.render()
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0 if report.all_passed else 1
+
+
+def cmd_list_figures(args: argparse.Namespace) -> int:
+    descriptions = {
+        "fig1a": "per-server I/O time under the 64K default layout",
+        "fig1b": "throughput vs request size x fixed stripe size",
+        "fig6": "a planned Region Stripe Table, before/after merging",
+        "fig7": "IOR read/write across fixed/random/HARL layouts",
+        "fig8": "IOR throughput vs process count",
+        "fig9": "IOR throughput vs request size",
+        "fig10": "IOR throughput vs HServer:SServer ratio",
+        "fig11": "non-uniform four-region workload",
+        "fig12": "BTIO with collective I/O",
+    }
+    for name in FIGURES:
+        print(f"{name:8s} {descriptions[name]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HARL (ICPP 2015) reproduction: simulated hybrid PFS experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("calibrate", help="probe the testbed into Table-I parameters")
+    _add_testbed_args(p)
+    p.add_argument("--request-hint", help="probe near this request size (e.g. 512K)")
+    p.set_defaults(fn=cmd_calibrate)
+
+    p = sub.add_parser("plan", help="Analysis Phase: trace CSV -> RST")
+    _add_testbed_args(p)
+    p.add_argument("--trace", required=True, help="IOSIG trace CSV path")
+    p.add_argument("--step", help="Algorithm 2 grid step (default: adaptive)")
+    p.add_argument("--output", help="write the RST JSON here")
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("run-ior", help="simulate IOR under one layout")
+    _add_testbed_args(p)
+    p.add_argument("--op", choices=("read", "write"), default="write")
+    p.add_argument("--processes", type=int, default=16)
+    p.add_argument("--request-size", default="512K")
+    p.add_argument("--file-size", default="32M")
+    p.add_argument("--segments", type=int, default=1, help="IOR segmentCount (interleaved blocks)")
+    p.add_argument("--queue-depth", type=int, default=1, help="outstanding requests per rank")
+    p.add_argument("--sequential", action="store_true", help="in-order offsets (default: random)")
+    p.add_argument(
+        "--layout",
+        default="harl",
+        help="'harl', a fixed stripe size ('64K'), or 'rand<seed>'",
+    )
+    p.set_defaults(fn=cmd_run_ior)
+
+    p = sub.add_parser("analyze", help="summarize an IOSIG trace CSV")
+    p.add_argument("--trace", required=True, help="trace CSV path")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("replay", help="replay a trace CSV under a layout")
+    _add_testbed_args(p)
+    p.add_argument("--trace", required=True, help="trace CSV path")
+    p.add_argument("--layout", default="harl", help="'harl' or a fixed stripe size")
+    p.add_argument(
+        "--think-time", action="store_true", help="preserve recorded inter-arrival gaps"
+    )
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("run-figure", help="regenerate one paper figure")
+    p.add_argument("figure", help="figure name (see list-figures)")
+    p.add_argument("--output", help="also write the table to this file")
+    p.set_defaults(fn=cmd_run_figure)
+
+    p = sub.add_parser(
+        "run-all", help="regenerate every figure into one reproduction report"
+    )
+    p.add_argument("--output", help="write the markdown report here (default: stdout)")
+    p.add_argument(
+        "figures", nargs="*", help="optional subset of figure names (default: all)"
+    )
+    p.set_defaults(fn=cmd_run_all)
+
+    p = sub.add_parser("list-figures", help="list reproducible figures")
+    p.set_defaults(fn=cmd_list_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

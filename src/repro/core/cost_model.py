@@ -1,0 +1,215 @@
+"""The analytical access cost model (paper Sec. III-D, Eq. 1–8).
+
+Cost of one file request ``(op, o, r)`` striped with (h, s) over M HServers
+and N SServers::
+
+    T = T_X + T_S + T_T
+
+- ``T_X = max(s_m, s_n) · t``                        (Eq. 1, network)
+- ``T_S = max(T_h^S, T_s^S)`` where each class contributes the expected
+  maximum of its per-server uniform startup draws (Eq. 3–5)::
+
+      T_h^S = α_min + m/(m+1) · (α_max − α_min)      if m > 0, else 0
+
+- ``T_T = max(s_m · β_h, s_n · β_s)``                (Eq. 6, storage)
+
+with (s_m, s_n, m, n) the critical parameters of the request's sub-request
+distribution. Writes use the SServer write parameter set (Eq. 8).
+
+The paper derives (s_m, s_n, m, n) by the Figure 5 case analysis; we compute
+them exactly from the striping math (:mod:`repro.pfs.mapping`), which agrees
+with Fig. 5 where Fig. 5 is exact and corrects its under-count in the
+multi-round, multi-column cases (servers between the beginning and ending
+columns receive Δr+1 stripes, not Δr). The ablation bench
+``benchmarks/test_ablation_cost_model.py`` quantifies the difference.
+
+Three entry points:
+
+- :func:`request_cost` — scalar, one request.
+- :func:`request_cost_breakdown` — scalar with the (T_X, T_S, T_T) split.
+- :func:`total_cost_vectorized` — summed cost of a request batch for a
+  whole vector of candidate ``s`` values at fixed ``h``; this is Algorithm
+  2's inner loop and is fully vectorized over (candidates × requests ×
+  servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import CostModelParameters
+from repro.devices.base import OpType
+from repro.pfs.mapping import StripingConfig, critical_params
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The three additive cost phases of one request."""
+
+    network: float
+    startup: float
+    transfer: float
+
+    @property
+    def total(self) -> float:
+        return self.network + self.startup + self.transfer
+
+
+def _expected_max_startup(lo: float, hi: float, count: int) -> float:
+    """Eq. (3)/(4): expected max of ``count`` Uniform(lo, hi) draws."""
+    if count <= 0:
+        return 0.0
+    return lo + (count / (count + 1)) * (hi - lo)
+
+
+def request_cost_breakdown(
+    params: CostModelParameters,
+    op: OpType | str,
+    offset: int,
+    size: int,
+    hstripe: int,
+    sstripe: int,
+) -> CostBreakdown:
+    """Cost phases of one request under stripe pair (hstripe, sstripe)."""
+    op = OpType.parse(op)
+    if size <= 0:
+        return CostBreakdown(0.0, 0.0, 0.0)
+    config = StripingConfig(
+        n_hservers=params.n_hservers,
+        n_sservers=params.n_sservers,
+        hstripe=hstripe,
+        sstripe=sstripe,
+    )
+    crit = critical_params(config, offset, size)
+    t = params.unit_network_time
+    network = max(crit.s_m, crit.s_n) * t
+
+    h_lo, h_hi = params.hserver.alpha_bounds(op)
+    s_lo, s_hi = params.sserver.alpha_bounds(op)
+    startup = max(
+        _expected_max_startup(h_lo, h_hi, crit.m),
+        _expected_max_startup(s_lo, s_hi, crit.n),
+    )
+    transfer = max(
+        crit.s_m * params.hserver.beta(op),
+        crit.s_n * params.sserver.beta(op),
+    )
+    return CostBreakdown(network=network, startup=startup, transfer=transfer)
+
+
+def request_cost(
+    params: CostModelParameters,
+    op: OpType | str,
+    offset: int,
+    size: int,
+    hstripe: int,
+    sstripe: int,
+) -> float:
+    """Eq. (7)/(8): total cost of one request."""
+    return request_cost_breakdown(params, op, offset, size, hstripe, sstripe).total
+
+
+def total_cost_vectorized(
+    params: CostModelParameters,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    is_read: np.ndarray,
+    hstripe: int,
+    s_candidates: np.ndarray,
+) -> np.ndarray:
+    """Summed request-batch cost for every candidate ``s`` at fixed ``h``.
+
+    Args:
+        params: cost model parameters.
+        offsets, sizes: int64 arrays, one entry per request.
+        is_read: boolean array; False entries are writes.
+        hstripe: the HServer stripe h under evaluation (bytes, may be 0).
+        s_candidates: int64 array of SServer stripes s to evaluate; every
+            entry must satisfy ``M·h + N·s > 0``.
+
+    Returns:
+        float64 array of shape ``(len(s_candidates),)`` — the region cost
+        (sum over requests) for each (h, s) pair. Algorithm 2 minimizes this
+        over the whole grid.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    is_read = np.asarray(is_read, dtype=bool)
+    s_candidates = np.asarray(s_candidates, dtype=np.int64)
+    if not (offsets.shape == sizes.shape == is_read.shape):
+        raise ValueError("offsets, sizes, is_read must share a shape")
+    if offsets.ndim != 1:
+        raise ValueError("request arrays must be 1-D")
+    M, N = params.n_hservers, params.n_sservers
+    h = int(hstripe)
+    if h < 0 or np.any(s_candidates < 0):
+        raise ValueError("stripe sizes must be >= 0")
+    S = M * h + N * s_candidates  # (n_cand,)
+    if np.any(S <= 0):
+        raise ValueError("every candidate must satisfy M*h + N*s > 0")
+
+    n_cand = s_candidates.shape[0]
+    k = offsets.shape[0]
+    if k == 0:
+        return np.zeros(n_cand, dtype=np.float64)
+
+    ends = offsets + sizes  # (k,)
+    S3 = S[:, None, None]  # (n_cand, 1, 1)
+
+    # In-round windows: HServers at i*h (width h), SServers at M*h + j*s
+    # (width s, s varies per candidate).
+    h_starts = (np.arange(M, dtype=np.int64) * h)[None, None, :] if M else None
+    if N:
+        j = np.arange(N, dtype=np.int64)[None, None, :]
+        s_starts = M * h + j * s_candidates[:, None, None]  # (n_cand, 1, N)
+
+    def bytes_below(x: np.ndarray, starts: np.ndarray, width: np.ndarray) -> np.ndarray:
+        # F(x) = floor(x/S)*w + clip(x%S - a, 0, w), broadcast over
+        # (n_cand, k, n_class_servers).
+        x3 = x[None, :, None]
+        full, rem = np.divmod(x3, S3)
+        return full * width + np.clip(rem - starts, 0, width)
+
+    if M and h > 0:
+        h_bytes = bytes_below(ends, h_starts, h) - bytes_below(offsets, h_starts, h)
+        s_m = h_bytes.max(axis=2)  # (n_cand, k)
+        m = (h_bytes > 0).sum(axis=2)
+    else:
+        s_m = np.zeros((n_cand, k), dtype=np.int64)
+        m = np.zeros((n_cand, k), dtype=np.int64)
+    if N:
+        width = s_candidates[:, None, None]
+        s_bytes = bytes_below(ends, s_starts, width) - bytes_below(offsets, s_starts, width)
+        s_n = s_bytes.max(axis=2)
+        n = (s_bytes > 0).sum(axis=2)
+    else:
+        s_n = np.zeros((n_cand, k), dtype=np.int64)
+        n = np.zeros((n_cand, k), dtype=np.int64)
+
+    t = params.unit_network_time
+    network = np.maximum(s_m, s_n) * t
+
+    def startup_term(lo: float, hi: float, count: np.ndarray) -> np.ndarray:
+        c = count.astype(np.float64)
+        return np.where(count > 0, lo + (c / (c + 1.0)) * (hi - lo), 0.0)
+
+    total = np.zeros(n_cand, dtype=np.float64)
+    for reading in (True, False):
+        mask = is_read if reading else ~is_read
+        if not mask.any():
+            continue
+        op = OpType.READ if reading else OpType.WRITE
+        h_lo, h_hi = params.hserver.alpha_bounds(op)
+        s_lo, s_hi = params.sserver.alpha_bounds(op)
+        startup = np.maximum(
+            startup_term(h_lo, h_hi, m[:, mask]),
+            startup_term(s_lo, s_hi, n[:, mask]),
+        )
+        transfer = np.maximum(
+            s_m[:, mask] * params.hserver.beta(op),
+            s_n[:, mask] * params.sserver.beta(op),
+        )
+        total += (network[:, mask] + startup + transfer).sum(axis=1)
+    return total

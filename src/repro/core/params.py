@@ -1,0 +1,52 @@
+"""Table I: the cost model's parameter bundle.
+
+Groups the paper's four parameter families — I/O pattern parameters travel
+with each request; this bundle holds the rest:
+
+- architecture: M HServers, N SServers;
+- network: unit transfer time ``t`` (seconds/byte);
+- storage: a :class:`DeviceProfile` per server class, carrying
+  (α_min, α_max, β) for reads and writes. HServer profiles are typically
+  read/write-symmetric; SServer profiles are not (β_sw > β_sr).
+
+In the experiment pipeline these parameters come out of
+:func:`repro.experiments.calibrate.calibrate_server` probing, exactly as the
+paper measures them on one server of each class (Sec. III-G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.devices.profiles import DeviceProfile
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CostModelParameters:
+    """Everything the access cost model needs besides the request itself."""
+
+    n_hservers: int
+    n_sservers: int
+    unit_network_time: float
+    hserver: DeviceProfile
+    sserver: DeviceProfile
+
+    def __post_init__(self):
+        if self.n_hservers < 0 or self.n_sservers < 0:
+            raise ValueError("server counts must be >= 0")
+        if self.n_hservers + self.n_sservers == 0:
+            raise ValueError("need at least one server")
+        check_positive("unit_network_time", self.unit_network_time)
+
+    def with_servers(self, n_hservers: int, n_sservers: int) -> "CostModelParameters":
+        """Same performance profiles, different server counts (Fig. 10 sweeps)."""
+        return replace(self, n_hservers=n_hservers, n_sservers=n_sservers)
+
+    def describe(self) -> str:
+        """One-line summary for experiment logs."""
+        return (
+            f"{self.n_hservers}H+{self.n_sservers}S, t={self.unit_network_time:.3g}s/B, "
+            f"H(β={self.hserver.beta_read:.3g}/{self.hserver.beta_write:.3g}), "
+            f"S(β={self.sserver.beta_read:.3g}/{self.sserver.beta_write:.3g})"
+        )

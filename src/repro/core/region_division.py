@@ -1,0 +1,237 @@
+"""Algorithm 1: variable-size file region division.
+
+The trace's requests, sorted by offset, are scanned once. A running
+coefficient of variation (CV = std / mean of request sizes since the region
+began) is maintained; when adding the next request moves the CV by more than
+``threshold`` (relative change, the paper's 100% default), the region is
+closed *including* the triggering request and a new region begins. The
+result is a list of regions, each with its byte range, average request size,
+and the slice of trace requests it serves — Algorithm 2's input.
+
+Deviations from the listing, documented in DESIGN.md:
+
+- The listing divides by ``cv_prev``, which is 0 at region start and after
+  any uniform run — a literal reading makes every 0 → positive transition an
+  infinite relative change, splitting on the first size wobble *at any
+  threshold*, which defeats the paper's threshold-raising guard. We measure
+  relative change against ``max(cv_prev, cv_floor)`` (default floor 0.05):
+  a genuine phase change (CV jumping from ~0 to ~0.3+) still far exceeds
+  the 100% threshold, while the guard can now actually loosen sensitivity.
+- ``min_requests`` (default 2) keeps a region from closing before it has a
+  minimum sample count; ``min_requests=1`` restores the listing's behaviour.
+- The listing never flushes the final region; we do.
+
+:func:`divide_regions_bounded` wraps the scan with the paper's metadata
+guard (Sec. III-C): if more regions emerge than a fixed-size division (the
+segment-level scheme's ``file_extent / region_chunk``) would produce, the
+threshold is raised geometrically until the count fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Region:
+    """One file region and the trace slice that hits it.
+
+    ``offset`` is the region's first byte; ``end`` is exclusive (None for
+    the last region — it extends to EOF). ``first_request``/``last_request``
+    index the offset-sorted trace arrays (``last_request`` exclusive).
+    """
+
+    region_id: int
+    offset: int
+    end: int | None
+    avg_request_size: float
+    first_request: int
+    last_request: int
+
+    @property
+    def n_requests(self) -> int:
+        return self.last_request - self.first_request
+
+
+def _finalize(regions_raw: list[tuple[int, float, int, int]], offsets: np.ndarray) -> list[Region]:
+    """Attach exclusive end offsets (= next region's start) and ids."""
+    regions: list[Region] = []
+    for idx, (start_offset, avg, first, last) in enumerate(regions_raw):
+        if idx + 1 < len(regions_raw):
+            end: int | None = regions_raw[idx + 1][0]
+        else:
+            end = None
+        regions.append(
+            Region(
+                region_id=idx,
+                offset=start_offset,
+                end=end,
+                avg_request_size=avg,
+                first_request=first,
+                last_request=last,
+            )
+        )
+    return regions
+
+
+def divide_regions(
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    threshold: float = 1.0,
+    min_requests: int = 2,
+    cv_floor: float = 0.05,
+) -> list[Region]:
+    """Run Algorithm 1 over an offset-sorted request stream.
+
+    Args:
+        offsets, sizes: request byte offsets and sizes, sorted by offset
+            (the trace collector's output order).
+        threshold: relative CV-change split threshold; the paper's 100%
+            default is ``1.0``.
+        min_requests: minimum requests a region must hold before a split may
+            trigger (1 = the paper's literal listing).
+        cv_floor: denominator floor for the relative CV change, so that the
+            0 → positive transition is a large-but-finite change the
+            threshold guard can still override (see module docstring).
+
+    Returns:
+        Regions covering the accessed address space in offset order. The
+        first region starts at offset 0 (file origin), per the paper.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if offsets.shape != sizes.shape or offsets.ndim != 1:
+        raise ValueError("offsets and sizes must be equal-length 1-D arrays")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    if min_requests < 1:
+        raise ValueError(f"min_requests must be >= 1, got {min_requests}")
+    if cv_floor <= 0:
+        raise ValueError(f"cv_floor must be > 0, got {cv_floor}")
+    n = offsets.shape[0]
+    if n == 0:
+        return []
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("requests must be sorted by offset (trace collector order)")
+    if np.any(sizes <= 0):
+        raise ValueError("request sizes must be > 0")
+
+    regions_raw: list[tuple[int, float, int, int]] = []
+    reg_init = 0
+    total = 0.0
+    total_sq = 0.0
+    cv_prev = 0.0
+    region_start_offset = 0  # First region begins at the file origin.
+
+    for i in range(n):
+        r = float(sizes[i])
+        total += r
+        total_sq += r * r
+        count = i - reg_init + 1
+        avg = total / count
+        variance = max(0.0, total_sq / count - avg * avg)
+        cv_new = math.sqrt(variance) / avg if avg > 0 else 0.0
+
+        rel_change = abs(cv_new - cv_prev) / max(cv_prev, cv_floor)
+
+        if rel_change < threshold or count < min_requests:
+            cv_prev = cv_new
+        else:
+            # Close the region INCLUDING request i (the paper's lines 11-18).
+            regions_raw.append((region_start_offset, avg, reg_init, i + 1))
+            reg_init = i + 1
+            total = 0.0
+            total_sq = 0.0
+            cv_prev = 0.0
+            if i + 1 < n:
+                region_start_offset = int(offsets[i + 1])
+
+    if reg_init < n:
+        count = n - reg_init
+        avg = total / count
+        regions_raw.append((region_start_offset, avg, reg_init, n))
+
+    return _finalize(regions_raw, offsets)
+
+
+def divide_regions_bounded(
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    file_extent: int | None = None,
+    region_chunk: int = 64 * 1024 * 1024,
+    initial_threshold: float = 1.0,
+    growth: float = 1.5,
+    max_rounds: int = 32,
+    min_requests: int = 2,
+    cv_floor: float = 0.05,
+) -> tuple[list[Region], float]:
+    """Algorithm 1 plus the paper's region-count guard.
+
+    The region count must not exceed what a fixed-size division into
+    ``region_chunk`` pieces would produce (the segment-level scheme's
+    count); otherwise the threshold is multiplied by ``growth`` and the scan
+    repeats, loosening the CV sensitivity (Sec. III-C).
+
+    Returns:
+        ``(regions, threshold_used)``.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if region_chunk <= 0:
+        raise ValueError(f"region_chunk must be > 0, got {region_chunk}")
+    if growth <= 1.0:
+        raise ValueError(f"growth must be > 1, got {growth}")
+    if offsets.shape[0] == 0:
+        return [], initial_threshold
+    if file_extent is None:
+        file_extent = int((offsets + sizes).max())
+    max_regions = max(1, math.ceil(file_extent / region_chunk))
+
+    threshold = initial_threshold
+    regions = divide_regions(
+        offsets, sizes, threshold=threshold, min_requests=min_requests, cv_floor=cv_floor
+    )
+    rounds = 0
+    while len(regions) > max_regions and rounds < max_rounds:
+        threshold *= growth
+        regions = divide_regions(
+            offsets, sizes, threshold=threshold, min_requests=min_requests, cv_floor=cv_floor
+        )
+        rounds += 1
+    if len(regions) > max_regions:
+        # Threshold tuning saturated (pathological alternating workloads):
+        # fall back to the fixed-size division the paper compares against.
+        regions = fixed_size_division(offsets, sizes, region_chunk)
+    return regions, threshold
+
+
+def fixed_size_division(
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    region_chunk: int,
+) -> list[Region]:
+    """The segment-level scheme's fixed-chunk division (comparison baseline).
+
+    Splits the address space into ``region_chunk``-sized pieces and groups
+    the offset-sorted requests by the chunk containing their start offset.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if region_chunk <= 0:
+        raise ValueError(f"region_chunk must be > 0, got {region_chunk}")
+    n = offsets.shape[0]
+    if n == 0:
+        return []
+    chunk_ids = offsets // region_chunk
+    regions_raw: list[tuple[int, float, int, int]] = []
+    first = 0
+    for i in range(1, n + 1):
+        if i == n or chunk_ids[i] != chunk_ids[first]:
+            avg = float(sizes[first:i].mean())
+            start = int(chunk_ids[first]) * region_chunk if regions_raw else 0
+            regions_raw.append((start, avg, first, i))
+            first = i
+    return _finalize(regions_raw, offsets)

@@ -1,0 +1,87 @@
+"""Space-aware stripe constraints (the paper's Discussion, Sec. IV-D).
+
+HARL deliberately over-allocates SServers ("HARL would potentially lead to
+more storage space consumption on SServers"); the paper's remedies are data
+migration or selective placement. This module implements the preventive
+variant the paper's own PSA citation suggests: a capacity constraint folded
+into Algorithm 2's search, so a region's stripe pair is chosen from the
+cost-minimal *feasible* pairs.
+
+Under round-robin striping a region of ``E`` bytes stores
+``E · stripe_i / S`` bytes **per server** of class ``i`` (S the round
+size). :class:`SpaceConstraint` turns per-class remaining capacities into a
+feasibility predicate over (h, s) candidates that
+:func:`repro.core.stripe_determination.determine_stripes` applies as a mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpaceConstraint:
+    """Per-server remaining capacity per class, for one region placement.
+
+    Attributes:
+        class_counts: servers per class (M, N) or the K-class tuple.
+        per_server_budgets: bytes each server of the class may still absorb.
+        region_extent: bytes of the region being placed.
+    """
+
+    class_counts: tuple[int, ...]
+    per_server_budgets: tuple[int, ...]
+    region_extent: int
+
+    def __post_init__(self):
+        if len(self.class_counts) != len(self.per_server_budgets):
+            raise ValueError("class_counts and per_server_budgets must align")
+        if any(c < 0 for c in self.class_counts):
+            raise ValueError("class counts must be >= 0")
+        if any(b < 0 for b in self.per_server_budgets):
+            raise ValueError("budgets must be >= 0")
+        if self.region_extent < 0:
+            raise ValueError("region_extent must be >= 0")
+
+    def footprint_per_server(self, stripes: tuple[int, ...]) -> tuple[float, ...]:
+        """Bytes stored on each server of each class under ``stripes``."""
+        if len(stripes) != len(self.class_counts):
+            raise ValueError("stripe vector length mismatch")
+        round_size = sum(c * s for c, s in zip(self.class_counts, stripes))
+        if round_size <= 0:
+            raise ValueError("stripe vector distributes no data")
+        return tuple(
+            self.region_extent * stripe / round_size for stripe in stripes
+        )
+
+    def feasible(self, stripes: tuple[int, ...]) -> bool:
+        """True if no server's budget is exceeded."""
+        return all(
+            footprint <= budget + 1e-9
+            for footprint, budget in zip(
+                self.footprint_per_server(stripes), self.per_server_budgets
+            )
+        )
+
+    def mask(self, hstripe: int, s_candidates: np.ndarray) -> np.ndarray:
+        """Vectorized feasibility over Algorithm 2's inner (s) scan.
+
+        Only meaningful for the two-class search; multi-class searches use
+        :meth:`feasible` per candidate vector.
+        """
+        if len(self.class_counts) != 2:
+            raise ValueError("mask() is for two-class constraints")
+        M, N = self.class_counts
+        s = np.asarray(s_candidates, dtype=np.int64)
+        S = M * hstripe + N * s
+        ok = S > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            h_footprint = np.where(ok, self.region_extent * hstripe / S, np.inf)
+            s_footprint = np.where(ok, self.region_extent * s / S, np.inf)
+        return (
+            ok
+            & (h_footprint <= self.per_server_budgets[0] + 1e-9)
+            & (s_footprint <= self.per_server_budgets[1] + 1e-9)
+        )

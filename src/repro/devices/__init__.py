@@ -1,0 +1,23 @@
+"""Parametric storage device models (the paper's HServer/SServer media).
+
+The paper's testbed uses 250 GB SATA HDDs and PCIe X4 100 GB SSDs. We model
+both as stochastic service-time processes:
+
+- :class:`HDDModel` — large, variable startup (seek + rotational latency),
+  linear transfer; optional positional head model where seek time depends on
+  the distance from the previous request.
+- :class:`SSDModel` — tiny startup, asymmetric read/write transfer rates,
+  periodic garbage-collection stalls on writes, and internal channel
+  parallelism that mildly favors large requests.
+
+:class:`DeviceProfile` captures the *nominal* Table-I parameters of a device
+(α_min, α_max, β per op) — what the paper's analysis phase estimates by
+probing — and is the currency between device land and the HARL cost model.
+"""
+
+from repro.devices.base import OpType, StorageDevice
+from repro.devices.hdd import HDDModel
+from repro.devices.profiles import DeviceProfile
+from repro.devices.ssd import SSDModel
+
+__all__ = ["DeviceProfile", "HDDModel", "OpType", "SSDModel", "StorageDevice"]

@@ -1,0 +1,75 @@
+"""Storage device interface shared by the HDD and SSD models."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+
+class OpType(enum.Enum):
+    """File operation type; SSDs serve the two asymmetrically."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @classmethod
+    def parse(cls, value: "OpType | str") -> "OpType":
+        """Accept ``OpType`` or the strings ``"read"``/``"write"`` (any case)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except (AttributeError, ValueError):
+            raise ValueError(f"invalid operation type: {value!r}") from None
+
+
+class StorageDevice(ABC):
+    """A device that turns (op, offset, size) into a service time in seconds.
+
+    Devices are *stateful*: HDD head position and SSD garbage-collection debt
+    evolve as requests are served, so ``service_time`` must be called once
+    per served request, in service order. Devices are seeded individually so
+    per-server startup latencies are independent streams.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None, name: str = "device"):
+        self.name = name
+        self.rng = derive_rng(seed, "device", name)
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.requests_served = 0
+
+    @abstractmethod
+    def startup_time(self, op: OpType, offset: int, size: int) -> float:
+        """Sampled pre-transfer latency (seek/rotation for HDD, FTL for SSD)."""
+
+    @abstractmethod
+    def transfer_time(self, op: OpType, size: int) -> float:
+        """Medium transfer time for ``size`` bytes."""
+
+    def service_time(self, op: OpType | str, offset: int, size: int) -> float:
+        """Total service time for one contiguous request; updates device state."""
+        op = OpType.parse(op)
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if size == 0:
+            return 0.0
+        total = self.startup_time(op, offset, size) + self.transfer_time(op, size)
+        if op is OpType.READ:
+            self.bytes_read += size
+        else:
+            self.bytes_written += size
+        self.requests_served += 1
+        return total
+
+    def reset_counters(self) -> None:
+        """Zero the served-traffic counters (state like head position persists)."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.requests_served = 0

@@ -1,0 +1,112 @@
+"""Device performance profiles — the Table-I storage parameters.
+
+A :class:`DeviceProfile` holds what the paper's *Analysis Phase* learns about
+one server class by probing: startup-time bounds and per-byte transfer time,
+separately for reads and writes. HServers use one symmetric set
+(α_h^min, α_h^max, β_h); SServers use distinct read/write sets
+(α_sr*/β_sr, α_sw*/β_sw).
+
+Profiles can be constructed three ways:
+
+- directly from numbers,
+- from a device model's *nominal* parameters (:meth:`from_hdd` /
+  :meth:`from_ssd`) — useful in unit tests,
+- measured by probing a live simulated server
+  (:func:`repro.experiments.calibrate.calibrate_server`), which is how the
+  experiment pipeline does it, mirroring Sec. III-G.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import OpType
+from repro.devices.hdd import HDDModel
+from repro.devices.ssd import SSDModel
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Startup/transfer parameters for one server class.
+
+    Attributes:
+        read_alpha_min / read_alpha_max: read startup bounds, seconds.
+        write_alpha_min / write_alpha_max: write startup bounds, seconds.
+        beta_read / beta_write: per-byte transfer times, seconds/byte.
+        label: human-readable tag used in experiment tables.
+    """
+
+    read_alpha_min: float
+    read_alpha_max: float
+    write_alpha_min: float
+    write_alpha_max: float
+    beta_read: float
+    beta_write: float
+    label: str = "profile"
+
+    def __post_init__(self):
+        for name in ("read_alpha_min", "read_alpha_max", "write_alpha_min", "write_alpha_max"):
+            check_non_negative(name, getattr(self, name))
+        if self.read_alpha_max < self.read_alpha_min:
+            raise ValueError("read_alpha_max < read_alpha_min")
+        if self.write_alpha_max < self.write_alpha_min:
+            raise ValueError("write_alpha_max < write_alpha_min")
+        check_positive("beta_read", self.beta_read)
+        check_positive("beta_write", self.beta_write)
+
+    def alpha_bounds(self, op: OpType | str) -> tuple[float, float]:
+        """(α_min, α_max) for the given operation type."""
+        op = OpType.parse(op)
+        if op is OpType.READ:
+            return (self.read_alpha_min, self.read_alpha_max)
+        return (self.write_alpha_min, self.write_alpha_max)
+
+    def beta(self, op: OpType | str) -> float:
+        """Per-byte transfer time for the given operation type."""
+        op = OpType.parse(op)
+        return self.beta_read if op is OpType.READ else self.beta_write
+
+    def expected_startup(self, op: OpType | str, n_servers: int) -> float:
+        """Expected max startup over ``n_servers`` i.i.d. uniform draws.
+
+        This is Eq. (3)/(4) of the paper:
+        ``α_min + n/(n+1) · (α_max − α_min)``. Returns 0 for ``n_servers``
+        == 0 (that class receives no sub-request).
+        """
+        if n_servers < 0:
+            raise ValueError(f"n_servers must be >= 0, got {n_servers}")
+        if n_servers == 0:
+            return 0.0
+        lo, hi = self.alpha_bounds(op)
+        return lo + (n_servers / (n_servers + 1)) * (hi - lo)
+
+    @classmethod
+    def from_hdd(cls, hdd: HDDModel, label: str | None = None) -> "DeviceProfile":
+        """Nominal profile of an :class:`HDDModel` (symmetric read/write)."""
+        return cls(
+            read_alpha_min=hdd.alpha_min,
+            read_alpha_max=hdd.alpha_max,
+            write_alpha_min=hdd.alpha_min,
+            write_alpha_max=hdd.alpha_max,
+            beta_read=hdd.beta,
+            beta_write=hdd.beta,
+            label=label or f"hdd:{hdd.name}",
+        )
+
+    @classmethod
+    def from_ssd(cls, ssd: SSDModel, label: str | None = None) -> "DeviceProfile":
+        """Nominal profile of an :class:`SSDModel`.
+
+        Uses the full-channel-width betas; calibration by probing captures the
+        effective (GC- and channel-inclusive) values instead.
+        """
+        return cls(
+            read_alpha_min=ssd.read_alpha_min,
+            read_alpha_max=ssd.read_alpha_max,
+            write_alpha_min=ssd.write_alpha_min,
+            write_alpha_max=ssd.write_alpha_max,
+            beta_read=ssd.beta_read,
+            beta_write=ssd.beta_write,
+            label=label or f"ssd:{ssd.name}",
+        )

@@ -1,0 +1,29 @@
+"""Experiment pipeline: calibration, run harness, and per-figure entry points.
+
+- :mod:`repro.experiments.calibrate` — estimates the Table-I parameters by
+  probing simulated servers, the way Sec. III-G measures them on real ones.
+- :mod:`repro.experiments.harness` — builds testbeds, runs workloads under
+  layouts, and measures aggregate throughput and per-server busy time.
+- :mod:`repro.experiments.figures` — one function per paper figure
+  (fig1a … fig12), each returning a structured result with a printable
+  table; the ``benchmarks/`` suite drives these.
+"""
+
+from repro.experiments.calibrate import calibrate_device, calibrate_parameters
+from repro.experiments.harness import (
+    RunResult,
+    Testbed,
+    compare_layouts,
+    harl_plan,
+    run_workload,
+)
+
+__all__ = [
+    "RunResult",
+    "Testbed",
+    "calibrate_device",
+    "calibrate_parameters",
+    "compare_layouts",
+    "harl_plan",
+    "run_workload",
+]

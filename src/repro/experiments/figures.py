@@ -1,0 +1,454 @@
+"""One entry point per paper figure (Sec. IV evaluation).
+
+Every function builds the paper's testbed (6 HServers + 2 SServers unless
+the figure varies it), runs the figure's workload sweep under the compared
+layouts, and returns a structured result with a ``render()`` table matching
+the figure's series. File sizes are scaled down from the paper's 16 GB to
+keep simulated event counts tractable; the scaling never changes who wins
+because all quantities (queue depths, per-request service times) are
+intensive. EXPERIMENTS.md records paper-vs-measured numbers.
+
+Layout name conventions follow the figure legends: ``"64K"`` is a
+fixed-size stripe of 64 KB on every server (the OrangeFS default),
+``"rand#i"`` a randomly chosen stripe pair, ``"HARL"`` the planned
+region-level layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rst import RegionStripeTable
+from repro.devices.base import OpType
+from repro.experiments.harness import (
+    ComparisonTable,
+    RunResult,
+    Testbed,
+    compare_layouts,
+    harl_plan,
+    run_workload,
+)
+from repro.pfs.layout import FixedLayout, LayoutPolicy, RandomLayout
+from repro.util.units import KiB, MiB, format_size
+from repro.workloads.btio import BTIOConfig, BTIOWorkload
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.synthetic import RegionSpec, SyntheticRegionWorkload
+
+#: The fixed stripe sizes every comparison sweeps (Fig. 7's x-axis).
+FIXED_STRIPES: tuple[int, ...] = (16 * KiB, 64 * KiB, 256 * KiB, 1024 * KiB)
+
+#: The default (OrangeFS) stripe the paper normalizes improvements against.
+DEFAULT_STRIPE: int = 64 * KiB
+
+
+def default_testbed(n_hservers: int = 6, n_sservers: int = 2, seed: int = 0) -> Testbed:
+    """The paper's default cluster: six HServers, two SServers."""
+    return Testbed(n_hservers=n_hservers, n_sservers=n_sservers, seed=seed)
+
+
+def fixed_layouts(
+    testbed: Testbed, stripes: tuple[int, ...] = FIXED_STRIPES
+) -> dict[str, LayoutPolicy]:
+    """The fixed-size stripe baselines, keyed by figure-legend name."""
+    return {
+        format_size(stripe): FixedLayout(testbed.n_hservers, testbed.n_sservers, stripe)
+        for stripe in stripes
+    }
+
+
+def random_layouts(testbed: Testbed, seeds: tuple[int, ...] = (1, 2)) -> dict[str, LayoutPolicy]:
+    """The randomly-chosen stripe baselines."""
+    return {
+        f"rand#{seed}": RandomLayout(testbed.n_hservers, testbed.n_sservers, seed=seed)
+        for seed in seeds
+    }
+
+
+@dataclass
+class FigureResult:
+    """Generic figure output: one comparison table per series."""
+
+    figure: str
+    tables: list[ComparisonTable] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        blocks = [f"=== {self.figure} ==="]
+        blocks.extend(table.render() for table in self.tables)
+        blocks.extend(self.notes)
+        return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1(a): per-server I/O time under the default fixed layout
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig1aResult:
+    """Per-server busy time, normalized to the fastest server."""
+
+    busy: dict[str, float]
+    normalized: dict[str, float]
+    hserver_to_sserver_ratio: float
+
+    def render(self) -> str:
+        lines = ["=== Fig 1(a): per-server I/O time, 64K fixed stripes ==="]
+        lines.append(f"{'server':<12} {'busy(s)':>10} {'normalized':>11}")
+        for name, busy in self.busy.items():
+            lines.append(f"{name:<12} {busy:>10.4f} {self.normalized[name]:>10.2f}x")
+        lines.append(f"mean HServer/SServer busy-time ratio: {self.hserver_to_sserver_ratio:.2f}x")
+        return "\n".join(lines)
+
+
+def fig1a(
+    testbed: Testbed | None = None,
+    file_size: int = 32 * MiB,
+    n_processes: int = 16,
+    request_size: int = 512 * KiB,
+) -> Fig1aResult:
+    """IOR, 512 KB requests, 16 processes, 64K default layout: server imbalance.
+
+    Runs a write pass and a read pass (the benchmark's natural order) and
+    aggregates disk busy time per server. The paper observes HServers at
+    roughly 350% of SServer time.
+    """
+    testbed = testbed or default_testbed()
+    layout = FixedLayout(testbed.n_hservers, testbed.n_sservers, DEFAULT_STRIPE)
+    busy: dict[str, float] = {}
+    for op in (OpType.WRITE, OpType.READ):
+        config = IORConfig(
+            n_processes=n_processes, request_size=request_size, file_size=file_size, op=op
+        )
+        result = run_workload(testbed, IORWorkload(config), layout, layout_name="64K")
+        for server, seconds in result.server_busy.items():
+            busy[server] = busy.get(server, 0.0) + seconds
+    floor = min(busy.values())
+    normalized = {name: value / floor for name, value in busy.items()}
+    h_busy = [v for k, v in busy.items() if k.startswith("hserver")]
+    s_busy = [v for k, v in busy.items() if k.startswith("sserver")]
+    ratio = (sum(h_busy) / len(h_busy)) / (sum(s_busy) / len(s_busy))
+    return Fig1aResult(busy=busy, normalized=normalized, hserver_to_sserver_ratio=ratio)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1(b): throughput vs (request size × fixed stripe size)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig1bResult:
+    """Throughput matrix: rows = request sizes, columns = stripe sizes."""
+
+    request_sizes: tuple[int, ...]
+    stripe_sizes: tuple[int, ...]
+    throughput_mib: dict[tuple[int, int], float]
+
+    def best_stripe_for(self, request_size: int) -> int:
+        """The stripe size maximizing throughput for one request size."""
+        return max(self.stripe_sizes, key=lambda st: self.throughput_mib[(request_size, st)])
+
+    def render(self) -> str:
+        header = "req\\stripe " + " ".join(f"{format_size(s):>8}" for s in self.stripe_sizes)
+        lines = ["=== Fig 1(b): IOR throughput (MiB/s), request size x fixed stripe ===", header]
+        for request in self.request_sizes:
+            row = " ".join(
+                f"{self.throughput_mib[(request, stripe)]:>8.1f}" for stripe in self.stripe_sizes
+            )
+            lines.append(f"{format_size(request):>10} {row}")
+        return "\n".join(lines)
+
+
+def fig1b(
+    testbed: Testbed | None = None,
+    request_sizes: tuple[int, ...] = (128 * KiB, 512 * KiB, 1024 * KiB, 2048 * KiB),
+    stripe_sizes: tuple[int, ...] = (16 * KiB, 64 * KiB, 256 * KiB, 1024 * KiB, 2048 * KiB),
+    requests_per_process: int = 8,
+    n_processes: int = 16,
+    op: OpType | str = OpType.WRITE,
+) -> Fig1bResult:
+    """The stripe/request-size interaction sweep motivating region layouts."""
+    testbed = testbed or default_testbed()
+    throughput: dict[tuple[int, int], float] = {}
+    for request in request_sizes:
+        config = IORConfig(
+            n_processes=n_processes,
+            request_size=request,
+            file_size=n_processes * requests_per_process * request,
+            op=op,
+        )
+        workload = IORWorkload(config)
+        for stripe in stripe_sizes:
+            layout = FixedLayout(testbed.n_hservers, testbed.n_sservers, stripe)
+            result = run_workload(testbed, workload, layout, layout_name=format_size(stripe))
+            throughput[(request, stripe)] = result.throughput_mib
+    return Fig1bResult(
+        request_sizes=tuple(request_sizes),
+        stripe_sizes=tuple(stripe_sizes),
+        throughput_mib=throughput,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: the Region Stripe Table artifact
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig6Result:
+    """A planned RST rendered in the paper's table format."""
+
+    rst: RegionStripeTable
+    merged: RegionStripeTable
+
+    def render(self) -> str:
+        parts = [
+            "=== Fig 6: Region Stripe Table (planned from a non-uniform trace) ===",
+            self.rst.describe_table(),
+        ]
+        if len(self.merged) != len(self.rst):
+            parts.append(
+                f"after adjacent-region merging: {len(self.rst)} -> {len(self.merged)} regions"
+            )
+        return "\n\n".join(parts)
+
+
+def fig6(testbed: Testbed | None = None) -> Fig6Result:
+    """Produce a real RST like the paper's Fig. 6 example.
+
+    Plans a three-phase non-uniform file (distinct request sizes per phase)
+    and returns the resulting table before and after merging.
+    """
+    from repro.core.planner import HARLPlanner
+
+    testbed = testbed or default_testbed()
+    workload = SyntheticRegionWorkload(
+        regions=[
+            RegionSpec(size=8 * MiB, request_size=64 * KiB),
+            RegionSpec(size=16 * MiB, request_size=1024 * KiB, coverage=0.5),
+            RegionSpec(size=8 * MiB, request_size=256 * KiB),
+        ],
+        n_processes=16,
+        op="write",
+    )
+    planner = HARLPlanner(
+        testbed.parameters(request_hint=512 * KiB), step=None, merge_regions=False
+    )
+    rst = planner.plan(workload.synthetic_trace())
+    return Fig6Result(rst=rst, merged=rst.merged())
+
+
+# ---------------------------------------------------------------------------
+# Figures 7-10: IOR layout comparisons (the core evaluation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IORComparisonResult(FigureResult):
+    """IOR sweep result plus the HARL stripe choices per series."""
+
+    harl_tables: dict[str, RegionStripeTable] = field(default_factory=dict)
+
+    def harl_choice(self, series: str) -> str:
+        rst = self.harl_tables[series]
+        return ", ".join(e.config.describe() for e in rst.entries)
+
+    def render(self) -> str:
+        base = super().render()
+        choices = [f"HARL[{k}]: {self.harl_choice(k)}" for k in self.harl_tables]
+        return base + "\n\n" + "\n".join(choices)
+
+
+def _ior_comparison(
+    figure: str,
+    testbed: Testbed,
+    configs: dict[str, IORConfig],
+    stripes: tuple[int, ...] = FIXED_STRIPES,
+    random_seeds: tuple[int, ...] = (1, 2),
+    harl_step: int | None = None,
+) -> IORComparisonResult:
+    """Shared engine for Figs. 7-10: per series, sweep fixed/random/HARL."""
+    result = IORComparisonResult(figure=figure)
+    for series, config in configs.items():
+        workload = IORWorkload(config)
+        layouts: dict[str, LayoutPolicy | RegionStripeTable] = {}
+        layouts.update(fixed_layouts(testbed, stripes))
+        layouts.update(random_layouts(testbed, random_seeds))
+        rst = harl_plan(testbed, workload, step=harl_step)
+        layouts["HARL"] = rst
+        result.harl_tables[series] = rst
+        result.tables.append(
+            compare_layouts(testbed, workload, layouts, title=f"{figure} [{series}]")
+        )
+    return result
+
+
+def fig7(
+    testbed: Testbed | None = None,
+    file_size: int = 32 * MiB,
+    n_processes: int = 16,
+    request_size: int = 512 * KiB,
+) -> IORComparisonResult:
+    """IOR read/write throughput across layouts (the headline comparison).
+
+    Paper: HARL's optima are {32K, 160K} for reads and {36K, 148K} for
+    writes; +73.4% read / +176.7% write over the 64K default.
+    """
+    testbed = testbed or default_testbed()
+    configs = {
+        op.value: IORConfig(
+            n_processes=n_processes, request_size=request_size, file_size=file_size, op=op
+        )
+        for op in (OpType.READ, OpType.WRITE)
+    }
+    return _ior_comparison("Fig 7: IOR layouts", testbed, configs)
+
+
+def fig8(
+    testbed: Testbed | None = None,
+    process_counts: tuple[int, ...] = (8, 32, 128, 256),
+    request_size: int = 512 * KiB,
+    requests_per_process: int = 8,
+    ops: tuple[OpType, ...] = (OpType.READ, OpType.WRITE),
+) -> IORComparisonResult:
+    """IOR throughput vs process count (scalability)."""
+    testbed = testbed or default_testbed()
+    configs = {}
+    for op in ops:
+        for n in process_counts:
+            configs[f"{op.value}/p{n}"] = IORConfig(
+                n_processes=n,
+                request_size=request_size,
+                file_size=n * requests_per_process * request_size,
+                op=op,
+            )
+    return _ior_comparison(
+        "Fig 8: process scaling", testbed, configs, stripes=(64 * KiB, 256 * KiB), random_seeds=(1,)
+    )
+
+
+def fig9(
+    testbed: Testbed | None = None,
+    request_sizes: tuple[int, ...] = (128 * KiB, 1024 * KiB),
+    n_processes: int = 16,
+    requests_per_process: int = 8,
+    ops: tuple[OpType, ...] = (OpType.READ, OpType.WRITE),
+) -> IORComparisonResult:
+    """IOR throughput vs request size.
+
+    Paper: at 128 KB the optimum is {0K, 64K} — SServers only; at 1024 KB
+    HARL uses both classes.
+    """
+    testbed = testbed or default_testbed()
+    configs = {}
+    for op in ops:
+        for request in request_sizes:
+            configs[f"{op.value}/{format_size(request)}"] = IORConfig(
+                n_processes=n_processes,
+                request_size=request,
+                file_size=n_processes * requests_per_process * request,
+                op=op,
+            )
+    return _ior_comparison("Fig 9: request sizes", testbed, configs)
+
+
+def fig10(
+    ratios: tuple[tuple[int, int], ...] = ((7, 1), (2, 6)),
+    file_size: int = 32 * MiB,
+    n_processes: int = 16,
+    request_size: int = 512 * KiB,
+    seed: int = 0,
+    ops: tuple[OpType, ...] = (OpType.READ, OpType.WRITE),
+) -> IORComparisonResult:
+    """IOR throughput vs HServer:SServer ratio.
+
+    Paper: gains grow with SServer share; with many SServers HARL places
+    files on SServers only.
+    """
+    result = IORComparisonResult(figure="Fig 10: server ratios")
+    for n_h, n_s in ratios:
+        testbed = default_testbed(n_hservers=n_h, n_sservers=n_s, seed=seed)
+        configs = {
+            f"{op.value}/{n_h}H:{n_s}S": IORConfig(
+                n_processes=n_processes, request_size=request_size, file_size=file_size, op=op
+            )
+            for op in ops
+        }
+        partial = _ior_comparison(result.figure, testbed, configs, random_seeds=(1,))
+        result.tables.extend(partial.tables)
+        result.harl_tables.update(partial.harl_tables)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: non-uniform four-region workload
+# ---------------------------------------------------------------------------
+
+
+def fig11(
+    testbed: Testbed | None = None,
+    scale: int = 16,
+    n_processes: int = 16,
+    ops: tuple[OpType, ...] = (OpType.READ, OpType.WRITE),
+    coverage: float = 0.5,
+) -> IORComparisonResult:
+    """Modified IOR over a four-region file (256M/1G/2G/4G in the paper).
+
+    ``scale`` divides the paper's region sizes; per-region request sizes
+    differ so no single stripe pair fits the whole file.
+    """
+    testbed = testbed or default_testbed()
+    region_sizes = (256 * MiB // scale, 1024 * MiB // scale, 2048 * MiB // scale, 4096 * MiB // scale)
+    request_sizes = (64 * KiB, 1024 * KiB, 256 * KiB, 512 * KiB)
+    result = IORComparisonResult(figure="Fig 11: non-uniform workload")
+    for op in ops:
+        workload = SyntheticRegionWorkload(
+            regions=[
+                RegionSpec(size=size, request_size=request, coverage=coverage)
+                for size, request in zip(region_sizes, request_sizes)
+            ],
+            n_processes=n_processes,
+            op=op,
+        )
+        layouts: dict[str, LayoutPolicy | RegionStripeTable] = {}
+        layouts.update(fixed_layouts(testbed))
+        layouts.update(random_layouts(testbed, (1,)))
+        rst = harl_plan(testbed, workload)
+        layouts["HARL"] = rst
+        result.harl_tables[op.value] = rst
+        result.tables.append(
+            compare_layouts(testbed, workload, layouts, title=f"{result.figure} [{op.value}]")
+        )
+        result.notes.append(f"HARL[{op.value}] regions:\n{rst.describe_table()}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: BTIO
+# ---------------------------------------------------------------------------
+
+
+def fig12(
+    process_counts: tuple[int, ...] = (4, 16, 64),
+    grid: int = 48,
+    timesteps: int = 20,
+    write_interval: int = 5,
+    testbed: Testbed | None = None,
+) -> IORComparisonResult:
+    """BTIO (class-A-shaped, scaled grid) under collective I/O across layouts."""
+    testbed = testbed or default_testbed()
+    result = IORComparisonResult(figure="Fig 12: BTIO")
+    for n in process_counts:
+        config = BTIOConfig(
+            n_processes=n, grid=grid, timesteps=timesteps, write_interval=write_interval
+        )
+        workload = BTIOWorkload(config)
+        layouts: dict[str, LayoutPolicy | RegionStripeTable] = {}
+        layouts.update(fixed_layouts(testbed))
+        rst = harl_plan(testbed, workload)
+        layouts["HARL"] = rst
+        result.harl_tables[f"p{n}"] = rst
+        result.tables.append(
+            compare_layouts(testbed, workload, layouts, title=f"{result.figure} [P={n}]")
+        )
+    return result

@@ -1,0 +1,143 @@
+"""Sensitivity sweeps: how HARL's advantage depends on the testbed.
+
+The figure benches run one calibrated testbed. A reviewer's natural
+question is how sensitive the conclusions are to those device choices;
+these sweeps answer it by scanning testbed parameters and re-running the
+headline comparison at each point:
+
+- :func:`sweep_device_gap` — scale the SServer:HServer bandwidth ratio from
+  1× (homogeneous cluster) upward. At 1× HARL has nothing to balance and
+  must degenerate to ≈ the best fixed stripe; the gain should grow with the
+  gap. This is the cross-testbed generalization of Fig. 10's ratio trend.
+- :func:`sweep_sserver_count` — Fig. 10's own axis, at finer grain.
+
+Each sweep returns a :class:`SweepResult` with per-point gains and a
+rendered table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import Testbed, harl_plan, run_workload
+from repro.pfs.layout import FixedLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+#: The healthy-HDD effective bandwidth the gap sweep scales from.
+BASE_HDD_BANDWIDTH = 45 * MiB
+
+
+@dataclass
+class SweepPoint:
+    """One testbed configuration's outcome."""
+
+    label: str
+    default_mib: float
+    harl_mib: float
+    harl_plan: str
+
+    @property
+    def gain(self) -> float:
+        """Fractional HARL gain over the 64K default."""
+        return self.harl_mib / self.default_mib - 1.0
+
+
+@dataclass
+class SweepResult:
+    """A sensitivity sweep's outcomes in scan order."""
+
+    title: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def gains(self) -> list[float]:
+        return [point.gain for point in self.points]
+
+    def render(self) -> str:
+        lines = [
+            f"=== {self.title} ===",
+            f"{'point':>10} {'64K MiB/s':>10} {'HARL MiB/s':>11} {'gain':>7}  plan",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.label:>10} {point.default_mib:>10.1f} {point.harl_mib:>11.1f} "
+                f"{100 * point.gain:>6.0f}%  {point.harl_plan}"
+            )
+        return "\n".join(lines)
+
+
+def _headline_workload(op: str = "write") -> IORWorkload:
+    return IORWorkload(
+        IORConfig(n_processes=16, request_size=512 * KiB, file_size=32 * MiB, op=op)
+    )
+
+
+def _measure(testbed: Testbed, label: str, op: str = "write") -> SweepPoint:
+    workload = _headline_workload(op)
+    rst = harl_plan(testbed, workload)
+    default = run_workload(
+        testbed, workload, FixedLayout(testbed.n_hservers, testbed.n_sservers, 64 * KiB)
+    )
+    harl = run_workload(testbed, workload, rst)
+    return SweepPoint(
+        label=label,
+        default_mib=default.throughput_mib,
+        harl_mib=harl.throughput_mib,
+        harl_plan=", ".join(e.config.describe() for e in rst.entries),
+    )
+
+
+def sweep_device_gap(
+    ratios: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0),
+    op: str = "write",
+    seed: int = 0,
+) -> SweepResult:
+    """HARL gain vs the SServer:HServer bandwidth ratio.
+
+    The HServers are fixed at the library defaults; the "SServers" are HDDs
+    of ``ratio ×`` the HServer bandwidth with proportionally shorter
+    startups, so ratio 1.0 is a genuinely homogeneous cluster (same device
+    model, same parameters) rather than an SSD that merely matches HDD
+    bandwidth.
+    """
+    result = SweepResult(title=f"HARL gain vs device bandwidth ratio ({op})")
+    for ratio in ratios:
+        testbed = Testbed(
+            n_hservers=6,
+            n_sservers=2,
+            seed=seed,
+            # Model the fast class as a scaled HDD so ratio 1.0 degenerates
+            # to a homogeneous cluster exactly.
+            ssd_kwargs={
+                "read_bandwidth": BASE_HDD_BANDWIDTH * ratio,
+                "write_bandwidth": BASE_HDD_BANDWIDTH * ratio,
+                "read_alpha_min": 1e-4 / ratio,
+                "read_alpha_max": 3e-4 / ratio,
+                "write_alpha_min": 1e-4 / ratio,
+                "write_alpha_max": 3e-4 / ratio,
+                "gc_window": 0,
+                "n_channels": 1,
+            },
+        )
+        result.points.append(_measure(testbed, f"{ratio:g}x", op))
+    return result
+
+
+def sweep_sserver_count(
+    counts: tuple[int, ...] = (1, 2, 4, 6),
+    total_servers: int = 8,
+    op: str = "write",
+    seed: int = 0,
+) -> SweepResult:
+    """HARL gain vs the number of SServers at a fixed cluster size."""
+    result = SweepResult(title=f"HARL gain vs SServer count of {total_servers} ({op})")
+    for n_sservers in counts:
+        if not (1 <= n_sservers < total_servers):
+            raise ValueError(f"n_sservers must be in [1, {total_servers}), got {n_sservers}")
+        testbed = Testbed(
+            n_hservers=total_servers - n_sservers, n_sservers=n_sservers, seed=seed
+        )
+        result.points.append(
+            _measure(testbed, f"{total_servers - n_sservers}H:{n_sservers}S", op)
+        )
+    return result

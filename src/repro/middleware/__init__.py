@@ -1,0 +1,28 @@
+"""I/O middleware layer (the paper's MPICH2 integration point).
+
+HARL is implemented above the PFS, inside the MPI-IO library, for
+portability (Sec. III-G). mpi4py is unavailable offline, so this package
+provides a *simulated* MPI substrate: ranks are DES coroutines sharing a
+communicator with barriers and collectives; the MPI-IO file layer forwards
+requests through HARL's R2F mapping and implements two-phase collective
+buffering; the IOSIG-style collector traces every operation for the
+planner's Tracing Phase.
+
+The substitution is recorded in DESIGN.md: every experiment exercises the
+same control flow (independent vs collective I/O, per-rank request streams)
+a real MPICH2+OrangeFS deployment would.
+"""
+
+from repro.middleware.collective import CollectiveEngine
+from repro.middleware.iosig import TraceCollector
+from repro.middleware.mpi_sim import Communicator, RankContext, SimMPI
+from repro.middleware.mpiio import MPIIOFile
+
+__all__ = [
+    "CollectiveEngine",
+    "Communicator",
+    "MPIIOFile",
+    "RankContext",
+    "SimMPI",
+    "TraceCollector",
+]

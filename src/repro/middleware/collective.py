@@ -1,0 +1,175 @@
+"""Two-phase collective I/O (ROMIO-style collective buffering).
+
+BTIO's I/O phases call ``MPI_File_write_all``; ROMIO implements this as:
+
+1. **exchange/shuffle** — the aggregate byte range of all ranks' pieces is
+   split into contiguous *file domains*, one per aggregator rank; every rank
+   ships its pieces to the owning aggregators over the network;
+2. **access** — each aggregator issues one large contiguous request per
+   maximal run in its domain.
+
+We reproduce both phases. The shuffle cost charged to an aggregator is the
+fraction of its domain that originated on *other* ranks
+(``(1 − 1/P)`` of the domain bytes) at the interconnect's unit time —
+the standard all-to-many redistribution bound. The access phase goes through
+the normal PFS path, so the region-level layout benefits collective I/O
+exactly as it does independent I/O.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.devices.base import OpType
+from repro.middleware.mpi_sim import Communicator
+from repro.pfs.filesystem import PFSFile
+from repro.simulate.engine import Event
+
+
+def merge_intervals(pieces: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Coalesce (offset, size) pieces into maximal disjoint runs."""
+    if not pieces:
+        return []
+    spans = sorted((o, o + s) for o, s in pieces if s > 0)
+    merged: list[list[int]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(start, end - start) for start, end in merged]
+
+
+def split_into_domains(
+    runs: list[tuple[int, int]], n_aggregators: int
+) -> list[list[tuple[int, int]]]:
+    """Split merged runs into contiguous per-aggregator file domains.
+
+    The aggregate extent [min offset, max end) is divided into
+    ``n_aggregators`` equal contiguous domains; each run is sliced at domain
+    boundaries. This is the access-phase request pattern an ROMIO-style
+    implementation produces, and what BTIO's planning trace records.
+    """
+    if n_aggregators < 1:
+        raise ValueError(f"n_aggregators must be >= 1, got {n_aggregators}")
+    if not runs:
+        return [[] for _ in range(n_aggregators)]
+    lo = min(o for o, _ in runs)
+    hi = max(o + s for o, s in runs)
+    per = -(-(hi - lo) // n_aggregators)  # ceil
+    domains: list[list[tuple[int, int]]] = [[] for _ in range(n_aggregators)]
+    for offset, size in runs:
+        cursor = offset
+        end = offset + size
+        while cursor < end:
+            agg = min((cursor - lo) // per, n_aggregators - 1)
+            domain_end = lo + (agg + 1) * per
+            piece_end = min(end, domain_end)
+            domains[agg].append((cursor, piece_end - cursor))
+            cursor = piece_end
+    return domains
+
+
+@dataclass
+class _CallState:
+    """Synchronization state of one in-flight collective call."""
+
+    contributions: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+    op: OpType | None = None
+    done: Event | None = None
+    arrived: int = 0
+
+
+class CollectiveEngine:
+    """Coordinates collective reads/writes on one file across all ranks.
+
+    Every rank must participate in every call, in the same order (the MPI
+    collective contract); a rank may contribute an empty piece list.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        handle: PFSFile,
+        n_aggregators: int | None = None,
+    ):
+        self.comm = comm
+        self.handle = handle
+        self.n_aggregators = min(comm.size, n_aggregators or comm.size)
+        if self.n_aggregators < 1:
+            raise ValueError("need at least one aggregator")
+        self._calls: dict[int, _CallState] = {}
+        self._rank_call_counter: dict[int, int] = {}
+        self.collective_calls_completed = 0
+
+    def call(
+        self, rank: int, op: OpType | str, pieces: list[tuple[int, int]]
+    ) -> Generator:
+        """Participate in the next collective call with this rank's pieces.
+
+        ``pieces`` is a list of (offset, size). Returns (as generator value)
+        the elapsed seconds from the call entering to the collective
+        completing for this rank.
+        """
+        op = OpType.parse(op)
+        sim = self.comm.sim
+        started = sim.now
+        index = self._rank_call_counter.get(rank, 0)
+        self._rank_call_counter[rank] = index + 1
+
+        state = self._calls.get(index)
+        if state is None:
+            state = _CallState(done=Event(sim))
+            self._calls[index] = state
+        if rank in state.contributions:
+            raise ValueError(f"rank {rank} joined collective call {index} twice")
+        if state.op is None:
+            state.op = op
+        elif state.op is not op:
+            raise ValueError(
+                f"collective call {index}: rank {rank} used {op.value} but the call is {state.op.value}"
+            )
+        state.contributions[rank] = [(int(o), int(s)) for o, s in pieces]
+        state.arrived += 1
+
+        if state.arrived == self.comm.size:
+            sim.process(self._drive(index, state), name=f"collective#{index}")
+        yield state.done
+        return sim.now - started
+
+    def _drive(self, index: int, state: _CallState) -> Generator:
+        sim = self.comm.sim
+        all_pieces = [p for pieces in state.contributions.values() for p in pieces]
+        runs = merge_intervals(all_pieces)
+        if not runs:
+            state.done.succeed(0.0)
+            del self._calls[index]
+            return
+
+        domains = split_into_domains(runs, self.n_aggregators)
+        aggregator_procs = []
+        for domain_runs in domains:
+            if domain_runs:
+                aggregator_procs.append(
+                    sim.process(
+                        self._aggregator(state.op, domain_runs), name=f"aggregator#{index}"
+                    )
+                )
+        if aggregator_procs:
+            yield sim.all_of(aggregator_procs)
+        self.collective_calls_completed += 1
+        state.done.succeed(sim.now)
+        del self._calls[index]
+
+    def _aggregator(self, op: OpType, domain_runs: list[tuple[int, int]]) -> Generator:
+        sim = self.comm.sim
+        total = sum(s for _, s in domain_runs)
+        # Shuffle: the fraction of the domain originating off-aggregator.
+        if self.comm.size > 1:
+            shuffle_bytes = int(total * (1 - 1 / self.comm.size))
+            cost = self.comm.payload_time(shuffle_bytes)
+            if cost > 0:
+                yield sim.timeout(cost)
+        for offset, size in merge_intervals(domain_runs):
+            yield from self.handle.serve_inline(op, offset, size)

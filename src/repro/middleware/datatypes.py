@@ -1,0 +1,197 @@
+"""MPI derived datatypes and file views.
+
+Real MPI-IO applications rarely pass explicit (offset, size) lists; they
+build *derived datatypes* (vectors, subarrays) and set a *file view*, after
+which plain ``read/write`` calls address the noncontiguous pattern. This
+module implements the datatype algebra the paper's benchmarks rely on —
+BTIO's nested-strided access is exactly a 3-D subarray view — and the
+flattening of (datatype, displacement) into the contiguous pieces the rest
+of the middleware consumes.
+
+Supported constructors (byte-granularity; an "element" is ``element_size``
+bytes):
+
+- :class:`Contiguous` — ``count`` elements back to back;
+- :class:`Vector` — ``count`` blocks of ``blocklength`` elements, block
+  starts ``stride`` elements apart;
+- :class:`Subarray` — a C-order ``subsizes`` box at ``starts`` inside a
+  ``sizes`` array (MPI_Type_create_subarray).
+
+Every type reports MPI's two measures: ``size`` (bytes of actual data) and
+``extent`` (bytes of file the type spans, holes included), and flattens to
+maximal contiguous pieces via :meth:`MPIDatatype.pieces`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from math import prod
+
+
+class MPIDatatype(ABC):
+    """A file-access pattern: data bytes laid inside a spanned extent."""
+
+    #: Bytes of actual data per instance of the type.
+    size: int
+    #: Bytes of file spanned per instance (>= size; holes included).
+    extent: int
+
+    @abstractmethod
+    def pieces(self, displacement: int = 0) -> list[tuple[int, int]]:
+        """Maximal contiguous (offset, size) pieces of one type instance,
+        shifted by ``displacement``, in ascending offset order."""
+
+    def tiled_pieces(self, displacement: int, count: int) -> list[tuple[int, int]]:
+        """Pieces of ``count`` consecutive instances (MPI's implicit tiling:
+        instance k starts at displacement + k·extent), coalescing pieces
+        that abut across instance boundaries."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        merged: list[list[int]] = []
+        for index in range(count):
+            for offset, piece in self.pieces(displacement + index * self.extent):
+                if merged and merged[-1][0] + merged[-1][1] == offset:
+                    merged[-1][1] += piece
+                else:
+                    merged.append([offset, piece])
+        return [(offset, piece) for offset, piece in merged]
+
+
+class Contiguous(MPIDatatype):
+    """``count`` elements of ``element_size`` bytes, no holes."""
+
+    def __init__(self, count: int, element_size: int = 1):
+        if count < 1 or element_size < 1:
+            raise ValueError("count and element_size must be >= 1")
+        self.size = count * element_size
+        self.extent = self.size
+
+    def pieces(self, displacement: int = 0) -> list[tuple[int, int]]:
+        return [(displacement, self.size)]
+
+
+class Vector(MPIDatatype):
+    """``count`` blocks of ``blocklength`` elements, ``stride`` apart.
+
+    Matches MPI_Type_vector: stride is in elements between block *starts*
+    and must be >= blocklength (non-overlapping forward layout).
+    """
+
+    def __init__(self, count: int, blocklength: int, stride: int, element_size: int = 1):
+        if count < 1 or blocklength < 1 or element_size < 1:
+            raise ValueError("count, blocklength, element_size must be >= 1")
+        if stride < blocklength:
+            raise ValueError(f"stride ({stride}) must be >= blocklength ({blocklength})")
+        self.count = count
+        self.block_bytes = blocklength * element_size
+        self.stride_bytes = stride * element_size
+        self.size = count * self.block_bytes
+        # MPI extent of a vector: from first byte to last byte of last block.
+        self.extent = (count - 1) * self.stride_bytes + self.block_bytes
+
+    def pieces(self, displacement: int = 0) -> list[tuple[int, int]]:
+        if self.stride_bytes == self.block_bytes:
+            return [(displacement, self.size)]  # Dense: one piece.
+        return [
+            (displacement + index * self.stride_bytes, self.block_bytes)
+            for index in range(self.count)
+        ]
+
+
+class Subarray(MPIDatatype):
+    """A C-order box ``subsizes`` at ``starts`` within a ``sizes`` array.
+
+    Matches MPI_Type_create_subarray with MPI_ORDER_C: the extent is the
+    whole array (so tiling ``count`` instances addresses consecutive array
+    snapshots, exactly how BTIO appends timesteps).
+    """
+
+    def __init__(
+        self,
+        sizes: tuple[int, ...],
+        subsizes: tuple[int, ...],
+        starts: tuple[int, ...],
+        element_size: int = 1,
+    ):
+        if not sizes or len(sizes) != len(subsizes) or len(sizes) != len(starts):
+            raise ValueError("sizes, subsizes, starts must be equal-length, non-empty")
+        for dim, (total, sub, start) in enumerate(zip(sizes, subsizes, starts)):
+            if total < 1 or sub < 1 or start < 0:
+                raise ValueError(f"dimension {dim}: need size>=1, subsize>=1, start>=0")
+            if start + sub > total:
+                raise ValueError(
+                    f"dimension {dim}: subarray [{start}, {start + sub}) exceeds size {total}"
+                )
+        if element_size < 1:
+            raise ValueError("element_size must be >= 1")
+        self.sizes = tuple(sizes)
+        self.subsizes = tuple(subsizes)
+        self.starts = tuple(starts)
+        self.element_size = element_size
+        self.size = prod(subsizes) * element_size
+        self.extent = prod(sizes) * element_size
+
+    def pieces(self, displacement: int = 0) -> list[tuple[int, int]]:
+        # The last dimension is contiguous; iterate the outer index space.
+        row = self.subsizes[-1] * self.element_size
+        outer_dims = self.subsizes[:-1]
+        # Row-major strides of the full array, in bytes.
+        strides = [self.element_size] * len(self.sizes)
+        for dim in range(len(self.sizes) - 2, -1, -1):
+            strides[dim] = strides[dim + 1] * self.sizes[dim + 1]
+        base = displacement + sum(
+            start * stride for start, stride in zip(self.starts, strides)
+        )
+        pieces: list[list[int]] = []
+        indices = [0] * len(outer_dims)
+        while True:
+            offset = base + sum(
+                index * stride for index, stride in zip(indices, strides[:-1])
+            )
+            if pieces and pieces[-1][0] + pieces[-1][1] == offset:
+                pieces[-1][1] += row  # Coalesce rows contiguous in the file.
+            else:
+                pieces.append([offset, row])
+            # Odometer increment over the outer dimensions.
+            for dim in range(len(outer_dims) - 1, -1, -1):
+                indices[dim] += 1
+                if indices[dim] < outer_dims[dim]:
+                    break
+                indices[dim] = 0
+            else:
+                break
+            if not outer_dims:
+                break
+        return [(offset, size) for offset, size in pieces]
+
+
+class FileView:
+    """An MPI file view: displacement + filetype + an individual pointer.
+
+    ``next_pieces(count)`` returns the pieces of the next ``count`` filetype
+    instances and advances the pointer — the semantics of
+    ``MPI_File_set_view`` followed by ``MPI_File_read``/``write`` on the
+    individual file pointer.
+    """
+
+    def __init__(self, displacement: int, filetype: MPIDatatype):
+        if displacement < 0:
+            raise ValueError(f"displacement must be >= 0, got {displacement}")
+        self.displacement = displacement
+        self.filetype = filetype
+        self.position = 0  # In filetype instances.
+
+    def next_pieces(self, count: int = 1) -> list[tuple[int, int]]:
+        """Pieces for ``count`` instances at the current pointer; advances it."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        start = self.displacement + self.position * self.filetype.extent
+        pieces = self.filetype.tiled_pieces(start, count)
+        self.position += count
+        return pieces
+
+    def seek(self, instance: int) -> None:
+        """Reposition the individual pointer (in filetype instances)."""
+        if instance < 0:
+            raise ValueError(f"instance must be >= 0, got {instance}")
+        self.position = instance

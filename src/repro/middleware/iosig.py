@@ -1,0 +1,69 @@
+"""IOSIG-style trace collection (the paper's Tracing Phase, Sec. III-B).
+
+The collector is a pluggable observer: the MPI-IO file layer calls
+:meth:`TraceCollector.record` on every read/write it forwards, capturing the
+full IOSIG record (pid, rank, fd, op, offset, size, timestamp). After the
+run, :meth:`sorted_records` returns the offset-ascending stream Algorithm 1
+consumes, and :meth:`save` writes the CSV artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devices.base import OpType
+from repro.simulate.engine import Simulator
+from repro.workloads.traces import TraceFile, TraceRecord, sort_trace
+
+
+class TraceCollector:
+    """Accumulates trace records during a simulated application run."""
+
+    def __init__(self, sim: Simulator, pid: int = 1):
+        self.sim = sim
+        self.pid = pid
+        self.records: list[TraceRecord] = []
+        self._fd_table: dict[str, int] = {}
+        self._next_fd = 3  # POSIX convention: 0-2 are stdio.
+
+    def fd_for(self, file_name: str) -> int:
+        """Stable per-file descriptor number, assigned on first use."""
+        fd = self._fd_table.get(file_name)
+        if fd is None:
+            fd = self._next_fd
+            self._next_fd += 1
+            self._fd_table[file_name] = fd
+        return fd
+
+    def record(self, rank: int, file_name: str, op: OpType | str, offset: int, size: int) -> None:
+        """Append one operation record stamped with the current sim time."""
+        self.records.append(
+            TraceRecord(
+                pid=self.pid,
+                rank=rank,
+                fd=self.fd_for(file_name),
+                op=OpType.parse(op),
+                offset=offset,
+                size=size,
+                timestamp=self.sim.now,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def sorted_records(self, file_name: str | None = None) -> list[TraceRecord]:
+        """Offset-sorted records, optionally filtered to one file."""
+        records = self.records
+        if file_name is not None:
+            fd = self._fd_table.get(file_name)
+            records = [r for r in records if r.fd == fd]
+        return sort_trace(records)
+
+    def save(self, path: str | Path) -> None:
+        """Persist the raw (time-ordered) trace CSV."""
+        TraceFile.save(path, self.records)
+
+    def clear(self) -> None:
+        """Drop accumulated records (descriptor table persists)."""
+        self.records.clear()

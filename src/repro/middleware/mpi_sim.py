@@ -1,0 +1,157 @@
+"""Simulated MPI: ranks as DES coroutines with a shared communicator.
+
+Supports what the paper's benchmarks need: ``COMM_WORLD``-style rank groups,
+barriers, point-to-point messaging (mailbox stores), and a simple payload
+cost model for data exchange (bytes × network unit time), used by two-phase
+collective I/O's shuffle phase.
+
+A rank program is a generator taking a :class:`RankContext`::
+
+    def program(ctx):
+        yield from ctx.barrier()
+        yield ctx.sim.timeout(0.1)      # compute phase
+        yield from ctx.send(1, payload, nbytes=4096)
+
+    world = SimMPI(sim, n_ranks=4, network=net)
+    done = world.spawn(program)
+    sim.run(done)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.network.link import NetworkModel
+from repro.simulate.engine import Event, Process, Simulator
+from repro.simulate.resources import Store
+
+
+class Communicator:
+    """Barrier + mailbox communicator over ``size`` ranks."""
+
+    def __init__(self, sim: Simulator, size: int, network: NetworkModel | None = None):
+        if size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {size}")
+        self.sim = sim
+        self.size = size
+        self.network = network or NetworkModel()
+        self._barrier_waiters: list[Event] = []
+        self._barrier_generation = 0
+        self._mailboxes: dict[tuple[int, object], Store] = {}
+
+    # -- barrier ----------------------------------------------------------
+
+    def barrier_event(self) -> Event:
+        """Event that fires when all ``size`` ranks have requested it.
+
+        Each rank must request exactly once per barrier generation; the
+        barrier resets automatically when it releases.
+        """
+        event = Event(self.sim)
+        self._barrier_waiters.append(event)
+        if len(self._barrier_waiters) == self.size:
+            waiters, self._barrier_waiters = self._barrier_waiters, []
+            self._barrier_generation += 1
+            for waiter in waiters:
+                waiter.succeed(self._barrier_generation)
+        return event
+
+    # -- point-to-point -----------------------------------------------------
+
+    def _mailbox(self, rank: int, tag: object) -> Store:
+        key = (rank, tag)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = Store(self.sim, name=f"mbox[{rank},{tag}]")
+            self._mailboxes[key] = box
+        return box
+
+    def post(self, dest: int, payload: object, tag: object = 0) -> None:
+        """Deposit ``payload`` in ``dest``'s mailbox instantly (control msg)."""
+        self._check_rank(dest)
+        self._mailbox(dest, tag).put(payload)
+
+    def fetch(self, rank: int, tag: object = 0) -> Event:
+        """Event yielding the next message for ``rank`` under ``tag``."""
+        self._check_rank(rank)
+        return self._mailbox(rank, tag).get()
+
+    def payload_time(self, nbytes: int) -> float:
+        """Network cost of moving ``nbytes`` between two ranks."""
+        return self.network.transfer_time(nbytes) if nbytes > 0 else 0.0
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
+
+
+class RankContext:
+    """Per-rank handle passed to rank programs."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self.comm = comm
+        self.rank = rank
+
+    @property
+    def sim(self) -> Simulator:
+        return self.comm.sim
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def barrier(self) -> Generator:
+        """Block until every rank reaches the barrier."""
+        yield self.comm.barrier_event()
+
+    def send(self, dest: int, payload: object, nbytes: int = 0, tag: object = 0) -> Generator:
+        """Send ``payload`` to ``dest``, paying network time for ``nbytes``."""
+        cost = self.comm.payload_time(nbytes)
+        if cost > 0:
+            yield self.sim.timeout(cost)
+        self.comm.post(dest, payload, tag)
+
+    def recv(self, tag: object = 0) -> Generator:
+        """Receive the next message addressed to this rank (FIFO per tag).
+
+        Yields the payload as the generator's return value::
+
+            payload = yield from ctx.recv()
+        """
+        payload = yield self.comm.fetch(self.rank, tag)
+        return payload
+
+
+class SimMPI:
+    """A world of ranks running the same (or different) programs."""
+
+    def __init__(self, sim: Simulator, n_ranks: int, network: NetworkModel | None = None):
+        self.sim = sim
+        self.comm = Communicator(sim, n_ranks, network=network)
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def spawn(self, program: Callable[[RankContext], Generator]) -> Event:
+        """Start ``program(ctx)`` on every rank; returns a join-all event.
+
+        The event's value is the list of per-rank return values, rank order.
+        """
+        procs = [
+            self.sim.process(program(RankContext(self.comm, rank)), name=f"rank{rank}")
+            for rank in range(self.size)
+        ]
+        return self.sim.all_of(procs)
+
+    def spawn_each(
+        self, programs: list[Callable[[RankContext], Generator]]
+    ) -> Event:
+        """Start a distinct program per rank (``len(programs)`` must equal size)."""
+        if len(programs) != self.size:
+            raise ValueError(f"need exactly {self.size} programs, got {len(programs)}")
+        procs = [
+            self.sim.process(prog(RankContext(self.comm, rank)), name=f"rank{rank}")
+            for rank, prog in enumerate(programs)
+        ]
+        return self.sim.all_of(procs)

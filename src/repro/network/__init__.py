@@ -1,0 +1,13 @@
+"""Network models for the client/server interconnect.
+
+The paper's cost model reduces the network to a single parameter ``t``, the
+unit (per-byte) transfer time, and charges a request
+``T_X = max(s_m·t, s_n·t)`` — i.e., per-server flows proceed in parallel and
+the widest sub-request bounds the network phase. :class:`NetworkModel`
+implements exactly that; :class:`ContendedNetworkModel` adds per-endpoint
+link capacities for ablations where client NICs saturate.
+"""
+
+from repro.network.link import ContendedNetworkModel, NetworkModel
+
+__all__ = ["ContendedNetworkModel", "NetworkModel"]

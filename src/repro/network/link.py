@@ -1,0 +1,73 @@
+"""Interconnect models.
+
+Gigabit Ethernet (the paper's testbed fabric) moves ~117 MiB/s of payload
+after protocol overheads, i.e. ``t ≈ 8.15e-9`` seconds/byte. The default
+:class:`NetworkModel` uses that figure plus a small per-message latency.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import MiB
+from repro.util.validation import check_non_negative, check_positive
+
+#: Payload bandwidth of Gigabit Ethernet after TCP/IP overhead, bytes/second.
+GIGE_PAYLOAD_BANDWIDTH: float = 117 * MiB
+
+
+class NetworkModel:
+    """Uncontended per-byte network cost — the cost model's ``t``.
+
+    Each (client, server) flow is independent; a transfer of ``size`` bytes
+    costs ``latency + size * unit_time`` seconds. This matches the paper's
+    ``T_X`` term, where only the largest sub-request determines the network
+    phase of a striped request.
+    """
+
+    def __init__(self, unit_time: float | None = None, latency: float = 5.0e-5):
+        if unit_time is None:
+            unit_time = 1.0 / GIGE_PAYLOAD_BANDWIDTH
+        check_positive("unit_time", unit_time)
+        check_non_negative("latency", latency)
+        self.unit_time = float(unit_time)
+        self.latency = float(latency)
+
+    @property
+    def bandwidth(self) -> float:
+        """Link payload bandwidth, bytes/second."""
+        return 1.0 / self.unit_time
+
+    def transfer_time(self, size: int) -> float:
+        """Seconds to move ``size`` bytes over one flow."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if size == 0:
+            return 0.0
+        return self.latency + size * self.unit_time
+
+
+class ContendedNetworkModel(NetworkModel):
+    """Network with finite per-server ingress/egress capacity.
+
+    Used in ablations: when many clients hit the same server simultaneously,
+    the server NIC serializes flows beyond ``server_parallelism``. The PFS
+    simulator consults :meth:`effective_time` with the momentary number of
+    concurrent flows at the endpoint.
+    """
+
+    def __init__(
+        self,
+        unit_time: float | None = None,
+        latency: float = 5.0e-5,
+        server_parallelism: int = 4,
+    ):
+        super().__init__(unit_time=unit_time, latency=latency)
+        if server_parallelism < 1:
+            raise ValueError(f"server_parallelism must be >= 1, got {server_parallelism}")
+        self.server_parallelism = int(server_parallelism)
+
+    def effective_time(self, size: int, concurrent_flows: int) -> float:
+        """Transfer time when ``concurrent_flows`` share the endpoint."""
+        base = self.transfer_time(size)
+        if concurrent_flows <= self.server_parallelism:
+            return base
+        return base * (concurrent_flows / self.server_parallelism)

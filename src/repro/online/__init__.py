@@ -1,0 +1,34 @@
+"""On-line data layout and migration (the paper's second future-work item).
+
+Sec. V: "Another direction is to explore on-line data layout and data
+migration methods to make heterogeneous I/O systems more intelligent and
+efficient."
+
+Static HARL plans once, from a profiling trace. When the same byte range's
+access pattern changes *over time* (temporal phases), the static plan goes
+stale — region division is spatial and cannot separate overlapping phases.
+This package closes the loop at runtime:
+
+- :class:`~repro.online.monitor.WorkloadMonitor` keeps a sliding window of
+  recent requests and detects drift in the request-size / op-mix signature
+  relative to the signature the current layout was planned for;
+- :class:`~repro.online.migration.RegionMigrator` moves a file's existing
+  bytes from the old layout to a new one through the ordinary PFS data
+  path, optionally rate-limited so migration does not starve foreground I/O;
+- :class:`~repro.online.controller.OnlineHARLController` is a DES process
+  that periodically checks the monitor, replans with the ordinary HARL
+  planner on the recent window, swaps the file's layout, and triggers
+  migration.
+"""
+
+from repro.online.controller import OnlineHARLController, run_workload_online
+from repro.online.migration import RegionMigrator
+from repro.online.monitor import DriftReport, WorkloadMonitor
+
+__all__ = [
+    "DriftReport",
+    "OnlineHARLController",
+    "RegionMigrator",
+    "WorkloadMonitor",
+    "run_workload_online",
+]

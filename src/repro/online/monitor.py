@@ -1,0 +1,166 @@
+"""Sliding-window workload monitoring and drift detection.
+
+The monitor consumes the same records the IOSIG collector produces. Its
+drift signal compares the *current window's* signature — mean request size
+and read fraction — to the signature captured when the active layout was
+planned. Mean request size is the natural statistic: it is exactly what
+Algorithm 1 keys regions on and what bounds Algorithm 2's grid, so when it
+moves materially, the optimal stripe pair has moved too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.workloads.traces import TraceRecord, sort_trace
+
+
+@dataclass(frozen=True)
+class WindowSignature:
+    """Summary of a request window."""
+
+    n_requests: int
+    mean_size: float
+    read_fraction: float
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of a drift check."""
+
+    drifted: bool
+    size_change: float
+    op_mix_change: float
+    current: WindowSignature
+    baseline: WindowSignature | None
+
+
+class WorkloadMonitor:
+    """Sliding window over traced requests with drift detection.
+
+    Args:
+        window: number of most-recent requests the window holds.
+        size_drift_threshold: relative mean-request-size change that counts
+            as drift (0.5 = ±50%).
+        op_drift_threshold: absolute read-fraction change that counts as
+            drift.
+        min_window_fill: fraction of the window that must be populated with
+            *new* requests since the last (re)plan before drift may fire —
+            prevents replanning off a handful of samples.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        size_drift_threshold: float = 0.5,
+        op_drift_threshold: float = 0.3,
+        min_window_fill: float = 0.5,
+    ):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if size_drift_threshold <= 0 or op_drift_threshold <= 0:
+            raise ValueError("drift thresholds must be > 0")
+        if not (0 < min_window_fill <= 1):
+            raise ValueError(f"min_window_fill must be in (0, 1], got {min_window_fill}")
+        self.window_size = window
+        self.size_drift_threshold = size_drift_threshold
+        self.op_drift_threshold = op_drift_threshold
+        self.min_window_fill = min_window_fill
+        self._window: deque[TraceRecord] = deque(maxlen=window)
+        self._baseline: WindowSignature | None = None
+        self._since_baseline = 0
+        self.records_observed = 0
+
+    def observe(self, record: TraceRecord) -> None:
+        """Feed one traced request."""
+        self._window.append(record)
+        self._since_baseline += 1
+        self.records_observed += 1
+
+    def observe_all(self, records: list[TraceRecord]) -> None:
+        """Feed a batch of records (e.g. a collector's tail)."""
+        for record in records:
+            self.observe(record)
+
+    def signature(self) -> WindowSignature:
+        """Signature of the current window (zeros when empty)."""
+        n = len(self._window)
+        if n == 0:
+            return WindowSignature(n_requests=0, mean_size=0.0, read_fraction=0.0)
+        total = sum(r.size for r in self._window)
+        reads = sum(1 for r in self._window if r.op.value == "read")
+        return WindowSignature(
+            n_requests=n, mean_size=total / n, read_fraction=reads / n
+        )
+
+    def rebaseline(self) -> WindowSignature:
+        """Capture the current signature as the planned-for baseline."""
+        self._baseline = self.signature()
+        self._since_baseline = 0
+        return self._baseline
+
+    def baseline_from(self, records: list[TraceRecord]) -> WindowSignature:
+        """Set the baseline from an external trace (the profiling run the
+        *current* layout was planned from), without touching the window."""
+        if not records:
+            raise ValueError("cannot baseline from an empty trace")
+        total = sum(r.size for r in records)
+        reads = sum(1 for r in records if r.op.value == "read")
+        self._baseline = WindowSignature(
+            n_requests=len(records),
+            mean_size=total / len(records),
+            read_fraction=reads / len(records),
+        )
+        self._since_baseline = 0
+        return self._baseline
+
+    def check_drift(self) -> DriftReport:
+        """Compare the current window against the baseline."""
+        current = self.signature()
+        baseline = self._baseline
+        if baseline is None or baseline.n_requests == 0:
+            # No baseline yet: anything non-trivial counts as needing a plan.
+            enough = current.n_requests >= self.window_size * self.min_window_fill
+            return DriftReport(
+                drifted=enough, size_change=0.0, op_mix_change=0.0,
+                current=current, baseline=baseline,
+            )
+        if self._since_baseline < self.window_size * self.min_window_fill:
+            return DriftReport(
+                drifted=False, size_change=0.0, op_mix_change=0.0,
+                current=current, baseline=baseline,
+            )
+        size_change = (
+            abs(current.mean_size - baseline.mean_size) / baseline.mean_size
+            if baseline.mean_size > 0
+            else 0.0
+        )
+        op_change = abs(current.read_fraction - baseline.read_fraction)
+        drifted = (
+            size_change > self.size_drift_threshold or op_change > self.op_drift_threshold
+        )
+        return DriftReport(
+            drifted=drifted,
+            size_change=size_change,
+            op_mix_change=op_change,
+            current=current,
+            baseline=baseline,
+        )
+
+    @property
+    def window_fill(self) -> float:
+        """Fraction of the window currently populated."""
+        return len(self._window) / self.window_size
+
+    def reset_window(self) -> None:
+        """Drop the window's history (drift quarantine: after a detected
+        phase change, the stale pre-drift records must not pollute the
+        replan; the controller waits for the window to refill with
+        post-drift traffic before planning)."""
+        self._window.clear()
+        self._since_baseline = 0
+
+    def window_records(self) -> list[TraceRecord]:
+        """The window's records, offset-sorted (planner input order)."""
+        return sort_trace(self._window)

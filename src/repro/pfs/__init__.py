@@ -1,0 +1,66 @@
+"""Simulated hybrid parallel file system (the paper's OrangeFS testbed).
+
+Layers:
+
+- :mod:`repro.pfs.mapping` — the round-robin striping math: how a logical
+  request decomposes into one contiguous sub-request per file server, and
+  the critical parameters (s_m, s_n, m, n) the cost model needs. Exact
+  closed forms, scalar and numpy-vectorized.
+- :mod:`repro.pfs.layout` — layout policies: fixed-size stripes (the
+  baseline), hybrid fixed (h, s) pairs, randomly chosen stripes, and the
+  region-level layout driven by HARL's RST.
+- :mod:`repro.pfs.server` / :mod:`repro.pfs.metadata` /
+  :mod:`repro.pfs.filesystem` — the DES components: file servers wrapping
+  storage devices with FIFO disk and NIC queues, a metadata server serving
+  layout lookups, and the :class:`HybridPFS` facade clients talk to.
+"""
+
+from repro.pfs.filesystem import HybridPFS, ParallelFileSystem, PFSFile
+from repro.pfs.layout import (
+    FixedLayout,
+    HybridFixedLayout,
+    LayoutPolicy,
+    RandomLayout,
+    RegionLevelLayout,
+)
+from repro.pfs.mapping import (
+    CriticalParams,
+    StripingConfig,
+    SubRequest,
+    critical_params,
+    critical_params_vectorized,
+    decompose,
+)
+from repro.pfs.metadata import MetadataServer
+from repro.pfs.server import FileServer
+from repro.pfs.tiered import (
+    ClassStripe,
+    MultiClassStripingConfig,
+    TieredFixedLayout,
+    TieredPFS,
+    config_from_dict,
+)
+
+__all__ = [
+    "ClassStripe",
+    "CriticalParams",
+    "FileServer",
+    "FixedLayout",
+    "HybridFixedLayout",
+    "HybridPFS",
+    "LayoutPolicy",
+    "MetadataServer",
+    "MultiClassStripingConfig",
+    "PFSFile",
+    "ParallelFileSystem",
+    "RandomLayout",
+    "RegionLevelLayout",
+    "StripingConfig",
+    "SubRequest",
+    "TieredFixedLayout",
+    "TieredPFS",
+    "config_from_dict",
+    "critical_params",
+    "critical_params_vectorized",
+    "decompose",
+]

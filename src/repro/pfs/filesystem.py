@@ -1,0 +1,277 @@
+"""PFS facades: files, request fan-out, and testbed construction.
+
+:class:`ParallelFileSystem` is the generic simulated PFS: an ordered server
+list, a metadata server, a network model, and the request fan-out logic. A
+:class:`PFSFile` created on it carries a :class:`LayoutPolicy`; its
+``read``/``write`` methods return DES processes that complete when every
+sub-request has been served — the client-perceived I/O time of the request,
+exactly the quantity the cost model predicts.
+
+:class:`HybridPFS` is the paper's testbed shape — M HDD servers (HServers)
+followed by N SSD servers (SServers) — and what all two-class experiments
+use. The multi-tier extension lives in :mod:`repro.pfs.tiered`.
+
+Region-level layouts address each region as a separate physical file (R2F);
+the filesystem gives every (file, region, server) extent its own physical
+base so positional device models see disjoint areas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.devices.base import OpType
+from repro.devices.hdd import HDDModel
+from repro.devices.ssd import SSDModel
+from repro.network.link import NetworkModel
+from repro.pfs.layout import LayoutPolicy
+from repro.pfs.metadata import MetadataServer
+from repro.pfs.server import FileServer
+from repro.simulate.engine import Process, Simulator
+from repro.util.rng import derive_rng
+from repro.util.units import GiB
+
+
+class PFSFile:
+    """A logical file striped over the filesystem's servers."""
+
+    def __init__(self, pfs: "ParallelFileSystem", name: str, layout: LayoutPolicy):
+        self.pfs = pfs
+        self.name = name
+        self.layout = layout
+        self.layout_generation = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def relayout(self, layout: LayoutPolicy) -> int:
+        """Swap in a new layout (online re-layout; see :mod:`repro.online`).
+
+        Subsequent requests stripe under the new layout; the generation
+        counter namespaces the physical extents so old and new region files
+        do not alias. Returns the new generation number. Moving existing
+        data between the layouts is the migrator's job.
+        """
+        config = layout.config_at(0)
+        if tuple(config.class_counts) != tuple(self.pfs.class_counts):
+            raise ValueError(
+                f"layout built for server classes {tuple(config.class_counts)} but "
+                f"filesystem has {tuple(self.pfs.class_counts)}"
+            )
+        self.layout = layout
+        self.layout_generation += 1
+        return self.layout_generation
+
+    def read(self, offset: int, size: int) -> Process:
+        """Start a read of ``[offset, offset+size)``; returns its process."""
+        return self.request(OpType.READ, offset, size)
+
+    def write(self, offset: int, size: int) -> Process:
+        """Start a write of ``[offset, offset+size)``; returns its process."""
+        return self.request(OpType.WRITE, offset, size)
+
+    def request(self, op: OpType | str, offset: int, size: int) -> Process:
+        """Start an I/O request; the process value is its elapsed seconds."""
+        op = OpType.parse(op)
+        return self.pfs.sim.process(
+            self._request_proc(op, offset, size), name=f"{self.name}:{op.value}@{offset}"
+        )
+
+    def serve_inline(self, op: OpType | str, offset: int, size: int) -> Generator:
+        """Serve the request inside the calling process (no extra Process).
+
+        Middleware ranks use this so a rank's requests stay sequential
+        without spawning a process per request.
+        """
+        yield from self._request_proc(OpType.parse(op), offset, size)
+
+    def _request_proc(self, op: OpType, offset: int, size: int) -> Generator:
+        sim = self.pfs.sim
+        started = sim.now
+        # Metadata lookup (RST consult under HARL) sits on the critical path
+        # and contends with other clients at the MDS.
+        yield from self.pfs.mds.consult(self.layout)
+        sub_procs = []
+        extent_ns = f"{self.name}#g{self.layout_generation}"
+        for segment in self.layout.segments(offset, size):
+            relative = segment.offset - segment.region_base
+            for sub in segment.config.decompose(relative, segment.size):
+                server = self.pfs.servers[sub.server_id]
+                base = self.pfs._extent_base(extent_ns, segment.region_id, sub.server_id)
+                sub_procs.append(
+                    sim.process(
+                        server.serve(op, base + sub.offset, sub.size),
+                        name=f"{server.name}<-{self.name}",
+                    )
+                )
+        if sub_procs:
+            yield sim.all_of(sub_procs)
+        if op is OpType.READ:
+            self.bytes_read += size
+        else:
+            self.bytes_written += size
+        return sim.now - started
+
+
+class ParallelFileSystem:
+    """Generic simulated PFS: ordered servers + MDS + network + fan-out.
+
+    Subclasses define :attr:`class_counts` — the number of servers in each
+    performance class, in server order — which ``create_file`` checks
+    against every layout so striping-config server ids always index
+    :attr:`servers` correctly.
+    """
+
+    #: Physical spacing between region extents on one server, so positional
+    #: device models see distinct disk areas per region file.
+    EXTENT_SPACING: int = 4 * GiB
+
+    def __init__(
+        self,
+        sim: Simulator,
+        servers: list[FileServer],
+        network: NetworkModel,
+        mds: MetadataServer | None = None,
+    ):
+        if not servers:
+            raise ValueError("filesystem needs at least one server")
+        self.sim = sim
+        self.servers = list(servers)
+        self.network = network
+        self.mds = mds or MetadataServer()
+        self.mds.attach(sim)
+        self._files: dict[str, PFSFile] = {}
+        self._extent_bases: dict[tuple[str, int, int], int] = {}
+        self._alloc_cursor: dict[int, int] = {}
+
+    @property
+    def class_counts(self) -> tuple[int, ...]:
+        """Servers per performance class; default: one class of everything."""
+        return (len(self.servers),)
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    def create_file(self, name: str, layout: LayoutPolicy) -> PFSFile:
+        """Register and return a new file with ``layout``."""
+        config = layout.config_at(0)
+        if tuple(config.class_counts) != tuple(self.class_counts):
+            raise ValueError(
+                f"layout built for server classes {tuple(config.class_counts)} but "
+                f"filesystem has {tuple(self.class_counts)}"
+            )
+        self.mds.register(name, layout)
+        handle = PFSFile(self, name, layout)
+        self._files[name] = handle
+        return handle
+
+    def open_file(self, name: str) -> PFSFile:
+        """Return the handle of an existing file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such file: {name!r}") from None
+
+    def _extent_base(self, file_name: str, region_id: int, server_id: int) -> int:
+        """Physical base of a (file, region) extent on one server."""
+        key = (file_name, region_id, server_id)
+        base = self._extent_bases.get(key)
+        if base is None:
+            cursor = self._alloc_cursor.get(server_id, 0)
+            base = cursor
+            self._alloc_cursor[server_id] = cursor + self.EXTENT_SPACING
+            self._extent_bases[key] = base
+        return base
+
+    # -- statistics -------------------------------------------------------
+
+    def server_busy_times(self) -> dict[str, float]:
+        """Disk busy seconds per server (the Figure 1(a) measurement)."""
+        return {server.name: server.disk_busy_time for server in self.servers}
+
+    def reset_statistics(self) -> None:
+        """Zero all per-server traffic statistics."""
+        for server in self.servers:
+            server.reset_statistics()
+
+
+class HybridPFS(ParallelFileSystem):
+    """The paper's testbed: M HServers (HDD) then N SServers (SSD)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hservers: list[FileServer],
+        sservers: list[FileServer],
+        network: NetworkModel,
+        mds: MetadataServer | None = None,
+    ):
+        if not hservers and not sservers:
+            raise ValueError("filesystem needs at least one server")
+        self.hservers = list(hservers)
+        self.sservers = list(sservers)
+        super().__init__(sim, self.hservers + self.sservers, network, mds=mds)
+
+    @property
+    def class_counts(self) -> tuple[int, ...]:
+        return (len(self.hservers), len(self.sservers))
+
+    @property
+    def n_hservers(self) -> int:
+        return len(self.hservers)
+
+    @property
+    def n_sservers(self) -> int:
+        return len(self.sservers)
+
+    @classmethod
+    def build(
+        cls,
+        sim: Simulator,
+        n_hservers: int,
+        n_sservers: int,
+        network: NetworkModel | None = None,
+        seed: int | np.random.Generator | None = 0,
+        hdd_kwargs: dict | None = None,
+        ssd_kwargs: dict | None = None,
+        nic_parallelism: int = 4,
+        disk_scheduler: str = "fifo",
+    ) -> "HybridPFS":
+        """Build the paper's testbed shape: M HDD servers + N SSD servers.
+
+        Each server gets an independently seeded device so startup latencies
+        are uncorrelated streams, as on real hardware. ``nic_parallelism``
+        defaults to 4 concurrent flows per server NIC (full-duplex GigE with
+        pipelined TCP streams), keeping the fabric off the critical path as
+        the paper's cost model assumes.
+        """
+        if n_hservers < 0 or n_sservers < 0 or n_hservers + n_sservers == 0:
+            raise ValueError("need n_hservers >= 0, n_sservers >= 0, and at least one server")
+        network = network or NetworkModel()
+        hdd_kwargs = dict(hdd_kwargs or {})
+        ssd_kwargs = dict(ssd_kwargs or {})
+        hservers = [
+            FileServer(
+                sim,
+                HDDModel(seed=derive_rng(seed, "hserver", i), name=f"hserver{i}", **hdd_kwargs),
+                network,
+                name=f"hserver{i}",
+                nic_parallelism=nic_parallelism,
+                disk_scheduler=disk_scheduler,
+            )
+            for i in range(n_hservers)
+        ]
+        sservers = [
+            FileServer(
+                sim,
+                SSDModel(seed=derive_rng(seed, "sserver", j), name=f"sserver{j}", **ssd_kwargs),
+                network,
+                name=f"sserver{j}",
+                nic_parallelism=nic_parallelism,
+                disk_scheduler=disk_scheduler,
+            )
+            for j in range(n_sservers)
+        ]
+        return cls(sim, hservers, sservers, network)

@@ -1,0 +1,192 @@
+"""Layout policies: how a file's address space maps to striping configs.
+
+The paper compares three families (Sec. IV-A):
+
+- **fixed-size stripe** (:class:`FixedLayout` / :class:`HybridFixedLayout`) —
+  one (h, s) for the whole file; the OrangeFS default is h = s = 64K.
+- **randomly-chosen stripe** (:class:`RandomLayout`) — a stripe pair drawn at
+  file-creation time from a candidate set.
+- **region-level** (:class:`RegionLevelLayout`) — HARL's output: the file is
+  a sequence of regions, each with its own (h, s) from the Region Stripe
+  Table.
+
+A policy answers one question: given a logical byte range, which *segments*
+does it cross, and under which :class:`StripingConfig` does each segment
+stripe? Each segment also carries the byte base of its region so region-level
+layouts can address each region as an independent physical file (the paper's
+R2F region-to-file mapping).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.pfs.mapping import StripingConfig
+from repro.util.rng import derive_rng
+from repro.util.units import KiB, format_size
+
+if TYPE_CHECKING:
+    from repro.core.rst import RegionStripeTable
+
+
+@dataclass(frozen=True)
+class LayoutSegment:
+    """A maximal sub-range of a request striped under one config.
+
+    ``offset``/``size`` address the logical file. ``region_base`` is the
+    logical offset where the segment's region begins — sub-request physical
+    offsets are computed from ``offset - region_base``, because each region
+    is stored as its own physical file (R2F). ``region_id`` keys the physical
+    file.
+    """
+
+    offset: int
+    size: int
+    config: StripingConfig
+    region_id: int
+    region_base: int
+
+
+class LayoutPolicy(ABC):
+    """Maps logical byte ranges to striped segments."""
+
+    @abstractmethod
+    def segments(self, offset: int, size: int) -> list[LayoutSegment]:
+        """Split ``[offset, offset+size)`` into per-region segments."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short label for experiment tables (figure-legend style)."""
+
+    def config_at(self, offset: int) -> StripingConfig:
+        """The striping config governing the byte at ``offset``."""
+        return self.segments(offset, 1)[0].config
+
+    def region_count(self) -> int:
+        """Regions in this layout (drives the MDS's RST lookup cost)."""
+        return 1
+
+
+class HybridFixedLayout(LayoutPolicy):
+    """One (h, s) pair for the whole file.
+
+    This is the general fixed layout; the homogeneous-default special case
+    h == s is :class:`FixedLayout`.
+    """
+
+    def __init__(self, n_hservers: int, n_sservers: int, hstripe: int, sstripe: int):
+        self.config = StripingConfig(
+            n_hservers=n_hservers,
+            n_sservers=n_sservers,
+            hstripe=int(hstripe),
+            sstripe=int(sstripe),
+        )
+
+    def segments(self, offset: int, size: int) -> list[LayoutSegment]:
+        if size < 0 or offset < 0:
+            raise ValueError("offset and size must be >= 0")
+        if size == 0:
+            return []
+        return [
+            LayoutSegment(offset=offset, size=size, config=self.config, region_id=0, region_base=0)
+        ]
+
+    def describe(self) -> str:
+        return self.config.describe()
+
+
+class FixedLayout(HybridFixedLayout):
+    """The traditional PFS layout: the same stripe on every server.
+
+    ``FixedLayout(M, N, 64*KiB)`` is the paper's default OrangeFS layout.
+    """
+
+    def __init__(self, n_hservers: int, n_sservers: int, stripe: int = 64 * KiB):
+        super().__init__(n_hservers, n_sservers, stripe, stripe)
+
+
+class RandomLayout(HybridFixedLayout):
+    """The paper's "randomly-chosen stripe" baseline.
+
+    Draws h and s independently from ``choices`` at construction (file
+    creation) time, seeded for reproducibility. The draw is constrained to
+    s >= h, since a random layout that starves SServers of no data at all is
+    not a layout the paper's baseline would produce.
+    """
+
+    #: Default candidate stripe sizes, spanning the paper's Fig. 1(b) range.
+    DEFAULT_CHOICES: tuple[int, ...] = tuple(
+        2**k * KiB for k in range(2, 12)
+    )  # 4K .. 2M
+
+    def __init__(
+        self,
+        n_hservers: int,
+        n_sservers: int,
+        choices: Sequence[int] | None = None,
+        seed: int | np.random.Generator | None = None,
+    ):
+        rng = derive_rng(seed, "random-layout")
+        pool = sorted(int(c) for c in (self.DEFAULT_CHOICES if choices is None else choices))
+        if not pool:
+            raise ValueError("choices must be non-empty")
+        hstripe = int(pool[rng.integers(0, len(pool))])
+        upper = [c for c in pool if c >= hstripe]
+        sstripe = int(upper[rng.integers(0, len(upper))])
+        super().__init__(n_hservers, n_sservers, hstripe, sstripe)
+
+    def describe(self) -> str:
+        return f"rand:{self.config.describe()}"
+
+
+class RegionLevelLayout(LayoutPolicy):
+    """HARL's layout: per-region stripe pairs from a Region Stripe Table.
+
+    Requests crossing region boundaries split into per-region segments; each
+    region addresses its own physical file (offset rebased to the region
+    start), mirroring the R2F mapping of the MPICH2 implementation.
+    """
+
+    def __init__(self, rst: "RegionStripeTable"):
+        if len(rst) == 0:
+            raise ValueError("RST must contain at least one region")
+        self.rst = rst
+
+    def segments(self, offset: int, size: int) -> list[LayoutSegment]:
+        if size < 0 or offset < 0:
+            raise ValueError("offset and size must be >= 0")
+        out: list[LayoutSegment] = []
+        cursor = offset
+        end = offset + size
+        while cursor < end:
+            entry = self.rst.lookup(cursor)
+            seg_end = min(end, entry.end if entry.end is not None else end)
+            out.append(
+                LayoutSegment(
+                    offset=cursor,
+                    size=seg_end - cursor,
+                    config=entry.config,
+                    region_id=entry.region_id,
+                    region_base=entry.offset,
+                )
+            )
+            cursor = seg_end
+        return out
+
+    def region_count(self) -> int:
+        return len(self.rst)
+
+    def describe(self) -> str:
+        if len(self.rst) == 1:
+            return f"harl:{self.rst.entries[0].config.describe()}"
+        return f"harl:{len(self.rst)}regions"
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"[{format_size(e.offset)}+ {e.config.describe()}]" for e in self.rst.entries
+        )
+        return f"RegionLevelLayout({parts})"

@@ -1,0 +1,321 @@
+"""Round-robin striping math for heterogeneous stripe sizes.
+
+The layout under study (paper Sec. III-D): ``M`` HServers with stripe ``h``
+and ``N`` SServers with stripe ``s``, striped round-robin. One *round* is
+``S = M·h + N·s`` logical bytes; within a round, bytes ``[i·h, (i+1)·h)`` go
+to HServer ``i`` and bytes ``[M·h + j·s, M·h + (j+1)·s)`` go to SServer
+``j``. Each server stores its stripes back-to-back in its local file, so a
+contiguous logical request maps to **at most one contiguous physical
+extent per server** (middle rounds always cover every window fully).
+
+The whole module rests on one closed form. For a server whose in-round
+window is ``[a, b)`` (width ``w = b − a``), the number of that server's
+bytes below logical offset ``x`` is::
+
+    F(x) = floor(x / S) · w + clamp(x mod S − a, 0, w)
+
+``F`` is monotone and exactly partitions bytes among servers, so a request
+``[o, o + r)`` gives server ``i`` the physical extent
+``[F_i(o), F_i(o + r))``. Everything else — sub-request decomposition for
+the simulator, the critical parameters ``(s_m, s_n, m, n)`` for the cost
+model, scalar or vectorized — derives from this.
+
+The paper's Figure 5 publishes case-analysis closed forms for case (a)
+(request begins and ends on HServers); :func:`paper_case_a_params`
+implements them verbatim so tests can compare against the exact math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import format_size
+
+
+@dataclass(frozen=True)
+class StripingConfig:
+    """A (M, N, h, s) striping choice for one file or file region.
+
+    ``n_hservers``/``n_sservers`` are the paper's M and N; ``hstripe`` and
+    ``sstripe`` are h and s in bytes. ``h == 0`` (or ``s == 0``) excludes
+    that server class entirely — the paper's Fig. 9 optimum {0K, 64K} places
+    data on SServers only.
+    """
+
+    n_hservers: int
+    n_sservers: int
+    hstripe: int
+    sstripe: int
+
+    def __post_init__(self):
+        if self.n_hservers < 0 or self.n_sservers < 0:
+            raise ValueError("server counts must be >= 0")
+        if self.hstripe < 0 or self.sstripe < 0:
+            raise ValueError("stripe sizes must be >= 0")
+        if self.round_size <= 0:
+            raise ValueError(
+                "striping config distributes no data: need M*h + N*s > 0 "
+                f"(M={self.n_hservers}, N={self.n_sservers}, "
+                f"h={self.hstripe}, s={self.sstripe})"
+            )
+
+    @property
+    def round_size(self) -> int:
+        """Bytes per striping round: S = M·h + N·s."""
+        return self.n_hservers * self.hstripe + self.n_sservers * self.sstripe
+
+    @property
+    def n_servers(self) -> int:
+        """Total server count M + N."""
+        return self.n_hservers + self.n_sservers
+
+    def server_window(self, server_id: int) -> tuple[int, int]:
+        """In-round byte window ``[a, b)`` of ``server_id``.
+
+        Servers ``0 .. M-1`` are HServers; ``M .. M+N-1`` are SServers,
+        following the paper's numbering.
+        """
+        if not (0 <= server_id < self.n_servers):
+            raise IndexError(f"server_id {server_id} out of range 0..{self.n_servers - 1}")
+        if server_id < self.n_hservers:
+            a = server_id * self.hstripe
+            return (a, a + self.hstripe)
+        j = server_id - self.n_hservers
+        a = self.n_hservers * self.hstripe + j * self.sstripe
+        return (a, a + self.sstripe)
+
+    def is_hserver(self, server_id: int) -> bool:
+        """True if ``server_id`` indexes an HServer."""
+        return 0 <= server_id < self.n_hservers
+
+    # -- generic per-class interface (shared with the multi-tier configs) --
+
+    @property
+    def class_counts(self) -> tuple[int, ...]:
+        """Servers per performance class: (M, N)."""
+        return (self.n_hservers, self.n_sservers)
+
+    @property
+    def stripes(self) -> tuple[int, ...]:
+        """Stripe size per class: (h, s). The RST merges on this tuple."""
+        return (self.hstripe, self.sstripe)
+
+    def class_of(self, server_id: int) -> int:
+        """Performance-class index of a server (0 = HServer, 1 = SServer)."""
+        return 0 if self.is_hserver(server_id) else 1
+
+    def decompose(self, offset: int, size: int) -> list["SubRequest"]:
+        """Polymorphic entry point used by the filesystem fan-out."""
+        return decompose(self, offset, size)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see ``config_from_dict``)."""
+        return {
+            "type": "hybrid",
+            "n_hservers": self.n_hservers,
+            "n_sservers": self.n_sservers,
+            "hstripe": self.hstripe,
+            "sstripe": self.sstripe,
+        }
+
+    def describe(self) -> str:
+        """Figure-legend style description, e.g. ``"36K-148K"`` or ``"64K"``."""
+        h, s = format_size(self.hstripe), format_size(self.sstripe)
+        if self.hstripe == self.sstripe:
+            return h
+        return f"{h}-{s}"
+
+
+@dataclass(frozen=True)
+class SubRequest:
+    """One server's share of a logical request.
+
+    ``offset`` and ``size`` address the server's *local* file (physical
+    bytes); ``logical_offset`` records where the extent starts in the logical
+    file, which the simulator's positional device models use.
+    """
+
+    server_id: int
+    offset: int
+    size: int
+    logical_offset: int
+
+
+@dataclass(frozen=True)
+class CriticalParams:
+    """The cost model's four critical parameters for one request.
+
+    ``s_m``/``s_n`` — largest sub-request size on any HServer / SServer;
+    ``m``/``n`` — number of HServers / SServers receiving a sub-request.
+    """
+
+    s_m: int
+    s_n: int
+    m: int
+    n: int
+
+
+def _server_bytes_below(x: int, a: int, b: int, round_size: int) -> int:
+    """F(x): bytes of the server with window [a, b) below logical offset x."""
+    w = b - a
+    if w == 0:
+        return 0
+    full, rem = divmod(x, round_size)
+    return full * w + min(max(rem - a, 0), w)
+
+
+def decompose(config: StripingConfig, offset: int, size: int) -> list[SubRequest]:
+    """Split logical request ``[offset, offset+size)`` into sub-requests.
+
+    Returns one :class:`SubRequest` per touched server, ordered by server id.
+    The sub-request sizes always sum to ``size`` and each is a single
+    contiguous extent in the server's local file.
+    """
+    if offset < 0:
+        raise ValueError(f"offset must be >= 0, got {offset}")
+    if size < 0:
+        raise ValueError(f"size must be >= 0, got {size}")
+    if size == 0:
+        return []
+    S = config.round_size
+    end = offset + size
+    subs: list[SubRequest] = []
+    for server_id in range(config.n_servers):
+        a, b = config.server_window(server_id)
+        p_start = _server_bytes_below(offset, a, b, S)
+        p_end = _server_bytes_below(end, a, b, S)
+        if p_end > p_start:
+            # Logical offset where this server's extent begins: the first
+            # logical byte >= offset that falls inside the server's window.
+            full, rem = divmod(offset, S)
+            if a <= rem < b:
+                logical = offset
+            elif rem < a:
+                logical = full * S + a
+            else:
+                logical = (full + 1) * S + a
+            subs.append(
+                SubRequest(
+                    server_id=server_id,
+                    offset=p_start,
+                    size=p_end - p_start,
+                    logical_offset=logical,
+                )
+            )
+    return subs
+
+
+def critical_params(config: StripingConfig, offset: int, size: int) -> CriticalParams:
+    """Exact (s_m, s_n, m, n) for one request under ``config``."""
+    s_m = s_n = 0
+    m = n = 0
+    for sub in decompose(config, offset, size):
+        if config.is_hserver(sub.server_id):
+            m += 1
+            s_m = max(s_m, sub.size)
+        else:
+            n += 1
+            s_n = max(s_n, sub.size)
+    return CriticalParams(s_m=s_m, s_n=s_n, m=m, n=n)
+
+
+def critical_params_vectorized(
+    config: StripingConfig,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized (s_m, s_n, m, n) over arrays of requests.
+
+    Args:
+        config: the striping choice under evaluation.
+        offsets, sizes: integer arrays of equal length (bytes).
+
+    Returns:
+        ``(s_m, s_n, m, n)`` int64 arrays, one entry per request. This is the
+        inner loop of Algorithm 2's grid search: one call per (h, s) pair
+        evaluates every request of a region at numpy speed.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if offsets.shape != sizes.shape:
+        raise ValueError("offsets and sizes must have the same shape")
+    if np.any(offsets < 0) or np.any(sizes < 0):
+        raise ValueError("offsets and sizes must be >= 0")
+    S = config.round_size
+    n_req = offsets.shape[0]
+    ends = offsets + sizes
+
+    windows = np.array(
+        [config.server_window(i) for i in range(config.n_servers)], dtype=np.int64
+    )  # (n_servers, 2)
+    a = windows[:, 0][None, :]  # (1, n_servers)
+    w = (windows[:, 1] - windows[:, 0])[None, :]
+
+    def batched_f(x: np.ndarray) -> np.ndarray:
+        x = x[:, None]  # (n_req, 1)
+        full, rem = np.divmod(x, S)
+        return full * w + np.clip(rem - a, 0, w)
+
+    bytes_per_server = batched_f(ends) - batched_f(offsets)  # (n_req, n_servers)
+
+    M = config.n_hservers
+    h_bytes = bytes_per_server[:, :M]
+    s_bytes = bytes_per_server[:, M:]
+    s_m = h_bytes.max(axis=1) if M > 0 else np.zeros(n_req, dtype=np.int64)
+    s_n = s_bytes.max(axis=1) if config.n_sservers > 0 else np.zeros(n_req, dtype=np.int64)
+    m = (h_bytes > 0).sum(axis=1) if M > 0 else np.zeros(n_req, dtype=np.int64)
+    n = (s_bytes > 0).sum(axis=1) if config.n_sservers > 0 else np.zeros(n_req, dtype=np.int64)
+    return s_m, s_n, m.astype(np.int64), n.astype(np.int64)
+
+
+def paper_case_a_params(config: StripingConfig, offset: int, size: int) -> CriticalParams:
+    """Figure 5's closed forms for case (a): request begins AND ends on HServers.
+
+    Implemented verbatim from the paper (including its notation
+    ``Δr = r_e − r_b``, ``Δc = n_e − n_b``) for fidelity testing against
+    :func:`critical_params`. Only valid when both the beginning and ending
+    sub-requests land on HServers and h > 0; raises ``ValueError`` otherwise.
+    """
+    M, N = config.n_hservers, config.n_sservers
+    h, s = config.hstripe, config.sstripe
+    if h <= 0 or M <= 0:
+        raise ValueError("case (a) requires M > 0 and h > 0")
+    S = config.round_size
+    o, r = offset, size
+    r_b = o // S
+    r_e = (o + r) // S
+    l_b = o - r_b * S
+    l_e = (o + r) - r_e * S
+    if l_b >= M * h or l_e > M * h:
+        raise ValueError("request does not begin and end on HServers (not case (a))")
+    n_b = l_b // h
+    # The ending sub-request's server: l_e is an exclusive bound, so the last
+    # byte sits at l_e - 1 (the paper's floor(l_e/h) with l_e on a stripe
+    # boundary would point one server too far).
+    n_e = (l_e - 1) // h if l_e > 0 else -1
+    s_b = h - l_b % h
+    s_e = l_e - n_e * h if l_e > 0 else 0
+    delta_r = r_e - r_b
+    delta_c = n_e - n_b
+
+    if delta_r == 0:
+        if delta_c == 0:
+            return CriticalParams(s_m=min(s_b, r), s_n=0, m=1, n=0)
+        if delta_c == 1:
+            return CriticalParams(s_m=max(s_b, s_e), s_n=0, m=delta_c + 1, n=0)
+        return CriticalParams(s_m=h, s_n=0, m=delta_c + 1, n=0)
+    # delta_r >= 1: the request wraps at least one full round boundary.
+    s_n = delta_r * s if N > 0 else 0
+    n = N if N > 0 and s > 0 else 0
+    if delta_c == 0:
+        s_m = max(delta_r * h - h + s_b + s_e, delta_r * h)
+        return CriticalParams(s_m=s_m, s_n=s_n, m=M, n=n)
+    if n_b + 1 == M and n_e == 0:
+        s_m = max(delta_r * h - h + s_b, delta_r * h - h + s_e)
+        m = 2 if delta_r == 1 else M
+        return CriticalParams(s_m=s_m, s_n=s_n, m=m, n=n)
+    s_m = delta_r * h
+    m = (M + 1 + delta_c) if delta_c < -1 else M
+    return CriticalParams(s_m=s_m, s_n=s_n, m=m, n=n)

@@ -1,0 +1,119 @@
+"""Metadata server: file namespace, RST lookups, and their runtime cost.
+
+In a real PFS a client contacts the MDS once per open and, under HARL, the
+MDS consults the RST per request to return region stripe info (Sec. III-F).
+The paper worries about exactly this: too many regions inflate "metadata
+management overhead and compromise the final I/O performance" (Sec. III-C),
+which is why Algorithm 1 bounds the region count.
+
+The model here makes that overhead real:
+
+- each lookup costs ``lookup_latency`` plus ``per_region_latency`` per
+  level of a binary search over the file's region table (log2 of the
+  region count) — the RST lookup's actual data-structure cost;
+- lookups of concurrent clients contend on the MDS service capacity
+  (``parallelism`` simultaneous lookups), so metadata pressure grows with
+  client count, as on a real MDS.
+
+A :class:`MetadataServer` is usable standalone (pure registry) or attached
+to a simulator by the owning filesystem, which enables the queued lookup
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Generator
+
+from repro.pfs.layout import LayoutPolicy
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import Resource
+from repro.util.validation import check_non_negative
+
+
+class MetadataServer:
+    """Namespace of files → layout policies, with modeled lookup costs."""
+
+    def __init__(
+        self,
+        lookup_latency: float = 3.0e-5,
+        per_region_latency: float = 2.0e-6,
+        parallelism: int = 8,
+    ):
+        check_non_negative("lookup_latency", lookup_latency)
+        check_non_negative("per_region_latency", per_region_latency)
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.lookup_latency = float(lookup_latency)
+        self.per_region_latency = float(per_region_latency)
+        self.parallelism = int(parallelism)
+        self._files: dict[str, LayoutPolicy] = {}
+        self._service: Resource | None = None
+        self.lookup_count = 0
+
+    # -- namespace ---------------------------------------------------------
+
+    def register(self, name: str, layout: LayoutPolicy) -> None:
+        """Create a file entry. Raises ``FileExistsError`` on duplicates."""
+        if name in self._files:
+            raise FileExistsError(f"file already exists in namespace: {name!r}")
+        self._files[name] = layout
+
+    def unregister(self, name: str) -> None:
+        """Remove a file entry. Raises ``FileNotFoundError`` if absent."""
+        try:
+            del self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such file: {name!r}") from None
+
+    def lookup(self, name: str) -> LayoutPolicy:
+        """Return the layout for ``name``, counting the lookup."""
+        self.lookup_count += 1
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such file: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def files(self) -> list[str]:
+        """Registered file names, sorted."""
+        return sorted(self._files)
+
+    # -- runtime lookup cost ------------------------------------------------
+
+    def attach(self, sim: Simulator) -> None:
+        """Enable the queued lookup path (called by the owning filesystem)."""
+        self._service = Resource(sim, capacity=self.parallelism, name="mds")
+
+    def lookup_time(self, n_regions: int) -> float:
+        """Service time of one request's RST consultation.
+
+        Base latency plus a binary-search step per log2(region count) —
+        1-region (conventional) files pay only the base.
+        """
+        if n_regions < 1:
+            raise ValueError(f"n_regions must be >= 1, got {n_regions}")
+        levels = math.ceil(math.log2(n_regions)) if n_regions > 1 else 0
+        return self.lookup_latency + self.per_region_latency * levels
+
+    def consult(self, layout: LayoutPolicy) -> Generator:
+        """DES generator: one queued RST lookup for a request on ``layout``."""
+        self.lookup_count += 1
+        service_time = self.lookup_time(layout.region_count())
+        if service_time <= 0:
+            return
+        if self._service is None:
+            raise RuntimeError("MetadataServer not attached to a simulator")
+        sim = self._service.sim
+        grant = yield self._service.request()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            self._service.release(grant)
+
+    @property
+    def utilization_seconds(self) -> float:
+        """Total busy time of the MDS service (attached mode only)."""
+        return self._service.monitor.snapshot() if self._service else 0.0

@@ -1,0 +1,110 @@
+"""A file server: one storage device behind FIFO disk and NIC queues.
+
+Service discipline per sub-request:
+
+- **write**: the payload crosses the server NIC first (client → server), then
+  the disk services it.
+- **read**: the disk services it, then the payload crosses the NIC
+  (server → client).
+
+Both the NIC and the disk are capacity-1 FIFO resources, so concurrent
+clients queue — this is what produces the load imbalance of Figure 1(a):
+with identical stripes, HServers accumulate deep disk queues while SServers
+drain instantly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.devices.base import OpType, StorageDevice
+from repro.network.link import NetworkModel
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import Resource, ScanResource
+
+
+class FileServer:
+    """A PFS data server in the DES.
+
+    Args:
+        sim: owning simulator.
+        device: the storage medium (HDD or SSD model).
+        network: interconnect model used for the NIC stage.
+        name: label used in per-server statistics (Fig. 1(a) bars).
+        nic_parallelism: concurrent flows the NIC sustains at full rate;
+            1 models a fully serialized GigE port.
+        disk_scheduler: ``"fifo"`` (default) or ``"scan"`` — C-SCAN
+            elevator ordering of queued disk operations, worthwhile with
+            positional (seek-distance-dependent) device models.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: StorageDevice,
+        network: NetworkModel,
+        name: str = "server",
+        nic_parallelism: int = 1,
+        disk_scheduler: str = "fifo",
+    ):
+        self.sim = sim
+        self.device = device
+        self.network = network
+        self.name = name
+        if disk_scheduler == "fifo":
+            self.disk: Resource = Resource(sim, capacity=1, name=f"{name}.disk")
+        elif disk_scheduler == "scan":
+            self.disk = ScanResource(sim, name=f"{name}.disk")
+        else:
+            raise ValueError(f"unknown disk_scheduler {disk_scheduler!r}; use 'fifo' or 'scan'")
+        self.nic = Resource(sim, capacity=nic_parallelism, name=f"{name}.nic")
+        self.bytes_served = 0
+        self.subrequests_served = 0
+
+    def serve(self, op: OpType | str, offset: int, size: int) -> Generator:
+        """Process generator serving one contiguous sub-request.
+
+        Yields through the NIC and disk stages in op-appropriate order;
+        completes when the payload has fully moved. Spawn it with
+        ``sim.process(server.serve(...))``.
+        """
+        op = OpType.parse(op)
+        if size <= 0:
+            return
+        if op is OpType.WRITE:
+            yield from self._nic_stage(size)
+            yield from self._disk_stage(op, offset, size)
+        else:
+            yield from self._disk_stage(op, offset, size)
+            yield from self._nic_stage(size)
+        self.bytes_served += size
+        self.subrequests_served += 1
+
+    def _disk_stage(self, op: OpType, offset: int, size: int) -> Generator:
+        grant = yield self.disk.request(key=offset)
+        try:
+            yield self.sim.timeout(self.device.service_time(op, offset, size))
+        finally:
+            self.disk.release(grant)
+
+    def _nic_stage(self, size: int) -> Generator:
+        grant = yield self.nic.request()
+        try:
+            yield self.sim.timeout(self.network.transfer_time(size))
+        finally:
+            self.nic.release(grant)
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def disk_busy_time(self) -> float:
+        """Total seconds the disk was serving (the Fig. 1(a) metric)."""
+        return self.disk.monitor.snapshot()
+
+    def reset_statistics(self) -> None:
+        """Zero traffic counters (busy-time monitors restart from now)."""
+        self.bytes_served = 0
+        self.subrequests_served = 0
+        self.device.reset_counters()
+        self.disk.monitor.busy_time = 0.0
+        self.nic.monitor.busy_time = 0.0

@@ -1,0 +1,356 @@
+"""Event heap, events, and generator-coroutine processes.
+
+The execution model:
+
+- :class:`Simulator` owns a binary heap of ``(time, sequence, event)``.
+- An :class:`Event` is a one-shot occurrence with a value and callbacks.
+- A :class:`Process` wraps a generator. Each ``yield``ed event registers the
+  process as a callback; when the event fires, the generator is resumed with
+  the event's value (or the event's exception is thrown into it).
+
+Time is a float in **seconds** everywhere in this library.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid kernel usage (double-trigger, yield of non-event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the interrupter's payload.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulator timeline.
+
+    An event starts *pending*, becomes *triggered* when scheduled (value
+    decided), and *processed* after its callbacks ran. Values propagate to
+    every waiter; failures (``fail``) propagate as raised exceptions inside
+    waiting processes.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a decided value."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only after triggering)."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's payload; raises the failure exception for failed events."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` (default: now)."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; called immediately if already processed."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator coroutine; is itself an event that fires on return.
+
+    The wrapped generator yields :class:`Event` instances. When the process
+    generator returns, this event succeeds with the return value; if the
+    generator raises, this event fails with that exception (re-raised in any
+    process joining on it, or surfaced by :meth:`Simulator.run`).
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
+        if not isinstance(generator, Generator):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Kick-start on the next tick at current time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._triggered = True
+        sim._schedule(bootstrap, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return  # Already finished; interrupting is a no-op.
+        wakeup = Event(self.sim)
+        wakeup._triggered = True
+        wakeup._exception = Interrupt(cause)
+        wakeup.callbacks.append(self._resume)
+        self.sim._schedule(wakeup, 0.0)
+
+    def _resume(self, trigger: Event) -> None:
+        if self._triggered:
+            return  # Finished in the meantime (e.g. interrupted then joined).
+        # Detach from whatever we were waiting on; the trigger fired.
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if trigger._exception is not None:
+                target = self.generator.throw(trigger._exception)
+            else:
+                target = self.generator.send(trigger._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process as a failure.
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}; processes must yield events"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from a different simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values.
+
+    If any child fails, this event fails with the first failure.
+    """
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for index, event in enumerate(self._events):
+            event.add_callback(lambda ev, i=index: self._on_child(i, ev))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed((index, event._value))
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(worker())
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any (for resource bookkeeping)."""
+        return self._active_process
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    # -- factory helpers -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending event owned by this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Join on all ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race ``events``; first one wins."""
+        return AnyOf(self, events)
+
+    # -- main loop --------------------------------------------------------
+
+    def step(self) -> None:
+        """Process a single event from the heap.
+
+        A *failed* process that nobody joined would otherwise vanish
+        silently; such failures re-raise here so simulations never mask
+        bugs in fire-and-forget processes (controllers, background tasks).
+        """
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        had_waiters = bool(event.callbacks)
+        event._run_callbacks()
+        if (
+            isinstance(event, Process)
+            and event._exception is not None
+            and not had_waiters
+            and not isinstance(event._exception, Interrupt)
+        ):
+            raise event._exception
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap empties, ``until`` time passes, or event fires.
+
+        Returns the event's value when ``until`` is an event. Exceptions from
+        processes nobody joined on propagate out of ``run`` — simulations
+        never swallow failures silently.
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired (deadlock?)"
+                    )
+                self.step()
+            return stop_event.value
+        horizon = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        if until is not None and self._now < horizon:
+            self._now = horizon
+        return None

@@ -1,0 +1,197 @@
+"""Capacity-limited resources with FIFO queueing and utilization accounting.
+
+A file server's disk is a :class:`Resource` with capacity 1 (one in-flight
+medium operation); its busy time drives the Figure 1(a) per-server I/O-time
+reproduction, so :class:`UtilizationMonitor` tracks exact busy intervals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.simulate.engine import Event, SimulationError, Simulator
+
+
+class UtilizationMonitor:
+    """Tracks total busy seconds of a resource with nesting support."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._busy_since: float | None = None
+        self._depth = 0
+        self.busy_time = 0.0
+
+    def acquire(self) -> None:
+        """Record that one more user became active."""
+        if self._depth == 0:
+            self._busy_since = self._sim.now
+        self._depth += 1
+
+    def release(self) -> None:
+        """Record that one user finished."""
+        if self._depth <= 0:
+            raise SimulationError("release without matching acquire")
+        self._depth -= 1
+        if self._depth == 0:
+            assert self._busy_since is not None
+            self.busy_time += self._sim.now - self._busy_since
+            self._busy_since = None
+
+    def snapshot(self) -> float:
+        """Busy time including any interval still open at the current time."""
+        open_interval = 0.0
+        if self._depth > 0 and self._busy_since is not None:
+            open_interval = self._sim.now - self._busy_since
+        return self.busy_time + open_interval
+
+
+class Resource:
+    """A FIFO resource with integer capacity.
+
+    Usage inside a process::
+
+        grant = yield resource.request()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(grant)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._in_use = 0
+        self._queue: deque[tuple[object, Event]] = deque()
+        self.monitor = UtilizationMonitor(sim)
+        self.granted_count = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, key: object = None) -> Event:
+        """Return an event that fires when a slot is granted.
+
+        The base class grants in FIFO order; scheduling subclasses use
+        ``key`` to reorder waiters (e.g. :class:`ScanResource` treats it as
+        a disk offset).
+        """
+        grant = Event(self.sim)
+        if self._in_use < self.capacity and not self._queue:
+            self._grant(grant)
+        else:
+            self._queue.append((key, grant))
+        return grant
+
+    def _grant(self, grant: Event) -> None:
+        self._in_use += 1
+        self.granted_count += 1
+        self.monitor.acquire()
+        grant.succeed(self)
+
+    def _pop_next(self) -> Event:
+        """Pick the next waiter (FIFO here; subclasses reorder)."""
+        _, grant = self._queue.popleft()
+        return grant
+
+    def cancel(self, grant: Event) -> bool:
+        """Withdraw a still-queued request (e.g. the waiter was interrupted).
+
+        Returns True if the grant was queued and removed. A request that was
+        already granted cannot be cancelled — release it instead; leaving a
+        granted-but-dead waiter would leak the slot forever.
+        """
+        for index, (_, queued) in enumerate(self._queue):
+            if queued is grant:
+                del self._queue[index]
+                return True
+        return False
+
+    def release(self, grant: Any = None) -> None:
+        """Release one held slot, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without a held slot")
+        self._in_use -= 1
+        self.monitor.release()
+        if self._queue and self._in_use < self.capacity:
+            self._grant(self._pop_next())
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of ``elapsed`` (default: sim.now) the resource was busy."""
+        horizon = self.sim.now if elapsed is None else elapsed
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.monitor.snapshot() / horizon)
+
+
+class ScanResource(Resource):
+    """A capacity-1 resource serving waiters in C-SCAN (elevator) order.
+
+    Request ``key``s are positions (disk offsets). The next grant goes to
+    the waiter with the smallest key at or beyond the current sweep
+    position; when none remain ahead, the sweep wraps to the smallest key
+    (circular SCAN). The holder should update :attr:`position` as it
+    finishes so the sweep tracks the head. Keyless requests are served
+    first-come at position 0.
+
+    Used by :class:`repro.pfs.server.FileServer` with positional disk
+    models, where serving a sorted queue genuinely shortens seeks.
+    """
+
+    def __init__(self, sim: Simulator, name: str | None = None):
+        super().__init__(sim, capacity=1, name=name)
+        self.position = 0
+
+    def _pop_next(self) -> Event:
+        keys = [key if key is not None else 0 for key, _ in self._queue]
+        ahead = [i for i, key in enumerate(keys) if key >= self.position]
+        index = min(ahead, key=lambda i: keys[i]) if ahead else min(
+            range(len(keys)), key=lambda i: keys[i]
+        )
+        key, grant = self._queue[index]
+        del self._queue[index]
+        self.position = key if key is not None else 0
+        return grant
+
+
+class Store:
+    """An unbounded FIFO message store (producer/consumer channel).
+
+    Used by the simulated MPI layer for point-to-point sends: ``put`` never
+    blocks, ``get`` returns an event that fires when an item is available.
+    """
+
+    def __init__(self, sim: Simulator, name: str | None = None):
+        self.sim = sim
+        self.name = name or "store"
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item (FIFO)."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,30 @@
+"""Shared utilities: byte-size units, validation helpers, and seeded RNGs."""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    format_size,
+    parse_size,
+)
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+from repro.util.rng import derive_rng, spawn_rngs
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "format_size",
+    "parse_size",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "derive_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,34 @@
+"""Small argument-validation helpers used across the library.
+
+These exist so that constructor errors carry the *parameter name*, which
+matters in experiment sweeps where dozens of configurations are built
+programmatically and a bare ``ValueError: -1`` would be useless.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+
+def check_positive(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``value`` is a real number > 0."""
+    if not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+
+
+def check_non_negative(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``value`` is a real number >= 0."""
+    if not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_probability(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not (0 <= value <= 1):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,52 @@
+"""Workload generators and trace infrastructure.
+
+- :mod:`repro.workloads.traces` — the IOSIG-style trace record/file format
+  the planner consumes.
+- :mod:`repro.workloads.ior` — the IOR benchmark's access patterns
+  (segmented shared file, fixed request size, sequential or random offsets,
+  read and write phases).
+- :mod:`repro.workloads.btio` — NAS BTIO's block-tridiagonal nested-strided
+  collective pattern for square process counts.
+- :mod:`repro.workloads.synthetic` — multi-region non-uniform workloads
+  (the paper's modified four-region IOR, Fig. 11).
+"""
+
+from repro.workloads.analysis import (
+    SpatialHeat,
+    TraceReport,
+    analyze_trace,
+    render_report,
+    spatial_heat,
+)
+from repro.workloads.btio import BTIOConfig, BTIOWorkload
+from repro.workloads.checkpoint import CheckpointConfig, CheckpointN1Workload, n_n_apps
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.replay import ReplayConfig, TraceReplayWorkload
+from repro.workloads.synthetic import RegionSpec, SyntheticRegionWorkload
+from repro.workloads.temporal import PhaseSpec, TemporalPhaseWorkload
+from repro.workloads.traces import TraceFile, TraceRecord, sort_trace, trace_arrays
+
+__all__ = [
+    "BTIOConfig",
+    "BTIOWorkload",
+    "CheckpointConfig",
+    "CheckpointN1Workload",
+    "IORConfig",
+    "IORWorkload",
+    "PhaseSpec",
+    "RegionSpec",
+    "ReplayConfig",
+    "SpatialHeat",
+    "SyntheticRegionWorkload",
+    "TemporalPhaseWorkload",
+    "TraceFile",
+    "TraceRecord",
+    "TraceReplayWorkload",
+    "TraceReport",
+    "analyze_trace",
+    "n_n_apps",
+    "render_report",
+    "sort_trace",
+    "spatial_heat",
+    "trace_arrays",
+]

@@ -1,0 +1,211 @@
+"""Trace analysis utilities (IOSIG's analysis-side counterpart).
+
+The paper's pipeline only needs offset-sorted requests, but diagnosing
+*why* a layout was chosen — or whether a workload is a good HARL candidate
+at all — needs summaries: request-size distribution, read/write mix, spatial
+coverage, per-rank balance, and sequentiality. :func:`analyze_trace`
+computes them all in one pass; :func:`render_report` pretty-prints the
+result for examples and the CLI.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.devices.base import OpType
+from repro.util.units import format_size
+from repro.workloads.traces import TraceRecord
+
+
+@dataclass(frozen=True)
+class SizeHistogram:
+    """Power-of-two bucketed request-size histogram."""
+
+    buckets: tuple[tuple[int, int], ...]  # (bucket lower bound, count)
+
+    def most_common(self) -> int:
+        """Lower bound of the most populated bucket."""
+        return max(self.buckets, key=lambda item: item[1])[0]
+
+    def render(self) -> str:
+        total = sum(count for _, count in self.buckets)
+        lines = []
+        for bound, count in self.buckets:
+            bar = "#" * max(1, round(30 * count / total))
+            lines.append(f"  {format_size(bound):>8} {count:>7}  {bar}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """One-pass summary of an I/O trace."""
+
+    n_requests: int
+    total_bytes: int
+    read_fraction: float
+    mean_size: float
+    median_size: float
+    size_cv: float
+    histogram: SizeHistogram
+    file_extent: int
+    coverage_fraction: float
+    sequential_fraction: float
+    n_ranks: int
+    rank_imbalance: float  # max rank bytes / mean rank bytes.
+
+    @property
+    def is_uniform(self) -> bool:
+        """Heuristic: a single region likely suffices (CV below Alg. 1's
+        sensitivity once established)."""
+        return self.size_cv < 0.1
+
+
+def _histogram(sizes: np.ndarray) -> SizeHistogram:
+    exponents = np.floor(np.log2(sizes)).astype(int)
+    counts = Counter(int(e) for e in exponents)
+    return SizeHistogram(
+        buckets=tuple((2**e, counts[e]) for e in sorted(counts))
+    )
+
+
+def analyze_trace(records: Sequence[TraceRecord]) -> TraceReport:
+    """Summarize a trace. Requires at least one record."""
+    if not records:
+        raise ValueError("cannot analyze an empty trace")
+    sizes = np.array([r.size for r in records], dtype=np.int64)
+    offsets = np.array([r.offset for r in records], dtype=np.int64)
+    reads = sum(1 for r in records if r.op is OpType.READ)
+
+    mean_size = float(sizes.mean())
+    size_cv = float(sizes.std() / mean_size) if mean_size > 0 else 0.0
+
+    # Spatial coverage: accessed bytes / extent, via merged intervals.
+    spans = sorted(zip(offsets.tolist(), (offsets + sizes).tolist()))
+    covered = 0
+    cursor = -1
+    for start, end in spans:
+        if start > cursor:
+            covered += end - start
+            cursor = end
+        elif end > cursor:
+            covered += end - cursor
+            cursor = end
+    extent = int((offsets + sizes).max())
+
+    # Sequentiality: fraction of *issue-order* requests starting exactly
+    # where the same rank's previous request ended.
+    by_time = sorted(records, key=lambda r: (r.timestamp, r.offset))
+    last_end: dict[int, int] = {}
+    sequential = 0
+    for record in by_time:
+        if last_end.get(record.rank) == record.offset:
+            sequential += 1
+        last_end[record.rank] = record.offset + record.size
+    sequential_fraction = sequential / len(records)
+
+    rank_bytes = Counter()
+    for record in records:
+        rank_bytes[record.rank] += record.size
+    per_rank = np.array(list(rank_bytes.values()), dtype=np.float64)
+    imbalance = float(per_rank.max() / per_rank.mean()) if per_rank.size else 1.0
+
+    return TraceReport(
+        n_requests=len(records),
+        total_bytes=int(sizes.sum()),
+        read_fraction=reads / len(records),
+        mean_size=mean_size,
+        median_size=float(np.median(sizes)),
+        size_cv=size_cv,
+        histogram=_histogram(sizes),
+        file_extent=extent,
+        coverage_fraction=covered / extent if extent > 0 else 0.0,
+        sequential_fraction=sequential_fraction,
+        n_ranks=len(rank_bytes),
+        rank_imbalance=imbalance,
+    )
+
+
+@dataclass(frozen=True)
+class SpatialHeat:
+    """Bytes accessed per equal-width slice of the file's extent.
+
+    The visual counterpart of Algorithm 1: request-size phase changes show
+    up as steps in per-slice mean request size, which is exactly where the
+    CV scan places region boundaries.
+    """
+
+    slice_size: int
+    bytes_per_slice: tuple[int, ...]
+    mean_request_per_slice: tuple[float, ...]
+
+    def render(self) -> str:
+        peak = max(self.bytes_per_slice) or 1
+        lines = []
+        for index, (volume, mean) in enumerate(
+            zip(self.bytes_per_slice, self.mean_request_per_slice)
+        ):
+            bar = "#" * max(0, round(24 * volume / peak))
+            mean_label = format_size(int(mean)) if mean else "-"
+            lines.append(
+                f"  [{format_size(index * self.slice_size):>8}] "
+                f"{format_size(volume):>8} (avg req {mean_label:>6})  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def spatial_heat(records: Sequence[TraceRecord], n_slices: int = 16) -> SpatialHeat:
+    """Bucket accessed bytes and mean request size over ``n_slices`` slices."""
+    if not records:
+        raise ValueError("cannot analyze an empty trace")
+    if n_slices < 1:
+        raise ValueError(f"n_slices must be >= 1, got {n_slices}")
+    extent = max(r.offset + r.size for r in records)
+    slice_size = -(-extent // n_slices)
+    volumes = [0] * n_slices
+    request_sums = [0] * n_slices
+    request_counts = [0] * n_slices
+    for record in records:
+        start_slice = record.offset // slice_size
+        request_sums[min(start_slice, n_slices - 1)] += record.size
+        request_counts[min(start_slice, n_slices - 1)] += 1
+        cursor = record.offset
+        end = record.offset + record.size
+        while cursor < end:
+            index = min(cursor // slice_size, n_slices - 1)
+            piece = min(end, (index + 1) * slice_size) - cursor
+            volumes[index] += piece
+            cursor += piece
+    means = tuple(
+        request_sums[i] / request_counts[i] if request_counts[i] else 0.0
+        for i in range(n_slices)
+    )
+    return SpatialHeat(
+        slice_size=slice_size,
+        bytes_per_slice=tuple(volumes),
+        mean_request_per_slice=means,
+    )
+
+
+def render_report(report: TraceReport, title: str = "trace analysis") -> str:
+    """Human-readable multi-line rendering of a :class:`TraceReport`."""
+    lines = [
+        f"=== {title} ===",
+        f"requests:       {report.n_requests} from {report.n_ranks} ranks "
+        f"({100 * report.read_fraction:.0f}% reads)",
+        f"volume:         {format_size(report.total_bytes)} over a "
+        f"{format_size(report.file_extent)} extent "
+        f"({100 * report.coverage_fraction:.0f}% covered)",
+        f"request sizes:  mean {format_size(int(report.mean_size))}, "
+        f"median {format_size(int(report.median_size))}, CV {report.size_cv:.2f}"
+        + (" (uniform)" if report.is_uniform else ""),
+        f"sequentiality:  {100 * report.sequential_fraction:.0f}% of requests "
+        f"continue the rank's previous one",
+        f"rank balance:   max/mean bytes = {report.rank_imbalance:.2f}",
+        "size histogram:",
+        report.histogram.render(),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""NAS BTIO: block-tridiagonal solver I/O with collective buffering.
+
+BTIO partitions a cubic NX³ array of 5-double cells among P = q² processes
+using BT's diagonal cell decomposition: rank p = (prow, pcol) owns q cells,
+the c-th at cell coordinates::
+
+    (i, j, k) = (c, (pcol + c) mod q, (prow + c) mod q)
+
+Every ``write_interval`` timesteps the solution array is appended to the
+output file with ``MPI_File_write_all``; after the solve, the file is read
+back collectively for verification ("full" subtype semantics). Each rank's
+contribution per I/O phase is nested-strided: one contiguous run per (cell,
+z, y) line of its sub-cubes.
+
+The paper runs class A (64³ grid) with 4/16/64 processes. Simulating 64³ ×
+40 appended steps is feasible but slow in CI, so :class:`BTIOConfig` scales
+the grid and step count; EXPERIMENTS.md records the factors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+
+from repro.devices.base import OpType
+from repro.middleware.mpi_sim import RankContext
+from repro.middleware.mpiio import MPIIOFile
+from repro.workloads.traces import TraceRecord, sort_trace
+
+#: Bytes per grid cell: 5 solution variables × 8-byte doubles.
+CELL_BYTES = 5 * 8
+
+#: NAS class name → grid dimension (timesteps are all 200 in NAS; we scale).
+CLASS_GRIDS = {"S": 12, "W": 24, "A": 64, "B": 102, "C": 162}
+
+
+@dataclass(frozen=True)
+class BTIOConfig:
+    """BTIO run parameters.
+
+    ``n_processes`` must be a perfect square and ``grid`` divisible by its
+    root (NAS requires the same).
+    """
+
+    n_processes: int = 16
+    grid: int = 32
+    timesteps: int = 20
+    write_interval: int = 5
+    read_back: bool = True
+    compute_time_per_step: float = 0.0
+    n_aggregators: int = 8
+
+    def __post_init__(self):
+        q = math.isqrt(self.n_processes)
+        if q * q != self.n_processes:
+            raise ValueError(f"BTIO needs a square process count, got {self.n_processes}")
+        if self.grid % q != 0:
+            raise ValueError(f"grid ({self.grid}) must be divisible by sqrt(P) = {q}")
+        if self.timesteps < 1 or self.write_interval < 1:
+            raise ValueError("timesteps and write_interval must be >= 1")
+        if self.n_aggregators < 1:
+            raise ValueError("n_aggregators must be >= 1")
+
+    @property
+    def q(self) -> int:
+        """Process grid side: sqrt(P)."""
+        return math.isqrt(self.n_processes)
+
+    @property
+    def cell_dim(self) -> int:
+        """Sub-cube side owned per cell: grid / q."""
+        return self.grid // self.q
+
+    @property
+    def array_bytes(self) -> int:
+        """Bytes of one solution snapshot: grid³ cells."""
+        return self.grid**3 * CELL_BYTES
+
+    @property
+    def n_writes(self) -> int:
+        """Snapshots appended over the run."""
+        return self.timesteps // self.write_interval
+
+    @property
+    def total_write_bytes(self) -> int:
+        return self.n_writes * self.array_bytes
+
+    @property
+    def total_io_bytes(self) -> int:
+        """Write volume plus the verification read-back."""
+        return self.total_write_bytes * (2 if self.read_back else 1)
+
+
+class BTIOWorkload:
+    """Generates BTIO's nested-strided collective pieces and rank programs."""
+
+    def __init__(self, config: BTIOConfig):
+        self.config = config
+
+    def owned_cells(self, rank: int) -> list[tuple[int, int, int]]:
+        """BT diagonal decomposition: the q cell coordinates of ``rank``."""
+        q = self.config.q
+        if not (0 <= rank < self.config.n_processes):
+            raise ValueError(f"rank {rank} out of range 0..{self.config.n_processes - 1}")
+        prow, pcol = divmod(rank, q)
+        return [(c, (pcol + c) % q, (prow + c) % q) for c in range(q)]
+
+    def snapshot_pieces(self, rank: int, snapshot: int) -> list[tuple[int, int]]:
+        """(offset, size) runs ``rank`` contributes to snapshot ``snapshot``.
+
+        One contiguous run per (cell, z, y) line; offsets address the shared
+        file with snapshots appended back-to-back.
+        """
+        cfg = self.config
+        cn = cfg.cell_dim
+        grid = cfg.grid
+        base = snapshot * cfg.array_bytes
+        run = cn * CELL_BYTES
+        pieces: list[tuple[int, int]] = []
+        for ci, cj, ck in self.owned_cells(rank):
+            x0 = ci * cn
+            for z in range(ck * cn, (ck + 1) * cn):
+                for y in range(cj * cn, (cj + 1) * cn):
+                    element = (z * grid + y) * grid + x0
+                    pieces.append((base + element * CELL_BYTES, run))
+        return pieces
+
+    def piece_trace(self) -> list[TraceRecord]:
+        """The raw MPI-level trace: every rank's nested-strided pieces.
+
+        This is what an IOSIG hook at the ``MPI_File_write_all`` boundary
+        records — useful for analysis, but not what reaches the PFS once
+        collective buffering aggregates.
+        """
+        cfg = self.config
+        records: list[TraceRecord] = []
+        time = 0.0
+        phases: list[OpType] = [OpType.WRITE]
+        if cfg.read_back:
+            phases.append(OpType.READ)
+        for op in phases:
+            for snapshot in range(cfg.n_writes):
+                for rank in range(cfg.n_processes):
+                    for offset, size in self.snapshot_pieces(rank, snapshot):
+                        records.append(
+                            TraceRecord(
+                                pid=1, rank=rank, fd=3, op=op,
+                                offset=offset, size=size, timestamp=time,
+                            )
+                        )
+                time += 1.0
+        return sort_trace(records)
+
+    def synthetic_trace(self) -> list[TraceRecord]:
+        """The access-phase trace: what collective buffering sends to the PFS.
+
+        HARL must lay out the file for the requests the PFS actually serves.
+        Under two-phase I/O those are the aggregators' contiguous file-domain
+        runs, not the ranks' tiny strided pieces, so the planning trace
+        records the post-aggregation requests (merged per snapshot, split
+        into ``n_aggregators`` domains).
+        """
+        from repro.middleware.collective import merge_intervals, split_into_domains
+
+        cfg = self.config
+        records: list[TraceRecord] = []
+        time = 0.0
+        phases: list[OpType] = [OpType.WRITE]
+        if cfg.read_back:
+            phases.append(OpType.READ)
+        for op in phases:
+            for snapshot in range(cfg.n_writes):
+                pieces = [
+                    p
+                    for rank in range(cfg.n_processes)
+                    for p in self.snapshot_pieces(rank, snapshot)
+                ]
+                runs = merge_intervals(pieces)
+                domains = split_into_domains(runs, min(cfg.n_aggregators, cfg.n_processes))
+                for aggregator, domain in enumerate(domains):
+                    for offset, size in merge_intervals(domain):
+                        records.append(
+                            TraceRecord(
+                                pid=1, rank=aggregator, fd=3, op=op,
+                                offset=offset, size=size, timestamp=time,
+                            )
+                        )
+                time += 1.0
+        return sort_trace(records)
+
+    def rank_program(
+        self, mf: MPIIOFile, collective: bool = True
+    ) -> Callable[[RankContext], Generator]:
+        """Coroutine per rank: timestep loop with I/O phases.
+
+        ``collective=True`` (BTIO's "full" subtype) uses two-phase collective
+        buffering; ``collective=False`` issues every nested-strided piece as
+        an independent request (the "simple" subtype), which the collective
+        ablation bench compares against.
+        """
+        cfg = self.config
+
+        def do_io(ctx: RankContext, op_write: bool, snapshot: int) -> Generator:
+            pieces = self.snapshot_pieces(ctx.rank, snapshot)
+            if collective:
+                if op_write:
+                    yield from mf.write_at_all(ctx.rank, pieces)
+                else:
+                    yield from mf.read_at_all(ctx.rank, pieces)
+            else:
+                for offset, size in pieces:
+                    if op_write:
+                        yield from mf.write_at(ctx.rank, offset, size)
+                    else:
+                        yield from mf.read_at(ctx.rank, offset, size)
+                yield from ctx.barrier()  # The simple subtype still syncs phases.
+
+        def program(ctx: RankContext) -> Generator:
+            yield from ctx.barrier()
+            snapshot = 0
+            for step in range(1, cfg.timesteps + 1):
+                if cfg.compute_time_per_step > 0:
+                    yield ctx.sim.timeout(cfg.compute_time_per_step)
+                if step % cfg.write_interval == 0:
+                    yield from do_io(ctx, True, snapshot)
+                    snapshot += 1
+            if cfg.read_back:
+                for snap in range(cfg.n_writes):
+                    yield from do_io(ctx, False, snap)
+            yield from ctx.barrier()
+            return snapshot
+
+        return program

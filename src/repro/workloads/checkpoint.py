@@ -1,0 +1,151 @@
+"""Checkpoint workloads: N-1 (shared file) vs N-N (file per process).
+
+PLFS (Bent et al., SC'09 — the paper's ref. [16]) is motivated by the gap
+between these two patterns: N processes checkpointing into one shared file
+(N-1) interleave their blocks and historically perform far worse than N
+processes each writing a private file (N-N). This module generates both so
+the harness can study how data layout interacts with checkpoint style:
+
+- :class:`CheckpointN1Workload` — one shared file; each of P ranks writes
+  its state as one block per *checkpoint round*, blocks interleaved
+  round-major (the classic strided N-1 pattern). It satisfies the standard
+  workload protocol and runs through ``run_workload``.
+- :func:`n_n_apps` — the N-N equivalent expressed as P single-rank
+  applications (one private file each), runnable with
+  :func:`repro.experiments.harness.run_concurrent_workloads`.
+
+Both write the same bytes, so their results are directly comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+
+from repro.devices.base import OpType
+from repro.middleware.mpi_sim import RankContext
+from repro.middleware.mpiio import MPIIOFile
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.traces import TraceRecord, sort_trace
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpoint parameters shared by the N-1 and N-N variants.
+
+    Each of ``rounds`` checkpoint rounds writes ``state_per_process`` bytes
+    per process in ``request_size`` records.
+    """
+
+    n_processes: int = 16
+    state_per_process: int = 4 * MiB
+    request_size: int = 512 * KiB
+    rounds: int = 2
+    compute_time_per_round: float = 0.0
+
+    def __post_init__(self):
+        if self.n_processes < 1 or self.rounds < 1:
+            raise ValueError("n_processes and rounds must be >= 1")
+        if self.state_per_process % self.request_size != 0:
+            raise ValueError(
+                f"state_per_process ({self.state_per_process}) must be a multiple of "
+                f"request_size ({self.request_size})"
+            )
+
+    @property
+    def requests_per_round(self) -> int:
+        return self.state_per_process // self.request_size
+
+    @property
+    def round_bytes(self) -> int:
+        """Bytes one round appends across all processes."""
+        return self.state_per_process * self.n_processes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.round_bytes * self.rounds
+
+
+class CheckpointN1Workload:
+    """N-1: every round appends one interleaved region to a shared file.
+
+    Round k occupies ``[k · round_bytes, (k+1) · round_bytes)``; within it,
+    rank r's block is at ``k · round_bytes + r · state_per_process``. Ranks
+    barrier between rounds (the checkpoint is globally consistent).
+    """
+
+    def __init__(self, config: CheckpointConfig):
+        self.config = config
+
+    @property
+    def n_processes(self) -> int:
+        return self.config.n_processes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.config.total_bytes
+
+    def rank_round_requests(self, rank: int, round_index: int) -> list[tuple[int, int]]:
+        """(offset, size) writes of one rank in one round, sequential."""
+        cfg = self.config
+        if not (0 <= rank < cfg.n_processes):
+            raise ValueError(f"rank {rank} out of range")
+        if not (0 <= round_index < cfg.rounds):
+            raise ValueError(f"round {round_index} out of range")
+        base = round_index * cfg.round_bytes + rank * cfg.state_per_process
+        return [
+            (base + i * cfg.request_size, cfg.request_size)
+            for i in range(cfg.requests_per_round)
+        ]
+
+    def synthetic_trace(self) -> list[TraceRecord]:
+        records = []
+        for round_index in range(self.config.rounds):
+            for rank in range(self.config.n_processes):
+                for offset, size in self.rank_round_requests(rank, round_index):
+                    records.append(
+                        TraceRecord(
+                            pid=1, rank=rank, fd=3, op=OpType.WRITE,
+                            offset=offset, size=size, timestamp=float(round_index),
+                        )
+                    )
+        return sort_trace(records)
+
+    def rank_program(self, mf: MPIIOFile) -> Callable[[RankContext], Generator]:
+        cfg = self.config
+
+        def program(ctx: RankContext) -> Generator:
+            yield from ctx.barrier()
+            for round_index in range(cfg.rounds):
+                if cfg.compute_time_per_round > 0:
+                    yield ctx.sim.timeout(cfg.compute_time_per_round)
+                for offset, size in self.rank_round_requests(ctx.rank, round_index):
+                    yield from mf.write_at(ctx.rank, offset, size)
+                yield from ctx.barrier()
+            return cfg.rounds
+
+        return program
+
+
+def n_n_apps(config: CheckpointConfig, seed: int = 0) -> list[tuple[str, IORWorkload]]:
+    """The N-N equivalent: one single-rank sequential writer per process.
+
+    Each private file holds ``rounds × state_per_process`` bytes written
+    sequentially — the pattern PLFS transforms N-1 into. Feed the result to
+    ``run_concurrent_workloads`` (adding a layout per app).
+    """
+    apps = []
+    for rank in range(config.n_processes):
+        workload = IORWorkload(
+            IORConfig(
+                n_processes=1,
+                request_size=config.request_size,
+                file_size=config.rounds * config.state_per_process,
+                op=OpType.WRITE,
+                random_offsets=False,
+                seed=seed + rank,
+            )
+        )
+        apps.append((f"ckpt-rank{rank}", workload))
+    return apps

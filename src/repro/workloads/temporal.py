@@ -1,0 +1,127 @@
+"""Workloads whose I/O pattern changes over *time* (not file offset).
+
+Region-level layout handles files whose pattern varies by *offset*; when
+the pattern of the same byte range changes between execution phases (e.g. a
+checkpoint written in 1 MB records, later read back in 128 KB records), a
+static layout planned from the first phase's trace is wrong for the second.
+This is the scenario motivating the paper's future-work item on *on-line*
+layout and migration, implemented in :mod:`repro.online`.
+
+:class:`TemporalPhaseWorkload` runs K phases back to back (barrier between
+phases); every phase covers the same shared file with its own request size
+and op type.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.base import OpType
+from repro.middleware.mpi_sim import RankContext
+from repro.middleware.mpiio import MPIIOFile
+from repro.util.rng import derive_rng
+from repro.workloads.traces import TraceRecord, sort_trace
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One temporal phase: request size, per-rank request count, op type."""
+
+    request_size: int
+    requests_per_rank: int
+    op: OpType = OpType.WRITE
+
+    def __post_init__(self):
+        if self.request_size < 1 or self.requests_per_rank < 1:
+            raise ValueError("request_size and requests_per_rank must be >= 1")
+        object.__setattr__(self, "op", OpType.parse(self.op))
+
+
+class TemporalPhaseWorkload:
+    """Sequential phases over one shared file, all spatially overlapping."""
+
+    def __init__(
+        self,
+        phases: list[PhaseSpec],
+        n_processes: int = 16,
+        file_size: int | None = None,
+        seed: int = 0,
+    ):
+        if not phases:
+            raise ValueError("need at least one phase")
+        if n_processes < 1:
+            raise ValueError(f"n_processes must be >= 1, got {n_processes}")
+        self.phases = list(phases)
+        self.n_processes = n_processes
+        self.seed = seed
+        # Default file size: the largest phase footprint. An explicit smaller
+        # file makes phases revisit slots (checkpoint-style re-access).
+        min_size = max(p.request_size * p.requests_per_rank * n_processes for p in phases)
+        self.file_size = file_size if file_size is not None else min_size
+        for index, phase in enumerate(self.phases):
+            if self.file_size % (phase.request_size * n_processes) != 0:
+                raise ValueError(
+                    f"file size must be a whole number of phase-{index} requests "
+                    f"({phase.request_size}) per process ({n_processes})"
+                )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(
+            p.request_size * p.requests_per_rank * self.n_processes for p in self.phases
+        )
+
+    def phase_requests(self, phase_index: int, rank: int) -> list[tuple[OpType, int, int]]:
+        """One rank's stream for one phase: aligned slots of its segment, shuffled."""
+        phase = self.phases[phase_index]
+        segment = self.file_size // self.n_processes
+        base = rank * segment
+        slots_in_segment = segment // phase.request_size
+        rng = derive_rng(self.seed, "temporal", phase_index, rank)
+        # Phases larger than the file revisit slots (checkpoint re-access).
+        replace = phase.requests_per_rank > slots_in_segment
+        chosen = rng.choice(slots_in_segment, size=phase.requests_per_rank, replace=replace)
+        return [
+            (phase.op, int(base + slot * phase.request_size), phase.request_size)
+            for slot in chosen
+        ]
+
+    def phase_trace(self, phase_index: int) -> list[TraceRecord]:
+        """Offset-sorted trace of one phase (what a profiling run of that
+        phase alone would record)."""
+        records = []
+        for rank in range(self.n_processes):
+            for op, offset, size in self.phase_requests(phase_index, rank):
+                records.append(
+                    TraceRecord(
+                        pid=1, rank=rank, fd=3, op=op,
+                        offset=offset, size=size, timestamp=float(phase_index),
+                    )
+                )
+        return sort_trace(records)
+
+    def synthetic_trace(self) -> list[TraceRecord]:
+        """All phases' records, offset-sorted (the static planner's view)."""
+        records = []
+        for phase_index in range(len(self.phases)):
+            records.extend(self.phase_trace(phase_index))
+        return sort_trace(records)
+
+    def rank_program(self, mf: MPIIOFile) -> Callable[[RankContext], Generator]:
+        """Coroutine per rank: phases separated by barriers."""
+
+        def program(ctx: RankContext) -> Generator:
+            yield from ctx.barrier()
+            for phase_index in range(len(self.phases)):
+                for op, offset, size in self.phase_requests(phase_index, ctx.rank):
+                    if op is OpType.READ:
+                        yield from mf.read_at(ctx.rank, offset, size)
+                    else:
+                        yield from mf.write_at(ctx.rank, offset, size)
+                yield from ctx.barrier()
+            return len(self.phases)
+
+        return program

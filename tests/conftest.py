@@ -1,0 +1,74 @@
+"""Shared fixtures: canonical parameter bundles and small testbeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import CostModelParameters
+from repro.devices.profiles import DeviceProfile
+from repro.experiments.harness import Testbed
+from repro.util.units import KiB
+
+
+@pytest.fixture(scope="session")
+def hserver_profile() -> DeviceProfile:
+    """A nominal HDD-class profile (symmetric read/write)."""
+    return DeviceProfile(
+        read_alpha_min=5.0e-5,
+        read_alpha_max=1.5e-4,
+        write_alpha_min=5.0e-5,
+        write_alpha_max=1.5e-4,
+        beta_read=2.1e-8,
+        beta_write=2.1e-8,
+        label="test-hserver",
+    )
+
+
+@pytest.fixture(scope="session")
+def sserver_profile() -> DeviceProfile:
+    """A nominal SSD-class profile (write slower than read)."""
+    return DeviceProfile(
+        read_alpha_min=1.0e-5,
+        read_alpha_max=4.0e-5,
+        write_alpha_min=2.0e-5,
+        write_alpha_max=6.0e-5,
+        beta_read=1.6e-9,
+        beta_write=3.2e-9,
+        label="test-sserver",
+    )
+
+
+@pytest.fixture(scope="session")
+def params(hserver_profile: DeviceProfile, sserver_profile: DeviceProfile) -> CostModelParameters:
+    """The paper's default 6H+2S architecture with nominal profiles."""
+    return CostModelParameters(
+        n_hservers=6,
+        n_sservers=2,
+        unit_network_time=2.0e-9,
+        hserver=hserver_profile,
+        sserver=sserver_profile,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_params(hserver_profile: DeviceProfile, sserver_profile: DeviceProfile) -> CostModelParameters:
+    """A tiny 2H+1S architecture for brute-force comparisons."""
+    return CostModelParameters(
+        n_hservers=2,
+        n_sservers=1,
+        unit_network_time=2.0e-9,
+        hserver=hserver_profile,
+        sserver=sserver_profile,
+    )
+
+
+@pytest.fixture()
+def testbed() -> Testbed:
+    """The paper's 6H+2S cluster with default devices."""
+    return Testbed(n_hservers=6, n_sservers=2, seed=0)
+
+
+@pytest.fixture()
+def tiny_testbed() -> Testbed:
+    """A 2H+1S cluster for fast end-to-end runs."""
+    return Testbed(n_hservers=2, n_sservers=1, seed=0)

@@ -1,0 +1,163 @@
+"""Unit tests for trace analysis utilities."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.util.units import KiB, MiB
+from repro.workloads.analysis import analyze_trace, render_report
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.synthetic import RegionSpec, SyntheticRegionWorkload
+from repro.workloads.traces import TraceRecord
+
+
+def record(offset, size, op=OpType.WRITE, rank=0, t=0.0):
+    return TraceRecord(pid=1, rank=rank, fd=3, op=op, offset=offset, size=size, timestamp=t)
+
+
+class TestAnalyzeTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_trace([])
+
+    def test_basic_counts(self):
+        records = [record(i * 64 * KiB, 64 * KiB) for i in range(10)]
+        report = analyze_trace(records)
+        assert report.n_requests == 10
+        assert report.total_bytes == 640 * KiB
+        assert report.read_fraction == 0.0
+        assert report.mean_size == pytest.approx(64 * KiB)
+        assert report.median_size == pytest.approx(64 * KiB)
+        assert report.size_cv == pytest.approx(0.0)
+        assert report.is_uniform
+
+    def test_read_fraction(self):
+        records = [record(0, KiB, OpType.READ), record(KiB, KiB, OpType.WRITE)]
+        assert analyze_trace(records).read_fraction == pytest.approx(0.5)
+
+    def test_coverage_full(self):
+        records = [record(i * KiB, KiB) for i in range(8)]
+        assert analyze_trace(records).coverage_fraction == pytest.approx(1.0)
+
+    def test_coverage_sparse(self):
+        records = [record(0, KiB), record(3 * KiB, KiB)]  # 2 KiB of a 4 KiB extent.
+        assert analyze_trace(records).coverage_fraction == pytest.approx(0.5)
+
+    def test_coverage_counts_overlaps_once(self):
+        records = [record(0, 2 * KiB), record(KiB, 2 * KiB)]
+        assert analyze_trace(records).coverage_fraction == pytest.approx(1.0)
+
+    def test_sequentiality(self):
+        sequential = [record(i * KiB, KiB, t=float(i)) for i in range(10)]
+        report = analyze_trace(sequential)
+        assert report.sequential_fraction == pytest.approx(0.9)  # All but the first.
+        scattered = [record((9 - i) * 2 * KiB, KiB, t=float(i)) for i in range(10)]
+        assert analyze_trace(scattered).sequential_fraction == 0.0
+
+    def test_sequentiality_is_per_rank(self):
+        records = [
+            record(0, KiB, rank=0, t=0.0),
+            record(100 * KiB, KiB, rank=1, t=0.1),
+            record(KiB, KiB, rank=0, t=0.2),  # Continues rank 0's stream.
+        ]
+        assert analyze_trace(records).sequential_fraction == pytest.approx(1 / 3)
+
+    def test_rank_imbalance(self):
+        records = [record(0, 3 * KiB, rank=0), record(4 * KiB, KiB, rank=1)]
+        assert analyze_trace(records).rank_imbalance == pytest.approx(1.5)
+
+    def test_cv_nonuniform(self):
+        records = [record(0, 4 * KiB), record(4 * KiB, 1024 * KiB)]
+        report = analyze_trace(records)
+        assert report.size_cv > 0.9
+        assert not report.is_uniform
+
+
+class TestHistogram:
+    def test_buckets_power_of_two(self):
+        records = [record(0, 64 * KiB)] * 3 + [record(0, 80 * KiB)] + [record(0, 1 * MiB)]
+        histogram = analyze_trace(records).histogram
+        bounds = dict(histogram.buckets)
+        assert bounds[64 * KiB] == 4  # 64K and 80K share the 2^16 bucket.
+        assert bounds[MiB] == 1
+
+    def test_most_common(self):
+        records = [record(0, 128 * KiB)] * 5 + [record(0, MiB)]
+        assert analyze_trace(records).histogram.most_common() == 128 * KiB
+
+
+class TestSpatialHeat:
+    def make_two_phase(self):
+        # First half: 64K requests; second half: 1M requests.
+        records = [record(i * 64 * KiB, 64 * KiB) for i in range(64)]  # 4 MiB.
+        records += [record(4 * MiB + i * MiB, MiB) for i in range(4)]  # 4 MiB.
+        return records
+
+    def test_volume_conserved(self):
+        from repro.workloads.analysis import spatial_heat
+
+        heat = spatial_heat(self.make_two_phase(), n_slices=8)
+        assert sum(heat.bytes_per_slice) == 8 * MiB
+
+    def test_phase_change_visible_in_mean_request(self):
+        from repro.workloads.analysis import spatial_heat
+
+        heat = spatial_heat(self.make_two_phase(), n_slices=8)
+        # Slices 0-3: 64K requests; slices 4-7: 1M requests.
+        assert heat.mean_request_per_slice[0] == pytest.approx(64 * KiB)
+        assert heat.mean_request_per_slice[6] == pytest.approx(MiB)
+
+    def test_requests_spanning_slices_split_volume(self):
+        from repro.workloads.analysis import spatial_heat
+
+        heat = spatial_heat([record(0, 4 * MiB)], n_slices=4)
+        assert heat.bytes_per_slice == (MiB, MiB, MiB, MiB)
+
+    def test_validation(self):
+        from repro.workloads.analysis import spatial_heat
+
+        with pytest.raises(ValueError):
+            spatial_heat([], n_slices=4)
+        with pytest.raises(ValueError):
+            spatial_heat([record(0, KiB)], n_slices=0)
+
+    def test_render_one_line_per_slice(self):
+        from repro.workloads.analysis import spatial_heat
+
+        heat = spatial_heat(self.make_two_phase(), n_slices=8)
+        assert len(heat.render().splitlines()) == 8
+
+
+class TestFig6Entry:
+    def test_fig6_produces_multi_region_table(self):
+        from repro.experiments.figures import fig6
+
+        result = fig6()
+        assert len(result.rst) >= 2
+        text = result.render()
+        assert "Region #" in text
+
+    def test_fig6_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["run-figure", "fig6"]) == 0
+        assert "Region Stripe Table" in capsys.readouterr().out
+
+
+class TestRenderReport:
+    def test_renders_ior_trace(self):
+        workload = IORWorkload(
+            IORConfig(n_processes=4, request_size=256 * KiB, file_size=8 * MiB)
+        )
+        text = render_report(analyze_trace(workload.synthetic_trace()), title="IOR")
+        assert "=== IOR ===" in text
+        assert "4 ranks" in text
+        assert "(uniform)" in text
+        assert "histogram" in text
+
+    def test_renders_nonuniform_trace(self):
+        workload = SyntheticRegionWorkload(
+            regions=[RegionSpec(2 * MiB, 64 * KiB), RegionSpec(8 * MiB, 1024 * KiB)],
+            n_processes=4,
+        )
+        text = render_report(analyze_trace(workload.synthetic_trace()))
+        assert "(uniform)" not in text

@@ -1,0 +1,107 @@
+"""Unit tests for the related-work baseline planners."""
+
+import pytest
+
+from repro.core.baselines import plan_segment_level, plan_server_level
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.synthetic import RegionSpec, SyntheticRegionWorkload
+
+
+def uniform_trace():
+    return IORWorkload(
+        IORConfig(n_processes=8, request_size=512 * KiB, file_size=16 * MiB, op="write")
+    ).synthetic_trace()
+
+
+def nonuniform_workload():
+    return SyntheticRegionWorkload(
+        regions=[
+            RegionSpec(8 * MiB, 64 * KiB),
+            RegionSpec(16 * MiB, 1024 * KiB),
+        ],
+        n_processes=8,
+        op="write",
+    )
+
+
+class TestServerLevel:
+    def test_single_region(self, params):
+        rst = plan_server_level(params, uniform_trace())
+        assert len(rst) == 1
+        assert rst.entries[0].end is None
+
+    def test_heterogeneity_aware(self, params):
+        """Server-level plans s != h (that's its whole point)."""
+        config = plan_server_level(params, uniform_trace()).entries[0].config
+        assert config.sstripe != config.hstripe
+
+    def test_empty_rejected(self, params):
+        with pytest.raises(ValueError):
+            plan_server_level(params, [])
+
+
+class TestSegmentLevel:
+    def test_uniform_stripes_per_segment(self, params):
+        rst = plan_segment_level(params, nonuniform_workload().synthetic_trace())
+        for entry in rst.entries:
+            assert entry.config.hstripe == entry.config.sstripe  # Homogeneous.
+
+    def test_finds_distinct_stripes_for_distinct_phases(self, params):
+        rst = plan_segment_level(
+            params, nonuniform_workload().synthetic_trace(), segment_size=8 * MiB
+        )
+        stripes = {entry.config.hstripe for entry in rst.entries}
+        assert len(stripes) >= 2  # Region-adaptive.
+
+    def test_segment_boundaries_fixed(self, params):
+        rst = plan_segment_level(
+            params, nonuniform_workload().synthetic_trace(), segment_size=4 * MiB
+        )
+        for entry in rst.entries[:-1]:
+            # Merged neighbors may span several segments but always end on
+            # a segment boundary.
+            assert entry.end % (4 * MiB) == 0
+
+    def test_empty_rejected(self, params):
+        with pytest.raises(ValueError):
+            plan_segment_level(params, [])
+
+    def test_uniform_trace_single_merged_region(self, params):
+        rst = plan_segment_level(params, uniform_trace(), segment_size=2 * MiB)
+        # Same optimal stripe per segment -> all merge into one region.
+        assert len(rst) == 1
+
+
+class TestSchemeOrdering:
+    """The paper's positioning: HARL >= server-level and segment-level under
+    the cost model's own metric (HARL's search space contains both)."""
+
+    def test_harl_cost_dominates(self, params):
+        import numpy as np
+
+        from repro.core.cost_model import request_cost
+        from repro.core.planner import HARLPlanner
+
+        trace = nonuniform_workload().synthetic_trace()
+        harl = HARLPlanner(params, step=16 * KiB).plan(trace)
+        server_level = plan_server_level(params, trace, step=16 * KiB)
+        segment_level = plan_segment_level(params, trace, step=16 * KiB)
+
+        def modeled_cost(rst):
+            total = 0.0
+            for record in trace:
+                entry = rst.lookup(record.offset)
+                total += request_cost(
+                    params,
+                    record.op,
+                    record.offset - entry.offset,
+                    record.size,
+                    entry.config.hstripe,
+                    entry.config.sstripe,
+                )
+            return total
+
+        harl_cost = modeled_cost(harl)
+        assert harl_cost <= modeled_cost(server_level) * 1.02
+        assert harl_cost <= modeled_cost(segment_level) * 1.02

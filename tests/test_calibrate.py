@@ -1,0 +1,90 @@
+"""Unit tests for parameter calibration by probing."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.devices.hdd import HDDModel
+from repro.devices.ssd import SSDModel
+from repro.experiments.calibrate import (
+    calibrate_device,
+    calibrate_network,
+    calibrate_parameters,
+    calibrate_profile,
+)
+from repro.network.link import NetworkModel
+from repro.util.units import KiB, MiB
+
+
+class TestCalibrateDevice:
+    def test_recovers_hdd_beta(self):
+        hdd = HDDModel(alpha_min=1e-4, alpha_max=3e-4, bandwidth=100 * MiB, seed=0)
+        _, _, beta = calibrate_device(hdd, "read", repeats=100)
+        assert beta == pytest.approx(1.0 / (100 * MiB), rel=0.02)
+
+    def test_recovers_hdd_alpha_bounds(self):
+        hdd = HDDModel(alpha_min=1e-4, alpha_max=3e-4, bandwidth=100 * MiB, seed=0)
+        alpha_min, alpha_max, _ = calibrate_device(hdd, "read", repeats=200)
+        assert alpha_min == pytest.approx(1e-4, rel=0.15)
+        assert alpha_max == pytest.approx(3e-4, rel=0.15)
+
+    def test_ssd_write_beta_exceeds_read(self):
+        ssd = SSDModel(seed=0)
+        _, _, beta_read = calibrate_device(ssd, "read", repeats=100)
+        ssd2 = SSDModel(seed=0)
+        _, _, beta_write = calibrate_device(ssd2, "write", repeats=100)
+        assert beta_write > beta_read
+
+    def test_gc_stalls_fold_into_measurement_not_blowup(self):
+        ssd = SSDModel(gc_window=4 * MiB, gc_pause=5e-3, seed=0)
+        alpha_min, alpha_max, beta = calibrate_device(ssd, "write", repeats=150)
+        # The percentile clipping keeps rare GC outliers from dominating.
+        assert alpha_max < 5e-3
+
+    def test_parameter_validation(self):
+        hdd = HDDModel(seed=0)
+        with pytest.raises(ValueError):
+            calibrate_device(hdd, "read", repeats=1)
+        with pytest.raises(ValueError):
+            calibrate_device(hdd, "read", probe_sizes=(4 * KiB,))
+
+
+class TestCalibrateProfile:
+    def test_profile_shape(self):
+        profile = calibrate_profile(SSDModel(seed=1), repeats=80)
+        assert profile.beta_write > profile.beta_read
+        assert profile.read_alpha_max >= profile.read_alpha_min
+        assert profile.label.startswith("measured:")
+
+
+class TestCalibrateNetwork:
+    def test_recovers_unit_time(self):
+        net = NetworkModel(unit_time=8e-9, latency=5e-5)
+        assert calibrate_network(net) == pytest.approx(8e-9, rel=1e-6)
+
+    def test_parallel_flows_reduce_effective_t(self):
+        net = NetworkModel(unit_time=8e-9)
+        assert calibrate_network(net, concurrent_flows=4) == pytest.approx(2e-9, rel=1e-6)
+
+    def test_invalid_flows(self):
+        with pytest.raises(ValueError):
+            calibrate_network(NetworkModel(), concurrent_flows=0)
+
+
+class TestCalibrateParameters:
+    def test_bundle_shape(self):
+        params = calibrate_parameters(6, 2, repeats=60)
+        assert params.n_hservers == 6 and params.n_sservers == 2
+        assert params.hserver.beta_read > params.sserver.beta_read
+        assert params.sserver.beta_write > params.sserver.beta_read
+
+    def test_deterministic(self):
+        a = calibrate_parameters(2, 1, repeats=40, seed=7)
+        b = calibrate_parameters(2, 1, repeats=40, seed=7)
+        assert a.hserver.beta_read == b.hserver.beta_read
+        assert a.sserver.write_alpha_max == b.sserver.write_alpha_max
+
+    def test_custom_device_kwargs(self):
+        params = calibrate_parameters(
+            1, 1, repeats=40, hdd_kwargs={"bandwidth": 10 * MiB}
+        )
+        assert params.hserver.beta_read == pytest.approx(1.0 / (10 * MiB), rel=0.05)

@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.devices.base import OpType
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.traces import TraceFile
+
+
+class TestCalibrate:
+    def test_prints_bundle(self, capsys):
+        assert main(["calibrate", "--hservers", "2", "--sservers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2H+1S" in out
+        assert "HServer" in out and "SServer" in out
+
+    def test_request_hint_accepted(self, capsys):
+        assert main(["calibrate", "--hservers", "2", "--sservers", "1", "--request-hint", "512K"]) == 0
+
+
+class TestPlan:
+    def make_trace_file(self, tmp_path):
+        workload = IORWorkload(
+            IORConfig(n_processes=4, request_size=256 * 1024, file_size=8 * 1024 * 1024, op="write")
+        )
+        path = tmp_path / "trace.csv"
+        TraceFile.save(path, workload.synthetic_trace())
+        return path
+
+    def test_plan_prints_rst(self, tmp_path, capsys):
+        path = self.make_trace_file(tmp_path)
+        assert main(["plan", "--trace", str(path), "--hservers", "2", "--sservers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Region #" in out
+        assert "requests" in out  # planner report summary
+
+    def test_plan_writes_rst_json(self, tmp_path, capsys):
+        path = self.make_trace_file(tmp_path)
+        output = tmp_path / "rst.json"
+        assert (
+            main([
+                "plan", "--trace", str(path), "--output", str(output),
+                "--hservers", "2", "--sservers", "1",
+            ])
+            == 0
+        )
+        payload = json.loads(output.read_text())
+        assert payload[0]["offset"] == 0
+        assert payload[0]["config"]["n_hservers"] == 2
+
+    def test_empty_trace_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        TraceFile.save(path, [])
+        assert main(["plan", "--trace", str(path)]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_step_override(self, tmp_path):
+        path = self.make_trace_file(tmp_path)
+        assert (
+            main([
+                "plan", "--trace", str(path), "--step", "32K",
+                "--hservers", "2", "--sservers", "1",
+            ])
+            == 0
+        )
+
+
+class TestRunIOR:
+    BASE = ["run-ior", "--hservers", "2", "--sservers", "1",
+            "--processes", "4", "--file-size", "8M"]
+
+    def test_fixed_layout(self, capsys):
+        assert main(self.BASE + ["--layout", "64K"]) == 0
+        out = capsys.readouterr().out
+        assert "MiB/s" in out and "layout 64K" in out
+
+    def test_harl_layout(self, capsys):
+        assert main(self.BASE + ["--layout", "harl"]) == 0
+        assert "HARL" in capsys.readouterr().out
+
+    def test_random_layout(self, capsys):
+        assert main(self.BASE + ["--layout", "rand2"]) == 0
+        assert "rand:" in capsys.readouterr().out
+
+    def test_read_op(self, capsys):
+        assert main(self.BASE + ["--layout", "64K", "--op", "read"]) == 0
+        assert "read" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_trace(self, tmp_path, capsys):
+        workload = IORWorkload(
+            IORConfig(n_processes=4, request_size=256 * 1024, file_size=8 * 1024 * 1024)
+        )
+        path = tmp_path / "trace.csv"
+        TraceFile.save(path, workload.synthetic_trace())
+        assert main(["analyze", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "histogram" in out and "4 ranks" in out
+
+    def test_analyze_empty_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        TraceFile.save(path, [])
+        assert main(["analyze", "--trace", str(path)]) == 2
+
+
+class TestFigures:
+    def test_list_figures(self, capsys):
+        assert main(["list-figures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1a", "fig7", "fig12"):
+            assert name in out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["run-figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_run_figure_writes_output(self, tmp_path, capsys):
+        output = tmp_path / "fig1a.txt"
+        assert main(["run-figure", "fig1a", "--output", str(output)]) == 0
+        assert "Fig 1(a)" in output.read_text()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("calibrate", "plan", "run-ior", "run-figure"):
+            assert command in out

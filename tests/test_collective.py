@@ -1,0 +1,167 @@
+"""Unit tests for two-phase collective I/O."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.middleware.collective import CollectiveEngine, merge_intervals, split_into_domains
+from repro.middleware.mpi_sim import SimMPI
+from repro.pfs.filesystem import HybridPFS
+from repro.pfs.layout import FixedLayout
+from repro.simulate.engine import Simulator
+from repro.util.units import KiB
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_stay_separate(self):
+        assert merge_intervals([(0, 10), (20, 10)]) == [(0, 10), (20, 10)]
+
+    def test_adjacent_merge(self):
+        assert merge_intervals([(0, 10), (10, 10)]) == [(0, 20)]
+
+    def test_overlapping_merge(self):
+        assert merge_intervals([(0, 15), (10, 10)]) == [(0, 20)]
+
+    def test_unsorted_input(self):
+        # (0,10) + (10,20) + (30,5) chain into one run regardless of order.
+        assert merge_intervals([(30, 5), (0, 10), (10, 20)]) == [(0, 35)]
+
+    def test_zero_size_pieces_dropped(self):
+        assert merge_intervals([(5, 0), (0, 10)]) == [(0, 10)]
+
+    def test_contained_interval(self):
+        assert merge_intervals([(0, 100), (10, 5)]) == [(0, 100)]
+
+
+class TestSplitIntoDomains:
+    def test_even_split(self):
+        domains = split_into_domains([(0, 100)], 4)
+        assert len(domains) == 4
+        assert [sum(s for _, s in d) for d in domains] == [25, 25, 25, 25]
+
+    def test_bytes_conserved(self):
+        runs = [(0, 37), (50, 13), (100, 41)]
+        domains = split_into_domains(runs, 3)
+        assert sum(s for d in domains for _, s in d) == 37 + 13 + 41
+
+    def test_domains_are_contiguous_ranges(self):
+        domains = split_into_domains([(0, 100)], 3)
+        for domain in domains:
+            merged = merge_intervals(domain)
+            assert len(merged) <= 1
+
+    def test_single_aggregator(self):
+        assert split_into_domains([(10, 20)], 1) == [[(10, 20)]]
+
+    def test_empty_runs(self):
+        assert split_into_domains([], 3) == [[], [], []]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            split_into_domains([(0, 10)], 0)
+
+    def test_domain_ordering_monotone(self):
+        domains = split_into_domains([(0, 1000)], 5)
+        starts = [d[0][0] for d in domains if d]
+        assert starts == sorted(starts)
+
+
+def run_collective(n_ranks, pieces_per_rank, op=OpType.WRITE, n_aggregators=None):
+    """Drive one collective call through a tiny simulated PFS."""
+    sim = Simulator()
+    pfs = HybridPFS.build(sim, 2, 1, seed=0)
+    handle = pfs.create_file("shared.dat", FixedLayout(2, 1, 64 * KiB))
+    world = SimMPI(sim, n_ranks, network=pfs.network)
+    engine = CollectiveEngine(world.comm, handle, n_aggregators=n_aggregators)
+    durations = []
+
+    def program(ctx):
+        elapsed = yield from engine.call(ctx.rank, op, pieces_per_rank[ctx.rank])
+        durations.append(elapsed)
+
+    sim.run(world.spawn(program))
+    return sim, pfs, handle, engine, durations
+
+
+class TestCollectiveEngine:
+    def test_all_bytes_reach_servers(self):
+        pieces = {
+            0: [(0, 64 * KiB)],
+            1: [(64 * KiB, 64 * KiB)],
+            2: [(128 * KiB, 64 * KiB)],
+            3: [(192 * KiB, 64 * KiB)],
+        }
+        _, pfs, handle, engine, _ = run_collective(4, pieces)
+        assert handle.bytes_written == 256 * KiB
+        assert sum(server.bytes_served for server in pfs.servers) == 256 * KiB
+        assert engine.collective_calls_completed == 1
+
+    def test_interleaved_pieces_coalesce(self):
+        # Ranks contribute interleaved 4K pieces covering 0..128K.
+        pieces = {rank: [] for rank in range(4)}
+        for i in range(32):
+            pieces[i % 4].append((i * 4 * KiB, 4 * KiB))
+        _, pfs, handle, engine, _ = run_collective(4, pieces, n_aggregators=2)
+        assert handle.bytes_written == 128 * KiB
+
+    def test_all_ranks_finish_together(self):
+        pieces = {0: [(0, 64 * KiB)], 1: [(64 * KiB, 64 * KiB)]}
+        sim, _, _, _, durations = run_collective(2, pieces)
+        assert len(durations) == 2
+        assert durations[0] == pytest.approx(durations[1])
+
+    def test_empty_contribution_allowed(self):
+        pieces = {0: [(0, 64 * KiB)], 1: []}
+        _, _, handle, _, _ = run_collective(2, pieces)
+        assert handle.bytes_written == 64 * KiB
+
+    def test_all_empty_completes(self):
+        pieces = {0: [], 1: []}
+        _, _, handle, engine, durations = run_collective(2, pieces)
+        assert handle.bytes_written == 0
+        assert len(durations) == 2
+
+    def test_read_collective(self):
+        pieces = {0: [(0, 128 * KiB)], 1: [(128 * KiB, 128 * KiB)]}
+        _, _, handle, _, _ = run_collective(2, pieces, op=OpType.READ)
+        assert handle.bytes_read == 256 * KiB
+
+    def test_sequential_collective_calls(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+        world = SimMPI(sim, 2, network=pfs.network)
+        engine = CollectiveEngine(world.comm, handle)
+
+        def program(ctx):
+            for call in range(3):
+                piece = (call * 128 * KiB + ctx.rank * 64 * KiB, 64 * KiB)
+                yield from engine.call(ctx.rank, OpType.WRITE, [piece])
+
+        sim.run(world.spawn(program))
+        assert engine.collective_calls_completed == 3
+        assert handle.bytes_written == 3 * 128 * KiB
+
+    def test_mismatched_op_rejected(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+        world = SimMPI(sim, 2, network=pfs.network)
+        engine = CollectiveEngine(world.comm, handle)
+
+        def program(ctx):
+            op = OpType.WRITE if ctx.rank == 0 else OpType.READ
+            yield from engine.call(ctx.rank, op, [(0, KiB)])
+
+        with pytest.raises(ValueError, match="collective call"):
+            sim.run(world.spawn(program))
+
+    def test_aggregator_cap(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+        world = SimMPI(sim, 4, network=pfs.network)
+        engine = CollectiveEngine(world.comm, handle, n_aggregators=16)
+        assert engine.n_aggregators == 4  # Clamped to communicator size.

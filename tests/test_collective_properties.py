@@ -1,0 +1,79 @@
+"""Property-based tests for collective-I/O interval handling."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middleware.collective import merge_intervals, split_into_domains
+
+pieces = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10**4)),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(pieces)
+@settings(max_examples=300)
+def test_merge_output_sorted_disjoint(piece_list):
+    merged = merge_intervals(piece_list)
+    for (a_off, a_size), (b_off, b_size) in zip(merged, merged[1:]):
+        assert a_off + a_size < b_off  # Strictly disjoint with a gap.
+    assert all(size > 0 for _, size in merged)
+
+
+@given(pieces)
+@settings(max_examples=300)
+def test_merge_preserves_byte_set(piece_list):
+    """Every byte covered before is covered after, and none are invented."""
+    def byte_set(spans):
+        covered = set()
+        for offset, size in spans:
+            covered.update(range(offset, offset + size))
+        return covered
+
+    # Keep the brute-force set small.
+    small = [(o % 500, s % 50) for o, s in piece_list]
+    assert byte_set(merge_intervals(small)) == byte_set(small)
+
+
+@given(pieces, st.integers(min_value=1, max_value=12))
+@settings(max_examples=300)
+def test_split_conserves_bytes(piece_list, n_aggregators):
+    runs = merge_intervals(piece_list)
+    domains = split_into_domains(runs, n_aggregators)
+    assert len(domains) == n_aggregators
+    total_before = sum(size for _, size in runs)
+    total_after = sum(size for domain in domains for _, size in domain)
+    assert total_after == total_before
+
+
+@given(pieces, st.integers(min_value=1, max_value=12))
+@settings(max_examples=200)
+def test_split_domains_are_ordered_and_disjoint(piece_list, n_aggregators):
+    runs = merge_intervals(piece_list)
+    domains = split_into_domains(runs, n_aggregators)
+    previous_end = -1
+    for domain in domains:
+        for offset, size in domain:
+            assert offset > previous_end or offset >= previous_end
+            previous_end = max(previous_end, offset + size - 1)
+
+
+@given(pieces, st.integers(min_value=1, max_value=12))
+@settings(max_examples=200)
+def test_split_pieces_lie_within_their_domain(piece_list, n_aggregators):
+    runs = merge_intervals(piece_list)
+    if not runs:
+        return
+    domains = split_into_domains(runs, n_aggregators)
+    lo = min(offset for offset, _ in runs)
+    hi = max(offset + size for offset, size in runs)
+    per = -(-(hi - lo) // n_aggregators)
+    for index, domain in enumerate(domains):
+        domain_lo = lo + index * per
+        for offset, size in domain:
+            assert offset >= domain_lo
+            if index + 1 < n_aggregators:
+                assert offset + size <= lo + (index + 1) * per
+            else:
+                assert offset + size <= hi  # Last domain absorbs the tail.

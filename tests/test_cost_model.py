@@ -1,0 +1,167 @@
+"""Unit tests for the access cost model (Eq. 1-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import (
+    request_cost,
+    request_cost_breakdown,
+    total_cost_vectorized,
+)
+from repro.pfs.mapping import StripingConfig, critical_params
+from repro.util.units import KiB
+
+
+class TestBreakdown:
+    def test_zero_size_free(self, params):
+        breakdown = request_cost_breakdown(params, "read", 0, 0, 64 * KiB, 64 * KiB)
+        assert breakdown.total == 0.0
+
+    def test_total_is_sum_of_phases(self, params):
+        b = request_cost_breakdown(params, "write", 0, 512 * KiB, 64 * KiB, 64 * KiB)
+        assert b.total == pytest.approx(b.network + b.startup + b.transfer)
+        assert b.network > 0 and b.startup > 0 and b.transfer > 0
+
+    def test_network_term_eq1(self, params):
+        """T_X = max(s_m, s_n) * t."""
+        h, s = 64 * KiB, 64 * KiB
+        config = StripingConfig(6, 2, h, s)
+        crit = critical_params(config, 0, 512 * KiB)
+        b = request_cost_breakdown(params, "read", 0, 512 * KiB, h, s)
+        assert b.network == pytest.approx(max(crit.s_m, crit.s_n) * params.unit_network_time)
+
+    def test_transfer_term_eq6(self, params):
+        h, s = 32 * KiB, 160 * KiB
+        config = StripingConfig(6, 2, h, s)
+        crit = critical_params(config, 0, 512 * KiB)
+        b = request_cost_breakdown(params, "read", 0, 512 * KiB, h, s)
+        expected = max(crit.s_m * params.hserver.beta_read, crit.s_n * params.sserver.beta_read)
+        assert b.transfer == pytest.approx(expected)
+
+    def test_startup_term_eq5(self, params):
+        h, s = 64 * KiB, 64 * KiB
+        config = StripingConfig(6, 2, h, s)
+        crit = critical_params(config, 0, 512 * KiB)
+        b = request_cost_breakdown(params, "read", 0, 512 * KiB, h, s)
+        expected = max(
+            params.hserver.expected_startup("read", crit.m),
+            params.sserver.expected_startup("read", crit.n),
+        )
+        assert b.startup == pytest.approx(expected)
+
+    def test_write_uses_write_parameters(self, params):
+        """Eq. (8): writes swap in the SServer write α/β."""
+        read = request_cost(params, "read", 0, 512 * KiB, 0, 64 * KiB)
+        write = request_cost(params, "write", 0, 512 * KiB, 0, 64 * KiB)
+        # SServer-only layout: write beta is double read beta in the fixture.
+        assert write > read
+
+    def test_hserver_only_symmetric(self, params):
+        """With h-only placement the HServer profile is symmetric: read == write."""
+        # s=0 requires placing everything on HServers.
+        read = request_cost(params, "read", 0, 128 * KiB, 64 * KiB, 0)
+        write = request_cost(params, "write", 0, 128 * KiB, 64 * KiB, 0)
+        assert read == pytest.approx(write)
+
+
+class TestCostShape:
+    def test_offloading_to_ssds_helps_small_requests(self, params):
+        """The paper's Fig. 9 observation: small requests prefer SServers only."""
+        on_both = request_cost(params, "read", 0, 128 * KiB, 16 * KiB, 16 * KiB)
+        ssd_only = request_cost(params, "read", 0, 128 * KiB, 0, 64 * KiB)
+        assert ssd_only < on_both
+
+    def test_cost_grows_with_request_size(self, params):
+        costs = [
+            request_cost(params, "write", 0, size, 64 * KiB, 64 * KiB)
+            for size in (64 * KiB, 256 * KiB, 1024 * KiB, 4096 * KiB)
+        ]
+        assert costs == sorted(costs)
+
+    def test_single_server_extreme(self, params):
+        """h = R means one HServer absorbs the whole request."""
+        cost = request_cost(params, "read", 0, 512 * KiB, 512 * KiB, 0)
+        config = StripingConfig(6, 2, 512 * KiB, 0)
+        crit = critical_params(config, 0, 512 * KiB)
+        assert crit.m == 1 and crit.n == 0
+
+
+class TestVectorized:
+    def test_matches_scalar_sum(self, params):
+        rng = np.random.default_rng(1)
+        offsets = rng.integers(0, 16 * 1024 * 1024, 50).astype(np.int64)
+        sizes = rng.integers(KiB, 1024 * KiB, 50).astype(np.int64)
+        is_read = rng.random(50) < 0.5
+        for h in (0, 16 * KiB, 64 * KiB):
+            s_values = np.array([32 * KiB, 64 * KiB, 160 * KiB], dtype=np.int64)
+            totals = total_cost_vectorized(params, offsets, sizes, is_read, h, s_values)
+            for j, s in enumerate(s_values):
+                expected = sum(
+                    request_cost(
+                        params,
+                        "read" if is_read[i] else "write",
+                        int(offsets[i]),
+                        int(sizes[i]),
+                        h,
+                        int(s),
+                    )
+                    for i in range(50)
+                )
+                assert totals[j] == pytest.approx(expected, rel=1e-9)
+
+    def test_hserver_only_candidate(self, params):
+        offsets = np.array([0, 100 * KiB], dtype=np.int64)
+        sizes = np.array([64 * KiB, 64 * KiB], dtype=np.int64)
+        is_read = np.array([True, False])
+        totals = total_cost_vectorized(
+            params, offsets, sizes, is_read, 64 * KiB, np.array([0], dtype=np.int64)
+        )
+        expected = request_cost(params, "read", 0, 64 * KiB, 64 * KiB, 0) + request_cost(
+            params, "write", 100 * KiB, 64 * KiB, 64 * KiB, 0
+        )
+        assert totals[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_empty_requests(self, params):
+        totals = total_cost_vectorized(
+            params,
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=bool),
+            64 * KiB,
+            np.array([64 * KiB], dtype=np.int64),
+        )
+        assert totals.tolist() == [0.0]
+
+    def test_invalid_candidate_rejected(self, params):
+        with pytest.raises(ValueError, match="M\\*h \\+ N\\*s > 0"):
+            total_cost_vectorized(
+                params,
+                np.array([0], dtype=np.int64),
+                np.array([KiB], dtype=np.int64),
+                np.array([True]),
+                0,
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_shape_mismatch_rejected(self, params):
+        with pytest.raises(ValueError):
+            total_cost_vectorized(
+                params,
+                np.array([0, 1], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                np.array([True]),
+                KiB,
+                np.array([KiB], dtype=np.int64),
+            )
+
+    def test_all_reads_and_all_writes(self, params):
+        # SServer-only placement exposes the read/write asymmetry directly.
+        offsets = np.zeros(4, dtype=np.int64)
+        sizes = np.full(4, 256 * KiB, dtype=np.int64)
+        reads = total_cost_vectorized(
+            params, offsets, sizes, np.ones(4, bool), 0, np.array([64 * KiB])
+        )
+        writes = total_cost_vectorized(
+            params, offsets, sizes, np.zeros(4, bool), 0, np.array([64 * KiB])
+        )
+        assert writes[0] > reads[0]

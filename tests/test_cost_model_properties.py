@@ -1,0 +1,140 @@
+"""Property-based tests for the access cost model's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import request_cost, request_cost_breakdown, total_cost_vectorized
+from repro.core.params import CostModelParameters
+from repro.devices.profiles import DeviceProfile
+from repro.util.units import KiB
+
+HPROF = DeviceProfile(
+    read_alpha_min=5e-5, read_alpha_max=1.5e-4,
+    write_alpha_min=5e-5, write_alpha_max=1.5e-4,
+    beta_read=2.1e-8, beta_write=2.1e-8, label="h",
+)
+SPROF = DeviceProfile(
+    read_alpha_min=1e-5, read_alpha_max=4e-5,
+    write_alpha_min=2e-5, write_alpha_max=6e-5,
+    beta_read=1.6e-9, beta_write=3.2e-9, label="s",
+)
+
+
+@st.composite
+def _params(draw):
+    m = draw(st.integers(min_value=0, max_value=8))
+    n = draw(st.integers(min_value=0, max_value=4))
+    assume(m + n > 0)
+    return CostModelParameters(
+        n_hservers=m, n_sservers=n, unit_network_time=2e-9, hserver=HPROF, sserver=SPROF
+    )
+
+
+@st.composite
+def _stripes(draw, params):
+    h = draw(st.integers(min_value=0, max_value=64)) * 4 * KiB
+    s = draw(st.integers(min_value=0, max_value=64)) * 4 * KiB
+    assume(params.n_hservers * h + params.n_sservers * s > 0)
+    return h, s
+
+
+offsets = st.integers(min_value=0, max_value=2**26)
+sizes = st.integers(min_value=1, max_value=2**22)
+ops = st.sampled_from(["read", "write"])
+
+
+@given(st.data())
+@settings(max_examples=200)
+def test_cost_positive_and_finite(data):
+    params = data.draw(_params())
+    h, s = data.draw(_stripes(params))
+    offset = data.draw(offsets)
+    size = data.draw(sizes)
+    op = data.draw(ops)
+    cost = request_cost(params, op, offset, size, h, s)
+    assert np.isfinite(cost)
+    assert cost > 0
+
+
+@given(st.data())
+@settings(max_examples=150)
+def test_breakdown_components_nonnegative(data):
+    params = data.draw(_params())
+    h, s = data.draw(_stripes(params))
+    breakdown = request_cost_breakdown(
+        params, data.draw(ops), data.draw(offsets), data.draw(sizes), h, s
+    )
+    assert breakdown.network >= 0
+    assert breakdown.startup >= 0
+    assert breakdown.transfer > 0
+    assert breakdown.total == pytest.approx(
+        breakdown.network + breakdown.startup + breakdown.transfer
+    )
+
+
+@given(st.data())
+@settings(max_examples=100)
+def test_cost_monotone_in_size_same_offset(data):
+    """Extending a request (same start) never lowers any cost phase except
+    startup (touching more servers can only raise the expected max)."""
+    params = data.draw(_params())
+    h, s = data.draw(_stripes(params))
+    offset = data.draw(offsets)
+    size = data.draw(st.integers(min_value=1, max_value=2**21))
+    extra = data.draw(st.integers(min_value=1, max_value=2**21))
+    op = data.draw(ops)
+    small = request_cost_breakdown(params, op, offset, size, h, s)
+    large = request_cost_breakdown(params, op, offset, size + extra, h, s)
+    assert large.network >= small.network - 1e-15
+    assert large.transfer >= small.transfer - 1e-15
+    assert large.startup >= small.startup - 1e-15
+
+
+@given(st.data())
+@settings(max_examples=100)
+def test_round_translation_invariance(data):
+    """Shifting a request by whole striping rounds leaves its cost unchanged."""
+    params = data.draw(_params())
+    h, s = data.draw(_stripes(params))
+    S = params.n_hservers * h + params.n_sservers * s
+    offset = data.draw(st.integers(min_value=0, max_value=2**22))
+    size = data.draw(sizes)
+    rounds = data.draw(st.integers(min_value=1, max_value=5))
+    op = data.draw(ops)
+    base = request_cost(params, op, offset, size, h, s)
+    shifted = request_cost(params, op, offset + rounds * S, size, h, s)
+    assert shifted == pytest.approx(base, rel=1e-12)
+
+
+@given(st.data())
+@settings(max_examples=60)
+def test_vectorized_equals_scalar(data):
+    params = data.draw(_params())
+    h, s = data.draw(_stripes(params))
+    assume(params.n_sservers == 0 or s > 0 or params.n_hservers * h > 0)
+    n = data.draw(st.integers(min_value=1, max_value=12))
+    offs = np.array([data.draw(offsets) for _ in range(n)], dtype=np.int64)
+    szs = np.array([data.draw(sizes) for _ in range(n)], dtype=np.int64)
+    is_read = np.array([data.draw(st.booleans()) for _ in range(n)])
+    total = total_cost_vectorized(params, offs, szs, is_read, h, np.array([s]))[0]
+    expected = sum(
+        request_cost(params, "read" if r else "write", int(o), int(z), h, s)
+        for o, z, r in zip(offs, szs, is_read)
+    )
+    assert total == pytest.approx(expected, rel=1e-10)
+
+
+@given(st.data())
+@settings(max_examples=100)
+def test_write_never_cheaper_than_read_on_sservers(data):
+    """With SServer-only placement, Eq. (8)'s write parameters dominate."""
+    params = data.draw(_params())
+    assume(params.n_sservers > 0)
+    s = (data.draw(st.integers(min_value=1, max_value=64))) * 4 * KiB
+    offset = data.draw(offsets)
+    size = data.draw(sizes)
+    read = request_cost(params, "read", offset, size, 0, s)
+    write = request_cost(params, "write", offset, size, 0, s)
+    assert write >= read - 1e-15

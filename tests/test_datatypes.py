@@ -1,0 +1,239 @@
+"""Unit and property tests for MPI derived datatypes and file views."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middleware.datatypes import Contiguous, FileView, Subarray, Vector
+from repro.util.units import KiB
+from repro.workloads.btio import CELL_BYTES, BTIOConfig, BTIOWorkload
+
+
+class TestContiguous:
+    def test_single_piece(self):
+        dtype = Contiguous(10, element_size=4)
+        assert dtype.size == dtype.extent == 40
+        assert dtype.pieces(100) == [(100, 40)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Contiguous(0)
+        with pytest.raises(ValueError):
+            Contiguous(1, element_size=0)
+
+
+class TestVector:
+    def test_strided_pieces(self):
+        dtype = Vector(count=3, blocklength=2, stride=5, element_size=8)
+        assert dtype.size == 48
+        assert dtype.extent == (2 * 5 + 2) * 8
+        assert dtype.pieces(0) == [(0, 16), (40, 16), (80, 16)]
+
+    def test_dense_vector_coalesces(self):
+        dtype = Vector(count=4, blocklength=3, stride=3)
+        assert dtype.pieces(7) == [(7, 12)]
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError, match="stride"):
+            Vector(count=2, blocklength=4, stride=3)
+
+    def test_tiled_instances_use_extent(self):
+        dtype = Vector(count=2, blocklength=1, stride=3)
+        # One instance: pieces at 0 and 3; extent = 4.
+        assert dtype.tiled_pieces(0, 2) == [(0, 1), (3, 2), (7, 1)]
+        # Explanation: instance 1 starts at 4; its first piece (4,1) abuts
+        # the previous (3,1) and coalesces into (3,2).
+
+
+class TestSubarray:
+    def test_2d_rows(self):
+        # 4x6 array, 2x3 box at (1, 2): rows of 3 at rows 1 and 2.
+        dtype = Subarray((4, 6), (2, 3), (1, 2))
+        assert dtype.size == 6
+        assert dtype.extent == 24
+        assert dtype.pieces(0) == [(8, 3), (14, 3)]
+
+    def test_full_rows_coalesce(self):
+        # A full-width band is contiguous in the file.
+        dtype = Subarray((4, 6), (2, 6), (1, 0))
+        assert dtype.pieces(0) == [(6, 12)]
+
+    def test_1d(self):
+        dtype = Subarray((10,), (4,), (3,), element_size=2)
+        assert dtype.pieces(0) == [(6, 8)]
+
+    def test_3d_counts(self):
+        dtype = Subarray((4, 4, 4), (2, 2, 2), (1, 1, 1))
+        pieces = dtype.pieces(0)
+        assert len(pieces) == 4  # 2 planes x 2 rows, rows of 2.
+        assert sum(size for _, size in pieces) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Subarray((4,), (5,), (0,))
+        with pytest.raises(ValueError):
+            Subarray((4, 4), (2,), (0,))
+        with pytest.raises(ValueError):
+            Subarray((4,), (2,), (3,))
+
+    def test_matches_btio_cell_decomposition(self):
+        """BTIO's hand-built pieces equal a 3-D subarray flattening."""
+        config = BTIOConfig(n_processes=4, grid=16)
+        workload = BTIOWorkload(config)
+        cn = config.cell_dim
+        for rank in (0, 3):
+            expected = workload.snapshot_pieces(rank, 0)
+            built: list[tuple[int, int]] = []
+            for ci, cj, ck in workload.owned_cells(rank):
+                dtype = Subarray(
+                    (config.grid, config.grid, config.grid),
+                    (cn, cn, cn),
+                    (ck * cn, cj * cn, ci * cn),
+                    element_size=CELL_BYTES,
+                )
+                built.extend(dtype.pieces(0))
+            assert sorted(built) == sorted(expected)
+
+
+class TestFileView:
+    def test_pointer_advances(self):
+        view = FileView(100, Contiguous(8))
+        assert view.next_pieces() == [(100, 8)]
+        assert view.next_pieces() == [(108, 8)]
+        view.seek(0)
+        assert view.next_pieces(2) == [(100, 16)]
+
+    def test_strided_view(self):
+        view = FileView(0, Vector(count=2, blocklength=1, stride=4))
+        assert view.next_pieces() == [(0, 1), (4, 1)]
+        # Next instance starts one extent (5 bytes) later.
+        assert view.next_pieces() == [(5, 1), (9, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FileView(-1, Contiguous(1))
+        view = FileView(0, Contiguous(1))
+        with pytest.raises(ValueError):
+            view.next_pieces(0)
+        with pytest.raises(ValueError):
+            view.seek(-1)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=200)
+def test_property_vector_conserves_size(count, blocklength, extra_stride, element_size):
+    dtype = Vector(count, blocklength, blocklength + extra_stride, element_size)
+    pieces = dtype.pieces(17)
+    assert sum(size for _, size in pieces) == dtype.size
+    offsets = [offset for offset, _ in pieces]
+    assert offsets == sorted(offsets)
+
+
+@st.composite
+def _subarrays(draw):
+    ndim = draw(st.integers(min_value=1, max_value=3))
+    sizes, subsizes, starts = [], [], []
+    for _ in range(ndim):
+        total = draw(st.integers(min_value=1, max_value=8))
+        sub = draw(st.integers(min_value=1, max_value=total))
+        start = draw(st.integers(min_value=0, max_value=total - sub))
+        sizes.append(total)
+        subsizes.append(sub)
+        starts.append(start)
+    element = draw(st.integers(min_value=1, max_value=4))
+    return Subarray(tuple(sizes), tuple(subsizes), tuple(starts), element)
+
+
+@given(_subarrays())
+@settings(max_examples=200)
+def test_property_subarray_pieces_match_brute_force(dtype):
+    """Flattened pieces equal the element-by-element byte set."""
+    import itertools
+
+    covered = set()
+    for offset, size in dtype.pieces(0):
+        for byte in range(offset, offset + size):
+            assert byte not in covered
+            covered.add(byte)
+
+    expected = set()
+    strides = [dtype.element_size] * len(dtype.sizes)
+    for dim in range(len(dtype.sizes) - 2, -1, -1):
+        strides[dim] = strides[dim + 1] * dtype.sizes[dim + 1]
+    for index in itertools.product(*(range(s) for s in dtype.subsizes)):
+        base = sum(
+            (start + i) * stride for start, i, stride in zip(dtype.starts, index, strides)
+        )
+        expected.update(range(base, base + dtype.element_size))
+    assert covered == expected
+
+
+class TestViewIO:
+    def test_write_all_view_end_to_end(self):
+        """Four ranks write a 2-D array via subarray views, collectively."""
+        from repro.middleware.mpi_sim import SimMPI
+        from repro.middleware.mpiio import MPIIOFile
+        from repro.pfs.filesystem import HybridPFS
+        from repro.pfs.layout import FixedLayout
+        from repro.simulate.engine import Simulator
+
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0)
+        world = SimMPI(sim, 4, network=pfs.network)
+        mf = MPIIOFile.open(world.comm, pfs, "grid.dat", FixedLayout(2, 1, 64 * KiB))
+
+        grid = 64  # 64x64 elements of 1 KiB; each rank owns a 32x32 quadrant.
+        half = grid // 2
+
+        def program(ctx):
+            row, col = divmod(ctx.rank, 2)
+            mf.set_view(
+                ctx.rank,
+                0,
+                Subarray((grid, grid), (half, half), (row * half, col * half), element_size=KiB),
+            )
+            yield from mf.write_all_view(ctx.rank, count=2)  # Two snapshots.
+
+        sim.run(world.spawn(program))
+        assert mf.handle.bytes_written == 2 * grid * grid * KiB
+
+    def test_independent_view_io(self):
+        from repro.middleware.mpi_sim import SimMPI
+        from repro.middleware.mpiio import MPIIOFile
+        from repro.pfs.filesystem import HybridPFS
+        from repro.pfs.layout import FixedLayout
+        from repro.simulate.engine import Simulator
+
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0)
+        world = SimMPI(sim, 2, network=pfs.network)
+        mf = MPIIOFile.open(world.comm, pfs, "f", FixedLayout(2, 1, 64 * KiB))
+
+        def program(ctx):
+            mf.set_view(ctx.rank, ctx.rank * 256 * KiB, Contiguous(64 * KiB))
+            yield from mf.write_view(ctx.rank, count=2)
+            mf.view(ctx.rank).seek(0)
+            yield from mf.read_view(ctx.rank, count=2)
+
+        sim.run(world.spawn(program))
+        assert mf.handle.bytes_written == 256 * KiB
+        assert mf.handle.bytes_read == 256 * KiB
+
+    def test_view_required(self):
+        from repro.middleware.mpi_sim import SimMPI
+        from repro.middleware.mpiio import MPIIOFile
+        from repro.pfs.filesystem import HybridPFS
+        from repro.pfs.layout import FixedLayout
+        from repro.simulate.engine import Simulator
+
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0)
+        world = SimMPI(sim, 1, network=pfs.network)
+        mf = MPIIOFile.open(world.comm, pfs, "f", FixedLayout(2, 1, 64 * KiB))
+        with pytest.raises(RuntimeError, match="no file view"):
+            mf.view(0)

@@ -1,0 +1,70 @@
+"""End-to-end determinism: same inputs, bit-identical outcomes.
+
+The whole experiment pipeline must replay exactly — calibration, planning,
+and simulation — because the reproduction's claims are stated as specific
+orderings and factors, and nondeterminism would make every bench flaky.
+"""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.experiments.figures import fig1a, fig7
+from repro.experiments.harness import Testbed, harl_plan, run_workload
+from repro.pfs.layout import FixedLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+def fresh_testbed():
+    return Testbed(n_hservers=6, n_sservers=2, seed=0)
+
+
+class TestDeterminism:
+    def test_calibration_replays_exactly(self):
+        a = fresh_testbed().parameters(request_hint=512 * KiB)
+        b = fresh_testbed().parameters(request_hint=512 * KiB)
+        assert a.hserver == b.hserver
+        assert a.sserver == b.sserver
+        assert a.unit_network_time == b.unit_network_time
+
+    def test_plan_replays_exactly(self):
+        workload = IORWorkload(
+            IORConfig(n_processes=8, request_size=512 * KiB, file_size=16 * MiB, op="write")
+        )
+        a = harl_plan(fresh_testbed(), workload)
+        b = harl_plan(fresh_testbed(), workload)
+        assert [e.config.stripes for e in a.entries] == [e.config.stripes for e in b.entries]
+        assert [e.offset for e in a.entries] == [e.offset for e in b.entries]
+
+    def test_simulation_replays_bit_exactly(self):
+        workload = IORWorkload(
+            IORConfig(n_processes=8, request_size=512 * KiB, file_size=16 * MiB, op="read")
+        )
+        layout = FixedLayout(6, 2, 64 * KiB)
+        a = run_workload(fresh_testbed(), workload, layout)
+        b = run_workload(fresh_testbed(), workload, layout)
+        assert a.makespan == b.makespan  # Exact equality, not approx.
+        assert a.server_busy == b.server_busy
+
+    def test_fig1a_replays_bit_exactly(self):
+        a = fig1a(fresh_testbed(), file_size=8 * MiB)
+        b = fig1a(fresh_testbed(), file_size=8 * MiB)
+        assert a.busy == b.busy
+        assert a.hserver_to_sserver_ratio == b.hserver_to_sserver_ratio
+
+    def test_fig7_replays_bit_exactly(self):
+        a = fig7(fresh_testbed(), file_size=8 * MiB)
+        b = fig7(fresh_testbed(), file_size=8 * MiB)
+        for table_a, table_b in zip(a.tables, b.tables):
+            for result_a, result_b in zip(table_a.results, table_b.results):
+                assert result_a.layout_name == result_b.layout_name
+                assert result_a.makespan == result_b.makespan
+
+    def test_different_seed_differs(self):
+        workload = IORWorkload(
+            IORConfig(n_processes=8, request_size=512 * KiB, file_size=16 * MiB, op="write")
+        )
+        layout = FixedLayout(6, 2, 64 * KiB)
+        a = run_workload(Testbed(6, 2, seed=0), workload, layout)
+        b = run_workload(Testbed(6, 2, seed=1), workload, layout)
+        assert a.makespan != b.makespan  # Device streams actually reseeded.

@@ -1,0 +1,166 @@
+"""Unit tests for the HDD and SSD device models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.base import OpType
+from repro.devices.hdd import HDDModel
+from repro.devices.ssd import SSDModel
+from repro.util.units import KiB, MiB
+
+
+class TestOpType:
+    @pytest.mark.parametrize("raw,expected", [("read", OpType.READ), ("WRITE", OpType.WRITE)])
+    def test_parse_strings(self, raw, expected):
+        assert OpType.parse(raw) is expected
+
+    def test_parse_passthrough(self):
+        assert OpType.parse(OpType.READ) is OpType.READ
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            OpType.parse("append")
+        with pytest.raises(ValueError):
+            OpType.parse(3)
+
+
+class TestHDDModel:
+    def test_startup_within_bounds(self):
+        hdd = HDDModel(alpha_min=1e-3, alpha_max=2e-3, seed=1)
+        draws = [hdd.startup_time(OpType.READ, 0, 4096) for _ in range(500)]
+        assert all(1e-3 <= d <= 2e-3 for d in draws)
+        assert max(draws) > 1.5e-3 and min(draws) < 1.5e-3  # Actually spread.
+
+    def test_transfer_linear(self):
+        hdd = HDDModel(bandwidth=100 * MiB)
+        assert hdd.transfer_time(OpType.READ, 100 * MiB) == pytest.approx(1.0)
+        assert hdd.transfer_time(OpType.WRITE, 50 * MiB) == pytest.approx(0.5)
+
+    def test_read_write_symmetric(self):
+        hdd = HDDModel()
+        assert hdd.transfer_time(OpType.READ, MiB) == hdd.transfer_time(OpType.WRITE, MiB)
+
+    def test_service_time_combines_and_counts(self):
+        hdd = HDDModel(alpha_min=1e-3, alpha_max=1e-3, bandwidth=100 * MiB, seed=0)
+        t = hdd.service_time("read", 0, 100 * MiB)
+        assert t == pytest.approx(1.0 + 1e-3)
+        assert hdd.bytes_read == 100 * MiB
+        assert hdd.requests_served == 1
+
+    def test_zero_size_is_free(self):
+        hdd = HDDModel()
+        assert hdd.service_time("write", 0, 0) == 0.0
+        assert hdd.requests_served == 0
+
+    def test_negative_args_rejected(self):
+        hdd = HDDModel()
+        with pytest.raises(ValueError):
+            hdd.service_time("read", -1, 10)
+        with pytest.raises(ValueError):
+            hdd.service_time("read", 0, -10)
+
+    def test_deterministic_with_seed(self):
+        a = HDDModel(seed=5)
+        b = HDDModel(seed=5)
+        assert [a.startup_time(OpType.READ, 0, 1) for _ in range(10)] == [
+            b.startup_time(OpType.READ, 0, 1) for _ in range(10)
+        ]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            HDDModel(alpha_min=2e-3, alpha_max=1e-3)
+        with pytest.raises(ValueError):
+            HDDModel(bandwidth=0)
+
+    def test_positional_mode_prefers_nearby(self):
+        # With the head parked at 0, a short seek must cost less on average
+        # than a full-stroke seek.
+        near, far = [], []
+        for seed in range(20):
+            close_disk = HDDModel(positional=True, seed=seed)
+            near.append(close_disk.startup_time(OpType.READ, 4096, 4096))
+            far_disk = HDDModel(positional=True, seed=seed)
+            far.append(far_disk.startup_time(OpType.READ, far_disk.capacity - MiB, 4096))
+        assert np.mean(far) > np.mean(near)
+
+    def test_positional_head_moves_with_accesses(self):
+        hdd = HDDModel(positional=True, seed=3)
+        hdd.service_time("read", 10 * MiB, 4096)
+        assert hdd._head_position == 10 * MiB + 4096
+
+    def test_reset_counters(self):
+        hdd = HDDModel(seed=0)
+        hdd.service_time("read", 0, 4096)
+        hdd.reset_counters()
+        assert hdd.bytes_read == 0 and hdd.requests_served == 0
+
+
+class TestSSDModel:
+    def test_write_slower_than_read(self):
+        ssd = SSDModel()
+        assert ssd.transfer_time(OpType.WRITE, MiB) > ssd.transfer_time(OpType.READ, MiB)
+
+    def test_startup_bounds_per_op(self):
+        ssd = SSDModel(
+            read_alpha_min=1e-5,
+            read_alpha_max=2e-5,
+            write_alpha_min=3e-5,
+            write_alpha_max=4e-5,
+            gc_window=0,
+            seed=2,
+        )
+        reads = [ssd.startup_time(OpType.READ, 0, 4096) for _ in range(200)]
+        writes = [ssd.startup_time(OpType.WRITE, 0, 4096) for _ in range(200)]
+        assert all(1e-5 <= r <= 2e-5 for r in reads)
+        assert all(3e-5 <= w <= 4e-5 for w in writes)
+
+    def test_gc_pause_fires_per_window(self):
+        ssd = SSDModel(
+            write_alpha_min=0.0,
+            write_alpha_max=0.0,
+            gc_window=10 * MiB,
+            gc_pause=0.5,
+            seed=0,
+        )
+        pauses = 0
+        for _ in range(25):
+            if ssd.startup_time(OpType.WRITE, 0, MiB) >= 0.5:
+                pauses += 1
+        # 25 MiB written over a 10 MiB window: exactly 2 GC stalls.
+        assert pauses == 2
+
+    def test_gc_disabled(self):
+        ssd = SSDModel(write_alpha_min=0.0, write_alpha_max=0.0, gc_window=0, gc_pause=0.5)
+        assert all(ssd.startup_time(OpType.WRITE, 0, MiB) == 0.0 for _ in range(20))
+
+    def test_reads_never_pay_gc(self):
+        ssd = SSDModel(read_alpha_min=0.0, read_alpha_max=0.0, gc_window=KiB, gc_pause=0.5)
+        assert all(ssd.startup_time(OpType.READ, 0, MiB) == 0.0 for _ in range(20))
+
+    def test_channel_speedup_monotone(self):
+        ssd = SSDModel()
+        per_byte_small = ssd.transfer_time(OpType.READ, 4 * KiB) / (4 * KiB)
+        per_byte_large = ssd.transfer_time(OpType.READ, 2 * MiB) / (2 * MiB)
+        assert per_byte_large < per_byte_small
+
+    def test_full_width_matches_nominal_bandwidth(self):
+        ssd = SSDModel(read_bandwidth=600 * MiB, n_channels=8, channel_chunk=64 * KiB)
+        # A request engaging every channel transfers at the nominal rate.
+        t = ssd.transfer_time(OpType.READ, 600 * MiB)
+        assert t == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSDModel(read_alpha_min=2e-5, read_alpha_max=1e-5)
+        with pytest.raises(ValueError):
+            SSDModel(write_bandwidth=-1)
+        with pytest.raises(ValueError):
+            SSDModel(n_channels=0)
+
+    def test_counters_track_ops(self):
+        ssd = SSDModel(seed=0)
+        ssd.service_time("read", 0, 100)
+        ssd.service_time("write", 0, 200)
+        assert ssd.bytes_read == 100
+        assert ssd.bytes_written == 200
+        assert ssd.requests_served == 2

@@ -1,0 +1,131 @@
+"""Failure/degradation injection: the simulator under abnormal conditions.
+
+These are not paper experiments; they harden the substrate. A production
+simulator must behave sanely when a server is a straggler, when a device
+degrades mid-run, or when a workload stalls — and the statistics must make
+the anomaly visible.
+"""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.devices.hdd import HDDModel
+from repro.network.link import NetworkModel
+from repro.pfs.filesystem import HybridPFS
+from repro.pfs.layout import FixedLayout
+from repro.simulate.engine import Interrupt, SimulationError, Simulator
+from repro.util.units import KiB, MiB
+
+
+def run_ior_like(pfs, sim, n_requests=32, request_size=512 * KiB):
+    handle = pfs.create_file("f", FixedLayout(pfs.n_hservers, pfs.n_sservers, 64 * KiB))
+    procs = [handle.write(i * request_size, request_size) for i in range(n_requests)]
+    sim.run(sim.all_of(procs))
+    return handle
+
+
+class TestStragglerServer:
+    def test_slow_hserver_dominates_makespan(self):
+        def run(straggler_factor):
+            sim = Simulator()
+            pfs = HybridPFS.build(sim, 3, 1, seed=0)
+            if straggler_factor != 1.0:
+                device = pfs.hservers[0].device
+                device.bandwidth /= straggler_factor
+            run_ior_like(pfs, sim)
+            return sim.now, pfs.server_busy_times()
+
+        normal_time, _ = run(1.0)
+        slow_time, slow_busy = run(4.0)
+        assert slow_time > 1.5 * normal_time
+        # The straggler is visible in per-server statistics.
+        assert slow_busy["hserver0"] > 2 * slow_busy["hserver1"]
+
+    def test_straggler_does_not_change_bytes_served(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 3, 1, seed=0)
+        pfs.hservers[0].device.bandwidth /= 10
+        handle = run_ior_like(pfs, sim)
+        assert handle.bytes_written == 32 * 512 * KiB
+        assert sum(s.bytes_served for s in pfs.servers) == handle.bytes_written
+
+
+class TestMidRunDegradation:
+    def test_device_slowdown_mid_run(self):
+        """Degrading a device between requests slows only later requests."""
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 1, 1, seed=0)
+        handle = pfs.create_file("f", FixedLayout(1, 1, 64 * KiB))
+
+        timings = []
+
+        def driver():
+            start = sim.now
+            yield handle.write(0, 512 * KiB)
+            timings.append(sim.now - start)
+            pfs.hservers[0].device.bandwidth /= 8  # Degradation event.
+            start = sim.now
+            yield handle.write(512 * KiB, 512 * KiB)
+            timings.append(sim.now - start)
+
+        sim.run(sim.process(driver()))
+        assert timings[1] > 2 * timings[0]
+
+
+class TestWorkloadStalls:
+    def test_deadlock_detected_when_rank_never_arrives(self):
+        """A collective missing one rank deadlocks; run(until=event) says so."""
+        from repro.middleware.mpi_sim import SimMPI
+
+        sim = Simulator()
+        world = SimMPI(sim, 2)
+
+        def only_rank_zero(ctx):
+            if ctx.rank == 0:
+                yield from ctx.barrier()  # Rank 1 never arrives.
+
+        done = world.spawn(only_rank_zero)
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(done)
+
+    def test_interrupting_stuck_client(self):
+        """A stuck client can be cancelled without corrupting server state."""
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 1, 1, seed=0)
+
+        def stuck():
+            yield sim.event()  # Waits forever.
+
+        proc = sim.process(stuck())
+
+        def rescuer():
+            yield sim.timeout(1.0)
+            proc.interrupt("cancelled")
+
+        sim.process(rescuer())
+        with pytest.raises(Interrupt):
+            sim.run(proc)
+        assert sim.now == 1.0
+
+
+class TestExtremeDeviceParameters:
+    def test_zero_latency_device_still_orders_correctly(self):
+        device = HDDModel(alpha_min=0, alpha_max=0, bandwidth=1e12, seed=0)
+        assert device.service_time("read", 0, MiB) > 0
+
+    def test_very_slow_network_bounds_throughput(self):
+        sim = Simulator()
+        slow = NetworkModel(unit_time=1e-5)  # 100 KB/s.
+        pfs = HybridPFS.build(sim, 1, 1, network=slow, seed=0)
+        handle = pfs.create_file("f", FixedLayout(1, 1, 64 * KiB))
+        elapsed = sim.run(handle.write(0, 128 * KiB))
+        # Dominated by the wire: >= size * unit_time per sub-request.
+        assert elapsed >= 64 * KiB * 1e-5
+
+    def test_huge_request_on_tiny_stripes(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 1, 4 * KiB))
+        elapsed = sim.run(handle.write(0, 16 * MiB))
+        assert elapsed > 0
+        assert sum(s.bytes_served for s in pfs.servers) == 16 * MiB

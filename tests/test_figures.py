@@ -1,0 +1,126 @@
+"""Tests for the per-figure experiment entry points (tiny scales).
+
+Full-scale regeneration lives in benchmarks/; these tests exercise the same
+code paths at the smallest meaningful sizes and assert structure plus the
+headline orderings.
+"""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.experiments import figures
+from repro.experiments.harness import Testbed
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(n_hservers=6, n_sservers=2, seed=0)
+
+
+class TestHelpers:
+    def test_fixed_layouts_names(self, testbed):
+        layouts = figures.fixed_layouts(testbed)
+        assert set(layouts) == {"16K", "64K", "256K", "1M"}
+
+    def test_random_layouts_names(self, testbed):
+        assert set(figures.random_layouts(testbed, (1, 2))) == {"rand#1", "rand#2"}
+
+    def test_default_testbed_shape(self):
+        testbed = figures.default_testbed()
+        assert (testbed.n_hservers, testbed.n_sservers) == (6, 2)
+
+
+class TestFig1a:
+    def test_structure_and_imbalance(self, testbed):
+        result = figures.fig1a(testbed, file_size=8 * MiB)
+        assert len(result.busy) == 8
+        assert min(result.normalized.values()) == pytest.approx(1.0)
+        assert result.hserver_to_sserver_ratio > 2.0
+        text = result.render()
+        assert "Fig 1(a)" in text and "hserver0" in text
+
+
+class TestFig1b:
+    def test_matrix_complete(self, testbed):
+        result = figures.fig1b(
+            testbed,
+            request_sizes=(128 * KiB, 512 * KiB),
+            stripe_sizes=(64 * KiB, 1024 * KiB),
+            requests_per_process=4,
+            n_processes=4,
+        )
+        assert len(result.throughput_mib) == 4
+        assert all(v > 0 for v in result.throughput_mib.values())
+        assert "Fig 1(b)" in result.render()
+
+    def test_best_stripe_for(self, testbed):
+        result = figures.fig1b(
+            testbed,
+            request_sizes=(512 * KiB,),
+            stripe_sizes=(64 * KiB, 1024 * KiB),
+            requests_per_process=4,
+            n_processes=4,
+        )
+        assert result.best_stripe_for(512 * KiB) in (64 * KiB, 1024 * KiB)
+
+
+class TestFig7:
+    def test_harl_best_both_ops(self, testbed):
+        result = figures.fig7(testbed, file_size=8 * MiB)
+        assert len(result.tables) == 2
+        for table in result.tables:
+            assert table.best().layout_name == "HARL"
+        assert "read" in result.harl_tables and "write" in result.harl_tables
+        rendered = result.render()
+        assert "HARL[read]" in rendered
+
+
+class TestFig8:
+    def test_scales_with_processes(self, testbed):
+        result = figures.fig8(
+            testbed, process_counts=(4, 8), requests_per_process=4, ops=(OpType.WRITE,)
+        )
+        assert len(result.tables) == 2
+        for table in result.tables:
+            assert table.best().layout_name == "HARL"
+
+
+class TestFig9:
+    def test_request_size_sweep(self, testbed):
+        result = figures.fig9(
+            testbed,
+            request_sizes=(128 * KiB, 1024 * KiB),
+            requests_per_process=4,
+            ops=(OpType.WRITE,),
+        )
+        small_rst = result.harl_tables["write/128K"]
+        assert small_rst.entries[0].config.hstripe == 0  # SServer-only.
+        for table in result.tables:
+            assert table.best().layout_name == "HARL"
+
+
+class TestFig10:
+    def test_two_ratios(self):
+        result = figures.fig10(
+            ratios=((7, 1), (2, 6)), file_size=8 * MiB, ops=(OpType.WRITE,)
+        )
+        assert len(result.tables) == 2
+        for table in result.tables:
+            assert table.best().layout_name == "HARL"
+
+
+class TestFig11:
+    def test_nonuniform(self, testbed):
+        result = figures.fig11(testbed, scale=64, ops=(OpType.WRITE,), coverage=0.5)
+        assert len(result.tables) == 1
+        assert result.tables[0].best().layout_name == "HARL"
+        assert "regions" in result.notes[0]
+
+
+class TestFig12:
+    def test_btio(self, testbed):
+        result = figures.fig12(process_counts=(4,), grid=16, timesteps=10, testbed=testbed)
+        assert len(result.tables) == 1
+        table = result.tables[0]
+        assert table.result("HARL").throughput >= table.result("64K").throughput

@@ -1,0 +1,83 @@
+"""Tests for the figure result objects' APIs (beyond the sweeps themselves)."""
+
+import pytest
+
+from repro.core.rst import RegionStripeTable, RSTEntry
+from repro.experiments.figures import (
+    Fig1aResult,
+    Fig1bResult,
+    FigureResult,
+    IORComparisonResult,
+)
+from repro.experiments.harness import ComparisonTable, RunResult
+from repro.pfs.mapping import StripingConfig
+from repro.util.units import KiB, MiB
+
+
+def run_result(name, makespan):
+    return RunResult(layout_name=name, makespan=makespan, total_bytes=32 * MiB, server_busy={})
+
+
+class TestFig1aResult:
+    def test_render(self):
+        result = Fig1aResult(
+            busy={"hserver0": 0.3, "sserver0": 0.1},
+            normalized={"hserver0": 3.0, "sserver0": 1.0},
+            hserver_to_sserver_ratio=3.0,
+        )
+        text = result.render()
+        assert "3.00x" in text and "ratio: 3.00x" in text
+
+
+class TestFig1bResult:
+    def make(self):
+        return Fig1bResult(
+            request_sizes=(128 * KiB, 512 * KiB),
+            stripe_sizes=(64 * KiB, 1024 * KiB),
+            throughput_mib={
+                (128 * KiB, 64 * KiB): 100.0,
+                (128 * KiB, 1024 * KiB): 300.0,
+                (512 * KiB, 64 * KiB): 400.0,
+                (512 * KiB, 1024 * KiB): 200.0,
+            },
+        )
+
+    def test_best_stripe_differs_per_row(self):
+        result = self.make()
+        assert result.best_stripe_for(128 * KiB) == 1024 * KiB
+        assert result.best_stripe_for(512 * KiB) == 64 * KiB
+
+    def test_render_matrix(self):
+        text = self.make().render()
+        assert "req\\stripe" in text
+        assert "128K" in text and "1M" in text
+
+
+class TestIORComparisonResult:
+    def make(self):
+        table = ComparisonTable(
+            title="t [write]",
+            results=[run_result("64K", 2.0), run_result("HARL", 1.0)],
+        )
+        rst = RegionStripeTable(
+            [RSTEntry(0, 0, None, StripingConfig(6, 2, 32 * KiB, 160 * KiB))]
+        )
+        result = IORComparisonResult(figure="FigX")
+        result.tables.append(table)
+        result.harl_tables["write"] = rst
+        return result
+
+    def test_harl_choice_describes_config(self):
+        assert self.make().harl_choice("write") == "32K-160K"
+
+    def test_render_includes_choices_and_tables(self):
+        text = self.make().render()
+        assert "HARL[write]: 32K-160K" in text
+        assert "t [write]" in text
+        assert "=== FigX ===" in text
+
+
+class TestFigureResult:
+    def test_notes_appended(self):
+        result = FigureResult(figure="F", notes=["interesting observation"])
+        assert "interesting observation" in result.render()

@@ -1,0 +1,147 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ComparisonTable,
+    RunResult,
+    Testbed,
+    compare_layouts,
+    harl_plan,
+    run_workload,
+    workload_bytes,
+    workload_processes,
+)
+from repro.middleware.iosig import TraceCollector
+from repro.pfs.layout import FixedLayout
+from repro.simulate.engine import Simulator
+from repro.util.units import KiB, MiB
+from repro.workloads.btio import BTIOConfig, BTIOWorkload
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.synthetic import RegionSpec, SyntheticRegionWorkload
+
+
+def tiny_ior(op="write", n=4):
+    return IORWorkload(IORConfig(n_processes=n, request_size=64 * KiB, file_size=2 * MiB, op=op))
+
+
+class TestWorkloadProtocol:
+    def test_processes_from_config(self):
+        assert workload_processes(tiny_ior()) == 4
+
+    def test_processes_direct_attribute(self):
+        workload = SyntheticRegionWorkload(
+            regions=[RegionSpec(MiB, 64 * KiB)], n_processes=3
+        )
+        assert workload_processes(workload) == 3
+
+    def test_bytes_ior(self):
+        assert workload_bytes(tiny_ior()) == 2 * MiB
+
+    def test_bytes_btio_includes_readback(self):
+        workload = BTIOWorkload(BTIOConfig(n_processes=4, grid=16, timesteps=5))
+        assert workload_bytes(workload) == workload.config.total_io_bytes
+
+
+class TestTestbed:
+    def test_build_matches_shape(self):
+        testbed = Testbed(n_hservers=3, n_sservers=2)
+        pfs = testbed.build(Simulator())
+        assert pfs.n_hservers == 3 and pfs.n_sservers == 2
+
+    def test_parameters_cached(self):
+        testbed = Testbed(n_hservers=2, n_sservers=1)
+        first = testbed.parameters(repeats=40)
+        second = testbed.parameters(repeats=40)
+        assert first is second
+
+    def test_parameters_match_architecture(self):
+        testbed = Testbed(n_hservers=7, n_sservers=1)
+        params = testbed.parameters(repeats=40)
+        assert (params.n_hservers, params.n_sservers) == (7, 1)
+
+
+class TestRunWorkload:
+    def test_basic_run(self, tiny_testbed):
+        result = run_workload(tiny_testbed, tiny_ior(), FixedLayout(2, 1, 64 * KiB))
+        assert result.makespan > 0
+        assert result.total_bytes == 2 * MiB
+        assert result.throughput == pytest.approx(2 * MiB / result.makespan)
+        assert result.throughput_mib == pytest.approx(result.throughput / MiB)
+        assert set(result.server_busy) == {"hserver0", "hserver1", "sserver0"}
+
+    def test_layout_name_defaults_to_describe(self, tiny_testbed):
+        result = run_workload(tiny_testbed, tiny_ior(), FixedLayout(2, 1, 64 * KiB))
+        assert result.layout_name == "64K"
+
+    def test_runs_are_independent(self, tiny_testbed):
+        layout = FixedLayout(2, 1, 64 * KiB)
+        a = run_workload(tiny_testbed, tiny_ior(), layout)
+        b = run_workload(tiny_testbed, tiny_ior(), layout)
+        assert a.makespan == pytest.approx(b.makespan)
+
+    def test_collector_attached(self, tiny_testbed):
+        collector = TraceCollector(Simulator())
+        run_workload(tiny_testbed, tiny_ior(), FixedLayout(2, 1, 64 * KiB), collector=collector)
+        assert len(collector) == 32  # 4 ranks x 8 requests.
+
+    def test_rst_layout_accepted(self, tiny_testbed):
+        workload = tiny_ior()
+        rst = harl_plan(tiny_testbed, workload)
+        result = run_workload(tiny_testbed, workload, rst, layout_name="HARL")
+        assert result.layout_name == "HARL"
+        assert result.makespan > 0
+
+
+class TestHarlPlan:
+    def test_produces_rst_for_architecture(self, tiny_testbed):
+        rst = harl_plan(tiny_testbed, tiny_ior())
+        assert rst.entries[0].config.n_hservers == 2
+        assert rst.entries[0].config.n_sservers == 1
+
+    def test_planner_kwargs_forwarded(self, tiny_testbed):
+        rst = harl_plan(tiny_testbed, tiny_ior(), merge_regions=False, step=32 * KiB)
+        assert len(rst) >= 1
+
+
+class TestComparisonTable:
+    def make_table(self):
+        return ComparisonTable(
+            title="t",
+            results=[
+                RunResult("64K", makespan=2.0, total_bytes=2 * MiB, server_busy={}),
+                RunResult("HARL", makespan=1.0, total_bytes=2 * MiB, server_busy={}),
+            ],
+        )
+
+    def test_best(self):
+        assert self.make_table().best().layout_name == "HARL"
+
+    def test_result_lookup(self):
+        assert self.make_table().result("64K").makespan == 2.0
+        with pytest.raises(KeyError):
+            self.make_table().result("nope")
+
+    def test_improvement_over(self):
+        table = self.make_table()
+        assert table.improvement_over("64K") == pytest.approx(1.0)
+        assert table.improvement_over("64K", "64K") == pytest.approx(0.0)
+
+    def test_render_contains_all_layouts(self):
+        text = self.make_table().render()
+        assert "64K" in text and "HARL" in text and "MiB/s" in text
+
+
+class TestCompareLayouts:
+    def test_sweep(self, tiny_testbed):
+        workload = tiny_ior()
+        table = compare_layouts(
+            tiny_testbed,
+            workload,
+            {
+                "64K": FixedLayout(2, 1, 64 * KiB),
+                "256K": FixedLayout(2, 1, 256 * KiB),
+            },
+        )
+        assert len(table.results) == 2
+        assert {r.layout_name for r in table.results} == {"64K", "256K"}

@@ -1,0 +1,74 @@
+"""Tests for multi-application and replicated harness runs."""
+
+import pytest
+
+from repro.experiments.harness import (
+    Testbed,
+    run_concurrent_workloads,
+    run_replicated,
+    run_workload,
+)
+from repro.pfs.layout import FixedLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+def small_ior(op="write", n=4, file_size=4 * MiB):
+    return IORWorkload(
+        IORConfig(n_processes=n, request_size=128 * KiB, file_size=file_size, op=op)
+    )
+
+
+class TestRunConcurrentWorkloads:
+    def test_empty_rejected(self, tiny_testbed):
+        with pytest.raises(ValueError):
+            run_concurrent_workloads(tiny_testbed, [])
+
+    def test_two_apps_share_servers(self, tiny_testbed):
+        layout = FixedLayout(2, 1, 64 * KiB)
+        result = run_concurrent_workloads(
+            tiny_testbed,
+            [("a", small_ior(), layout), ("b", small_ior("read"), layout)],
+        )
+        assert set(result.per_app) == {"a", "b"}
+        assert result.makespan == pytest.approx(
+            max(r.makespan for r in result.per_app.values())
+        )
+        assert result.aggregate_throughput_mib > 0
+
+    def test_contention_slows_apps_versus_solo(self, tiny_testbed):
+        layout = FixedLayout(2, 1, 64 * KiB)
+        solo = run_workload(tiny_testbed, small_ior(), layout)
+        shared = run_concurrent_workloads(
+            tiny_testbed,
+            [("a", small_ior(), layout), ("b", small_ior(), layout)],
+        )
+        assert shared.per_app["a"].makespan > solo.makespan
+
+    def test_single_app_matches_run_workload(self, tiny_testbed):
+        layout = FixedLayout(2, 1, 64 * KiB)
+        solo = run_workload(tiny_testbed, small_ior(), layout)
+        concurrent = run_concurrent_workloads(tiny_testbed, [("a", small_ior(), layout)])
+        assert concurrent.per_app["a"].makespan == pytest.approx(solo.makespan, rel=1e-9)
+
+
+class TestRunReplicated:
+    def test_replicates_across_seeds(self, tiny_testbed):
+        replicated = run_replicated(
+            tiny_testbed, small_ior(), FixedLayout(2, 1, 64 * KiB), seeds=(0, 1, 2)
+        )
+        assert len(replicated.results) == 3
+        assert replicated.mean_throughput > 0
+        assert replicated.std_throughput >= 0
+        assert 0 <= replicated.cv < 0.2
+
+    def test_same_seed_zero_variance(self, tiny_testbed):
+        replicated = run_replicated(
+            tiny_testbed, small_ior(), FixedLayout(2, 1, 64 * KiB), seeds=(5, 5, 5)
+        )
+        assert replicated.std_throughput == pytest.approx(0.0)
+
+    def test_original_testbed_untouched(self, tiny_testbed):
+        original_seed = tiny_testbed.seed
+        run_replicated(tiny_testbed, small_ior(), FixedLayout(2, 1, 64 * KiB), seeds=(7, 8))
+        assert tiny_testbed.seed == original_seed

@@ -1,0 +1,125 @@
+"""Unit tests for the IOSIG-style trace collector and trace files."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.middleware.iosig import TraceCollector
+from repro.simulate.engine import Simulator
+from repro.workloads.traces import TraceFile, TraceRecord, sort_trace, trace_arrays
+
+
+class TestTraceRecord:
+    def test_valid(self):
+        TraceRecord(pid=1, rank=0, fd=3, op=OpType.READ, offset=0, size=1, timestamp=0.0)
+
+    def test_invalid_offset(self):
+        with pytest.raises(ValueError):
+            TraceRecord(pid=1, rank=0, fd=3, op=OpType.READ, offset=-1, size=1, timestamp=0.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TraceRecord(pid=1, rank=0, fd=3, op=OpType.READ, offset=0, size=0, timestamp=0.0)
+
+
+class TestSortTrace:
+    def test_sorts_by_offset(self):
+        records = [
+            TraceRecord(1, 0, 3, OpType.READ, offset, 1, 0.0) for offset in (30, 10, 20)
+        ]
+        assert [r.offset for r in sort_trace(records)] == [10, 20, 30]
+
+    def test_ties_broken_by_timestamp(self):
+        records = [
+            TraceRecord(1, 0, 3, OpType.READ, 10, 1, 2.0),
+            TraceRecord(1, 1, 3, OpType.READ, 10, 1, 1.0),
+        ]
+        assert [r.rank for r in sort_trace(records)] == [1, 0]
+
+
+class TestTraceArrays:
+    def test_columnizes(self):
+        records = [
+            TraceRecord(1, 0, 3, OpType.READ, 0, 100, 0.0),
+            TraceRecord(1, 0, 3, OpType.WRITE, 100, 200, 1.0),
+        ]
+        offsets, sizes, is_read = trace_arrays(records)
+        assert offsets.tolist() == [0, 100]
+        assert sizes.tolist() == [100, 200]
+        assert is_read.tolist() == [True, False]
+
+
+class TestTraceFile:
+    def test_round_trip(self):
+        records = [
+            TraceRecord(1, r, 3, OpType.READ if r % 2 else OpType.WRITE, r * 100, 64, r * 0.5)
+            for r in range(10)
+        ]
+        restored = TraceFile.loads(TraceFile.dumps(records))
+        assert restored == records
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        records = [TraceRecord(1, 0, 3, OpType.WRITE, 0, 4096, 0.125)]
+        TraceFile.save(path, records)
+        assert TraceFile.load(path) == records
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="bad header"):
+            TraceFile.loads("nope,nope\n1,2\n")
+
+    def test_timestamps_preserved_to_ns(self):
+        records = [TraceRecord(1, 0, 3, OpType.READ, 0, 1, 1.000000001)]
+        restored = TraceFile.loads(TraceFile.dumps(records))
+        assert restored[0].timestamp == pytest.approx(1.000000001, abs=1e-9)
+
+
+class TestTraceCollector:
+    def test_records_with_sim_time(self):
+        sim = Simulator()
+        collector = TraceCollector(sim)
+
+        def program():
+            yield sim.timeout(1.5)
+            collector.record(0, "f.dat", "write", 0, 4096)
+
+        sim.run(sim.process(program()))
+        assert len(collector) == 1
+        assert collector.records[0].timestamp == 1.5
+        assert collector.records[0].op is OpType.WRITE
+
+    def test_fd_stable_per_file(self):
+        collector = TraceCollector(Simulator())
+        fd_a = collector.fd_for("a.dat")
+        fd_b = collector.fd_for("b.dat")
+        assert fd_a != fd_b
+        assert collector.fd_for("a.dat") == fd_a
+        assert fd_a >= 3  # stdio descriptors reserved.
+
+    def test_sorted_records_filter_by_file(self):
+        collector = TraceCollector(Simulator())
+        collector.record(0, "a.dat", "read", 200, 10)
+        collector.record(0, "b.dat", "read", 0, 10)
+        collector.record(0, "a.dat", "read", 100, 10)
+        records = collector.sorted_records("a.dat")
+        assert [r.offset for r in records] == [100, 200]
+
+    def test_sorted_records_all_files(self):
+        collector = TraceCollector(Simulator())
+        collector.record(0, "a.dat", "read", 50, 10)
+        collector.record(0, "b.dat", "read", 10, 10)
+        assert [r.offset for r in collector.sorted_records()] == [10, 50]
+
+    def test_save(self, tmp_path):
+        collector = TraceCollector(Simulator())
+        collector.record(1, "f.dat", "write", 0, 64)
+        path = tmp_path / "trace.csv"
+        collector.save(path)
+        assert len(TraceFile.load(path)) == 1
+
+    def test_clear(self):
+        collector = TraceCollector(Simulator())
+        collector.record(0, "f.dat", "read", 0, 1)
+        collector.clear()
+        assert len(collector) == 0
+        # Descriptor table survives a clear.
+        assert collector.fd_for("f.dat") == 3

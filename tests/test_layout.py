@@ -1,0 +1,124 @@
+"""Unit tests for layout policies."""
+
+import pytest
+
+from repro.core.rst import RegionStripeTable, RSTEntry
+from repro.pfs.layout import (
+    FixedLayout,
+    HybridFixedLayout,
+    RandomLayout,
+    RegionLevelLayout,
+)
+from repro.pfs.mapping import StripingConfig
+from repro.util.units import KiB, MiB
+
+
+class TestFixedLayouts:
+    def test_fixed_uses_same_stripe_everywhere(self):
+        layout = FixedLayout(6, 2, 64 * KiB)
+        config = layout.config_at(0)
+        assert config.hstripe == config.sstripe == 64 * KiB
+
+    def test_hybrid_fixed(self):
+        layout = HybridFixedLayout(6, 2, 36 * KiB, 148 * KiB)
+        config = layout.config_at(123456789)
+        assert (config.hstripe, config.sstripe) == (36 * KiB, 148 * KiB)
+
+    def test_single_segment(self):
+        layout = FixedLayout(6, 2, 64 * KiB)
+        segments = layout.segments(100, 5000)
+        assert len(segments) == 1
+        seg = segments[0]
+        assert (seg.offset, seg.size, seg.region_id, seg.region_base) == (100, 5000, 0, 0)
+
+    def test_empty_request(self):
+        assert FixedLayout(6, 2, 64 * KiB).segments(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLayout(6, 2, 64 * KiB).segments(-1, 10)
+
+    def test_describe(self):
+        assert FixedLayout(6, 2, 64 * KiB).describe() == "64K"
+        assert HybridFixedLayout(6, 2, 36 * KiB, 148 * KiB).describe() == "36K-148K"
+
+
+class TestRandomLayout:
+    def test_deterministic_per_seed(self):
+        a = RandomLayout(6, 2, seed=7)
+        b = RandomLayout(6, 2, seed=7)
+        assert a.config == b.config
+
+    def test_seeds_vary_choice(self):
+        configs = {RandomLayout(6, 2, seed=s).config for s in range(20)}
+        assert len(configs) > 3
+
+    def test_sstripe_at_least_hstripe(self):
+        for seed in range(50):
+            config = RandomLayout(6, 2, seed=seed).config
+            assert config.sstripe >= config.hstripe
+
+    def test_choices_respected(self):
+        layout = RandomLayout(6, 2, choices=[16 * KiB], seed=0)
+        assert layout.config.hstripe == layout.config.sstripe == 16 * KiB
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            RandomLayout(6, 2, choices=[])
+
+    def test_describe_prefix(self):
+        assert RandomLayout(6, 2, seed=1).describe().startswith("rand:")
+
+
+def make_rst():
+    config = lambda h, s: StripingConfig(6, 2, h, s)
+    return RegionStripeTable(
+        [
+            RSTEntry(0, 0, 128 * MiB, config(16 * KiB, 64 * KiB)),
+            RSTEntry(1, 128 * MiB, 192 * MiB, config(36 * KiB, 144 * KiB)),
+            RSTEntry(2, 192 * MiB, None, config(26 * KiB, 80 * KiB)),
+        ]
+    )
+
+
+class TestRegionLevelLayout:
+    def test_lookup_within_region(self):
+        layout = RegionLevelLayout(make_rst())
+        assert layout.config_at(0).hstripe == 16 * KiB
+        assert layout.config_at(130 * MiB).hstripe == 36 * KiB
+        assert layout.config_at(500 * MiB).hstripe == 26 * KiB
+
+    def test_request_within_one_region(self):
+        layout = RegionLevelLayout(make_rst())
+        segments = layout.segments(10 * MiB, MiB)
+        assert len(segments) == 1
+        assert segments[0].region_id == 0
+        assert segments[0].region_base == 0
+
+    def test_request_crossing_boundary_splits(self):
+        layout = RegionLevelLayout(make_rst())
+        segments = layout.segments(128 * MiB - 4 * KiB, 8 * KiB)
+        assert len(segments) == 2
+        first, second = segments
+        assert first.size == second.size == 4 * KiB
+        assert first.region_id == 0 and second.region_id == 1
+        assert second.region_base == 128 * MiB
+        assert second.offset == 128 * MiB
+
+    def test_request_spanning_three_regions(self):
+        layout = RegionLevelLayout(make_rst())
+        segments = layout.segments(100 * MiB, 150 * MiB)
+        assert [seg.region_id for seg in segments] == [0, 1, 2]
+        assert sum(seg.size for seg in segments) == 150 * MiB
+
+    def test_segment_sizes_conserve(self):
+        layout = RegionLevelLayout(make_rst())
+        for offset, size in [(0, 1), (127 * MiB, 10 * MiB), (191 * MiB, 100 * MiB)]:
+            assert sum(s.size for s in layout.segments(offset, size)) == size
+
+    def test_describe_region_count(self):
+        assert RegionLevelLayout(make_rst()).describe() == "harl:3regions"
+
+    def test_single_region_describe_shows_stripes(self):
+        rst = RegionStripeTable([RSTEntry(0, 0, None, StripingConfig(6, 2, 32 * KiB, 160 * KiB))])
+        assert RegionLevelLayout(rst).describe() == "harl:32K-160K"

@@ -1,0 +1,141 @@
+"""Unit tests for the simulated MPI substrate."""
+
+import pytest
+
+from repro.middleware.mpi_sim import Communicator, RankContext, SimMPI
+from repro.network.link import NetworkModel
+from repro.simulate.engine import Simulator
+
+
+class TestCommunicator:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(Simulator(), 0)
+
+    def test_barrier_releases_when_all_arrive(self):
+        sim = Simulator()
+        comm = Communicator(sim, 3)
+        release_times = []
+
+        def program(rank, delay):
+            yield sim.timeout(delay)
+            yield comm.barrier_event()
+            release_times.append((rank, sim.now))
+
+        for rank, delay in enumerate((1.0, 5.0, 2.0)):
+            sim.process(program(rank, delay))
+        sim.run()
+        assert all(t == 5.0 for _, t in release_times)
+
+    def test_barrier_reusable(self):
+        sim = Simulator()
+        comm = Communicator(sim, 2)
+        log = []
+
+        def program(rank):
+            yield comm.barrier_event()
+            log.append(("first", rank, sim.now))
+            yield sim.timeout(rank + 1.0)
+            yield comm.barrier_event()
+            log.append(("second", rank, sim.now))
+
+        sim.process(program(0))
+        sim.process(program(1))
+        sim.run()
+        second = [entry for entry in log if entry[0] == "second"]
+        assert all(t == 2.0 for _, _, t in second)
+
+    def test_post_and_fetch(self):
+        sim = Simulator()
+        comm = Communicator(sim, 2)
+        comm.post(1, {"data": 42})
+        got = comm.fetch(1)
+        sim.run()
+        assert got.value == {"data": 42}
+
+    def test_tags_isolate_mailboxes(self):
+        sim = Simulator()
+        comm = Communicator(sim, 2)
+        comm.post(0, "a", tag="x")
+        comm.post(0, "b", tag="y")
+        got_y = comm.fetch(0, tag="y")
+        got_x = comm.fetch(0, tag="x")
+        sim.run()
+        assert got_y.value == "b" and got_x.value == "a"
+
+    def test_rank_range_checked(self):
+        comm = Communicator(Simulator(), 2)
+        with pytest.raises(ValueError):
+            comm.post(5, "x")
+        with pytest.raises(ValueError):
+            comm.fetch(-1)
+
+    def test_payload_time_scales_with_bytes(self):
+        comm = Communicator(Simulator(), 2, network=NetworkModel(unit_time=1e-8, latency=0))
+        assert comm.payload_time(1000) == pytest.approx(1e-5)
+        assert comm.payload_time(0) == 0.0
+
+
+class TestRankContext:
+    def test_send_recv_round_trip(self):
+        sim = Simulator()
+        world = SimMPI(sim, 2)
+        received = []
+
+        def program(ctx: RankContext):
+            if ctx.rank == 0:
+                yield from ctx.send(1, "hello", nbytes=1024)
+            else:
+                payload = yield from ctx.recv()
+                received.append((payload, sim.now))
+
+        sim.run(world.spawn(program))
+        assert received[0][0] == "hello"
+        assert received[0][1] > 0  # Payload time elapsed.
+
+    def test_send_charges_network_time(self):
+        sim = Simulator()
+        world = SimMPI(sim, 2, network=NetworkModel(unit_time=1e-6, latency=0))
+
+        def program(ctx: RankContext):
+            if ctx.rank == 0:
+                yield from ctx.send(1, "x", nbytes=10**6)
+            else:
+                yield from ctx.recv()
+
+        sim.run(world.spawn(program))
+        assert sim.now == pytest.approx(1.0)
+
+
+class TestSimMPI:
+    def test_spawn_collects_rank_returns(self):
+        sim = Simulator()
+        world = SimMPI(sim, 4)
+
+        def program(ctx: RankContext):
+            yield ctx.sim.timeout(0.1 * (ctx.rank + 1))
+            return ctx.rank * 10
+
+        values = sim.run(world.spawn(program))
+        assert values == [0, 10, 20, 30]
+
+    def test_spawn_each_distinct_programs(self):
+        sim = Simulator()
+        world = SimMPI(sim, 2)
+        log = []
+
+        def writer(ctx):
+            yield ctx.sim.timeout(1.0)
+            log.append("writer")
+
+        def reader(ctx):
+            yield ctx.sim.timeout(2.0)
+            log.append("reader")
+
+        sim.run(world.spawn_each([writer, reader]))
+        assert sorted(log) == ["reader", "writer"]
+
+    def test_spawn_each_count_checked(self):
+        world = SimMPI(Simulator(), 2)
+        with pytest.raises(ValueError):
+            world.spawn_each([lambda ctx: iter(())])

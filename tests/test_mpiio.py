@@ -1,0 +1,140 @@
+"""Unit tests for the MPI-IO file layer (tracing, R2F forwarding, collectives)."""
+
+import pytest
+
+from repro.core.rst import RegionStripeTable, RSTEntry
+from repro.devices.base import OpType
+from repro.middleware.iosig import TraceCollector
+from repro.middleware.mpi_sim import SimMPI
+from repro.middleware.mpiio import MPIIOFile
+from repro.pfs.filesystem import HybridPFS
+from repro.pfs.layout import FixedLayout, RegionLevelLayout
+from repro.pfs.mapping import StripingConfig
+from repro.simulate.engine import Simulator
+from repro.util.units import KiB, MiB
+
+
+def build_world(n_ranks=2, n_h=2, n_s=1):
+    sim = Simulator()
+    pfs = HybridPFS.build(sim, n_h, n_s, seed=0)
+    world = SimMPI(sim, n_ranks, network=pfs.network)
+    return sim, pfs, world
+
+
+def two_region_rst(n_h=2, n_s=1):
+    return RegionStripeTable(
+        [
+            RSTEntry(0, 0, MiB, StripingConfig(n_h, n_s, 16 * KiB, 64 * KiB)),
+            RSTEntry(1, MiB, None, StripingConfig(n_h, n_s, 64 * KiB, 256 * KiB)),
+        ]
+    )
+
+
+class TestOpen:
+    def test_open_with_layout_policy(self):
+        sim, pfs, world = build_world()
+        mf = MPIIOFile.open(world.comm, pfs, "f.dat", FixedLayout(2, 1, 64 * KiB))
+        assert mf.r2f is None
+        assert mf.name == "f.dat"
+        assert "f.dat" in pfs.mds
+
+    def test_open_with_rst_builds_r2f_and_region_layout(self):
+        sim, pfs, world = build_world()
+        mf = MPIIOFile.open(world.comm, pfs, "f.dat", two_region_rst())
+        assert mf.r2f is not None
+        assert mf.r2f.physical_name(0) == "f.dat.region0"
+        assert isinstance(mf.handle.layout, RegionLevelLayout)
+
+    def test_duplicate_name_rejected(self):
+        sim, pfs, world = build_world()
+        MPIIOFile.open(world.comm, pfs, "f.dat", FixedLayout(2, 1, 64 * KiB))
+        with pytest.raises(FileExistsError):
+            MPIIOFile.open(world.comm, pfs, "f.dat", FixedLayout(2, 1, 64 * KiB))
+
+    def test_layout_server_mismatch_rejected(self):
+        sim, pfs, world = build_world(n_h=2, n_s=1)
+        with pytest.raises(ValueError, match="filesystem has"):
+            MPIIOFile.open(world.comm, pfs, "f.dat", FixedLayout(6, 2, 64 * KiB))
+
+
+class TestIndependentIO:
+    def test_write_then_read(self):
+        sim, pfs, world = build_world()
+        mf = MPIIOFile.open(world.comm, pfs, "f.dat", FixedLayout(2, 1, 64 * KiB))
+
+        def program(ctx):
+            yield from mf.write_at(ctx.rank, ctx.rank * 256 * KiB, 256 * KiB)
+            yield from mf.read_at(ctx.rank, ctx.rank * 256 * KiB, 256 * KiB)
+
+        sim.run(world.spawn(program))
+        assert mf.handle.bytes_written == 512 * KiB
+        assert mf.handle.bytes_read == 512 * KiB
+        assert sim.now > 0
+
+    def test_tracing_records_every_op(self):
+        sim, pfs, world = build_world()
+        collector = TraceCollector(sim)
+        mf = MPIIOFile.open(
+            world.comm, pfs, "f.dat", FixedLayout(2, 1, 64 * KiB), collector=collector
+        )
+
+        def program(ctx):
+            yield from mf.write_at(ctx.rank, ctx.rank * 128 * KiB, 128 * KiB)
+
+        sim.run(world.spawn(program))
+        assert len(collector) == 2
+        ops = {record.op for record in collector.records}
+        assert ops == {OpType.WRITE}
+        ranks = {record.rank for record in collector.records}
+        assert ranks == {0, 1}
+
+    def test_region_boundary_crossing_write(self):
+        sim, pfs, world = build_world()
+        mf = MPIIOFile.open(world.comm, pfs, "f.dat", two_region_rst())
+
+        def program(ctx):
+            if ctx.rank == 0:
+                # Crosses the 1 MiB region boundary.
+                yield from mf.write_at(0, MiB - 64 * KiB, 128 * KiB)
+
+        sim.run(world.spawn(program))
+        assert mf.handle.bytes_written == 128 * KiB
+        assert sum(s.bytes_served for s in pfs.servers) == 128 * KiB
+
+
+class TestCollectiveIO:
+    def test_write_at_all(self):
+        sim, pfs, world = build_world(n_ranks=4)
+        mf = MPIIOFile.open(world.comm, pfs, "f.dat", FixedLayout(2, 1, 64 * KiB))
+
+        def program(ctx):
+            pieces = [(ctx.rank * 64 * KiB, 64 * KiB)]
+            yield from mf.write_at_all(ctx.rank, pieces)
+
+        sim.run(world.spawn(program))
+        assert mf.handle.bytes_written == 256 * KiB
+
+    def test_collective_traced_per_piece(self):
+        sim, pfs, world = build_world(n_ranks=2)
+        collector = TraceCollector(sim)
+        mf = MPIIOFile.open(
+            world.comm, pfs, "f.dat", FixedLayout(2, 1, 64 * KiB), collector=collector
+        )
+
+        def program(ctx):
+            pieces = [(ctx.rank * 128 * KiB, 64 * KiB), (ctx.rank * 128 * KiB + 64 * KiB, 64 * KiB)]
+            yield from mf.read_at_all(ctx.rank, pieces)
+
+        sim.run(world.spawn(program))
+        assert len(collector) == 4
+
+    def test_collective_on_region_layout(self):
+        sim, pfs, world = build_world(n_ranks=2)
+        mf = MPIIOFile.open(world.comm, pfs, "f.dat", two_region_rst())
+
+        def program(ctx):
+            base = MiB - 128 * KiB if ctx.rank == 0 else MiB
+            yield from mf.write_at_all(ctx.rank, [(base, 128 * KiB)])
+
+        sim.run(world.spawn(program))
+        assert mf.handle.bytes_written == 256 * KiB

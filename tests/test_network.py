@@ -1,0 +1,48 @@
+"""Unit tests for the network models."""
+
+import pytest
+
+from repro.network.link import GIGE_PAYLOAD_BANDWIDTH, ContendedNetworkModel, NetworkModel
+
+
+class TestNetworkModel:
+    def test_default_is_gige(self):
+        net = NetworkModel()
+        assert net.bandwidth == pytest.approx(GIGE_PAYLOAD_BANDWIDTH)
+
+    def test_transfer_time_linear_plus_latency(self):
+        net = NetworkModel(unit_time=1e-8, latency=1e-4)
+        assert net.transfer_time(1000) == pytest.approx(1e-4 + 1e-5)
+
+    def test_zero_size_free(self):
+        assert NetworkModel().transfer_time(0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(unit_time=0)
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1)
+
+    def test_larger_transfers_cost_more(self):
+        net = NetworkModel()
+        assert net.transfer_time(2000) > net.transfer_time(1000)
+
+
+class TestContendedNetworkModel:
+    def test_under_parallelism_no_penalty(self):
+        net = ContendedNetworkModel(server_parallelism=4)
+        base = net.transfer_time(10000)
+        assert net.effective_time(10000, concurrent_flows=4) == pytest.approx(base)
+
+    def test_over_parallelism_scales(self):
+        net = ContendedNetworkModel(server_parallelism=2)
+        base = net.transfer_time(10000)
+        assert net.effective_time(10000, concurrent_flows=6) == pytest.approx(3 * base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContendedNetworkModel(server_parallelism=0)

@@ -1,0 +1,140 @@
+"""Integration tests for the online HARL controller."""
+
+import pytest
+
+from repro.core.planner import HARLPlanner
+from repro.experiments.harness import Testbed, run_workload
+from repro.online import run_workload_online
+from repro.pfs.layout import FixedLayout, RegionLevelLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.temporal import PhaseSpec, TemporalPhaseWorkload
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(n_hservers=6, n_sservers=2, seed=0)
+
+
+def shifting_workload():
+    """Small reads, then large writes, over the same 32 MiB file."""
+    return TemporalPhaseWorkload(
+        phases=[
+            PhaseSpec(128 * KiB, 64, "read"),
+            PhaseSpec(1024 * KiB, 16, "write"),
+        ],
+        n_processes=16,
+        file_size=32 * MiB,
+    )
+
+
+def stale_layout(testbed, workload):
+    """The layout a profiling run of phase 0 alone would produce."""
+    planner = HARLPlanner(testbed.parameters(request_hint=128 * KiB), step=None)
+    return RegionLevelLayout(planner.plan(workload.phase_trace(0)))
+
+
+ONLINE_KW = dict(
+    monitor_kwargs={"window": 128, "min_window_fill": 0.4},
+    check_interval=0.002,
+)
+
+
+class TestController:
+    def test_detects_phase_change_and_replans(self, testbed):
+        workload = shifting_workload()
+        layout = stale_layout(testbed, workload)
+        _, report = run_workload_online(
+            testbed, workload, layout, baseline_trace=workload.phase_trace(0), **ONLINE_KW
+        )
+        assert len(report.replans) == 1
+        assert report.checks > 10
+        event = report.replans[0]
+        assert event.size_change > 0.5  # 128K -> 1M is a huge size drift.
+        # The replanned layout targets 1M writes: both classes, s > h.
+        assert "harl:" in event.new_layout
+
+    def test_no_replan_on_stable_workload(self, testbed):
+        workload = IORWorkload(
+            IORConfig(n_processes=16, request_size=512 * KiB, file_size=16 * MiB, op="write")
+        )
+        from repro.experiments.harness import harl_plan
+
+        rst = harl_plan(testbed, workload)
+        _, report = run_workload_online(
+            testbed,
+            workload,
+            RegionLevelLayout(rst),
+            baseline_trace=workload.synthetic_trace(),
+            **ONLINE_KW,
+        )
+        assert report.replans == []
+
+    def test_online_beats_stale_static(self, testbed):
+        workload = shifting_workload()
+        layout = stale_layout(testbed, workload)
+        static = run_workload(testbed, workload, layout, layout_name="static-stale")
+        online_free, report = run_workload_online(
+            testbed,
+            workload,
+            layout,
+            migrate=False,
+            baseline_trace=workload.phase_trace(0),
+            **ONLINE_KW,
+        )
+        assert len(report.replans) >= 1
+        assert online_free.throughput > static.throughput
+
+    def test_migration_cost_counted(self, testbed):
+        workload = shifting_workload()
+        layout = stale_layout(testbed, workload)
+        with_migration, report = run_workload_online(
+            testbed, workload, layout, migrate=True,
+            baseline_trace=workload.phase_trace(0), **ONLINE_KW,
+        )
+        free, _ = run_workload_online(
+            testbed, workload, layout, migrate=False,
+            baseline_trace=workload.phase_trace(0), **ONLINE_KW,
+        )
+        assert report.bytes_migrated > 0
+        # Migration is background traffic: it costs something, not everything.
+        assert with_migration.throughput <= free.throughput
+        assert with_migration.throughput > 0.6 * free.throughput
+
+    def test_report_summary_renders(self, testbed):
+        workload = shifting_workload()
+        layout = stale_layout(testbed, workload)
+        _, report = run_workload_online(
+            testbed, workload, layout, baseline_trace=workload.phase_trace(0), **ONLINE_KW
+        )
+        text = report.summary()
+        assert "replans" in text and "drift" in text
+
+    def test_starts_from_any_layout_without_baseline(self, testbed):
+        """With no prior profile the controller plans once the window fills."""
+        workload = IORWorkload(
+            IORConfig(n_processes=16, request_size=512 * KiB, file_size=64 * MiB, op="write")
+        )
+        result, report = run_workload_online(
+            testbed,
+            workload,
+            FixedLayout(6, 2, 64 * KiB),
+            monitor_kwargs={"window": 64, "min_window_fill": 0.4},
+            check_interval=0.002,
+        )
+        assert len(report.replans) >= 1
+        baseline = run_workload(testbed, workload, FixedLayout(6, 2, 64 * KiB))
+        assert result.throughput > baseline.throughput
+
+    def test_invalid_check_interval(self, testbed):
+        from repro.middleware.iosig import TraceCollector
+        from repro.online.controller import OnlineHARLController
+        from repro.simulate.engine import Simulator
+
+        sim = Simulator()
+        pfs = testbed.build(sim)
+        handle = pfs.create_file("f", FixedLayout(6, 2, 64 * KiB))
+        with pytest.raises(ValueError):
+            OnlineHARLController(
+                pfs, handle, TraceCollector(sim), lambda m: None, check_interval=0
+            )

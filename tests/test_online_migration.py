@@ -1,0 +1,130 @@
+"""Unit tests for layout-change range computation and the migrator."""
+
+import pytest
+
+from repro.core.rst import RegionStripeTable, RSTEntry
+from repro.online.migration import RegionMigrator, changed_ranges
+from repro.pfs.filesystem import HybridPFS
+from repro.pfs.layout import FixedLayout, HybridFixedLayout, RegionLevelLayout
+from repro.pfs.mapping import StripingConfig
+from repro.simulate.engine import Simulator
+from repro.util.units import KiB, MiB
+
+
+def region_layout(boundary, first, second):
+    return RegionLevelLayout(
+        RegionStripeTable(
+            [
+                RSTEntry(0, 0, boundary, StripingConfig(2, 1, *first)),
+                RSTEntry(1, boundary, None, StripingConfig(2, 1, *second)),
+            ]
+        )
+    )
+
+
+class TestChangedRanges:
+    def test_identical_layouts_nothing_to_move(self):
+        layout = FixedLayout(2, 1, 64 * KiB)
+        assert changed_ranges(layout, FixedLayout(2, 1, 64 * KiB), 10 * MiB) == []
+
+    def test_fully_different(self):
+        old = FixedLayout(2, 1, 64 * KiB)
+        new = HybridFixedLayout(2, 1, 16 * KiB, 256 * KiB)
+        assert changed_ranges(old, new, 10 * MiB) == [(0, 10 * MiB)]
+
+    def test_partial_change_with_regions(self):
+        old = region_layout(4 * MiB, (64 * KiB, 64 * KiB), (16 * KiB, 128 * KiB))
+        new = region_layout(4 * MiB, (64 * KiB, 64 * KiB), (32 * KiB, 256 * KiB))
+        assert changed_ranges(old, new, 10 * MiB) == [(4 * MiB, 6 * MiB)]
+
+    def test_region_boundary_shift_moves_affected_span(self):
+        old = region_layout(4 * MiB, (64 * KiB, 64 * KiB), (16 * KiB, 128 * KiB))
+        new = region_layout(6 * MiB, (64 * KiB, 64 * KiB), (16 * KiB, 128 * KiB))
+        ranges = changed_ranges(old, new, 10 * MiB)
+        # [0,4M) identical; [4M,6M) differs (old second-region striping vs
+        # new first-region striping... same stripes but different region
+        # base, so it must move); [6M,10M) same stripes, different rebase.
+        assert ranges[0][0] == 4 * MiB
+        assert sum(size for _, size in ranges) == 6 * MiB
+
+    def test_zero_extent(self):
+        assert changed_ranges(FixedLayout(2, 1, KiB), FixedLayout(2, 1, 2 * KiB), 0) == []
+
+    def test_adjacent_changed_pieces_coalesce(self):
+        old = region_layout(4 * MiB, (16 * KiB, 32 * KiB), (16 * KiB, 128 * KiB))
+        new = FixedLayout(2, 1, 64 * KiB)
+        assert changed_ranges(old, new, 8 * MiB) == [(0, 8 * MiB)]
+
+
+class TestRegionMigrator:
+    def make_pfs(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0)
+        return sim, pfs
+
+    def test_validation(self):
+        _, pfs = self.make_pfs()
+        with pytest.raises(ValueError):
+            RegionMigrator(pfs, "f", chunk_size=0)
+        with pytest.raises(ValueError):
+            RegionMigrator(pfs, "f", duty_cycle=0)
+        with pytest.raises(ValueError):
+            RegionMigrator(pfs, "f", duty_cycle=1.5)
+
+    def test_moves_all_bytes(self):
+        sim, pfs = self.make_pfs()
+        handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+        migrator = RegionMigrator(pfs, "f", chunk_size=1 * MiB)
+        old_layout = handle.layout
+        new_layout = HybridFixedLayout(2, 1, 16 * KiB, 256 * KiB)
+        handle.relayout(new_layout)
+
+        stats = sim.run(
+            sim.process(
+                migrator.migrate(old_layout, 0, new_layout, 1, [(0, 4 * MiB)])
+            )
+        )
+        assert stats.bytes_moved == 4 * MiB
+        assert stats.chunks == 4
+        assert stats.elapsed > 0
+        # Both read (old) and write (new) traffic hit the servers.
+        assert sum(s.bytes_served for s in pfs.servers) == 8 * MiB
+
+    def test_duty_cycle_slows_migration(self):
+        def run(duty):
+            sim, pfs = self.make_pfs()
+            handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+            migrator = RegionMigrator(pfs, "f", chunk_size=MiB, duty_cycle=duty)
+            new_layout = HybridFixedLayout(2, 1, 16 * KiB, 256 * KiB)
+            handle.relayout(new_layout)
+            stats = sim.run(
+                sim.process(migrator.migrate(handle.layout, 0, new_layout, 1, [(0, 4 * MiB)]))
+            )
+            return stats.elapsed
+
+        assert run(0.25) > 2 * run(1.0)
+
+    def test_empty_ranges_noop(self):
+        sim, pfs = self.make_pfs()
+        pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+        migrator = RegionMigrator(pfs, "f")
+        stats = sim.run(
+            sim.process(migrator.migrate(FixedLayout(2, 1, 64 * KiB), 0, FixedLayout(2, 1, 64 * KiB), 1, []))
+        )
+        assert stats.bytes_moved == 0
+        assert stats.elapsed == 0
+
+    def test_live_stats_object_updated(self):
+        from repro.online.migration import MigrationStats
+
+        sim, pfs = self.make_pfs()
+        pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+        migrator = RegionMigrator(pfs, "f", chunk_size=MiB)
+        live = MigrationStats()
+        new_layout = HybridFixedLayout(2, 1, 16 * KiB, 256 * KiB)
+        proc = sim.process(
+            migrator.migrate(FixedLayout(2, 1, 64 * KiB), 0, new_layout, 1, [(0, 2 * MiB)], stats=live)
+        )
+        returned = sim.run(proc)
+        assert returned is live
+        assert live.bytes_moved == 2 * MiB

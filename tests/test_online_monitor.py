@@ -1,0 +1,135 @@
+"""Unit tests for the workload monitor and drift detection."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.online.monitor import WindowSignature, WorkloadMonitor
+from repro.util.units import KiB
+from repro.workloads.traces import TraceRecord
+
+
+def record(offset=0, size=64 * KiB, op=OpType.WRITE, t=0.0):
+    return TraceRecord(pid=1, rank=0, fd=3, op=op, offset=offset, size=size, timestamp=t)
+
+
+def feed(monitor, n, **kwargs):
+    for i in range(n):
+        monitor.observe(record(offset=i * kwargs.get("size", 64 * KiB), **kwargs))
+
+
+class TestValidation:
+    def test_window_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor(window=1)
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor(size_drift_threshold=0)
+        with pytest.raises(ValueError):
+            WorkloadMonitor(op_drift_threshold=-1)
+        with pytest.raises(ValueError):
+            WorkloadMonitor(min_window_fill=0)
+
+
+class TestSignature:
+    def test_empty(self):
+        sig = WorkloadMonitor().signature()
+        assert sig == WindowSignature(n_requests=0, mean_size=0.0, read_fraction=0.0)
+
+    def test_mean_and_mix(self):
+        monitor = WorkloadMonitor(window=16)
+        feed(monitor, 4, size=64 * KiB, op=OpType.WRITE)
+        feed(monitor, 4, size=128 * KiB, op=OpType.READ)
+        sig = monitor.signature()
+        assert sig.n_requests == 8
+        assert sig.mean_size == pytest.approx(96 * KiB)
+        assert sig.read_fraction == pytest.approx(0.5)
+
+    def test_window_evicts_old(self):
+        monitor = WorkloadMonitor(window=4)
+        feed(monitor, 4, size=64 * KiB)
+        feed(monitor, 4, size=1024 * KiB)
+        assert monitor.signature().mean_size == pytest.approx(1024 * KiB)
+
+    def test_records_observed_counts_all(self):
+        monitor = WorkloadMonitor(window=4)
+        feed(monitor, 10)
+        assert monitor.records_observed == 10
+        assert monitor.signature().n_requests == 4
+
+
+class TestDrift:
+    def test_no_baseline_needs_fill(self):
+        monitor = WorkloadMonitor(window=8, min_window_fill=0.5)
+        feed(monitor, 3)
+        assert not monitor.check_drift().drifted
+        feed(monitor, 2)
+        assert monitor.check_drift().drifted  # 5 >= 4.
+
+    def test_stable_workload_no_drift(self):
+        monitor = WorkloadMonitor(window=8, min_window_fill=0.5)
+        feed(monitor, 8, size=64 * KiB)
+        monitor.rebaseline()
+        feed(monitor, 8, size=64 * KiB)
+        report = monitor.check_drift()
+        assert not report.drifted
+        assert report.size_change == pytest.approx(0.0)
+
+    def test_size_drift_fires(self):
+        monitor = WorkloadMonitor(window=8, size_drift_threshold=0.5)
+        feed(monitor, 8, size=64 * KiB)
+        monitor.rebaseline()
+        feed(monitor, 8, size=1024 * KiB)
+        report = monitor.check_drift()
+        assert report.drifted
+        assert report.size_change > 10
+
+    def test_op_mix_drift_fires(self):
+        monitor = WorkloadMonitor(window=8, op_drift_threshold=0.3)
+        feed(monitor, 8, op=OpType.WRITE)
+        monitor.rebaseline()
+        feed(monitor, 8, op=OpType.READ)
+        report = monitor.check_drift()
+        assert report.drifted
+        assert report.op_mix_change == pytest.approx(1.0)
+
+    def test_min_fill_gates_after_rebaseline(self):
+        monitor = WorkloadMonitor(window=8, min_window_fill=0.5)
+        feed(monitor, 8, size=64 * KiB)
+        monitor.rebaseline()
+        feed(monitor, 2, size=1024 * KiB)  # Big change, too few samples.
+        assert not monitor.check_drift().drifted
+        feed(monitor, 2, size=1024 * KiB)
+        assert monitor.check_drift().drifted
+
+    def test_baseline_from_external_trace(self):
+        monitor = WorkloadMonitor(window=8, min_window_fill=0.25)
+        monitor.baseline_from([record(size=64 * KiB) for _ in range(20)])
+        feed(monitor, 8, size=64 * KiB)
+        assert not monitor.check_drift().drifted
+        feed(monitor, 8, size=1024 * KiB)
+        assert monitor.check_drift().drifted
+
+    def test_baseline_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor().baseline_from([])
+
+
+class TestWindowOps:
+    def test_reset_window(self):
+        monitor = WorkloadMonitor(window=8)
+        feed(monitor, 8)
+        monitor.reset_window()
+        assert monitor.signature().n_requests == 0
+        assert monitor.window_fill == 0.0
+
+    def test_window_fill(self):
+        monitor = WorkloadMonitor(window=8)
+        feed(monitor, 2)
+        assert monitor.window_fill == pytest.approx(0.25)
+
+    def test_window_records_sorted_by_offset(self):
+        monitor = WorkloadMonitor(window=8)
+        for offset in (300, 100, 200):
+            monitor.observe(record(offset=offset))
+        assert [r.offset for r in monitor.window_records()] == [100, 200, 300]

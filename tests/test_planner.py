@@ -1,0 +1,107 @@
+"""Unit tests for the HARL planner pipeline (trace -> RST -> layout)."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import HARLPlanner
+from repro.devices.base import OpType
+from repro.pfs.layout import RegionLevelLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.traces import TraceRecord
+
+
+def make_trace(segments, op=OpType.WRITE):
+    """segments: list of (n_requests, request_size); laid out back-to-back."""
+    records = []
+    cursor = 0
+    for n, size in segments:
+        for _ in range(n):
+            records.append(
+                TraceRecord(pid=1, rank=0, fd=3, op=op, offset=cursor, size=size, timestamp=0.0)
+            )
+            cursor += size
+    return records
+
+
+class TestPlan:
+    def test_uniform_trace_single_region(self, params):
+        planner = HARLPlanner(params, step=32 * KiB)
+        rst = planner.plan(make_trace([(64, 512 * KiB)]))
+        assert len(rst) == 1
+        assert rst.entries[0].offset == 0
+        assert rst.entries[0].end is None
+
+    def test_two_phase_trace_two_regions_distinct_stripes(self, params):
+        planner = HARLPlanner(params, step=32 * KiB, region_chunk=8 * MiB)
+        trace = make_trace([(64, 128 * KiB), (64, 1024 * KiB)])
+        rst = planner.plan(trace)
+        assert len(rst) >= 2
+        configs = {(e.config.hstripe, e.config.sstripe) for e in rst.entries}
+        assert len(configs) >= 2
+
+    def test_small_request_phase_gets_ssd_only(self, params):
+        planner = HARLPlanner(params, step=16 * KiB, region_chunk=8 * MiB)
+        rst = planner.plan(make_trace([(128, 128 * KiB), (64, 1024 * KiB)]))
+        first = rst.lookup(0).config
+        assert first.hstripe == 0  # Fig. 9's {0K, 64K}-style choice.
+
+    def test_architecture_propagates_to_configs(self, params):
+        planner = HARLPlanner(params, step=32 * KiB)
+        rst = planner.plan(make_trace([(16, 256 * KiB)]))
+        for entry in rst.entries:
+            assert entry.config.n_hservers == params.n_hservers
+            assert entry.config.n_sservers == params.n_sservers
+
+    def test_empty_trace_rejected(self, params):
+        with pytest.raises(ValueError, match="empty trace"):
+            HARLPlanner(params).plan([])
+
+    def test_report_populated(self, params):
+        planner = HARLPlanner(params, step=32 * KiB)
+        planner.plan(make_trace([(32, 512 * KiB)]))
+        report = planner.last_report
+        assert report is not None
+        assert report.n_requests == 32
+        assert len(report.regions) == len(report.choices)
+        assert report.n_regions_after_merge >= 1
+        assert "requests" in report.summary()
+
+    def test_merge_regions_flag(self, params):
+        trace = make_trace([(64, 256 * KiB), (64, 256 * KiB)])
+        merged = HARLPlanner(params, step=32 * KiB, merge_regions=True).plan(trace)
+        unmerged = HARLPlanner(params, step=32 * KiB, merge_regions=False).plan(trace)
+        assert len(merged) <= len(unmerged)
+
+    def test_plan_layout_returns_region_layout(self, params):
+        planner = HARLPlanner(params, step=32 * KiB)
+        layout = planner.plan_layout(make_trace([(16, 512 * KiB)]))
+        assert isinstance(layout, RegionLevelLayout)
+
+    def test_plan_from_arrays_matches_plan(self, params):
+        trace = make_trace([(32, 512 * KiB)])
+        offsets = np.array([r.offset for r in trace], dtype=np.int64)
+        sizes = np.array([r.size for r in trace], dtype=np.int64)
+        is_read = np.zeros(len(trace), dtype=bool)
+        via_trace = HARLPlanner(params, step=32 * KiB).plan(trace)
+        via_arrays = HARLPlanner(params, step=32 * KiB).plan_from_arrays(offsets, sizes, is_read)
+        assert [(e.offset, e.config) for e in via_trace.entries] == [
+            (e.offset, e.config) for e in via_arrays.entries
+        ]
+
+    def test_unsorted_trace_is_sorted_by_plan(self, params):
+        trace = make_trace([(16, 256 * KiB)])
+        shuffled = list(reversed(trace))
+        rst = HARLPlanner(params, step=32 * KiB).plan(shuffled)
+        assert len(rst) >= 1
+
+    def test_read_write_mixed_trace(self, params):
+        reads = make_trace([(16, 512 * KiB)], op=OpType.READ)
+        writes = [
+            TraceRecord(
+                pid=1, rank=0, fd=3, op=OpType.WRITE,
+                offset=r.offset, size=r.size, timestamp=1.0,
+            )
+            for r in reads
+        ]
+        rst = HARLPlanner(params, step=32 * KiB).plan(reads + writes)
+        assert len(rst) >= 1

@@ -1,0 +1,88 @@
+"""Property-based tests for the planner's optimality contracts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import request_cost
+from repro.core.params import CostModelParameters
+from repro.core.stripe_determination import determine_stripes
+from repro.devices.profiles import DeviceProfile
+from repro.util.units import KiB
+
+PARAMS = CostModelParameters(
+    n_hservers=6,
+    n_sservers=2,
+    unit_network_time=2e-9,
+    hserver=DeviceProfile(5e-5, 1.5e-4, 5e-5, 1.5e-4, 2.1e-8, 2.1e-8, "h"),
+    sserver=DeviceProfile(1e-5, 4e-5, 2e-5, 6e-5, 1.6e-9, 3.2e-9, "s"),
+)
+
+STEP = 32 * KiB
+
+
+def region_cost(offsets, sizes, is_read, h, s):
+    base = int(offsets.min())
+    return sum(
+        request_cost(PARAMS, "read" if r else "write", int(o) - base, int(z), h, s)
+        for o, z, r in zip(offsets, sizes, is_read)
+    )
+
+
+@st.composite
+def _regions(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    request = draw(st.sampled_from([128 * KiB, 256 * KiB, 512 * KiB]))
+    start = draw(st.integers(min_value=0, max_value=64)) * request
+    offsets = np.array(
+        sorted(start + i * request for i in draw(
+            st.lists(st.integers(min_value=0, max_value=200), min_size=n, max_size=n, unique=True)
+        )),
+        dtype=np.int64,
+    )
+    sizes = np.full(n, request, dtype=np.int64)
+    is_read = np.array([draw(st.booleans()) for _ in range(n)])
+    return offsets, sizes, is_read
+
+
+@given(_regions(), st.integers(min_value=0, max_value=16), st.integers(min_value=1, max_value=16))
+@settings(max_examples=40, deadline=None)
+def test_choice_never_beaten_by_grid_pair(region, h_steps, s_extra):
+    """Algorithm 2's winner is at least as cheap as any sampled grid pair."""
+    offsets, sizes, is_read = region
+    choice = determine_stripes(PARAMS, offsets, sizes, is_read, step=STEP)
+    h = h_steps * STEP
+    s = h + s_extra * STEP
+    max_stripe = max(STEP, int(-(-float(sizes.mean()) // STEP)) * STEP)
+    if h > max_stripe or s > max_stripe:
+        return  # Outside the grid Algorithm 2 scans.
+    rival = region_cost(offsets, sizes, is_read, h, s)
+    winner = region_cost(offsets, sizes, is_read, choice.hstripe, choice.sstripe)
+    assert winner <= rival * (1 + 1e-9)
+
+
+@given(_regions())
+@settings(max_examples=30, deadline=None)
+def test_choice_matches_its_reported_cost(region):
+    """The reported cost equals the re-evaluated cost of the chosen pair."""
+    offsets, sizes, is_read = region
+    choice = determine_stripes(PARAMS, offsets, sizes, is_read, step=STEP, max_requests=10_000)
+    recomputed = region_cost(offsets, sizes, is_read, choice.hstripe, choice.sstripe)
+    assert choice.cost == pytest.approx(recomputed, rel=1e-9)
+
+
+@given(_regions())
+@settings(max_examples=30, deadline=None)
+def test_grid_refinement_never_worse(region):
+    """Halving the step (same bound) can only find an equal-or-cheaper plan."""
+    offsets, sizes, is_read = region
+    # Fix the search bound so the fine grid is a strict superset of the
+    # coarse one (the default bound rounds to a step multiple, which would
+    # let the coarse grid reach one point beyond the fine grid).
+    bound = int(-(-float(sizes.mean()) // (2 * STEP))) * 2 * STEP
+    coarse = determine_stripes(
+        PARAMS, offsets, sizes, is_read, step=2 * STEP, max_stripe=bound
+    )
+    fine = determine_stripes(PARAMS, offsets, sizes, is_read, step=STEP, max_stripe=bound)
+    assert fine.cost <= coarse.cost * (1 + 1e-9)

@@ -1,0 +1,102 @@
+"""Unit tests for DeviceProfile (Table-I parameter bundles)."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.devices.hdd import HDDModel
+from repro.devices.profiles import DeviceProfile
+from repro.devices.ssd import SSDModel
+
+
+def make_profile(**overrides):
+    base = dict(
+        read_alpha_min=1e-5,
+        read_alpha_max=4e-5,
+        write_alpha_min=2e-5,
+        write_alpha_max=6e-5,
+        beta_read=2e-9,
+        beta_write=4e-9,
+    )
+    base.update(overrides)
+    return DeviceProfile(**base)
+
+
+class TestValidation:
+    def test_valid_profile(self):
+        make_profile()
+
+    def test_inverted_read_bounds(self):
+        with pytest.raises(ValueError, match="read_alpha_max"):
+            make_profile(read_alpha_min=5e-5)
+
+    def test_inverted_write_bounds(self):
+        with pytest.raises(ValueError, match="write_alpha_max"):
+            make_profile(write_alpha_min=7e-5)
+
+    def test_non_positive_beta(self):
+        with pytest.raises(ValueError):
+            make_profile(beta_read=0)
+
+    def test_negative_alpha(self):
+        with pytest.raises(ValueError):
+            make_profile(read_alpha_min=-1e-5)
+
+
+class TestAccessors:
+    def test_alpha_bounds_by_op(self):
+        profile = make_profile()
+        assert profile.alpha_bounds(OpType.READ) == (1e-5, 4e-5)
+        assert profile.alpha_bounds("write") == (2e-5, 6e-5)
+
+    def test_beta_by_op(self):
+        profile = make_profile()
+        assert profile.beta("read") == 2e-9
+        assert profile.beta(OpType.WRITE) == 4e-9
+
+
+class TestExpectedStartup:
+    """Eq. (3)/(4): E[max of n uniforms] = lo + n/(n+1) * (hi - lo)."""
+
+    def test_zero_servers(self):
+        assert make_profile().expected_startup("read", 0) == 0.0
+
+    def test_one_server_is_mean(self):
+        profile = make_profile()
+        expected = 1e-5 + 0.5 * (4e-5 - 1e-5)
+        assert profile.expected_startup("read", 1) == pytest.approx(expected)
+
+    def test_many_servers_approach_max(self):
+        profile = make_profile()
+        assert profile.expected_startup("read", 1000) == pytest.approx(4e-5, rel=1e-2)
+
+    def test_monotone_in_count(self):
+        profile = make_profile()
+        values = [profile.expected_startup("write", n) for n in range(1, 10)]
+        assert values == sorted(values)
+        assert all(v <= 6e-5 for v in values)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_profile().expected_startup("read", -1)
+
+    def test_degenerate_bounds(self):
+        profile = make_profile(read_alpha_min=3e-5, read_alpha_max=3e-5)
+        assert profile.expected_startup("read", 5) == pytest.approx(3e-5)
+
+
+class TestFromDevices:
+    def test_from_hdd_symmetric(self):
+        hdd = HDDModel(alpha_min=1e-3, alpha_max=2e-3, bandwidth=1e8)
+        profile = DeviceProfile.from_hdd(hdd)
+        assert profile.alpha_bounds("read") == profile.alpha_bounds("write") == (1e-3, 2e-3)
+        assert profile.beta_read == profile.beta_write == pytest.approx(1e-8)
+
+    def test_from_ssd_asymmetric(self):
+        ssd = SSDModel()
+        profile = DeviceProfile.from_ssd(ssd)
+        assert profile.beta_write > profile.beta_read
+        assert profile.alpha_bounds("write")[1] > profile.alpha_bounds("read")[1]
+
+    def test_labels(self):
+        assert DeviceProfile.from_hdd(HDDModel(name="h0")).label == "hdd:h0"
+        assert DeviceProfile.from_ssd(SSDModel(), label="custom").label == "custom"

@@ -1,0 +1,208 @@
+"""Unit tests for Algorithm 1 (file region division)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.region_division import (
+    divide_regions,
+    divide_regions_bounded,
+    fixed_size_division,
+)
+from repro.util.units import KiB, MiB
+
+
+def uniform_stream(n, size, start=0, stride=None):
+    stride = stride or size
+    offsets = np.arange(n, dtype=np.int64) * stride + start
+    sizes = np.full(n, size, dtype=np.int64)
+    return offsets, sizes
+
+
+class TestDivideRegions:
+    def test_empty(self):
+        assert divide_regions(np.array([], dtype=np.int64), np.array([], dtype=np.int64)) == []
+
+    def test_uniform_stream_single_region(self):
+        offsets, sizes = uniform_stream(100, 64 * KiB)
+        regions = divide_regions(offsets, sizes)
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.offset == 0
+        assert region.end is None
+        assert region.avg_request_size == pytest.approx(64 * KiB)
+        assert (region.first_request, region.last_request) == (0, 100)
+
+    def test_two_phases_split_at_size_change(self):
+        o1, s1 = uniform_stream(50, 64 * KiB)
+        o2, s2 = uniform_stream(50, 1024 * KiB, start=int(o1[-1]) + 64 * KiB)
+        offsets = np.concatenate([o1, o2])
+        sizes = np.concatenate([s1, s2])
+        regions = divide_regions(offsets, sizes)
+        assert len(regions) == 2
+        # The split includes the triggering request in the first region
+        # (the paper's lines 11-18), so the boundary sits one request into
+        # the second phase.
+        assert regions[0].first_request == 0
+        assert regions[1].last_request == 100
+        assert regions[0].end == regions[1].offset
+
+    def test_four_phases_found(self):
+        streams = []
+        cursor = 0
+        for size, count in [(64 * KiB, 40), (1024 * KiB, 40), (256 * KiB, 40), (512 * KiB, 40)]:
+            o, s = uniform_stream(count, size, start=cursor)
+            cursor = int(o[-1]) + size
+            streams.append((o, s))
+        offsets = np.concatenate([o for o, _ in streams])
+        sizes = np.concatenate([s for _, s in streams])
+        regions = divide_regions(offsets, sizes)
+        assert len(regions) == 4
+
+    def test_first_region_starts_at_zero_even_with_offset_requests(self):
+        offsets, sizes = uniform_stream(10, 64 * KiB, start=10 * MiB)
+        regions = divide_regions(offsets, sizes)
+        assert regions[0].offset == 0
+
+    def test_regions_tile_address_space(self):
+        o1, s1 = uniform_stream(30, 16 * KiB)
+        o2, s2 = uniform_stream(30, 512 * KiB, start=int(o1[-1]) + 16 * KiB)
+        offsets = np.concatenate([o1, o2])
+        sizes = np.concatenate([s1, s2])
+        regions = divide_regions(offsets, sizes)
+        for prev, nxt in zip(regions, regions[1:]):
+            assert prev.end == nxt.offset
+        assert regions[-1].end is None
+
+    def test_request_slices_partition(self):
+        o1, s1 = uniform_stream(25, 32 * KiB)
+        o2, s2 = uniform_stream(25, 640 * KiB, start=int(o1[-1]) + 32 * KiB)
+        regions = divide_regions(np.concatenate([o1, o2]), np.concatenate([s1, s2]))
+        cursor = 0
+        for region in regions:
+            assert region.first_request == cursor
+            cursor = region.last_request
+        assert cursor == 50
+
+    def test_higher_threshold_fewer_regions(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.choice([64 * KiB, 128 * KiB, 1024 * KiB], size=200).astype(np.int64)
+        offsets = np.cumsum(sizes) - sizes
+        low = divide_regions(offsets, sizes, threshold=0.5)
+        high = divide_regions(offsets, sizes, threshold=50.0)
+        assert len(high) <= len(low)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            divide_regions(np.array([100, 0], dtype=np.int64), np.array([1, 1], dtype=np.int64))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError, match="> 0"):
+            divide_regions(np.array([0], dtype=np.int64), np.array([0], dtype=np.int64))
+
+    def test_invalid_threshold(self):
+        offsets, sizes = uniform_stream(5, KiB)
+        with pytest.raises(ValueError):
+            divide_regions(offsets, sizes, threshold=0)
+
+    def test_min_requests_one_reproduces_literal_listing(self):
+        # Alternating sizes with the literal listing split aggressively.
+        sizes = np.array([64 * KiB, 1024 * KiB] * 10, dtype=np.int64)
+        offsets = np.cumsum(sizes) - sizes
+        literal = divide_regions(offsets, sizes, min_requests=1)
+        guarded = divide_regions(offsets, sizes, min_requests=4)
+        assert len(literal) >= len(guarded)
+
+    def test_avg_request_size_correct_per_region(self):
+        o1, s1 = uniform_stream(20, 64 * KiB)
+        o2, s2 = uniform_stream(20, 512 * KiB, start=int(o1[-1]) + 64 * KiB)
+        regions = divide_regions(np.concatenate([o1, o2]), np.concatenate([s1, s2]))
+        sizes = np.concatenate([s1, s2])
+        for region in regions:
+            expected = sizes[region.first_request : region.last_request].mean()
+            assert region.avg_request_size == pytest.approx(expected)
+
+
+class TestDivideRegionsBounded:
+    def test_respects_max_region_count(self):
+        rng = np.random.default_rng(1)
+        # Highly alternating sizes provoke many CV splits.
+        sizes = rng.choice([16 * KiB, 2048 * KiB], size=300).astype(np.int64)
+        offsets = np.cumsum(sizes) - sizes
+        file_extent = int((offsets + sizes).max())
+        regions, threshold = divide_regions_bounded(
+            offsets, sizes, region_chunk=64 * MiB, min_requests=1
+        )
+        max_regions = max(1, -(-file_extent // (64 * MiB)))
+        assert len(regions) <= max_regions
+        assert threshold >= 1.0
+
+    def test_threshold_untouched_when_region_count_fits(self):
+        offsets, sizes = uniform_stream(50, 64 * KiB)
+        regions, threshold = divide_regions_bounded(offsets, sizes)
+        assert len(regions) == 1
+        assert threshold == 1.0
+
+    def test_empty(self):
+        regions, _ = divide_regions_bounded(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert regions == []
+
+    def test_invalid_params(self):
+        offsets, sizes = uniform_stream(5, KiB)
+        with pytest.raises(ValueError):
+            divide_regions_bounded(offsets, sizes, region_chunk=0)
+        with pytest.raises(ValueError):
+            divide_regions_bounded(offsets, sizes, growth=1.0)
+
+
+class TestFixedSizeDivision:
+    def test_chunks(self):
+        offsets, sizes = uniform_stream(64, MiB)  # 64 MiB of requests.
+        regions = fixed_size_division(offsets, sizes, region_chunk=16 * MiB)
+        assert len(regions) == 4
+        assert regions[0].offset == 0
+        for prev, nxt in zip(regions, regions[1:]):
+            assert prev.end == nxt.offset
+
+    def test_sparse_requests_group_by_chunk(self):
+        offsets = np.array([0, MiB, 40 * MiB], dtype=np.int64)
+        sizes = np.array([KiB, KiB, KiB], dtype=np.int64)
+        regions = fixed_size_division(offsets, sizes, region_chunk=16 * MiB)
+        assert len(regions) == 2
+        assert regions[0].n_requests == 2
+        assert regions[1].n_requests == 1
+
+    def test_empty(self):
+        assert fixed_size_division(np.array([], np.int64), np.array([], np.int64), MiB) == []
+
+
+@given(
+    st.lists(
+        st.sampled_from([16 * KiB, 64 * KiB, 256 * KiB, 1024 * KiB]),
+        min_size=1,
+        max_size=120,
+    ),
+    st.floats(min_value=0.2, max_value=10.0),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100)
+def test_property_regions_partition_requests(size_choices, threshold, min_requests):
+    """Any stream: regions tile the space, slices partition, averages match."""
+    sizes = np.array(size_choices, dtype=np.int64)
+    offsets = np.cumsum(sizes) - sizes
+    regions = divide_regions(offsets, sizes, threshold=threshold, min_requests=min_requests)
+    assert regions[0].offset == 0
+    assert regions[-1].end is None
+    cursor = 0
+    for region in regions:
+        assert region.first_request == cursor
+        assert region.last_request > region.first_request
+        cursor = region.last_request
+        expected_avg = sizes[region.first_request : region.last_request].mean()
+        assert region.avg_request_size == pytest.approx(expected_avg)
+    assert cursor == len(sizes)
+    for prev, nxt in zip(regions, regions[1:]):
+        assert prev.end == nxt.offset

@@ -1,0 +1,53 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.report import ReportSection, ReproductionReport, generate_report
+
+
+class TestReportStructures:
+    def test_section_pass_logic(self):
+        good = ReportSection(name="x", elapsed=0.1, body="b", checks=[("a", True)])
+        bad = ReportSection(name="y", elapsed=0.1, body="b", checks=[("a", True), ("b", False)])
+        assert good.passed and not bad.passed
+        report = ReproductionReport(sections=[good, bad])
+        assert not report.all_passed
+
+    def test_render_contains_sections_and_checks(self):
+        report = ReproductionReport(
+            sections=[
+                ReportSection(name="figX", elapsed=1.2, body="TABLE", checks=[("claim", True)])
+            ]
+        )
+        text = report.render()
+        assert "## figX [ok, 1.2s]" in text
+        assert "TABLE" in text
+        assert "- [x] claim" in text
+
+    def test_render_marks_failures(self):
+        report = ReproductionReport(
+            sections=[
+                ReportSection(name="figY", elapsed=0.5, body="t", checks=[("claim", False)])
+            ]
+        )
+        text = report.render()
+        assert "FAILED" in text
+        assert "- [ ] claim" in text
+
+
+class TestGenerateReport:
+    def test_subset_generation(self):
+        report = generate_report(names=("fig1a", "fig6"))
+        assert [section.name for section in report.sections] == ["fig1a", "fig6"]
+        assert report.all_passed
+        for section in report.sections:
+            assert section.checks
+            assert section.elapsed >= 0
+
+    def test_cli_run_all_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "report.md"
+        assert main(["run-all", "--output", str(output), "fig1a"]) == 0
+        assert "HARL reproduction report" in output.read_text()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,172 @@
+"""Unit tests for the Region Stripe Table and R2F mapping."""
+
+import pytest
+
+from repro.core.rst import R2FTable, RegionStripeTable, RSTEntry
+from repro.pfs.mapping import StripingConfig
+from repro.util.units import KiB, MiB
+
+
+def config(h, s):
+    return StripingConfig(6, 2, h, s)
+
+
+def paper_fig6_rst():
+    """The Fig. 6 example: three regions at 0 / 128M / 192M."""
+    return RegionStripeTable(
+        [
+            RSTEntry(0, 0, 128 * MiB, config(16 * KiB, 64 * KiB)),
+            RSTEntry(1, 128 * MiB, 192 * MiB, config(36 * KiB, 144 * KiB)),
+            RSTEntry(2, 192 * MiB, None, config(26 * KiB, 80 * KiB)),
+        ]
+    )
+
+
+class TestValidation:
+    def test_valid(self):
+        assert len(paper_fig6_rst()) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RegionStripeTable([])
+
+    def test_first_region_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="offset 0"):
+            RegionStripeTable([RSTEntry(0, 4 * KiB, None, config(16 * KiB, 64 * KiB))])
+
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError, match="tile"):
+            RegionStripeTable(
+                [
+                    RSTEntry(0, 0, 64 * MiB, config(16 * KiB, 64 * KiB)),
+                    RSTEntry(1, 128 * MiB, None, config(26 * KiB, 80 * KiB)),
+                ]
+            )
+
+    def test_bounded_last_region_rejected(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            RegionStripeTable([RSTEntry(0, 0, 64 * MiB, config(16 * KiB, 64 * KiB))])
+
+    def test_entries_sorted_and_renumbered(self):
+        rst = RegionStripeTable(
+            [
+                RSTEntry(7, 128 * MiB, None, config(26 * KiB, 80 * KiB)),
+                RSTEntry(3, 0, 128 * MiB, config(16 * KiB, 64 * KiB)),
+            ]
+        )
+        assert [e.region_id for e in rst.entries] == [0, 1]
+        assert rst.entries[0].offset == 0
+
+
+class TestLookup:
+    def test_lookup_boundaries(self):
+        rst = paper_fig6_rst()
+        assert rst.lookup(0).region_id == 0
+        assert rst.lookup(128 * MiB - 1).region_id == 0
+        assert rst.lookup(128 * MiB).region_id == 1
+        assert rst.lookup(192 * MiB).region_id == 2
+        assert rst.lookup(10**12).region_id == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            paper_fig6_rst().lookup(-1)
+
+    def test_covers(self):
+        entry = paper_fig6_rst().entries[1]
+        assert entry.covers(128 * MiB)
+        assert entry.covers(192 * MiB - 1)
+        assert not entry.covers(192 * MiB)
+        assert not entry.covers(0)
+
+
+class TestMerge:
+    def test_adjacent_equal_stripes_merge(self):
+        rst = RegionStripeTable(
+            [
+                RSTEntry(0, 0, 64 * MiB, config(16 * KiB, 64 * KiB)),
+                RSTEntry(1, 64 * MiB, 128 * MiB, config(16 * KiB, 64 * KiB)),
+                RSTEntry(2, 128 * MiB, None, config(36 * KiB, 144 * KiB)),
+            ]
+        ).merged()
+        assert len(rst) == 2
+        assert rst.entries[0].end == 128 * MiB
+
+    def test_merge_chain(self):
+        rst = RegionStripeTable(
+            [
+                RSTEntry(0, 0, 1 * MiB, config(16 * KiB, 64 * KiB)),
+                RSTEntry(1, 1 * MiB, 2 * MiB, config(16 * KiB, 64 * KiB)),
+                RSTEntry(2, 2 * MiB, None, config(16 * KiB, 64 * KiB)),
+            ]
+        ).merged()
+        assert len(rst) == 1
+        assert rst.entries[0].end is None
+
+    def test_distinct_stripes_not_merged(self):
+        assert len(paper_fig6_rst().merged()) == 3
+
+    def test_merge_preserves_lookups(self):
+        original = RegionStripeTable(
+            [
+                RSTEntry(0, 0, 1 * MiB, config(16 * KiB, 64 * KiB)),
+                RSTEntry(1, 1 * MiB, 2 * MiB, config(16 * KiB, 64 * KiB)),
+                RSTEntry(2, 2 * MiB, None, config(36 * KiB, 144 * KiB)),
+            ]
+        )
+        merged = original.merged()
+        for probe in (0, 512 * KiB, 1 * MiB + 5, 3 * MiB):
+            before = original.lookup(probe).config
+            after = merged.lookup(probe).config
+            assert (before.hstripe, before.sstripe) == (after.hstripe, after.sstripe)
+
+
+class TestPersistence:
+    def test_json_round_trip(self):
+        rst = paper_fig6_rst()
+        restored = RegionStripeTable.from_json(rst.to_json())
+        assert len(restored) == len(rst)
+        for a, b in zip(rst.entries, restored.entries):
+            assert (a.offset, a.end) == (b.offset, b.end)
+            assert a.config == b.config
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "rst.json"
+        rst = paper_fig6_rst()
+        rst.save(path)
+        assert len(RegionStripeTable.load(path)) == 3
+
+    def test_describe_table_matches_fig6_shape(self):
+        text = paper_fig6_rst().describe_table()
+        assert "Region #" in text
+        assert "16K" in text and "144K" in text and "80K" in text
+        assert len(text.splitlines()) == 4  # Header + 3 regions.
+
+
+class TestR2F:
+    def test_physical_names_unique(self):
+        r2f = R2FTable("output.dat", paper_fig6_rst())
+        names = {r2f.physical_name(i) for i in range(3)}
+        assert len(names) == 3
+        assert all(name.startswith("output.dat.region") for name in names)
+
+    def test_resolve_rebases_offset(self):
+        r2f = R2FTable("output.dat", paper_fig6_rst())
+        name, rel = r2f.resolve(130 * MiB)
+        assert name == r2f.physical_name(1)
+        assert rel == 2 * MiB
+
+    def test_resolve_first_region(self):
+        r2f = R2FTable("output.dat", paper_fig6_rst())
+        assert r2f.resolve(0) == (r2f.physical_name(0), 0)
+
+    def test_unknown_region_rejected(self):
+        r2f = R2FTable("output.dat", paper_fig6_rst())
+        with pytest.raises(KeyError):
+            r2f.physical_name(99)
+
+    def test_to_json(self):
+        import json
+
+        payload = json.loads(R2FTable("f.dat", paper_fig6_rst()).to_json())
+        assert payload["logical_name"] == "f.dat"
+        assert len(payload["regions"]) == 3

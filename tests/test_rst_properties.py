@@ -1,0 +1,100 @@
+"""Property-based tests for the Region Stripe Table."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rst import RegionStripeTable, RSTEntry
+from repro.pfs.layout import RegionLevelLayout
+from repro.pfs.mapping import StripingConfig
+from repro.util.units import KiB, MiB
+
+STRIPE_CHOICES = [4 * KiB, 16 * KiB, 64 * KiB, 208 * KiB]
+
+
+@st.composite
+def _tables(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    boundaries = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=64),
+                min_size=n - 1,
+                max_size=n - 1,
+                unique=True,
+            )
+        )
+    )
+    starts = [0] + [b * MiB for b in boundaries]
+    entries = []
+    for index, start in enumerate(starts):
+        end = starts[index + 1] if index + 1 < len(starts) else None
+        h = draw(st.sampled_from([0] + STRIPE_CHOICES))
+        s = draw(st.sampled_from(STRIPE_CHOICES))
+        entries.append(
+            RSTEntry(index, start, end, StripingConfig(6, 2, h, s))
+        )
+    return RegionStripeTable(entries)
+
+
+@given(_tables(), st.integers(min_value=0, max_value=80 * MiB))
+@settings(max_examples=200)
+def test_lookup_returns_covering_entry(rst, offset):
+    entry = rst.lookup(offset)
+    assert entry.covers(offset)
+
+
+@given(_tables())
+@settings(max_examples=100)
+def test_entries_tile_the_address_space(rst):
+    assert rst.entries[0].offset == 0
+    for prev, nxt in zip(rst.entries, rst.entries[1:]):
+        assert prev.end == nxt.offset
+    assert rst.entries[-1].end is None
+
+
+@given(_tables(), st.integers(min_value=0, max_value=80 * MiB))
+@settings(max_examples=150)
+def test_merge_preserves_every_lookup(rst, offset):
+    merged = rst.merged()
+    assert merged.lookup(offset).config.stripes == rst.lookup(offset).config.stripes
+
+
+@given(_tables())
+@settings(max_examples=100)
+def test_merge_is_idempotent_and_minimal(rst):
+    merged = rst.merged()
+    assert len(merged.merged()) == len(merged)
+    for prev, nxt in zip(merged.entries, merged.entries[1:]):
+        assert prev.config.stripes != nxt.config.stripes
+
+
+@given(_tables())
+@settings(max_examples=100)
+def test_json_round_trip_exact(rst):
+    restored = RegionStripeTable.from_json(rst.to_json())
+    assert len(restored) == len(rst)
+    for a, b in zip(rst.entries, restored.entries):
+        assert (a.offset, a.end, a.config) == (b.offset, b.end, b.config)
+
+
+@given(_tables(), st.integers(min_value=0, max_value=70 * MiB), st.integers(min_value=1, max_value=8 * MiB))
+@settings(max_examples=150)
+def test_layout_segments_partition_requests(rst, offset, size):
+    layout = RegionLevelLayout(rst)
+    segments = layout.segments(offset, size)
+    assert sum(seg.size for seg in segments) == size
+    cursor = offset
+    for seg in segments:
+        assert seg.offset == cursor
+        entry = rst.lookup(seg.offset)
+        assert seg.region_base == entry.offset
+        assert seg.config.stripes == entry.config.stripes
+        cursor += seg.size
+
+
+@given(_tables())
+@settings(max_examples=50)
+def test_describe_table_row_count(rst):
+    assert len(rst.describe_table().splitlines()) == len(rst) + 1

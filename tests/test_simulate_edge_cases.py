@@ -1,0 +1,182 @@
+"""Edge-case tests for the DES kernel: cancellation, failure paths, ordering."""
+
+import pytest
+
+from repro.simulate.engine import Event, Interrupt, SimulationError, Simulator
+from repro.simulate.resources import Resource
+
+
+class TestResourceCancel:
+    def test_cancel_queued_request(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        log = []
+
+        def holder():
+            grant = yield resource.request()
+            yield sim.timeout(5.0)
+            resource.release(grant)
+
+        def impatient():
+            grant = resource.request()
+            try:
+                value = yield sim.any_of([grant, sim.timeout(1.0, value="timeout")])
+            finally:
+                if not grant.triggered:
+                    assert resource.cancel(grant)
+            log.append(value)
+
+        def patient():
+            grant = yield resource.request()
+            log.append(("patient", sim.now))
+            resource.release(grant)
+
+        sim.process(holder())
+        sim.process(impatient())
+        sim.process(patient())
+        sim.run()
+        # The impatient waiter timed out and withdrew; the patient one got
+        # the slot when the holder released — no leaked grant.
+        assert ("patient", 5.0) in log
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+    def test_cancel_granted_request_returns_false(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        grant = resource.request()  # Granted immediately.
+        assert resource.cancel(grant) is False
+
+    def test_interrupted_waiter_cleanup_pattern(self):
+        """The documented pattern: catch Interrupt, cancel the queued grant."""
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        outcomes = []
+
+        def holder():
+            grant = yield resource.request()
+            yield sim.timeout(10.0)
+            resource.release(grant)
+
+        def waiter():
+            grant = resource.request()
+            try:
+                yield grant
+                resource.release(grant)
+                outcomes.append("served")
+            except Interrupt:
+                resource.cancel(grant)
+                outcomes.append("cancelled")
+
+        sim.process(holder())
+        proc = sim.process(waiter())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert outcomes == ["cancelled"]
+        assert resource.in_use == 0 and resource.queue_length == 0
+
+
+class TestFailurePaths:
+    def test_fail_with_delay(self):
+        sim = Simulator()
+        event = sim.event()
+        event.fail(RuntimeError("later"), delay=2.0)
+        observed = []
+
+        def waiter():
+            try:
+                yield event
+            except RuntimeError:
+                observed.append(sim.now)
+
+        sim.run(sim.process(waiter()))
+        assert observed == [2.0]
+
+    def test_any_of_failure_propagates(self):
+        sim = Simulator()
+        bad = sim.event()
+        race = sim.any_of([sim.timeout(5.0), bad])
+        bad.fail(ValueError("fast failure"))
+
+        def waiter():
+            yield race
+
+        with pytest.raises(ValueError, match="fast failure"):
+            sim.run(sim.process(waiter()))
+
+    def test_orphaned_process_failure_raises_from_run(self):
+        sim = Simulator()
+
+        def doomed():
+            yield sim.timeout(1.0)
+            raise RuntimeError("nobody joined me")
+
+        sim.process(doomed())
+        with pytest.raises(RuntimeError, match="nobody joined me"):
+            sim.run()
+
+    def test_joined_process_failure_not_double_raised(self):
+        sim = Simulator()
+
+        def doomed():
+            yield sim.timeout(1.0)
+            raise RuntimeError("joined failure")
+
+        def supervisor():
+            try:
+                yield sim.process(doomed())
+            except RuntimeError:
+                return "handled"
+
+        assert sim.run(sim.process(supervisor())) == "handled"
+
+    def test_ok_property(self):
+        sim = Simulator()
+        good = sim.event().succeed(1)
+        bad = sim.event().fail(RuntimeError("x"))
+        sim.run()
+        assert good.ok and not bad.ok
+        pending = sim.event()
+        with pytest.raises(SimulationError):
+            _ = pending.ok
+
+
+class TestOrdering:
+    def test_succeed_delay_schedules_later(self):
+        sim = Simulator()
+        order = []
+        sim.event().succeed("b", delay=2.0).add_callback(lambda e: order.append(e._value))
+        sim.event().succeed("a", delay=1.0).add_callback(lambda e: order.append(e._value))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_zero_delay_events_preserve_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "xyz":
+            sim.event().succeed(tag).add_callback(lambda e: order.append(e._value))
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_nested_process_completion_order(self):
+        sim = Simulator()
+        order = []
+
+        def inner(tag, delay):
+            yield sim.timeout(delay)
+            order.append(tag)
+            return tag
+
+        def outer():
+            first = sim.process(inner("slow", 2.0))
+            second = sim.process(inner("fast", 1.0))
+            results = yield sim.all_of([first, second])
+            return results
+
+        assert sim.run(sim.process(outer())) == ["slow", "fast"]
+        assert order == ["fast", "slow"]

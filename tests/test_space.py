@@ -1,0 +1,144 @@
+"""Unit tests for space-aware stripe constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import HARLPlanner
+from repro.core.space import SpaceConstraint
+from repro.core.stripe_determination import InfeasiblePlacementError, determine_stripes
+from repro.util.units import GiB, KiB, MiB
+from repro.workloads.traces import TraceRecord
+
+
+def make_constraint(h_budget, s_budget, extent=64 * MiB, counts=(6, 2)):
+    return SpaceConstraint(
+        class_counts=counts,
+        per_server_budgets=(h_budget, s_budget),
+        region_extent=extent,
+    )
+
+
+class TestSpaceConstraint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceConstraint(class_counts=(6,), per_server_budgets=(1, 2), region_extent=10)
+        with pytest.raises(ValueError):
+            SpaceConstraint(class_counts=(6, 2), per_server_budgets=(-1, 2), region_extent=10)
+        with pytest.raises(ValueError):
+            SpaceConstraint(class_counts=(6, 2), per_server_budgets=(1, 2), region_extent=-1)
+
+    def test_footprint_partition(self):
+        constraint = make_constraint(GiB, GiB, extent=64 * MiB)
+        h_fp, s_fp = constraint.footprint_per_server((36 * KiB, 148 * KiB))
+        # Per-server footprints weighted by counts must rebuild the extent.
+        assert 6 * h_fp + 2 * s_fp == pytest.approx(64 * MiB)
+
+    def test_uniform_stripes_split_evenly(self):
+        constraint = make_constraint(GiB, GiB, extent=80 * MiB, counts=(6, 2))
+        h_fp, s_fp = constraint.footprint_per_server((64 * KiB, 64 * KiB))
+        assert h_fp == pytest.approx(10 * MiB)
+        assert s_fp == pytest.approx(10 * MiB)
+
+    def test_feasible(self):
+        constraint = make_constraint(h_budget=GiB, s_budget=10 * MiB, extent=64 * MiB)
+        # SServer-heavy pair: each SServer would hold ~26 MiB > 10 MiB.
+        assert not constraint.feasible((16 * KiB, 208 * KiB))
+        # Uniform pair: 8 MiB per server fits.
+        assert constraint.feasible((64 * KiB, 64 * KiB))
+
+    def test_zero_round_rejected(self):
+        with pytest.raises(ValueError):
+            make_constraint(GiB, GiB).footprint_per_server((0, 0))
+
+    def test_mask_matches_feasible(self):
+        constraint = make_constraint(h_budget=20 * MiB, s_budget=12 * MiB)
+        h = 16 * KiB
+        s_values = np.array([16 * KiB, 64 * KiB, 208 * KiB, 512 * KiB], dtype=np.int64)
+        mask = constraint.mask(h, s_values)
+        for value, ok in zip(s_values, mask):
+            assert ok == constraint.feasible((h, int(value)))
+
+    def test_mask_rejects_empty_round(self):
+        constraint = make_constraint(GiB, GiB)
+        mask = constraint.mask(0, np.array([0], dtype=np.int64))
+        assert not mask.any()
+
+    def test_mask_requires_two_classes(self):
+        constraint = SpaceConstraint(
+            class_counts=(2, 2, 4), per_server_budgets=(1, 1, 1), region_extent=10
+        )
+        with pytest.raises(ValueError):
+            constraint.mask(0, np.array([1]))
+
+
+class TestConstrainedSearch:
+    def test_unconstrained_choice_kept_when_budget_ample(self, params):
+        offsets = np.arange(32, dtype=np.int64) * 512 * KiB
+        sizes = np.full(32, 512 * KiB, dtype=np.int64)
+        is_read = np.zeros(32, dtype=bool)
+        free = determine_stripes(params, offsets, sizes, is_read, step=16 * KiB)
+        roomy = determine_stripes(
+            params, offsets, sizes, is_read, step=16 * KiB,
+            constraint=make_constraint(GiB, GiB, extent=16 * MiB),
+        )
+        assert (free.hstripe, free.sstripe) == (roomy.hstripe, roomy.sstripe)
+
+    def test_tight_sserver_budget_shifts_to_hservers(self, params):
+        offsets = np.arange(32, dtype=np.int64) * 512 * KiB
+        sizes = np.full(32, 512 * KiB, dtype=np.int64)
+        is_read = np.zeros(32, dtype=bool)
+        free = determine_stripes(params, offsets, sizes, is_read, step=16 * KiB)
+        extent = 16 * MiB
+        tight = determine_stripes(
+            params, offsets, sizes, is_read, step=16 * KiB,
+            constraint=make_constraint(GiB, MiB, extent=extent),
+        )
+        constraint = make_constraint(GiB, MiB, extent=extent)
+        assert constraint.feasible((tight.hstripe, tight.sstripe))
+        # The free optimum would overfill SServers; the constrained one
+        # carries a higher modeled cost as the price of feasibility.
+        assert not constraint.feasible((free.hstripe, free.sstripe))
+        assert tight.cost >= free.cost
+
+    def test_infeasible_raises(self, params):
+        offsets = np.arange(8, dtype=np.int64) * 512 * KiB
+        sizes = np.full(8, 512 * KiB, dtype=np.int64)
+        is_read = np.zeros(8, dtype=bool)
+        with pytest.raises(InfeasiblePlacementError):
+            determine_stripes(
+                params, offsets, sizes, is_read, step=16 * KiB,
+                constraint=make_constraint(0, 0, extent=64 * MiB),
+            )
+
+
+class TestPlannerBudgets:
+    def make_trace(self, n=64, size=512 * KiB):
+        return [
+            TraceRecord(pid=1, rank=0, fd=3, op="write", offset=i * size, size=size, timestamp=0.0)
+            for i in range(n)
+        ]
+
+    def test_budgets_respected_across_regions(self, params):
+        trace = self.make_trace()
+        extent = 64 * 512 * KiB  # 32 MiB.
+        budget_s = 6 * MiB  # Each SServer may hold 6 MiB of the 32 MiB file.
+        planner = HARLPlanner(params, step=16 * KiB, space_budgets=(GiB, budget_s))
+        rst = planner.plan(trace)
+        total_s = 0.0
+        for entry in rst.entries:
+            end = entry.end if entry.end is not None else extent
+            constraint = SpaceConstraint(
+                class_counts=(6, 2),
+                per_server_budgets=(GiB, budget_s),
+                region_extent=end - entry.offset,
+            )
+            total_s += constraint.footprint_per_server(entry.config.stripes)[1]
+        assert total_s <= budget_s * 1.001
+
+    def test_no_budget_is_default(self, params):
+        planner = HARLPlanner(params, step=16 * KiB)
+        unconstrained = HARLPlanner(params, step=16 * KiB, space_budgets=None)
+        trace = self.make_trace(16)
+        assert [e.config.stripes for e in planner.plan(trace).entries] == [
+            e.config.stripes for e in unconstrained.plan(trace).entries
+        ]

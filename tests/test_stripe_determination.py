@@ -1,0 +1,135 @@
+"""Unit tests for Algorithm 2 (stripe size determination)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stripe_determination import (
+    StripeChoice,
+    determine_stripes,
+    reference_determine_stripes,
+)
+from repro.util.units import KiB
+
+
+def uniform_requests(n, size, op_read=True, stride=None):
+    stride = stride or size
+    offsets = np.arange(n, dtype=np.int64) * stride
+    sizes = np.full(n, size, dtype=np.int64)
+    is_read = np.full(n, op_read, dtype=bool)
+    return offsets, sizes, is_read
+
+
+class TestDetermineStripes:
+    def test_matches_reference_oracle(self, small_params):
+        """The vectorized search must scan the same grid to the same optimum."""
+        rng = np.random.default_rng(3)
+        offsets = np.sort(rng.integers(0, 10**6, 12)).astype(np.int64)
+        sizes = rng.integers(8 * KiB, 96 * KiB, 12).astype(np.int64)
+        is_read = rng.random(12) < 0.5
+        fast = determine_stripes(small_params, offsets, sizes, is_read, step=8 * KiB)
+        slow = reference_determine_stripes(small_params, offsets, sizes, is_read, step=8 * KiB)
+        assert (fast.hstripe, fast.sstripe) == (slow.hstripe, slow.sstripe)
+        assert fast.cost == pytest.approx(slow.cost, rel=1e-9)
+
+    def test_matches_reference_on_paper_architecture(self, params):
+        offsets, sizes, is_read = uniform_requests(6, 128 * KiB)
+        fast = determine_stripes(params, offsets, sizes, is_read, step=32 * KiB)
+        slow = reference_determine_stripes(params, offsets, sizes, is_read, step=32 * KiB)
+        assert (fast.hstripe, fast.sstripe) == (slow.hstripe, slow.sstripe)
+
+    def test_small_requests_prefer_ssd_only(self, params):
+        """Fig. 9: 128 KB requests -> {0K, 64K}-style SServer-only layout."""
+        offsets, sizes, is_read = uniform_requests(32, 128 * KiB)
+        choice = determine_stripes(params, offsets, sizes, is_read, step=16 * KiB)
+        assert choice.hstripe == 0
+
+    def test_large_requests_use_both_classes(self, params):
+        offsets, sizes, is_read = uniform_requests(32, 1024 * KiB)
+        choice = determine_stripes(params, offsets, sizes, is_read, step=16 * KiB)
+        assert choice.hstripe > 0
+        assert choice.sstripe > choice.hstripe
+
+    def test_s_exceeds_h(self, params):
+        """The grid enforces s > h (SServers carry at least as much data)."""
+        offsets, sizes, is_read = uniform_requests(16, 512 * KiB)
+        choice = determine_stripes(params, offsets, sizes, is_read, step=16 * KiB)
+        if choice.sstripe > 0:
+            assert choice.sstripe > choice.hstripe
+
+    def test_write_optimum_differs_from_read(self, params):
+        """SServer write asymmetry shifts the optimum (paper: {32K,160K} vs {36K,148K})."""
+        offsets, sizes, _ = uniform_requests(32, 512 * KiB)
+        read = determine_stripes(params, offsets, sizes, np.ones(32, bool), step=8 * KiB)
+        write = determine_stripes(params, offsets, sizes, np.zeros(32, bool), step=8 * KiB)
+        assert (read.hstripe, read.sstripe) != (write.hstripe, write.sstripe)
+
+    def test_offsets_rebased_to_region_start(self, params):
+        """A region far into the file must plan like the same region at 0."""
+        offsets, sizes, is_read = uniform_requests(16, 256 * KiB)
+        shifted = determine_stripes(
+            params, offsets + 10**9, sizes, is_read, step=16 * KiB
+        )
+        origin = determine_stripes(params, offsets, sizes, is_read, step=16 * KiB)
+        assert (shifted.hstripe, shifted.sstripe) == (origin.hstripe, origin.sstripe)
+
+    def test_cost_positive(self, params):
+        offsets, sizes, is_read = uniform_requests(4, 64 * KiB)
+        choice = determine_stripes(params, offsets, sizes, is_read)
+        assert choice.cost > 0
+
+    def test_sampling_cap_preserves_choice_on_uniform_region(self, params):
+        offsets, sizes, is_read = uniform_requests(400, 512 * KiB)
+        full = determine_stripes(params, offsets, sizes, is_read, step=32 * KiB, max_requests=400)
+        sampled = determine_stripes(params, offsets, sizes, is_read, step=32 * KiB, max_requests=64)
+        assert (full.hstripe, full.sstripe) == (sampled.hstripe, sampled.sstripe)
+        # Rescaled cost approximates the full-population cost.
+        assert sampled.cost == pytest.approx(full.cost, rel=0.05)
+
+    def test_empty_region_rejected(self, params):
+        with pytest.raises(ValueError, match="empty region"):
+            determine_stripes(
+                params,
+                np.array([], dtype=np.int64),
+                np.array([], dtype=np.int64),
+                np.array([], dtype=bool),
+            )
+
+    def test_invalid_step(self, params):
+        offsets, sizes, is_read = uniform_requests(4, 64 * KiB)
+        with pytest.raises(ValueError):
+            determine_stripes(params, offsets, sizes, is_read, step=0)
+
+    def test_explicit_avg_request_size_bounds_grid(self, params):
+        offsets, sizes, is_read = uniform_requests(8, 512 * KiB)
+        choice = determine_stripes(
+            params, offsets, sizes, is_read, avg_request_size=64 * KiB, step=16 * KiB
+        )
+        assert choice.hstripe <= 64 * KiB
+        assert choice.sstripe <= 64 * KiB
+
+    def test_max_stripe_override(self, params):
+        offsets, sizes, is_read = uniform_requests(8, 128 * KiB)
+        choice = determine_stripes(
+            params, offsets, sizes, is_read, step=16 * KiB, max_stripe=512 * KiB
+        )
+        assert choice.sstripe <= 512 * KiB
+
+    def test_describe(self):
+        choice = StripeChoice(hstripe=32 * KiB, sstripe=160 * KiB, cost=1.0)
+        assert choice.describe() == "{32K, 160K}"
+
+
+class TestHServerOnlyArchitectures:
+    def test_no_sservers(self, params):
+        hdd_only = params.with_servers(6, 0)
+        offsets, sizes, is_read = uniform_requests(8, 256 * KiB)
+        choice = determine_stripes(hdd_only, offsets, sizes, is_read, step=32 * KiB)
+        assert choice.hstripe > 0
+        assert choice.sstripe == 0
+
+    def test_no_hservers(self, params):
+        ssd_only = params.with_servers(0, 2)
+        offsets, sizes, is_read = uniform_requests(8, 256 * KiB)
+        choice = determine_stripes(ssd_only, offsets, sizes, is_read, step=32 * KiB)
+        assert choice.hstripe == 0
+        assert choice.sstripe > 0

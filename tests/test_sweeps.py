@@ -1,0 +1,54 @@
+"""Unit tests for the sensitivity sweep helpers."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    SweepPoint,
+    SweepResult,
+    sweep_device_gap,
+    sweep_sserver_count,
+)
+
+
+class TestSweepStructures:
+    def test_gain(self):
+        point = SweepPoint(label="x", default_mib=100.0, harl_mib=250.0, harl_plan="p")
+        assert point.gain == pytest.approx(1.5)
+
+    def test_render(self):
+        result = SweepResult(
+            title="T",
+            points=[SweepPoint(label="a", default_mib=100.0, harl_mib=150.0, harl_plan="16K-64K")],
+        )
+        text = result.render()
+        assert "=== T ===" in text
+        assert "50%" in text and "16K-64K" in text
+
+    def test_gains_order(self):
+        result = SweepResult(
+            title="T",
+            points=[
+                SweepPoint("a", 100.0, 110.0, "p"),
+                SweepPoint("b", 100.0, 130.0, "p"),
+            ],
+        )
+        assert result.gains() == [pytest.approx(0.1), pytest.approx(0.3)]
+
+
+class TestSweepRuns:
+    def test_device_gap_two_points(self):
+        result = sweep_device_gap(ratios=(1.0, 8.0))
+        assert len(result.points) == 2
+        assert result.points[1].gain > result.points[0].gain
+        assert result.points[0].label == "1x"
+
+    def test_sserver_count_points(self):
+        result = sweep_sserver_count(counts=(1, 4))
+        assert [point.label for point in result.points] == ["7H:1S", "4H:4S"]
+        assert result.points[1].gain > result.points[0].gain
+
+    def test_sserver_count_validation(self):
+        with pytest.raises(ValueError):
+            sweep_sserver_count(counts=(8,), total_servers=8)
+        with pytest.raises(ValueError):
+            sweep_sserver_count(counts=(0,))

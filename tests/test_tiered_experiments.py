@@ -1,0 +1,117 @@
+"""Integration tests for multi-tier testbeds and the end-to-end extension."""
+
+import pytest
+
+from repro.experiments.harness import run_workload
+from repro.experiments.tiered import TierDef, TieredTestbed, tiered_harl_plan
+from repro.pfs.tiered import ClassStripe, MultiClassStripingConfig, TieredFixedLayout, TieredPFS
+from repro.simulate.engine import Simulator
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+def three_tier_testbed():
+    return TieredTestbed(
+        tiers=[
+            TierDef(
+                "ssd",
+                2,
+                {
+                    "read_bandwidth": 1800 * MiB,
+                    "write_bandwidth": 1200 * MiB,
+                    "read_alpha_min": 5e-6,
+                    "read_alpha_max": 2e-5,
+                    "write_alpha_min": 1e-5,
+                    "write_alpha_max": 3e-5,
+                },
+            ),
+            TierDef("ssd", 2, {}),
+            TierDef("hdd", 4, {}),
+        ],
+        seed=0,
+    )
+
+
+class TestTierDef:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown device kind"):
+            TierDef("tape", 2)
+
+    def test_count_positive(self):
+        with pytest.raises(ValueError):
+            TierDef("hdd", 0)
+
+    def test_make_device_applies_kwargs(self):
+        tier = TierDef("hdd", 1, {"bandwidth": 12345678.0})
+        device = tier.make_device(0, "d")
+        assert device.bandwidth == 12345678.0
+
+
+class TestTieredTestbed:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TieredTestbed(tiers=[])
+
+    def test_build_shape(self):
+        testbed = three_tier_testbed()
+        pfs = testbed.build(Simulator())
+        assert pfs.class_counts == (2, 2, 4)
+        assert pfs.n_servers == 8
+        assert pfs.servers[0].name == "tier0.0"
+        assert pfs.servers[7].name == "tier2.3"
+
+    def test_parameters_ordering(self):
+        params = three_tier_testbed().parameters(repeats=40)
+        assert params.class_counts == (2, 2, 4)
+        betas = [tier.profile.beta_read for tier in params.tiers]
+        assert betas[0] < betas[1] < betas[2]  # NVMe < SATA-SSD < HDD.
+
+    def test_parameters_cached(self):
+        testbed = three_tier_testbed()
+        assert testbed.parameters(repeats=40) is testbed.parameters(repeats=40)
+
+
+class TestTieredPFS:
+    def test_layout_class_mismatch_rejected(self):
+        pfs = three_tier_testbed().build(Simulator())
+        bad = TieredFixedLayout(MultiClassStripingConfig([(4, 64 * KiB), (4, 64 * KiB)]))
+        with pytest.raises(ValueError, match="server classes"):
+            pfs.create_file("f", bad)
+
+    def test_request_fans_out_to_tiers(self):
+        sim = Simulator()
+        pfs = three_tier_testbed().build(sim)
+        layout = TieredFixedLayout(
+            MultiClassStripingConfig([(2, 64 * KiB), (2, 64 * KiB), (4, 64 * KiB)])
+        )
+        handle = pfs.create_file("f", layout)
+        sim.run(handle.write(0, 512 * KiB))
+        assert all(server.bytes_served == 64 * KiB for server in pfs.servers)
+
+    def test_empty_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            TieredPFS(Simulator(), [], None)
+
+
+class TestEndToEnd:
+    def test_three_tier_harl_beats_uniform_fixed(self):
+        testbed = three_tier_testbed()
+        workload = IORWorkload(
+            IORConfig(n_processes=16, request_size=512 * KiB, file_size=16 * MiB, op="write")
+        )
+        rst = tiered_harl_plan(testbed, workload)
+        uniform = TieredFixedLayout(
+            MultiClassStripingConfig([(2, 64 * KiB), (2, 64 * KiB), (4, 64 * KiB)])
+        )
+        fixed = run_workload(testbed, workload, uniform, layout_name="64K")
+        harl = run_workload(testbed, workload, rst, layout_name="HARL-3tier")
+        assert harl.throughput > 1.5 * fixed.throughput
+
+    def test_plan_orders_stripes_by_tier_speed(self):
+        testbed = three_tier_testbed()
+        workload = IORWorkload(
+            IORConfig(n_processes=8, request_size=512 * KiB, file_size=8 * MiB, op="read")
+        )
+        rst = tiered_harl_plan(testbed, workload)
+        nvme, sata, hdd = rst.entries[0].config.stripes
+        assert nvme >= sata >= hdd

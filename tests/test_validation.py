@@ -1,0 +1,58 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="got -3"):
+            check_positive("x", -3)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError, match="real number"):
+            check_positive("x", "5")
+
+    def test_error_carries_parameter_name(self):
+        with pytest.raises(ValueError, match="stripe_size"):
+            check_positive("stripe_size", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_accepts_positive(self):
+        check_non_negative("x", 17.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative("x", -0.1)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_non_negative("x", None)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0, 0.5, 1])
+    def test_accepts_unit_interval(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability("p", value)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_probability("p", [0.5])

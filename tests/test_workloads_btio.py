@@ -1,0 +1,111 @@
+"""Unit tests for the BTIO workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.devices.base import OpType
+from repro.workloads.btio import CELL_BYTES, BTIOConfig, BTIOWorkload
+
+
+class TestBTIOConfig:
+    def test_square_process_count_required(self):
+        with pytest.raises(ValueError, match="square"):
+            BTIOConfig(n_processes=6)
+
+    def test_grid_divisibility_required(self):
+        with pytest.raises(ValueError, match="divisible"):
+            BTIOConfig(n_processes=16, grid=30)
+
+    def test_derived_quantities(self):
+        config = BTIOConfig(n_processes=16, grid=32, timesteps=20, write_interval=5)
+        assert config.q == 4
+        assert config.cell_dim == 8
+        assert config.array_bytes == 32**3 * CELL_BYTES
+        assert config.n_writes == 4
+        assert config.total_write_bytes == 4 * config.array_bytes
+        assert config.total_io_bytes == 8 * config.array_bytes
+
+    def test_no_read_back_halves_io(self):
+        config = BTIOConfig(n_processes=4, grid=16, read_back=False)
+        assert config.total_io_bytes == config.total_write_bytes
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("n_processes,grid", [(4, 16), (16, 32), (64, 32)])
+    def test_cells_partition_grid(self, n_processes, grid):
+        """Every (i,j,k) cell is owned by exactly one rank."""
+        workload = BTIOWorkload(BTIOConfig(n_processes=n_processes, grid=grid))
+        q = workload.config.q
+        owners = {}
+        for rank in range(n_processes):
+            for cell in workload.owned_cells(rank):
+                assert cell not in owners, f"cell {cell} owned twice"
+                owners[cell] = rank
+        assert len(owners) == q**3  # All q^3 cells covered... per diagonal rule.
+
+    def test_each_rank_owns_q_cells(self):
+        workload = BTIOWorkload(BTIOConfig(n_processes=16, grid=32))
+        for rank in range(16):
+            assert len(workload.owned_cells(rank)) == 4
+
+    def test_rank_range_checked(self):
+        workload = BTIOWorkload(BTIOConfig(n_processes=4, grid=16))
+        with pytest.raises(ValueError):
+            workload.owned_cells(4)
+
+    @pytest.mark.parametrize("n_processes,grid", [(4, 16), (16, 16)])
+    def test_snapshot_pieces_tile_the_array(self, n_processes, grid):
+        """All ranks' pieces for one snapshot cover the array exactly once."""
+        workload = BTIOWorkload(BTIOConfig(n_processes=n_processes, grid=grid))
+        covered = np.zeros(workload.config.array_bytes, dtype=np.int32)
+        for rank in range(n_processes):
+            for offset, size in workload.snapshot_pieces(rank, 0):
+                covered[offset : offset + size] += 1
+        assert (covered == 1).all()
+
+    def test_snapshots_append(self):
+        workload = BTIOWorkload(BTIOConfig(n_processes=4, grid=16))
+        first = workload.snapshot_pieces(0, 0)
+        second = workload.snapshot_pieces(0, 1)
+        shift = workload.config.array_bytes
+        assert [(o + shift, s) for o, s in first] == second
+
+    def test_piece_sizes_are_cell_lines(self):
+        workload = BTIOWorkload(BTIOConfig(n_processes=16, grid=32))
+        cn = workload.config.cell_dim
+        for offset, size in workload.snapshot_pieces(3, 0):
+            assert size == cn * CELL_BYTES
+
+
+class TestTraces:
+    def test_piece_trace_counts(self):
+        config = BTIOConfig(n_processes=4, grid=16, timesteps=10, write_interval=5)
+        workload = BTIOWorkload(config)
+        trace = workload.piece_trace()
+        pieces_per_snapshot = sum(
+            len(workload.snapshot_pieces(rank, 0)) for rank in range(4)
+        )
+        # 2 snapshots, write + read phases.
+        assert len(trace) == pieces_per_snapshot * config.n_writes * 2
+
+    def test_synthetic_trace_is_aggregated(self):
+        config = BTIOConfig(n_processes=16, grid=32, timesteps=5, write_interval=5, n_aggregators=8)
+        workload = BTIOWorkload(config)
+        trace = workload.synthetic_trace()
+        # One write + one read phase, 8 aggregator domains each.
+        assert len(trace) == 16
+        total = sum(r.size for r in trace)
+        assert total == 2 * config.array_bytes
+        assert {r.op for r in trace} == {OpType.READ, OpType.WRITE}
+
+    def test_synthetic_trace_sorted(self):
+        workload = BTIOWorkload(BTIOConfig(n_processes=4, grid=16))
+        offsets = [r.offset for r in workload.synthetic_trace()]
+        assert offsets == sorted(offsets)
+
+    def test_aggregated_requests_much_larger_than_pieces(self):
+        config = BTIOConfig(n_processes=16, grid=32, timesteps=5, write_interval=5)
+        workload = BTIOWorkload(config)
+        piece_sizes = [r.size for r in workload.piece_trace()]
+        agg_sizes = [r.size for r in workload.synthetic_trace()]
+        assert min(agg_sizes) > 10 * max(piece_sizes)

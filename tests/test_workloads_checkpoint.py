@@ -1,0 +1,110 @@
+"""Unit tests for the checkpoint workload generators."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.util.units import KiB, MiB
+from repro.workloads.checkpoint import CheckpointConfig, CheckpointN1Workload, n_n_apps
+
+
+def config(**overrides):
+    base = dict(n_processes=4, state_per_process=1 * MiB, request_size=256 * KiB, rounds=2)
+    base.update(overrides)
+    return CheckpointConfig(**base)
+
+
+class TestCheckpointConfig:
+    def test_derived_quantities(self):
+        cfg = config()
+        assert cfg.requests_per_round == 4
+        assert cfg.round_bytes == 4 * MiB
+        assert cfg.total_bytes == 8 * MiB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            config(n_processes=0)
+        with pytest.raises(ValueError):
+            config(state_per_process=MiB + 1)
+
+
+class TestN1Workload:
+    def test_round_regions_interleave_ranks(self):
+        workload = CheckpointN1Workload(config())
+        cfg = workload.config
+        # Rank r's block in round k starts at k*round_bytes + r*state.
+        assert workload.rank_round_requests(0, 0)[0][0] == 0
+        assert workload.rank_round_requests(1, 0)[0][0] == 1 * MiB
+        assert workload.rank_round_requests(0, 1)[0][0] == 4 * MiB
+
+    def test_rounds_tile_the_file_exactly(self):
+        workload = CheckpointN1Workload(config())
+        covered = set()
+        for round_index in range(2):
+            for rank in range(4):
+                for offset, size in workload.rank_round_requests(rank, round_index):
+                    for piece in range(offset, offset + size, 256 * KiB):
+                        assert piece not in covered
+                        covered.add(piece)
+        assert len(covered) == workload.total_bytes // (256 * KiB)
+
+    def test_out_of_range(self):
+        workload = CheckpointN1Workload(config())
+        with pytest.raises(ValueError):
+            workload.rank_round_requests(4, 0)
+        with pytest.raises(ValueError):
+            workload.rank_round_requests(0, 2)
+
+    def test_trace_sorted_uniform_writes(self):
+        trace = CheckpointN1Workload(config()).synthetic_trace()
+        assert [r.offset for r in trace] == sorted(r.offset for r in trace)
+        assert {r.op for r in trace} == {OpType.WRITE}
+        assert len(trace) == 32
+
+    def test_runs_through_harness(self, tiny_testbed):
+        from repro.experiments.harness import run_workload
+        from repro.pfs.layout import FixedLayout
+
+        workload = CheckpointN1Workload(config())
+        result = run_workload(tiny_testbed, workload, FixedLayout(2, 1, 64 * KiB))
+        assert result.total_bytes == workload.total_bytes
+        assert result.makespan > 0
+
+    def test_harl_plannable(self, tiny_testbed):
+        from repro.experiments.harness import harl_plan
+
+        rst = harl_plan(tiny_testbed, CheckpointN1Workload(config()))
+        assert len(rst) >= 1
+
+
+class TestNNApps:
+    def test_one_app_per_process(self):
+        apps = n_n_apps(config())
+        assert len(apps) == 4
+        names = {name for name, _ in apps}
+        assert len(names) == 4
+
+    def test_private_files_hold_all_rounds(self):
+        apps = n_n_apps(config())
+        for _, workload in apps:
+            assert workload.config.file_size == 2 * MiB
+            assert workload.config.n_processes == 1
+            assert not workload.config.random_offsets
+
+    def test_total_bytes_match_n1(self):
+        cfg = config()
+        n1_total = CheckpointN1Workload(cfg).total_bytes
+        nn_total = sum(w.config.file_size for _, w in n_n_apps(cfg))
+        assert n1_total == nn_total
+
+    def test_runs_concurrently(self, tiny_testbed):
+        from repro.experiments.harness import run_concurrent_workloads
+        from repro.pfs.layout import FixedLayout
+
+        cfg = config()
+        apps = [
+            (name, workload, FixedLayout(2, 1, 64 * KiB))
+            for name, workload in n_n_apps(cfg)
+        ]
+        result = run_concurrent_workloads(tiny_testbed, apps)
+        assert len(result.per_app) == 4
+        assert result.aggregate_throughput_mib > 0

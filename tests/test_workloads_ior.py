@@ -1,0 +1,128 @@
+"""Unit tests for the IOR workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.devices.base import OpType
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+class TestIORConfig:
+    def test_defaults_match_paper(self):
+        config = IORConfig()
+        assert config.n_processes == 16
+        assert config.request_size == 512 * KiB
+
+    def test_block_and_segment_sizes(self):
+        config = IORConfig(n_processes=4, request_size=64 * KiB, file_size=16 * MiB)
+        assert config.segment_size == 16 * MiB  # One segment by default.
+        assert config.block_size == 4 * MiB
+        assert config.requests_per_process == 64
+
+    def test_multi_segment_sizes(self):
+        config = IORConfig(
+            n_processes=4, request_size=64 * KiB, file_size=16 * MiB, segments=4
+        )
+        assert config.segment_size == 4 * MiB
+        assert config.block_size == 1 * MiB
+        assert config.requests_per_process == 64
+
+    def test_indivisible_segments_rejected(self):
+        with pytest.raises(ValueError):
+            IORConfig(n_processes=4, request_size=64 * KiB, file_size=MiB, segments=3)
+
+    def test_indivisible_file_rejected(self):
+        with pytest.raises(ValueError, match="whole number"):
+            IORConfig(n_processes=3, request_size=64 * KiB, file_size=MiB)
+
+    def test_op_parsed_from_string(self):
+        assert IORConfig(op="read", file_size=8 * MiB).op is OpType.READ
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            IORConfig(n_processes=0)
+        with pytest.raises(ValueError):
+            IORConfig(request_size=0)
+
+
+class TestIORWorkload:
+    def make(self, **kwargs):
+        defaults = dict(n_processes=4, request_size=64 * KiB, file_size=4 * MiB, op="write")
+        defaults.update(kwargs)
+        return IORWorkload(IORConfig(**defaults))
+
+    def test_rank_covers_own_block_exactly(self):
+        workload = self.make(random_offsets=True)
+        config = workload.config
+        for rank in range(4):
+            requests = workload.rank_requests(rank)
+            offsets = sorted(offset for _, offset, _ in requests)
+            base = rank * config.block_size
+            expected = [base + i * config.request_size for i in range(config.requests_per_process)]
+            assert offsets == expected
+
+    def test_multi_segment_interleaves_blocks(self):
+        workload = self.make(segments=2, random_offsets=False)
+        config = workload.config
+        offsets_rank0 = [o for _, o, _ in workload.rank_requests(0)]
+        # Rank 0 owns the first block of each segment: a run at 0 and a run
+        # at segment_size.
+        assert offsets_rank0[0] == 0
+        assert config.segment_size in offsets_rank0
+        # Rank 1's first block starts after rank 0's within segment 0.
+        offsets_rank1 = [o for _, o, _ in workload.rank_requests(1)]
+        assert min(offsets_rank1) == config.block_size
+
+    def test_multi_segment_covers_file_once(self):
+        workload = self.make(segments=4)
+        seen = set()
+        for rank in range(4):
+            for _, offset, size in workload.rank_requests(rank):
+                assert (offset, size) not in seen
+                seen.add((offset, size))
+        total = sum(size for _, size in seen)
+        assert total == workload.config.file_size
+
+    def test_sequential_mode_in_order(self):
+        workload = self.make(random_offsets=False)
+        offsets = [o for _, o, _ in workload.rank_requests(0)]
+        assert offsets == sorted(offsets)
+
+    def test_random_mode_permutes(self):
+        workload = self.make(random_offsets=True)
+        offsets = [o for _, o, _ in workload.rank_requests(0)]
+        assert offsets != sorted(offsets)
+
+    def test_deterministic_per_seed(self):
+        a = self.make(seed=3).rank_requests(1)
+        b = self.make(seed=3).rank_requests(1)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = self.make(seed=3).rank_requests(1)
+        b = self.make(seed=4).rank_requests(1)
+        assert a != b
+
+    def test_rank_range_checked(self):
+        with pytest.raises(ValueError):
+            self.make().rank_requests(4)
+
+    def test_all_requests_cover_file(self):
+        workload = self.make()
+        requests = workload.all_requests()
+        assert len(requests) == 64
+        total = sum(size for _, _, _, size in requests)
+        assert total == 4 * MiB
+
+    def test_synthetic_trace_sorted_and_complete(self):
+        workload = self.make()
+        trace = workload.synthetic_trace()
+        offsets = [r.offset for r in trace]
+        assert offsets == sorted(offsets)
+        assert len(trace) == 64
+        assert {r.op for r in trace} == {OpType.WRITE}
+
+    def test_read_workload_trace_ops(self):
+        trace = self.make(op="read").synthetic_trace()
+        assert {r.op for r in trace} == {OpType.READ}

@@ -1,0 +1,158 @@
+"""Unit tests for trace replay."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.replay import ReplayConfig, TraceReplayWorkload
+from repro.workloads.traces import TraceRecord
+
+
+def record(rank, offset, size=64 * KiB, op=OpType.WRITE, t=0.0):
+    return TraceRecord(pid=1, rank=rank, fd=3, op=op, offset=offset, size=size, timestamp=t)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayWorkload([])
+
+    def test_sparse_ranks_renumbered_densely(self):
+        records = [record(0, 0), record(3, KiB), record(7, 2 * KiB)]
+        workload = TraceReplayWorkload(records)
+        assert workload.n_processes == 3
+        assert workload.rank_stream(1)[0].rank == 3  # Original id preserved.
+
+    def test_streams_timestamp_ordered(self):
+        records = [record(0, 2 * KiB, t=2.0), record(0, 0, t=1.0), record(0, KiB, t=1.5)]
+        workload = TraceReplayWorkload(records)
+        assert [r.timestamp for r in workload.rank_stream(0)] == [1.0, 1.5, 2.0]
+
+    def test_total_bytes(self):
+        records = [record(0, 0, size=100), record(1, 200, size=300)]
+        assert TraceReplayWorkload(records).total_bytes == 400
+
+    def test_invalid_time_scale(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(time_scale=0)
+
+    def test_rank_out_of_range(self):
+        workload = TraceReplayWorkload([record(0, 0)])
+        with pytest.raises(ValueError):
+            workload.rank_stream(1)
+
+    def test_synthetic_trace_offset_sorted(self):
+        records = [record(0, 500), record(1, 100), record(0, 300)]
+        trace = TraceReplayWorkload(records).synthetic_trace()
+        assert [r.offset for r in trace] == [100, 300, 500]
+
+
+class TestReplayRuns:
+    def make_trace(self):
+        workload = IORWorkload(
+            IORConfig(n_processes=4, request_size=128 * KiB, file_size=4 * MiB, op="write")
+        )
+        # Give records timestamps so think-time replay has gaps.
+        records = []
+        for rank in range(4):
+            for index, (op, offset, size) in enumerate(workload.rank_requests(rank)):
+                records.append(
+                    TraceRecord(
+                        pid=1, rank=rank, fd=3, op=op,
+                        offset=offset, size=size, timestamp=index * 0.01,
+                    )
+                )
+        return records
+
+    def test_replay_moves_all_bytes(self, tiny_testbed):
+        from repro.experiments.harness import run_workload
+        from repro.pfs.layout import FixedLayout
+
+        workload = TraceReplayWorkload(self.make_trace())
+        result = run_workload(tiny_testbed, workload, FixedLayout(2, 1, 64 * KiB))
+        assert result.total_bytes == 4 * MiB
+        assert result.makespan > 0
+
+    def test_think_time_slows_replay(self, tiny_testbed):
+        from repro.experiments.harness import run_workload
+        from repro.pfs.layout import FixedLayout
+
+        records = self.make_trace()
+        fast = run_workload(
+            tiny_testbed, TraceReplayWorkload(records), FixedLayout(2, 1, 64 * KiB)
+        )
+        paced = run_workload(
+            tiny_testbed,
+            TraceReplayWorkload(records, ReplayConfig(preserve_think_time=True)),
+            FixedLayout(2, 1, 64 * KiB),
+        )
+        assert paced.makespan > fast.makespan
+        # 8 requests per rank at 10 ms gaps: at least 70 ms of think time.
+        assert paced.makespan >= 0.07
+
+    def test_time_scale_compresses_gaps(self, tiny_testbed):
+        from repro.experiments.harness import run_workload
+        from repro.pfs.layout import FixedLayout
+
+        records = self.make_trace()
+        full = run_workload(
+            tiny_testbed,
+            TraceReplayWorkload(records, ReplayConfig(preserve_think_time=True, time_scale=1.0)),
+            FixedLayout(2, 1, 64 * KiB),
+        )
+        compressed = run_workload(
+            tiny_testbed,
+            TraceReplayWorkload(records, ReplayConfig(preserve_think_time=True, time_scale=0.1)),
+            FixedLayout(2, 1, 64 * KiB),
+        )
+        assert compressed.makespan < full.makespan
+
+    def test_harl_plannable_and_wins(self, tiny_testbed):
+        from repro.experiments.harness import harl_plan, run_workload
+        from repro.pfs.layout import FixedLayout
+
+        workload = TraceReplayWorkload(self.make_trace())
+        rst = harl_plan(tiny_testbed, workload)
+        default = run_workload(tiny_testbed, workload, FixedLayout(2, 1, 64 * KiB))
+        planned = run_workload(tiny_testbed, workload, rst)
+        assert planned.throughput >= default.throughput
+
+
+class TestCLIReplay:
+    def test_replay_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workloads.traces import TraceFile
+
+        workload = IORWorkload(
+            IORConfig(n_processes=4, request_size=128 * KiB, file_size=4 * MiB, op="write")
+        )
+        path = tmp_path / "trace.csv"
+        TraceFile.save(path, workload.synthetic_trace())
+        assert (
+            main([
+                "replay", "--trace", str(path), "--layout", "64K",
+                "--hservers", "2", "--sservers", "1",
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replayed 32 requests on 4 ranks" in out
+
+    def test_replay_harl(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workloads.traces import TraceFile
+
+        workload = IORWorkload(
+            IORConfig(n_processes=2, request_size=128 * KiB, file_size=2 * MiB, op="read")
+        )
+        path = tmp_path / "trace.csv"
+        TraceFile.save(path, workload.synthetic_trace())
+        assert (
+            main([
+                "replay", "--trace", str(path),
+                "--hservers", "2", "--sservers", "1",
+            ])
+            == 0
+        )
+        assert "HARL" in capsys.readouterr().out

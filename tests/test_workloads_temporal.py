@@ -1,0 +1,105 @@
+"""Unit tests for the temporal phase workload."""
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.util.units import KiB, MiB
+from repro.workloads.temporal import PhaseSpec, TemporalPhaseWorkload
+
+
+def two_phase(file_size=32 * MiB, n=8):
+    return TemporalPhaseWorkload(
+        phases=[
+            PhaseSpec(128 * KiB, 32, "read"),
+            PhaseSpec(1024 * KiB, 8, "write"),
+        ],
+        n_processes=n,
+        file_size=file_size,
+    )
+
+
+class TestPhaseSpec:
+    def test_valid(self):
+        spec = PhaseSpec(64 * KiB, 10, "read")
+        assert spec.op is OpType.READ
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(0, 10)
+        with pytest.raises(ValueError):
+            PhaseSpec(64 * KiB, 0)
+
+
+class TestTemporalPhaseWorkload:
+    def test_default_file_size_fits_largest_phase(self):
+        workload = TemporalPhaseWorkload(
+            phases=[PhaseSpec(64 * KiB, 4), PhaseSpec(256 * KiB, 8)], n_processes=4
+        )
+        assert workload.file_size == 256 * KiB * 8 * 4
+
+    def test_total_bytes_sums_phases(self):
+        workload = two_phase()
+        expected = (128 * KiB * 32 + 1024 * KiB * 8) * 8
+        assert workload.total_bytes == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemporalPhaseWorkload(phases=[], n_processes=4)
+        with pytest.raises(ValueError):
+            TemporalPhaseWorkload(phases=[PhaseSpec(KiB, 1)], n_processes=0)
+        with pytest.raises(ValueError, match="whole number"):
+            TemporalPhaseWorkload(
+                phases=[PhaseSpec(3 * KiB, 4)], n_processes=4, file_size=MiB
+            )
+
+    def test_requests_stay_in_rank_segment(self):
+        workload = two_phase()
+        segment = workload.file_size // workload.n_processes
+        for phase in range(2):
+            for rank in range(workload.n_processes):
+                for op, offset, size in workload.phase_requests(phase, rank):
+                    assert rank * segment <= offset
+                    assert offset + size <= (rank + 1) * segment
+
+    def test_phase_op_and_size(self):
+        workload = two_phase()
+        for op, _, size in workload.phase_requests(0, 0):
+            assert op is OpType.READ and size == 128 * KiB
+        for op, _, size in workload.phase_requests(1, 0):
+            assert op is OpType.WRITE and size == 1024 * KiB
+
+    def test_revisits_when_phase_exceeds_file(self):
+        # 64 requests of 1M per rank over a 16 MiB file: must revisit slots.
+        workload = TemporalPhaseWorkload(
+            phases=[PhaseSpec(1024 * KiB, 64)], n_processes=4, file_size=16 * MiB
+        )
+        offsets = [o for _, o, _ in workload.phase_requests(0, 0)]
+        assert len(offsets) == 64
+        assert len(set(offsets)) < 64  # Some slots reused.
+
+    def test_deterministic(self):
+        assert two_phase().phase_requests(1, 3) == two_phase().phase_requests(1, 3)
+
+    def test_phase_trace_sorted_and_tagged(self):
+        workload = two_phase()
+        trace = workload.phase_trace(1)
+        assert [r.offset for r in trace] == sorted(r.offset for r in trace)
+        assert all(r.op is OpType.WRITE for r in trace)
+
+    def test_synthetic_trace_merges_phases(self):
+        workload = two_phase()
+        combined = workload.synthetic_trace()
+        assert len(combined) == len(workload.phase_trace(0)) + len(workload.phase_trace(1))
+
+    def test_runs_through_harness(self, tiny_testbed):
+        from repro.experiments.harness import run_workload
+        from repro.pfs.layout import FixedLayout
+
+        workload = TemporalPhaseWorkload(
+            phases=[PhaseSpec(64 * KiB, 4, "write"), PhaseSpec(256 * KiB, 2, "read")],
+            n_processes=4,
+            file_size=4 * MiB,
+        )
+        result = run_workload(tiny_testbed, workload, FixedLayout(2, 1, 64 * KiB))
+        assert result.makespan > 0
+        assert result.total_bytes == workload.total_bytes
