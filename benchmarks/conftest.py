@@ -5,15 +5,44 @@ representative scale, prints the reproduction table to stdout (run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them), and appends the
 rendered text to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
 refreshed from artifacts.
+
+On top of pytest-benchmark's own storage, the session hook below emits
+``BENCH_perf.json`` at the repo root: one machine-readable record per timed
+case (mean/min wall-times, rounds), so perf regressions are diffable
+without parsing pytest output.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_perf.json"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write per-case wall-times of every bench that ran to BENCH_perf.json."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None or not benchmark_session.benchmarks:
+        return
+    cases = []
+    for bench in benchmark_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        cases.append(
+            {
+                "name": bench.name,
+                "mean_s": stats.mean,
+                "min_s": stats.min,
+                "rounds": stats.rounds,
+            }
+        )
+    if cases:
+        BENCH_JSON.write_text(json.dumps({"cases": cases}, indent=2) + "\n")
 
 
 @pytest.fixture()

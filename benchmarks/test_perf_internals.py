@@ -11,8 +11,18 @@ import numpy as np
 
 from repro.core.cost_model import total_cost_vectorized
 from repro.core.params import CostModelParameters
+from repro.core.stripe_determination import (
+    clear_stripe_cache,
+    determine_stripes,
+    stripe_cache_info,
+)
 from repro.devices.profiles import DeviceProfile
-from repro.pfs.mapping import StripingConfig, critical_params_vectorized, decompose
+from repro.pfs.mapping import (
+    StripingConfig,
+    critical_params_vectorized,
+    decompose,
+    decompose_batch,
+)
 from repro.simulate.engine import Simulator
 from repro.simulate.resources import Resource
 from repro.util.units import KiB
@@ -91,3 +101,37 @@ def test_perf_algorithm2_inner_loop(benchmark):
         return float(costs.min())
 
     assert benchmark(run) > 0
+
+
+def test_perf_decompose_batch(benchmark):
+    """Batched numpy decomposition of the same 2000 requests as the scalar bench."""
+    config = StripingConfig(6, 2, 36 * KiB, 148 * KiB)
+    rng = np.random.default_rng(0)
+    offsets = rng.integers(0, 2**30, 2000).astype(np.int64)
+    sizes = rng.integers(4 * KiB, 2048 * KiB, 2000).astype(np.int64)
+
+    def run():
+        return sum(len(subs) for subs in decompose_batch(config, offsets, sizes))
+
+    total = benchmark(run)
+    assert total == sum(
+        len(decompose(config, int(o), int(s))) for o, s in zip(offsets, sizes)
+    )
+
+
+def test_perf_cached_planner(benchmark):
+    """Algorithm 2 on a warm region signature: the memoized hot path."""
+    rng = np.random.default_rng(0)
+    offsets = np.sort(rng.integers(0, 2**26, 512)).astype(np.int64)
+    sizes = np.full(512, 512 * KiB, dtype=np.int64)
+    is_read = np.zeros(512, dtype=bool)
+    clear_stripe_cache()
+    cold = determine_stripes(PARAMS, offsets, sizes, is_read)
+
+    def run():
+        return determine_stripes(PARAMS, offsets, sizes, is_read)
+
+    warm = benchmark(run)
+    assert warm == cold
+    info = stripe_cache_info()
+    assert info["hits"] >= 1 and info["misses"] == 1

@@ -46,6 +46,16 @@ def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="testbed RNG seed")
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent simulation points "
+        "(default: $REPRO_JOBS or serial; 0 = all cores)",
+    )
+
+
 def _testbed(args: argparse.Namespace) -> Testbed:
     return Testbed(n_hservers=args.hservers, n_sservers=args.sservers, seed=args.seed)
 
@@ -53,7 +63,7 @@ def _testbed(args: argparse.Namespace) -> Testbed:
 def cmd_calibrate(args: argparse.Namespace) -> int:
     testbed = _testbed(args)
     hint = parse_size(args.request_hint) if args.request_hint else None
-    params = testbed.parameters(request_hint=hint)
+    params = testbed.parameters(request_hint=hint, jobs=args.jobs)
     print(params.describe())
     for label, profile in (("HServer", params.hserver), ("SServer", params.sserver)):
         print(
@@ -125,6 +135,8 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
 
 
 def cmd_run_figure(args: argparse.Namespace) -> int:
+    import inspect
+
     try:
         fn, kwargs = FIGURES[args.figure]
     except KeyError:
@@ -133,6 +145,10 @@ def cmd_run_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    kwargs = dict(kwargs)
+    # fig6 has no parallelizable points; only pass jobs where accepted.
+    if "jobs" in inspect.signature(fn).parameters:
+        kwargs["jobs"] = args.jobs
     result = fn(**kwargs)
     text = result.render()
     print(text)
@@ -182,7 +198,7 @@ def cmd_run_all(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
     names = tuple(args.figures) if args.figures else None
-    report = generate_report(names=names)
+    report = generate_report(names=names, jobs=args.jobs)
     text = report.render()
     if args.output:
         Path(args.output).write_text(text + "\n")
@@ -218,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("calibrate", help="probe the testbed into Table-I parameters")
     _add_testbed_args(p)
+    _add_jobs_arg(p)
     p.add_argument("--request-hint", help="probe near this request size (e.g. 512K)")
     p.set_defaults(fn=cmd_calibrate)
 
@@ -260,12 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run-figure", help="regenerate one paper figure")
     p.add_argument("figure", help="figure name (see list-figures)")
     p.add_argument("--output", help="also write the table to this file")
+    _add_jobs_arg(p)
     p.set_defaults(fn=cmd_run_figure)
 
     p = sub.add_parser(
         "run-all", help="regenerate every figure into one reproduction report"
     )
     p.add_argument("--output", help="write the markdown report here (default: stdout)")
+    _add_jobs_arg(p)
     p.add_argument(
         "figures", nargs="*", help="optional subset of figure names (default: all)"
     )

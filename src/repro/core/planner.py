@@ -25,7 +25,11 @@ from repro.core.params import CostModelParameters
 from repro.core.region_division import Region, divide_regions_bounded
 from repro.core.rst import RegionStripeTable, RSTEntry
 from repro.core.space import SpaceConstraint
-from repro.core.stripe_determination import StripeChoice, determine_stripes
+from repro.core.stripe_determination import (
+    StripeChoice,
+    determine_stripes,
+    stripe_cache_info,
+)
 from repro.pfs.layout import RegionLevelLayout
 from repro.pfs.mapping import StripingConfig
 from repro.util.units import KiB, MiB
@@ -41,12 +45,18 @@ class PlanReport:
     regions: list[Region] = field(default_factory=list)
     choices: list[StripeChoice] = field(default_factory=list)
     n_regions_after_merge: int = 0
+    #: Algorithm 2 memoization traffic attributable to this plan() call:
+    #: hits are regions whose grid search was skipped because an identical
+    #: (rebased) request pattern was already solved.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def summary(self) -> str:
         parts = [
             f"{self.n_requests} requests -> {len(self.regions)} regions "
             f"(threshold {self.threshold_used:.2f}), "
-            f"{self.n_regions_after_merge} after merge"
+            f"{self.n_regions_after_merge} after merge, "
+            f"stripe-cache {self.cache_hits} hits / {self.cache_misses} misses"
         ]
         for region, choice in zip(self.regions, self.choices):
             parts.append(
@@ -134,6 +144,7 @@ class HARLPlanner:
 
         file_extent = int((offsets + sizes).max())
         remaining_budgets = list(self.space_budgets) if self.space_budgets else None
+        cache_before = stripe_cache_info()
 
         entries: list[RSTEntry] = []
         for region in regions:
@@ -182,6 +193,9 @@ class HARLPlanner:
         if self.merge_regions:
             rst = rst.merged()
         report.n_regions_after_merge = len(rst)
+        cache_after = stripe_cache_info()
+        report.cache_hits = cache_after["hits"] - cache_before["hits"]
+        report.cache_misses = cache_after["misses"] - cache_before["misses"]
         self.last_report = report
         return rst
 

@@ -7,8 +7,19 @@
 - :mod:`repro.experiments.figures` — one function per paper figure
   (fig1a … fig12), each returning a structured result with a printable
   table; the ``benchmarks/`` suite drives these.
+- :mod:`repro.experiments.parallel` — process-pool fan-out of independent
+  figure points and sweeps (``--jobs`` / ``REPRO_JOBS``), deterministic and
+  byte-identical to serial execution.
+- :mod:`repro.experiments.cache` — calibration memoization keyed by a
+  testbed content fingerprint, optionally persisted to ``.repro_cache/``.
 """
 
+from repro.experiments.cache import (
+    cached_calibration,
+    calibration_cache_info,
+    clear_calibration_cache,
+    testbed_fingerprint,
+)
 from repro.experiments.calibrate import calibrate_device, calibrate_parameters
 from repro.experiments.harness import (
     RunResult,
@@ -17,13 +28,29 @@ from repro.experiments.harness import (
     harl_plan,
     run_workload,
 )
+from repro.experiments.parallel import (
+    PlanJob,
+    RunJob,
+    pmap,
+    resolve_jobs,
+    run_jobs,
+)
 
 __all__ = [
+    "PlanJob",
+    "RunJob",
     "RunResult",
     "Testbed",
+    "cached_calibration",
     "calibrate_device",
     "calibrate_parameters",
+    "calibration_cache_info",
+    "clear_calibration_cache",
     "compare_layouts",
     "harl_plan",
+    "pmap",
+    "resolve_jobs",
+    "run_jobs",
     "run_workload",
+    "testbed_fingerprint",
 ]

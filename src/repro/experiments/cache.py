@@ -1,0 +1,170 @@
+"""Calibration memoization keyed by testbed fingerprint.
+
+Sec. III-G calibration repeats thousands of probe I/Os per server class;
+at our defaults that is by far the most expensive part of planning. Yet the
+experiment suite keeps re-calibrating *identical* configurations: every
+figure constructs fresh :class:`~repro.experiments.harness.Testbed`
+instances with the same (device kwargs, network, seed) tuple, and a
+per-instance cache cannot see across them.
+
+This module holds the shared cache. The key is a *fingerprint* — a sha256
+over the canonical JSON of everything that determines the calibration
+result: server counts, network parameters (``vars()`` of the model),
+device constructor kwargs, probe sizes, repeat count, seed and NIC
+parallelism. Calibration is a pure function of exactly those inputs (probe
+devices are built fresh from ``derive_rng(seed, ...)``), so a fingerprint
+hit returns bit-identical parameters to recomputation.
+
+Optional persistence: set ``REPRO_CACHE_DIR=<dir>`` (or ``REPRO_CACHE=1``
+for the default ``.repro_cache/``) and fingerprints survive across
+processes as ``calib-<key>.json`` files. Unreadable or stale files are
+treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.params import CostModelParameters
+from repro.devices.profiles import DeviceProfile
+
+_calibration_cache: dict[str, CostModelParameters] = {}
+_calibration_hits = 0
+_calibration_misses = 0
+_calibration_disk_loads = 0
+
+
+def canonical_key(payload: Any) -> str:
+    """sha256 hex digest of the canonical (sorted-keys) JSON of ``payload``.
+
+    Non-JSON values fall back to ``repr``, which is deterministic for the
+    numbers/tuples/dicts that appear in testbed configuration.
+    """
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def network_signature(network: Any) -> dict[str, Any]:
+    """The calibration-relevant identity of a network model.
+
+    ``vars()`` captures every constructor-set attribute (``unit_time``,
+    ``latency``, subclass extras), and the class name separates models with
+    identical fields but different behaviour.
+    """
+    return {"class": type(network).__name__, "fields": dict(sorted(vars(network).items()))}
+
+
+def testbed_fingerprint(
+    n_hservers: int,
+    n_sservers: int,
+    network: Any,
+    hdd_kwargs: dict | None,
+    ssd_kwargs: dict | None,
+    probe_sizes: tuple[int, ...],
+    repeats: int,
+    seed: int,
+    nic_parallelism: int,
+) -> str:
+    """Content hash of every input that determines a calibration result."""
+    return canonical_key(
+        {
+            "n_hservers": int(n_hservers),
+            "n_sservers": int(n_sservers),
+            "network": network_signature(network),
+            "hdd_kwargs": dict(sorted((hdd_kwargs or {}).items())),
+            "ssd_kwargs": dict(sorted((ssd_kwargs or {}).items())),
+            "probe_sizes": [int(s) for s in probe_sizes],
+            "repeats": int(repeats),
+            "seed": int(seed),
+            "nic_parallelism": int(nic_parallelism),
+        }
+    )
+
+
+def _persist_dir() -> Path | None:
+    """Directory for on-disk persistence, or None when disabled."""
+    explicit = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if explicit:
+        return Path(explicit)
+    if os.environ.get("REPRO_CACHE", "").strip() == "1":
+        return Path(".repro_cache")
+    return None
+
+
+def _params_to_dict(params: CostModelParameters) -> dict[str, Any]:
+    return asdict(params)
+
+
+def _params_from_dict(payload: dict[str, Any]) -> CostModelParameters:
+    return CostModelParameters(
+        n_hservers=int(payload["n_hservers"]),
+        n_sservers=int(payload["n_sservers"]),
+        unit_network_time=float(payload["unit_network_time"]),
+        hserver=DeviceProfile(**payload["hserver"]),
+        sserver=DeviceProfile(**payload["sserver"]),
+    )
+
+
+def cached_calibration(
+    key: str, compute: Callable[[], CostModelParameters]
+) -> CostModelParameters:
+    """Return the calibration for ``key``, computing and caching on miss.
+
+    Lookup order: in-process dict, then the persistence directory (when
+    enabled), then ``compute()``. Disk entries that fail to parse are
+    ignored and overwritten by the fresh result.
+    """
+    global _calibration_hits, _calibration_misses, _calibration_disk_loads
+    params = _calibration_cache.get(key)
+    if params is not None:
+        _calibration_hits += 1
+        return params
+    cache_dir = _persist_dir()
+    path = None if cache_dir is None else cache_dir / f"calib-{key}.json"
+    if path is not None and path.is_file():
+        try:
+            params = _params_from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError):
+            params = None
+        if params is not None:
+            _calibration_disk_loads += 1
+            _calibration_cache[key] = params
+            return params
+    _calibration_misses += 1
+    params = compute()
+    _calibration_cache[key] = params
+    if path is not None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(_params_to_dict(params), sort_keys=True))
+        except OSError:
+            pass  # Persistence is best-effort; the in-process cache holds it.
+    return params
+
+
+def calibration_cache_info() -> dict[str, int]:
+    """Hit/miss/disk-load counters of the shared calibration cache."""
+    return {
+        "hits": _calibration_hits,
+        "misses": _calibration_misses,
+        "disk_loads": _calibration_disk_loads,
+        "size": len(_calibration_cache),
+    }
+
+
+def clear_calibration_cache() -> None:
+    """Drop all in-process calibration entries and zero the counters.
+
+    On-disk entries (when persistence is enabled) are left alone; delete
+    the cache directory to invalidate those.
+    """
+    global _calibration_hits, _calibration_misses, _calibration_disk_loads
+    _calibration_cache.clear()
+    _calibration_hits = 0
+    _calibration_misses = 0
+    _calibration_disk_loads = 0

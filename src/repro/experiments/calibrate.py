@@ -113,6 +113,27 @@ def calibrate_network(
     return (large - small) / (probe_size - probe_size // 2) / concurrent_flows
 
 
+def _calibrate_profile_job(
+    job: tuple[str, dict, tuple[int, ...], int, int, str],
+) -> DeviceProfile:
+    """Probe one device class end to end (module-level, pool-picklable).
+
+    The whole read-then-write profile of one device is a single job: the
+    probe device's RNG advances across both passes, so splitting per op
+    would change the write-pass draws and break serial/parallel equality.
+    """
+    kind, device_kwargs, probe_sizes, repeats, seed, label = job
+    if kind == "hdd":
+        device: StorageDevice = HDDModel(
+            seed=derive_rng(seed, "probe-hdd"), name="probe-hdd", **device_kwargs
+        )
+    else:
+        device = SSDModel(
+            seed=derive_rng(seed, "probe-ssd"), name="probe-ssd", **device_kwargs
+        )
+    return calibrate_profile(device, probe_sizes, repeats, seed, label=label)
+
+
 def calibrate_parameters(
     n_hservers: int,
     n_sservers: int,
@@ -123,6 +144,7 @@ def calibrate_parameters(
     repeats: int = 200,
     seed: int = 0,
     nic_parallelism: int = 1,
+    jobs: int | None = None,
 ) -> CostModelParameters:
     """Measure the full Table-I bundle against fresh probe devices.
 
@@ -130,15 +152,22 @@ def calibrate_parameters(
     servers (the paper probes one live server per class); fresh instances
     keep probing from perturbing experiment state. ``nic_parallelism`` is
     the testbed servers' NIC flow parallelism, folded into the effective
-    unit network time (see :func:`calibrate_network`).
+    unit network time (see :func:`calibrate_network`). ``jobs`` fans the
+    per-class probing across processes (each class' device is independently
+    seeded, so results match serial execution exactly).
     """
+    from repro.experiments.parallel import pmap
+
     network = network or NetworkModel()
-    hdd = HDDModel(seed=derive_rng(seed, "probe-hdd"), name="probe-hdd", **(hdd_kwargs or {}))
-    ssd = SSDModel(seed=derive_rng(seed, "probe-ssd"), name="probe-ssd", **(ssd_kwargs or {}))
+    profile_jobs = [
+        ("hdd", dict(hdd_kwargs or {}), tuple(probe_sizes), repeats, seed, "hserver"),
+        ("ssd", dict(ssd_kwargs or {}), tuple(probe_sizes), repeats, seed, "sserver"),
+    ]
+    hserver, sserver = pmap(_calibrate_profile_job, profile_jobs, jobs=jobs)
     return CostModelParameters(
         n_hservers=n_hservers,
         n_sservers=n_sservers,
         unit_network_time=calibrate_network(network, concurrent_flows=nic_parallelism),
-        hserver=calibrate_profile(hdd, probe_sizes, repeats, seed, label="hserver"),
-        sserver=calibrate_profile(ssd, probe_sizes, repeats, seed, label="sserver"),
+        hserver=hserver,
+        sserver=sserver,
     )

@@ -20,14 +20,8 @@ from dataclasses import dataclass, field
 
 from repro.core.rst import RegionStripeTable
 from repro.devices.base import OpType
-from repro.experiments.harness import (
-    ComparisonTable,
-    RunResult,
-    Testbed,
-    compare_layouts,
-    harl_plan,
-    run_workload,
-)
+from repro.experiments.harness import ComparisonTable, Testbed, compare_layouts
+from repro.experiments.parallel import PlanJob, RunJob, run_jobs
 from repro.pfs.layout import FixedLayout, LayoutPolicy, RandomLayout
 from repro.util.units import KiB, MiB, format_size
 from repro.workloads.btio import BTIOConfig, BTIOWorkload
@@ -106,6 +100,7 @@ def fig1a(
     file_size: int = 32 * MiB,
     n_processes: int = 16,
     request_size: int = 512 * KiB,
+    jobs: int | None = None,
 ) -> Fig1aResult:
     """IOR, 512 KB requests, 16 processes, 64K default layout: server imbalance.
 
@@ -115,12 +110,24 @@ def fig1a(
     """
     testbed = testbed or default_testbed()
     layout = FixedLayout(testbed.n_hservers, testbed.n_sservers, DEFAULT_STRIPE)
-    busy: dict[str, float] = {}
-    for op in (OpType.WRITE, OpType.READ):
-        config = IORConfig(
-            n_processes=n_processes, request_size=request_size, file_size=file_size, op=op
+    job_list = [
+        RunJob(
+            testbed=testbed,
+            workload=IORWorkload(
+                IORConfig(
+                    n_processes=n_processes,
+                    request_size=request_size,
+                    file_size=file_size,
+                    op=op,
+                )
+            ),
+            layout=layout,
+            layout_name="64K",
         )
-        result = run_workload(testbed, IORWorkload(config), layout, layout_name="64K")
+        for op in (OpType.WRITE, OpType.READ)
+    ]
+    busy: dict[str, float] = {}
+    for result in run_jobs(job_list, jobs=jobs):
         for server, seconds in result.server_busy.items():
             busy[server] = busy.get(server, 0.0) + seconds
     floor = min(busy.values())
@@ -166,22 +173,35 @@ def fig1b(
     requests_per_process: int = 8,
     n_processes: int = 16,
     op: OpType | str = OpType.WRITE,
+    jobs: int | None = None,
 ) -> Fig1bResult:
     """The stripe/request-size interaction sweep motivating region layouts."""
     testbed = testbed or default_testbed()
-    throughput: dict[tuple[int, int], float] = {}
+    cells: list[tuple[int, int]] = []
+    job_list: list[RunJob] = []
     for request in request_sizes:
-        config = IORConfig(
-            n_processes=n_processes,
-            request_size=request,
-            file_size=n_processes * requests_per_process * request,
-            op=op,
+        workload = IORWorkload(
+            IORConfig(
+                n_processes=n_processes,
+                request_size=request,
+                file_size=n_processes * requests_per_process * request,
+                op=op,
+            )
         )
-        workload = IORWorkload(config)
         for stripe in stripe_sizes:
-            layout = FixedLayout(testbed.n_hservers, testbed.n_sservers, stripe)
-            result = run_workload(testbed, workload, layout, layout_name=format_size(stripe))
-            throughput[(request, stripe)] = result.throughput_mib
+            cells.append((request, stripe))
+            job_list.append(
+                RunJob(
+                    testbed=testbed,
+                    workload=workload,
+                    layout=FixedLayout(testbed.n_hservers, testbed.n_sservers, stripe),
+                    layout_name=format_size(stripe),
+                )
+            )
+    throughput = {
+        cell: result.throughput_mib
+        for cell, result in zip(cells, run_jobs(job_list, jobs=jobs))
+    }
     return Fig1bResult(
         request_sizes=tuple(request_sizes),
         stripe_sizes=tuple(stripe_sizes),
@@ -266,19 +286,48 @@ def _ior_comparison(
     stripes: tuple[int, ...] = FIXED_STRIPES,
     random_seeds: tuple[int, ...] = (1, 2),
     harl_step: int | None = None,
+    jobs: int | None = None,
 ) -> IORComparisonResult:
-    """Shared engine for Figs. 7-10: per series, sweep fixed/random/HARL."""
+    """Shared engine for Figs. 7-10: per series, sweep fixed/random/HARL.
+
+    Two fan-out rounds: first every series' HARL plan (tracing + Algorithms
+    1-2), then the flat (series x layout) run matrix. Each point is an
+    independent simulation on a fresh simulator, so ``jobs`` parallelism
+    reorders nothing — tables assemble from the ordered result list.
+    """
     result = IORComparisonResult(figure=figure)
-    for series, config in configs.items():
-        workload = IORWorkload(config)
+    series_names = list(configs)
+    workloads = {series: IORWorkload(config) for series, config in configs.items()}
+    plans = run_jobs(
+        [
+            PlanJob(testbed=testbed, workload=workloads[series], step=harl_step)
+            for series in series_names
+        ],
+        jobs=jobs,
+    )
+    run_list: list[RunJob] = []
+    spans: list[tuple[str, int, int]] = []
+    for series, rst in zip(series_names, plans):
+        result.harl_tables[series] = rst
         layouts: dict[str, LayoutPolicy | RegionStripeTable] = {}
         layouts.update(fixed_layouts(testbed, stripes))
         layouts.update(random_layouts(testbed, random_seeds))
-        rst = harl_plan(testbed, workload, step=harl_step)
         layouts["HARL"] = rst
-        result.harl_tables[series] = rst
+        start = len(run_list)
+        run_list.extend(
+            RunJob(
+                testbed=testbed,
+                workload=workloads[series],
+                layout=layout,
+                layout_name=name,
+            )
+            for name, layout in layouts.items()
+        )
+        spans.append((series, start, len(run_list)))
+    run_results = run_jobs(run_list, jobs=jobs)
+    for series, start, end in spans:
         result.tables.append(
-            compare_layouts(testbed, workload, layouts, title=f"{figure} [{series}]")
+            ComparisonTable(title=f"{figure} [{series}]", results=run_results[start:end])
         )
     return result
 
@@ -288,6 +337,7 @@ def fig7(
     file_size: int = 32 * MiB,
     n_processes: int = 16,
     request_size: int = 512 * KiB,
+    jobs: int | None = None,
 ) -> IORComparisonResult:
     """IOR read/write throughput across layouts (the headline comparison).
 
@@ -301,7 +351,7 @@ def fig7(
         )
         for op in (OpType.READ, OpType.WRITE)
     }
-    return _ior_comparison("Fig 7: IOR layouts", testbed, configs)
+    return _ior_comparison("Fig 7: IOR layouts", testbed, configs, jobs=jobs)
 
 
 def fig8(
@@ -310,6 +360,7 @@ def fig8(
     request_size: int = 512 * KiB,
     requests_per_process: int = 8,
     ops: tuple[OpType, ...] = (OpType.READ, OpType.WRITE),
+    jobs: int | None = None,
 ) -> IORComparisonResult:
     """IOR throughput vs process count (scalability)."""
     testbed = testbed or default_testbed()
@@ -323,7 +374,12 @@ def fig8(
                 op=op,
             )
     return _ior_comparison(
-        "Fig 8: process scaling", testbed, configs, stripes=(64 * KiB, 256 * KiB), random_seeds=(1,)
+        "Fig 8: process scaling",
+        testbed,
+        configs,
+        stripes=(64 * KiB, 256 * KiB),
+        random_seeds=(1,),
+        jobs=jobs,
     )
 
 
@@ -333,6 +389,7 @@ def fig9(
     n_processes: int = 16,
     requests_per_process: int = 8,
     ops: tuple[OpType, ...] = (OpType.READ, OpType.WRITE),
+    jobs: int | None = None,
 ) -> IORComparisonResult:
     """IOR throughput vs request size.
 
@@ -349,7 +406,7 @@ def fig9(
                 file_size=n_processes * requests_per_process * request,
                 op=op,
             )
-    return _ior_comparison("Fig 9: request sizes", testbed, configs)
+    return _ior_comparison("Fig 9: request sizes", testbed, configs, jobs=jobs)
 
 
 def fig10(
@@ -359,6 +416,7 @@ def fig10(
     request_size: int = 512 * KiB,
     seed: int = 0,
     ops: tuple[OpType, ...] = (OpType.READ, OpType.WRITE),
+    jobs: int | None = None,
 ) -> IORComparisonResult:
     """IOR throughput vs HServer:SServer ratio.
 
@@ -374,7 +432,7 @@ def fig10(
             )
             for op in ops
         }
-        partial = _ior_comparison(result.figure, testbed, configs, random_seeds=(1,))
+        partial = _ior_comparison(result.figure, testbed, configs, random_seeds=(1,), jobs=jobs)
         result.tables.extend(partial.tables)
         result.harl_tables.update(partial.harl_tables)
     return result
@@ -391,6 +449,7 @@ def fig11(
     n_processes: int = 16,
     ops: tuple[OpType, ...] = (OpType.READ, OpType.WRITE),
     coverage: float = 0.5,
+    jobs: int | None = None,
 ) -> IORComparisonResult:
     """Modified IOR over a four-region file (256M/1G/2G/4G in the paper).
 
@@ -401,8 +460,8 @@ def fig11(
     region_sizes = (256 * MiB // scale, 1024 * MiB // scale, 2048 * MiB // scale, 4096 * MiB // scale)
     request_sizes = (64 * KiB, 1024 * KiB, 256 * KiB, 512 * KiB)
     result = IORComparisonResult(figure="Fig 11: non-uniform workload")
-    for op in ops:
-        workload = SyntheticRegionWorkload(
+    workloads = {
+        op: SyntheticRegionWorkload(
             regions=[
                 RegionSpec(size=size, request_size=request, coverage=coverage)
                 for size, request in zip(region_sizes, request_sizes)
@@ -410,14 +469,25 @@ def fig11(
             n_processes=n_processes,
             op=op,
         )
+        for op in ops
+    }
+    plans = run_jobs(
+        [PlanJob(testbed=testbed, workload=workloads[op]) for op in ops], jobs=jobs
+    )
+    for op, rst in zip(ops, plans):
         layouts: dict[str, LayoutPolicy | RegionStripeTable] = {}
         layouts.update(fixed_layouts(testbed))
         layouts.update(random_layouts(testbed, (1,)))
-        rst = harl_plan(testbed, workload)
         layouts["HARL"] = rst
         result.harl_tables[op.value] = rst
         result.tables.append(
-            compare_layouts(testbed, workload, layouts, title=f"{result.figure} [{op.value}]")
+            compare_layouts(
+                testbed,
+                workloads[op],
+                layouts,
+                title=f"{result.figure} [{op.value}]",
+                jobs=jobs,
+            )
         )
         result.notes.append(f"HARL[{op.value}] regions:\n{rst.describe_table()}")
     return result
@@ -434,21 +504,31 @@ def fig12(
     timesteps: int = 20,
     write_interval: int = 5,
     testbed: Testbed | None = None,
+    jobs: int | None = None,
 ) -> IORComparisonResult:
     """BTIO (class-A-shaped, scaled grid) under collective I/O across layouts."""
     testbed = testbed or default_testbed()
     result = IORComparisonResult(figure="Fig 12: BTIO")
-    for n in process_counts:
-        config = BTIOConfig(
-            n_processes=n, grid=grid, timesteps=timesteps, write_interval=write_interval
+    workloads = {
+        n: BTIOWorkload(
+            BTIOConfig(
+                n_processes=n, grid=grid, timesteps=timesteps, write_interval=write_interval
+            )
         )
-        workload = BTIOWorkload(config)
+        for n in process_counts
+    }
+    plans = run_jobs(
+        [PlanJob(testbed=testbed, workload=workloads[n]) for n in process_counts],
+        jobs=jobs,
+    )
+    for n, rst in zip(process_counts, plans):
         layouts: dict[str, LayoutPolicy | RegionStripeTable] = {}
         layouts.update(fixed_layouts(testbed))
-        rst = harl_plan(testbed, workload)
         layouts["HARL"] = rst
         result.harl_tables[f"p{n}"] = rst
         result.tables.append(
-            compare_layouts(testbed, workload, layouts, title=f"{result.figure} [P={n}]")
+            compare_layouts(
+                testbed, workloads[n], layouts, title=f"{result.figure} [P={n}]", jobs=jobs
+            )
         )
     return result

@@ -16,7 +16,8 @@ from typing import Any, Protocol
 from repro.core.params import CostModelParameters
 from repro.core.planner import HARLPlanner
 from repro.core.rst import RegionStripeTable
-from repro.experiments.calibrate import calibrate_parameters
+from repro.experiments.cache import cached_calibration, testbed_fingerprint
+from repro.experiments.calibrate import DEFAULT_PROBE_SIZES, calibrate_parameters
 from repro.middleware.iosig import TraceCollector
 from repro.middleware.mpi_sim import SimMPI
 from repro.middleware.mpiio import MPIIOFile
@@ -84,7 +85,10 @@ class Testbed:
         )
 
     def parameters(
-        self, repeats: int = 200, request_hint: int | None = None
+        self,
+        repeats: int = 200,
+        request_hint: int | None = None,
+        jobs: int | None = None,
     ) -> CostModelParameters:
         """Calibrated Table-I parameters, cached per probe-size bucket.
 
@@ -94,6 +98,15 @@ class Testbed:
         Probing at sizes near the per-server sub-request scale folds the
         SSD's size-dependent channel behaviour into the fitted β where the
         planner actually operates.
+
+        Caching is two-level: a per-instance dict (``_params_by_bucket``),
+        and a process-wide store keyed by the testbed's content fingerprint
+        (:mod:`repro.experiments.cache`), so distinct ``Testbed`` instances
+        with identical configuration calibrate once per process — and, with
+        ``REPRO_CACHE``/``REPRO_CACHE_DIR`` set, once across processes.
+        Calibration is a pure function of the fingerprinted inputs, so a
+        cache hit is bit-identical to recomputation. ``jobs`` fans the
+        per-device probing across processes on a miss.
         """
         if self._params_by_bucket is None:
             self._params_by_bucket = {}
@@ -106,16 +119,32 @@ class Testbed:
         cached = self._params_by_bucket.get(bucket)
         if cached is None:
             kwargs = {} if probe_sizes is None else {"probe_sizes": probe_sizes}
-            cached = calibrate_parameters(
+            network = self.network or NetworkModel()
+            fingerprint = testbed_fingerprint(
                 self.n_hservers,
                 self.n_sservers,
-                network=self.network or NetworkModel(),
-                hdd_kwargs=self.hdd_kwargs,
-                ssd_kwargs=self.ssd_kwargs,
-                repeats=repeats,
-                seed=self.seed,
-                nic_parallelism=self.nic_parallelism,
-                **kwargs,
+                network,
+                self.hdd_kwargs,
+                self.ssd_kwargs,
+                probe_sizes if probe_sizes is not None else DEFAULT_PROBE_SIZES,
+                repeats,
+                self.seed,
+                self.nic_parallelism,
+            )
+            cached = cached_calibration(
+                fingerprint,
+                lambda: calibrate_parameters(
+                    self.n_hservers,
+                    self.n_sservers,
+                    network=network,
+                    hdd_kwargs=self.hdd_kwargs,
+                    ssd_kwargs=self.ssd_kwargs,
+                    repeats=repeats,
+                    seed=self.seed,
+                    nic_parallelism=self.nic_parallelism,
+                    jobs=jobs,
+                    **kwargs,
+                ),
             )
             self._params_by_bucket[bucket] = cached
         return cached
@@ -342,9 +371,18 @@ def compare_layouts(
     workload: Workload,
     layouts: dict[str, LayoutPolicy | RegionStripeTable],
     title: str = "layout comparison",
+    jobs: int | None = None,
 ) -> ComparisonTable:
-    """Run ``workload`` under every layout and tabulate throughputs."""
-    table = ComparisonTable(title=title)
-    for name, layout in layouts.items():
-        table.results.append(run_workload(testbed, workload, layout, layout_name=name))
-    return table
+    """Run ``workload`` under every layout and tabulate throughputs.
+
+    ``jobs`` fans the per-layout runs over a process pool; each run builds
+    its own simulator from the picklable testbed, so results — collected in
+    layout order — match serial execution exactly.
+    """
+    from repro.experiments.parallel import RunJob, run_jobs
+
+    job_list = [
+        RunJob(testbed=testbed, workload=workload, layout=layout, layout_name=name)
+        for name, layout in layouts.items()
+    ]
+    return ComparisonTable(title=title, results=run_jobs(job_list, jobs=jobs))

@@ -82,17 +82,31 @@ def _shape_checks(name: str, result) -> list[tuple[str, bool]]:
     return checks
 
 
-def generate_report(testbed: Testbed | None = None, names: tuple[str, ...] | None = None) -> ReproductionReport:
-    """Run the selected figures (default: all) and collect the report."""
+def generate_report(
+    testbed: Testbed | None = None,
+    names: tuple[str, ...] | None = None,
+    jobs: int | None = None,
+) -> ReproductionReport:
+    """Run the selected figures (default: all) and collect the report.
+
+    ``jobs`` fans each figure's independent simulation points over a
+    process pool (figures without parallelizable points, e.g. fig6, ignore
+    it).
+    """
+    import inspect
+
     testbed = testbed or figures.default_testbed()
     report = ReproductionReport()
     for name in names or _FIGURE_SEQUENCE:
         runner = getattr(figures, name)
+        kwargs = {}
+        if "jobs" in inspect.signature(runner).parameters:
+            kwargs["jobs"] = jobs
         started = time.perf_counter()
         if name == "fig10":  # fig10 builds its own per-ratio testbeds.
-            result = runner()
+            result = runner(**kwargs)
         else:
-            result = runner(testbed=testbed)
+            result = runner(testbed=testbed, **kwargs)
         elapsed = time.perf_counter() - started
         report.sections.append(
             ReportSection(

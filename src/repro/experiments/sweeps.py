@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.harness import Testbed, harl_plan, run_workload
+from repro.experiments.parallel import pmap
 from repro.pfs.layout import FixedLayout
 from repro.util.units import KiB, MiB
 from repro.workloads.ior import IORConfig, IORWorkload
@@ -87,10 +88,17 @@ def _measure(testbed: Testbed, label: str, op: str = "write") -> SweepPoint:
     )
 
 
+def _measure_job(job: tuple[Testbed, str, str]) -> SweepPoint:
+    """Module-level wrapper so sweep points can run in pool workers."""
+    testbed, label, op = job
+    return _measure(testbed, label, op)
+
+
 def sweep_device_gap(
     ratios: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0),
     op: str = "write",
     seed: int = 0,
+    jobs: int | None = None,
 ) -> SweepResult:
     """HARL gain vs the SServer:HServer bandwidth ratio.
 
@@ -101,25 +109,31 @@ def sweep_device_gap(
     bandwidth.
     """
     result = SweepResult(title=f"HARL gain vs device bandwidth ratio ({op})")
-    for ratio in ratios:
-        testbed = Testbed(
-            n_hservers=6,
-            n_sservers=2,
-            seed=seed,
-            # Model the fast class as a scaled HDD so ratio 1.0 degenerates
-            # to a homogeneous cluster exactly.
-            ssd_kwargs={
-                "read_bandwidth": BASE_HDD_BANDWIDTH * ratio,
-                "write_bandwidth": BASE_HDD_BANDWIDTH * ratio,
-                "read_alpha_min": 1e-4 / ratio,
-                "read_alpha_max": 3e-4 / ratio,
-                "write_alpha_min": 1e-4 / ratio,
-                "write_alpha_max": 3e-4 / ratio,
-                "gc_window": 0,
-                "n_channels": 1,
-            },
+    job_list = [
+        (
+            Testbed(
+                n_hservers=6,
+                n_sservers=2,
+                seed=seed,
+                # Model the fast class as a scaled HDD so ratio 1.0 degenerates
+                # to a homogeneous cluster exactly.
+                ssd_kwargs={
+                    "read_bandwidth": BASE_HDD_BANDWIDTH * ratio,
+                    "write_bandwidth": BASE_HDD_BANDWIDTH * ratio,
+                    "read_alpha_min": 1e-4 / ratio,
+                    "read_alpha_max": 3e-4 / ratio,
+                    "write_alpha_min": 1e-4 / ratio,
+                    "write_alpha_max": 3e-4 / ratio,
+                    "gc_window": 0,
+                    "n_channels": 1,
+                },
+            ),
+            f"{ratio:g}x",
+            op,
         )
-        result.points.append(_measure(testbed, f"{ratio:g}x", op))
+        for ratio in ratios
+    ]
+    result.points.extend(pmap(_measure_job, job_list, jobs=jobs))
     return result
 
 
@@ -128,16 +142,22 @@ def sweep_sserver_count(
     total_servers: int = 8,
     op: str = "write",
     seed: int = 0,
+    jobs: int | None = None,
 ) -> SweepResult:
     """HARL gain vs the number of SServers at a fixed cluster size."""
     result = SweepResult(title=f"HARL gain vs SServer count of {total_servers} ({op})")
+    job_list = []
     for n_sservers in counts:
         if not (1 <= n_sservers < total_servers):
             raise ValueError(f"n_sservers must be in [1, {total_servers}), got {n_sservers}")
-        testbed = Testbed(
-            n_hservers=total_servers - n_sservers, n_sservers=n_sservers, seed=seed
+        job_list.append(
+            (
+                Testbed(
+                    n_hservers=total_servers - n_sservers, n_sservers=n_sservers, seed=seed
+                ),
+                f"{total_servers - n_sservers}H:{n_sservers}S",
+                op,
+            )
         )
-        result.points.append(
-            _measure(testbed, f"{total_servers - n_sservers}H:{n_sservers}S", op)
-        )
+    result.points.extend(pmap(_measure_job, job_list, jobs=jobs))
     return result

@@ -78,6 +78,54 @@ class PFSFile:
             self._request_proc(op, offset, size), name=f"{self.name}:{op.value}@{offset}"
         )
 
+    def request_many(self, op: OpType | str, requests: list[tuple[int, int]]) -> list[Process]:
+        """Submit many ``(offset, size)`` requests at the current instant.
+
+        Equivalent to ``[self.request(op, o, s) for o, s in requests]`` —
+        same sub-requests, same process spawn order, same completion times —
+        but the striping decomposition of every request runs as one batched
+        numpy pass per striping config (:func:`repro.pfs.mapping.decompose_batch`)
+        instead of per request. The decomposition is snapshotted against the
+        layout at submission time, so callers must not ``relayout`` between
+        submitting and completion of these requests.
+        """
+        from repro.pfs.mapping import decompose_batch
+
+        op = OpType.parse(op)
+        sim = self.pfs.sim
+        layout = self.layout
+        # Group every (request, segment) piece by striping config so each
+        # config's pieces decompose in one vectorized call.
+        per_request_segments: list[list] = []
+        groups: dict = {}  # config -> list of (request_idx, segment_idx, rel_offset, size)
+        for idx, (offset, size) in enumerate(requests):
+            segments = layout.segments(offset, size)
+            per_request_segments.append(segments)
+            for sidx, segment in enumerate(segments):
+                groups.setdefault(segment.config, []).append(
+                    (idx, sidx, segment.offset - segment.region_base, segment.size)
+                )
+        decomposed: dict[tuple[int, int], list] = {}
+        for config, pieces in groups.items():
+            batch = decompose_batch(
+                config,
+                np.array([rel for _, _, rel, _ in pieces], dtype=np.int64),
+                np.array([sz for _, _, _, sz in pieces], dtype=np.int64),
+            )
+            for (idx, sidx, _, _), subs in zip(pieces, batch):
+                decomposed[(idx, sidx)] = subs
+        procs = []
+        for idx, (offset, size) in enumerate(requests):
+            segments = per_request_segments[idx]
+            presplit = [(segment, decomposed[(idx, sidx)]) for sidx, segment in enumerate(segments)]
+            procs.append(
+                sim.process(
+                    self._request_proc(op, offset, size, presplit=presplit),
+                    name=f"{self.name}:{op.value}@{offset}",
+                )
+            )
+        return procs
+
     def serve_inline(self, op: OpType | str, offset: int, size: int) -> Generator:
         """Serve the request inside the calling process (no extra Process).
 
@@ -86,7 +134,9 @@ class PFSFile:
         """
         yield from self._request_proc(OpType.parse(op), offset, size)
 
-    def _request_proc(self, op: OpType, offset: int, size: int) -> Generator:
+    def _request_proc(
+        self, op: OpType, offset: int, size: int, presplit: list | None = None
+    ) -> Generator:
         sim = self.pfs.sim
         started = sim.now
         # Metadata lookup (RST consult under HARL) sits on the critical path
@@ -94,9 +144,13 @@ class PFSFile:
         yield from self.pfs.mds.consult(self.layout)
         sub_procs = []
         extent_ns = f"{self.name}#g{self.layout_generation}"
-        for segment in self.layout.segments(offset, size):
-            relative = segment.offset - segment.region_base
-            for sub in segment.config.decompose(relative, segment.size):
+        if presplit is None:
+            presplit = [
+                (segment, segment.config.decompose(segment.offset - segment.region_base, segment.size))
+                for segment in self.layout.segments(offset, size)
+            ]
+        for segment, subs in presplit:
+            for sub in subs:
                 server = self.pfs.servers[sub.server_id]
                 base = self.pfs._extent_base(extent_ns, segment.region_id, sub.server_id)
                 sub_procs.append(

@@ -28,6 +28,7 @@ implements them verbatim so tests can compare against the exact math.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -166,6 +167,18 @@ def _server_bytes_below(x: int, a: int, b: int, round_size: int) -> int:
     return full * w + min(max(rem - a, 0), w)
 
 
+@lru_cache(maxsize=1024)
+def _window_table(config: StripingConfig) -> tuple[tuple[int, int], ...]:
+    """Per-server in-round windows, computed once per config.
+
+    ``decompose`` runs once per simulated request; recomputing every
+    server's window (and the round size behind it) per call dominated its
+    profile. Configs are small frozen dataclasses, so a bounded cache keyed
+    on the config itself is safe.
+    """
+    return tuple(config.server_window(i) for i in range(config.n_servers))
+
+
 def decompose(config: StripingConfig, offset: int, size: int) -> list[SubRequest]:
     """Split logical request ``[offset, offset+size)`` into sub-requests.
 
@@ -180,23 +193,28 @@ def decompose(config: StripingConfig, offset: int, size: int) -> list[SubRequest
     if size == 0:
         return []
     S = config.round_size
-    end = offset + size
+    full_start, rem_start = divmod(offset, S)
+    full_end, rem_end = divmod(offset + size, S)
     subs: list[SubRequest] = []
-    for server_id in range(config.n_servers):
-        a, b = config.server_window(server_id)
-        p_start = _server_bytes_below(offset, a, b, S)
-        p_end = _server_bytes_below(end, a, b, S)
+    append = subs.append
+    for server_id, (a, b) in enumerate(_window_table(config)):
+        w = b - a
+        if w == 0:
+            continue
+        rel = rem_start - a
+        p_start = full_start * w + (0 if rel < 0 else (w if rel > w else rel))
+        rel = rem_end - a
+        p_end = full_end * w + (0 if rel < 0 else (w if rel > w else rel))
         if p_end > p_start:
             # Logical offset where this server's extent begins: the first
             # logical byte >= offset that falls inside the server's window.
-            full, rem = divmod(offset, S)
-            if a <= rem < b:
+            if a <= rem_start < b:
                 logical = offset
-            elif rem < a:
-                logical = full * S + a
+            elif rem_start < a:
+                logical = full_start * S + a
             else:
-                logical = (full + 1) * S + a
-            subs.append(
+                logical = (full_start + 1) * S + a
+            append(
                 SubRequest(
                     server_id=server_id,
                     offset=p_start,
@@ -205,6 +223,74 @@ def decompose(config: StripingConfig, offset: int, size: int) -> list[SubRequest
                 )
             )
     return subs
+
+
+def decompose_batch(
+    config: StripingConfig,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+) -> list[list[SubRequest]]:
+    """Vectorized :func:`decompose` over many requests in one numpy pass.
+
+    Args:
+        config: the striping choice shared by every request.
+        offsets, sizes: integer arrays of equal length (bytes).
+
+    Returns:
+        One ``decompose``-identical sub-request list per input request, in
+        input order. This is the multi-request submission path: the closed
+        form ``F`` is evaluated as one (n_requests × n_servers) array
+        operation instead of per request, which is what
+        :meth:`repro.pfs.filesystem.PFSFile.request_many` and batch-oriented
+        workload drivers use.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if offsets.shape != sizes.shape or offsets.ndim != 1:
+        raise ValueError("offsets and sizes must be equal-length 1-D arrays")
+    if offsets.size and (int(offsets.min()) < 0 or int(sizes.min()) < 0):
+        raise ValueError("offsets and sizes must be >= 0")
+    if offsets.size == 0:
+        return []
+    S = config.round_size
+    windows = np.asarray(_window_table(config), dtype=np.int64)  # (n_servers, 2)
+    a = windows[:, 0][None, :]
+    w = (windows[:, 1] - windows[:, 0])[None, :]
+
+    full_start, rem_start = np.divmod(offsets[:, None], S)
+    full_end, rem_end = np.divmod((offsets + sizes)[:, None], S)
+    p_start = full_start * w + np.clip(rem_start - a, 0, w)
+    p_end = full_end * w + np.clip(rem_end - a, 0, w)
+    sub_sizes = p_end - p_start
+
+    # First logical byte >= offset inside each server's window (see decompose).
+    b = windows[:, 1][None, :]
+    logical = np.where(
+        rem_start < a,
+        full_start * S + a,
+        np.where(rem_start >= b, (full_start + 1) * S + a, offsets[:, None]),
+    )
+
+    # Assemble from plain Python lists: per-element numpy scalar indexing
+    # costs more than the whole vectorized math above at realistic batch
+    # sizes, while tolist() converts each matrix in one C pass.
+    out: list[list[SubRequest]] = []
+    for row_start, row_sizes, row_logical in zip(
+        p_start.tolist(), sub_sizes.tolist(), logical.tolist()
+    ):
+        out.append(
+            [
+                SubRequest(
+                    server_id=sid,
+                    offset=row_start[sid],
+                    size=sub_size,
+                    logical_offset=row_logical[sid],
+                )
+                for sid, sub_size in enumerate(row_sizes)
+                if sub_size > 0
+            ]
+        )
+    return out
 
 
 def critical_params(config: StripingConfig, offset: int, size: int) -> CriticalParams:

@@ -16,6 +16,8 @@ from repro.simulate.engine import Event, SimulationError, Simulator
 class UtilizationMonitor:
     """Tracks total busy seconds of a resource with nesting support."""
 
+    __slots__ = ("_sim", "_busy_since", "_depth", "busy_time")
+
     def __init__(self, sim: Simulator):
         self._sim = sim
         self._busy_since: float | None = None
@@ -57,6 +59,8 @@ class Resource:
         finally:
             resource.release(grant)
     """
+
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_queue", "monitor", "granted_count")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str | None = None):
         if capacity < 1:
@@ -148,6 +152,8 @@ class ScanResource(Resource):
     models, where serving a sorted queue genuinely shortens seeks.
     """
 
+    __slots__ = ("position",)
+
     def __init__(self, sim: Simulator, name: str | None = None):
         super().__init__(sim, capacity=1, name=name)
         self.position = 0
@@ -170,6 +176,8 @@ class Store:
     Used by the simulated MPI layer for point-to-point sends: ``put`` never
     blocks, ``get`` returns an event that fires when an item is available.
     """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str | None = None):
         self.sim = sim

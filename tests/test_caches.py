@@ -1,0 +1,278 @@
+"""Memoization layers: calibration fingerprint cache and Algorithm 2 LRU.
+
+Both caches promise the same thing: a hit returns exactly what
+recomputation would have produced, because the keys are content hashes of
+every input that influences the result. These tests pin the hit/miss
+behaviour, the key sensitivity, and the disk persistence round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stripe_determination import (
+    clear_stripe_cache,
+    determine_stripes,
+    stripe_cache_info,
+)
+from repro.experiments.cache import (
+    cached_calibration,
+    calibration_cache_info,
+    clear_calibration_cache,
+)
+from repro.experiments.cache import testbed_fingerprint as fingerprint_of
+from repro.experiments.harness import Testbed
+from repro.network.link import NetworkModel
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_calibration_cache()
+    clear_stripe_cache()
+    yield
+    clear_calibration_cache()
+    clear_stripe_cache()
+
+
+class TestTestbedFingerprint:
+    def _fingerprint(self, **overrides):
+        base = dict(
+            n_hservers=2,
+            n_sservers=1,
+            network=NetworkModel(),
+            hdd_kwargs={},
+            ssd_kwargs={},
+            probe_sizes=(4 * KiB, 64 * KiB),
+            repeats=20,
+            seed=0,
+            nic_parallelism=4,
+        )
+        base.update(overrides)
+        return fingerprint_of(**base)
+
+    def test_identical_inputs_same_key(self):
+        assert self._fingerprint() == self._fingerprint()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"n_hservers": 3},
+            {"seed": 1},
+            {"repeats": 21},
+            {"probe_sizes": (4 * KiB,) * 2},
+            {"ssd_kwargs": {"n_channels": 2}},
+            {"network": NetworkModel(latency=1e-3)},
+            {"nic_parallelism": 1},
+        ],
+    )
+    def test_any_input_change_changes_key(self, override):
+        assert self._fingerprint(**override) != self._fingerprint()
+
+    def test_kwargs_order_irrelevant(self):
+        a = self._fingerprint(ssd_kwargs={"gc_window": 0, "n_channels": 2})
+        b = self._fingerprint(ssd_kwargs={"n_channels": 2, "gc_window": 0})
+        assert a == b
+
+
+class TestCalibrationCache:
+    def test_identical_testbeds_calibrate_once(self):
+        a = Testbed(n_hservers=2, n_sservers=1, seed=0)
+        b = Testbed(n_hservers=2, n_sservers=1, seed=0)
+        params_a = a.parameters(repeats=20)
+        before = calibration_cache_info()
+        params_b = b.parameters(repeats=20)
+        after = calibration_cache_info()
+        assert params_b is params_a  # Shared across instances, not recomputed.
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_different_seed_misses(self):
+        Testbed(n_hservers=2, n_sservers=1, seed=0).parameters(repeats=20)
+        Testbed(n_hservers=2, n_sservers=1, seed=7).parameters(repeats=20)
+        assert calibration_cache_info()["misses"] == 2
+
+    def test_hit_is_bit_identical_to_recomputation(self):
+        cached = Testbed(n_hservers=2, n_sservers=1, seed=0).parameters(repeats=20)
+        clear_calibration_cache()
+        recomputed = Testbed(n_hservers=2, n_sservers=1, seed=0).parameters(repeats=20)
+        assert cached == recomputed
+
+    def test_request_hint_buckets_key_separately(self):
+        testbed = Testbed(n_hservers=2, n_sservers=1, seed=0)
+        testbed.parameters(repeats=20)
+        testbed.parameters(repeats=20, request_hint=512 * KiB)
+        assert calibration_cache_info()["misses"] == 2
+
+    def test_persistence_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = Testbed(n_hservers=2, n_sservers=1, seed=0).parameters(repeats=20)
+        assert list(tmp_path.glob("calib-*.json")), "cache file not written"
+        # A fresh process is simulated by clearing the in-memory layer.
+        clear_calibration_cache()
+        second = Testbed(n_hservers=2, n_sservers=1, seed=0).parameters(repeats=20)
+        info = calibration_cache_info()
+        assert info["disk_loads"] == 1
+        assert info["misses"] == 0
+        assert second == first
+
+    def test_corrupt_persisted_entry_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        Testbed(n_hservers=2, n_sservers=1, seed=0).parameters(repeats=20)
+        (path,) = tmp_path.glob("calib-*.json")
+        path.write_text("{not json")
+        clear_calibration_cache()
+        params = Testbed(n_hservers=2, n_sservers=1, seed=0).parameters(repeats=20)
+        info = calibration_cache_info()
+        assert info["disk_loads"] == 0
+        assert info["misses"] == 1
+        assert params.n_hservers == 2
+
+    def test_compute_callable_called_once_per_key(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return Testbed(n_hservers=2, n_sservers=1, seed=0).parameters(repeats=20)
+
+        clear_calibration_cache()
+        a = cached_calibration("somekey", compute)
+        b = cached_calibration("somekey", compute)
+        assert a is b
+        # One call for the key itself; parameters() inside registered its own.
+        assert calls == [1]
+
+
+class TestStripeCache:
+    def _params(self):
+        from repro.core.params import CostModelParameters
+        from repro.devices.profiles import DeviceProfile
+
+        hdd = DeviceProfile(
+            read_alpha_min=1e-4,
+            read_alpha_max=3e-4,
+            write_alpha_min=1e-4,
+            write_alpha_max=3e-4,
+            beta_read=2e-8,
+            beta_write=2e-8,
+            label="h",
+        )
+        ssd = DeviceProfile(
+            read_alpha_min=1e-5,
+            read_alpha_max=5e-5,
+            write_alpha_min=2e-5,
+            write_alpha_max=9e-5,
+            beta_read=4e-9,
+            beta_write=6e-9,
+            label="s",
+        )
+        return CostModelParameters(
+            n_hservers=2, n_sservers=1, unit_network_time=8e-9, hserver=hdd, sserver=ssd
+        )
+
+    def _region(self, base=0):
+        offsets = base + np.arange(16, dtype=np.int64) * 512 * KiB
+        sizes = np.full(16, 512 * KiB, dtype=np.int64)
+        is_read = np.zeros(16, dtype=bool)
+        return offsets, sizes, is_read
+
+    def test_repeat_region_hits(self):
+        params = self._params()
+        offsets, sizes, is_read = self._region()
+        first = determine_stripes(params, offsets, sizes, is_read)
+        second = determine_stripes(params, offsets, sizes, is_read)
+        info = stripe_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert second == first
+
+    def test_rebased_identical_pattern_hits(self):
+        """The same request pattern at another file offset reuses the plan."""
+        params = self._params()
+        a = determine_stripes(params, *self._region(base=0))
+        b = determine_stripes(params, *self._region(base=64 * MiB))
+        assert stripe_cache_info()["hits"] == 1
+        assert b == a
+
+    def test_hit_equals_recomputation(self):
+        params = self._params()
+        offsets, sizes, is_read = self._region()
+        warm = determine_stripes(params, offsets, sizes, is_read)
+        clear_stripe_cache()
+        cold = determine_stripes(params, offsets, sizes, is_read)
+        assert warm == cold
+
+    def test_different_sizes_miss(self):
+        params = self._params()
+        offsets, sizes, is_read = self._region()
+        determine_stripes(params, offsets, sizes, is_read)
+        determine_stripes(params, offsets, sizes * 2, is_read)
+        info = stripe_cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 0
+
+    def test_different_op_mix_misses(self):
+        params = self._params()
+        offsets, sizes, is_read = self._region()
+        determine_stripes(params, offsets, sizes, is_read)
+        determine_stripes(params, offsets, sizes, ~is_read)
+        assert stripe_cache_info()["misses"] == 2
+
+    def test_different_grid_geometry_misses(self):
+        params = self._params()
+        offsets, sizes, is_read = self._region()
+        determine_stripes(params, offsets, sizes, is_read, step=4 * KiB)
+        determine_stripes(params, offsets, sizes, is_read, step=8 * KiB)
+        assert stripe_cache_info()["misses"] == 2
+
+    def test_space_constrained_search_bypasses_cache(self):
+        from repro.core.space import SpaceConstraint
+
+        params = self._params()
+        offsets, sizes, is_read = self._region()
+        constraint = SpaceConstraint(
+            class_counts=(2, 1),
+            per_server_budgets=(64 * MiB, 64 * MiB),
+            region_extent=8 * MiB,
+        )
+        determine_stripes(params, offsets, sizes, is_read, constraint=constraint)
+        determine_stripes(params, offsets, sizes, is_read, constraint=constraint)
+        info = stripe_cache_info()
+        # Stateful budgets must never serve from (or populate) the cache.
+        assert info["hits"] == 0
+        assert info["misses"] == 0
+        assert info["size"] == 0
+
+    def test_planner_reports_cache_traffic(self):
+        from repro.core.planner import HARLPlanner
+        from repro.workloads.ior import IORConfig, IORWorkload
+
+        workload = IORWorkload(
+            IORConfig(n_processes=4, request_size=512 * KiB, file_size=8 * MiB, op="write")
+        )
+        planner = HARLPlanner(self._params(), step=None)
+        planner.plan(workload.synthetic_trace())
+        first = planner.last_report
+        planner.plan(workload.synthetic_trace())
+        second = planner.last_report
+        assert first.cache_misses >= 1
+        assert second.cache_hits == first.cache_misses + first.cache_hits
+        assert second.cache_misses == 0
+
+    def test_lru_eviction_bounds_size(self, monkeypatch):
+        from repro.core import stripe_determination
+
+        monkeypatch.setattr(stripe_determination, "_STRIPE_CACHE_MAX", 8)
+        params = self._params()
+        offsets = np.arange(4, dtype=np.int64) * 256 * KiB
+        is_read = np.zeros(4, dtype=bool)
+        for i in range(24):
+            sizes = np.full(4, (i + 1) * 4 * KiB, dtype=np.int64)
+            determine_stripes(params, offsets, sizes, is_read)
+        info = stripe_cache_info()
+        assert info["size"] <= 8
+        assert info["misses"] == 24
+        # The most recent entry survived eviction; the oldest did not.
+        determine_stripes(params, offsets, np.full(4, 24 * 4 * KiB, dtype=np.int64), is_read)
+        assert stripe_cache_info()["hits"] == 1
+        determine_stripes(params, offsets, np.full(4, 4 * KiB, dtype=np.int64), is_read)
+        assert stripe_cache_info()["misses"] == 25

@@ -5,8 +5,13 @@ and simulation — because the reproduction's claims are stated as specific
 orderings and factors, and nondeterminism would make every bench flaky.
 """
 
+import importlib
+import pkgutil
+
+import numpy as np
 import pytest
 
+import repro
 from repro.devices.base import OpType
 from repro.experiments.figures import fig1a, fig7
 from repro.experiments.harness import Testbed, harl_plan, run_workload
@@ -68,3 +73,56 @@ class TestDeterminism:
         a = run_workload(Testbed(6, 2, seed=0), workload, layout)
         b = run_workload(Testbed(6, 2, seed=1), workload, layout)
         assert a.makespan != b.makespan  # Device streams actually reseeded.
+
+
+def _tiny_run():
+    workload = IORWorkload(
+        IORConfig(n_processes=4, request_size=128 * KiB, file_size=2 * MiB, op="write")
+    )
+    return run_workload(
+        Testbed(n_hservers=2, n_sservers=1, seed=0), workload, FixedLayout(2, 1, 64 * KiB)
+    )
+
+
+class TestForkSafety:
+    """Fork-nondeterminism guard: nothing random lives at module scope.
+
+    The parallel runner forks workers mid-session. If any repro module held
+    a module-level RNG (or drew from numpy's implicit global RNG), the fork
+    point — which depends on how much work the parent did first — would
+    influence worker results, breaking serial/parallel equality. All
+    randomness must flow through per-run ``derive_rng(seed, ...)`` streams.
+    """
+
+    @staticmethod
+    def _walk_repro_modules():
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            yield importlib.import_module(info.name)
+
+    def test_no_module_level_rng_state(self):
+        offenders = []
+        for module in self._walk_repro_modules():
+            for attr, value in vars(module).items():
+                if isinstance(value, (np.random.Generator, np.random.RandomState)):
+                    offenders.append(f"{module.__name__}.{attr}")
+        assert not offenders, f"module-level RNG state leaks into forked workers: {offenders}"
+
+    def test_pipeline_leaves_global_numpy_rng_untouched(self):
+        before = np.random.get_state()[1].copy()
+        _tiny_run()
+        after = np.random.get_state()[1].copy()
+        assert (before == after).all(), "pipeline drew from numpy's global RNG"
+
+    def test_worker_process_matches_in_process(self):
+        from repro.experiments.parallel import pmap
+
+        in_process = _tiny_run()
+        # Two workers for one item still exercises the pool path: pmap only
+        # stays serial when the *effective* worker count collapses to one.
+        (worker,) = pmap(_tiny_run_job, [0, 1], jobs=2)[:1]
+        assert worker.makespan == in_process.makespan
+        assert worker.server_busy == in_process.server_busy
+
+
+def _tiny_run_job(_):
+    return _tiny_run()

@@ -1,0 +1,169 @@
+"""The parallel experiment fabric: ordered, deterministic, nest-safe.
+
+The contract under test is strict: fanning independent figure points over
+a process pool must produce *byte-identical* output to serial execution,
+in the same order, for any job count. Everything else (speedup) is
+machine-dependent and not asserted here.
+"""
+
+import os
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.experiments import figures
+from repro.experiments.harness import Testbed, compare_layouts
+from repro.experiments.parallel import (
+    PlanJob,
+    RunJob,
+    execute_job,
+    pmap,
+    resolve_jobs,
+    run_jobs,
+)
+from repro.experiments.sweeps import sweep_sserver_count
+from repro.pfs.layout import FixedLayout
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_of(_):
+    return os.getpid()
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_argument_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+        assert resolve_jobs(2) == 2  # Explicit argument beats the env.
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+
+class TestPmap:
+    def test_serial_path_is_plain_map(self):
+        assert pmap(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(20))
+        assert pmap(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_parallel_actually_uses_workers(self):
+        pids = set(pmap(_pid_of, range(8), jobs=2))
+        assert os.getpid() not in pids
+
+    def test_empty_input(self):
+        assert pmap(_square, [], jobs=4) == []
+
+
+class TestJobSpecs:
+    def _tiny_workload(self, op=OpType.WRITE):
+        return IORWorkload(
+            IORConfig(n_processes=4, request_size=128 * KiB, file_size=2 * MiB, op=op)
+        )
+
+    def test_run_job_matches_direct_call(self):
+        from repro.experiments.harness import run_workload
+
+        testbed = Testbed(n_hservers=2, n_sservers=1, seed=0)
+        workload = self._tiny_workload()
+        layout = FixedLayout(2, 1, 64 * KiB)
+        direct = run_workload(testbed, workload, layout, layout_name="64K")
+        via_job = execute_job(
+            RunJob(testbed=testbed, workload=workload, layout=layout, layout_name="64K")
+        )
+        assert via_job == direct
+
+    def test_plan_job_matches_direct_call(self):
+        from repro.experiments.harness import harl_plan
+
+        testbed = Testbed(n_hservers=2, n_sservers=1, seed=0)
+        workload = self._tiny_workload()
+        direct = harl_plan(testbed, workload)
+        via_job = execute_job(PlanJob(testbed=testbed, workload=workload))
+        assert [e.config.stripes for e in via_job.entries] == [
+            e.config.stripes for e in direct.entries
+        ]
+
+    def test_unknown_job_type_rejected(self):
+        with pytest.raises(TypeError):
+            execute_job(object())
+
+    def test_mixed_batch_keeps_order(self):
+        testbed = Testbed(n_hservers=2, n_sservers=1, seed=0)
+        workload = self._tiny_workload()
+        layout = FixedLayout(2, 1, 64 * KiB)
+        batch = [
+            RunJob(testbed=testbed, workload=workload, layout=layout, layout_name="a"),
+            RunJob(testbed=testbed, workload=workload, layout=layout, layout_name="b"),
+        ]
+        names = [r.layout_name for r in run_jobs(batch, jobs=2)]
+        assert names == ["a", "b"]
+
+
+class TestSerialParallelEquality:
+    """The acceptance criterion: parallel output byte-identical to serial."""
+
+    FIG8_KW = dict(process_counts=(2, 4), requests_per_process=2, ops=(OpType.WRITE,))
+
+    def test_fig8_byte_identical(self):
+        serial = figures.fig8(**self.FIG8_KW)
+        parallel = figures.fig8(jobs=4, **self.FIG8_KW)
+        assert parallel.render() == serial.render()
+
+    def test_sweep_byte_identical(self):
+        serial = sweep_sserver_count(counts=(1, 2), total_servers=3)
+        parallel = sweep_sserver_count(counts=(1, 2), total_servers=3, jobs=2)
+        assert parallel.render() == serial.render()
+
+    def test_compare_layouts_byte_identical(self):
+        testbed = Testbed(n_hservers=2, n_sservers=1, seed=0)
+        workload = IORWorkload(
+            IORConfig(n_processes=4, request_size=128 * KiB, file_size=2 * MiB, op="write")
+        )
+        layouts = {
+            "64K": FixedLayout(2, 1, 64 * KiB),
+            "256K": FixedLayout(2, 1, 256 * KiB),
+        }
+        serial = compare_layouts(testbed, workload, layouts)
+        parallel = compare_layouts(testbed, workload, layouts, jobs=2)
+        assert parallel.render() == serial.render()
+
+    def test_env_var_drives_figures(self, monkeypatch):
+        serial = figures.fig8(**self.FIG8_KW)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        via_env = figures.fig8(**self.FIG8_KW)
+        assert via_env.render() == serial.render()
+
+
+class TestCLIJobs:
+    def test_run_figure_accepts_jobs(self, capsys):
+        from repro.cli import main
+
+        assert main(["run-figure", "fig1a", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1(a)" in out
+
+    def test_calibrate_accepts_jobs(self, capsys):
+        from repro.cli import main
+
+        assert main(["calibrate", "--hservers", "2", "--sservers", "1", "--jobs", "2"]) == 0
+        assert "HServer" in capsys.readouterr().out
