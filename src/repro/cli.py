@@ -5,7 +5,12 @@ Commands:
 - ``calibrate`` — probe a testbed's devices and print the Table-I bundle;
 - ``plan`` — run the Analysis Phase on a trace CSV and emit the RST JSON;
 - ``run-ior`` — simulate IOR under a chosen layout and print throughput;
+- ``trace`` — run IOR with DES event tracing; export a Chrome trace;
+- ``analyze`` — summarize an IOSIG trace CSV;
+- ``replay`` — replay a trace CSV under a layout;
 - ``run-figure`` — regenerate one paper figure and print its table;
+- ``run-all`` — regenerate every figure into one reproduction report
+  (exits non-zero if any shape check fails);
 - ``list-figures`` — enumerate the reproducible figures.
 
 Every command is pure-offline (simulated cluster); sizes accept suffixes
@@ -15,12 +20,19 @@ Every command is pure-offline (simulated cluster); sizes accept suffixes
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 
 from repro.core.planner import HARLPlanner
 from repro.experiments import figures
 from repro.experiments.harness import Testbed, harl_plan, run_workload
+from repro.obs import (
+    record_plan_report,
+    straggler_summary,
+    write_chrome_trace,
+    write_spans_csv,
+)
 from repro.pfs.layout import FixedLayout, RandomLayout
 from repro.util.units import format_size, parse_size
 from repro.workloads.ior import IORConfig, IORWorkload
@@ -56,8 +68,70 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_ior_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--op", choices=("read", "write"), default="write")
+    parser.add_argument("--processes", type=int, default=16)
+    parser.add_argument("--request-size", default="512K")
+    parser.add_argument("--file-size", default="32M")
+    parser.add_argument("--segments", type=int, default=1, help="IOR segmentCount (interleaved blocks)")
+    parser.add_argument("--queue-depth", type=int, default=1, help="outstanding requests per rank")
+    parser.add_argument("--sequential", action="store_true", help="in-order offsets (default: random)")
+    parser.add_argument(
+        "--layout",
+        default="harl",
+        help="'harl', a fixed stripe size ('64K'), 'random', or 'rand<seed>'",
+    )
+
+
 def _testbed(args: argparse.Namespace) -> Testbed:
     return Testbed(n_hservers=args.hservers, n_sservers=args.sservers, seed=args.seed)
+
+
+def _ior_workload(args: argparse.Namespace) -> IORWorkload:
+    return IORWorkload(
+        IORConfig(
+            n_processes=args.processes,
+            request_size=parse_size(args.request_size),
+            file_size=parse_size(args.file_size),
+            op=args.op,
+            random_offsets=not args.sequential,
+            segments=args.segments,
+            queue_depth=args.queue_depth,
+        )
+    )
+
+
+class LayoutSpecError(ValueError):
+    """A ``--layout`` value that names no known layout family."""
+
+
+#: 'random' and 'rand' select seed 1; 'rand<N>' selects seed N.
+_RANDOM_LAYOUT_RE = re.compile(r"^rand(?:om)?([0-9]+)?$")
+
+
+def _resolve_layout(args: argparse.Namespace, testbed: Testbed, workload, report_sink=None):
+    """Turn ``args.layout`` into ``(layout, label, is_harl)``.
+
+    Raises :class:`LayoutSpecError` with a user-facing message for values
+    that are neither ``harl``, a random spec, nor a parseable stripe size —
+    commands turn that into a clean exit-2 error instead of a traceback.
+    """
+    name = args.layout.lower()
+    if name == "harl":
+        return harl_plan(testbed, workload, report_sink=report_sink), "HARL", True
+    match = _RANDOM_LAYOUT_RE.match(name)
+    if match is not None:
+        seed = int(match.group(1)) if match.group(1) is not None else 1
+        layout = RandomLayout(args.hservers, args.sservers, seed=seed)
+        return layout, layout.describe(), False
+    try:
+        stripe = parse_size(args.layout)
+    except ValueError:
+        raise LayoutSpecError(
+            f"invalid --layout {args.layout!r}: expected 'harl', 'random', "
+            f"'rand<seed>', or a stripe size like '64K'"
+        ) from None
+    return FixedLayout(args.hservers, args.sservers, stripe), format_size(stripe), False
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
@@ -99,38 +173,68 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 def cmd_run_ior(args: argparse.Namespace) -> int:
     testbed = _testbed(args)
-    config = IORConfig(
-        n_processes=args.processes,
-        request_size=parse_size(args.request_size),
-        file_size=parse_size(args.file_size),
-        op=args.op,
-        random_offsets=not args.sequential,
-        segments=args.segments,
-        queue_depth=args.queue_depth,
+    try:
+        workload = _ior_workload(args)
+        layout, label, is_harl = _resolve_layout(args, testbed, workload)
+    except (LayoutSpecError, ValueError) as exc:
+        # Bad --layout specs and inconsistent IOR geometry (file size not a
+        # whole number of requests/processes/segments) both exit cleanly.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace_out = getattr(args, "trace_out", None)
+    result = run_workload(
+        testbed, workload, layout, layout_name=label, trace=True if trace_out else None
     )
-    workload = IORWorkload(config)
-    name = args.layout.lower()
-    if name == "harl":
-        layout = harl_plan(testbed, workload)
-        label = "HARL"
-    elif name.startswith("rand"):
-        seed = int(name[4:] or 1)
-        layout = RandomLayout(args.hservers, args.sservers, seed=seed)
-        label = layout.describe()
-    else:
-        stripe = parse_size(args.layout)
-        layout = FixedLayout(args.hservers, args.sservers, stripe)
-        label = format_size(stripe)
-    result = run_workload(testbed, workload, layout, layout_name=label)
+    config = workload.config
     print(
         f"IOR {config.op.value}, {config.n_processes} procs, "
         f"{format_size(config.request_size)} requests, "
         f"{format_size(config.file_size)} file, layout {label}:"
     )
     print(f"  {result.throughput_mib:.1f} MiB/s (makespan {result.makespan:.4f}s)")
-    if name == "harl":
+    if is_harl:
         plan = ", ".join(entry.config.describe() for entry in layout.entries)
         print(f"  plan: {plan}")
+    if result.obs is not None and trace_out:
+        write_chrome_trace(trace_out, result.obs)
+        print(f"\nChrome trace ({result.obs.n_spans} spans) written to {trace_out}")
+        print(straggler_summary(result.obs))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import metrics_summary
+
+    testbed = _testbed(args)
+    reports: list = []
+    try:
+        workload = _ior_workload(args)
+        layout, label, _ = _resolve_layout(args, testbed, workload, report_sink=reports)
+    except (LayoutSpecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_workload(testbed, workload, layout, layout_name=label, trace=True)
+    obs = result.obs
+    assert obs is not None  # trace=True guarantees a snapshot
+    if reports:
+        # Fold the planner's cache/region diagnostics into the same summary.
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        record_plan_report(registry, reports[0])
+        from dataclasses import replace
+
+        obs = replace(obs, metrics=MetricsRegistry.merge([obs.metrics, registry.snapshot()]))
+    write_chrome_trace(args.out, obs)
+    print(f"Chrome trace ({obs.n_spans} spans) written to {args.out}")
+    print(f"open chrome://tracing or https://ui.perfetto.dev and load {args.out}")
+    if args.csv:
+        write_spans_csv(args.csv, obs)
+        print(f"CSV span dump written to {args.csv}")
+    print()
+    print(f"layout {label}: {result.throughput_mib:.1f} MiB/s (makespan {result.makespan:.4f}s)")
+    print()
+    print(metrics_summary(obs))
     return 0
 
 
@@ -173,8 +277,17 @@ def cmd_replay(args: argparse.Namespace) -> int:
         layout = harl_plan(testbed, workload)
         label = "HARL"
     else:
-        layout = FixedLayout(args.hservers, args.sservers, parse_size(args.layout))
-        label = format_size(parse_size(args.layout))
+        try:
+            stripe = parse_size(args.layout)
+        except ValueError:
+            print(
+                f"error: invalid --layout {args.layout!r}: expected 'harl' "
+                f"or a stripe size like '64K'",
+                file=sys.stderr,
+            )
+            return 2
+        layout = FixedLayout(args.hservers, args.sservers, stripe)
+        label = format_size(stripe)
     result = run_workload(testbed, workload, layout, layout_name=label)
     print(
         f"replayed {len(trace)} requests on {workload.n_processes} ranks, layout {label}:"
@@ -247,19 +360,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run-ior", help="simulate IOR under one layout")
     _add_testbed_args(p)
-    p.add_argument("--op", choices=("read", "write"), default="write")
-    p.add_argument("--processes", type=int, default=16)
-    p.add_argument("--request-size", default="512K")
-    p.add_argument("--file-size", default="32M")
-    p.add_argument("--segments", type=int, default=1, help="IOR segmentCount (interleaved blocks)")
-    p.add_argument("--queue-depth", type=int, default=1, help="outstanding requests per rank")
-    p.add_argument("--sequential", action="store_true", help="in-order offsets (default: random)")
+    _add_ior_args(p)
     p.add_argument(
-        "--layout",
-        default="harl",
-        help="'harl', a fixed stripe size ('64K'), or 'rand<seed>'",
+        "--trace-out",
+        metavar="PATH",
+        help="record a DES event trace and write Chrome trace_event JSON here",
     )
     p.set_defaults(fn=cmd_run_ior)
+
+    p = sub.add_parser(
+        "trace", help="simulate IOR with full DES tracing; export Chrome trace + metrics"
+    )
+    _add_testbed_args(p)
+    _add_ior_args(p)
+    p.add_argument("--out", default="trace.json", help="Chrome trace_event JSON path")
+    p.add_argument("--csv", help="also write the raw span dump as CSV here")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("analyze", help="summarize an IOSIG trace CSV")
     p.add_argument("--trace", required=True, help="trace CSV path")

@@ -51,22 +51,34 @@ class StorageDevice(ABC):
     def transfer_time(self, op: OpType, size: int) -> float:
         """Medium transfer time for ``size`` bytes."""
 
-    def service_time(self, op: OpType | str, offset: int, size: int) -> float:
-        """Total service time for one contiguous request; updates device state."""
+    def service_breakdown(self, op: OpType | str, offset: int, size: int) -> tuple[float, float]:
+        """(startup, transfer) seconds for one request; updates device state.
+
+        Samples exactly the streams :meth:`service_time` samples, in the
+        same order, so a traced simulation (which needs the split to emit
+        separate startup/transfer spans) is bit-identical to an untraced
+        one.
+        """
         op = OpType.parse(op)
         if size < 0:
             raise ValueError(f"size must be >= 0, got {size}")
         if offset < 0:
             raise ValueError(f"offset must be >= 0, got {offset}")
         if size == 0:
-            return 0.0
-        total = self.startup_time(op, offset, size) + self.transfer_time(op, size)
+            return 0.0, 0.0
+        startup = self.startup_time(op, offset, size)
+        transfer = self.transfer_time(op, size)
         if op is OpType.READ:
             self.bytes_read += size
         else:
             self.bytes_written += size
         self.requests_served += 1
-        return total
+        return startup, transfer
+
+    def service_time(self, op: OpType | str, offset: int, size: int) -> float:
+        """Total service time for one contiguous request; updates device state."""
+        startup, transfer = self.service_breakdown(op, offset, size)
+        return startup + transfer
 
     def reset_counters(self) -> None:
         """Zero the served-traffic counters (state like head position persists)."""

@@ -22,6 +22,7 @@ from repro.middleware.iosig import TraceCollector
 from repro.middleware.mpi_sim import SimMPI
 from repro.middleware.mpiio import MPIIOFile
 from repro.network.link import NetworkModel
+from repro.obs.tracer import EventTracer, ObsSnapshot, collect_snapshot, tracing_enabled
 from repro.pfs.filesystem import HybridPFS
 from repro.pfs.layout import LayoutPolicy
 from repro.simulate.engine import Simulator
@@ -158,6 +159,9 @@ class RunResult:
     makespan: float
     total_bytes: int
     server_busy: dict[str, float]
+    #: Observability payload (spans + metrics) when the run was traced;
+    #: None otherwise. Picklable, so it rides back from pool workers.
+    obs: ObsSnapshot | None = None
 
     @property
     def throughput(self) -> float:
@@ -177,9 +181,23 @@ def run_workload(
     layout_name: str | None = None,
     collector: TraceCollector | None = None,
     file_name: str = "shared.dat",
+    trace: bool | None = None,
 ) -> RunResult:
-    """Execute one workload under one layout on a fresh simulated cluster."""
+    """Execute one workload under one layout on a fresh simulated cluster.
+
+    ``trace`` attaches a DES event tracer (:mod:`repro.obs`) and returns
+    spans + per-server metrics in ``RunResult.obs``. ``None`` (default)
+    defers to the ``REPRO_TRACE`` environment switch, which forked pool
+    workers inherit — so a traced sweep merges per-worker snapshots with
+    :func:`repro.obs.merge_snapshots` afterwards. Tracing never changes
+    simulated times: the traced path samples the same device streams in
+    the same order.
+    """
     sim = Simulator()
+    tracer = None
+    if trace or (trace is None and tracing_enabled()):
+        tracer = EventTracer()
+        sim.tracer = tracer
     pfs = testbed.build(sim)
     world = SimMPI(sim, workload_processes(workload), network=pfs.network)
     if collector is not None:
@@ -192,11 +210,13 @@ def run_workload(
     sim.run(done)
     if layout_name is None:
         layout_name = mf.handle.layout.describe()
+    obs = collect_snapshot(tracer, pfs, makespan=sim.now) if tracer is not None else None
     return RunResult(
         layout_name=layout_name,
         makespan=sim.now,
         total_bytes=workload_bytes(workload),
         server_busy=pfs.server_busy_times(),
+        obs=obs,
     )
 
 
@@ -205,6 +225,7 @@ def harl_plan(
     workload: Workload,
     step: int | None = None,
     max_requests_per_region: int = 256,
+    report_sink: list | None = None,
     **planner_kwargs: Any,
 ) -> RegionStripeTable:
     """Tracing + Analysis phases for a workload on a testbed.
@@ -214,6 +235,10 @@ def harl_plan(
     at the workload's request scale (Sec. III-G recalibrates per I/O
     pattern). The default grid step is coarser than the paper's 4 KB to keep
     sweeps fast; the step-size ablation bench quantifies the precision cost.
+
+    ``report_sink``, when given, receives the planner's
+    :class:`~repro.core.planner.PlanReport` (cache traffic, regions) so
+    callers can re-export it into an observability registry.
     """
     trace = workload.synthetic_trace()
     mean_request = int(sum(r.size for r in trace) / len(trace)) if trace else None
@@ -223,7 +248,10 @@ def harl_plan(
         max_requests_per_region=max_requests_per_region,
         **planner_kwargs,
     )
-    return planner.plan(trace)
+    rst = planner.plan(trace)
+    if report_sink is not None and planner.last_report is not None:
+        report_sink.append(planner.last_report)
+    return rst
 
 
 @dataclass(frozen=True)

@@ -108,13 +108,20 @@ def pmap(
 
 @dataclass(frozen=True)
 class RunJob:
-    """One ``run_workload`` execution: (testbed, workload, layout)."""
+    """One ``run_workload`` execution: (testbed, workload, layout).
+
+    ``trace`` mirrors ``run_workload``'s parameter: True forces a DES
+    event trace in the worker (the resulting ``RunResult.obs`` snapshot is
+    picklable and rides back for :func:`repro.obs.merge_snapshots`); None
+    defers to the inherited ``REPRO_TRACE`` environment switch.
+    """
 
     testbed: Any
     workload: Any
     layout: Any
     layout_name: str | None = None
     file_name: str = "shared.dat"
+    trace: bool | None = None
 
 
 @dataclass(frozen=True)
@@ -137,6 +144,7 @@ def execute_run_job(job: RunJob) -> Any:
         job.layout,
         layout_name=job.layout_name,
         file_name=job.file_name,
+        trace=job.trace,
     )
 
 

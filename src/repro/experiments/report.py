@@ -25,6 +25,9 @@ class ReportSection:
     elapsed: float
     body: str
     checks: list[tuple[str, bool]] = field(default_factory=list)
+    #: One-line observability digest (set when the figure's runs were
+    #: traced, e.g. under ``REPRO_TRACE=1``); empty otherwise.
+    metrics: str = ""
 
     @property
     def passed(self) -> bool:
@@ -54,10 +57,29 @@ class ReproductionReport:
             lines.append("```")
             lines.append(section.body)
             lines.append("```")
+            if section.metrics:
+                lines.append(f"- metrics: {section.metrics}")
             for label, ok in section.checks:
                 lines.append(f"- [{'x' if ok else ' '}] {label}")
             lines.append("")
         return "\n".join(lines)
+
+
+def _section_metrics(result) -> str:
+    """Merge any traced-run snapshots a figure result carries into a digest.
+
+    Figure results expose their layout sweeps as ``result.tables``
+    (ComparisonTable objects whose RunResults carry ``obs`` snapshots when
+    tracing was on); figures without tables, or untraced runs, yield "".
+    """
+    from repro.obs import headline, merge_snapshots
+
+    snapshots = []
+    for table in getattr(result, "tables", None) or ():
+        for run in getattr(table, "results", None) or ():
+            snapshots.append(getattr(run, "obs", None))
+    merged = merge_snapshots(snapshots)
+    return headline(merged) if merged is not None else ""
 
 
 def _shape_checks(name: str, result) -> list[tuple[str, bool]]:
@@ -114,6 +136,7 @@ def generate_report(
                 elapsed=elapsed,
                 body=result.render(),
                 checks=_shape_checks(name, result),
+                metrics=_section_metrics(result),
             )
         )
     return report

@@ -1,0 +1,73 @@
+"""Observability: DES event tracing, metrics, and trace exporters.
+
+Zero-overhead-when-off instrumentation for the simulated cluster. Attach
+an :class:`EventTracer` to a simulator (``sim.tracer = EventTracer()``) —
+or set ``REPRO_TRACE=1`` to have the experiment harness do it for every
+run — and each served sub-request is recorded as network/startup/transfer
+spans (the paper's T_X/T_S/T_T decomposition) alongside a
+:class:`MetricsRegistry` of per-server counters, gauges, and histograms.
+Exporters render Chrome ``trace_event`` JSON (``chrome://tracing`` /
+Perfetto), CSV span dumps, and text straggler summaries.
+"""
+
+from repro.obs.export import (
+    busy_time_by_server,
+    chrome_trace,
+    headline,
+    metrics_summary,
+    spans_to_csv,
+    straggler_summary,
+    write_chrome_trace,
+    write_spans_csv,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_bounds,
+)
+from repro.obs.tracer import (
+    PHASE_NETWORK,
+    PHASE_STARTUP,
+    PHASE_TRANSFER,
+    PHASES,
+    TRACE_ENV,
+    EventTracer,
+    ObsSnapshot,
+    Span,
+    collect_snapshot,
+    merge_snapshots,
+    record_plan_report,
+    tracing_enabled,
+)
+
+__all__ = [
+    "busy_time_by_server",
+    "chrome_trace",
+    "headline",
+    "metrics_summary",
+    "spans_to_csv",
+    "straggler_summary",
+    "write_chrome_trace",
+    "write_spans_csv",
+    "DEFAULT_LATENCY_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_bounds",
+    "PHASE_NETWORK",
+    "PHASE_STARTUP",
+    "PHASE_TRANSFER",
+    "PHASES",
+    "TRACE_ENV",
+    "EventTracer",
+    "ObsSnapshot",
+    "Span",
+    "collect_snapshot",
+    "merge_snapshots",
+    "record_plan_report",
+    "tracing_enabled",
+]

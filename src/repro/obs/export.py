@@ -1,0 +1,184 @@
+"""Exporters: Chrome ``trace_event`` JSON, CSV span dumps, text summaries.
+
+The Chrome format is the `trace_event` JSON-object form understood by
+``chrome://tracing`` and Perfetto: a ``traceEvents`` list of complete
+(``"ph": "X"``) events with microsecond timestamps, plus metadata events
+naming the process and one thread per server. Server tracks therefore show
+exactly the paper's per-server decomposition: network / startup / transfer
+spans separated by queueing gaps.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.tracer import ObsSnapshot, Span
+from repro.util.units import format_size
+
+#: Stable field order of the CSV span dump.
+CSV_FIELDS = ("start_s", "duration_s", "server", "op", "offset", "size", "phase")
+
+
+def _span_list(source: ObsSnapshot | Iterable[Span]) -> list[Span]:
+    if isinstance(source, ObsSnapshot):
+        return list(source.spans)
+    return list(source)
+
+
+def busy_time_by_server(source: ObsSnapshot | Iterable[Span]) -> dict[str, float]:
+    """Device busy seconds per server: sum of startup + transfer spans.
+
+    The device behind each server is a capacity-1 resource, so its spans
+    never overlap and their plain sum equals the utilization monitor's
+    busy time exactly (the acceptance identity: Σ busy == makespan × util).
+    """
+    busy: dict[str, float] = {}
+    for span in _span_list(source):
+        if span.phase != "network":
+            busy[span.server] = busy.get(span.server, 0.0) + span.duration
+    return busy
+
+
+def chrome_trace(source: ObsSnapshot | Iterable[Span]) -> dict:
+    """Build the Chrome ``trace_event`` JSON object for ``source``."""
+    spans = _span_list(source)
+    servers = sorted({span.server for span in spans})
+    tids = {server: index for index, server in enumerate(servers)}
+    events: list[dict] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name", "args": {"name": "repro-sim"}}
+    ]
+    for server, tid in tids.items():
+        events.append(
+            {"ph": "M", "pid": 0, "tid": tid, "name": "thread_name", "args": {"name": server}}
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": tids[span.server],
+                "name": span.phase,
+                "cat": span.op,
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": {"offset": span.offset, "size": span.size},
+            }
+        )
+    payload: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(source, ObsSnapshot):
+        payload["otherData"] = {"makespan_s": source.makespan, "n_spans": source.n_spans}
+    return payload
+
+
+def write_chrome_trace(path: str | Path, source: ObsSnapshot | Iterable[Span]) -> Path:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(source)) + "\n")
+    return path
+
+
+def spans_to_csv(source: ObsSnapshot | Iterable[Span]) -> str:
+    """Render spans as a CSV document (header + one row per span)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_FIELDS)
+    for span in _span_list(source):
+        writer.writerow(
+            [
+                f"{span.start:.9f}",
+                f"{span.duration:.9f}",
+                span.server,
+                span.op,
+                span.offset,
+                span.size,
+                span.phase,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_spans_csv(path: str | Path, source: ObsSnapshot | Iterable[Span]) -> Path:
+    """Write the CSV span dump to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(spans_to_csv(source))
+    return path
+
+
+def straggler_summary(snapshot: ObsSnapshot, top: int = 8) -> str:
+    """Text ranking of servers by busy time, flagging the straggler.
+
+    ``T = max(...)`` over servers means the busiest server *is* the
+    request's completion time; the ratio of the maximum to the mean busy
+    time quantifies how far the layout is from the balanced optimum the
+    paper's cost model targets.
+    """
+    metrics = snapshot.metrics
+    rows = []
+    for name, entry in metrics.items():
+        prefix, _, field = name.rpartition(".")
+        if field == "busy_s" and prefix.startswith("server."):
+            server = prefix[len("server.") :]
+            util = metrics.get(f"server.{server}.utilization", {}).get("value", 0.0)
+            served = metrics.get(f"server.{server}.bytes_served", {}).get("value", 0)
+            subreqs = metrics.get(f"server.{server}.subrequests", {}).get("value", 0)
+            rows.append((entry["value"], server, util, served, subreqs))
+    if not rows:
+        return "no per-server metrics recorded"
+    rows.sort(reverse=True)
+    mean_busy = sum(row[0] for row in rows) / len(rows)
+    max_busy = rows[0][0]
+    lines = [f"top servers by busy time (makespan {snapshot.makespan:.4f}s):"]
+    for index, (busy, server, util, served, subreqs) in enumerate(rows[:top]):
+        flag = "  <- straggler" if index == 0 and len(rows) > 1 else ""
+        lines.append(
+            f"  {server:<12s} {busy:8.4f}s busy ({util:6.1%} util)  "
+            f"{format_size(int(served)):>8s}  {int(subreqs)} subreqs{flag}"
+        )
+    if len(rows) > top:
+        lines.append(f"  ... {len(rows) - top} more servers")
+    ratio = max_busy / mean_busy if mean_busy > 0 else 0.0
+    lines.append(f"straggler ratio (max/mean busy): {ratio:.2f}x")
+    return "\n".join(lines)
+
+
+def metrics_summary(snapshot: ObsSnapshot) -> str:
+    """Full metrics table plus the straggler ranking."""
+    from repro.obs.metrics import MetricsRegistry
+
+    return "\n".join(
+        [
+            straggler_summary(snapshot),
+            "",
+            MetricsRegistry.render(snapshot.metrics),
+        ]
+    )
+
+
+def headline(snapshot: ObsSnapshot) -> str:
+    """One-line metrics digest for report sections."""
+    busy = busy_time_by_server(snapshot)
+    if not busy:
+        return f"{snapshot.n_spans} spans, no device activity"
+    straggler = max(busy, key=busy.get)  # type: ignore[arg-type]
+    line = (
+        f"{snapshot.n_spans} spans over {len(busy)} servers; "
+        f"busiest {straggler} {busy[straggler]:.4f}s busy"
+    )
+    # A merged snapshot sums busy time across runs while keeping the max
+    # makespan, so a utilization figure only makes sense for a single run.
+    if 0 < snapshot.makespan and busy[straggler] <= snapshot.makespan:
+        line += f" ({busy[straggler] / snapshot.makespan:.0%} of makespan)"
+    return line

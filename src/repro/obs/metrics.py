@@ -1,0 +1,227 @@
+"""Counters, gauges, and histograms for simulation observability.
+
+A :class:`MetricsRegistry` is a flat name → metric map filled by the DES
+tracer and the post-run collectors (per-server busy time, queue depths,
+bytes in/out, sub-request latency distributions, planner cache traffic).
+Registries serialize to plain-dict *snapshots* so they cross process-pool
+boundaries (``experiments.parallel`` workers) and merge deterministically:
+counters add, gauges keep the maximum observed, histograms add per-bucket.
+
+Metrics are an *observability* feature: nothing in the simulation reads
+them back, so recording can never perturb results.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+
+def exponential_bounds(start: float, count: int, factor: float = 2.0) -> tuple[float, ...]:
+    """Geometric histogram bucket bounds: ``start * factor**i``."""
+    if start <= 0 or count < 1 or factor <= 1:
+        raise ValueError("need start > 0, count >= 1, factor > 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default bucket upper bounds for latency histograms: 1 µs .. ~34 s.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = exponential_bounds(1e-6, 26, 2.0)
+
+
+class Counter:
+    """A monotonically increasing value (events, bytes, cache hits)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (busy seconds, utilization, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def update_max(self, value: float) -> None:
+        """Keep the largest value seen (high-water marks, e.g. queue depth)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/count/min/max side-channels.
+
+    ``bounds`` are bucket *upper* bounds; one implicit overflow bucket
+    catches everything beyond the last bound. Quantiles are approximate
+    (bucket upper bound), while :attr:`mean` is exact.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS):
+        if list(bounds) != sorted(bounds) or len(bounds) < 1:
+            raise ValueError("histogram bounds must be a non-empty sorted sequence")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: the upper bound of the covering bucket."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                return self.bounds[index] if index < len(self.bounds) else self.max
+        return self.max
+
+
+class MetricsRegistry:
+    """Flat get-or-create store of named metrics."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS
+    ) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict, picklable view of every metric (for pool workers)."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "total": metric.total,
+                    "count": metric.count,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+        return out
+
+    @staticmethod
+    def merge(snapshots: Iterable[dict]) -> dict:
+        """Merge worker snapshots: counters add, gauges max, histograms add.
+
+        Gauges keep the maximum because every per-run gauge here is a
+        high-water mark (busy seconds, utilization, queue depth) and the
+        merged view answers "how bad did it get anywhere".
+        """
+        merged: dict[str, dict] = {}
+        for snapshot in snapshots:
+            for name, entry in snapshot.items():
+                current = merged.get(name)
+                if current is None:
+                    merged[name] = {
+                        key: list(value) if isinstance(value, list) else value
+                        for key, value in entry.items()
+                    }
+                    continue
+                if current["type"] != entry["type"]:
+                    raise TypeError(f"metric {name!r} has conflicting types across snapshots")
+                if entry["type"] == "counter":
+                    current["value"] += entry["value"]
+                elif entry["type"] == "gauge":
+                    current["value"] = max(current["value"], entry["value"])
+                else:
+                    if current["bounds"] != list(entry["bounds"]):
+                        raise ValueError(f"histogram {name!r} bucket bounds differ across snapshots")
+                    current["counts"] = [
+                        a + b for a, b in zip(current["counts"], entry["counts"])
+                    ]
+                    current["total"] += entry["total"]
+                    current["count"] += entry["count"]
+                    current["min"] = min(current["min"], entry["min"])
+                    current["max"] = max(current["max"], entry["max"])
+        return dict(sorted(merged.items()))
+
+    @staticmethod
+    def render(snapshot: dict) -> str:
+        """Human-readable table of a snapshot (the ``trace`` CLI summary)."""
+        lines = []
+        for name, entry in sorted(snapshot.items()):
+            if entry["type"] == "counter":
+                lines.append(f"{name:<44s} {entry['value']}")
+            elif entry["type"] == "gauge":
+                lines.append(f"{name:<44s} {entry['value']:.6g}")
+            else:
+                count = entry["count"]
+                mean = entry["total"] / count if count else 0.0
+                low = entry["min"] if count else 0.0
+                high = entry["max"] if count else 0.0
+                lines.append(
+                    f"{name:<44s} n={count} mean={mean:.3g}s "
+                    f"min={low:.3g}s max={high:.3g}s"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""DES event tracing: spans, the tracer object, and run snapshots.
+
+The tracer is attached to a :class:`~repro.simulate.engine.Simulator` as
+``sim.tracer``; the DES kernel, :class:`~repro.simulate.resources.Resource`,
+and :class:`~repro.pfs.server.FileServer` each check ``sim.tracer is None``
+on their hot paths and call the duck-typed hooks below only when a tracer
+is present — with tracing off, the only cost is that pointer comparison.
+
+Span model (DESIGN.md §8): every sub-request a server serves decomposes
+into at most three spans matching the paper's cost terms —
+
+- ``network`` — the payload crossing the server NIC (the T_X term);
+- ``startup`` — pre-transfer device latency, seek/rotation or FTL (T_S);
+- ``transfer`` — the medium moving the payload (T_T).
+
+Queue waits are *not* spans: they appear in the Chrome trace as gaps
+between spans on a server track, and numerically as the per-resource wait
+histograms in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.core.planner import PlanReport
+
+#: Environment variable that turns tracing on for every run in the process
+#: (inherited by pool workers). "0", "", "off", "false", "no" mean off.
+TRACE_ENV = "REPRO_TRACE"
+
+PHASE_NETWORK = "network"
+PHASE_STARTUP = "startup"
+PHASE_TRANSFER = "transfer"
+PHASES = (PHASE_NETWORK, PHASE_STARTUP, PHASE_TRANSFER)
+
+
+def tracing_enabled() -> bool:
+    """True when the :data:`TRACE_ENV` environment switch requests tracing."""
+    value = os.environ.get(TRACE_ENV, "").strip().lower()
+    return value not in ("", "0", "off", "false", "no")
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One timed phase of one sub-request on one server (seconds)."""
+
+    start: float
+    duration: float
+    server: str
+    op: str
+    offset: int
+    size: int
+    phase: str
+
+
+class EventTracer:
+    """Records spans and feeds the metrics registry during a simulation.
+
+    Attach with ``sim.tracer = EventTracer()`` *before* ``sim.run``. The
+    hook methods are called by the instrumented layers; user code normally
+    only reads :attr:`spans` and :attr:`registry` afterwards (or lets
+    :func:`collect_snapshot` package both).
+    """
+
+    __slots__ = ("spans", "events_dispatched", "registry", "_enqueued")
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.spans: list[Span] = []
+        self.events_dispatched = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._enqueued: dict[int, float] = {}
+
+    def record(
+        self,
+        start: float,
+        duration: float,
+        server: str,
+        op: str,
+        offset: int,
+        size: int,
+        phase: str,
+    ) -> None:
+        """Append one span (timestamps in simulated seconds)."""
+        self.spans.append(Span(start, duration, server, op, offset, size, phase))
+
+    # -- hooks called by the instrumented layers ---------------------------
+
+    def on_enqueue(self, resource, grant) -> None:
+        """A request queued behind a busy resource (Resource.request)."""
+        self._enqueued[id(grant)] = resource.sim.now
+        self.registry.gauge(f"resource.{resource.name}.max_queue_depth").update_max(
+            resource.queue_length
+        )
+
+    def on_grant(self, resource, grant) -> None:
+        """A queued or immediate request got its slot (Resource._grant)."""
+        enqueued_at = self._enqueued.pop(id(grant), None)
+        wait = 0.0 if enqueued_at is None else resource.sim.now - enqueued_at
+        self.registry.histogram(f"resource.{resource.name}.wait_s").observe(wait)
+
+    def on_cancel(self, resource, grant) -> None:
+        """A queued request was withdrawn (Resource.cancel); drop its mark."""
+        self._enqueued.pop(id(grant), None)
+
+    def on_subrequest(self, server, op, started: float, elapsed: float, size: int) -> None:
+        """A server finished one sub-request end to end (FileServer.serve)."""
+        self.registry.histogram(f"server.{server.name}.subreq_latency_s").observe(elapsed)
+
+
+def record_plan_report(registry: MetricsRegistry, report: "PlanReport") -> None:
+    """Re-export a planner :class:`~repro.core.planner.PlanReport` as metrics.
+
+    Surfaces the Algorithm 2 memoization traffic (stripe-cache hits/misses)
+    and the region counts next to the run's I/O metrics so one summary
+    answers both "where did simulated time go" and "what did the planner do".
+    """
+    registry.counter("planner.requests").inc(report.n_requests)
+    registry.counter("planner.regions").inc(len(report.regions))
+    registry.counter("planner.regions_after_merge").inc(report.n_regions_after_merge)
+    registry.counter("planner.stripe_cache_hits").inc(report.cache_hits)
+    registry.counter("planner.stripe_cache_misses").inc(report.cache_misses)
+    lookups = report.cache_hits + report.cache_misses
+    if lookups:
+        registry.gauge("planner.stripe_cache_hit_rate").set(report.cache_hits / lookups)
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """Picklable observability payload of one run (spans + metrics)."""
+
+    spans: tuple[Span, ...]
+    metrics: dict
+    makespan: float
+
+    @property
+    def n_spans(self) -> int:
+        return len(self.spans)
+
+
+def collect_snapshot(tracer: EventTracer, pfs, makespan: float) -> ObsSnapshot:
+    """Package a finished run's tracer + filesystem state into a snapshot.
+
+    Fills the registry with per-server totals (busy seconds, utilization,
+    bytes, sub-request counts) read off the filesystem's monitors, then
+    freezes everything into a picklable :class:`ObsSnapshot` so parallel
+    workers can ship it back for merging.
+    """
+    registry = tracer.registry
+    pfs.collect_metrics(registry, makespan=makespan)
+    registry.counter("sim.events_dispatched").inc(tracer.events_dispatched)
+    registry.gauge("sim.makespan_s").update_max(makespan)
+    registry.counter("trace.spans").inc(len(tracer.spans))
+    return ObsSnapshot(
+        spans=tuple(tracer.spans), metrics=registry.snapshot(), makespan=makespan
+    )
+
+
+def merge_snapshots(snapshots: Iterable[ObsSnapshot | None]) -> ObsSnapshot | None:
+    """Merge per-worker/per-run snapshots; None entries are skipped.
+
+    Spans concatenate (each run keeps its own timeline starting at 0);
+    metrics merge per :meth:`MetricsRegistry.merge`; the makespan is the
+    maximum, matching the gauge convention.
+    """
+    present = [s for s in snapshots if s is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    spans: list[Span] = []
+    for snapshot in present:
+        spans.extend(snapshot.spans)
+    return ObsSnapshot(
+        spans=tuple(spans),
+        metrics=MetricsRegistry.merge([s.metrics for s in present]),
+        makespan=max(s.makespan for s in present),
+    )

@@ -245,6 +245,29 @@ class ParallelFileSystem:
         """Disk busy seconds per server (the Figure 1(a) measurement)."""
         return {server.name: server.disk_busy_time for server in self.servers}
 
+    def collect_metrics(self, registry, makespan: float | None = None) -> None:
+        """Export per-server totals into an observability registry.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry` (duck
+        typed so this layer stays import-independent of :mod:`repro.obs`).
+        Records, per server: device busy seconds, NIC busy seconds, bytes
+        served, sub-request count, and — when ``makespan`` is given —
+        utilization (busy / makespan), plus file-level byte counters.
+        """
+        horizon = self.sim.now if makespan is None else makespan
+        for server in self.servers:
+            prefix = f"server.{server.name}"
+            busy = server.disk_busy_time
+            registry.gauge(f"{prefix}.busy_s").update_max(busy)
+            registry.gauge(f"{prefix}.nic_busy_s").update_max(server.nic.monitor.snapshot())
+            registry.counter(f"{prefix}.bytes_served").inc(server.bytes_served)
+            registry.counter(f"{prefix}.subrequests").inc(server.subrequests_served)
+            if horizon > 0:
+                registry.gauge(f"{prefix}.utilization").update_max(busy / horizon)
+        for handle in self._files.values():
+            registry.counter("pfs.bytes_read").inc(handle.bytes_read)
+            registry.counter("pfs.bytes_written").inc(handle.bytes_written)
+
     def reset_statistics(self) -> None:
         """Zero all per-server traffic statistics."""
         for server in self.servers:

@@ -71,26 +71,46 @@ class FileServer:
         op = OpType.parse(op)
         if size <= 0:
             return
+        tracer = self.sim.tracer
+        started = self.sim.now
         if op is OpType.WRITE:
-            yield from self._nic_stage(size)
+            yield from self._nic_stage(op, offset, size)
             yield from self._disk_stage(op, offset, size)
         else:
             yield from self._disk_stage(op, offset, size)
-            yield from self._nic_stage(size)
+            yield from self._nic_stage(op, offset, size)
         self.bytes_served += size
         self.subrequests_served += 1
+        if tracer is not None:
+            tracer.on_subrequest(self, op, started, self.sim.now - started, size)
 
     def _disk_stage(self, op: OpType, offset: int, size: int) -> Generator:
         grant = yield self.disk.request(key=offset)
         try:
-            yield self.sim.timeout(self.device.service_time(op, offset, size))
+            tracer = self.sim.tracer
+            if tracer is None:
+                yield self.sim.timeout(self.device.service_time(op, offset, size))
+            else:
+                # Same device-model calls in the same order as the untraced
+                # path, just split so startup and transfer trace separately.
+                startup, transfer = self.device.service_breakdown(op, offset, size)
+                start = self.sim.now
+                tracer.record(start, startup, self.name, op.value, offset, size, "startup")
+                tracer.record(
+                    start + startup, transfer, self.name, op.value, offset, size, "transfer"
+                )
+                yield self.sim.timeout(startup + transfer)
         finally:
             self.disk.release(grant)
 
-    def _nic_stage(self, size: int) -> Generator:
+    def _nic_stage(self, op: OpType, offset: int, size: int) -> Generator:
         grant = yield self.nic.request()
         try:
-            yield self.sim.timeout(self.network.transfer_time(size))
+            delay = self.network.transfer_time(size)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.record(self.sim.now, delay, self.name, op.value, offset, size, "network")
+            yield self.sim.timeout(delay)
         finally:
             self.nic.release(grant)
 

@@ -277,13 +277,18 @@ class Simulator:
         assert sim.now == 1.5 and proc.value == "done"
     """
 
-    __slots__ = ("_now", "_heap", "_sequence", "_active_process")
+    __slots__ = ("_now", "_heap", "_sequence", "_active_process", "tracer")
 
     def __init__(self):
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._active_process: Process | None = None
+        #: Optional observability hook (see :mod:`repro.obs`). When None —
+        #: the default — every instrumented layer skips its recording with
+        #: a single pointer comparison, so tracing costs nothing when off.
+        #: Attach before :meth:`run`; the loop binds it once on entry.
+        self.tracer: Any = None
 
     @property
     def now(self) -> float:
@@ -333,6 +338,8 @@ class Simulator:
         """
         time, _, event = _heappop(self._heap)
         self._now = time
+        if self.tracer is not None:
+            self.tracer.events_dispatched += 1
         had_waiters = bool(event.callbacks)
         event._run_callbacks()
         if (
@@ -358,13 +365,39 @@ class Simulator:
         """
         heap = self._heap
         pop = _heappop
-        if isinstance(until, Event):
-            stop_event = until
-            while not stop_event._processed:
-                if not heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited event fired (deadlock?)"
-                    )
+        # Observability: rather than touching the tracer per event (which
+        # would tax the hot loop even when idle), the dispatched-event count
+        # is derived on exit — every scheduled event gets a sequence number,
+        # so pops == (new sequences) + (heap shrinkage).
+        tracer = self.tracer
+        if tracer is not None:
+            sequence_start = self._sequence
+            pending_start = len(heap)
+        try:
+            if isinstance(until, Event):
+                stop_event = until
+                while not stop_event._processed:
+                    if not heap:
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited event fired (deadlock?)"
+                        )
+                    time, _, event = pop(heap)
+                    self._now = time
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    elif (
+                        event._exception is not None
+                        and isinstance(event, Process)
+                        and not isinstance(event._exception, Interrupt)
+                    ):
+                        raise event._exception
+                return stop_event.value
+            horizon = float("inf") if until is None else float(until)
+            while heap and heap[0][0] <= horizon:
                 time, _, event = pop(heap)
                 self._now = time
                 callbacks = event.callbacks
@@ -379,23 +412,11 @@ class Simulator:
                     and not isinstance(event._exception, Interrupt)
                 ):
                     raise event._exception
-            return stop_event.value
-        horizon = float("inf") if until is None else float(until)
-        while heap and heap[0][0] <= horizon:
-            time, _, event = pop(heap)
-            self._now = time
-            callbacks = event.callbacks
-            event.callbacks = None
-            event._processed = True
-            if callbacks:
-                for callback in callbacks:
-                    callback(event)
-            elif (
-                event._exception is not None
-                and isinstance(event, Process)
-                and not isinstance(event._exception, Interrupt)
-            ):
-                raise event._exception
-        if until is not None and self._now < horizon:
-            self._now = horizon
-        return None
+            if until is not None and self._now < horizon:
+                self._now = horizon
+            return None
+        finally:
+            if tracer is not None:
+                tracer.events_dispatched += (
+                    self._sequence - sequence_start + pending_start - len(heap)
+                )

@@ -95,12 +95,18 @@ class Resource:
             self._grant(grant)
         else:
             self._queue.append((key, grant))
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.on_enqueue(self, grant)
         return grant
 
     def _grant(self, grant: Event) -> None:
         self._in_use += 1
         self.granted_count += 1
         self.monitor.acquire()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_grant(self, grant)
         grant.succeed(self)
 
     def _pop_next(self) -> Event:
@@ -118,6 +124,9 @@ class Resource:
         for index, (_, queued) in enumerate(self._queue):
             if queued is grant:
                 del self._queue[index]
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.on_cancel(self, grant)
                 return True
         return False
 

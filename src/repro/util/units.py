@@ -76,16 +76,28 @@ def format_size(n_bytes: int | float, precision: int = 1) -> str:
     Sizes that are exact multiples render without a decimal point
     (``format_size(64 * KiB) == "64K"``), mirroring the paper's figure
     legends (``"64K"``, ``"36K-148K"``).
+
+    For integral byte counts the rendering is *lossless*:
+    ``parse_size(format_size(n)) == n`` always. A rounded label that would
+    read back as a different value (``format_size(2047)`` must not say
+    ``"2.0K"``, which parses as 2048) gains decimal digits until it
+    round-trips, falling back to the exact byte count (``"2047B"``-style)
+    when no label within three extra digits does.
     """
     n = float(n_bytes)
     if n < 0:
         return "-" + format_size(-n, precision)
+    exact = n.is_integer()
     for suffix, scale in (("T", TiB), ("G", GiB), ("M", MiB), ("K", KiB)):
         if n >= scale:
             value = n / scale
             if value == int(value):
                 return f"{int(value)}{suffix}"
-            return f"{value:.{precision}f}{suffix}"
-    if n == int(n):
+            for digits in range(precision, precision + 4):
+                label = f"{value:.{digits}f}{suffix}"
+                if not exact or parse_size(label) == int(n):
+                    return label
+            break
+    if exact:
         return f"{int(n)}B"
     return f"{n:.{precision}f}B"

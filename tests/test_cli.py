@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.devices.base import OpType
 from repro.workloads.ior import IORConfig, IORWorkload
 from repro.workloads.traces import TraceFile
 
@@ -85,9 +84,98 @@ class TestRunIOR:
         assert main(self.BASE + ["--layout", "rand2"]) == 0
         assert "rand:" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("spec", ["random", "rand", "rand7", "RANDOM"])
+    def test_random_layout_spellings(self, spec, capsys):
+        # ISSUE 2: "random" used to crash with int("om"); all spellings of
+        # the random family must simulate cleanly.
+        assert main(self.BASE + ["--layout", spec]) == 0
+        assert "rand:" in capsys.readouterr().out
+
+    def test_random_and_rand_share_default_seed(self, capsys):
+        assert main(self.BASE + ["--layout", "random"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.BASE + ["--layout", "rand"]) == 0
+        assert capsys.readouterr().out == first
+
+    @pytest.mark.parametrize("spec", ["bogus", "randx", "rand-3", "12Q"])
+    def test_unknown_layout_clean_error(self, spec, capsys):
+        # A bad spec must exit 2 with an argparse-style message, never a
+        # traceback.
+        assert main(self.BASE + ["--layout", spec]) == 2
+        err = capsys.readouterr().err
+        assert "invalid --layout" in err
+
+    def test_indivisible_geometry_clean_error(self, capsys):
+        # 4M across 16 procs x 512K requests doesn't divide; exit 2, not a
+        # traceback from IORConfig validation.
+        args = ["run-ior", "--hservers", "2", "--sservers", "1",
+                "--file-size", "4M", "--layout", "random"]
+        assert main(args) == 2
+        assert "whole number of requests" in capsys.readouterr().err
+
     def test_read_op(self, capsys):
         assert main(self.BASE + ["--layout", "64K", "--op", "read"]) == 0
         assert "read" in capsys.readouterr().out
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(self.BASE + ["--layout", "64K", "--trace-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+        assert "straggler" in capsys.readouterr().out
+
+
+class TestTrace:
+    BASE = ["trace", "--hservers", "2", "--sservers", "1",
+            "--processes", "4", "--file-size", "4M"]
+
+    def test_trace_command_exports(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        csv_path = tmp_path / "spans.csv"
+        args = self.BASE + ["--layout", "64K", "--out", str(out), "--csv", str(csv_path)]
+        assert main(args) == 0
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert csv_path.read_text().startswith("start_s,duration_s,server")
+        out_text = capsys.readouterr().out
+        assert "straggler" in out_text and "MiB/s" in out_text
+
+    def test_trace_harl_exports_planner_metrics(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(self.BASE + ["--layout", "harl", "--out", str(out)]) == 0
+        assert "planner.stripe_cache" in capsys.readouterr().out
+
+    def test_trace_bad_layout_clean_error(self, tmp_path, capsys):
+        args = self.BASE + ["--layout", "nope", "--out", str(tmp_path / "t.json")]
+        assert main(args) == 2
+        assert "invalid --layout" in capsys.readouterr().err
+
+
+class TestRunAllExitCode:
+    def test_failing_shape_checks_exit_nonzero(self, tmp_path, monkeypatch, capsys):
+        # ISSUE 2: a report with failed shape checks must fail the process.
+        from repro.experiments.report import ReportSection, ReproductionReport
+
+        failing = ReproductionReport(
+            sections=[ReportSection(name="figX", elapsed=0.0, body="t", checks=[("c", False)])]
+        )
+        monkeypatch.setattr(
+            "repro.experiments.report.generate_report", lambda **kwargs: failing
+        )
+        output = tmp_path / "report.md"
+        assert main(["run-all", "--output", str(output)]) == 1
+        assert "FAILED" in output.read_text()
+
+    def test_passing_report_exits_zero(self, monkeypatch, capsys):
+        from repro.experiments.report import ReportSection, ReproductionReport
+
+        passing = ReproductionReport(
+            sections=[ReportSection(name="figX", elapsed=0.0, body="t", checks=[("c", True)])]
+        )
+        monkeypatch.setattr(
+            "repro.experiments.report.generate_report", lambda **kwargs: passing
+        )
+        assert main(["run-all"]) == 0
 
 
 class TestAnalyze:

@@ -1,0 +1,270 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import Testbed, run_workload
+from repro.obs import (
+    EventTracer,
+    MetricsRegistry,
+    ObsSnapshot,
+    Span,
+    busy_time_by_server,
+    chrome_trace,
+    headline,
+    merge_snapshots,
+    metrics_summary,
+    record_plan_report,
+    spans_to_csv,
+    straggler_summary,
+    tracing_enabled,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, exponential_bounds
+from repro.pfs.layout import FixedLayout
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import Resource
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+def small_run(trace=True, n_hservers=2, n_sservers=1):
+    testbed = Testbed(n_hservers=n_hservers, n_sservers=n_sservers)
+    workload = IORWorkload(
+        IORConfig(n_processes=4, request_size=512 * KiB, file_size=4 * MiB, op="write")
+    )
+    layout = FixedLayout(n_hservers, n_sservers, 64 * KiB)
+    return run_workload(testbed, workload, layout, layout_name="64K", trace=trace)
+
+
+class TestMetricsPrimitives:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_max(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.update_max(2.0)
+        assert g.value == 3.0
+        g.update_max(7.0)
+        assert g.value == 7.0
+
+    def test_histogram_stats(self):
+        h = Histogram("x", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(26.25)
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.counts == [1, 1, 1, 1]  # one per bucket incl. overflow
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_histogram_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bounds=(2.0, 1.0))
+
+    def test_exponential_bounds(self):
+        assert exponential_bounds(1.0, 3, 2.0) == (1.0, 2.0, 4.0)
+
+    def test_registry_get_or_create_and_type_guard(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+        assert len(reg) == 1
+
+
+class TestSnapshotMerge:
+    def make_snapshot(self, count, busy):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(count)
+        reg.gauge("busy").set(busy)
+        reg.histogram("lat", bounds=(1.0, 2.0)).observe(busy)
+        return reg.snapshot()
+
+    def test_merge_semantics(self):
+        merged = MetricsRegistry.merge([self.make_snapshot(3, 0.5), self.make_snapshot(4, 1.5)])
+        assert merged["events"]["value"] == 7  # counters add
+        assert merged["busy"]["value"] == 1.5  # gauges keep max
+        assert merged["lat"]["count"] == 2  # histograms add
+        assert merged["lat"]["counts"] == [1, 1, 0]
+
+    def test_merge_type_conflict(self):
+        a = {"m": {"type": "counter", "value": 1}}
+        b = {"m": {"type": "gauge", "value": 1.0}}
+        with pytest.raises(TypeError):
+            MetricsRegistry.merge([a, b])
+
+    def test_render_mentions_every_metric(self):
+        text = MetricsRegistry.render(self.make_snapshot(3, 0.5))
+        for name in ("events", "busy", "lat"):
+            assert name in text
+
+    def test_merge_obs_snapshots(self):
+        span = Span(0.0, 1.0, "s0", "write", 0, 10, "transfer")
+        a = ObsSnapshot(spans=(span,), metrics=self.make_snapshot(1, 0.5), makespan=1.0)
+        b = ObsSnapshot(spans=(span, span), metrics=self.make_snapshot(2, 2.0), makespan=3.0)
+        merged = merge_snapshots([a, None, b])
+        assert merged.n_spans == 3
+        assert merged.makespan == 3.0
+        assert merged.metrics["events"]["value"] == 3
+        assert merge_snapshots([None, None]) is None
+        assert merge_snapshots([a]) is a
+
+
+class TestTracerHooks:
+    def test_resource_wait_and_queue_metrics(self):
+        sim = Simulator()
+        tracer = EventTracer()
+        sim.tracer = tracer
+        resource = Resource(sim, capacity=1, name="disk0")
+
+        def worker():
+            grant = yield resource.request()
+            yield sim.timeout(1.0)
+            resource.release(grant)
+
+        for _ in range(3):
+            sim.process(worker())
+        sim.run()
+        snapshot = tracer.registry.snapshot()
+        waits = snapshot["resource.disk0.wait_s"]
+        assert waits["count"] == 3
+        assert waits["max"] == pytest.approx(2.0)  # third waiter queued 2s
+        assert snapshot["resource.disk0.max_queue_depth"]["value"] >= 1
+        assert tracer.events_dispatched > 0
+
+    def test_engine_counts_nothing_without_tracer(self):
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(1.0)
+
+        sim.process(worker())
+        sim.run()
+        assert sim.tracer is None
+
+
+class TestTracedRun:
+    def test_untraced_run_has_no_obs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not tracing_enabled()
+        assert small_run(trace=False).obs is None
+        assert small_run(trace=None).obs is None
+
+    def test_env_switch_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert tracing_enabled()
+        assert small_run(trace=None).obs is not None
+        monkeypatch.setenv("REPRO_TRACE", "off")
+        assert not tracing_enabled()
+
+    def test_tracing_does_not_change_simulation(self):
+        untraced = small_run(trace=False)
+        traced = small_run(trace=True)
+        assert traced.makespan == untraced.makespan
+        assert traced.server_busy == untraced.server_busy
+
+    def test_span_phases_and_busy_time_identity(self):
+        result = small_run(trace=True)
+        obs = result.obs
+        phases = {span.phase for span in obs.spans}
+        assert phases == {"network", "startup", "transfer"}
+        # The acceptance identity: per-server startup+transfer span totals
+        # equal the utilization monitor's busy time (== makespan x util).
+        busy = busy_time_by_server(obs)
+        for server, expected in result.server_busy.items():
+            assert busy[server] == pytest.approx(expected, rel=1e-9)
+            util = obs.metrics[f"server.{server}.utilization"]["value"]
+            assert busy[server] == pytest.approx(result.makespan * util, rel=1e-2)
+
+    def test_per_server_metrics_collected(self):
+        obs = small_run(trace=True).obs
+        assert obs.metrics["server.hserver0.subrequests"]["value"] > 0
+        assert obs.metrics["server.hserver0.bytes_served"]["value"] > 0
+        assert obs.metrics["server.hserver0.subreq_latency_s"]["count"] > 0
+        assert obs.metrics["sim.events_dispatched"]["value"] > 0
+        assert obs.metrics["pfs.bytes_written"]["value"] == 4 * MiB
+
+
+class TestExporters:
+    def test_chrome_trace_structure(self, tmp_path):
+        obs = small_run(trace=True).obs
+        payload = chrome_trace(obs)
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(payload))
+        loaded = json.loads(path.read_text())  # valid JSON round-trip
+        events = loaded["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == obs.n_spans
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in complete)
+        names = {e["args"]["name"] for e in events if e.get("name") == "thread_name"}
+        assert "hserver0" in names and "sserver0" in names
+        assert loaded["otherData"]["makespan_s"] == obs.makespan
+
+    def test_csv_dump(self):
+        obs = small_run(trace=True).obs
+        text = spans_to_csv(obs)
+        lines = text.strip().splitlines()
+        assert lines[0] == "start_s,duration_s,server,op,offset,size,phase"
+        assert len(lines) == obs.n_spans + 1
+
+    def test_straggler_summary(self):
+        obs = small_run(trace=True).obs
+        text = straggler_summary(obs)
+        assert "straggler" in text
+        assert "hserver0" in text
+        assert "straggler ratio" in text
+
+    def test_metrics_summary_and_headline(self):
+        obs = small_run(trace=True).obs
+        assert "busy time" in metrics_summary(obs)
+        assert "spans" in headline(obs)
+
+    def test_empty_snapshot_summaries(self):
+        empty = ObsSnapshot(spans=(), metrics={}, makespan=0.0)
+        assert "no per-server metrics" in straggler_summary(empty)
+        assert "no device activity" in headline(empty)
+
+
+class TestPlanReportExport:
+    def test_record_plan_report(self):
+        from repro.core.planner import PlanReport
+
+        registry = MetricsRegistry()
+        report = PlanReport(n_requests=10, cache_hits=3, cache_misses=1)
+        report.n_regions_after_merge = 2
+        record_plan_report(registry, report)
+        snapshot = registry.snapshot()
+        assert snapshot["planner.stripe_cache_hits"]["value"] == 3
+        assert snapshot["planner.stripe_cache_hit_rate"]["value"] == pytest.approx(0.75)
+        assert snapshot["planner.requests"]["value"] == 10
+
+
+class TestParallelPropagation:
+    def test_runjob_trace_flag_round_trips_through_pool(self):
+        from repro.experiments.parallel import RunJob, run_jobs
+
+        testbed = Testbed(n_hservers=2, n_sservers=1)
+        workload = IORWorkload(
+            IORConfig(n_processes=2, request_size=256 * KiB, file_size=1 * MiB, op="write")
+        )
+        layout = FixedLayout(2, 1, 64 * KiB)
+        jobs = [
+            RunJob(testbed=testbed, workload=workload, layout=layout, layout_name="64K", trace=True)
+            for _ in range(2)
+        ]
+        serial = run_jobs(jobs, jobs=1)
+        pooled = run_jobs(jobs, jobs=2)
+        assert all(r.obs is not None for r in serial + pooled)
+        # Snapshots pickled back from workers merge like the serial ones.
+        merged_serial = merge_snapshots([r.obs for r in serial])
+        merged_pooled = merge_snapshots([r.obs for r in pooled])
+        assert merged_pooled.n_spans == merged_serial.n_spans
+        assert merged_pooled.metrics == merged_serial.metrics

@@ -123,6 +123,22 @@ class TestWindowOps:
         assert monitor.signature().n_requests == 0
         assert monitor.window_fill == 0.0
 
+    def test_reset_window_suppresses_drift_until_refilled(self):
+        # Drift quarantine: after reset_window, check_drift must stay quiet
+        # until min_window_fill of *new* records arrive, even though the
+        # baseline is wildly different from the incoming traffic.
+        monitor = WorkloadMonitor(window=8, min_window_fill=0.5, size_drift_threshold=0.5)
+        feed(monitor, 8, size=64 * KiB)
+        monitor.rebaseline()
+        monitor.reset_window()
+        assert not monitor.check_drift().drifted  # empty window, no signal
+        feed(monitor, 3, size=1024 * KiB)  # 16x baseline size but only 3 < 4 records
+        assert not monitor.check_drift().drifted
+        feed(monitor, 1, size=1024 * KiB)  # window refilled to min fill
+        report = monitor.check_drift()
+        assert report.drifted
+        assert report.size_change > 0.5
+
     def test_window_fill(self):
         monitor = WorkloadMonitor(window=8)
         feed(monitor, 2)

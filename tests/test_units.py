@@ -82,7 +82,19 @@ class TestFormatSize:
         assert format_size(-64 * KiB) == "-64K"
 
     def test_precision(self):
-        assert format_size(1234 * KiB + 100, precision=2) == "1.21M"
+        # 1.25M round-trips exactly at the requested precision.
+        assert format_size(1280 * KiB, precision=2) == "1.25M"
+
+    def test_lossy_label_falls_back_to_exact_bytes(self):
+        # 1234K + 100 has no <= 4-digit suffix rendering that parses back
+        # to itself ("1.21M" would read as 1268777), so bytes win.
+        n = 1234 * KiB + 100
+        assert format_size(n, precision=2) == f"{n}B"
+
+    def test_near_boundary_gains_precision_instead_of_rounding_up(self):
+        # The ISSUE-2 case: 2047 must not render "2.0K" (== 2048).
+        assert format_size(2047) == "1.999K"
+        assert parse_size(format_size(2047)) == 2047
 
     def test_paper_legend_style(self):
         # Fig. 7's "36K-148K" legend components.
@@ -92,14 +104,20 @@ class TestFormatSize:
 
 class TestRoundTrip:
     @given(st.integers(min_value=0, max_value=2**50))
-    def test_parse_accepts_format_output(self, n):
-        # format may round (lossy), but its output must always parse.
-        text = format_size(n)
-        parsed = parse_size(text)
-        assert isinstance(parsed, int)
-        # Rounding error bounded by the printed precision at that scale.
-        if n > 0:
-            assert abs(parsed - n) / max(n, 1) < 0.06
+    def test_format_is_lossless_for_integers(self, n):
+        # The rendered label must parse back to exactly the same count.
+        assert parse_size(format_size(n)) == n
+
+    @given(
+        st.sampled_from([KiB, MiB, GiB, TiB]),
+        st.integers(min_value=1, max_value=1023),
+        st.integers(min_value=-4, max_value=4),
+    )
+    def test_round_trip_near_every_binary_suffix_boundary(self, scale, multiple, delta):
+        # Values straddling k*scale are where naive rounding flips to the
+        # neighbouring multiple (2047 -> "2.0K" -> 2048).
+        n = multiple * scale + delta
+        assert parse_size(format_size(n)) == n
 
     @given(st.integers(min_value=0, max_value=2**20))
     def test_kib_multiples_round_trip_at_full_precision(self, k):
