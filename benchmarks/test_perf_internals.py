@@ -21,6 +21,8 @@ from repro.core.stripe_determination import (
 )
 from repro.devices.profiles import DeviceProfile
 from repro.obs import EventTracer
+from repro.pfs.filesystem import HybridPFS
+from repro.pfs.layout import FixedLayout
 from repro.pfs.mapping import (
     StripingConfig,
     critical_params_vectorized,
@@ -88,13 +90,20 @@ def _des_event_loop(sim):
 
 
 def test_perf_des_event_loop(benchmark):
-    """Ping-pong processes through a capacity-1 resource: ~30k events."""
+    """Ping-pong processes through a capacity-1 resource: ~30k events.
+
+    Coarsely gated against the committed BENCH_perf.json mean: the grant
+    paths carry the fault layer's stall check (``Resource._held``), which
+    must stay within noise when no faults are configured.
+    """
 
     def run():
         return _des_event_loop(Simulator())
 
     result = benchmark(run)
     assert result > 0
+    if _DES_BASELINE_MEAN is not None:
+        assert benchmark.stats.stats.mean <= _DES_BASELINE_MEAN * 2.0
 
 
 def test_perf_des_event_loop_tracing_off(benchmark, request):
@@ -143,6 +152,35 @@ def test_perf_des_event_loop_tracing_on(benchmark):
     assert result > 0
     if _DES_BASELINE_MEAN is not None:
         assert benchmark.stats.stats.mean <= _DES_BASELINE_MEAN * 3.0
+
+
+def test_perf_pfs_write_path_faults_disabled(benchmark, request):
+    """Resilience guard: with no fault schedule, no retry policy, and a
+    healthy cluster, the PFS data path must not pay for the fault
+    machinery it carries (health routing, retry dispatch, resource holds).
+
+    All hooks stay inert (``retry is None``, ``route_map is None``,
+    ``_held == 0``), so the request loop reduces to the pre-faults code —
+    a handful of pointer compares per sub-request. Bounded against the
+    committed BENCH_perf.json mean with the same coarse cross-machine
+    factor the tracing guard uses.
+    """
+
+    def run():
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        procs = [handle.write(i * 256 * KiB, 256 * KiB) for i in range(64)]
+        sim.run(sim.all_of(procs))
+        assert pfs.health.route_map is None  # Hooks never engaged.
+        assert not pfs.health.touched
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+    baseline = _baseline_mean("test_perf_pfs_write_path_faults_disabled")
+    if baseline is not None:
+        assert benchmark.stats.stats.mean <= baseline * 2.0
 
 
 def test_perf_decompose(benchmark):

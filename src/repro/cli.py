@@ -5,6 +5,9 @@ Commands:
 - ``calibrate`` — probe a testbed's devices and print the Table-I bundle;
 - ``plan`` — run the Analysis Phase on a trace CSV and emit the RST JSON;
 - ``run-ior`` — simulate IOR under a chosen layout and print throughput;
+  ``--faults SPEC`` injects scripted faults with client retry/failover;
+- ``chaos`` — sweep stochastic fault rates, comparing HARL against a
+  fixed-stripe baseline under identical fault schedules;
 - ``trace`` — run IOR with DES event tracing; export a Chrome trace;
 - ``analyze`` — summarize an IOSIG trace CSV;
 - ``replay`` — replay a trace CSV under a layout;
@@ -27,6 +30,7 @@ from pathlib import Path
 from repro.core.planner import HARLPlanner
 from repro.experiments import figures
 from repro.experiments.harness import Testbed, harl_plan, run_workload
+from repro.faults import FaultSchedule, FaultSpecError, RetryPolicy, parse_faults
 from repro.obs import (
     record_plan_report,
     straggler_summary,
@@ -68,7 +72,7 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_ior_args(parser: argparse.ArgumentParser) -> None:
+def _add_ior_args(parser: argparse.ArgumentParser, layout: bool = True) -> None:
     parser.add_argument("--op", choices=("read", "write"), default="write")
     parser.add_argument("--processes", type=int, default=16)
     parser.add_argument("--request-size", default="512K")
@@ -76,11 +80,12 @@ def _add_ior_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--segments", type=int, default=1, help="IOR segmentCount (interleaved blocks)")
     parser.add_argument("--queue-depth", type=int, default=1, help="outstanding requests per rank")
     parser.add_argument("--sequential", action="store_true", help="in-order offsets (default: random)")
-    parser.add_argument(
-        "--layout",
-        default="harl",
-        help="'harl', a fixed stripe size ('64K'), 'random', or 'rand<seed>'",
-    )
+    if layout:
+        parser.add_argument(
+            "--layout",
+            default="harl",
+            help="'harl', a fixed stripe size ('64K'), 'random', or 'rand<seed>'",
+        )
 
 
 def _testbed(args: argparse.Namespace) -> Testbed:
@@ -171,20 +176,45 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_stats_line(stats) -> str:
+    return (
+        f"faults: {stats.crashes} crashes, {stats.hangs} hangs, "
+        f"{stats.degrades} degrades, {stats.blips} blips | recovery: "
+        f"{stats.retries} retries, {stats.timeouts} timeouts, "
+        f"{stats.rerouted_subrequests} rerouted subrequests, "
+        f"{stats.exhausted} exhausted"
+    )
+
+
 def cmd_run_ior(args: argparse.Namespace) -> int:
     testbed = _testbed(args)
     try:
         workload = _ior_workload(args)
         layout, label, is_harl = _resolve_layout(args, testbed, workload)
-    except (LayoutSpecError, ValueError) as exc:
-        # Bad --layout specs and inconsistent IOR geometry (file size not a
-        # whole number of requests/processes/segments) both exit cleanly.
+        faults = parse_faults(args.faults) if args.faults else None
+    except (LayoutSpecError, FaultSpecError, ValueError) as exc:
+        # Bad --layout/--faults specs and inconsistent IOR geometry (file
+        # size not a whole number of requests/processes) all exit cleanly.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # Faults imply a retry policy: without one a crashed server would turn
+    # every in-flight sub-request into a hard failure instead of a failover.
+    retry = RetryPolicy(seed=args.seed) if faults is not None else None
     trace_out = getattr(args, "trace_out", None)
-    result = run_workload(
-        testbed, workload, layout, layout_name=label, trace=True if trace_out else None
-    )
+    try:
+        result = run_workload(
+            testbed,
+            workload,
+            layout,
+            layout_name=label,
+            trace=True if trace_out else None,
+            faults=faults,
+            retry=retry,
+        )
+    except FaultSpecError as exc:
+        # Unknown server names surface when the schedule binds to the PFS.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     config = workload.config
     print(
         f"IOR {config.op.value}, {config.n_processes} procs, "
@@ -192,6 +222,8 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
         f"{format_size(config.file_size)} file, layout {label}:"
     )
     print(f"  {result.throughput_mib:.1f} MiB/s (makespan {result.makespan:.4f}s)")
+    if result.faults is not None:
+        print(f"  {_fault_stats_line(result.faults)}")
     if is_harl:
         plan = ", ".join(entry.config.describe() for entry in layout.entries)
         print(f"  plan: {plan}")
@@ -199,6 +231,85 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
         write_chrome_trace(trace_out, result.obs)
         print(f"\nChrome trace ({result.obs.n_spans} spans) written to {trace_out}")
         print(straggler_summary(result.obs))
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep stochastic fault rates; report slowdown for HARL vs baseline.
+
+    Every layout at a given rate sees the *same* seeded fault schedule, so
+    throughput differences are layout-induced, not fault-schedule luck.
+    """
+    from repro.experiments.parallel import RunJob, run_jobs
+
+    testbed = _testbed(args)
+    try:
+        workload = _ior_workload(args)
+        rates = [float(token) for token in args.rates.split(",") if token.strip()]
+        if not rates:
+            raise FaultSpecError("--rates must list at least one fault rate")
+        if any(rate < 0 for rate in rates):
+            raise FaultSpecError("--rates entries must be >= 0")
+        layouts = {"HARL": harl_plan(testbed, workload)}
+        stripe = parse_size(args.baseline_stripe)
+        layouts[format_size(stripe)] = FixedLayout(args.hservers, args.sservers, stripe)
+    except (FaultSpecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    retry = RetryPolicy(seed=args.seed)
+    n_servers = args.hservers + args.sservers
+    # Fault-free reference runs set the horizon for random schedules and
+    # the denominator of the slowdown column.
+    reference = {
+        name: run_workload(testbed, workload, layout, layout_name=name)
+        for name, layout in layouts.items()
+    }
+    horizon = max(result.makespan for result in reference.values())
+    jobs_list, keys = [], []
+    for index, rate in enumerate(rates):
+        schedule = FaultSchedule.random(
+            seed=args.seed * 1000 + index,
+            horizon=horizon,
+            n_servers=n_servers,
+            crash_rate=rate * 0.5,
+            hang_rate=rate,
+            degrade_rate=rate,
+            blip_rate=rate * 0.5,
+        )
+        for name, layout in layouts.items():
+            keys.append((rate, name))
+            jobs_list.append(
+                RunJob(
+                    testbed=testbed,
+                    workload=workload,
+                    layout=layout,
+                    layout_name=name,
+                    faults=schedule if schedule else None,
+                    retry=retry,
+                )
+            )
+    results = run_jobs(jobs_list, jobs=args.jobs)
+    width = max(len(name) for name in layouts) + 2
+    print(
+        f"chaos sweep: {len(rates)} rates x {len(layouts)} layouts, seed {args.seed} "
+        f"(rate = expected hangs+degrades per run; crashes/blips at half rate)"
+    )
+    print(
+        f"{'rate':>6} {'layout':<{width}} {'MiB/s':>10} {'slowdown':>9}  "
+        f"{'injected':>8} {'retries':>7} {'failovers':>9} {'rerouted':>8}"
+    )
+    for (rate, name), result in zip(keys, results):
+        base = reference[name].throughput
+        slowdown = base / result.throughput if result.throughput > 0 else float("inf")
+        stats = result.faults
+        injected = stats.total_injected if stats is not None else 0
+        retries = stats.retries if stats is not None else 0
+        failovers = stats.failovers if stats is not None else 0
+        rerouted = stats.rerouted_subrequests if stats is not None else 0
+        print(
+            f"{rate:>6.2f} {name:<{width}} {result.throughput_mib:>10.1f} "
+            f"{slowdown:>8.2f}x  {injected:>8} {retries:>7} {failovers:>9} {rerouted:>8}"
+        )
     return 0
 
 
@@ -366,7 +477,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record a DES event trace and write Chrome trace_event JSON here",
     )
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject faults, e.g. 'crash:sserver0@0.01;hang:hserver1@0.02+0.05;"
+        "degrade:0@0.01x3+0.1;blip@0.02x2+0.1' (enables client retry/failover)",
+    )
     p.set_defaults(fn=cmd_run_ior)
+
+    p = sub.add_parser(
+        "chaos", help="sweep stochastic fault rates: HARL vs fixed baseline"
+    )
+    _add_testbed_args(p)
+    _add_ior_args(p, layout=False)  # chaos always compares HARL vs baseline
+    _add_jobs_arg(p)
+    p.add_argument(
+        "--rates",
+        default="0,1,2,4",
+        help="comma-separated expected fault counts per run (default 0,1,2,4)",
+    )
+    p.add_argument(
+        "--baseline-stripe",
+        default="64K",
+        metavar="SIZE",
+        help="fixed-layout stripe to compare HARL against (default 64K)",
+    )
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "trace", help="simulate IOR with full DES tracing; export Chrome trace + metrics"

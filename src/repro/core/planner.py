@@ -109,20 +109,54 @@ class HARLPlanner:
         self.space_budgets = space_budgets
         self.last_report: PlanReport | None = None
 
-    def plan(self, trace: Sequence[TraceRecord]) -> RegionStripeTable:
-        """Analysis phase: trace records → merged RST."""
+    def plan(
+        self,
+        trace: Sequence[TraceRecord],
+        availability: Sequence[bool] | None = None,
+    ) -> RegionStripeTable:
+        """Analysis phase: trace records → merged RST.
+
+        ``availability`` is an optional per-server alive mask (HServers
+        first, then SServers, matching the cost-model server order) for
+        degraded-mode re-planning after permanent failures: Algorithm 2
+        then optimizes over the *surviving* counts only. The resulting RST
+        addresses config server ids ``0..alive-1``; pair it with
+        ``PFSFile.relayout(layout, server_map=health.surviving_server_ids())``
+        to map those onto the physical survivors.
+        """
         if not trace:
             raise ValueError("cannot plan a layout from an empty trace")
         offsets, sizes, is_read = trace_arrays(sort_trace(trace))
-        return self.plan_from_arrays(offsets, sizes, is_read)
+        return self.plan_from_arrays(offsets, sizes, is_read, availability=availability)
+
+    def _effective_params(self, availability: Sequence[bool] | None) -> CostModelParameters:
+        """Cost-model params reduced to the surviving servers, if any died."""
+        if availability is None:
+            return self.params
+        mask = [bool(b) for b in availability]
+        expected = self.params.n_hservers + self.params.n_sservers
+        if len(mask) != expected:
+            raise ValueError(
+                f"availability mask has {len(mask)} entries, expected {expected} "
+                f"({self.params.n_hservers}H + {self.params.n_sservers}S)"
+            )
+        alive_h = sum(mask[: self.params.n_hservers])
+        alive_s = sum(mask[self.params.n_hservers :])
+        if alive_h + alive_s == 0:
+            raise ValueError("availability mask leaves no surviving servers to plan over")
+        if alive_h == self.params.n_hservers and alive_s == self.params.n_sservers:
+            return self.params
+        return self.params.with_servers(alive_h, alive_s)
 
     def plan_from_arrays(
         self,
         offsets: np.ndarray,
         sizes: np.ndarray,
         is_read: np.ndarray,
+        availability: Sequence[bool] | None = None,
     ) -> RegionStripeTable:
         """Analysis phase on pre-columnized, offset-sorted requests."""
+        params = self._effective_params(availability)
         offsets = np.asarray(offsets, dtype=np.int64)
         sizes = np.asarray(sizes, dtype=np.int64)
         is_read = np.asarray(is_read, dtype=bool)
@@ -153,12 +187,12 @@ class HARLPlanner:
             region_extent = (region.end if region.end is not None else file_extent) - region.offset
             if remaining_budgets is not None:
                 constraint = SpaceConstraint(
-                    class_counts=(self.params.n_hservers, self.params.n_sservers),
+                    class_counts=(params.n_hservers, params.n_sservers),
                     per_server_budgets=tuple(remaining_budgets),
                     region_extent=max(0, region_extent),
                 )
             choice = determine_stripes(
-                self.params,
+                params,
                 offsets[lo:hi],
                 sizes[lo:hi],
                 is_read[lo:hi],
@@ -182,8 +216,8 @@ class HARLPlanner:
                     offset=region.offset,
                     end=region.end,
                     config=StripingConfig(
-                        n_hservers=self.params.n_hservers,
-                        n_sservers=self.params.n_sservers,
+                        n_hservers=params.n_hservers,
+                        n_sservers=params.n_sservers,
                         hstripe=choice.hstripe,
                         sstripe=choice.sstripe,
                     ),
@@ -199,6 +233,10 @@ class HARLPlanner:
         self.last_report = report
         return rst
 
-    def plan_layout(self, trace: Sequence[TraceRecord]) -> RegionLevelLayout:
+    def plan_layout(
+        self,
+        trace: Sequence[TraceRecord],
+        availability: Sequence[bool] | None = None,
+    ) -> RegionLevelLayout:
         """Placing phase entry point: trace → region-level layout policy."""
-        return RegionLevelLayout(self.plan(trace))
+        return RegionLevelLayout(self.plan(trace, availability=availability))

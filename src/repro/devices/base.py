@@ -42,6 +42,11 @@ class StorageDevice(ABC):
         self.bytes_read = 0
         self.bytes_written = 0
         self.requests_served = 0
+        #: Service-time multiplier for injected degradation faults
+        #: (:mod:`repro.faults`). Exactly 1.0 when healthy — multiplying by
+        #: 1.0 is an IEEE-754 identity, so fault-free runs are bit-identical
+        #: to a build without this hook.
+        self.slowdown = 1.0
 
     @abstractmethod
     def startup_time(self, op: OpType, offset: int, size: int) -> float:
@@ -66,8 +71,9 @@ class StorageDevice(ABC):
             raise ValueError(f"offset must be >= 0, got {offset}")
         if size == 0:
             return 0.0, 0.0
-        startup = self.startup_time(op, offset, size)
-        transfer = self.transfer_time(op, size)
+        slowdown = self.slowdown
+        startup = self.startup_time(op, offset, size) * slowdown
+        transfer = self.transfer_time(op, size) * slowdown
         if op is OpType.READ:
             self.bytes_read += size
         else:

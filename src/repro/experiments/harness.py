@@ -162,6 +162,9 @@ class RunResult:
     #: Observability payload (spans + metrics) when the run was traced;
     #: None otherwise. Picklable, so it rides back from pool workers.
     obs: ObsSnapshot | None = None
+    #: Injected-fault + recovery summary when the run had a fault schedule
+    #: (:class:`repro.faults.injector.FaultStats`); None on fault-free runs.
+    faults: Any = None
 
     @property
     def throughput(self) -> float:
@@ -182,6 +185,8 @@ def run_workload(
     collector: TraceCollector | None = None,
     file_name: str = "shared.dat",
     trace: bool | None = None,
+    faults: Any = None,
+    retry: Any = None,
 ) -> RunResult:
     """Execute one workload under one layout on a fresh simulated cluster.
 
@@ -192,6 +197,13 @@ def run_workload(
     :func:`repro.obs.merge_snapshots` afterwards. Tracing never changes
     simulated times: the traced path samples the same device streams in
     the same order.
+
+    ``faults`` (a :class:`repro.faults.FaultSchedule`) injects the given
+    fault events into the run; ``retry`` (a
+    :class:`repro.faults.RetryPolicy`) makes the client stack time out,
+    back off, and fail over instead of blocking on dead servers. Both are
+    seed-deterministic, and with both left ``None`` this function is
+    byte-for-byte the fault-free harness.
     """
     sim = Simulator()
     tracer = None
@@ -199,6 +211,13 @@ def run_workload(
         tracer = EventTracer()
         sim.tracer = tracer
     pfs = testbed.build(sim)
+    injector = None
+    if faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(sim, pfs, faults).install()
+    if retry is not None:
+        pfs.retry = retry
     world = SimMPI(sim, workload_processes(workload), network=pfs.network)
     if collector is not None:
         collector.sim = sim  # Trace timestamps follow this run's clock.
@@ -217,6 +236,7 @@ def run_workload(
         total_bytes=workload_bytes(workload),
         server_busy=pfs.server_busy_times(),
         obs=obs,
+        faults=injector.stats() if injector is not None else None,
     )
 
 

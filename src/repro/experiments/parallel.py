@@ -122,6 +122,10 @@ class RunJob:
     layout_name: str | None = None
     file_name: str = "shared.dat"
     trace: bool | None = None
+    #: Optional FaultSchedule / RetryPolicy (both picklable and
+    #: seed-deterministic, so parallel fault runs replay identically).
+    faults: Any = None
+    retry: Any = None
 
 
 @dataclass(frozen=True)
@@ -145,6 +149,8 @@ def execute_run_job(job: RunJob) -> Any:
         layout_name=job.layout_name,
         file_name=job.file_name,
         trace=job.trace,
+        faults=job.faults,
+        retry=job.retry,
     )
 
 

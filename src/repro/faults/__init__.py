@@ -1,0 +1,45 @@
+"""Declarative fault injection and failure handling for the simulation stack.
+
+Three layers (see DESIGN.md §9):
+
+- :mod:`repro.faults.schedule` — what goes wrong and when: typed fault
+  specs, the ``--faults`` string grammar, seeded stochastic schedules;
+- :mod:`repro.faults.injector` — applying a schedule to a live simulator +
+  filesystem through DES processes, and summarizing the damage
+  (:class:`FaultStats`);
+- :mod:`repro.faults.retry` — how clients survive it: timeouts, capped
+  exponential backoff with deterministic jitter, failover via the health
+  layer (:mod:`repro.pfs.health`).
+
+Everything is seed-deterministic and wall-clock-free: the same (seed,
+schedule, workload) triple produces bit-identical runs, serial or parallel.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats, inject
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    FaultSchedule,
+    FaultSpecError,
+    NetworkBlip,
+    ServerCrash,
+    ServerDegrade,
+    ServerHang,
+    parse_faults,
+)
+from repro.pfs.health import ServerHealth, ServerUnavailable
+
+__all__ = [
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpecError",
+    "FaultStats",
+    "NetworkBlip",
+    "RetryPolicy",
+    "ServerCrash",
+    "ServerDegrade",
+    "ServerHang",
+    "ServerHealth",
+    "ServerUnavailable",
+    "inject",
+    "parse_faults",
+]

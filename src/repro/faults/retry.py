@@ -1,0 +1,77 @@
+"""Client-side retry policy: timeout, capped backoff, deterministic jitter.
+
+A :class:`RetryPolicy` attaches to a whole filesystem
+(``pfs.retry = policy``), one file (``handle.retry = policy``), or a
+:class:`~repro.pfs.client.PFSClient`. With a policy in place every PFS
+sub-request races against a timeout; a timed-out or failed sub-request
+backs off and retries — against the failover target when the health layer
+has rerouted the dead server — until it succeeds or ``max_attempts`` is
+exhausted, at which point the request fails with the typed
+:class:`~repro.pfs.health.ServerUnavailable` instead of deadlocking.
+
+Backoff delays are fully deterministic: attempt ``k`` sleeps
+``min(cap, base * 2**(k-1))`` scaled by a jitter factor drawn from
+:func:`repro.util.rng.derive_rng` keyed on the policy seed, the
+sub-request's identity, and the attempt number. No wall-clock, no shared
+RNG state — replays are bit-identical, serial or under ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Immutable, picklable retry configuration.
+
+    Args:
+        timeout: seconds to wait for one sub-request attempt before
+            interrupting it; ``None`` disables the timeout race (failures
+            still retry — useful when only crashes, not hangs, matter).
+        max_attempts: total attempts per sub-request (>= 1).
+        backoff_base: delay before the second attempt, seconds.
+        backoff_cap: upper bound on any single backoff delay, seconds.
+        jitter: fraction of the delay drawn uniformly at random and added
+            on top (0 disables jitter; 0.25 means up to +25%).
+        seed: root of the jitter stream; same seed ⇒ same delays.
+    """
+
+    timeout: float | None = 1.0
+    max_attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, key: tuple = ()) -> float:
+        """Backoff before attempt ``attempt + 1`` (``attempt`` >= 1 failed).
+
+        ``key`` identifies the sub-request (file name, op, offset, size);
+        distinct sub-requests get independent jitter streams so a burst of
+        failures does not retry in lock-step, yet every stream replays
+        identically for a fixed seed.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 1)))
+        if base <= 0.0:
+            return 0.0
+        if self.jitter == 0.0:
+            return base
+        rng = derive_rng(self.seed, "retry", *[str(k) for k in key], attempt)
+        return base * (1.0 + self.jitter * float(rng.random()))

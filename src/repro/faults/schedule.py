@@ -1,0 +1,283 @@
+"""Declarative fault schedules: typed specs, a parser, stochastic generation.
+
+A :class:`FaultSchedule` is an immutable, picklable list of fault events in
+simulated time. Schedules come from three places:
+
+- **scripted**: construct the spec dataclasses directly in code/tests;
+- **CLI strings**: :func:`parse_faults` understands the compact grammar
+  used by ``run-ior --faults`` and ``chaos`` (see the README table)::
+
+      crash:<server>@<t>                 permanent server crash at t
+      hang:<server>@<t>+<dur>            server unresponsive for dur seconds
+      degrade:<server>@<t>x<factor>+<dur> device slowdown factor over window
+      blip@<t>x<factor>+<dur>            network-wide slowdown over window
+
+  events separated by ``;``; ``<server>`` is a server name (``sserver0``)
+  or integer index; malformed specs raise :class:`FaultSpecError`;
+- **stochastic**: :meth:`FaultSchedule.random` draws event counts, times,
+  targets, factors, and durations from :func:`repro.util.rng.derive_rng`
+  streams — the same seed always yields the same schedule, so chaos sweeps
+  replay bit-identically, serial or parallel.
+
+The schedule itself never touches the simulation; the
+:class:`~repro.faults.injector.FaultInjector` turns it into DES events.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.util.rng import derive_rng
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string (or schedule) is malformed.
+
+    Subclasses ValueError so generic validation handling still catches it;
+    the CLI maps it to exit code 2 with the message, never a traceback.
+    """
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """Permanent server failure at ``time``."""
+
+    time: float
+    server: int | str
+
+    kind = "crash"
+
+
+@dataclass(frozen=True)
+class ServerHang:
+    """Server unresponsive during ``[time, time + duration)``.
+
+    Queued and newly arriving sub-requests stall behind the hang; with a
+    :class:`~repro.faults.retry.RetryPolicy` in place, clients time out and
+    retry (the server is *not* marked dead — retries against it succeed
+    once the hang clears).
+    """
+
+    time: float
+    server: int | str
+    duration: float
+
+    kind = "hang"
+
+
+@dataclass(frozen=True)
+class ServerDegrade:
+    """Device service times multiplied by ``factor`` during the window."""
+
+    time: float
+    server: int | str
+    factor: float
+    duration: float
+
+    kind = "degrade"
+
+
+@dataclass(frozen=True)
+class NetworkBlip:
+    """All network transfer times multiplied by ``factor`` during the window."""
+
+    time: float
+    factor: float
+    duration: float
+
+    kind = "blip"
+
+
+FaultEvent = ServerCrash | ServerHang | ServerDegrade | NetworkBlip
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable collection of fault events (any order; injector sorts)."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def validate(self, n_servers: int | None = None) -> "FaultSchedule":
+        """Sanity-check every event; returns self for chaining.
+
+        With ``n_servers`` given, integer server targets are range-checked
+        (names resolve later, against the actual filesystem).
+        """
+        for event in self.events:
+            if event.time < 0:
+                raise FaultSpecError(f"fault time must be >= 0, got {event.time} in {event}")
+            duration = getattr(event, "duration", None)
+            if duration is not None and duration <= 0:
+                raise FaultSpecError(f"fault duration must be > 0, got {duration} in {event}")
+            factor = getattr(event, "factor", None)
+            if factor is not None and factor < 1.0:
+                raise FaultSpecError(
+                    f"slowdown factor must be >= 1.0, got {factor} in {event}"
+                )
+            server = getattr(event, "server", None)
+            if isinstance(server, int) and n_servers is not None:
+                if not (0 <= server < n_servers):
+                    raise FaultSpecError(
+                        f"server index {server} out of range 0..{n_servers - 1} in {event}"
+                    )
+        return self
+
+    def sorted_events(self) -> tuple[FaultEvent, ...]:
+        """Events by time (stable for ties), the injection order."""
+        return tuple(sorted(self.events, key=lambda e: e.time))
+
+    def crashes(self) -> tuple[ServerCrash, ...]:
+        return tuple(e for e in self.events if isinstance(e, ServerCrash))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        horizon: float,
+        n_servers: int,
+        crash_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        degrade_rate: float = 0.0,
+        blip_rate: float = 0.0,
+        hang_duration: tuple[float, float] = (0.05, 0.5),
+        degrade_factor: tuple[float, float] = (1.5, 4.0),
+        degrade_duration: tuple[float, float] = (0.1, 1.0),
+        blip_factor: tuple[float, float] = (1.5, 3.0),
+        blip_duration: tuple[float, float] = (0.05, 0.3),
+        max_crashes: int | None = None,
+    ) -> "FaultSchedule":
+        """Draw a stochastic schedule; same arguments ⇒ same schedule.
+
+        Each ``*_rate`` is the *expected number of events* of that kind over
+        ``horizon``; counts are Poisson draws, times uniform in
+        ``[0, horizon)``, targets uniform over servers, factors/durations
+        uniform over the given ranges. ``max_crashes`` caps permanent
+        failures (defaults to ``n_servers - 1`` so at least one server
+        survives).
+        """
+        if horizon <= 0:
+            raise FaultSpecError(f"horizon must be > 0, got {horizon}")
+        if n_servers < 1:
+            raise FaultSpecError(f"n_servers must be >= 1, got {n_servers}")
+        if max_crashes is None:
+            max_crashes = max(0, n_servers - 1)
+        events: list[FaultEvent] = []
+        for kind, rate in (
+            ("crash", crash_rate),
+            ("hang", hang_rate),
+            ("degrade", degrade_rate),
+            ("blip", blip_rate),
+        ):
+            if rate < 0:
+                raise FaultSpecError(f"{kind}_rate must be >= 0, got {rate}")
+            if rate == 0:
+                continue
+            rng = derive_rng(seed, "faults", kind)
+            count = int(rng.poisson(rate))
+            if kind == "crash":
+                count = min(count, max_crashes)
+            for _ in range(count):
+                time = float(rng.uniform(0.0, horizon))
+                if kind == "crash":
+                    events.append(ServerCrash(time, int(rng.integers(0, n_servers))))
+                elif kind == "hang":
+                    events.append(
+                        ServerHang(
+                            time,
+                            int(rng.integers(0, n_servers)),
+                            float(rng.uniform(*hang_duration)),
+                        )
+                    )
+                elif kind == "degrade":
+                    events.append(
+                        ServerDegrade(
+                            time,
+                            int(rng.integers(0, n_servers)),
+                            float(rng.uniform(*degrade_factor)),
+                            float(rng.uniform(*degrade_duration)),
+                        )
+                    )
+                else:
+                    events.append(
+                        NetworkBlip(
+                            time,
+                            float(rng.uniform(*blip_factor)),
+                            float(rng.uniform(*blip_duration)),
+                        )
+                    )
+        return cls(tuple(events)).validate(n_servers=n_servers)
+
+
+# -- spec-string parsing ----------------------------------------------------
+
+_TIME = r"(?P<time>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+_DUR = r"(?P<duration>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+_FACTOR = r"(?P<factor>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+_SERVER = r"(?P<server>[A-Za-z_][A-Za-z0-9_\-]*|[0-9]+)"
+
+_PATTERNS = {
+    "crash": re.compile(rf"^crash:{_SERVER}@{_TIME}$"),
+    "hang": re.compile(rf"^hang:{_SERVER}@{_TIME}\+{_DUR}$"),
+    "degrade": re.compile(rf"^degrade:{_SERVER}@{_TIME}x{_FACTOR}\+{_DUR}$"),
+    "blip": re.compile(rf"^blip@{_TIME}x{_FACTOR}\+{_DUR}$"),
+}
+
+_USAGE = (
+    "expected one of: crash:<server>@<t>  hang:<server>@<t>+<dur>  "
+    "degrade:<server>@<t>x<factor>+<dur>  blip@<t>x<factor>+<dur>  "
+    "(';'-separated; <server> is a name like sserver0 or an index)"
+)
+
+
+def _parse_server(token: str) -> int | str:
+    return int(token) if token.isdigit() else token
+
+
+def parse_faults(spec: str) -> FaultSchedule:
+    """Parse a ``--faults`` spec string into a validated FaultSchedule.
+
+    Raises :class:`FaultSpecError` naming the offending clause on any
+    syntax or range problem.
+    """
+    events: list[FaultEvent] = []
+    for raw in spec.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        kind = clause.split(":", 1)[0].split("@", 1)[0].strip().lower()
+        pattern = _PATTERNS.get(kind)
+        match = pattern.match(clause) if pattern is not None else None
+        if match is None:
+            raise FaultSpecError(f"malformed fault clause {clause!r}: {_USAGE}")
+        groups = match.groupdict()
+        time = float(groups["time"])
+        if kind == "crash":
+            events.append(ServerCrash(time, _parse_server(groups["server"])))
+        elif kind == "hang":
+            events.append(
+                ServerHang(time, _parse_server(groups["server"]), float(groups["duration"]))
+            )
+        elif kind == "degrade":
+            events.append(
+                ServerDegrade(
+                    time,
+                    _parse_server(groups["server"]),
+                    float(groups["factor"]),
+                    float(groups["duration"]),
+                )
+            )
+        else:
+            events.append(NetworkBlip(time, float(groups["factor"]), float(groups["duration"])))
+    if not events:
+        raise FaultSpecError(f"fault spec {spec!r} contains no events: {_USAGE}")
+    return FaultSchedule(tuple(events)).validate()

@@ -30,6 +30,11 @@ class NetworkModel:
         check_non_negative("latency", latency)
         self.unit_time = float(unit_time)
         self.latency = float(latency)
+        #: Transfer-time multiplier for injected network blips
+        #: (:mod:`repro.faults`). Exactly 1.0 when healthy — multiplying by
+        #: 1.0 is an IEEE-754 identity, so fault-free runs are bit-identical
+        #: to a build without this hook.
+        self.congestion = 1.0
 
     @property
     def bandwidth(self) -> float:
@@ -42,7 +47,7 @@ class NetworkModel:
             raise ValueError(f"size must be >= 0, got {size}")
         if size == 0:
             return 0.0
-        return self.latency + size * self.unit_time
+        return (self.latency + size * self.unit_time) * self.congestion
 
 
 class ContendedNetworkModel(NetworkModel):

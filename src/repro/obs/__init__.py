@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     exponential_bounds,
 )
 from repro.obs.tracer import (
+    PHASE_FAULT,
     PHASE_NETWORK,
     PHASE_STARTUP,
     PHASE_TRANSFER,
@@ -58,6 +59,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "exponential_bounds",
+    "PHASE_FAULT",
     "PHASE_NETWORK",
     "PHASE_STARTUP",
     "PHASE_TRANSFER",

@@ -35,10 +35,12 @@ def busy_time_by_server(source: ObsSnapshot | Iterable[Span]) -> dict[str, float
     The device behind each server is a capacity-1 resource, so its spans
     never overlap and their plain sum equals the utilization monitor's
     busy time exactly (the acceptance identity: Σ busy == makespan × util).
+    Injected-fault windows (``phase == "fault"``) are annotations, not
+    device work, and are excluded along with network spans.
     """
     busy: dict[str, float] = {}
     for span in _span_list(source):
-        if span.phase != "network":
+        if span.phase in ("startup", "transfer"):
             busy[span.server] = busy.get(span.server, 0.0) + span.duration
     return busy
 

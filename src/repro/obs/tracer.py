@@ -36,7 +36,10 @@ TRACE_ENV = "REPRO_TRACE"
 PHASE_NETWORK = "network"
 PHASE_STARTUP = "startup"
 PHASE_TRANSFER = "transfer"
-PHASES = (PHASE_NETWORK, PHASE_STARTUP, PHASE_TRANSFER)
+#: Injected-fault windows (crash/hang/degrade/blip); not device work — they
+#: render as their own track rows and never count toward server busy time.
+PHASE_FAULT = "fault"
+PHASES = (PHASE_NETWORK, PHASE_STARTUP, PHASE_TRANSFER, PHASE_FAULT)
 
 
 def tracing_enabled() -> bool:
@@ -110,6 +113,16 @@ class EventTracer:
     def on_subrequest(self, server, op, started: float, elapsed: float, size: int) -> None:
         """A server finished one sub-request end to end (FileServer.serve)."""
         self.registry.histogram(f"server.{server.name}.subreq_latency_s").observe(elapsed)
+
+    def on_fault(self, kind: str, target: str, start: float, duration: float) -> None:
+        """A fault window was injected (FaultInjector).
+
+        ``duration`` may be 0 for instantaneous events (a permanent crash);
+        the span still renders as a marker on the target's track. Counted
+        per kind under ``faults.injected.<kind>``.
+        """
+        self.spans.append(Span(start, duration, target, kind, 0, 0, PHASE_FAULT))
+        self.registry.counter(f"faults.injected.{kind}").inc()
 
 
 def record_plan_report(registry: MetricsRegistry, report: "PlanReport") -> None:

@@ -22,11 +22,13 @@ This package closes the loop at runtime:
 """
 
 from repro.online.controller import OnlineHARLController, run_workload_online
-from repro.online.migration import RegionMigrator
+from repro.online.migration import MigrationAborted, MigrationStats, RegionMigrator
 from repro.online.monitor import DriftReport, WorkloadMonitor
 
 __all__ = [
     "DriftReport",
+    "MigrationAborted",
+    "MigrationStats",
     "OnlineHARLController",
     "RegionMigrator",
     "WorkloadMonitor",

@@ -16,8 +16,25 @@ from collections.abc import Generator
 from dataclasses import dataclass, field
 
 from repro.pfs.filesystem import ParallelFileSystem, PFSFile
+from repro.pfs.health import ServerUnavailable
 from repro.pfs.layout import LayoutPolicy
 from repro.util.units import MiB
+
+
+class MigrationAborted(RuntimeError):
+    """A migration pass stopped because a target/source server failed.
+
+    The original file is untouched and stays readable under its old layout
+    — chunks copy read-then-write, so an aborted pass never destroyed old
+    bytes; the partially written shadow generation is simply abandoned.
+    ``stats`` holds the progress up to the abort and ``cause`` the
+    underlying :class:`~repro.pfs.health.ServerUnavailable`.
+    """
+
+    def __init__(self, message: str, stats: "MigrationStats", cause: ServerUnavailable):
+        super().__init__(message)
+        self.stats = stats
+        self.cause = cause
 
 
 @dataclass
@@ -63,6 +80,10 @@ class RegionMigrator:
         """
         shadow = PFSFile(self.pfs, self.file_name, layout)
         shadow.layout_generation = generation
+        # Shadows fail fast: a dead source/target server must abort the
+        # pass (MigrationAborted) rather than fail over — rerouted shadow
+        # writes would silently invalidate the just-planned placement.
+        shadow.failfast = True
         return shadow
 
     def migrate(
@@ -80,6 +101,12 @@ class RegionMigrator:
         pre-created ``stats`` to observe progress live (``finished_at``
         tracks the last completed chunk, so an interrupted pass still
         reports its partial volume).
+
+        If a server backing either generation fails mid-pass (the chunk
+        read or write raises :class:`ServerUnavailable`), the pass aborts
+        with :class:`MigrationAborted` carrying the partial stats; the
+        old-generation data is left intact, so the caller can keep the old
+        layout or re-plan a degraded one and retry.
         """
         sim = self.pfs.sim
         if stats is None:
@@ -97,8 +124,17 @@ class RegionMigrator:
             while cursor < end:
                 step = min(self.chunk_size, end - cursor)
                 chunk_started = sim.now
-                yield from source.serve_inline("read", cursor, step)
-                yield from target.serve_inline("write", cursor, step)
+                try:
+                    yield from source.serve_inline("read", cursor, step)
+                    yield from target.serve_inline("write", cursor, step)
+                except ServerUnavailable as exc:
+                    stats.finished_at = sim.now
+                    raise MigrationAborted(
+                        f"migration of {self.file_name!r} aborted at offset {cursor} "
+                        f"after {stats.bytes_moved} bytes: {exc}",
+                        stats,
+                        exc,
+                    ) from exc
                 stats.bytes_moved += step
                 stats.chunks += 1
                 stats.finished_at = sim.now

@@ -45,14 +45,25 @@ class ClientStats:
 
 
 class PFSClient:
-    """Replays request streams against one file."""
+    """Replays request streams against one file.
 
-    def __init__(self, sim: Simulator, name: str = "client"):
+    ``retry`` (a :class:`repro.faults.retry.RetryPolicy`) makes every file
+    this client touches resilient: sub-requests time out, back off, and
+    fail over per the policy instead of blocking forever on a dead server.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "client", retry=None):
         self.sim = sim
         self.name = name
+        self.retry = retry
+
+    def _apply_retry(self, handle: PFSFile) -> None:
+        if self.retry is not None and handle.retry is None:
+            handle.retry = self.retry
 
     def replay(self, handle: PFSFile, requests: Iterable[ClientRequest]) -> Process:
         """Issue requests one at a time; process value is :class:`ClientStats`."""
+        self._apply_retry(handle)
         return self.sim.process(self._replay_proc(handle, list(requests)), name=self.name)
 
     def _replay_proc(self, handle: PFSFile, requests: list[ClientRequest]) -> Generator:
@@ -65,6 +76,7 @@ class PFSClient:
 
     def replay_concurrent(self, handle: PFSFile, requests: Iterable[ClientRequest]) -> Process:
         """Issue all requests at once; value is the makespan in seconds."""
+        self._apply_retry(handle)
         request_list = list(requests)
 
         def run() -> Generator:

@@ -26,6 +26,7 @@ from repro.devices.base import OpType
 from repro.devices.hdd import HDDModel
 from repro.devices.ssd import SSDModel
 from repro.network.link import NetworkModel
+from repro.pfs.health import ServerHealth, ServerUnavailable
 from repro.pfs.layout import LayoutPolicy
 from repro.pfs.metadata import MetadataServer
 from repro.pfs.server import FileServer
@@ -44,22 +45,52 @@ class PFSFile:
         self.layout_generation = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Optional per-file retry policy; falls back to the filesystem's.
+        self.retry = None
+        #: Degraded-mode indirection: when set, striping-config server id
+        #: ``k`` addresses physical server ``server_map[k]``. Used by
+        #: :meth:`relayout` after permanent failures, where the layout is
+        #: planned over the *surviving* server counts only.
+        self.server_map: tuple[int, ...] | None = None
+        #: Fail fast instead of failing over: requests hit their planned
+        #: server or raise :class:`ServerUnavailable` — no rerouting, no
+        #: retries. Migration shadow handles set this so a dead target
+        #: aborts the pass rather than silently placing bytes elsewhere.
+        self.failfast = False
 
-    def relayout(self, layout: LayoutPolicy) -> int:
+    def relayout(self, layout: LayoutPolicy, server_map: tuple[int, ...] | None = None) -> int:
         """Swap in a new layout (online re-layout; see :mod:`repro.online`).
 
         Subsequent requests stripe under the new layout; the generation
         counter namespaces the physical extents so old and new region files
         do not alias. Returns the new generation number. Moving existing
         data between the layouts is the migrator's job.
+
+        ``server_map`` enables *degraded* layouts planned over fewer servers
+        than the filesystem physically has (after permanent failures): the
+        layout's config server id ``k`` is served by physical server
+        ``server_map[k]``. :meth:`ServerHealth.surviving_server_ids` produces
+        exactly this mapping for a layout planned over the surviving counts.
         """
         config = layout.config_at(0)
-        if tuple(config.class_counts) != tuple(self.pfs.class_counts):
-            raise ValueError(
-                f"layout built for server classes {tuple(config.class_counts)} but "
-                f"filesystem has {tuple(self.pfs.class_counts)}"
-            )
+        if server_map is None:
+            if tuple(config.class_counts) != tuple(self.pfs.class_counts):
+                raise ValueError(
+                    f"layout built for server classes {tuple(config.class_counts)} but "
+                    f"filesystem has {tuple(self.pfs.class_counts)}"
+                )
+        else:
+            server_map = tuple(int(s) for s in server_map)
+            if len(server_map) != sum(config.class_counts):
+                raise ValueError(
+                    f"server_map has {len(server_map)} entries but layout uses "
+                    f"{sum(config.class_counts)} servers"
+                )
+            for physical in server_map:
+                if not (0 <= physical < self.pfs.n_servers):
+                    raise ValueError(f"server_map entry {physical} out of range")
         self.layout = layout
+        self.server_map = server_map
         self.layout_generation += 1
         return self.layout_generation
 
@@ -149,16 +180,35 @@ class PFSFile:
                 (segment, segment.config.decompose(segment.offset - segment.region_base, segment.size))
                 for segment in self.layout.segments(offset, size)
             ]
+        # Resilience hooks. All three stay inert (None) in fault-free runs,
+        # so the fast path below is byte-identical to a build without them.
+        health = self.pfs.health
+        retry = self.retry if self.retry is not None else self.pfs.retry
+        server_map = self.server_map
+        routed = health.route_map is not None
+        if self.failfast:
+            # Dead targets raise from FileServer.serve at dispatch instead
+            # of being routed around (migration shadows must not fail over).
+            retry = None
+            routed = False
         for segment, subs in presplit:
             for sub in subs:
-                server = self.pfs.servers[sub.server_id]
-                base = self.pfs._extent_base(extent_ns, segment.region_id, sub.server_id)
-                sub_procs.append(
-                    sim.process(
-                        server.serve(op, base + sub.offset, sub.size),
-                        name=f"{server.name}<-{self.name}",
+                server_id = sub.server_id if server_map is None else server_map[sub.server_id]
+                if routed:
+                    try:
+                        server_id = health.route(server_id)
+                    except ServerUnavailable:
+                        health.exhausted += 1
+                        raise
+                server = self.pfs.servers[server_id]
+                base = self.pfs._extent_base(extent_ns, segment.region_id, server_id)
+                if retry is None:
+                    generator = server.serve(op, base + sub.offset, sub.size)
+                else:
+                    generator = self._serve_resilient(
+                        op, server_id, base + sub.offset, sub.size, retry
                     )
-                )
+                sub_procs.append(sim.process(generator, name=f"{server.name}<-{self.name}"))
         if sub_procs:
             yield sim.all_of(sub_procs)
         if op is OpType.READ:
@@ -166,6 +216,61 @@ class PFSFile:
         else:
             self.bytes_written += size
         return sim.now - started
+
+    def _serve_resilient(
+        self, op: OpType, server_id: int, offset: int, size: int, retry
+    ) -> Generator:
+        """One sub-request under a RetryPolicy: timeout, backoff, failover.
+
+        Each attempt re-consults the health route map (the target may have
+        died between attempts) and races the serve against a timeout. A
+        timed-out serve is interrupted with :class:`ServerUnavailable` so
+        the server-side stages release their queue slots. Backoff delays
+        are deterministic: jitter derives from the policy seed and the
+        sub-request's identity, never from wall-clock or global RNG state.
+        """
+        sim = self.pfs.sim
+        health = self.pfs.health
+        attempt = 1
+        while True:
+            try:
+                target = health.route(server_id)
+            except ServerUnavailable:
+                health.exhausted += 1
+                raise
+            server = self.pfs.servers[target]
+            serve = sim.process(
+                server.serve(op, offset, size), name=f"{server.name}<-{self.name}"
+            )
+            failure: ServerUnavailable | None = None
+            try:
+                if retry.timeout is not None:
+                    index, _ = yield sim.any_of([serve, sim.timeout(retry.timeout)])
+                    if index == 1 and not (serve.triggered and serve._exception is None):
+                        health.timeouts += 1
+                        failure = ServerUnavailable(
+                            f"{server.name}: no response within {retry.timeout:g}s",
+                            server=server.name,
+                        )
+                        serve.interrupt(failure)
+                else:
+                    yield serve
+            except ServerUnavailable as exc:
+                failure = exc
+            if failure is None:
+                return
+            if attempt >= retry.max_attempts:
+                health.exhausted += 1
+                raise ServerUnavailable(
+                    f"{self.name}:{op.value}@{offset}: giving up on {failure.server or server.name}"
+                    f" after {attempt} attempt(s)",
+                    server=failure.server or server.name,
+                ) from failure
+            health.retries += 1
+            delay = retry.delay(attempt, key=(self.name, op.value, offset, size))
+            if delay > 0:
+                yield sim.timeout(delay)
+            attempt += 1
 
 
 class ParallelFileSystem:
@@ -198,6 +303,10 @@ class ParallelFileSystem:
         self._files: dict[str, PFSFile] = {}
         self._extent_bases: dict[tuple[str, int, int], int] = {}
         self._alloc_cursor: dict[int, int] = {}
+        #: Alive/dead bookkeeping + failover routing (see repro.pfs.health).
+        self.health = ServerHealth(self.class_counts)
+        #: Filesystem-wide default RetryPolicy; None = no timeouts/retries.
+        self.retry = None
 
     @property
     def class_counts(self) -> tuple[int, ...]:
@@ -227,6 +336,21 @@ class ParallelFileSystem:
             return self._files[name]
         except KeyError:
             raise FileNotFoundError(f"no such file: {name!r}") from None
+
+    def fail_server(self, server_id: int) -> bool:
+        """Permanently crash server ``server_id`` at the current sim time.
+
+        Marks it dead in :attr:`health` (rebuilding the failover route map),
+        rejects new sub-requests at the server, and interrupts in-flight
+        ones so their clients see :class:`ServerUnavailable` and can retry
+        against survivors. Returns False if the server was already dead.
+        Driven by :class:`repro.faults.injector.FaultInjector` or directly
+        by tests.
+        """
+        if not self.health.mark_failed(server_id, self.sim.now):
+            return False
+        self.servers[server_id].mark_failed()
+        return True
 
     def _extent_base(self, file_name: str, region_id: int, server_id: int) -> int:
         """Physical base of a (file, region) extent on one server."""
@@ -267,6 +391,11 @@ class ParallelFileSystem:
         for handle in self._files.values():
             registry.counter("pfs.bytes_read").inc(handle.bytes_read)
             registry.counter("pfs.bytes_written").inc(handle.bytes_written)
+        # Resilience counters appear only once something actually went
+        # wrong, keeping fault-free metric exports byte-identical.
+        if self.health.touched:
+            for key, value in self.health.counters().items():
+                registry.counter(f"faults.{key}").inc(value)
 
     def reset_statistics(self) -> None:
         """Zero all per-server traffic statistics."""

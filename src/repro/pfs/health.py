@@ -1,0 +1,193 @@
+"""Server health tracking and degraded-mode request routing.
+
+A production hybrid PFS keeps serving when a data server dies: sub-requests
+bound for the dead server fail over to a surviving server — ideally of the
+same performance class, falling back to the other class — and the client
+stack counts every retry and reroute so the degradation is visible instead
+of silent. :class:`ServerHealth` is that bookkeeping for one
+:class:`~repro.pfs.filesystem.ParallelFileSystem`:
+
+- **alive flags** per server, flipped by ``ParallelFileSystem.fail_server``
+  (driven by :class:`repro.faults.injector.FaultInjector` or tests);
+- a **route map** rebuilt on every failure: dead server id → surviving
+  server id, same-class survivors assigned round-robin first, then any
+  surviving server of another class. ``route_map is None`` while every
+  server is healthy, so the data path's only steady-state cost is one
+  attribute comparison;
+- **resilience counters** (retries, timeouts, reroutes, exhausted
+  requests) exported into the observability registry and into
+  :class:`repro.faults.injector.FaultStats`.
+
+The module sits below :mod:`repro.faults` so the PFS layers can raise the
+typed :class:`ServerUnavailable` without importing the injection machinery.
+"""
+
+from __future__ import annotations
+
+
+class ServerUnavailable(RuntimeError):
+    """A sub-request could not be served.
+
+    Raised when a request targets a crashed server, when a sub-request
+    times out under a :class:`repro.faults.retry.RetryPolicy`, and — as the
+    terminal error — when every retry attempt is exhausted. ``server``
+    names the last server involved, when known.
+    """
+
+    def __init__(self, message: str, server: str | None = None):
+        super().__init__(message)
+        self.server = server
+
+
+class ServerHealth:
+    """Alive/dead state, failover routing, and resilience counters.
+
+    Args:
+        class_counts: servers per performance class in server order
+            (e.g. ``(M, N)`` for a :class:`~repro.pfs.filesystem.HybridPFS`),
+            matching the owning filesystem's ``class_counts``.
+    """
+
+    def __init__(self, class_counts: tuple[int, ...]):
+        self.class_counts = tuple(int(c) for c in class_counts)
+        n = sum(self.class_counts)
+        if n <= 0:
+            raise ValueError("ServerHealth needs at least one server")
+        self.alive: list[bool] = [True] * n
+        self.failed_at: dict[int, float] = {}
+        #: ``None`` while all servers are healthy (identity routing with a
+        #: single pointer comparison on the data path); otherwise a tuple
+        #: mapping every server id to a surviving id, or ``None`` entries
+        #: when no server survives anywhere.
+        self.route_map: tuple[int | None, ...] | None = None
+        # Class boundaries: server i belongs to class c iff
+        # _class_start[c] <= i < _class_start[c + 1].
+        starts = [0]
+        for count in self.class_counts:
+            starts.append(starts[-1] + count)
+        self._class_start = tuple(starts)
+        # Resilience counters (see collect_metrics / FaultStats).
+        self.retries = 0
+        self.timeouts = 0
+        self.failovers = 0
+        self.rerouted_subrequests = 0
+        self.exhausted = 0
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.alive)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed_at)
+
+    @property
+    def touched(self) -> bool:
+        """True once any failure or resilience event happened (obs gating)."""
+        return bool(
+            self.failed_at
+            or self.retries
+            or self.timeouts
+            or self.rerouted_subrequests
+            or self.exhausted
+        )
+
+    def class_of(self, server_id: int) -> int:
+        """Performance-class index of ``server_id``."""
+        if not (0 <= server_id < self.n_servers):
+            raise IndexError(f"server_id {server_id} out of range 0..{self.n_servers - 1}")
+        for cls in range(len(self.class_counts)):
+            if server_id < self._class_start[cls + 1]:
+                return cls
+        raise AssertionError("unreachable")
+
+    def is_alive(self, server_id: int) -> bool:
+        return self.alive[server_id]
+
+    def availability_mask(self) -> tuple[bool, ...]:
+        """Per-server alive flags, for the planner's degraded re-planning."""
+        return tuple(self.alive)
+
+    def surviving_server_ids(self) -> tuple[int, ...]:
+        """Alive server ids in server order (class by class).
+
+        This is exactly the ``server_map`` a degraded layout planned over
+        the surviving counts needs: config server id ``k`` → physical id
+        ``surviving_server_ids()[k]``.
+        """
+        return tuple(i for i, up in enumerate(self.alive) if up)
+
+    def mark_failed(self, server_id: int, now: float) -> bool:
+        """Record a permanent failure; returns False if already failed.
+
+        Rebuilds the route map so subsequent :meth:`route` calls send the
+        dead server's sub-requests to survivors.
+        """
+        if not (0 <= server_id < self.n_servers):
+            raise IndexError(f"server_id {server_id} out of range 0..{self.n_servers - 1}")
+        if not self.alive[server_id]:
+            return False
+        self.alive[server_id] = False
+        self.failed_at[server_id] = now
+        self.route_map = self._build_route_map()
+        self.failovers += 1
+        return True
+
+    def _build_route_map(self) -> tuple[int | None, ...]:
+        survivors_by_class = [
+            [
+                i
+                for i in range(self._class_start[c], self._class_start[c + 1])
+                if self.alive[i]
+            ]
+            for c in range(len(self.class_counts))
+        ]
+        all_survivors = [i for i, up in enumerate(self.alive) if up]
+        # Round-robin cursors make the assignment deterministic and spread
+        # a dead server's load instead of piling it on one survivor.
+        same_class_cursor = [0] * len(self.class_counts)
+        cross_cursor = 0
+        route: list[int | None] = []
+        for server_id in range(self.n_servers):
+            if self.alive[server_id]:
+                route.append(server_id)
+                continue
+            cls = self.class_of(server_id)
+            pool = survivors_by_class[cls]
+            if pool:
+                route.append(pool[same_class_cursor[cls] % len(pool)])
+                same_class_cursor[cls] += 1
+            elif all_survivors:
+                route.append(all_survivors[cross_cursor % len(all_survivors)])
+                cross_cursor += 1
+            else:
+                route.append(None)
+        return tuple(route)
+
+    def route(self, server_id: int) -> int:
+        """Physical server to use for a sub-request addressed to ``server_id``.
+
+        Identity while everything is healthy. After failures, dead ids map
+        to survivors (counted in ``rerouted_subrequests``); raises
+        :class:`ServerUnavailable` when no server survives at all.
+        """
+        route_map = self.route_map
+        if route_map is None:
+            return server_id
+        target = route_map[server_id]
+        if target is None:
+            raise ServerUnavailable("no surviving servers to fail over to")
+        if target != server_id:
+            self.rerouted_subrequests += 1
+        return target
+
+    def counters(self) -> dict[str, int]:
+        """Picklable counter snapshot (feeds FaultStats and obs metrics)."""
+        return {
+            "servers_failed": self.n_failed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failovers": self.failovers,
+            "rerouted_subrequests": self.rerouted_subrequests,
+            "exhausted": self.exhausted,
+        }

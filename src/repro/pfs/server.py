@@ -11,6 +11,14 @@ Both the NIC and the disk are capacity-1 FIFO resources, so concurrent
 clients queue — this is what produces the load imbalance of Figure 1(a):
 with identical stripes, HServers accumulate deep disk queues while SServers
 drain instantly.
+
+Failure semantics (see :mod:`repro.faults`): a server can be *crashed*
+permanently via :meth:`FileServer.mark_failed`. New sub-requests then raise
+:class:`~repro.pfs.health.ServerUnavailable` immediately; sub-requests in
+flight at crash time are interrupted and fail with the same typed error.
+The service generators are interrupt-safe: a cancellation delivered while
+queued withdraws the pending resource request, and one delivered while
+holding a slot releases it — no grant is ever leaked.
 """
 
 from __future__ import annotations
@@ -19,7 +27,8 @@ from collections.abc import Generator
 
 from repro.devices.base import OpType, StorageDevice
 from repro.network.link import NetworkModel
-from repro.simulate.engine import Simulator
+from repro.pfs.health import ServerUnavailable
+from repro.simulate.engine import Interrupt, Process, Simulator
 from repro.simulate.resources import Resource, ScanResource
 
 
@@ -60,32 +69,94 @@ class FileServer:
         self.nic = Resource(sim, capacity=nic_parallelism, name=f"{name}.nic")
         self.bytes_served = 0
         self.subrequests_served = 0
+        # Fault-injection state. ``_active`` stays None until fault tracking
+        # is enabled, so the fault-free serve path pays one attribute check.
+        self._failed = False
+        self._active: set[Process] | None = None
+
+    # -- failure handling --------------------------------------------------
+
+    @property
+    def is_failed(self) -> bool:
+        """True once the server was crashed permanently."""
+        return self._failed
+
+    def enable_fault_tracking(self) -> None:
+        """Start tracking in-flight serve processes (for crash interruption).
+
+        Called by the fault injector before the simulation starts; without
+        it, :meth:`mark_failed` still rejects *new* sub-requests but cannot
+        cancel those already in flight.
+        """
+        if self._active is None:
+            self._active = set()
+
+    def mark_failed(self) -> None:
+        """Crash the server: reject new serves, interrupt in-flight ones.
+
+        In-flight serve processes receive an :class:`Interrupt` whose cause
+        is a :class:`ServerUnavailable`; the serve generator converts it so
+        waiting clients observe the typed error, not a bare Interrupt.
+        """
+        if self._failed:
+            return
+        self._failed = True
+        if self._active:
+            for proc in list(self._active):
+                proc.interrupt(ServerUnavailable(f"{self.name}: server crashed", server=self.name))
+
+    # -- service -----------------------------------------------------------
 
     def serve(self, op: OpType | str, offset: int, size: int) -> Generator:
         """Process generator serving one contiguous sub-request.
 
         Yields through the NIC and disk stages in op-appropriate order;
         completes when the payload has fully moved. Spawn it with
-        ``sim.process(server.serve(...))``.
+        ``sim.process(server.serve(...))``. Raises
+        :class:`ServerUnavailable` if the server is (or becomes) crashed.
         """
         op = OpType.parse(op)
         if size <= 0:
             return
+        if self._failed:
+            raise ServerUnavailable(f"{self.name}: server is down", server=self.name)
+        active = self._active
+        proc = None
+        if active is not None:
+            proc = self.sim.active_process
+            if proc is not None:
+                active.add(proc)
         tracer = self.sim.tracer
         started = self.sim.now
-        if op is OpType.WRITE:
-            yield from self._nic_stage(op, offset, size)
-            yield from self._disk_stage(op, offset, size)
-        else:
-            yield from self._disk_stage(op, offset, size)
-            yield from self._nic_stage(op, offset, size)
+        try:
+            if op is OpType.WRITE:
+                yield from self._nic_stage(op, offset, size)
+                yield from self._disk_stage(op, offset, size)
+            else:
+                yield from self._disk_stage(op, offset, size)
+                yield from self._nic_stage(op, offset, size)
+        except Interrupt as exc:
+            if isinstance(exc.cause, ServerUnavailable):
+                raise exc.cause from None
+            raise
+        finally:
+            if proc is not None:
+                active.discard(proc)
         self.bytes_served += size
         self.subrequests_served += 1
         if tracer is not None:
             tracer.on_subrequest(self, op, started, self.sim.now - started, size)
 
     def _disk_stage(self, op: OpType, offset: int, size: int) -> Generator:
-        grant = yield self.disk.request(key=offset)
+        request = self.disk.request(key=offset)
+        try:
+            yield request
+        except BaseException:
+            # Interrupted while queued: withdraw the pending request; if it
+            # was granted in the same instant, give the slot back instead.
+            if not self.disk.cancel(request) and request.triggered:
+                self.disk.release(request)
+            raise
         try:
             tracer = self.sim.tracer
             if tracer is None:
@@ -101,10 +172,16 @@ class FileServer:
                 )
                 yield self.sim.timeout(startup + transfer)
         finally:
-            self.disk.release(grant)
+            self.disk.release(request)
 
     def _nic_stage(self, op: OpType, offset: int, size: int) -> Generator:
-        grant = yield self.nic.request()
+        request = self.nic.request()
+        try:
+            yield request
+        except BaseException:
+            if not self.nic.cancel(request) and request.triggered:
+                self.nic.release(request)
+            raise
         try:
             delay = self.network.transfer_time(size)
             tracer = self.sim.tracer
@@ -112,7 +189,7 @@ class FileServer:
                 tracer.record(self.sim.now, delay, self.name, op.value, offset, size, "network")
             yield self.sim.timeout(delay)
         finally:
-            self.nic.release(grant)
+            self.nic.release(request)
 
     # -- statistics -------------------------------------------------------
 

@@ -332,9 +332,17 @@ class Simulator:
     def step(self) -> None:
         """Process a single event from the heap.
 
-        A *failed* process that nobody joined would otherwise vanish
-        silently; such failures re-raise here so simulations never mask
-        bugs in fire-and-forget processes (controllers, background tasks).
+        Failure-propagation contract (shared with :meth:`run`): an event
+        that was *failed* — a process whose generator raised, or any plain
+        event failed via :meth:`Event.fail` — re-raises its exception here
+        if it reaches dispatch with **no callbacks registered**. A failure
+        nobody joined would otherwise vanish silently, masking bugs in
+        fire-and-forget processes (controllers, background tasks) and in
+        ``fail()``-signalled conditions alike. :class:`Interrupt` failures
+        are exempt: an interrupted-then-abandoned process is deliberate
+        cancellation, not an error. Joined failures (at least one callback,
+        e.g. a waiting process or an ``AllOf``/``AnyOf`` composite) are
+        delivered to the waiters instead and never re-raise here.
         """
         time, _, event = _heappop(self._heap)
         self._now = time
@@ -343,8 +351,7 @@ class Simulator:
         had_waiters = bool(event.callbacks)
         event._run_callbacks()
         if (
-            isinstance(event, Process)
-            and event._exception is not None
+            event._exception is not None
             and not had_waiters
             and not isinstance(event._exception, Interrupt)
         ):
@@ -353,12 +360,18 @@ class Simulator:
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap empties, ``until`` time passes, or event fires.
 
-        Returns the event's value when ``until`` is an event. Exceptions from
-        processes nobody joined on propagate out of ``run`` — simulations
-        never swallow failures silently.
+        Returns the event's value when ``until`` is an event. Exceptions
+        from *unjoined* failures propagate out of ``run`` under the same
+        contract as :meth:`step`, in **every** ``until`` mode: a failed
+        event — a process whose generator raised *or* a plain event failed
+        via :meth:`Event.fail` — re-raises at its dispatch time if no
+        callbacks were registered on it, except :class:`Interrupt` failures
+        (deliberate cancellation). Simulations never swallow failures
+        silently; waiting on an event (directly, or through ``all_of`` /
+        ``any_of``) takes ownership of its failure instead.
 
         The loop bodies inline :meth:`step` (callback dispatch plus the
-        unjoined-failed-process check) with everything bound to locals: this
+        unjoined-failure check) with everything bound to locals: this
         is the innermost loop of every experiment, executed once per
         simulated event, and the method-call + attribute-lookup overhead of
         delegating to ``step()`` costs ~25% of total simulation time.
@@ -391,7 +404,6 @@ class Simulator:
                             callback(event)
                     elif (
                         event._exception is not None
-                        and isinstance(event, Process)
                         and not isinstance(event._exception, Interrupt)
                     ):
                         raise event._exception
@@ -408,7 +420,6 @@ class Simulator:
                         callback(event)
                 elif (
                     event._exception is not None
-                    and isinstance(event, Process)
                     and not isinstance(event._exception, Interrupt)
                 ):
                     raise event._exception

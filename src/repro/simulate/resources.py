@@ -60,7 +60,16 @@ class Resource:
             resource.release(grant)
     """
 
-    __slots__ = ("sim", "capacity", "name", "_in_use", "_queue", "monitor", "granted_count")
+    __slots__ = (
+        "sim",
+        "capacity",
+        "name",
+        "_in_use",
+        "_queue",
+        "monitor",
+        "granted_count",
+        "_held",
+    )
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str | None = None):
         if capacity < 1:
@@ -72,6 +81,8 @@ class Resource:
         self._queue: deque[tuple[object, Event]] = deque()
         self.monitor = UtilizationMonitor(sim)
         self.granted_count = 0
+        #: Stall depth (see :meth:`hold`); 0 means grants flow normally.
+        self._held = 0
 
     @property
     def in_use(self) -> int:
@@ -91,7 +102,7 @@ class Resource:
         a disk offset).
         """
         grant = Event(self.sim)
-        if self._in_use < self.capacity and not self._queue:
+        if not self._held and self._in_use < self.capacity and not self._queue:
             self._grant(grant)
         else:
             self._queue.append((key, grant))
@@ -136,8 +147,27 @@ class Resource:
             raise SimulationError(f"{self.name}: release without a held slot")
         self._in_use -= 1
         self.monitor.release()
-        if self._queue and self._in_use < self.capacity:
+        if self._queue and not self._held and self._in_use < self.capacity:
             self._grant(self._pop_next())
+
+    def hold(self) -> None:
+        """Stall the resource: no new grants until a matching :meth:`resume`.
+
+        In-service holders finish normally (and release), but queued and
+        newly arriving requests wait — a transient hang, not a crash. Holds
+        nest; the monitor records the stall as idle time, since nothing is
+        actually being serviced.
+        """
+        self._held += 1
+
+    def resume(self) -> None:
+        """Undo one :meth:`hold`; drains the queue when the last hold lifts."""
+        if self._held <= 0:
+            raise SimulationError(f"{self.name}: resume without a matching hold")
+        self._held -= 1
+        if self._held == 0:
+            while self._queue and self._in_use < self.capacity:
+                self._grant(self._pop_next())
 
     def utilization(self, elapsed: float | None = None) -> float:
         """Fraction of ``elapsed`` (default: sim.now) the resource was busy."""

@@ -3,18 +3,35 @@
 These are not paper experiments; they harden the substrate. A production
 simulator must behave sanely when a server is a straggler, when a device
 degrades mid-run, or when a workload stalls — and the statistics must make
-the anomaly visible.
+the anomaly visible. The ``Test*Fault`` classes exercise one injected
+fault kind each through the :mod:`repro.faults` package.
 """
+
+import pickle
 
 import pytest
 
 from repro.devices.base import OpType
 from repro.devices.hdd import HDDModel
+from repro.experiments.harness import Testbed, run_workload
+from repro.experiments.parallel import RunJob, run_jobs
+from repro.faults import (
+    FaultSchedule,
+    NetworkBlip,
+    RetryPolicy,
+    ServerCrash,
+    ServerDegrade,
+    ServerHang,
+    ServerUnavailable,
+    inject,
+    parse_faults,
+)
 from repro.network.link import NetworkModel
 from repro.pfs.filesystem import HybridPFS
 from repro.pfs.layout import FixedLayout
 from repro.simulate.engine import Interrupt, SimulationError, Simulator
 from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
 
 
 def run_ior_like(pfs, sim, n_requests=32, request_size=512 * KiB):
@@ -129,3 +146,271 @@ class TestExtremeDeviceParameters:
         elapsed = sim.run(handle.write(0, 16 * MiB))
         assert elapsed > 0
         assert sum(s.bytes_served for s in pfs.servers) == 16 * MiB
+
+
+# ---------------------------------------------------------------------------
+# Per-fault-type injection through the repro.faults package
+# ---------------------------------------------------------------------------
+
+
+def _fault_free_makespan(n_requests=16, request_size=256 * KiB):
+    sim = Simulator()
+    pfs = HybridPFS.build(sim, 2, 2, seed=0)
+    run_ior_like(pfs, sim, n_requests=n_requests, request_size=request_size)
+    return sim.now
+
+
+class TestServerCrashFault:
+    def test_unprotected_inflight_requests_fail(self):
+        """Without a retry policy, a crash surfaces as ServerUnavailable."""
+        crash_at = 0.3 * _fault_free_makespan()
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        inject(sim, pfs, FaultSchedule((ServerCrash(crash_at, "hserver0"),)))
+        with pytest.raises(ServerUnavailable):
+            run_ior_like(pfs, sim, n_requests=16, request_size=256 * KiB)
+
+    def test_retry_rides_through_crash(self):
+        crash_at = 0.3 * _fault_free_makespan()
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        pfs.retry = RetryPolicy(timeout=None, max_attempts=4, seed=0)
+        injector = inject(sim, pfs, FaultSchedule((ServerCrash(crash_at, "hserver0"),)))
+        handle = run_ior_like(pfs, sim, n_requests=16, request_size=256 * KiB)
+        # Every byte landed despite the mid-run crash...
+        assert handle.bytes_written == 16 * 256 * KiB
+        assert sum(s.bytes_served for s in pfs.servers) == handle.bytes_written
+        # ...with the recovery machinery visibly engaged.
+        stats = injector.stats()
+        assert stats.crashes == 1 and stats.servers_failed == 1
+        assert stats.retries >= 1
+        assert stats.failovers >= 1
+        assert stats.exhausted == 0
+
+    def test_crash_after_completion_is_harmless(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        sim.run(handle.write(0, MiB))
+        end = sim.now
+        inject(sim, pfs, FaultSchedule((ServerCrash(end + 1.0, 0),)))
+        sim.run()
+        assert pfs.servers[0].is_failed
+        assert pfs.health.retries == 0
+
+
+class TestServerHangFault:
+    def test_hang_stalls_then_recovers(self):
+        """A transient hang delays the run but loses nothing — and the
+        server is *not* marked failed, so no traffic is rerouted."""
+        baseline = _fault_free_makespan()
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        injector = inject(
+            sim, pfs, FaultSchedule((ServerHang(0.2 * baseline, "hserver0", 2 * baseline),))
+        )
+        handle = run_ior_like(pfs, sim, n_requests=16, request_size=256 * KiB)
+        assert sim.now > baseline  # The stall is visible in the makespan.
+        assert handle.bytes_written == 16 * 256 * KiB
+        assert not pfs.servers[0].is_failed
+        stats = injector.stats()
+        assert stats.hangs == 1 and stats.servers_failed == 0 and stats.failovers == 0
+
+    def test_short_retry_timeout_detects_hang(self):
+        """A retry timeout shorter than the hang records timeouts and the
+        retried attempts still land on the same (recovered) server."""
+        baseline = _fault_free_makespan()
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        pfs.retry = RetryPolicy(
+            timeout=0.2 * baseline, max_attempts=10, backoff_base=0.1 * baseline, seed=0
+        )
+        inject(
+            sim, pfs, FaultSchedule((ServerHang(0.2 * baseline, "hserver0", baseline),))
+        )
+        handle = run_ior_like(pfs, sim, n_requests=16, request_size=256 * KiB)
+        assert handle.bytes_written == 16 * 256 * KiB
+        assert pfs.health.timeouts >= 1
+        assert pfs.health.exhausted == 0
+
+
+class TestDegradeFault:
+    def test_degrade_window_slows_the_run(self):
+        baseline = _fault_free_makespan()
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        injector = inject(
+            sim,
+            pfs,
+            FaultSchedule((ServerDegrade(0.0, "hserver0", 8.0, 10 * baseline),)),
+        )
+        handle = run_ior_like(pfs, sim, n_requests=16, request_size=256 * KiB)
+        assert sim.now > baseline
+        assert handle.bytes_written == 16 * 256 * KiB
+        assert injector.stats().degrades == 1
+        # The window outlived the run; let it expire and check exact restore.
+        sim.run()
+        assert pfs.servers[0].device.slowdown == 1.0
+
+    def test_degrade_is_spec_parseable(self):
+        schedule = parse_faults("degrade:hserver0@0x8+1")
+        assert schedule.events == (ServerDegrade(0.0, "hserver0", 8.0, 1.0),)
+
+
+class TestNetworkBlipFault:
+    def test_blip_slows_and_restores(self):
+        baseline = _fault_free_makespan()
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        injector = inject(
+            sim, pfs, FaultSchedule((NetworkBlip(0.0, 50.0, 0.5 * baseline),))
+        )
+        handle = run_ior_like(pfs, sim, n_requests=16, request_size=256 * KiB)
+        assert sim.now > baseline
+        assert handle.bytes_written == 16 * 256 * KiB
+        assert injector.stats().blips == 1
+        sim.run()
+        assert pfs.network.congestion == 1.0
+
+
+class TestInterruptThroughComposites:
+    """Satellite: Interrupt delivery when the victim waits on a composite."""
+
+    def test_interrupt_while_waiting_on_all_of(self):
+        sim = Simulator()
+        observed = []
+
+        def waiter():
+            try:
+                yield sim.all_of([sim.timeout(10.0), sim.timeout(20.0)])
+            except Interrupt as interrupt:
+                observed.append((sim.now, interrupt.cause))
+
+        proc = sim.process(waiter())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt("abort-all")
+
+        sim.process(interrupter())
+        sim.run(proc)
+        assert observed == [(1.0, "abort-all")]
+
+    def test_interrupt_while_waiting_on_any_of(self):
+        sim = Simulator()
+        observed = []
+
+        def waiter():
+            try:
+                yield sim.any_of([sim.timeout(10.0), sim.timeout(20.0)])
+            except Interrupt as interrupt:
+                observed.append((sim.now, interrupt.cause))
+
+        proc = sim.process(waiter())
+
+        def interrupter():
+            yield sim.timeout(2.0)
+            proc.interrupt("abort-any")
+
+        sim.process(interrupter())
+        sim.run(proc)
+        assert observed == [(2.0, "abort-any")]
+
+    def test_composite_children_unaffected_by_waiter_interrupt(self):
+        """Interrupting the waiter must not cancel the composite's children."""
+        sim = Simulator()
+        fired = []
+        child = sim.timeout(5.0)
+        child.add_callback(lambda e: fired.append(sim.now))
+
+        def waiter():
+            try:
+                yield sim.all_of([child])
+            except Interrupt:
+                pass
+
+        proc = sim.process(waiter())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert fired == [5.0]
+
+    def test_interrupt_process_blocked_inside_nested_composite_wait(self):
+        """A server-crash-style interrupt reaches a process whose current
+        wait is an all_of over sub-processes (the _request_proc shape)."""
+        sim = Simulator()
+
+        def sub():
+            yield sim.timeout(50.0)
+
+        def request_like():
+            yield sim.all_of([sim.process(sub()), sim.process(sub())])
+
+        proc = sim.process(request_like())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt(ServerUnavailable("crashed", server="s0"))
+
+        sim.process(interrupter())
+        with pytest.raises(Interrupt) as excinfo:
+            sim.run(proc)
+        assert isinstance(excinfo.value.cause, ServerUnavailable)
+
+
+class TestRetryDeterminism:
+    """Satellite: same seed + same schedule ⇒ byte-identical RunResult."""
+
+    TESTBED = Testbed(n_hservers=2, n_sservers=2, seed=0)
+    WORKLOAD = IORWorkload(IORConfig(n_processes=4, request_size=64 * KiB, file_size=2 * MiB, seed=0))
+    LAYOUT = FixedLayout(2, 2, 64 * KiB)
+
+    def _schedule(self):
+        baseline = run_workload(self.TESTBED, self.WORKLOAD, self.LAYOUT).makespan
+        return FaultSchedule(
+            (
+                ServerDegrade(0.0, "hserver0", 2.0, 0.5 * baseline),
+                ServerCrash(0.3 * baseline, "sserver1"),
+                NetworkBlip(0.5 * baseline, 1.5, 0.2 * baseline),
+            )
+        )
+
+    def _retry(self):
+        return RetryPolicy(timeout=None, max_attempts=4, jitter=0.25, seed=7)
+
+    def test_faulted_runs_replay_byte_identically(self):
+        schedule = self._schedule()
+        results = [
+            run_workload(
+                self.TESTBED, self.WORKLOAD, self.LAYOUT, faults=schedule, retry=self._retry()
+            )
+            for _ in range(2)
+        ]
+        assert results[0].faults.total_injected == 3
+        assert results[0].faults.servers_failed == 1
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1])
+
+    def test_serial_and_parallel_runs_identical(self):
+        schedule = self._schedule()
+        jobs = [
+            RunJob(self.TESTBED, self.WORKLOAD, self.LAYOUT, faults=schedule, retry=self._retry())
+            for _ in range(2)
+        ]
+        serial = run_jobs(jobs, jobs=1)
+        parallel = run_jobs(jobs, jobs=2)
+        assert [pickle.dumps(r) for r in serial] == [pickle.dumps(r) for r in parallel]
+
+    def test_empty_schedule_matches_fault_free_run(self):
+        """Installing an injector with no events must not shift the clock."""
+        clean = run_workload(self.TESTBED, self.WORKLOAD, self.LAYOUT)
+        empty = run_workload(
+            self.TESTBED, self.WORKLOAD, self.LAYOUT, faults=FaultSchedule(())
+        )
+        assert empty.makespan == clean.makespan
+        assert empty.server_busy == clean.server_busy
+        assert empty.faults.total_injected == 0
+        assert clean.faults is None

@@ -139,6 +139,7 @@ class TestFailurePaths:
         sim = Simulator()
         good = sim.event().succeed(1)
         bad = sim.event().fail(RuntimeError("x"))
+        bad.add_callback(lambda e: None)  # Join it so run() doesn't raise.
         sim.run()
         assert good.ok and not bad.ok
         pending = sim.event()

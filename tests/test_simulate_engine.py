@@ -46,9 +46,21 @@ class TestEvent:
     def test_failed_event_value_raises(self):
         sim = Simulator()
         event = sim.event().fail(RuntimeError("boom"))
-        sim.run()
+        # Nobody joined the failed event, so run() surfaces the failure
+        # (same contract as an unhandled process exception)...
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        # ...and the value accessor re-raises it on demand.
         with pytest.raises(RuntimeError, match="boom"):
             _ = event.value
+
+    def test_failed_event_with_waiter_does_not_raise_from_run(self):
+        sim = Simulator()
+        event = sim.event().fail(RuntimeError("boom"))
+        seen = []
+        event.add_callback(lambda e: seen.append(e._exception))
+        sim.run()  # Joined failure: delivered to the callback, not raised.
+        assert len(seen) == 1 and str(seen[0]) == "boom"
 
     def test_callback_after_processed_fires_immediately(self):
         sim = Simulator()
@@ -237,9 +249,26 @@ class TestCombinators:
         bad = sim.event()
         join = sim.all_of([sim.timeout(1.0), bad])
         bad.fail(RuntimeError("child failed"))
-        sim.run()
+        # The child is joined (by the composite), but the composite itself
+        # has no waiter — its failure surfaces from run().
+        with pytest.raises(RuntimeError, match="child failed"):
+            sim.run()
         with pytest.raises(RuntimeError):
             _ = join.value
+
+    def test_all_of_failure_delivered_to_waiter(self):
+        sim = Simulator()
+        bad = sim.event()
+        join = sim.all_of([sim.timeout(1.0), bad])
+
+        def waiter():
+            with pytest.raises(RuntimeError, match="child failed"):
+                yield join
+            return "handled"
+
+        proc = sim.process(waiter())
+        bad.fail(RuntimeError("child failed"))
+        assert sim.run(proc) == "handled"
 
     def test_any_of_first_wins(self):
         sim = Simulator()
