@@ -1,0 +1,77 @@
+"""Gate perf benches against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BASELINE.json CURRENT.json [--threshold 1.25]
+
+Compares per-case mean wall-times of a freshly generated ``BENCH_perf.json``
+(the session hook in ``benchmarks/conftest.py`` rewrites it on every bench
+run) against the committed baseline. Exits non-zero if any case present in
+both files regressed by more than the threshold factor (default 1.25, i.e.
+25% slower). Cases new in the current run are reported but never fail —
+they have no baseline yet; commit the refreshed file to add one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_cases(path: Path) -> dict[str, dict]:
+    payload = json.loads(path.read_text())
+    return {case["name"]: case for case in payload.get("cases", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="committed BENCH_perf.json")
+    parser.add_argument("current", type=Path, help="freshly generated BENCH_perf.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="max allowed mean-time ratio current/baseline (default 1.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_cases(args.baseline)
+    current = load_cases(args.current)
+    if not current:
+        print("error: current file has no cases — did the benches run?", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, case in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW      {name}: {case['mean_s'] * 1e3:.2f} ms (no baseline)")
+            continue
+        ratio = case["mean_s"] / base["mean_s"] if base["mean_s"] > 0 else float("inf")
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(
+            f"{status:8s} {name}: {case['mean_s'] * 1e3:.2f} ms "
+            f"vs {base['mean_s'] * 1e3:.2f} ms baseline ({ratio:.2f}x)"
+        )
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"MISSING  {name}: in baseline but did not run")
+
+    if failures:
+        print(
+            f"\n{len(failures)} case(s) regressed beyond {args.threshold:.2f}x:",
+            file=sys.stderr,
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print("\nall cases within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,14 +33,15 @@ def pytest_sessionfinish(session, exitstatus):
         stats = getattr(bench, "stats", None)
         if stats is None:
             continue
-        cases.append(
-            {
-                "name": bench.name,
-                "mean_s": stats.mean,
-                "min_s": stats.min,
-                "rounds": stats.rounds,
-            }
-        )
+        case = {
+            "name": bench.name,
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "rounds": stats.rounds,
+        }
+        if bench.extra_info:
+            case["extra_info"] = bench.extra_info
+        cases.append(case)
     if cases:
         BENCH_JSON.write_text(json.dumps({"cases": cases}, indent=2) + "\n")
 

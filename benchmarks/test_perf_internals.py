@@ -260,3 +260,102 @@ def test_perf_cached_planner(benchmark):
     assert warm == cold
     info = stripe_cache_info()
     assert info["hits"] >= 1 and info["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Batched replay: the columnar fast path vs per-request DES processes
+# ---------------------------------------------------------------------------
+
+
+def _ior_replay_batch(n_requests: int):
+    """A random-offset IOR workload as one columnar batch (64 KiB requests)."""
+    from repro.workloads.ior import IORConfig, IORWorkload
+
+    workload = IORWorkload(
+        IORConfig(
+            n_processes=16,
+            request_size=64 * KiB,
+            file_size=n_requests * 64 * KiB,
+            random_offsets=True,
+        )
+    )
+    return workload.request_batch()
+
+
+def _replay_batch(batch, force_general: bool = False):
+    """One replay on a fresh paper-shaped cluster; returns the simulator."""
+    sim = Simulator()
+    pfs = HybridPFS.build(sim, 6, 2, seed=0)
+    handle = pfs.create_file("f", FixedLayout(6, 2, 64 * KiB))
+    done = handle.request_batch(batch, force_general=force_general)
+    sim.run(done)
+    if force_general:
+        assert pfs.batch_stats["general_batches"] == 1
+    else:
+        assert pfs.batch_stats["fast_batches"] == 1, pfs.batch_fallbacks
+    return sim
+
+
+def test_perf_batched_replay_100k(benchmark):
+    """100k-request batched replay on the arithmetic fast path."""
+    batch = _ior_replay_batch(100_000)
+
+    def run():
+        return _replay_batch(batch).now
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert result > 0
+    baseline = _baseline_mean("test_perf_batched_replay_100k")
+    if baseline is not None:
+        assert benchmark.stats.stats.mean <= baseline * 2.0
+
+
+def test_perf_batched_replay_1m_speedup(benchmark):
+    """The headline bench: 1M-request IOR replay, fast vs general path.
+
+    Times the fast path under pytest-benchmark (one round — a 1M-request
+    replay is tens of seconds), then runs the per-request general path once
+    with a plain timer. The fast path must be at least 3x faster AND
+    byte-identical: same makespan from both paths.
+    """
+    import time
+
+    batch = _ior_replay_batch(1_000_000)
+
+    def run():
+        return _replay_batch(batch).now
+
+    fast_makespan = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    start = time.perf_counter()
+    general_makespan = _replay_batch(batch, force_general=True).now
+    general_wall = time.perf_counter() - start
+    benchmark.extra_info["general_wall_s"] = general_wall
+    benchmark.extra_info["speedup"] = general_wall / benchmark.stats.stats.min
+    assert general_makespan == fast_makespan  # bit-identical simulated time
+    assert general_wall >= 3.0 * benchmark.stats.stats.min, (
+        f"fast path only {general_wall / benchmark.stats.stats.min:.2f}x faster"
+    )
+
+
+def test_perf_schedule_many(benchmark):
+    """Bulk event insertion vs one million timeout events.
+
+    ``schedule_many`` stages (delay, event) pairs and heapifies once past a
+    small threshold; this bench tracks the bulk-insert rate the batched
+    executor's completion delivery relies on.
+    """
+    from repro.simulate.engine import Event
+
+    def run():
+        sim = Simulator()
+        sim.schedule_many(
+            (Event(sim), None, float(i % 997) * 1e-4) for i in range(100_000)
+        )
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+    baseline = _baseline_mean("test_perf_schedule_many")
+    if baseline is not None:
+        assert benchmark.stats.stats.mean <= baseline * 2.0

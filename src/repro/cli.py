@@ -29,7 +29,7 @@ from pathlib import Path
 
 from repro.core.planner import HARLPlanner
 from repro.experiments import figures
-from repro.experiments.harness import Testbed, harl_plan, run_workload
+from repro.experiments.harness import Testbed, harl_plan, run_workload, run_workload_batched
 from repro.faults import FaultSchedule, FaultSpecError, RetryPolicy, parse_faults
 from repro.obs import (
     record_plan_report,
@@ -399,11 +399,67 @@ def cmd_replay(args: argparse.Namespace) -> int:
             return 2
         layout = FixedLayout(args.hservers, args.sservers, stripe)
         label = format_size(stripe)
-    result = run_workload(testbed, workload, layout, layout_name=label)
+    if args.batched:
+        result = run_workload_batched(testbed, workload, layout, layout_name=label)
+    else:
+        result = run_workload(testbed, workload, layout, layout_name=label)
     print(
         f"replayed {len(trace)} requests on {workload.n_processes} ranks, layout {label}:"
     )
     print(f"  {result.throughput_mib:.1f} MiB/s (makespan {result.makespan:.4f}s)")
+    return 0
+
+
+def cmd_replay_bench(args: argparse.Namespace) -> int:
+    import time
+
+    request_size = parse_size(args.request_size)
+    # IOR needs a whole number of requests per rank; round up so any
+    # --requests value works.
+    per_rank = -(-args.requests // args.processes)
+    n_requests = per_rank * args.processes
+    if n_requests != args.requests:
+        print(f"note: rounding --requests up to {n_requests} ({per_rank} per rank)")
+    config = IORConfig(
+        n_processes=args.processes,
+        request_size=request_size,
+        file_size=n_requests * request_size,
+        op=args.op,
+        random_offsets=not args.sequential,
+    )
+    workload = IORWorkload(config)
+    batch = workload.request_batch()
+    testbed = _testbed(args)
+    try:
+        stripe = parse_size(args.layout)
+    except ValueError:
+        print(
+            f"error: invalid --layout {args.layout!r}: expected a stripe size like '64K'",
+            file=sys.stderr,
+        )
+        return 2
+    layout = FixedLayout(args.hservers, args.sservers, stripe)
+    start = time.perf_counter()
+    fast = run_workload_batched(testbed, batch, layout, layout_name=format_size(stripe))
+    fast_wall = time.perf_counter() - start
+    print(
+        f"batched replay of {len(batch)} requests ({format_size(batch.total_bytes)}): "
+        f"{fast_wall:.3f}s wall, makespan {fast.makespan:.4f}s, "
+        f"{fast.throughput_mib:.1f} MiB/s"
+    )
+    if args.general:
+        start = time.perf_counter()
+        general = run_workload_batched(
+            testbed, batch, layout, layout_name=format_size(stripe), force_general=True
+        )
+        general_wall = time.perf_counter() - start
+        match = "identical" if general.makespan == fast.makespan else "MISMATCH"
+        print(
+            f"general path: {general_wall:.3f}s wall, makespan {general.makespan:.4f}s "
+            f"({match}); speedup {general_wall / fast_wall:.1f}x"
+        )
+        if match == "MISMATCH":
+            return 1
     return 0
 
 
@@ -517,12 +573,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", required=True, help="trace CSV path")
     p.set_defaults(fn=cmd_analyze)
 
+    p = sub.add_parser(
+        "replay-bench",
+        help="time a large columnar replay on the batched fast path "
+        "(optionally against the general per-request path)",
+    )
+    _add_testbed_args(p)
+    p.add_argument("--requests", type=int, default=100_000, help="request count (default 100000)")
+    p.add_argument("--request-size", default="64K")
+    p.add_argument("--processes", type=int, default=16)
+    p.add_argument("--op", choices=("read", "write"), default="write")
+    p.add_argument("--sequential", action="store_true", help="in-order offsets (default: random)")
+    p.add_argument("--layout", default="64K", help="fixed stripe size (default 64K)")
+    p.add_argument(
+        "--general",
+        action="store_true",
+        help="also run the per-request general path; verify identical makespan and report speedup",
+    )
+    p.set_defaults(fn=cmd_replay_bench)
+
     p = sub.add_parser("replay", help="replay a trace CSV under a layout")
     _add_testbed_args(p)
     p.add_argument("--trace", required=True, help="trace CSV path")
     p.add_argument("--layout", default="harl", help="'harl' or a fixed stripe size")
     p.add_argument(
         "--think-time", action="store_true", help="preserve recorded inter-arrival gaps"
+    )
+    p.add_argument(
+        "--batched",
+        action="store_true",
+        help="submit the trace as one columnar batch (fast path when eligible)",
     )
     p.set_defaults(fn=cmd_replay)
 

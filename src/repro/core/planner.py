@@ -50,13 +50,17 @@ class PlanReport:
     #: (rebased) request pattern was already solved.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Effective stripe-cache LRU capacity at plan time (``REPRO_STRIPE_CACHE``
+    #: when set, else the built-in default; 0 means memoization was disabled).
+    cache_capacity: int = 0
 
     def summary(self) -> str:
         parts = [
             f"{self.n_requests} requests -> {len(self.regions)} regions "
             f"(threshold {self.threshold_used:.2f}), "
             f"{self.n_regions_after_merge} after merge, "
-            f"stripe-cache {self.cache_hits} hits / {self.cache_misses} misses"
+            f"stripe-cache {self.cache_hits} hits / {self.cache_misses} misses "
+            f"(capacity {self.cache_capacity})"
         ]
         for region, choice in zip(self.regions, self.choices):
             parts.append(
@@ -230,6 +234,7 @@ class HARLPlanner:
         cache_after = stripe_cache_info()
         report.cache_hits = cache_after["hits"] - cache_before["hits"]
         report.cache_misses = cache_after["misses"] - cache_before["misses"]
+        report.cache_capacity = cache_after["maxsize"]
         self.last_report = report
         return rst
 

@@ -24,6 +24,7 @@ homogeneous regions (and regions are CV-homogeneous by construction).
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -68,6 +69,25 @@ _stripe_cache_hits = 0
 _stripe_cache_misses = 0
 
 
+def stripe_cache_capacity() -> int:
+    """Effective LRU capacity: ``REPRO_STRIPE_CACHE`` when set, else 1024.
+
+    Read lazily on every :func:`determine_stripes` call so long-lived
+    processes (pool workers, notebooks) pick changes up without a restart.
+    ``0`` disables memoization entirely — every region runs the full grid
+    search, which the determinism suite uses to prove warm and cold caches
+    are bit-identical.
+    """
+    env = os.environ.get("REPRO_STRIPE_CACHE", "").strip()
+    if not env:
+        return _STRIPE_CACHE_MAX
+    try:
+        value = int(env)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_STRIPE_CACHE must be an integer, got {env!r}") from exc
+    return max(0, value)
+
+
 def _region_signature(
     params: CostModelParameters,
     offsets: np.ndarray,
@@ -91,7 +111,7 @@ def stripe_cache_info() -> dict[str, int]:
         "hits": _stripe_cache_hits,
         "misses": _stripe_cache_misses,
         "size": len(_STRIPE_CACHE),
-        "maxsize": _STRIPE_CACHE_MAX,
+        "maxsize": stripe_cache_capacity(),
     }
 
 
@@ -195,7 +215,8 @@ def determine_stripes(
     else:
         max_stripe = max(step, int(max_stripe))
 
-    use_cache = constraint is None
+    cache_capacity = stripe_cache_capacity()
+    use_cache = constraint is None and cache_capacity > 0
     if use_cache:
         global _stripe_cache_hits, _stripe_cache_misses
         signature = _region_signature(
@@ -265,7 +286,7 @@ def determine_stripes(
         )
     if use_cache:
         _STRIPE_CACHE[signature] = best
-        if len(_STRIPE_CACHE) > _STRIPE_CACHE_MAX:
+        while len(_STRIPE_CACHE) > cache_capacity:
             _STRIPE_CACHE.popitem(last=False)
     return best
 

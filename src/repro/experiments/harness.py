@@ -240,6 +240,63 @@ def run_workload(
     )
 
 
+def run_workload_batched(
+    testbed: Testbed,
+    workload: Any,
+    layout: LayoutPolicy | RegionStripeTable,
+    layout_name: str | None = None,
+    collector: TraceCollector | None = None,
+    file_name: str = "shared.dat",
+    trace: bool | None = None,
+    faults: Any = None,
+    retry: Any = None,
+    force_general: bool = False,
+) -> RunResult:
+    """Execute a workload as one columnar batch on a fresh simulated cluster.
+
+    ``workload`` is either a :class:`~repro.pfs.batch.RequestBatch` or any
+    workload object exposing ``request_batch()`` (all five generators do).
+    The whole batch is submitted through the middleware in one call, so the
+    run takes the arithmetic fast path of :mod:`repro.pfs.batch_exec`
+    whenever eligible — tracing, fault schedules, or a retry policy push it
+    onto the general per-request path automatically, with identical results.
+    ``force_general=True`` pins the general path (the parity baseline).
+    """
+    from repro.pfs.batch import RequestBatch
+
+    batch = workload if isinstance(workload, RequestBatch) else workload.request_batch()
+    sim = Simulator()
+    tracer = None
+    if trace or (trace is None and tracing_enabled()):
+        tracer = EventTracer()
+        sim.tracer = tracer
+    pfs = testbed.build(sim)
+    injector = None
+    if faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(sim, pfs, faults).install()
+    if retry is not None:
+        pfs.retry = retry
+    world = SimMPI(sim, 1, network=pfs.network)
+    if collector is not None:
+        collector.sim = sim
+    mf = MPIIOFile.open(world.comm, pfs, file_name, layout, collector=collector)
+    done = mf.request_batch(batch, force_general=force_general)
+    sim.run(done)
+    if layout_name is None:
+        layout_name = mf.handle.layout.describe()
+    obs = collect_snapshot(tracer, pfs, makespan=sim.now) if tracer is not None else None
+    return RunResult(
+        layout_name=layout_name,
+        makespan=sim.now,
+        total_bytes=batch.total_bytes,
+        server_busy=pfs.server_busy_times(),
+        obs=obs,
+        faults=injector.stats() if injector is not None else None,
+    )
+
+
 def harl_plan(
     testbed: Testbed,
     workload: Workload,

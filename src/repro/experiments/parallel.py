@@ -126,6 +126,12 @@ class RunJob:
     #: seed-deterministic, so parallel fault runs replay identically).
     faults: Any = None
     retry: Any = None
+    #: ``batched=True`` runs the workload as one columnar batch via
+    #: :func:`repro.experiments.harness.run_workload_batched` (the workload
+    #: must expose ``request_batch()`` or be a RequestBatch itself);
+    #: ``force_general`` additionally pins the per-request general path.
+    batched: bool = False
+    force_general: bool = False
 
 
 @dataclass(frozen=True)
@@ -140,8 +146,20 @@ class PlanJob:
 
 def execute_run_job(job: RunJob) -> Any:
     """Run one :class:`RunJob` (module-level, hence pool-picklable)."""
-    from repro.experiments.harness import run_workload
+    from repro.experiments.harness import run_workload, run_workload_batched
 
+    if job.batched:
+        return run_workload_batched(
+            job.testbed,
+            job.workload,
+            job.layout,
+            layout_name=job.layout_name,
+            file_name=job.file_name,
+            trace=job.trace,
+            faults=job.faults,
+            retry=job.retry,
+            force_general=job.force_general,
+        )
     return run_workload(
         job.testbed,
         job.workload,

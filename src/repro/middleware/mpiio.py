@@ -92,6 +92,28 @@ class MPIIOFile:
             self.collector.record(rank, self.handle.name, op, offset, size)
         yield from self.handle.serve_inline(op, offset, size)
 
+    # -- batched I/O ---------------------------------------------------------
+
+    def request_batch(self, batch, rank: int = 0, force_general: bool = False):
+        """Submit a columnar :class:`~repro.pfs.batch.RequestBatch`.
+
+        The middleware analogue of a replayed trace: every request is
+        (optionally) recorded through the IOSIG collector exactly as the
+        per-call paths do, then the whole batch is handed to
+        :meth:`~repro.pfs.filesystem.PFSFile.request_batch`, which takes the
+        arithmetic fast path when eligible. Returns the completion event;
+        its value is the per-request elapsed-time array.
+        """
+        if self.collector is not None:
+            name = self.handle.name
+            record = self.collector.record
+            is_read = batch.is_read
+            for i, (offset, size) in enumerate(
+                zip(batch.offsets.tolist(), batch.sizes.tolist())
+            ):
+                record(rank, name, OpType.READ if is_read[i] else OpType.WRITE, offset, size)
+        return self.handle.request_batch(batch, force_general=force_general)
+
     # -- nonblocking independent I/O (MPI_File_iread/iwrite_at) -------------
 
     def iread_at(self, rank: int, offset: int, size: int):

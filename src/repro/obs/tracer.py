@@ -135,11 +135,12 @@ def record_plan_report(registry: MetricsRegistry, report: "PlanReport") -> None:
     registry.counter("planner.requests").inc(report.n_requests)
     registry.counter("planner.regions").inc(len(report.regions))
     registry.counter("planner.regions_after_merge").inc(report.n_regions_after_merge)
-    registry.counter("planner.stripe_cache_hits").inc(report.cache_hits)
-    registry.counter("planner.stripe_cache_misses").inc(report.cache_misses)
+    registry.counter("planner.stripe_cache.hits").inc(report.cache_hits)
+    registry.counter("planner.stripe_cache.misses").inc(report.cache_misses)
+    registry.gauge("planner.stripe_cache.capacity").set(report.cache_capacity)
     lookups = report.cache_hits + report.cache_misses
     if lookups:
-        registry.gauge("planner.stripe_cache_hit_rate").set(report.cache_hits / lookups)
+        registry.gauge("planner.stripe_cache.hit_rate").set(report.cache_hits / lookups)
 
 
 @dataclass(frozen=True)

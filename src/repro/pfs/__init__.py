@@ -15,6 +15,7 @@ Layers:
   layout lookups, and the :class:`HybridPFS` facade clients talk to.
 """
 
+from repro.pfs.batch import RequestBatch
 from repro.pfs.filesystem import HybridPFS, ParallelFileSystem, PFSFile
 from repro.pfs.layout import (
     FixedLayout,
@@ -55,6 +56,7 @@ __all__ = [
     "ParallelFileSystem",
     "RandomLayout",
     "RegionLevelLayout",
+    "RequestBatch",
     "StripingConfig",
     "SubRequest",
     "TieredFixedLayout",

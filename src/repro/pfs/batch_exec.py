@@ -1,0 +1,416 @@
+"""Batched execution fast path: replay a columnar batch without processes.
+
+:func:`replay_batch` serves every request of a
+:class:`~repro.pfs.batch.RequestBatch` by replaying the discrete-event
+simulation **arithmetically**: one flat heap of plain tuples stands in for
+the generator-coroutine machinery (``Process`` objects, resource grant
+events, ``AllOf`` joins) that dominates wall-clock on million-request
+replays. The replay is not an approximation — it mirrors the general path's
+event cascade *hop for hop*:
+
+- every schedule point of the general path (request bootstrap / issue-delay
+  timeout, resource grant fire, service timeout) maps to exactly one tuple
+  pushed at the same simulated time and the same relative position, so
+  same-timestamp ties break identically;
+- resource state (FIFO queues, in-use counts, utilization intervals,
+  granted counts) is tracked with the same synchronous-grant semantics as
+  :class:`repro.simulate.resources.Resource`;
+- device service times are drawn by calling the **real** device model's
+  ``service_time`` at the grant-fire hop, so per-device RNG streams advance
+  in exactly the order the general path would consume them;
+- utilization deltas are accumulated per resource in closure order and
+  applied to the live monitors afterwards, preserving float-summation
+  order.
+
+The result — completion times, busy times, byte counters, RNG states — is
+therefore byte-identical to spawning one process per request.
+
+Because the replay assumes undisturbed FIFO service, it must only run when
+the simulation is *quiescent* and no resilience machinery can fire:
+:func:`fast_path_blocker` encodes that eligibility matrix and returns the
+reason the batch must take the general path (or ``None`` when the fast path
+is exact). :meth:`repro.pfs.filesystem.PFSFile.request_batch` consults it
+on every submission and falls back transparently.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from repro.devices.base import OpType
+from repro.network.link import ContendedNetworkModel, NetworkModel
+from repro.simulate.resources import Resource
+
+__all__ = ["fast_path_blocker", "replay_batch"]
+
+# Event kinds of the unified replay heap. Each corresponds to one schedule
+# point of the general path (see module docstring); the integer values are
+# only identities, never compared (the heap orders by (time, seq)).
+_ARRIVE = 0  # request bootstrap / issue-delay timeout maturing
+_MDS_GRANT = 1  # MDS service slot grant firing
+_MDS_EXIT = 2  # MDS lookup service timeout maturing
+_SPAWN = 3  # sub-request process bootstrap
+_NIC_GRANT = 4  # NIC flow slot grant firing
+_NIC_DONE = 5  # NIC transfer timeout maturing
+_DISK_GRANT = 6  # disk slot grant firing
+_DISK_DONE = 7  # disk service timeout maturing
+
+
+class _ServerReplay:
+    """Shadow FIFO state of one :class:`FileServer` during a replay.
+
+    Mirrors ``Resource`` semantics: grants are issued synchronously (state
+    updated at issue time), the grant *fire* is the heap tuple. Busy-time
+    deltas collect per closed interval and are applied to the live monitors
+    in order at the end of the replay.
+    """
+
+    __slots__ = (
+        "server",
+        "service_time",
+        "transfer_time",
+        "nic_cap",
+        "nic_in_use",
+        "nic_queue",
+        "nic_since",
+        "nic_deltas",
+        "nic_granted",
+        "disk_in_use",
+        "disk_queue",
+        "disk_since",
+        "disk_deltas",
+        "disk_granted",
+        "bytes_served",
+        "subrequests",
+    )
+
+    def __init__(self, server):
+        self.server = server
+        self.service_time = server.device.service_time
+        self.transfer_time = server.network.transfer_time
+        self.nic_cap = server.nic.capacity
+        self.nic_in_use = 0
+        self.nic_queue = deque()
+        self.nic_since = 0.0
+        self.nic_deltas = []
+        self.nic_granted = 0
+        self.disk_in_use = 0
+        self.disk_queue = deque()
+        self.disk_since = 0.0
+        self.disk_deltas = []
+        self.disk_granted = 0
+        self.bytes_served = 0
+        self.subrequests = 0
+
+
+def fast_path_blocker(handle) -> str | None:
+    """Why ``handle`` cannot take the batched fast path right now, or None.
+
+    The replay is exact only when the simulation is quiescent (nothing else
+    scheduled or running — this also excludes installed fault injectors,
+    whose timer processes sit on the heap from installation) and every
+    component is in its plain, undisturbed configuration: FIFO resources
+    with no holders, waiters, or stall windows; no retry/failover policies;
+    no degraded routing or server maps; stateless network models; tracing
+    off. Anything else returns a short reason string used both for the
+    fallback decision and the ``pfs.batch.fallback.*`` counters.
+    """
+    pfs = handle.pfs
+    sim = pfs.sim
+    if sim.tracer is not None:
+        return "tracing"
+    if sim._active_process is not None or sim._heap:
+        return "simulator-busy"
+    if handle.retry is not None or pfs.retry is not None:
+        return "retry-policy"
+    if handle.server_map is not None:
+        return "server-map"
+    if pfs.health.route_map is not None:
+        return "degraded-routing"
+    mds = pfs.mds
+    service = mds._service
+    if service is None:
+        if mds.lookup_time(handle.layout.region_count()) > 0:
+            return "mds-detached"
+    else:
+        if type(service) is not Resource:
+            return "custom-mds"
+        if service._held or service._in_use or service._queue:
+            return "mds-busy"
+    for server in pfs.servers:
+        reason = server.fast_batch_blocker()
+        if reason is not None:
+            return reason
+        if type(server.network) not in (NetworkModel, ContendedNetworkModel):
+            return "custom-network"
+    return None
+
+
+def replay_batch(handle, batch, presplits) -> tuple[np.ndarray, float, int]:
+    """Serve ``batch`` on ``handle`` arithmetically; see module docstring.
+
+    Args:
+        handle: the :class:`~repro.pfs.filesystem.PFSFile` being driven.
+        batch: the :class:`~repro.pfs.batch.RequestBatch` to serve.
+        presplits: per-request ``[(segment, subrequests), ...]`` lists from
+            the handle's presplit pass (layout snapshot at submission).
+
+    Returns:
+        ``(elapsed, t_end, n_subrequests)`` — per-request elapsed seconds
+        in batch order, the simulated completion time of the whole batch,
+        and the number of sub-requests served.
+
+    Caller must have verified :func:`fast_path_blocker` returned None; the
+    replay itself does not re-check and would silently diverge otherwise.
+    """
+    pfs = handle.pfs
+    sim = pfs.sim
+    t0 = sim.now
+    n = len(batch)
+    is_read_col = batch.is_read
+    read_op = OpType.READ
+    write_op = OpType.WRITE
+
+    mds = pfs.mds
+    lookup = mds.lookup_time(handle.layout.region_count())
+    mds_enabled = lookup > 0
+    service = mds._service
+    mds_cap = service.capacity if service is not None else 0
+
+    # Arrival instants. The general path spawns one process per request in
+    # batch order; a request with a non-zero issue delay yields one timeout
+    # before consulting the MDS. Hence arrival *ties* at t0 resolve with all
+    # zero-delay requests (bootstrap hop only) ahead of all delayed ones
+    # (timeout hop), each group in batch order — exactly the seeding below.
+    issue = batch.issue_times
+    if issue is None:
+        arrival_times = np.full(n, t0, dtype=np.float64)
+        heap = [(t0, i, _ARRIVE, i) for i in range(n)]
+        arrival_order = range(n)
+    else:
+        arrival_times = t0 + issue
+        immediate = np.flatnonzero(issue == 0.0)
+        delayed = np.flatnonzero(issue != 0.0)
+        heap = [(t0, seq, _ARRIVE, int(i)) for seq, i in enumerate(immediate)]
+        base = len(heap)
+        delayed_times = arrival_times[delayed].tolist()
+        heap.extend(
+            (delayed_times[seq], base + seq, _ARRIVE, int(i)) for seq, i in enumerate(delayed)
+        )
+        heapq.heapify(heap)
+        # MDS service is FIFO with one uniform service time per batch, so
+        # requests *exit* the MDS — and first-touch their extents — in
+        # arrival order: zero-delay requests in batch order, then delayed
+        # ones by (arrival time, batch order).
+        arrival_order = np.concatenate(
+            (immediate, delayed[np.argsort(arrival_times[delayed], kind="stable")])
+        ).tolist()
+
+    # Materialize sub-request jobs in arrival order so extent first-touch
+    # allocation (physical base assignment) matches the general path.
+    states: dict[int, _ServerReplay] = {}
+    servers = pfs.servers
+    extent_base = pfs._extent_base
+    extent_ns = f"{handle.name}#g{handle.layout_generation}"
+    jobs_by_request: list[list | None] = [None] * n
+    n_subrequests = 0
+    for i in arrival_order:
+        is_write = not is_read_col[i]
+        op = write_op if is_write else read_op
+        jobs = []
+        for segment, subs in presplits[i]:
+            region_id = segment.region_id
+            for sub in subs:
+                sid = sub.server_id
+                ss = states.get(sid)
+                if ss is None:
+                    ss = states[sid] = _ServerReplay(servers[sid])
+                base = extent_base(extent_ns, region_id, sid)
+                # job = (server state, is_write, op, physical offset, size,
+                #        batch index)
+                jobs.append((ss, is_write, op, base + sub.offset, sub.size, i))
+        jobs_by_request[i] = jobs
+        n_subrequests += len(jobs)
+
+    remaining = [len(jobs) for jobs in jobs_by_request]
+    completion = arrival_times.copy()
+
+    # Shadow MDS service state (same Resource semantics as the servers').
+    m_in_use = 0
+    m_queue: deque = deque()
+    m_since = 0.0
+    m_deltas: list[float] = []
+    m_granted = 0
+
+    seq = len(heap)
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    while heap:
+        t, _, kind, payload = pop(heap)
+        if kind == _NIC_GRANT:
+            # The waiter resumes: compute the transfer and schedule its end.
+            push(heap, (t + payload[0].transfer_time(payload[4]), seq, _NIC_DONE, payload))
+            seq += 1
+        elif kind == _DISK_GRANT:
+            # Resume hop: the device RNG advances here, matching the order
+            # the general path's generator would consume it.
+            push(
+                heap,
+                (t + payload[0].service_time(payload[2], payload[3], payload[4]), seq, _DISK_DONE, payload),
+            )
+            seq += 1
+        elif kind == _NIC_DONE:
+            ss = payload[0]
+            ss.nic_in_use -= 1
+            if ss.nic_in_use == 0:
+                ss.nic_deltas.append(t - ss.nic_since)
+            if ss.nic_queue:
+                waiter = ss.nic_queue.popleft()
+                if ss.nic_in_use == 0:
+                    ss.nic_since = t
+                ss.nic_in_use += 1
+                ss.nic_granted += 1
+                push(heap, (t, seq, _NIC_GRANT, waiter))
+                seq += 1
+            if payload[1]:  # write: disk stage next
+                if ss.disk_in_use or ss.disk_queue:
+                    ss.disk_queue.append(payload)
+                else:
+                    ss.disk_in_use = 1
+                    ss.disk_granted += 1
+                    ss.disk_since = t
+                    push(heap, (t, seq, _DISK_GRANT, payload))
+                    seq += 1
+            else:  # read: payload delivered, sub-request complete
+                ss.bytes_served += payload[4]
+                ss.subrequests += 1
+                i = payload[5]
+                remaining[i] -= 1
+                if not remaining[i]:
+                    completion[i] = t
+        elif kind == _DISK_DONE:
+            ss = payload[0]
+            ss.disk_in_use = 0
+            ss.disk_deltas.append(t - ss.disk_since)
+            if ss.disk_queue:
+                waiter = ss.disk_queue.popleft()
+                ss.disk_since = t
+                ss.disk_in_use = 1
+                ss.disk_granted += 1
+                push(heap, (t, seq, _DISK_GRANT, waiter))
+                seq += 1
+            if payload[1]:  # write: persisted, sub-request complete
+                ss.bytes_served += payload[4]
+                ss.subrequests += 1
+                i = payload[5]
+                remaining[i] -= 1
+                if not remaining[i]:
+                    completion[i] = t
+            else:  # read: NIC stage next
+                if ss.nic_in_use < ss.nic_cap and not ss.nic_queue:
+                    if ss.nic_in_use == 0:
+                        ss.nic_since = t
+                    ss.nic_in_use += 1
+                    ss.nic_granted += 1
+                    push(heap, (t, seq, _NIC_GRANT, payload))
+                    seq += 1
+                else:
+                    ss.nic_queue.append(payload)
+        elif kind == _SPAWN:
+            ss = payload[0]
+            if payload[1]:  # write: NIC first (client -> server)
+                if ss.nic_in_use < ss.nic_cap and not ss.nic_queue:
+                    if ss.nic_in_use == 0:
+                        ss.nic_since = t
+                    ss.nic_in_use += 1
+                    ss.nic_granted += 1
+                    push(heap, (t, seq, _NIC_GRANT, payload))
+                    seq += 1
+                else:
+                    ss.nic_queue.append(payload)
+            else:  # read: disk first
+                if ss.disk_in_use or ss.disk_queue:
+                    ss.disk_queue.append(payload)
+                else:
+                    ss.disk_in_use = 1
+                    ss.disk_granted += 1
+                    ss.disk_since = t
+                    push(heap, (t, seq, _DISK_GRANT, payload))
+                    seq += 1
+        elif kind == _MDS_GRANT:
+            push(heap, (t + lookup, seq, _MDS_EXIT, payload))
+            seq += 1
+        elif kind == _MDS_EXIT:
+            m_in_use -= 1
+            if m_in_use == 0:
+                m_deltas.append(t - m_since)
+            if m_queue:
+                nxt = m_queue.popleft()
+                if m_in_use == 0:
+                    m_since = t
+                m_in_use += 1
+                m_granted += 1
+                push(heap, (t, seq, _MDS_GRANT, nxt))
+                seq += 1
+            jobs = jobs_by_request[payload]
+            if jobs:
+                for job in jobs:
+                    push(heap, (t, seq, _SPAWN, job))
+                    seq += 1
+            else:
+                completion[payload] = t
+        else:  # _ARRIVE
+            if mds_enabled:
+                if m_in_use < mds_cap and not m_queue:
+                    if m_in_use == 0:
+                        m_since = t
+                    m_in_use += 1
+                    m_granted += 1
+                    push(heap, (t, seq, _MDS_GRANT, payload))
+                    seq += 1
+                else:
+                    m_queue.append(payload)
+            else:  # zero-cost consult returns inline; spawn subs now
+                jobs = jobs_by_request[payload]
+                if jobs:
+                    for job in jobs:
+                        push(heap, (t, seq, _SPAWN, job))
+                        seq += 1
+                else:
+                    completion[payload] = t
+
+    # Fold the shadow state back into the live components. Busy-time deltas
+    # apply per resource in interval-closure order — float summation order
+    # matches the general path's monitor arithmetic.
+    for ss in states.values():
+        server = ss.server
+        nic_monitor = server.nic.monitor
+        for delta in ss.nic_deltas:
+            nic_monitor.busy_time += delta
+        server.nic.granted_count += ss.nic_granted
+        disk_monitor = server.disk.monitor
+        for delta in ss.disk_deltas:
+            disk_monitor.busy_time += delta
+        server.disk.granted_count += ss.disk_granted
+        server.bytes_served += ss.bytes_served
+        server.subrequests_served += ss.subrequests
+    mds.lookup_count += n
+    if service is not None and m_deltas:
+        service_monitor = service.monitor
+        for delta in m_deltas:
+            service_monitor.busy_time += delta
+    if service is not None:
+        service.granted_count += m_granted
+
+    if n:
+        read_bytes = int(batch.sizes[is_read_col].sum())
+        handle.bytes_read += read_bytes
+        handle.bytes_written += batch.total_bytes - read_bytes
+        t_end = float(completion.max())
+    else:
+        t_end = t0
+    return completion - arrival_times, t_end, n_subrequests

@@ -18,7 +18,8 @@ base so positional device models see disjoint areas.
 
 from __future__ import annotations
 
-from collections.abc import Generator
+import os
+from collections.abc import Generator, Sequence
 
 import numpy as np
 
@@ -26,11 +27,12 @@ from repro.devices.base import OpType
 from repro.devices.hdd import HDDModel
 from repro.devices.ssd import SSDModel
 from repro.network.link import NetworkModel
+from repro.pfs.batch import RequestBatch
 from repro.pfs.health import ServerHealth, ServerUnavailable
 from repro.pfs.layout import LayoutPolicy
 from repro.pfs.metadata import MetadataServer
 from repro.pfs.server import FileServer
-from repro.simulate.engine import Process, Simulator
+from repro.simulate.engine import Event, Process, Simulator
 from repro.util.rng import derive_rng
 from repro.util.units import GiB
 
@@ -109,21 +111,16 @@ class PFSFile:
             self._request_proc(op, offset, size), name=f"{self.name}:{op.value}@{offset}"
         )
 
-    def request_many(self, op: OpType | str, requests: list[tuple[int, int]]) -> list[Process]:
-        """Submit many ``(offset, size)`` requests at the current instant.
+    def _presplit(self, requests: Sequence[tuple[int, int]]) -> list[list]:
+        """Striping decomposition of many requests, one numpy pass per config.
 
-        Equivalent to ``[self.request(op, o, s) for o, s in requests]`` —
-        same sub-requests, same process spawn order, same completion times —
-        but the striping decomposition of every request runs as one batched
-        numpy pass per striping config (:func:`repro.pfs.mapping.decompose_batch`)
-        instead of per request. The decomposition is snapshotted against the
-        layout at submission time, so callers must not ``relayout`` between
-        submitting and completion of these requests.
+        Returns one ``[(segment, subrequests), ...]`` list per request, the
+        shape :meth:`_request_proc` accepts as ``presplit``. The result is a
+        snapshot against the current layout — callers must not ``relayout``
+        between decomposing and serving.
         """
         from repro.pfs.mapping import decompose_batch
 
-        op = OpType.parse(op)
-        sim = self.pfs.sim
         layout = self.layout
         # Group every (request, segment) piece by striping config so each
         # config's pieces decompose in one vectorized call.
@@ -145,17 +142,129 @@ class PFSFile:
             )
             for (idx, sidx, _, _), subs in zip(pieces, batch):
                 decomposed[(idx, sidx)] = subs
+        return [
+            [(segment, decomposed[(idx, sidx)]) for sidx, segment in enumerate(segments)]
+            for idx, segments in enumerate(per_request_segments)
+        ]
+
+    def request_many(
+        self,
+        op: OpType | str,
+        requests: list[tuple[int, int]],
+        issue_times: Sequence[float] | np.ndarray | None = None,
+    ) -> list[Process]:
+        """Submit many ``(offset, size)`` requests at the current instant.
+
+        Equivalent to ``[self.request(op, o, s) for o, s in requests]`` —
+        same sub-requests, same process spawn order, same completion times —
+        but the striping decomposition of every request runs as one batched
+        numpy pass per striping config (:func:`repro.pfs.mapping.decompose_batch`)
+        instead of per request. The decomposition is snapshotted against the
+        layout at submission time, so callers must not ``relayout`` between
+        submitting and completion of these requests.
+
+        ``issue_times`` (seconds relative to now, one per request, >= 0)
+        delays each request's metadata consult and service to its own issue
+        instant instead of issuing everything simultaneously — the timing a
+        trace replay with preserved think time needs.
+        """
+        op = OpType.parse(op)
+        sim = self.pfs.sim
+        if issue_times is not None and len(issue_times) != len(requests):
+            raise ValueError(
+                f"issue_times has {len(issue_times)} entries for {len(requests)} requests"
+            )
+        presplits = self._presplit(requests)
         procs = []
         for idx, (offset, size) in enumerate(requests):
-            segments = per_request_segments[idx]
-            presplit = [(segment, decomposed[(idx, sidx)]) for sidx, segment in enumerate(segments)]
-            procs.append(
-                sim.process(
-                    self._request_proc(op, offset, size, presplit=presplit),
-                    name=f"{self.name}:{op.value}@{offset}",
-                )
-            )
+            if issue_times is None:
+                generator = self._request_proc(op, offset, size, presplit=presplits[idx])
+            else:
+                delay = float(issue_times[idx])
+                if delay < 0:
+                    raise ValueError(f"issue_times must be >= 0, got {delay}")
+                generator = self._issue_after(delay, op, offset, size, presplits[idx])
+            procs.append(sim.process(generator, name=f"{self.name}:{op.value}@{offset}"))
         return procs
+
+    def request_batch(self, batch: RequestBatch, force_general: bool = False) -> Event:
+        """Submit a columnar batch; returns an event firing at completion.
+
+        The event's value is a float64 array of per-request elapsed seconds
+        (issue to completion), in batch order. When the filesystem is
+        quiescent and undisturbed — no tracer, no faults or retry policies,
+        plain FIFO resources (see
+        :func:`repro.pfs.batch_exec.fast_path_blocker`) — the batch is
+        served by the arithmetic replay fast path, byte-identical to the
+        general path but without per-request process machinery. Otherwise
+        (or with ``force_general=True``, or ``REPRO_BATCH_FAST=0`` in the
+        environment) it transparently spawns one process per request
+        exactly like :meth:`request_many`.
+
+        Typical use drains the whole batch: ``sim.run(handle.request_batch(b))``.
+        """
+        from repro.pfs.batch_exec import fast_path_blocker, replay_batch
+
+        sim = self.pfs.sim
+        stats = self.pfs.batch_stats
+        n = len(batch)
+        presplits = self._presplit(list(zip(batch.offsets.tolist(), batch.sizes.tolist())))
+        if force_general:
+            reason = "forced"
+        elif os.environ.get("REPRO_BATCH_FAST", "1") == "0":
+            reason = "disabled"
+        else:
+            reason = fast_path_blocker(self)
+        done = sim.event()
+        if reason is None:
+            elapsed, t_end, n_subrequests = replay_batch(self, batch, presplits)
+            sim.schedule_many([(done, elapsed, t_end)], absolute=True)
+            stats["fast_batches"] += 1
+            stats["fast_requests"] += n
+            stats["fast_subrequests"] += n_subrequests
+            return done
+        stats["general_batches"] += 1
+        stats["general_requests"] += n
+        fallbacks = self.pfs.batch_fallbacks
+        fallbacks[reason] = fallbacks.get(reason, 0) + 1
+        offsets = batch.offsets.tolist()
+        sizes = batch.sizes.tolist()
+        reads = batch.is_read.tolist()
+        issue = None if batch.issue_times is None else batch.issue_times.tolist()
+        procs = []
+        for idx in range(n):
+            op = OpType.READ if reads[idx] else OpType.WRITE
+            if issue is None:
+                generator = self._request_proc(
+                    op, offsets[idx], sizes[idx], presplit=presplits[idx]
+                )
+            else:
+                generator = self._issue_after(
+                    issue[idx], op, offsets[idx], sizes[idx], presplits[idx]
+                )
+            procs.append(sim.process(generator, name=f"{self.name}:{op.value}@{offsets[idx]}"))
+
+        def _finish(umbrella: Event) -> None:
+            if umbrella._exception is not None:
+                done.fail(umbrella._exception)
+            else:
+                done.succeed(np.asarray(umbrella._value, dtype=np.float64))
+
+        sim.all_of(procs).add_callback(_finish)
+        return done
+
+    def _issue_after(
+        self, delay: float, op: OpType, offset: int, size: int, presplit: list
+    ) -> Generator:
+        """Delay a request to its issue instant, then serve it in place.
+
+        A zero delay adds no timeout event, so a zero-delay entry behaves
+        exactly like a request submitted without issue times.
+        """
+        if delay:
+            yield self.pfs.sim.timeout(delay)
+        result = yield from self._request_proc(op, offset, size, presplit=presplit)
+        return result
 
     def serve_inline(self, op: OpType | str, offset: int, size: int) -> Generator:
         """Serve the request inside the calling process (no extra Process).
@@ -245,7 +354,8 @@ class PFSFile:
             failure: ServerUnavailable | None = None
             try:
                 if retry.timeout is not None:
-                    index, _ = yield sim.any_of([serve, sim.timeout(retry.timeout)])
+                    guard = sim.timeout(retry.timeout)
+                    index, _ = yield sim.any_of([serve, guard])
                     if index == 1 and not (serve.triggered and serve._exception is None):
                         health.timeouts += 1
                         failure = ServerUnavailable(
@@ -253,6 +363,11 @@ class PFSFile:
                             server=server.name,
                         )
                         serve.interrupt(failure)
+                    else:
+                        # The serve won the race: lazily cancel the guard so
+                        # its dead heap entry is discarded at pop instead of
+                        # dispatching a no-op callback sweep.
+                        guard.cancel()
                 else:
                     yield serve
             except ServerUnavailable as exc:
@@ -307,6 +422,17 @@ class ParallelFileSystem:
         self.health = ServerHealth(self.class_counts)
         #: Filesystem-wide default RetryPolicy; None = no timeouts/retries.
         self.retry = None
+        #: Batched-submission counters, exported as ``pfs.batch.*`` metrics
+        #: once any batch has been submitted.
+        self.batch_stats = {
+            "fast_batches": 0,
+            "fast_requests": 0,
+            "fast_subrequests": 0,
+            "general_batches": 0,
+            "general_requests": 0,
+        }
+        #: Fallback reason -> count for batches that took the general path.
+        self.batch_fallbacks: dict[str, int] = {}
 
     @property
     def class_counts(self) -> tuple[int, ...]:
@@ -396,6 +522,13 @@ class ParallelFileSystem:
         if self.health.touched:
             for key, value in self.health.counters().items():
                 registry.counter(f"faults.{key}").inc(value)
+        # Batch-executor counters likewise appear only once a batch was
+        # submitted, so non-batched runs export the same metric set as ever.
+        if self.batch_stats["fast_batches"] or self.batch_stats["general_batches"]:
+            for key, value in self.batch_stats.items():
+                registry.counter(f"pfs.batch.{key}").inc(value)
+            for reason, count in sorted(self.batch_fallbacks.items()):
+                registry.counter(f"pfs.batch.fallback.{reason}").inc(count)
 
     def reset_statistics(self) -> None:
         """Zero all per-server traffic statistics."""

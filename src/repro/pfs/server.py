@@ -105,6 +105,30 @@ class FileServer:
             for proc in list(self._active):
                 proc.interrupt(ServerUnavailable(f"{self.name}: server crashed", server=self.name))
 
+    def fast_batch_blocker(self) -> str | None:
+        """Why this server disqualifies the batched fast path, or None.
+
+        The arithmetic replay (:mod:`repro.pfs.batch_exec`) assumes plain
+        idle FIFO resources: a crashed or fault-tracked server, a C-SCAN
+        disk, or any held/busy/queued slot means the replay's shadow state
+        would not match the live resources.
+        """
+        if self._failed:
+            return "failed-server"
+        if self._active is not None:
+            return "fault-tracking"
+        disk = self.disk
+        if type(disk) is not Resource:
+            return "disk-scheduler"
+        if disk._held or disk._in_use or disk._queue:
+            return "disk-busy"
+        nic = self.nic
+        if type(nic) is not Resource:
+            return "custom-nic"
+        if nic._held or nic._in_use or nic._queue:
+            return "nic-busy"
+        return None
+
     # -- service -----------------------------------------------------------
 
     def serve(self, op: OpType | str, offset: int, size: int) -> Generator:

@@ -45,7 +45,15 @@ class Event:
     waiting processes.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_processed",
+        "_cancelled",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -54,6 +62,7 @@ class Event:
         self._exception: BaseException | None = None
         self._triggered = False
         self._processed = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -100,6 +109,24 @@ class Event:
         self._exception = exception
         self.sim._schedule(self, delay)
         return self
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event was lazily cancelled (see :meth:`cancel`)."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Lazily cancel a scheduled event: its callbacks never run.
+
+        The heap entry stays in place (removing from the middle of a binary
+        heap is O(n)); the run loop discards the event at its pop time
+        instead of dispatching it. Time still advances to the event's
+        timestamp exactly as before — cancellation suppresses *effects*, not
+        the clock — so cancelling a raced-and-lost timeout cannot perturb a
+        simulation's timing. Cancelling an already-processed event is a
+        no-op.
+        """
+        self._cancelled = True
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -305,6 +332,46 @@ class Simulator:
         self._sequence = sequence + 1
         _heappush(self._heap, (self._now + delay, sequence, event))
 
+    def schedule_many(
+        self,
+        items: Iterable[tuple[Event, Any, float]],
+        absolute: bool = False,
+    ) -> None:
+        """Trigger and schedule a batch of events in one call.
+
+        ``items`` yields ``(event, value, when)`` triples: each pending
+        event is triggered successfully with ``value`` and scheduled at
+        ``now + when`` (or at the absolute timestamp ``when`` if
+        ``absolute`` is true). This is the bulk form of
+        :meth:`Event.succeed` — the batched executor pushes a whole
+        completion wave with one call instead of one ``_schedule`` per
+        event, and absolute timestamps avoid the ``now + (t - now)``
+        round-trip that would perturb float-exact completion times.
+        """
+        heap = self._heap
+        sequence = self._sequence
+        now = self._now
+        staged: list[tuple[float, int, Event]] = []
+        for event, value, when in items:
+            if event._triggered:
+                raise SimulationError("event already triggered")
+            time = float(when) if absolute else now + when
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule into the past: {time} < now {now}"
+                )
+            event._triggered = True
+            event._value = value
+            staged.append((time, sequence, event))
+            sequence += 1
+        self._sequence = sequence
+        if len(staged) > 8:
+            heap.extend(staged)
+            heapq.heapify(heap)
+        else:
+            for entry in staged:
+                _heappush(heap, entry)
+
     # -- factory helpers -------------------------------------------------
 
     def event(self) -> Event:
@@ -348,6 +415,10 @@ class Simulator:
         self._now = time
         if self.tracer is not None:
             self.tracer.events_dispatched += 1
+        if event._cancelled:
+            event.callbacks = None
+            event._processed = True
+            return
         had_waiters = bool(event.callbacks)
         event._run_callbacks()
         if (
@@ -396,6 +467,10 @@ class Simulator:
                         )
                     time, _, event = pop(heap)
                     self._now = time
+                    if event._cancelled:
+                        event.callbacks = None
+                        event._processed = True
+                        continue
                     callbacks = event.callbacks
                     event.callbacks = None
                     event._processed = True
@@ -412,6 +487,10 @@ class Simulator:
             while heap and heap[0][0] <= horizon:
                 time, _, event = pop(heap)
                 self._now = time
+                if event._cancelled:
+                    event.callbacks = None
+                    event._processed = True
+                    continue
                 callbacks = event.callbacks
                 event.callbacks = None
                 event._processed = True

@@ -18,6 +18,7 @@ from repro.workloads.analysis import (
     render_report,
     spatial_heat,
 )
+from repro.pfs.batch import RequestBatch
 from repro.workloads.btio import BTIOConfig, BTIOWorkload
 from repro.workloads.checkpoint import CheckpointConfig, CheckpointN1Workload, n_n_apps
 from repro.workloads.ior import IORConfig, IORWorkload
@@ -36,6 +37,7 @@ __all__ = [
     "PhaseSpec",
     "RegionSpec",
     "ReplayConfig",
+    "RequestBatch",
     "SpatialHeat",
     "SyntheticRegionWorkload",
     "TemporalPhaseWorkload",

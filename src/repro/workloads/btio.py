@@ -23,9 +23,12 @@ import math
 from collections.abc import Callable, Generator
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.devices.base import OpType
 from repro.middleware.mpi_sim import RankContext
 from repro.middleware.mpiio import MPIIOFile
+from repro.pfs.batch import RequestBatch
 from repro.workloads.traces import TraceRecord, sort_trace
 
 #: Bytes per grid cell: 5 solution variables × 8-byte doubles.
@@ -188,6 +191,43 @@ class BTIOWorkload:
                         )
                 time += 1.0
         return sort_trace(records)
+
+    def request_batch(self) -> RequestBatch:
+        """The post-aggregation request stream as one columnar batch.
+
+        Same requests as :meth:`synthetic_trace` — the aggregators'
+        contiguous file-domain runs, i.e. what the PFS actually serves under
+        collective buffering — but in issue order (phase, snapshot,
+        aggregator) rather than offset-sorted.
+        """
+        from repro.middleware.collective import merge_intervals, split_into_domains
+
+        cfg = self.config
+        offsets: list[int] = []
+        sizes: list[int] = []
+        reads: list[bool] = []
+        phases: list[OpType] = [OpType.WRITE]
+        if cfg.read_back:
+            phases.append(OpType.READ)
+        for op in phases:
+            for snapshot in range(cfg.n_writes):
+                pieces = [
+                    p
+                    for rank in range(cfg.n_processes)
+                    for p in self.snapshot_pieces(rank, snapshot)
+                ]
+                runs = merge_intervals(pieces)
+                domains = split_into_domains(runs, min(cfg.n_aggregators, cfg.n_processes))
+                for domain in domains:
+                    for offset, size in merge_intervals(domain):
+                        offsets.append(offset)
+                        sizes.append(size)
+                        reads.append(op is OpType.READ)
+        return RequestBatch(
+            offsets=np.array(offsets, dtype=np.int64),
+            sizes=np.array(sizes, dtype=np.int64),
+            is_read=np.array(reads, dtype=bool),
+        )
 
     def rank_program(
         self, mf: MPIIOFile, collective: bool = True

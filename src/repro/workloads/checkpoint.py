@@ -22,9 +22,12 @@ from __future__ import annotations
 from collections.abc import Callable, Generator
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.devices.base import OpType
 from repro.middleware.mpi_sim import RankContext
 from repro.middleware.mpiio import MPIIOFile
+from repro.pfs.batch import RequestBatch
 from repro.util.units import KiB, MiB
 from repro.workloads.ior import IORConfig, IORWorkload
 from repro.workloads.traces import TraceRecord, sort_trace
@@ -98,6 +101,27 @@ class CheckpointN1Workload:
             (base + i * cfg.request_size, cfg.request_size)
             for i in range(cfg.requests_per_round)
         ]
+
+    def request_batch(self) -> RequestBatch:
+        """All checkpoint writes as one columnar batch.
+
+        Round-major, then rank-major, sequential within a rank's block —
+        the order the writes reach the PFS under the barrier-separated
+        rank programs. Offsets are generated as one broadcasted numpy grid.
+        """
+        cfg = self.config
+        offsets = (
+            np.arange(cfg.rounds, dtype=np.int64)[:, None, None] * cfg.round_bytes
+            + np.arange(cfg.n_processes, dtype=np.int64)[None, :, None] * cfg.state_per_process
+            + np.arange(cfg.requests_per_round, dtype=np.int64)[None, None, :]
+            * cfg.request_size
+        ).reshape(-1)
+        n = offsets.shape[0]
+        return RequestBatch(
+            offsets=offsets,
+            sizes=np.full(n, cfg.request_size, dtype=np.int64),
+            is_read=np.zeros(n, dtype=bool),
+        )
 
     def synthetic_trace(self) -> list[TraceRecord]:
         records = []

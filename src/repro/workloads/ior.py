@@ -26,6 +26,7 @@ import numpy as np
 from repro.devices.base import OpType
 from repro.middleware.mpi_sim import RankContext
 from repro.middleware.mpiio import MPIIOFile
+from repro.pfs.batch import RequestBatch
 from repro.util.rng import derive_rng
 from repro.util.units import KiB, MiB
 from repro.workloads.traces import TraceRecord, sort_trace
@@ -120,6 +121,36 @@ class IORWorkload:
         for rank in range(self.config.n_processes):
             out.extend((rank, op, o, s) for op, o, s in self.rank_requests(rank))
         return out
+
+    def request_batch(self) -> RequestBatch:
+        """The whole run as one columnar batch, rank-major in issue order.
+
+        Offsets are generated directly as numpy columns (no per-request
+        tuples); the per-rank permutation draws the same
+        :func:`~repro.util.rng.derive_rng` stream as :meth:`rank_requests`,
+        so the batch equals ``all_requests`` entry for entry.
+        """
+        cfg = self.config
+        requests_per_block = cfg.block_size // cfg.request_size
+        per_rank = cfg.requests_per_process
+        # Slot grid of one rank at block base 0: segment-major, slot-minor —
+        # the same enumeration order as rank_requests' nested loop.
+        slot_grid = (
+            np.arange(cfg.segments, dtype=np.int64)[:, None] * cfg.segment_size
+            + np.arange(requests_per_block, dtype=np.int64)[None, :] * cfg.request_size
+        ).reshape(-1)
+        offsets = np.empty(cfg.n_processes * per_rank, dtype=np.int64)
+        for rank in range(cfg.n_processes):
+            mine = slot_grid + rank * cfg.block_size
+            if cfg.random_offsets:
+                mine = derive_rng(cfg.seed, "ior", rank).permutation(mine)
+            offsets[rank * per_rank : (rank + 1) * per_rank] = mine
+        n = offsets.shape[0]
+        return RequestBatch(
+            offsets=offsets,
+            sizes=np.full(n, cfg.request_size, dtype=np.int64),
+            is_read=np.full(n, cfg.op is OpType.READ, dtype=bool),
+        )
 
     def synthetic_trace(self) -> list[TraceRecord]:
         """The offset-sorted IOSIG trace a profiling run would produce."""

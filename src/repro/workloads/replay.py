@@ -15,9 +15,12 @@ from collections import defaultdict
 from collections.abc import Callable, Generator
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.devices.base import OpType
 from repro.middleware.mpi_sim import RankContext
 from repro.middleware.mpiio import MPIIOFile
+from repro.pfs.batch import RequestBatch
 from repro.workloads.traces import TraceRecord, sort_trace
 
 
@@ -73,6 +76,31 @@ class TraceReplayWorkload:
     def synthetic_trace(self) -> list[TraceRecord]:
         """Offset-sorted view for the planner."""
         return sort_trace(self.records)
+
+    def request_batch(self) -> RequestBatch:
+        """The trace as one columnar batch in global issue order.
+
+        Records are merged across ranks, ordered by ``(timestamp, rank,
+        offset)``. With ``preserve_think_time`` the batch carries per-request
+        ``issue_times`` — each record's timestamp rebased to the earliest
+        one and scaled by ``time_scale`` — so temporal replay no longer has
+        to fall back to one-at-a-time submission.
+        """
+        config = self.config
+        records = sorted(self.records, key=lambda r: (r.timestamp, r.rank, r.offset))
+        n = len(records)
+        issue_times = None
+        if config.preserve_think_time:
+            stamps = np.fromiter((r.timestamp for r in records), dtype=np.float64, count=n)
+            issue_times = (stamps - stamps[0]) * config.time_scale
+        return RequestBatch(
+            offsets=np.fromiter((r.offset for r in records), dtype=np.int64, count=n),
+            sizes=np.fromiter((r.size for r in records), dtype=np.int64, count=n),
+            is_read=np.fromiter(
+                (OpType.parse(r.op) is OpType.READ for r in records), dtype=bool, count=n
+            ),
+            issue_times=issue_times,
+        )
 
     def rank_program(self, mf: MPIIOFile) -> Callable[[RankContext], Generator]:
         config = self.config

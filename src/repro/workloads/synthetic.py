@@ -18,6 +18,7 @@ import numpy as np
 from repro.devices.base import OpType
 from repro.middleware.mpi_sim import RankContext
 from repro.middleware.mpiio import MPIIOFile
+from repro.pfs.batch import RequestBatch
 from repro.util.rng import derive_rng
 from repro.workloads.traces import TraceRecord, sort_trace
 
@@ -111,6 +112,32 @@ class SyntheticRegionWorkload:
         rng = derive_rng(self.seed, "synthetic", rank)
         order = rng.permutation(len(mine))
         return [(self.op, mine[i][0], mine[i][1]) for i in order]
+
+    def request_batch(self) -> RequestBatch:
+        """All ranks' streams as one columnar batch, rank-major.
+
+        Per-rank shuffles draw the same RNG streams as
+        :meth:`rank_requests`, applied as index permutations over numpy
+        columns instead of list rebuilds.
+        """
+        slots = self._all_slots()
+        n = len(slots)
+        all_offsets = np.fromiter((o for o, _ in slots), dtype=np.int64, count=n)
+        all_sizes = np.fromiter((s for _, s in slots), dtype=np.int64, count=n)
+        offset_parts = []
+        size_parts = []
+        for rank in range(self.n_processes):
+            mine_offsets = all_offsets[rank :: self.n_processes]
+            mine_sizes = all_sizes[rank :: self.n_processes]
+            order = derive_rng(self.seed, "synthetic", rank).permutation(mine_offsets.shape[0])
+            offset_parts.append(mine_offsets[order])
+            size_parts.append(mine_sizes[order])
+        offsets = np.concatenate(offset_parts)
+        return RequestBatch(
+            offsets=offsets,
+            sizes=np.concatenate(size_parts),
+            is_read=np.full(offsets.shape[0], self.op is OpType.READ, dtype=bool),
+        )
 
     def synthetic_trace(self) -> list[TraceRecord]:
         """Offset-sorted trace over all ranks."""

@@ -1,0 +1,363 @@
+"""Batched fast path vs the general per-request path: bit-for-bit parity.
+
+The arithmetic replay of :mod:`repro.pfs.batch_exec` promises *exact*
+equivalence with spawning one DES process per request — not approximate,
+not statistical: the same elapsed-time array, the same ``sim.now``, the
+same per-resource busy-time floats, the same device RNG states, the same
+metadata counters. These tests compare the two paths over the edge grids
+the executor's case analysis worries about (h = 0, single server classes,
+requests straddling striping rounds, empty batches, issue-time ties,
+mixed ops) and check every fallback trigger routes to the general path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pfs.batch import RequestBatch
+from repro.pfs.batch_exec import fast_path_blocker
+from repro.pfs.filesystem import HybridPFS
+from repro.pfs.layout import FixedLayout, HybridFixedLayout, RegionLevelLayout
+from repro.pfs.mapping import StripingConfig
+from repro.core.rst import RegionStripeTable, RSTEntry
+from repro.simulate.engine import Simulator
+from repro.util.units import KiB
+
+# ---------------------------------------------------------------------------
+# Harness: run one batch on a fresh cluster and capture full observable state
+# ---------------------------------------------------------------------------
+
+
+def _run(
+    layout,
+    batch: RequestBatch,
+    *,
+    force_general: bool,
+    n_h: int = 2,
+    n_s: int = 1,
+    tracing: bool = False,
+    lookup_time: float | None = None,
+):
+    sim = Simulator()
+    if tracing:
+        from repro.obs.tracer import EventTracer
+
+        sim.tracer = EventTracer()
+    pfs = HybridPFS.build(sim, n_h, n_s, seed=0)
+    if lookup_time is not None:
+        pfs.mds.lookup_latency = lookup_time
+        pfs.mds.per_region_latency = lookup_time
+    handle = pfs.create_file("f", layout)
+    done = handle.request_batch(batch, force_general=force_general)
+    sim.run(done)
+    return {
+        "elapsed": np.asarray(done.value, dtype=np.float64),
+        "now": sim.now,
+        "busy": {
+            name: busy for name, busy in sorted(pfs.server_busy_times().items())
+        },
+        "nic_busy": [s.nic.monitor.busy_time for s in pfs.servers],
+        "disk_granted": [s.disk.granted_count for s in pfs.servers],
+        "nic_granted": [s.nic.granted_count for s in pfs.servers],
+        "rng": [s.device.rng.bit_generator.state for s in pfs.servers],
+        "bytes_served": [s.bytes_served for s in pfs.servers],
+        "subreqs": [s.subrequests_served for s in pfs.servers],
+        "lookups": pfs.mds.lookup_count,
+        "bytes_read": handle.bytes_read,
+        "bytes_written": handle.bytes_written,
+        "stats": dict(pfs.batch_stats),
+        "fallbacks": dict(pfs.batch_fallbacks),
+    }
+
+
+def _assert_parity(layout, batch, **kwargs):
+    fast = _run(layout, batch, force_general=False, **kwargs)
+    general = _run(layout, batch, force_general=True, **kwargs)
+    assert fast["stats"]["fast_batches"] == 1, f"fell back: {fast['fallbacks']}"
+    assert general["stats"]["general_batches"] == 1
+    np.testing.assert_array_equal(fast["elapsed"], general["elapsed"])
+    assert fast["now"] == general["now"]  # exact float equality, no tolerance
+    for key in (
+        "busy",
+        "nic_busy",
+        "disk_granted",
+        "nic_granted",
+        "bytes_served",
+        "subreqs",
+        "lookups",
+        "bytes_read",
+        "bytes_written",
+    ):
+        assert fast[key] == general[key], key
+    for fast_state, general_state in zip(fast["rng"], general["rng"]):
+        assert fast_state == general_state
+    return fast, general
+
+
+def _random_batch(rng: np.random.Generator, n: int, *, timed: bool, mixed: bool):
+    offsets = rng.integers(0, 4 * 1024 * 1024, size=n).astype(np.int64)
+    sizes = rng.integers(1, 512 * KiB, size=n).astype(np.int64)
+    is_read = rng.random(n) < 0.5 if mixed else np.zeros(n, dtype=bool)
+    issue_times = None
+    if timed:
+        issue_times = np.round(rng.random(n) * 0.01, 5)
+        issue_times[rng.random(n) < 0.3] = 0.0  # force zero-delay ties
+    return RequestBatch(offsets=offsets, sizes=sizes, is_read=is_read, issue_times=issue_times)
+
+
+THREE_REGION_RST = RegionStripeTable(
+    [
+        RSTEntry(
+            region_id=0,
+            offset=0,
+            end=1024 * 1024,
+            config=StripingConfig(n_hservers=2, n_sservers=1, hstripe=16 * KiB, sstripe=64 * KiB),
+        ),
+        RSTEntry(
+            region_id=1,
+            offset=1024 * 1024,
+            end=2 * 1024 * 1024,
+            config=StripingConfig(n_hservers=2, n_sservers=1, hstripe=0, sstripe=128 * KiB),
+        ),
+        RSTEntry(
+            region_id=2,
+            offset=2 * 1024 * 1024,
+            end=None,
+            config=StripingConfig(n_hservers=2, n_sservers=1, hstripe=64 * KiB, sstripe=64 * KiB),
+        ),
+    ]
+)
+
+
+# ---------------------------------------------------------------------------
+# Parity across layouts and batch shapes
+# ---------------------------------------------------------------------------
+
+
+class TestFastGeneralParity:
+    def test_fixed_layout_mixed_ops(self):
+        batch = _random_batch(np.random.default_rng(1), 64, timed=False, mixed=True)
+        _assert_parity(FixedLayout(2, 1, 64 * KiB), batch)
+
+    def test_hybrid_layout_h_zero(self):
+        """h = 0: SServers carry everything, HServers stay idle."""
+        batch = _random_batch(np.random.default_rng(2), 48, timed=False, mixed=True)
+        _assert_parity(HybridFixedLayout(2, 1, 0, 64 * KiB), batch)
+
+    def test_hserver_only_cluster(self):
+        batch = _random_batch(np.random.default_rng(3), 32, timed=False, mixed=False)
+        _assert_parity(FixedLayout(3, 0, 64 * KiB), batch, n_h=3, n_s=0)
+
+    def test_sserver_only_cluster(self):
+        batch = _random_batch(np.random.default_rng(4), 32, timed=False, mixed=True)
+        _assert_parity(FixedLayout(0, 3, 64 * KiB), batch, n_h=0, n_s=3)
+
+    def test_round_straddling_requests(self):
+        """Requests much larger than one striping round (M·h + N·s)."""
+        batch = RequestBatch(
+            offsets=np.array([0, 100_000, 3 * 192 * KiB - 7], dtype=np.int64),
+            sizes=np.array([5 * 192 * KiB, 192 * KiB + 1, 2 * 192 * KiB], dtype=np.int64),
+            is_read=np.array([False, True, False]),
+        )
+        _assert_parity(FixedLayout(2, 1, 64 * KiB), batch)
+
+    def test_region_level_layout(self):
+        batch = _random_batch(np.random.default_rng(5), 64, timed=False, mixed=True)
+        _assert_parity(RegionLevelLayout(THREE_REGION_RST), batch)
+
+    def test_issue_times_with_ties(self):
+        batch = _random_batch(np.random.default_rng(6), 64, timed=True, mixed=True)
+        _assert_parity(FixedLayout(2, 1, 64 * KiB), batch)
+
+    def test_issue_times_all_equal_nonzero(self):
+        rng = np.random.default_rng(7)
+        batch = _random_batch(rng, 24, timed=False, mixed=True)
+        batch = RequestBatch(
+            offsets=batch.offsets,
+            sizes=batch.sizes,
+            is_read=batch.is_read,
+            issue_times=np.full(len(batch), 0.005),
+        )
+        _assert_parity(FixedLayout(2, 1, 64 * KiB), batch)
+
+    def test_empty_batch(self):
+        batch = RequestBatch(offsets=[], sizes=[], is_read=[])
+        fast, general = _assert_parity(FixedLayout(2, 1, 64 * KiB), batch)
+        assert fast["elapsed"].shape == (0,)
+        assert fast["now"] == 0.0
+
+    def test_single_one_byte_request(self):
+        batch = RequestBatch(offsets=[0], sizes=[1], is_read=[True])
+        _assert_parity(FixedLayout(2, 1, 64 * KiB), batch)
+
+    def test_zero_cost_mds(self):
+        batch = _random_batch(np.random.default_rng(8), 32, timed=False, mixed=True)
+        _assert_parity(FixedLayout(2, 1, 64 * KiB), batch, lookup_time=0.0)
+
+    def test_fast_path_matches_traced_general_run(self):
+        """Tracing forces the general path; times must still match the fast path."""
+        batch = _random_batch(np.random.default_rng(9), 48, timed=False, mixed=True)
+        layout = FixedLayout(2, 1, 64 * KiB)
+        fast = _run(layout, batch, force_general=False)
+        traced = _run(layout, batch, force_general=False, tracing=True)
+        assert fast["stats"]["fast_batches"] == 1
+        assert traced["stats"]["general_batches"] == 1
+        assert traced["fallbacks"] == {"tracing": 1}
+        np.testing.assert_array_equal(fast["elapsed"], traced["elapsed"])
+        assert fast["now"] == traced["now"]
+        assert fast["busy"] == traced["busy"]
+
+    def test_sequential_batches_on_one_simulator(self):
+        """Back-to-back batches both stay fast; state carries over exactly."""
+        rng = np.random.default_rng(10)
+        first = _random_batch(rng, 24, timed=False, mixed=True)
+        second = _random_batch(rng, 24, timed=False, mixed=True)
+
+        def run(force_general):
+            sim = Simulator()
+            pfs = HybridPFS.build(sim, 2, 1, seed=0)
+            handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+            sim.run(handle.request_batch(first, force_general=force_general))
+            sim.run(handle.request_batch(second, force_general=force_general))
+            return sim.now, pfs.server_busy_times(), dict(pfs.batch_stats)
+
+        now_fast, busy_fast, stats_fast = run(False)
+        now_general, busy_general, _ = run(True)
+        assert stats_fast["fast_batches"] == 2
+        assert now_fast == now_general
+        assert busy_fast == busy_general
+
+
+# ---------------------------------------------------------------------------
+# Fallback matrix: every blocker routes to the general path, results intact
+# ---------------------------------------------------------------------------
+
+
+class TestFallbackMatrix:
+    def _cluster(self, **build_kwargs):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 1, seed=0, **build_kwargs)
+        handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+        return sim, pfs, handle
+
+    BATCH = RequestBatch(offsets=[0, 256 * KiB], sizes=[64 * KiB, 64 * KiB], is_read=[False, True])
+
+    def test_tracing_blocks(self):
+        from repro.obs.tracer import EventTracer
+
+        sim, pfs, handle = self._cluster()
+        sim.tracer = EventTracer()
+        assert fast_path_blocker(handle) == "tracing"
+        sim.run(handle.request_batch(self.BATCH))
+        assert pfs.batch_fallbacks == {"tracing": 1}
+
+    def test_busy_simulator_blocks(self):
+        sim, pfs, handle = self._cluster()
+
+        def idle():
+            yield sim.timeout(10.0)
+
+        sim.process(idle())
+        assert fast_path_blocker(handle) == "simulator-busy"
+        sim.run(handle.request_batch(self.BATCH))
+        assert pfs.batch_fallbacks == {"simulator-busy": 1}
+
+    def test_fault_injector_blocks(self):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.schedule import FaultSchedule, ServerCrash
+
+        sim, pfs, handle = self._cluster()
+        FaultInjector(sim, pfs, FaultSchedule([ServerCrash(time=100.0, server=0)])).install()
+        # install() spawns timer processes, so the simulator is not quiescent.
+        assert fast_path_blocker(handle) == "simulator-busy"
+        sim.run(handle.request_batch(self.BATCH))
+        assert pfs.batch_fallbacks == {"simulator-busy": 1}
+
+    def test_retry_policy_blocks(self):
+        from repro.faults.retry import RetryPolicy
+
+        sim, pfs, handle = self._cluster()
+        pfs.retry = RetryPolicy()
+        assert fast_path_blocker(handle) == "retry-policy"
+        sim.run(handle.request_batch(self.BATCH))
+        assert pfs.batch_fallbacks == {"retry-policy": 1}
+
+    def test_scan_disk_scheduler_blocks(self):
+        sim, pfs, handle = self._cluster(disk_scheduler="scan")
+        assert fast_path_blocker(handle) == "disk-scheduler"
+        sim.run(handle.request_batch(self.BATCH))
+        assert pfs.batch_fallbacks == {"disk-scheduler": 1}
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_FAST", "0")
+        sim, pfs, handle = self._cluster()
+        sim.run(handle.request_batch(self.BATCH))
+        assert pfs.batch_fallbacks == {"disabled": 1}
+
+    def test_failed_server_blocks(self):
+        sim, pfs, handle = self._cluster()
+        pfs.servers[0].mark_failed()
+        assert fast_path_blocker(handle) == "failed-server"
+
+    def test_eligible_cluster_has_no_blocker(self):
+        _, _, handle = self._cluster()
+        assert fast_path_blocker(handle) is None
+
+    def test_faulted_run_matches_forced_general(self):
+        """A fault-injected batched run equals the same run forced general."""
+        from repro.faults.injector import FaultInjector
+        from repro.faults.schedule import FaultSchedule, ServerCrash
+
+        def run(force_general):
+            sim = Simulator()
+            pfs = HybridPFS.build(sim, 2, 1, seed=0)
+            handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+            schedule = FaultSchedule([ServerCrash(time=1e9, server=0)])
+            FaultInjector(sim, pfs, schedule).install()
+            done = handle.request_batch(self.BATCH, force_general=force_general)
+            sim.run(done)
+            return np.asarray(done.value), sim.now
+
+        auto_elapsed, auto_now = run(False)
+        forced_elapsed, forced_now = run(True)
+        np.testing.assert_array_equal(auto_elapsed, forced_elapsed)
+        assert auto_now == forced_now
+
+
+# ---------------------------------------------------------------------------
+# Batched runs through the parallel job fabric (--jobs N)
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedJobs:
+    def test_batched_runjob_parity_under_pool(self, tiny_testbed):
+        from repro.experiments.parallel import RunJob, run_jobs
+        from repro.workloads.ior import IORConfig, IORWorkload
+
+        workload = IORWorkload(
+            IORConfig(n_processes=4, request_size=64 * KiB, file_size=2 * 1024 * 1024)
+        )
+        jobs = [
+            RunJob(
+                testbed=tiny_testbed,
+                workload=workload,
+                layout=FixedLayout(2, 1, 64 * KiB),
+                layout_name="fast",
+                batched=True,
+            ),
+            RunJob(
+                testbed=tiny_testbed,
+                workload=workload,
+                layout=FixedLayout(2, 1, 64 * KiB),
+                layout_name="general",
+                batched=True,
+                force_general=True,
+            ),
+        ]
+        serial = run_jobs(jobs)
+        pooled = run_jobs(jobs, jobs=2)
+        assert serial[0].makespan == serial[1].makespan
+        for s, p in zip(serial, pooled):
+            assert s.makespan == p.makespan
+            assert s.server_busy == p.server_busy

@@ -165,3 +165,52 @@ class TestVectorized:
             params, offsets, sizes, np.zeros(4, bool), 0, np.array([64 * KiB])
         )
         assert writes[0] > reads[0]
+
+
+class TestRandomizedVectorizedParity:
+    """Randomized grids: vectorized region cost == summed scalar costs.
+
+    The hypothesis suite checks one (h, s) pair at a time; this drives the
+    whole candidate axis the Algorithm 2 grid search actually evaluates,
+    over larger random batches, for both server-class extremes.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_candidate_grid(self, params, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(20, 80))
+        offsets = rng.integers(0, 1 << 24, size=n).astype(np.int64)
+        sizes = rng.integers(1, 1 << 20, size=n).astype(np.int64)
+        is_read = rng.random(n) < 0.5
+        step = 4 * KiB
+        h = int(rng.integers(0, 16)) * step
+        s_candidates = np.arange(h + step, h + 17 * step, step, dtype=np.int64)
+        vectorized = total_cost_vectorized(params, offsets, sizes, is_read, h, s_candidates)
+        for j, s in enumerate(s_candidates.tolist()):
+            scalar = sum(
+                request_cost(
+                    params, "read" if r else "write", int(o), int(z), h, s
+                )
+                for o, z, r in zip(offsets, sizes, is_read)
+            )
+            assert vectorized[j] == pytest.approx(scalar, rel=1e-10)
+
+    def test_hserver_only_grid(self, small_params):
+        rng = np.random.default_rng(3)
+        from dataclasses import replace
+
+        params = replace(small_params, n_sservers=0)
+        n = 30
+        offsets = rng.integers(0, 1 << 22, size=n).astype(np.int64)
+        sizes = rng.integers(1, 1 << 18, size=n).astype(np.int64)
+        is_read = rng.random(n) < 0.5
+        h_grid = [4 * KiB, 64 * KiB, 1 << 20]
+        for h in h_grid:
+            vectorized = total_cost_vectorized(
+                params, offsets, sizes, is_read, h, np.array([0], dtype=np.int64)
+            )[0]
+            scalar = sum(
+                request_cost(params, "read" if r else "write", int(o), int(z), h, 0)
+                for o, z, r in zip(offsets, sizes, is_read)
+            )
+            assert vectorized == pytest.approx(scalar, rel=1e-10)

@@ -238,12 +238,13 @@ class TestPlanReportExport:
         from repro.core.planner import PlanReport
 
         registry = MetricsRegistry()
-        report = PlanReport(n_requests=10, cache_hits=3, cache_misses=1)
+        report = PlanReport(n_requests=10, cache_hits=3, cache_misses=1, cache_capacity=1024)
         report.n_regions_after_merge = 2
         record_plan_report(registry, report)
         snapshot = registry.snapshot()
-        assert snapshot["planner.stripe_cache_hits"]["value"] == 3
-        assert snapshot["planner.stripe_cache_hit_rate"]["value"] == pytest.approx(0.75)
+        assert snapshot["planner.stripe_cache.hits"]["value"] == 3
+        assert snapshot["planner.stripe_cache.hit_rate"]["value"] == pytest.approx(0.75)
+        assert snapshot["planner.stripe_cache.capacity"]["value"] == 1024
         assert snapshot["planner.requests"]["value"] == 10
 
 
