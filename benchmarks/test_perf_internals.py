@@ -183,6 +183,38 @@ def test_perf_pfs_write_path_faults_disabled(benchmark, request):
         assert benchmark.stats.stats.mean <= baseline * 2.0
 
 
+def test_perf_pfs_write_path_integrity_disabled(benchmark, request):
+    """Integrity guard: with no corruption faults and no replication, the
+    data path must not pay for the checksum layer it carries.
+
+    The hook is one ``checksums is None`` slot test per serve (the same
+    discipline as tracing and faults), so this bench must track the
+    faults-disabled bench above — both reduce to the identical pre-hook
+    request loop. Bounded against that bench's committed mean so a
+    checksum hook that starts allocating or hashing on the disabled path
+    shows up even before this case has its own committed baseline.
+    """
+
+    def run():
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        procs = [handle.write(i * 256 * KiB, 256 * KiB) for i in range(64)]
+        sim.run(sim.all_of(procs))
+        assert pfs.integrity is None  # Hook never engaged.
+        assert all(server.checksums is None for server in pfs.servers)
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+    for name in ("test_perf_pfs_write_path_integrity_disabled",
+                 "test_perf_pfs_write_path_faults_disabled"):
+        baseline = _baseline_mean(name)
+        if baseline is not None:
+            assert benchmark.stats.stats.mean <= baseline * 2.0
+            break
+
+
 def test_perf_decompose(benchmark):
     """Scalar sub-request decomposition, 2000 requests."""
     config = StripingConfig(6, 2, 36 * KiB, 148 * KiB)

@@ -5,9 +5,14 @@ Commands:
 - ``calibrate`` — probe a testbed's devices and print the Table-I bundle;
 - ``plan`` — run the Analysis Phase on a trace CSV and emit the RST JSON;
 - ``run-ior`` — simulate IOR under a chosen layout and print throughput;
-  ``--faults SPEC`` injects scripted faults with client retry/failover;
+  ``--faults SPEC`` injects scripted faults (including ``corrupt:`` data
+  corruption) with client retry/failover; ``--replicas N`` mirrors every
+  region N ways so corrupted reads self-heal;
 - ``chaos`` — sweep stochastic fault rates, comparing HARL against a
   fixed-stripe baseline under identical fault schedules;
+  ``--corrupt-rate`` folds silent data corruption into the sweep;
+- ``scrub`` — write a file under corruption faults, then run a background
+  scrub sweep and report what it detected and repaired;
 - ``trace`` — run IOR with DES event tracing; export a Chrome trace;
 - ``analyze`` — summarize an IOSIG trace CSV;
 - ``replay`` — replay a trace CSV under a layout;
@@ -37,7 +42,8 @@ from repro.obs import (
     write_chrome_trace,
     write_spans_csv,
 )
-from repro.pfs.layout import FixedLayout, RandomLayout
+from repro.pfs.integrity import IntegrityError
+from repro.pfs.layout import FixedLayout, RandomLayout, RegionLevelLayout
 from repro.util.units import format_size, parse_size
 from repro.workloads.ior import IORConfig, IORWorkload
 from repro.workloads.traces import TraceFile, sort_trace
@@ -120,12 +126,23 @@ def _resolve_layout(args: argparse.Namespace, testbed: Testbed, workload, report
     Raises :class:`LayoutSpecError` with a user-facing message for values
     that are neither ``harl``, a random spec, nor a parseable stripe size —
     commands turn that into a clean exit-2 error instead of a traceback.
+    ``--replicas N`` (when the command defines it) mirrors every region N
+    ways; N < 1 and unsupported layout families also exit cleanly.
     """
+    replicas = getattr(args, "replicas", 1)
+    if replicas < 1:
+        raise LayoutSpecError(f"--replicas must be >= 1, got {replicas}")
     name = args.layout.lower()
     if name == "harl":
-        return harl_plan(testbed, workload, report_sink=report_sink), "HARL", True
+        rst = harl_plan(testbed, workload, report_sink=report_sink)
+        if replicas > 1:
+            layout = RegionLevelLayout(rst, replicas=replicas)
+            return layout, f"HARL+r{replicas}", True
+        return rst, "HARL", True
     match = _RANDOM_LAYOUT_RE.match(name)
     if match is not None:
+        if replicas > 1:
+            raise LayoutSpecError("--replicas is not supported with random layouts")
         seed = int(match.group(1)) if match.group(1) is not None else 1
         layout = RandomLayout(args.hservers, args.sservers, seed=seed)
         return layout, layout.describe(), False
@@ -136,7 +153,9 @@ def _resolve_layout(args: argparse.Namespace, testbed: Testbed, workload, report
             f"invalid --layout {args.layout!r}: expected 'harl', 'random', "
             f"'rand<seed>', or a stripe size like '64K'"
         ) from None
-    return FixedLayout(args.hservers, args.sservers, stripe), format_size(stripe), False
+    layout = FixedLayout(args.hservers, args.sservers, stripe, replicas=replicas)
+    label = format_size(stripe) if replicas == 1 else f"{format_size(stripe)}+r{replicas}"
+    return layout, label, False
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
@@ -179,10 +198,19 @@ def cmd_plan(args: argparse.Namespace) -> int:
 def _fault_stats_line(stats) -> str:
     return (
         f"faults: {stats.crashes} crashes, {stats.hangs} hangs, "
-        f"{stats.degrades} degrades, {stats.blips} blips | recovery: "
+        f"{stats.degrades} degrades, {stats.blips} blips, "
+        f"{stats.corruptions} corruptions | recovery: "
         f"{stats.retries} retries, {stats.timeouts} timeouts, "
         f"{stats.rerouted_subrequests} rerouted subrequests, "
         f"{stats.exhausted} exhausted"
+    )
+
+
+def _integrity_line(stats) -> str:
+    return (
+        f"integrity: {stats.units_poisoned} units poisoned, {stats.checks} checks, "
+        f"{stats.mismatches} mismatches, {stats.repaired} repaired, "
+        f"{stats.unrepairable} unrepairable, {stats.silent_corruptions} silent"
     )
 
 
@@ -215,6 +243,12 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
         # Unknown server names surface when the schedule binds to the PFS.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except IntegrityError as exc:
+        # A corrupted read with no replica to heal from surfaces as a typed
+        # error, never as silently wrong data.
+        print(f"error: unrepairable data corruption: {exc}", file=sys.stderr)
+        print("hint: rerun with --replicas 2 to enable read-path repair", file=sys.stderr)
+        return 1
     config = workload.config
     print(
         f"IOR {config.op.value}, {config.n_processes} procs, "
@@ -224,8 +258,11 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
     print(f"  {result.throughput_mib:.1f} MiB/s (makespan {result.makespan:.4f}s)")
     if result.faults is not None:
         print(f"  {_fault_stats_line(result.faults)}")
+    if result.integrity is not None:
+        print(f"  {_integrity_line(result.integrity)}")
     if is_harl:
-        plan = ", ".join(entry.config.describe() for entry in layout.entries)
+        rst = getattr(layout, "rst", layout)  # --replicas wraps the RST
+        plan = ", ".join(entry.config.describe() for entry in rst.entries)
         print(f"  plan: {plan}")
     if result.obs is not None and trace_out:
         write_chrome_trace(trace_out, result.obs)
@@ -250,6 +287,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             raise FaultSpecError("--rates must list at least one fault rate")
         if any(rate < 0 for rate in rates):
             raise FaultSpecError("--rates entries must be >= 0")
+        if args.corrupt_rate < 0:
+            raise FaultSpecError("--corrupt-rate must be >= 0")
         layouts = {"HARL": harl_plan(testbed, workload)}
         stripe = parse_size(args.baseline_stripe)
         layouts[format_size(stripe)] = FixedLayout(args.hservers, args.sservers, stripe)
@@ -275,6 +314,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             hang_rate=rate,
             degrade_rate=rate,
             blip_rate=rate * 0.5,
+            corrupt_rate=rate * args.corrupt_rate,
         )
         for name, layout in layouts.items():
             keys.append((rate, name))
@@ -290,13 +330,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             )
     results = run_jobs(jobs_list, jobs=args.jobs)
     width = max(len(name) for name in layouts) + 2
+    with_corruption = args.corrupt_rate > 0
     print(
         f"chaos sweep: {len(rates)} rates x {len(layouts)} layouts, seed {args.seed} "
         f"(rate = expected hangs+degrades per run; crashes/blips at half rate)"
     )
+    corrupt_header = f" {'corrupt':>7} {'poisoned':>8}" if with_corruption else ""
     print(
         f"{'rate':>6} {'layout':<{width}} {'MiB/s':>10} {'slowdown':>9}  "
-        f"{'injected':>8} {'retries':>7} {'failovers':>9} {'rerouted':>8}"
+        f"{'injected':>8} {'retries':>7} {'failovers':>9} {'rerouted':>8}{corrupt_header}"
     )
     for (rate, name), result in zip(keys, results):
         base = reference[name].throughput
@@ -306,10 +348,85 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         retries = stats.retries if stats is not None else 0
         failovers = stats.failovers if stats is not None else 0
         rerouted = stats.rerouted_subrequests if stats is not None else 0
+        corrupt_cols = ""
+        if with_corruption:
+            corruptions = stats.corruptions if stats is not None else 0
+            poisoned = result.integrity.units_poisoned if result.integrity is not None else 0
+            corrupt_cols = f" {corruptions:>7} {poisoned:>8}"
         print(
             f"{rate:>6.2f} {name:<{width}} {result.throughput_mib:>10.1f} "
             f"{slowdown:>8.2f}x  {injected:>8} {retries:>7} {failovers:>9} {rerouted:>8}"
+            f"{corrupt_cols}"
         )
+    return 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Write under corruption faults, then scrub and report the repairs.
+
+    Runs an IOR write on a (by default replicated) layout while a
+    ``corrupt:`` fault schedule poisons stored stripe units, then sweeps the
+    whole namespace with a :class:`~repro.online.scrub.Scrubber`. Exits 1 if
+    any corruption went silent (detected but neither repaired nor reported)
+    — the invariant the integrity layer guarantees never happens.
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.middleware.mpi_sim import SimMPI
+    from repro.middleware.mpiio import MPIIOFile
+    from repro.online.scrub import Scrubber
+    from repro.simulate.engine import Simulator
+
+    testbed = _testbed(args)
+    try:
+        workload = _ior_workload(args)
+        layout, label, _ = _resolve_layout(args, testbed, workload)
+        faults = parse_faults(args.faults) if args.faults else None
+        chunk_size = parse_size(args.chunk_size)
+        if chunk_size < 1:
+            raise ValueError(f"--chunk-size must be >= 1, got {args.chunk_size}")
+        if not (0 < args.duty_cycle <= 1):
+            raise ValueError(f"--duty-cycle must be in (0, 1], got {args.duty_cycle}")
+    except (LayoutSpecError, FaultSpecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sim = Simulator()
+    pfs = testbed.build(sim)
+    pfs.enable_integrity()  # scrub verifies even when no faults are scheduled
+    if faults is not None:
+        try:
+            FaultInjector(sim, pfs, faults, seed=args.seed).install()
+        except FaultSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    world = SimMPI(sim, workload.config.n_processes, network=pfs.network)
+    mf = MPIIOFile.open(world.comm, pfs, "shared.dat", layout)
+    sim.run(world.spawn(workload.rank_program(mf)))
+    write_makespan = sim.now
+    if faults is not None:
+        # Let any corruption events scheduled past the write horizon fire.
+        last = max((event.time for event in faults.events), default=0.0)
+        if last > sim.now:
+
+            def idle(delay=last - sim.now):
+                yield sim.timeout(delay)
+
+            sim.run(sim.process(idle()))
+    scrubber = Scrubber(pfs, chunk_size=chunk_size, duty_cycle=args.duty_cycle)
+    sim.run(scrubber.start())
+    report = scrubber.last_report
+    stats = pfs.integrity.stats()
+    print(
+        f"wrote {format_size(workload.config.file_size)} under layout {label} "
+        f"in {write_makespan:.4f}s"
+    )
+    print(f"  {report.summary()}")
+    print(f"  {_integrity_line(stats)}")
+    if stats.silent_corruptions != 0:
+        print(
+            f"error: {stats.silent_corruptions} corruption(s) escaped silently",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -537,7 +654,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         metavar="SPEC",
         help="inject faults, e.g. 'crash:sserver0@0.01;hang:hserver1@0.02+0.05;"
-        "degrade:0@0.01x3+0.1;blip@0.02x2+0.1' (enables client retry/failover)",
+        "degrade:0@0.01x3+0.1;blip@0.02x2+0.1;corrupt:hserver0@0.03%%0.5' "
+        "(enables client retry/failover)",
+    )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="mirror every region N ways across the other server class "
+        "(default 1 = no replication; corrupted reads self-heal when > 1)",
     )
     p.set_defaults(fn=cmd_run_ior)
 
@@ -558,7 +683,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SIZE",
         help="fixed-layout stripe to compare HARL against (default 64K)",
     )
+    p.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=0.0,
+        help="expected silent-corruption events per run at sweep rate 1 "
+        "(default 0 = no corruption; scales with the sweep rate)",
+    )
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "scrub",
+        help="write under corruption faults, then scrub-sweep and repair",
+    )
+    _add_testbed_args(p)
+    _add_ior_args(p)
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default="corrupt:0@0.01%0.25;corrupt:1@0.02",
+        help="fault spec; corrupt:<server>@<t>[%%<rate>] events poison stored "
+        "stripe units (default poisons servers 0 and 1)",
+    )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="region replication factor; 2+ lets the scrubber repair from "
+        "the mirror copy (default 2)",
+    )
+    p.add_argument("--chunk-size", default="4M", help="bytes verified per scrub read (default 4M)")
+    p.add_argument(
+        "--duty-cycle",
+        type=float,
+        default=1.0,
+        help="fraction of time the scrubber may keep a device busy (default 1.0)",
+    )
+    p.set_defaults(fn=cmd_scrub)
 
     p = sub.add_parser(
         "trace", help="simulate IOR with full DES tracing; export Chrome trace + metrics"

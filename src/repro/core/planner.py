@@ -242,6 +242,26 @@ class HARLPlanner:
         self,
         trace: Sequence[TraceRecord],
         availability: Sequence[bool] | None = None,
+        replicas: int = 1,
+        replicate_max_bytes: int | None = None,
     ) -> RegionLevelLayout:
-        """Placing phase entry point: trace → region-level layout policy."""
-        return RegionLevelLayout(self.plan(trace, availability=availability))
+        """Placing phase entry point: trace → region-level layout policy.
+
+        ``replicas`` > 1 mirrors region data across the other server class
+        (HDA-style per-allocation-unit redundancy; see DESIGN.md §11).
+        ``replicate_max_bytes`` restricts the mirroring to regions spanning
+        at most that many bytes — the small, hot regions where the extra
+        copy is cheap — leaving bulk regions single-copy. The last,
+        unbounded region never qualifies under a size cap.
+        """
+        rst = self.plan(trace, availability=availability)
+        if replicas <= 1:
+            return RegionLevelLayout(rst)
+        if replicate_max_bytes is None:
+            return RegionLevelLayout(rst, replicas=replicas)
+        per_region = {
+            entry.region_id: replicas
+            for entry in rst.entries
+            if entry.end is not None and entry.end - entry.offset <= replicate_max_bytes
+        }
+        return RegionLevelLayout(rst, replicas=per_region)

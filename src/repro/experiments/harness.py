@@ -165,6 +165,9 @@ class RunResult:
     #: Injected-fault + recovery summary when the run had a fault schedule
     #: (:class:`repro.faults.injector.FaultStats`); None on fault-free runs.
     faults: Any = None
+    #: Checksum/replication summary (:class:`repro.pfs.integrity.IntegrityStats`)
+    #: when the run's integrity layer was active; None otherwise.
+    integrity: Any = None
 
     @property
     def throughput(self) -> float:
@@ -215,7 +218,7 @@ def run_workload(
     if faults is not None:
         from repro.faults.injector import FaultInjector
 
-        injector = FaultInjector(sim, pfs, faults).install()
+        injector = FaultInjector(sim, pfs, faults, seed=testbed.seed).install()
     if retry is not None:
         pfs.retry = retry
     world = SimMPI(sim, workload_processes(workload), network=pfs.network)
@@ -237,6 +240,7 @@ def run_workload(
         server_busy=pfs.server_busy_times(),
         obs=obs,
         faults=injector.stats() if injector is not None else None,
+        integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
     )
 
 
@@ -275,7 +279,7 @@ def run_workload_batched(
     if faults is not None:
         from repro.faults.injector import FaultInjector
 
-        injector = FaultInjector(sim, pfs, faults).install()
+        injector = FaultInjector(sim, pfs, faults, seed=testbed.seed).install()
     if retry is not None:
         pfs.retry = retry
     world = SimMPI(sim, 1, network=pfs.network)
@@ -294,6 +298,7 @@ def run_workload_batched(
         server_busy=pfs.server_busy_times(),
         obs=obs,
         faults=injector.stats() if injector is not None else None,
+        integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
     )
 
 

@@ -7,6 +7,8 @@ Three layers (see DESIGN.md §9):
 - :mod:`repro.faults.injector` — applying a schedule to a live simulator +
   filesystem through DES processes, and summarizing the damage
   (:class:`FaultStats`);
+- :mod:`repro.faults.corruption` — seed-deterministic silent-corruption
+  events (detected by :mod:`repro.pfs.integrity` checksummed reads);
 - :mod:`repro.faults.retry` — how clients survive it: timeouts, capped
   exponential backoff with deterministic jitter, failover via the health
   layer (:mod:`repro.pfs.health`).
@@ -15,9 +17,11 @@ Everything is seed-deterministic and wall-clock-free: the same (seed,
 schedule, workload) triple produces bit-identical runs, serial or parallel.
 """
 
+from repro.faults.corruption import corrupt_server
 from repro.faults.injector import FaultInjector, FaultStats, inject
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import (
+    DataCorruption,
     FaultSchedule,
     FaultSpecError,
     NetworkBlip,
@@ -29,6 +33,7 @@ from repro.faults.schedule import (
 from repro.pfs.health import ServerHealth, ServerUnavailable
 
 __all__ = [
+    "DataCorruption",
     "FaultInjector",
     "FaultSchedule",
     "FaultSpecError",
@@ -40,6 +45,7 @@ __all__ = [
     "ServerHang",
     "ServerHealth",
     "ServerUnavailable",
+    "corrupt_server",
     "inject",
     "parse_faults",
 ]

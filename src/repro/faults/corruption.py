@@ -1,0 +1,45 @@
+"""Applying :class:`DataCorruption` events: seed-deterministic poisoning.
+
+A corruption event flips the stored CRC tags of a sample of the target
+server's *written* stripe units (never-written space has no tags and
+nothing to corrupt — exactly like real silent corruption, which damages
+stored bytes). The sample is drawn from a :func:`repro.util.rng.derive_rng`
+stream keyed by the run seed, the target server, and the event's firing
+sequence number, so the same (seed, schedule) poisons the same units in
+every replay, serial or under ``--jobs N``.
+
+Poisoned units stay silent until a checksummed read covers them — then the
+server raises :class:`~repro.pfs.integrity.IntegrityError` and the client
+either repairs from a replica or propagates the typed error. See
+:mod:`repro.pfs.integrity` and DESIGN.md §11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pfs.integrity import ExtentChecksums
+
+
+def corrupt_server(
+    checksums: ExtentChecksums, rate: float, rng: np.random.Generator
+) -> int:
+    """Poison a ``rate`` fraction of the written, still-clean stripe units.
+
+    Draws ``max(1, round(rate * candidates))`` distinct units (capped at the
+    candidate count) without replacement and flips their stored tags.
+    Already-poisoned units are excluded — re-poisoning would XOR a unit's
+    tag back to clean. Returns the number of units poisoned; 0 when the
+    server has no clean written units yet.
+    """
+    if not (0.0 < rate <= 1.0):
+        raise ValueError(f"corruption rate must be in (0, 1], got {rate}")
+    poisoned = set(checksums.poisoned_blocks())
+    candidates = [b for b in checksums.written_blocks() if b not in poisoned]
+    if not candidates:
+        return 0
+    count = min(len(candidates), max(1, round(rate * len(candidates))))
+    picks = rng.choice(len(candidates), size=count, replace=False)
+    for index in sorted(int(p) for p in picks):
+        checksums.poison_block(candidates[index])
+    return count

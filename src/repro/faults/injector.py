@@ -33,7 +33,9 @@ from __future__ import annotations
 from collections.abc import Generator
 from dataclasses import dataclass
 
+from repro.faults.corruption import corrupt_server
 from repro.faults.schedule import (
+    DataCorruption,
     FaultEvent,
     FaultSchedule,
     FaultSpecError,
@@ -44,6 +46,7 @@ from repro.faults.schedule import (
 )
 from repro.pfs.filesystem import ParallelFileSystem
 from repro.simulate.engine import Simulator
+from repro.util.rng import derive_rng
 
 
 @dataclass(frozen=True)
@@ -60,6 +63,7 @@ class FaultStats:
     hangs: int = 0
     degrades: int = 0
     blips: int = 0
+    corruptions: int = 0
     servers_failed: int = 0
     retries: int = 0
     timeouts: int = 0
@@ -69,7 +73,7 @@ class FaultStats:
 
     @property
     def total_injected(self) -> int:
-        return self.crashes + self.hangs + self.degrades + self.blips
+        return self.crashes + self.hangs + self.degrades + self.blips + self.corruptions
 
 
 def _product(factors: list[float]) -> float:
@@ -82,12 +86,23 @@ def _product(factors: list[float]) -> float:
 class FaultInjector:
     """Applies one :class:`FaultSchedule` to one simulator + filesystem."""
 
-    def __init__(self, sim: Simulator, pfs: ParallelFileSystem, schedule: FaultSchedule):
+    def __init__(
+        self,
+        sim: Simulator,
+        pfs: ParallelFileSystem,
+        schedule: FaultSchedule,
+        seed: int = 0,
+    ):
         self.sim = sim
         self.pfs = pfs
         self.schedule = schedule.validate(n_servers=pfs.n_servers)
+        #: Seeds the corruption unit-sampling streams (the run seed, so the
+        #: same (seed, schedule) poisons the same units in every replay).
+        self.seed = seed
         self._by_name = {server.name: i for i, server in enumerate(pfs.servers)}
-        self.injected = {"crash": 0, "hang": 0, "degrade": 0, "blip": 0}
+        self.injected = {"crash": 0, "hang": 0, "degrade": 0, "blip": 0, "corrupt": 0}
+        self.units_poisoned = 0
+        self._corrupt_seq = 0
         self._slowdowns: dict[int, list[float]] = {}
         self._blips: list[float] = []
         self._installed = False
@@ -116,6 +131,10 @@ class FaultInjector:
         self._installed = True
         for server in self.pfs.servers:
             server.enable_fault_tracking()
+        if self.schedule.corruptions():
+            # Corruption is only observable through checksummed reads;
+            # arm end-to-end integrity before any unit can be poisoned.
+            self.pfs.enable_integrity()
         for event in self.schedule.sorted_events():
             server_id = None
             if not isinstance(event, NetworkBlip):
@@ -149,6 +168,18 @@ class FaultInjector:
             yield sim.timeout(event.duration)
             server.disk.resume()
             server.nic.resume()
+            return
+        if isinstance(event, DataCorruption):
+            server = self.pfs.servers[server_id]
+            if server.is_failed:
+                return  # A dead server's data is unreachable either way.
+            self.injected["corrupt"] += 1
+            sequence = self._corrupt_seq
+            self._corrupt_seq += 1
+            rng = derive_rng(self.seed, "corrupt", server_id, sequence)
+            self.units_poisoned += corrupt_server(server.checksums, event.rate, rng)
+            if tracer is not None:
+                tracer.on_fault("corrupt", server.name, sim.now, 0.0)
             return
         if isinstance(event, ServerDegrade):
             device = self.pfs.servers[server_id].device
@@ -184,10 +215,16 @@ class FaultInjector:
             hangs=self.injected["hang"],
             degrades=self.injected["degrade"],
             blips=self.injected["blip"],
+            corruptions=self.injected["corrupt"],
             **counters,
         )
 
 
-def inject(sim: Simulator, pfs: ParallelFileSystem, schedule: FaultSchedule) -> FaultInjector:
+def inject(
+    sim: Simulator,
+    pfs: ParallelFileSystem,
+    schedule: FaultSchedule,
+    seed: int = 0,
+) -> FaultInjector:
     """Build and install an injector in one call; returns it (for stats)."""
-    return FaultInjector(sim, pfs, schedule).install()
+    return FaultInjector(sim, pfs, schedule, seed=seed).install()

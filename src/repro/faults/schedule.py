@@ -11,6 +11,7 @@ simulated time. Schedules come from three places:
       hang:<server>@<t>+<dur>            server unresponsive for dur seconds
       degrade:<server>@<t>x<factor>+<dur> device slowdown factor over window
       blip@<t>x<factor>+<dur>            network-wide slowdown over window
+      corrupt:<server>@<t>[%<rate>]      silently corrupt written stripe units
 
   events separated by ``;``; ``<server>`` is a server name (``sserver0``)
   or integer index; malformed specs raise :class:`FaultSpecError`;
@@ -18,6 +19,10 @@ simulated time. Schedules come from three places:
   targets, factors, and durations from :func:`repro.util.rng.derive_rng`
   streams — the same seed always yields the same schedule, so chaos sweeps
   replay bit-identically, serial or parallel.
+
+Every schedule also round-trips: :meth:`FaultSchedule.to_spec` prints the
+grammar string whose :func:`parse_faults` yields an equal schedule, so
+schedules can live in reports and be replayed verbatim.
 
 The schedule itself never touches the simulation; the
 :class:`~repro.faults.injector.FaultInjector` turns it into DES events.
@@ -89,7 +94,27 @@ class NetworkBlip:
     kind = "blip"
 
 
-FaultEvent = ServerCrash | ServerHang | ServerDegrade | NetworkBlip
+@dataclass(frozen=True)
+class DataCorruption:
+    """Silent corruption of written stripe units on ``server`` at ``time``.
+
+    ``rate`` in (0, 1] is the fraction of the server's written stripe units
+    whose stored CRC tags flip to poisoned (at least one unit if any exist).
+    The unit sample is seed-deterministic — drawn by the injector from
+    :func:`repro.util.rng.derive_rng` — so chaos runs replay bit-identically
+    under ``--jobs N``. Installing a schedule with corruption events turns
+    end-to-end checksumming on (:mod:`repro.pfs.integrity`); the corrupted
+    units are later *detected* on read, never silently returned.
+    """
+
+    time: float
+    server: int | str
+    rate: float = 1.0
+
+    kind = "corrupt"
+
+
+FaultEvent = ServerCrash | ServerHang | ServerDegrade | NetworkBlip | DataCorruption
 
 
 @dataclass(frozen=True)
@@ -124,6 +149,11 @@ class FaultSchedule:
                 raise FaultSpecError(
                     f"slowdown factor must be >= 1.0, got {factor} in {event}"
                 )
+            rate = getattr(event, "rate", None)
+            if rate is not None and not (0.0 < rate <= 1.0):
+                raise FaultSpecError(
+                    f"corruption rate must be in (0, 1], got {rate} in {event}"
+                )
             server = getattr(event, "server", None)
             if isinstance(server, int) and n_servers is not None:
                 if not (0 <= server < n_servers):
@@ -139,6 +169,39 @@ class FaultSchedule:
     def crashes(self) -> tuple[ServerCrash, ...]:
         return tuple(e for e in self.events if isinstance(e, ServerCrash))
 
+    def corruptions(self) -> tuple[DataCorruption, ...]:
+        return tuple(e for e in self.events if isinstance(e, DataCorruption))
+
+    def to_spec(self) -> str:
+        """Print the schedule in the :func:`parse_faults` grammar.
+
+        The inverse of parsing: ``parse_faults(s.to_spec()) == s`` for any
+        valid schedule, including :meth:`random`-generated ones. Floats are
+        printed with ``repr`` so the round trip is bit-exact; a corruption
+        event with the default rate 1.0 omits the ``%<rate>`` suffix.
+        """
+        clauses: list[str] = []
+        for event in self.events:
+            if isinstance(event, ServerCrash):
+                clauses.append(f"crash:{event.server}@{event.time!r}")
+            elif isinstance(event, ServerHang):
+                clauses.append(f"hang:{event.server}@{event.time!r}+{event.duration!r}")
+            elif isinstance(event, ServerDegrade):
+                clauses.append(
+                    f"degrade:{event.server}@{event.time!r}x{event.factor!r}"
+                    f"+{event.duration!r}"
+                )
+            elif isinstance(event, NetworkBlip):
+                clauses.append(f"blip@{event.time!r}x{event.factor!r}+{event.duration!r}")
+            elif isinstance(event, DataCorruption):
+                if event.rate == 1.0:
+                    clauses.append(f"corrupt:{event.server}@{event.time!r}")
+                else:
+                    clauses.append(f"corrupt:{event.server}@{event.time!r}%{event.rate!r}")
+            else:
+                raise FaultSpecError(f"cannot format unknown event type: {event!r}")
+        return ";".join(clauses)
+
     @classmethod
     def random(
         cls,
@@ -149,11 +212,13 @@ class FaultSchedule:
         hang_rate: float = 0.0,
         degrade_rate: float = 0.0,
         blip_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
         hang_duration: tuple[float, float] = (0.05, 0.5),
         degrade_factor: tuple[float, float] = (1.5, 4.0),
         degrade_duration: tuple[float, float] = (0.1, 1.0),
         blip_factor: tuple[float, float] = (1.5, 3.0),
         blip_duration: tuple[float, float] = (0.05, 0.3),
+        corrupt_fraction: tuple[float, float] = (0.05, 0.5),
         max_crashes: int | None = None,
     ) -> "FaultSchedule":
         """Draw a stochastic schedule; same arguments ⇒ same schedule.
@@ -163,7 +228,8 @@ class FaultSchedule:
         ``[0, horizon)``, targets uniform over servers, factors/durations
         uniform over the given ranges. ``max_crashes`` caps permanent
         failures (defaults to ``n_servers - 1`` so at least one server
-        survives).
+        survives). Corruption events poison a uniform draw from
+        ``corrupt_fraction`` of the target's written stripe units.
         """
         if horizon <= 0:
             raise FaultSpecError(f"horizon must be > 0, got {horizon}")
@@ -177,6 +243,7 @@ class FaultSchedule:
             ("hang", hang_rate),
             ("degrade", degrade_rate),
             ("blip", blip_rate),
+            ("corrupt", corrupt_rate),
         ):
             if rate < 0:
                 raise FaultSpecError(f"{kind}_rate must be >= 0, got {rate}")
@@ -207,12 +274,20 @@ class FaultSchedule:
                             float(rng.uniform(*degrade_duration)),
                         )
                     )
-                else:
+                elif kind == "blip":
                     events.append(
                         NetworkBlip(
                             time,
                             float(rng.uniform(*blip_factor)),
                             float(rng.uniform(*blip_duration)),
+                        )
+                    )
+                else:
+                    events.append(
+                        DataCorruption(
+                            time,
+                            int(rng.integers(0, n_servers)),
+                            float(rng.uniform(*corrupt_fraction)),
                         )
                     )
         return cls(tuple(events)).validate(n_servers=n_servers)
@@ -225,16 +300,20 @@ _DUR = r"(?P<duration>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
 _FACTOR = r"(?P<factor>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
 _SERVER = r"(?P<server>[A-Za-z_][A-Za-z0-9_\-]*|[0-9]+)"
 
+_RATE = r"(?P<rate>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+
 _PATTERNS = {
     "crash": re.compile(rf"^crash:{_SERVER}@{_TIME}$"),
     "hang": re.compile(rf"^hang:{_SERVER}@{_TIME}\+{_DUR}$"),
     "degrade": re.compile(rf"^degrade:{_SERVER}@{_TIME}x{_FACTOR}\+{_DUR}$"),
     "blip": re.compile(rf"^blip@{_TIME}x{_FACTOR}\+{_DUR}$"),
+    "corrupt": re.compile(rf"^corrupt:{_SERVER}@{_TIME}(?:%{_RATE})?$"),
 }
 
 _USAGE = (
     "expected one of: crash:<server>@<t>  hang:<server>@<t>+<dur>  "
     "degrade:<server>@<t>x<factor>+<dur>  blip@<t>x<factor>+<dur>  "
+    "corrupt:<server>@<t>[%<rate>]  "
     "(';'-separated; <server> is a name like sserver0 or an index)"
 )
 
@@ -276,8 +355,11 @@ def parse_faults(spec: str) -> FaultSchedule:
                     float(groups["duration"]),
                 )
             )
-        else:
+        elif kind == "blip":
             events.append(NetworkBlip(time, float(groups["factor"]), float(groups["duration"])))
+        else:
+            rate = 1.0 if groups.get("rate") is None else float(groups["rate"])
+            events.append(DataCorruption(time, _parse_server(groups["server"]), rate))
     if not events:
         raise FaultSpecError(f"fault spec {spec!r} contains no events: {_USAGE}")
     return FaultSchedule(tuple(events)).validate()

@@ -31,6 +31,8 @@ from repro.obs.metrics import (
 from repro.obs.tracer import (
     PHASE_FAULT,
     PHASE_NETWORK,
+    PHASE_REPAIR,
+    PHASE_SCRUB,
     PHASE_STARTUP,
     PHASE_TRANSFER,
     PHASES,
@@ -61,6 +63,8 @@ __all__ = [
     "exponential_bounds",
     "PHASE_FAULT",
     "PHASE_NETWORK",
+    "PHASE_REPAIR",
+    "PHASE_SCRUB",
     "PHASE_STARTUP",
     "PHASE_TRANSFER",
     "PHASES",

@@ -39,7 +39,12 @@ PHASE_TRANSFER = "transfer"
 #: Injected-fault windows (crash/hang/degrade/blip); not device work — they
 #: render as their own track rows and never count toward server busy time.
 PHASE_FAULT = "fault"
-PHASES = (PHASE_NETWORK, PHASE_STARTUP, PHASE_TRANSFER, PHASE_FAULT)
+#: Scrubber verification passes over an extent (the device work inside the
+#: window still traces as startup/transfer spans; this is the annotation).
+PHASE_SCRUB = "scrub"
+#: Self-healing writes repairing a detected corruption (read path or scrub).
+PHASE_REPAIR = "repair"
+PHASES = (PHASE_NETWORK, PHASE_STARTUP, PHASE_TRANSFER, PHASE_FAULT, PHASE_SCRUB, PHASE_REPAIR)
 
 
 def tracing_enabled() -> bool:

@@ -18,12 +18,18 @@ This package closes the loop at runtime:
 - :class:`~repro.online.controller.OnlineHARLController` is a DES process
   that periodically checks the monitor, replans with the ordinary HARL
   planner on the recent window, swaps the file's layout, and triggers
-  migration.
+  migration;
+- :class:`~repro.online.scrub.Scrubber` is the background half of the
+  integrity story (DESIGN.md §11): it sweeps allocated extents, re-reads
+  written stripe units through the ordinary data path, and repairs checksum
+  mismatches from replica copies, rate-limited by the same ``duty_cycle``
+  mechanism as the migrator.
 """
 
 from repro.online.controller import OnlineHARLController, run_workload_online
 from repro.online.migration import MigrationAborted, MigrationStats, RegionMigrator
 from repro.online.monitor import DriftReport, WorkloadMonitor
+from repro.online.scrub import ScrubReport, Scrubber
 
 __all__ = [
     "DriftReport",
@@ -31,6 +37,8 @@ __all__ = [
     "MigrationStats",
     "OnlineHARLController",
     "RegionMigrator",
+    "ScrubReport",
+    "Scrubber",
     "WorkloadMonitor",
     "run_workload_online",
 ]

@@ -19,6 +19,7 @@ from repro.middleware.iosig import TraceCollector
 from repro.middleware.mpi_sim import SimMPI
 from repro.middleware.mpiio import MPIIOFile
 from repro.online.migration import (  # noqa: F401 (MigrationStats re-exported)
+    MigrationAborted,
     MigrationStats,
     RegionMigrator,
     changed_ranges,
@@ -39,6 +40,9 @@ class ReplanEvent:
     op_mix_change: float
     new_layout: str
     migration: MigrationStats | None = None
+    #: True when the migration pass died (MigrationAborted); the shadow
+    #: extents were released and the generation swap was never committed.
+    aborted: bool = False
 
 
 @dataclass
@@ -144,6 +148,12 @@ class OnlineHARLController:
         new_layout = RegionLevelLayout(rst)
         old_layout = self.handle.layout
         old_generation = self.handle.layout_generation
+        # Two-phase generation swap (DESIGN.md §11): journal the intent
+        # before the data path switches, commit only once the copy lands.
+        # A crash anywhere in between recovers to the old generation.
+        mds = self.pfs.mds
+        name = self.handle.name
+        mds.begin_migration(name, new_layout, old_generation + 1)
         new_generation = self.handle.relayout(new_layout)
         event = ReplanEvent(
             at_time=self.pfs.sim.now,
@@ -152,17 +162,21 @@ class OnlineHARLController:
             new_layout=new_layout.describe(),
         )
         self.report.replans.append(event)
-        if self.migrate and self._observed_extent > 0:
-            ranges = changed_ranges(old_layout, new_layout, self._observed_extent)
-            if ranges:
-                # Migration runs in the background, competing with foreground
-                # I/O on the server queues; monitoring continues meanwhile.
-                # The stats object is attached up front so a pass still in
-                # flight when the run ends reports its partial volume.
-                self._migration_in_flight = True
-                event.migration = MigrationStats()
+        ranges = (
+            changed_ranges(old_layout, new_layout, self._observed_extent)
+            if self.migrate and self._observed_extent > 0
+            else []
+        )
+        if ranges:
+            # Migration runs in the background, competing with foreground
+            # I/O on the server queues; monitoring continues meanwhile.
+            # The stats object is attached up front so a pass still in
+            # flight when the run ends reports its partial volume.
+            self._migration_in_flight = True
+            event.migration = MigrationStats()
 
-                def migration_proc() -> Generator:
+            def migration_proc() -> Generator:
+                try:
                     yield from self.migrator.migrate(
                         old_layout,
                         old_generation,
@@ -171,9 +185,17 @@ class OnlineHARLController:
                         ranges,
                         stats=event.migration,
                     )
-                    self._migration_in_flight = False
+                except MigrationAborted:
+                    event.aborted = True
+                    mds.abort_migration(name)
+                else:
+                    mds.commit_migration(name)
+                self._migration_in_flight = False
 
-                self.pfs.sim.process(migration_proc(), name=f"migrate[{self.handle.name}]")
+            self.pfs.sim.process(migration_proc(), name=f"migrate[{self.handle.name}]")
+        else:
+            # Nothing to move: the swap is complete the moment it happens.
+            mds.commit_migration(name)
         self.monitor.rebaseline()
 
 

@@ -46,6 +46,8 @@ class MigrationStats:
     started_at: float = 0.0
     finished_at: float = 0.0
     ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: Shadow-generation extents released after an abort (0 on success).
+    extents_released: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -129,6 +131,12 @@ class RegionMigrator:
                     yield from target.serve_inline("write", cursor, step)
                 except ServerUnavailable as exc:
                     stats.finished_at = sim.now
+                    # The partially written shadow generation is abandoned —
+                    # release its extents so abort/retry cycles reuse the
+                    # space instead of leaking simulated capacity forever.
+                    stats.extents_released = self.pfs.free_extents(
+                        f"{self.file_name}#g{new_generation}"
+                    )
                     raise MigrationAborted(
                         f"migration of {self.file_name!r} aborted at offset {cursor} "
                         f"after {stats.bytes_moved} bytes: {exc}",

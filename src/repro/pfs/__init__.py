@@ -13,10 +13,15 @@ Layers:
   :mod:`repro.pfs.filesystem` — the DES components: file servers wrapping
   storage devices with FIFO disk and NIC queues, a metadata server serving
   layout lookups, and the :class:`HybridPFS` facade clients talk to.
+- :mod:`repro.pfs.integrity` / :mod:`repro.pfs.journal` — end-to-end data
+  integrity (per-stripe-unit checksums, typed :class:`IntegrityError`) and
+  the crash-consistent metadata write-ahead log (DESIGN.md §11).
 """
 
 from repro.pfs.batch import RequestBatch
 from repro.pfs.filesystem import HybridPFS, ParallelFileSystem, PFSFile
+from repro.pfs.integrity import IntegrityError, IntegrityStats
+from repro.pfs.journal import MetadataJournal, RecoveryReport
 from repro.pfs.layout import (
     FixedLayout,
     HybridFixedLayout,
@@ -49,12 +54,16 @@ __all__ = [
     "FixedLayout",
     "HybridFixedLayout",
     "HybridPFS",
+    "IntegrityError",
+    "IntegrityStats",
     "LayoutPolicy",
+    "MetadataJournal",
     "MetadataServer",
     "MultiClassStripingConfig",
     "PFSFile",
     "ParallelFileSystem",
     "RandomLayout",
+    "RecoveryReport",
     "RegionLevelLayout",
     "RequestBatch",
     "StripingConfig",

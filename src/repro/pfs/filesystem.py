@@ -18,6 +18,7 @@ base so positional device models see disjoint areas.
 
 from __future__ import annotations
 
+import bisect
 import os
 from collections.abc import Generator, Sequence
 
@@ -29,6 +30,12 @@ from repro.devices.ssd import SSDModel
 from repro.network.link import NetworkModel
 from repro.pfs.batch import RequestBatch
 from repro.pfs.health import ServerHealth, ServerUnavailable
+from repro.pfs.integrity import (
+    DEFAULT_BLOCK_SIZE,
+    ExtentChecksums,
+    IntegrityAccounting,
+    IntegrityError,
+)
 from repro.pfs.layout import LayoutPolicy
 from repro.pfs.metadata import MetadataServer
 from repro.pfs.server import FileServer
@@ -59,6 +66,18 @@ class PFSFile:
         #: retries. Migration shadow handles set this so a dead target
         #: aborts the pass rather than silently placing bytes elsewhere.
         self.failfast = False
+        self._sync_replication()
+
+    def _sync_replication(self) -> None:
+        """Cache whether any region of the layout is replicated.
+
+        One attribute load on the request path instead of a layout method
+        call, and the hook that turns integrity on filesystem-wide the
+        moment a replicated layout appears.
+        """
+        self._replicated = self.layout.max_replicas() > 1
+        if self._replicated:
+            self.pfs._enable_replication()
 
     def relayout(self, layout: LayoutPolicy, server_map: tuple[int, ...] | None = None) -> int:
         """Swap in a new layout (online re-layout; see :mod:`repro.online`).
@@ -94,6 +113,11 @@ class PFSFile:
         self.layout = layout
         self.server_map = server_map
         self.layout_generation += 1
+        self._sync_replication()
+        # Keep the MDS namespace current (and journaled, when the journal
+        # is on). Shadow handles are not registered and stay off the record.
+        if self.name in self.pfs.mds:
+            self.pfs.mds.record_relayout(self.name, layout, self.layout_generation)
         return self.layout_generation
 
     def read(self, offset: int, size: int) -> Process:
@@ -300,7 +324,9 @@ class PFSFile:
             # of being routed around (migration shadows must not fail over).
             retry = None
             routed = False
+        replicated = self._replicated
         for segment, subs in presplit:
+            copies = self.layout.replica_count(segment.region_id) if replicated else 1
             for sub in subs:
                 server_id = sub.server_id if server_map is None else server_map[sub.server_id]
                 if routed:
@@ -311,13 +337,42 @@ class PFSFile:
                         raise
                 server = self.pfs.servers[server_id]
                 base = self.pfs._extent_base(extent_ns, segment.region_id, server_id)
-                if retry is None:
+                if copies > 1 and op is OpType.READ:
+                    generator = self._serve_repairing(
+                        server_id,
+                        base + sub.offset,
+                        sub.size,
+                        extent_ns,
+                        segment.region_id,
+                        sub.offset,
+                        copies,
+                        retry,
+                    )
+                elif retry is None:
                     generator = server.serve(op, base + sub.offset, sub.size)
                 else:
                     generator = self._serve_resilient(
                         op, server_id, base + sub.offset, sub.size, retry
                     )
                 sub_procs.append(sim.process(generator, name=f"{server.name}<-{self.name}"))
+                if copies > 1 and op is OpType.WRITE:
+                    # Synchronous mirroring: the request completes only once
+                    # every copy is durable, so replication's write cost is
+                    # paid where a real mirrored PFS pays it.
+                    acct = self.pfs.integrity
+                    for copy in range(1, copies):
+                        target = self.pfs.replica_target(server_id, copy)
+                        rserver = self.pfs.servers[target]
+                        rbase = self.pfs._extent_base(
+                            f"{extent_ns}~r{copy}", segment.region_id, target
+                        )
+                        acct.mirrored_writes += 1
+                        sub_procs.append(
+                            sim.process(
+                                rserver.serve(op, rbase + sub.offset, sub.size),
+                                name=f"{rserver.name}<-{self.name}~r{copy}",
+                            )
+                        )
         if sub_procs:
             yield sim.all_of(sub_procs)
         if op is OpType.READ:
@@ -387,6 +442,59 @@ class PFSFile:
                 yield sim.timeout(delay)
             attempt += 1
 
+    def _serve_repairing(
+        self,
+        server_id: int,
+        offset: int,
+        size: int,
+        extent_ns: str,
+        region_id: int,
+        sub_offset: int,
+        copies: int,
+        retry,
+    ) -> Generator:
+        """A replicated read: verify, and self-heal from a replica on mismatch.
+
+        The primary read serves normally (including retry/failover when a
+        policy is active). On checksum mismatch the client re-reads the next
+        replica copy; the first clean copy repairs the poisoned primary with
+        an ordinary write — contending for the disk and NIC like any client
+        — before the read completes. If every copy is corrupted the original
+        typed error propagates: never silent wrong bytes.
+        """
+        pfs = self.pfs
+        server = pfs.servers[server_id]
+        try:
+            if retry is None:
+                yield from server.serve(OpType.READ, offset, size)
+            else:
+                yield from self._serve_resilient(OpType.READ, server_id, offset, size, retry)
+            return
+        except IntegrityError as exc:
+            primary_error = exc
+        acct = pfs.integrity
+        # Resolve the detection eagerly: it stands as unrepairable unless a
+        # clean copy heals it below — so a request aborted mid-repair (a
+        # sibling sub-request failed the whole fan-out) still accounts for
+        # every detection and the silent_corruptions invariant holds.
+        acct.unrepairable += 1
+        for copy in range(1, copies):
+            target = pfs.replica_target(server_id, copy)
+            rbase = pfs._extent_base(f"{extent_ns}~r{copy}", region_id, target)
+            acct.replica_reads += 1
+            try:
+                yield from pfs.servers[target].serve(OpType.READ, rbase + sub_offset, size)
+            except IntegrityError:
+                # The copy's own detection resolves here: this path leaves it
+                # poisoned (scrubber's job), so it counts as unrepairable.
+                acct.unrepairable += 1
+                continue
+            yield from server.serve(OpType.WRITE, offset, size)
+            acct.unrepairable -= 1
+            acct.repaired += 1
+            return
+        raise primary_error
+
 
 class ParallelFileSystem:
     """Generic simulated PFS: ordered servers + MDS + network + fan-out.
@@ -418,6 +526,14 @@ class ParallelFileSystem:
         self._files: dict[str, PFSFile] = {}
         self._extent_bases: dict[tuple[str, int, int], int] = {}
         self._alloc_cursor: dict[int, int] = {}
+        #: Per-server sorted free lists of released extent bases (filled by
+        #: :meth:`free_extents`); reused lowest-first before the cursor grows.
+        self._extent_free: dict[int, list[int]] = {}
+        #: End-to-end integrity accounting; None until
+        #: :meth:`enable_integrity` runs (corruption faults or replicated
+        #: layouts turn it on), keeping integrity-off runs byte-identical.
+        self.integrity: IntegrityAccounting | None = None
+        self._replica_pools: dict[int, list[int]] = {}
         #: Alive/dead bookkeeping + failover routing (see repro.pfs.health).
         self.health = ServerHealth(self.class_counts)
         #: Filesystem-wide default RetryPolicy; None = no timeouts/retries.
@@ -479,15 +595,97 @@ class ParallelFileSystem:
         return True
 
     def _extent_base(self, file_name: str, region_id: int, server_id: int) -> int:
-        """Physical base of a (file, region) extent on one server."""
+        """Physical base of a (file, region) extent on one server.
+
+        New extents reuse the lowest freed base on the server before the
+        allocation cursor advances, so abort/retry cycles (see
+        :meth:`free_extents`) do not leak simulated capacity.
+        """
         key = (file_name, region_id, server_id)
         base = self._extent_bases.get(key)
         if base is None:
-            cursor = self._alloc_cursor.get(server_id, 0)
-            base = cursor
-            self._alloc_cursor[server_id] = cursor + self.EXTENT_SPACING
+            free = self._extent_free.get(server_id)
+            if free:
+                base = free.pop(0)
+            else:
+                base = self._alloc_cursor.get(server_id, 0)
+                self._alloc_cursor[server_id] = base + self.EXTENT_SPACING
             self._extent_bases[key] = base
         return base
+
+    def free_extents(self, namespace: str) -> int:
+        """Release every extent of ``namespace`` (and its replica copies).
+
+        ``namespace`` is the ``"{file}#g{generation}"`` extent namespace; the
+        replica namespaces ``"{namespace}~r{copy}"`` are released with it.
+        Freed bases go to per-server free lists for reuse, and any checksum
+        tags inside the released windows are dropped so a future tenant of
+        the space never inherits stale (possibly poisoned) tags. Returns the
+        number of extents released. Used by the migrator to reclaim a
+        partially written shadow generation after :class:`MigrationAborted`.
+        """
+        prefix = namespace + "~r"
+        victims = [
+            key
+            for key in self._extent_bases
+            if key[0] == namespace or key[0].startswith(prefix)
+        ]
+        for key in victims:
+            base = self._extent_bases.pop(key)
+            server_id = key[2]
+            bisect.insort(self._extent_free.setdefault(server_id, []), base)
+            checks = self.servers[server_id].checksums
+            if checks is not None:
+                checks.discard_range(base, self.EXTENT_SPACING)
+        return len(victims)
+
+    # -- integrity & replication ------------------------------------------
+
+    def enable_integrity(self, block_size: int = DEFAULT_BLOCK_SIZE) -> IntegrityAccounting:
+        """Turn on end-to-end checksumming: every server gets CRC tags.
+
+        Idempotent; returns the filesystem-wide accounting block. Installed
+        automatically by corruption fault schedules
+        (:class:`repro.faults.injector.FaultInjector`) and by replicated
+        layouts at file creation/relayout.
+        """
+        if self.integrity is None:
+            self.integrity = IntegrityAccounting(block_size)
+            for server in self.servers:
+                server.checksums = ExtentChecksums(
+                    server.name, block_size, accounting=self.integrity
+                )
+        return self.integrity
+
+    def _enable_replication(self) -> None:
+        """Validate and arm the filesystem for a replicated layout."""
+        if self.n_servers < 2:
+            raise ValueError("region replication needs at least 2 servers")
+        self.enable_integrity()
+
+    def replica_target(self, server_id: int, copy: int) -> int:
+        """Server holding replica ``copy`` (>= 1) of data primary on ``server_id``.
+
+        Replicas land on the *other* performance class (HDA-style: a region
+        primary on HServers mirrors to SServers and vice versa), walking the
+        class round-robin so consecutive primaries spread their copies. A
+        single-class filesystem falls back to the other servers of the same
+        class.
+        """
+        pool = self._replica_pools.get(server_id)
+        if pool is None:
+            lo = 0
+            for count in self.class_counts:
+                if lo <= server_id < lo + count:
+                    break
+                lo += count
+            pool = [i for i in range(self.n_servers) if not (lo <= i < lo + count)]
+            if not pool:
+                pool = [i for i in range(self.n_servers) if i != server_id]
+            if not pool:
+                raise ValueError("replication needs at least 2 servers")
+            self._replica_pools[server_id] = pool
+        return pool[(server_id + copy - 1) % len(pool)]
 
     # -- statistics -------------------------------------------------------
 
@@ -529,6 +727,16 @@ class ParallelFileSystem:
                 registry.counter(f"pfs.batch.{key}").inc(value)
             for reason, count in sorted(self.batch_fallbacks.items()):
                 registry.counter(f"pfs.batch.fallback.{reason}").inc(count)
+        # Integrity counters appear only once integrity is on and something
+        # happened, so integrity-off exports keep the exact historical shape.
+        if self.integrity is not None and self.integrity.touched:
+            for key, value in self.integrity.counters().items():
+                registry.counter(f"integrity.{key}").inc(value)
+        # Journal counters appear only when the MDS write-ahead log is on.
+        journal = getattr(self.mds, "journal", None)
+        if journal is not None:
+            for key, value in journal.counters().items():
+                registry.counter(f"journal.{key}").inc(value)
 
     def reset_statistics(self) -> None:
         """Zero all per-server traffic statistics."""

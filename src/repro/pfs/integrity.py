@@ -1,0 +1,252 @@
+"""End-to-end data integrity: per-stripe-unit CRC tags and their accounting.
+
+A real PFS cannot assume a data server returns the bytes that were written:
+media errors, firmware bugs, and torn writes silently corrupt stripe units.
+The defense is end-to-end checksumming — the client tags every stripe unit
+it writes and verifies the tag on every read — combined with region-level
+replication for self-healing (see DESIGN.md §11).
+
+The simulation carries no payload bytes, so the model here keeps the
+checksum *protocol* honest without storing data:
+
+- every server owns an :class:`ExtentChecksums` store mapping stripe-unit
+  blocks of its local address space to CRC tags. A write stamps the
+  blocks it covers with the expected tag (a real CRC32 over the block's
+  deterministic identity); an injected corruption flips stored tags of
+  already-written blocks; a read recomputes the expected tags and compares;
+- a mismatch surfaces as the typed :class:`IntegrityError` — never as
+  silently wrong bytes — at the instant the payload has fully crossed the
+  wire (the client verifies what it received, so detection pays the full
+  service + transfer cost first);
+- :class:`IntegrityAccounting` is the filesystem-wide counter block,
+  snapshotted into the picklable :class:`IntegrityStats` carried on
+  :class:`repro.experiments.harness.RunResult`.
+
+Everything stays inert until :meth:`ParallelFileSystem.enable_integrity`
+runs (installed automatically by corruption fault schedules and replicated
+layouts); with integrity off, the data path pays one attribute comparison
+per sub-request and stays byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.util.units import KiB
+
+#: Default checksum granularity: one tag per 64 KiB stripe unit, matching
+#: the default OrangeFS stripe size.
+DEFAULT_BLOCK_SIZE = 64 * KiB
+
+#: XOR mask applied to a stored tag by an injected corruption. Any non-zero
+#: mask makes stored != expected; this one is recognizable in debuggers.
+_POISON_MASK = 0x5AFEC0DE
+
+
+class IntegrityError(RuntimeError):
+    """A checksummed read came back with mismatching CRC tags.
+
+    Raised instead of returning garbage: the caller either repairs from a
+    replica (read path / scrubber) or propagates the typed error — silent
+    wrong bytes are never possible. ``server`` names the serving server;
+    ``offset``/``size`` address its local (physical) file.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        server: str | None = None,
+        offset: int | None = None,
+        size: int | None = None,
+    ):
+        super().__init__(message)
+        self.server = server
+        self.offset = offset
+        self.size = size
+
+
+class ExtentChecksums:
+    """Per-stripe-unit CRC tags of one server's local address space.
+
+    Blocks are fixed-size windows of the server's physical file. Only
+    *written* blocks carry tags — reading never-written space has nothing
+    to verify, exactly like a real client that only checksums stripe units
+    it has stored tags for.
+    """
+
+    __slots__ = ("server_name", "block_size", "accounting", "_tags")
+
+    def __init__(
+        self,
+        server_name: str,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        accounting: "IntegrityAccounting | None" = None,
+    ):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.server_name = server_name
+        self.block_size = int(block_size)
+        self.accounting = accounting
+        self._tags: dict[int, int] = {}
+
+    def _expected(self, block: int) -> int:
+        """The correct tag of ``block``: CRC32 over its deterministic identity."""
+        return zlib.crc32(f"{self.server_name}:{block}".encode())
+
+    def _blocks(self, offset: int, size: int) -> range:
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be >= 0")
+        if size == 0:
+            return range(0)
+        first = offset // self.block_size
+        last = (offset + size - 1) // self.block_size
+        return range(first, last + 1)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def record_write(self, offset: int, size: int) -> None:
+        """Stamp every block of ``[offset, offset+size)`` with its clean tag.
+
+        A write always leaves its blocks verifiable — including a repair
+        write over a poisoned block, which this overwrites back to clean.
+        """
+        tags = self._tags
+        for block in self._blocks(offset, size):
+            tags[block] = self._expected(block)
+
+    def written_blocks(self) -> list[int]:
+        """Sorted block indices that carry tags (written at least once)."""
+        return sorted(self._tags)
+
+    def poison_block(self, block: int) -> bool:
+        """Corrupt one written block's stored tag; False if never written."""
+        tag = self._tags.get(block)
+        if tag is None:
+            return False
+        self._tags[block] = tag ^ _POISON_MASK
+        if self.accounting is not None:
+            self.accounting.units_poisoned += 1
+        return True
+
+    def discard_range(self, offset: int, size: int) -> None:
+        """Drop all tags inside ``[offset, offset+size)`` (extent freed).
+
+        A future tenant of released physical space must start untagged —
+        inheriting a freed extent's stale (possibly poisoned) tags would
+        fabricate mismatches for data that was never written.
+        """
+        blocks = self._blocks(offset, size)
+        for block in [b for b in self._tags if blocks.start <= b < blocks.stop]:
+            del self._tags[block]
+
+    def poisoned_blocks(self) -> list[int]:
+        """Sorted block indices whose stored tag mismatches (diagnostics)."""
+        return sorted(b for b, tag in self._tags.items() if tag != self._expected(b))
+
+    def first_mismatch(self, offset: int, size: int) -> int | None:
+        """Byte offset of the first corrupted block in the range, or None.
+
+        Counts one verification per call in the shared accounting (one
+        client-side CRC pass over the received payload).
+        """
+        if self.accounting is not None:
+            self.accounting.checks += 1
+        tags = self._tags
+        for block in self._blocks(offset, size):
+            tag = tags.get(block)
+            if tag is not None and tag != self._expected(block):
+                if self.accounting is not None:
+                    self.accounting.mismatches += 1
+                return block * self.block_size
+        return None
+
+
+@dataclass(frozen=True)
+class IntegrityStats:
+    """Picklable integrity summary of one run (``RunResult.integrity``).
+
+    ``checks`` counts checksum verifications on the read path;
+    ``mismatches`` the detections; ``replica_reads``/``repaired`` the
+    read-path and scrubber self-healing traffic; ``unrepairable`` the
+    detections the detecting path could not heal — surfaced as a typed
+    :class:`IntegrityError`, reported by the scrubber, or (a poisoned
+    replica copy skipped during read repair) left for the next scrub;
+    ``units_poisoned`` the stripe units corruption faults actually flipped;
+    ``mirrored_writes`` the extra replica sub-request writes.
+
+    Every detection resolves as repaired or unrepairable — the
+    :attr:`silent_corruptions` identity below is the subsystem's invariant.
+    """
+
+    checks: int = 0
+    mismatches: int = 0
+    replica_reads: int = 0
+    repaired: int = 0
+    unrepairable: int = 0
+    units_poisoned: int = 0
+    mirrored_writes: int = 0
+
+    @property
+    def silent_corruptions(self) -> int:
+        """Mismatches neither repaired nor surfaced — must always be 0."""
+        return self.mismatches - self.repaired - self.unrepairable
+
+
+class IntegrityAccounting:
+    """Filesystem-wide mutable integrity counters (one per PFS).
+
+    Shared by every server's :class:`ExtentChecksums` and by the read-path
+    repair logic in :class:`repro.pfs.filesystem.PFSFile`; exported as
+    ``integrity.*`` metrics and snapshotted by :meth:`stats`.
+    """
+
+    __slots__ = (
+        "block_size",
+        "checks",
+        "mismatches",
+        "replica_reads",
+        "repaired",
+        "unrepairable",
+        "units_poisoned",
+        "mirrored_writes",
+    )
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = int(block_size)
+        self.checks = 0
+        self.mismatches = 0
+        self.replica_reads = 0
+        self.repaired = 0
+        self.unrepairable = 0
+        self.units_poisoned = 0
+        self.mirrored_writes = 0
+
+    @property
+    def touched(self) -> bool:
+        """True once any integrity event happened (metric-export gating)."""
+        return bool(
+            self.checks
+            or self.mismatches
+            or self.units_poisoned
+            or self.mirrored_writes
+        )
+
+    def counters(self) -> dict[str, int]:
+        """Counter snapshot for metric export (``integrity.<key>``)."""
+        return {
+            "checks": self.checks,
+            "mismatches": self.mismatches,
+            "replica_reads": self.replica_reads,
+            "repaired": self.repaired,
+            "unrepairable": self.unrepairable,
+            "units_poisoned": self.units_poisoned,
+            "mirrored_writes": self.mirrored_writes,
+        }
+
+    def stats(self) -> IntegrityStats:
+        """Freeze the counters into the picklable RunResult payload."""
+        return IntegrityStats(**self.counters())

@@ -70,6 +70,29 @@ class LayoutPolicy(ABC):
         """Regions in this layout (drives the MDS's RST lookup cost)."""
         return 1
 
+    # -- replication (DESIGN.md §11) ---------------------------------------
+
+    def replica_count(self, region_id: int) -> int:
+        """Copies kept of ``region_id``'s data (1 = unreplicated).
+
+        Replicas of a region live on servers of the *other* performance
+        class (mirroring HDA's per-allocation-unit RAID-level choice);
+        writes mirror synchronously and checksum-mismatching reads repair
+        from a surviving copy. Default: no replication.
+        """
+        return 1
+
+    def max_replicas(self) -> int:
+        """Largest :meth:`replica_count` over all regions (capability probe)."""
+        return 1
+
+
+def _check_replicas(replicas: int) -> int:
+    replicas = int(replicas)
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    return replicas
+
 
 class HybridFixedLayout(LayoutPolicy):
     """One (h, s) pair for the whole file.
@@ -78,13 +101,21 @@ class HybridFixedLayout(LayoutPolicy):
     h == s is :class:`FixedLayout`.
     """
 
-    def __init__(self, n_hservers: int, n_sservers: int, hstripe: int, sstripe: int):
+    def __init__(
+        self,
+        n_hservers: int,
+        n_sservers: int,
+        hstripe: int,
+        sstripe: int,
+        replicas: int = 1,
+    ):
         self.config = StripingConfig(
             n_hservers=n_hservers,
             n_sservers=n_sservers,
             hstripe=int(hstripe),
             sstripe=int(sstripe),
         )
+        self.replicas = _check_replicas(replicas)
 
     def segments(self, offset: int, size: int) -> list[LayoutSegment]:
         if size < 0 or offset < 0:
@@ -95,8 +126,15 @@ class HybridFixedLayout(LayoutPolicy):
             LayoutSegment(offset=offset, size=size, config=self.config, region_id=0, region_base=0)
         ]
 
+    def replica_count(self, region_id: int) -> int:
+        return self.replicas
+
+    def max_replicas(self) -> int:
+        return self.replicas
+
     def describe(self) -> str:
-        return self.config.describe()
+        base = self.config.describe()
+        return base if self.replicas == 1 else f"{base}+r{self.replicas}"
 
 
 class FixedLayout(HybridFixedLayout):
@@ -105,8 +143,10 @@ class FixedLayout(HybridFixedLayout):
     ``FixedLayout(M, N, 64*KiB)`` is the paper's default OrangeFS layout.
     """
 
-    def __init__(self, n_hservers: int, n_sservers: int, stripe: int = 64 * KiB):
-        super().__init__(n_hservers, n_sservers, stripe, stripe)
+    def __init__(
+        self, n_hservers: int, n_sservers: int, stripe: int = 64 * KiB, replicas: int = 1
+    ):
+        super().__init__(n_hservers, n_sservers, stripe, stripe, replicas=replicas)
 
 
 class RandomLayout(HybridFixedLayout):
@@ -151,10 +191,34 @@ class RegionLevelLayout(LayoutPolicy):
     start), mirroring the R2F mapping of the MPICH2 implementation.
     """
 
-    def __init__(self, rst: "RegionStripeTable"):
+    def __init__(
+        self,
+        rst: "RegionStripeTable",
+        replicas: int | dict[int, int] | Sequence[int] = 1,
+    ):
         if len(rst) == 0:
             raise ValueError("RST must contain at least one region")
         self.rst = rst
+        # Per-region replication: an int applies to every region; a mapping
+        # or sequence sets region-by-region counts (absent regions keep 1).
+        if isinstance(replicas, int):
+            self._replicas: dict[int, int] = (
+                {} if replicas == 1 else {e.region_id: _check_replicas(replicas) for e in rst.entries}
+            )
+        elif isinstance(replicas, dict):
+            self._replicas = {int(r): _check_replicas(c) for r, c in replicas.items()}
+        else:
+            counts = list(replicas)
+            if len(counts) != len(rst):
+                raise ValueError(
+                    f"replicas sequence has {len(counts)} entries for {len(rst)} regions"
+                )
+            self._replicas = {
+                e.region_id: _check_replicas(c) for e, c in zip(rst.entries, counts)
+            }
+        for region_id in self._replicas:
+            if not any(e.region_id == region_id for e in rst.entries):
+                raise ValueError(f"replicas names unknown region {region_id}")
 
     def segments(self, offset: int, size: int) -> list[LayoutSegment]:
         if size < 0 or offset < 0:
@@ -180,10 +244,17 @@ class RegionLevelLayout(LayoutPolicy):
     def region_count(self) -> int:
         return len(self.rst)
 
+    def replica_count(self, region_id: int) -> int:
+        return self._replicas.get(region_id, 1)
+
+    def max_replicas(self) -> int:
+        return max(self._replicas.values(), default=1)
+
     def describe(self) -> str:
+        suffix = "" if self.max_replicas() == 1 else f"+r{self.max_replicas()}"
         if len(self.rst) == 1:
-            return f"harl:{self.rst.entries[0].config.describe()}"
-        return f"harl:{len(self.rst)}regions"
+            return f"harl:{self.rst.entries[0].config.describe()}{suffix}"
+        return f"harl:{len(self.rst)}regions{suffix}"
 
     def __repr__(self) -> str:
         parts = ", ".join(

@@ -18,6 +18,13 @@ The model here makes that overhead real:
 A :class:`MetadataServer` is usable standalone (pure registry) or attached
 to a simulator by the owning filesystem, which enables the queued lookup
 path.
+
+Crash consistency (DESIGN.md §11): with :meth:`MetadataServer.enable_journal`
+on, every namespace mutation is framed into a write-ahead
+:class:`~repro.pfs.journal.MetadataJournal` record *before* it applies, and
+:meth:`MetadataServer.recover` rebuilds an equal namespace from any clean
+prefix of the journal bytes — torn tails are discarded, and migrations that
+began but never committed roll back to the pre-migration layout.
 """
 
 from __future__ import annotations
@@ -25,6 +32,13 @@ from __future__ import annotations
 import math
 from collections.abc import Generator
 
+from repro.pfs.journal import (
+    MetadataJournal,
+    RecoveryReport,
+    canonical_spec,
+    layout_from_spec,
+    layout_to_spec,
+)
 from repro.pfs.layout import LayoutPolicy
 from repro.simulate.engine import Simulator
 from repro.simulate.resources import Resource
@@ -48,8 +62,15 @@ class MetadataServer:
         self.per_region_latency = float(per_region_latency)
         self.parallelism = int(parallelism)
         self._files: dict[str, LayoutPolicy] = {}
+        self._generations: dict[str, int] = {}
         self._service: Resource | None = None
         self.lookup_count = 0
+        #: Write-ahead journal; None (default) leaves every mutation
+        #: unjournaled and the MDS behaviorally identical to before.
+        self.journal: MetadataJournal | None = None
+        self._pending_migrations: dict[str, tuple[int, LayoutPolicy]] = {}
+        #: Set by :meth:`recover` on the recovered instance.
+        self.last_recovery: RecoveryReport | None = None
 
     # -- namespace ---------------------------------------------------------
 
@@ -57,14 +78,22 @@ class MetadataServer:
         """Create a file entry. Raises ``FileExistsError`` on duplicates."""
         if name in self._files:
             raise FileExistsError(f"file already exists in namespace: {name!r}")
+        if self.journal is not None:
+            self.journal.append(
+                "register", name=name, generation=0, layout=layout_to_spec(layout)
+            )
         self._files[name] = layout
+        self._generations[name] = 0
 
     def unregister(self, name: str) -> None:
         """Remove a file entry. Raises ``FileNotFoundError`` if absent."""
-        try:
-            del self._files[name]
-        except KeyError:
-            raise FileNotFoundError(f"no such file: {name!r}") from None
+        if name not in self._files:
+            raise FileNotFoundError(f"no such file: {name!r}")
+        if self.journal is not None:
+            self.journal.append("unregister", name=name)
+        del self._files[name]
+        self._generations.pop(name, None)
+        self._pending_migrations.pop(name, None)
 
     def lookup(self, name: str) -> LayoutPolicy:
         """Return the layout for ``name``, counting the lookup."""
@@ -80,6 +109,159 @@ class MetadataServer:
     def files(self) -> list[str]:
         """Registered file names, sorted."""
         return sorted(self._files)
+
+    def generation_of(self, name: str) -> int:
+        """Committed layout generation of ``name`` (0 = as created)."""
+        if name not in self._files:
+            raise FileNotFoundError(f"no such file: {name!r}")
+        return self._generations.get(name, 0)
+
+    def namespace_state(self) -> dict[str, tuple[int, str]]:
+        """Canonical ``{name: (generation, layout-spec-json)}`` snapshot.
+
+        The comparison key of the crash-recovery property: two MDS
+        instances are namespace-equal iff their ``namespace_state`` dicts
+        are equal. Pending (uncommitted) migrations do not appear — they
+        have not mutated the namespace yet.
+        """
+        return {
+            name: (self._generations.get(name, 0), canonical_spec(layout))
+            for name, layout in self._files.items()
+        }
+
+    # -- journaled mutations (DESIGN.md §11) --------------------------------
+
+    def enable_journal(self, journal: MetadataJournal | None = None) -> MetadataJournal:
+        """Turn on write-ahead journaling of every namespace mutation.
+
+        Idempotent. Enabling on a non-empty namespace first snapshots the
+        existing files as ``register`` records so the journal alone always
+        suffices to rebuild the namespace.
+        """
+        if self.journal is None:
+            self.journal = journal if journal is not None else MetadataJournal()
+            for name in sorted(self._files):
+                self.journal.append(
+                    "register",
+                    name=name,
+                    generation=self._generations.get(name, 0),
+                    layout=layout_to_spec(self._files[name]),
+                )
+        return self.journal
+
+    def record_relayout(self, name: str, layout: LayoutPolicy, generation: int) -> None:
+        """Record a completed layout swap (one atomic journaled mutation).
+
+        Called by :meth:`repro.pfs.filesystem.PFSFile.relayout`. While a
+        two-phase migration is pending for ``name`` this is a no-op: the
+        ``migration_begin`` record already carries the target layout, and
+        only ``migration_commit`` makes the swap durable — a crash before
+        commit must recover the *old* generation.
+        """
+        if name not in self._files:
+            raise FileNotFoundError(f"no such file: {name!r}")
+        if name in self._pending_migrations:
+            return
+        if self.journal is not None:
+            self.journal.append(
+                "relayout",
+                name=name,
+                generation=int(generation),
+                layout=layout_to_spec(layout),
+            )
+        self._files[name] = layout
+        self._generations[name] = int(generation)
+
+    def begin_migration(self, name: str, layout: LayoutPolicy, generation: int) -> None:
+        """Phase one of the migration generation-swap: journal the intent.
+
+        Mutates nothing — the namespace keeps the old layout/generation
+        until :meth:`commit_migration`, so recovery from a crash anywhere
+        between begin and commit rolls the migration back.
+        """
+        if name not in self._files:
+            raise FileNotFoundError(f"no such file: {name!r}")
+        if name in self._pending_migrations:
+            raise RuntimeError(f"migration already pending for {name!r}")
+        if self.journal is not None:
+            self.journal.append(
+                "migration_begin",
+                name=name,
+                generation=int(generation),
+                layout=layout_to_spec(layout),
+            )
+        self._pending_migrations[name] = (int(generation), layout)
+
+    def commit_migration(self, name: str) -> None:
+        """Phase two: the copy finished; swap the namespace durably."""
+        try:
+            generation, layout = self._pending_migrations.pop(name)
+        except KeyError:
+            raise RuntimeError(f"no migration pending for {name!r}") from None
+        if self.journal is not None:
+            self.journal.append("migration_commit", name=name, generation=generation)
+        self._files[name] = layout
+        self._generations[name] = generation
+
+    def abort_migration(self, name: str) -> None:
+        """The copy failed; discard the intent (namespace never changed)."""
+        if self._pending_migrations.pop(name, None) is None:
+            raise RuntimeError(f"no migration pending for {name!r}")
+        if self.journal is not None:
+            self.journal.append("migration_abort", name=name)
+
+    @classmethod
+    def recover(cls, journal_data: bytes | MetadataJournal, **mds_kwargs) -> "MetadataServer":
+        """Rebuild an MDS namespace from journal bytes after a crash.
+
+        Replays the clean record prefix (torn/corrupt tails are discarded by
+        :meth:`MetadataJournal.decode`), then rolls back every migration
+        whose ``migration_begin`` has no matching commit — the recovered
+        namespace is always exactly the pre- or post-state of each journaled
+        mutation. ``last_recovery`` on the returned instance reports what
+        was replayed, discarded, and rolled back. The recovered MDS has no
+        live journal; call :meth:`enable_journal` to resume journaling
+        (which re-snapshots the recovered namespace).
+        """
+        data = (
+            journal_data.data
+            if isinstance(journal_data, MetadataJournal)
+            else bytes(journal_data)
+        )
+        records, clean = MetadataJournal.decode(data)
+        mds = cls(**mds_kwargs)
+        pending: dict[str, tuple[int, dict]] = {}
+        for record in records:
+            op = record["op"]
+            name = record["name"]
+            if op == "register":
+                mds._files[name] = layout_from_spec(record["layout"])
+                mds._generations[name] = int(record.get("generation", 0))
+            elif op == "unregister":
+                mds._files.pop(name, None)
+                mds._generations.pop(name, None)
+                pending.pop(name, None)
+            elif op == "relayout":
+                if name in mds._files:
+                    mds._files[name] = layout_from_spec(record["layout"])
+                    mds._generations[name] = int(record["generation"])
+            elif op == "migration_begin":
+                pending[name] = (int(record["generation"]), record["layout"])
+            elif op == "migration_commit":
+                begun = pending.pop(name, None)
+                if begun is not None and name in mds._files:
+                    generation, layout_spec = begun
+                    mds._files[name] = layout_from_spec(layout_spec)
+                    mds._generations[name] = generation
+            elif op == "migration_abort":
+                pending.pop(name, None)
+        mds.last_recovery = RecoveryReport(
+            bytes_total=len(data),
+            bytes_replayed=clean,
+            records_applied=len(records),
+            rolled_back=sorted(pending),
+        )
+        return mds
 
     # -- runtime lookup cost ------------------------------------------------
 

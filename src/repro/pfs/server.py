@@ -28,6 +28,7 @@ from collections.abc import Generator
 from repro.devices.base import OpType, StorageDevice
 from repro.network.link import NetworkModel
 from repro.pfs.health import ServerUnavailable
+from repro.pfs.integrity import IntegrityError
 from repro.simulate.engine import Interrupt, Process, Simulator
 from repro.simulate.resources import Resource, ScanResource
 
@@ -73,6 +74,10 @@ class FileServer:
         # is enabled, so the fault-free serve path pays one attribute check.
         self._failed = False
         self._active: set[Process] | None = None
+        #: Per-stripe-unit CRC tags (:mod:`repro.pfs.integrity`); None until
+        #: the filesystem enables integrity, so checksum-off serves pay one
+        #: attribute comparison.
+        self.checksums = None
 
     # -- failure handling --------------------------------------------------
 
@@ -117,6 +122,8 @@ class FileServer:
             return "failed-server"
         if self._active is not None:
             return "fault-tracking"
+        if self.checksums is not None:
+            return "integrity"
         disk = self.disk
         if type(disk) is not Resource:
             return "disk-scheduler"
@@ -166,6 +173,24 @@ class FileServer:
         finally:
             if proc is not None:
                 active.discard(proc)
+        checks = self.checksums
+        if checks is not None:
+            if op is OpType.WRITE:
+                checks.record_write(offset, size)
+            else:
+                mismatch = checks.first_mismatch(offset, size)
+                if mismatch is not None:
+                    # The payload crossed the wire (full service cost paid)
+                    # but fails client-side verification: a typed error, not
+                    # silent garbage — and not a completed serve.
+                    raise IntegrityError(
+                        f"{self.name}: checksum mismatch reading "
+                        f"[{offset}, {offset + size}) "
+                        f"(first bad stripe unit at {mismatch})",
+                        server=self.name,
+                        offset=offset,
+                        size=size,
+                    )
         self.bytes_served += size
         self.subrequests_served += 1
         if tracer is not None:

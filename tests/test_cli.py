@@ -224,3 +224,84 @@ class TestParser:
         out = capsys.readouterr().out
         for command in ("calibrate", "plan", "run-ior", "run-figure"):
             assert command in out
+
+
+class TestIntegrityCLI:
+    IOR = ["--hservers", "2", "--sservers", "2", "--processes", "4", "--file-size", "8M"]
+
+    def test_run_ior_with_replicas(self, capsys):
+        assert main(["run-ior", *self.IOR, "--layout", "64K", "--replicas", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "64K+r2" in out
+        assert "integrity:" in out
+        assert "silent" in out
+
+    def test_run_ior_corrupt_fault(self, capsys):
+        code = main(
+            [
+                "run-ior",
+                *self.IOR,
+                "--layout",
+                "64K",
+                "--replicas",
+                "2",
+                "--faults",
+                "corrupt:hserver0@0.005%0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 corruptions" in out
+        assert "0 silent" in out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run-ior", "--layout", "64K", "--faults", "corrupt:hserver0"],
+            ["run-ior", "--layout", "64K", "--faults", "corrupt:hserver0@0.1%2.0"],
+            ["run-ior", "--layout", "64K", "--faults", "corrupt:@0.1"],
+            ["run-ior", "--layout", "64K", "--replicas", "0"],
+            ["run-ior", "--layout", "random", "--replicas", "2"],
+            ["scrub", "--layout", "64K", "--replicas", "-1"],
+            ["scrub", "--layout", "64K", "--faults", "corrupt:nope"],
+            ["scrub", "--layout", "64K", "--duty-cycle", "0"],
+            ["chaos", "--rates", "0", "--corrupt-rate", "-0.5"],
+        ],
+    )
+    def test_bad_specs_exit_two(self, argv, capsys):
+        assert main([*argv[:1], *self.IOR, *argv[1:]]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_scrub_detects_and_repairs(self, capsys):
+        assert main(["scrub", *self.IOR, "--layout", "64K"]) == 0
+        out = capsys.readouterr().out
+        assert "scrub:" in out
+        assert "0 unrepairable" in out
+        assert "0 silent" in out
+
+    def test_scrub_without_replicas_reports_unrepairable(self, capsys):
+        code = main(
+            [
+                "scrub",
+                *self.IOR,
+                "--layout",
+                "64K",
+                "--replicas",
+                "1",
+                "--faults",
+                "corrupt:0@0.5%0.5",
+            ]
+        )
+        assert code == 0  # detected and *reported*: nothing silent
+        out = capsys.readouterr().out
+        assert "0 repaired" in out
+
+    def test_chaos_corrupt_rate_adds_columns(self, capsys):
+        code = main(
+            ["chaos", *self.IOR, "--rates", "0,2", "--corrupt-rate", "1", "--jobs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "poisoned" in out

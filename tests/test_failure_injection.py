@@ -414,3 +414,52 @@ class TestRetryDeterminism:
         assert empty.server_busy == clean.server_busy
         assert empty.faults.total_injected == 0
         assert clean.faults is None
+
+
+class TestCorruptionDeterminism:
+    """Corrupt faults are seed-deterministic, serial or under ``--jobs N``."""
+
+    TESTBED = Testbed(n_hservers=2, n_sservers=2, seed=0)
+    WORKLOAD = IORWorkload(
+        IORConfig(n_processes=4, request_size=64 * KiB, file_size=2 * MiB, seed=0)
+    )
+    LAYOUT = FixedLayout(2, 2, 64 * KiB, replicas=2)
+
+    def _schedule(self):
+        from repro.faults import DataCorruption
+
+        return FaultSchedule(
+            (
+                DataCorruption(0.003, "hserver0", 0.5),
+                DataCorruption(0.006, "sserver1", 1.0),
+            )
+        )
+
+    def test_corrupted_runs_replay_byte_identically(self):
+        results = [
+            run_workload(self.TESTBED, self.WORKLOAD, self.LAYOUT, faults=self._schedule())
+            for _ in range(2)
+        ]
+        assert results[0].faults.corruptions == 2
+        assert results[0].integrity.units_poisoned > 0
+        assert results[0].integrity.silent_corruptions == 0
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1])
+
+    def test_serial_and_parallel_corrupt_runs_identical(self):
+        jobs = [
+            RunJob(self.TESTBED, self.WORKLOAD, self.LAYOUT, faults=self._schedule())
+            for _ in range(3)
+        ]
+        serial = run_jobs(jobs, jobs=1)
+        parallel = run_jobs(jobs, jobs=3)
+        assert [pickle.dumps(r) for r in serial] == [pickle.dumps(r) for r in parallel]
+        assert all(r.integrity.silent_corruptions == 0 for r in parallel)
+
+    def test_replication_off_matches_fault_free_run(self):
+        """An unreplicated, fault-free run carries no integrity payload and
+        is byte-identical whether or not the integrity module is importable."""
+        plain = FixedLayout(2, 2, 64 * KiB)
+        a = run_workload(self.TESTBED, self.WORKLOAD, plain)
+        b = run_workload(self.TESTBED, self.WORKLOAD, plain)
+        assert a.integrity is None
+        assert pickle.dumps(a) == pickle.dumps(b)

@@ -4,9 +4,14 @@ import pickle
 
 import pytest
 
+from hypothesis import given as given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as hyp_st
+
 from repro.core.planner import HARLPlanner
 from repro.experiments.calibrate import calibrate_parameters
 from repro.faults import (
+    DataCorruption,
     FaultInjector,
     FaultSchedule,
     FaultSpecError,
@@ -402,3 +407,53 @@ class TestObsIntegration:
         dirty = MetricsRegistry()
         pfs.collect_metrics(dirty, makespan=sim.now)
         assert dirty.counter("faults.servers_failed").value == 1
+
+
+class TestToSpecRoundTrip:
+    """``to_spec`` is the exact inverse of ``parse_faults``."""
+
+    def test_manual_schedule_round_trips(self):
+        schedule = FaultSchedule(
+            (
+                ServerCrash(0.5, "sserver0"),
+                ServerHang(1.0, "hserver1", 0.25),
+                ServerDegrade(0.1, 2, 3.5, 1.0),
+                NetworkBlip(0.0, 2.0, 0.125),
+                DataCorruption(0.75, "hserver0", 0.5),
+                DataCorruption(0.8, 3),  # default rate omits the % suffix
+            )
+        )
+        spec = schedule.to_spec()
+        assert "%" not in spec.split(";")[-1]
+        assert parse_faults(spec) == schedule
+
+    @given(
+        seed=hyp_st.integers(min_value=0, max_value=2**32 - 1),
+        crash=hyp_st.floats(min_value=0.0, max_value=3.0),
+        hang=hyp_st.floats(min_value=0.0, max_value=3.0),
+        degrade=hyp_st.floats(min_value=0.0, max_value=3.0),
+        blip=hyp_st.floats(min_value=0.0, max_value=3.0),
+        corrupt=hyp_st.floats(min_value=0.0, max_value=3.0),
+    )
+    @hyp_settings(max_examples=80, deadline=None)
+    def test_random_schedules_round_trip(self, seed, crash, hang, degrade, blip, corrupt):
+        schedule = FaultSchedule.random(
+            seed=seed,
+            horizon=2.0,
+            n_servers=4,
+            crash_rate=crash,
+            hang_rate=hang,
+            degrade_rate=degrade,
+            blip_rate=blip,
+            corrupt_rate=corrupt,
+        )
+        if schedule:
+            assert parse_faults(schedule.to_spec()) == schedule
+        else:
+            # An empty schedule prints as the empty spec, which parse_faults
+            # rejects by design — nothing to round-trip.
+            assert schedule.to_spec() == ""
+
+    def test_empty_random_schedule_has_empty_spec(self):
+        schedule = FaultSchedule.random(seed=0, horizon=1.0, n_servers=2)
+        assert schedule.to_spec() == ""

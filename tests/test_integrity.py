@@ -1,0 +1,381 @@
+"""End-to-end data integrity: checksums, corruption, replication, scrubbing.
+
+The invariant under test everywhere: a corrupted stripe unit is either
+repaired from a replica or surfaced as a typed :class:`IntegrityError` —
+``IntegrityStats.silent_corruptions`` is always 0. And with integrity off,
+the data path is byte-identical to a build without the subsystem.
+"""
+
+import pickle
+
+import pytest
+
+from repro.devices.base import OpType
+from repro.experiments.harness import Testbed, run_workload
+from repro.faults import DataCorruption, FaultInjector, FaultSchedule, corrupt_server, parse_faults
+from repro.pfs.filesystem import HybridPFS
+from repro.pfs.integrity import (
+    ExtentChecksums,
+    IntegrityAccounting,
+    IntegrityError,
+)
+from repro.pfs.layout import FixedLayout, RegionLevelLayout
+from repro.online.scrub import Scrubber
+from repro.simulate.engine import Simulator
+from repro.util.rng import derive_rng
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+
+class TestExtentChecksums:
+    def test_write_then_verify_clean(self):
+        checks = ExtentChecksums("s0", block_size=4 * KiB)
+        checks.record_write(0, 16 * KiB)
+        assert checks.written_blocks() == [0, 1, 2, 3]
+        assert checks.first_mismatch(0, 16 * KiB) is None
+
+    def test_poison_detected_and_located(self):
+        checks = ExtentChecksums("s0", block_size=4 * KiB)
+        checks.record_write(0, 16 * KiB)
+        assert checks.poison_block(2)
+        assert checks.poisoned_blocks() == [2]
+        assert checks.first_mismatch(0, 16 * KiB) == 8 * KiB
+        # Ranges not covering the poisoned block stay clean.
+        assert checks.first_mismatch(0, 8 * KiB) is None
+
+    def test_unwritten_blocks_not_verifiable(self):
+        checks = ExtentChecksums("s0", block_size=4 * KiB)
+        assert not checks.poison_block(0)
+        assert checks.first_mismatch(0, MiB) is None
+
+    def test_rewrite_heals_poison(self):
+        checks = ExtentChecksums("s0", block_size=4 * KiB)
+        checks.record_write(0, 4 * KiB)
+        checks.poison_block(0)
+        checks.record_write(0, 4 * KiB)
+        assert checks.first_mismatch(0, 4 * KiB) is None
+
+    def test_discard_range_drops_tags(self):
+        checks = ExtentChecksums("s0", block_size=4 * KiB)
+        checks.record_write(0, 16 * KiB)
+        checks.poison_block(1)
+        checks.discard_range(0, 8 * KiB)
+        assert checks.written_blocks() == [2, 3]
+        assert checks.first_mismatch(0, 16 * KiB) is None
+
+    def test_accounting_counts_checks_and_mismatches(self):
+        acct = IntegrityAccounting()
+        checks = ExtentChecksums("s0", block_size=4 * KiB, accounting=acct)
+        checks.record_write(0, 4 * KiB)
+        checks.first_mismatch(0, 4 * KiB)
+        checks.poison_block(0)
+        checks.first_mismatch(0, 4 * KiB)
+        assert acct.checks == 2
+        assert acct.mismatches == 1
+        assert acct.units_poisoned == 1
+
+
+class TestCorruptServer:
+    def _checks(self, n_blocks=32):
+        checks = ExtentChecksums("s0", block_size=4 * KiB)
+        checks.record_write(0, n_blocks * 4 * KiB)
+        return checks
+
+    def test_rate_one_poisons_everything(self):
+        checks = self._checks()
+        count = corrupt_server(checks, 1.0, derive_rng(0, "t"))
+        assert count == 32
+        assert len(checks.poisoned_blocks()) == 32
+
+    def test_partial_rate_is_seed_deterministic(self):
+        a, b = self._checks(), self._checks()
+        na = corrupt_server(a, 0.25, derive_rng(7, "x"))
+        nb = corrupt_server(b, 0.25, derive_rng(7, "x"))
+        assert na == nb == 8
+        assert a.poisoned_blocks() == b.poisoned_blocks()
+
+    def test_repeated_corruption_never_unpoisons(self):
+        """Poisoning twice must not XOR a tag back to clean."""
+        checks = self._checks(4)
+        corrupt_server(checks, 1.0, derive_rng(0, "a"))
+        corrupt_server(checks, 1.0, derive_rng(1, "b"))
+        assert len(checks.poisoned_blocks()) == 4
+
+    def test_nothing_written_nothing_poisoned(self):
+        checks = ExtentChecksums("s0")
+        assert corrupt_server(checks, 1.0, derive_rng(0, "t")) == 0
+
+    @pytest.mark.parametrize("rate", [0.0, -0.5, 1.5])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(ValueError):
+            corrupt_server(self._checks(), rate, derive_rng(0, "t"))
+
+
+def _write_and_poison(sim, pfs, handle, size, server_index=0, rate=1.0):
+    """Write ``size`` bytes, then poison one server's written blocks."""
+    sim.run(sim.process(handle.serve_inline("write", 0, size)))
+    server = pfs.servers[server_index]
+    return corrupt_server(server.checksums, rate, derive_rng(0, "poison"))
+
+
+class TestUnreplicatedDetection:
+    def test_corrupted_read_raises_typed_error(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        pfs.enable_integrity()
+        poisoned = _write_and_poison(sim, pfs, handle, 2 * MiB)
+        assert poisoned > 0
+        with pytest.raises(IntegrityError) as excinfo:
+            sim.run(sim.process(handle.serve_inline("read", 0, 2 * MiB)))
+        assert excinfo.value.server == pfs.servers[0].name
+        stats = pfs.integrity.stats()
+        assert stats.mismatches >= 1
+
+    def test_integrity_off_is_inert(self):
+        """Without enable_integrity the same run has no integrity state."""
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        sim.run(sim.process(handle.serve_inline("write", 0, 2 * MiB)))
+        sim.run(sim.process(handle.serve_inline("read", 0, 2 * MiB)))
+        assert pfs.integrity is None
+        assert all(server.checksums is None for server in pfs.servers)
+
+
+class TestReplicatedReadRepair:
+    def _build(self, replicas=2):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB, replicas=replicas))
+        return sim, pfs, handle
+
+    def test_replicated_layout_enables_integrity(self):
+        _, pfs, _ = self._build()
+        assert pfs.integrity is not None
+        assert all(server.checksums is not None for server in pfs.servers)
+
+    def test_writes_are_mirrored(self):
+        sim, pfs, handle = self._build()
+        sim.run(sim.process(handle.serve_inline("write", 0, 2 * MiB)))
+        assert pfs.integrity.mirrored_writes > 0
+        # Each server holds a primary extent and serves mirrored bytes too.
+        assert sum(s.bytes_served for s in pfs.servers) == 2 * (2 * MiB)
+
+    def test_corruption_repaired_never_silent(self):
+        sim, pfs, handle = self._build()
+        poisoned = _write_and_poison(sim, pfs, handle, 2 * MiB)
+        assert poisoned > 0
+        sim.run(sim.process(handle.serve_inline("read", 0, 2 * MiB)))
+        stats = pfs.integrity.stats()
+        assert stats.mismatches >= 1
+        assert stats.repaired == stats.mismatches
+        assert stats.unrepairable == 0
+        assert stats.silent_corruptions == 0
+
+    def test_repair_persists_second_read_clean(self):
+        sim, pfs, handle = self._build()
+        _write_and_poison(sim, pfs, handle, 2 * MiB)
+        sim.run(sim.process(handle.serve_inline("read", 0, 2 * MiB)))
+        before = pfs.integrity.stats()
+        sim.run(sim.process(handle.serve_inline("read", 0, 2 * MiB)))
+        after = pfs.integrity.stats()
+        assert after.mismatches == before.mismatches  # no new detections
+
+    def test_all_copies_poisoned_is_unrepairable(self):
+        sim, pfs, handle = self._build()
+        sim.run(sim.process(handle.serve_inline("write", 0, 2 * MiB)))
+        for server in pfs.servers:  # poison every copy everywhere
+            corrupt_server(server.checksums, 1.0, derive_rng(0, server.name))
+        with pytest.raises(IntegrityError):
+            sim.run(sim.process(handle.serve_inline("read", 0, 2 * MiB)))
+        stats = pfs.integrity.stats()
+        assert stats.unrepairable >= 1
+        assert stats.silent_corruptions == 0
+
+    def test_region_level_layout_replicas(self):
+        from repro.core.rst import RegionStripeTable, RSTEntry
+        from repro.pfs.mapping import StripingConfig
+
+        rst = RegionStripeTable(
+            [
+                RSTEntry(0, 0, MiB, StripingConfig(2, 2, 64 * KiB, 64 * KiB)),
+                RSTEntry(1, MiB, None, StripingConfig(2, 2, 64 * KiB, 128 * KiB)),
+            ]
+        )
+        layout = RegionLevelLayout(rst, replicas={0: 2})
+        assert layout.replica_count(0) == 2
+        assert layout.replica_count(1) == 1
+        assert layout.max_replicas() == 2
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", layout)
+        sim.run(sim.process(handle.serve_inline("write", 0, 2 * MiB)))
+        # Only region 0's 1 MiB is mirrored: 2 MiB primary + 1 MiB replica.
+        assert sum(s.bytes_served for s in pfs.servers) == 3 * MiB
+
+
+class TestScrubber:
+    def _poisoned_fs(self, replicas=2):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB, replicas=replicas))
+        if replicas == 1:
+            pfs.enable_integrity()
+        sim.run(sim.process(handle.serve_inline("write", 0, 2 * MiB)))
+        corrupt_server(pfs.servers[0].checksums, 0.5, derive_rng(3, "scrub"))
+        return sim, pfs
+
+    def test_sweep_finds_and_repairs_everything(self):
+        sim, pfs = self._poisoned_fs()
+        scrubber = Scrubber(pfs, chunk_size=256 * KiB)
+        sim.run(scrubber.start())
+        report = scrubber.last_report
+        assert report.mismatches > 0
+        assert report.repaired == report.mismatches
+        assert report.unrepairable == 0
+        assert pfs.integrity.stats().silent_corruptions == 0
+
+    def test_second_sweep_is_clean(self):
+        sim, pfs = self._poisoned_fs()
+        scrubber = Scrubber(pfs)
+        sim.run(scrubber.start())
+        sim.run(scrubber.start())
+        assert scrubber.last_report.mismatches == 0
+
+    def test_unreplicated_mismatch_counted_unrepairable(self):
+        sim, pfs = self._poisoned_fs(replicas=1)
+        scrubber = Scrubber(pfs)
+        sim.run(scrubber.start())
+        report = scrubber.last_report
+        assert report.mismatches > 0
+        assert report.repaired == 0
+        assert report.unrepairable == report.mismatches
+        assert pfs.integrity.stats().silent_corruptions == 0
+
+    def test_duty_cycle_stretches_the_sweep(self):
+        sim_full, pfs_full = self._poisoned_fs()
+        full = Scrubber(pfs_full, duty_cycle=1.0)
+        sim_full.run(full.start())
+        sim_slow, pfs_slow = self._poisoned_fs()
+        slow = Scrubber(pfs_slow, duty_cycle=0.25)
+        sim_slow.run(slow.start())
+        assert slow.last_report.elapsed > 2 * full.last_report.elapsed
+        assert slow.last_report.repaired == full.last_report.repaired
+
+    def test_requires_integrity(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 1, 1, seed=0)
+        with pytest.raises(RuntimeError, match="integrity"):
+            sim.run(Scrubber(pfs).start())
+
+    @pytest.mark.parametrize("kwargs", [{"chunk_size": 0}, {"duty_cycle": 0.0}, {"duty_cycle": 1.5}])
+    def test_bad_parameters_rejected(self, kwargs):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 1, 1, seed=0)
+        with pytest.raises(ValueError):
+            Scrubber(pfs, **kwargs)
+
+
+class TestCorruptionFaultInjection:
+    def _schedule(self):
+        # Times are safely past the write's completion, so written stripe
+        # units exist to poison when the events fire.
+        return parse_faults("corrupt:hserver0@0.5%0.5;corrupt:sserver1@0.6")
+
+    def test_injector_enables_integrity_and_poisons(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        injector = FaultInjector(sim, pfs, self._schedule(), seed=5).install()
+        assert pfs.integrity is not None
+        sim.run(sim.process(handle.serve_inline("write", 0, 4 * MiB)))
+
+        def idle():
+            yield sim.timeout(1.0)
+
+        sim.run(sim.process(idle()))
+        stats = injector.stats()
+        assert stats.corruptions == 2
+        assert stats.total_injected == 2
+        assert pfs.integrity.units_poisoned > 0
+
+    def test_corruption_skips_crashed_server(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        schedule = parse_faults("crash:hserver0@0.4;corrupt:hserver0@0.5")
+        injector = FaultInjector(sim, pfs, schedule, seed=5).install()
+        sim.run(sim.process(handle.serve_inline("write", 0, 256 * KiB)))
+
+        def idle():
+            yield sim.timeout(1.0)
+
+        sim.run(sim.process(idle()))
+        assert injector.stats().corruptions == 0
+        assert pfs.integrity.units_poisoned == 0
+
+
+class TestBatchFallback:
+    def _batch(self):
+        workload = IORWorkload(
+            IORConfig(n_processes=2, request_size=64 * KiB, file_size=MiB, seed=0)
+        )
+        return workload.request_batch()
+
+    def _run(self, layout, enable=False):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", layout)
+        if enable:
+            pfs.enable_integrity()
+        sim.run(handle.request_batch(self._batch()))
+        return pfs
+
+    def test_replication_forces_general_path(self):
+        pfs = self._run(FixedLayout(2, 2, 64 * KiB, replicas=2))
+        assert pfs.batch_stats["fast_batches"] == 0
+        assert pfs.batch_fallbacks.get("replication", 0) == 1
+
+    def test_integrity_forces_general_path(self):
+        pfs = self._run(FixedLayout(2, 2, 64 * KiB), enable=True)
+        assert pfs.batch_stats["fast_batches"] == 0
+        assert pfs.batch_fallbacks.get("integrity", 0) == 1
+
+    def test_plain_layout_keeps_fast_path(self):
+        pfs = self._run(FixedLayout(2, 2, 64 * KiB))
+        assert pfs.batch_stats["fast_batches"] == 1
+
+
+class TestHarnessIntegration:
+    TESTBED = Testbed(n_hservers=2, n_sservers=2, seed=0)
+    WORKLOAD = IORWorkload(
+        IORConfig(n_processes=4, request_size=64 * KiB, file_size=2 * MiB, seed=0)
+    )
+
+    def test_plain_run_has_no_integrity_payload(self):
+        result = run_workload(self.TESTBED, self.WORKLOAD, FixedLayout(2, 2, 64 * KiB))
+        assert result.integrity is None
+
+    def test_replicated_run_reports_integrity(self):
+        result = run_workload(
+            self.TESTBED, self.WORKLOAD, FixedLayout(2, 2, 64 * KiB, replicas=2)
+        )
+        assert result.integrity is not None
+        assert result.integrity.mirrored_writes > 0
+        assert result.integrity.silent_corruptions == 0
+        # The payload rides through pickling (pool workers ship it back).
+        assert pickle.loads(pickle.dumps(result)).integrity == result.integrity
+
+    def test_corrupt_faults_export_metrics(self):
+        schedule = FaultSchedule((DataCorruption(0.005, "hserver0", 1.0),))
+        result = run_workload(
+            self.TESTBED,
+            self.WORKLOAD,
+            FixedLayout(2, 2, 64 * KiB, replicas=2),
+            faults=schedule,
+            trace=True,
+        )
+        assert result.faults.corruptions == 1
+        assert result.integrity.units_poisoned > 0
+        assert any(key.startswith("integrity.") for key in result.obs.metrics)

@@ -128,3 +128,49 @@ class TestRegionMigrator:
         returned = sim.run(proc)
         assert returned is live
         assert live.bytes_moved == 2 * MiB
+
+
+class TestAbortReleasesShadowExtents:
+    """Regression: an aborted migration must free its shadow-generation
+    extents — before the fix they leaked physical space forever (every
+    abort left dead ``f#g<new>`` extent allocations behind)."""
+
+    def _aborted_migration(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        sim.run(handle.write(0, 4 * MiB))
+        migrator = RegionMigrator(pfs, "f", chunk_size=256 * KiB)
+        new_layout = FixedLayout(2, 2, 256 * KiB)
+
+        def crash_soon():
+            yield sim.timeout(1e-4)
+            pfs.fail_server(3)
+
+        sim.process(crash_soon())
+        proc = sim.process(
+            migrator.migrate(handle.layout, 0, new_layout, 1, [(0, 4 * MiB)])
+        )
+        from repro.online.migration import MigrationAborted
+
+        with pytest.raises(MigrationAborted) as excinfo:
+            sim.run(proc)
+        return pfs, excinfo.value
+
+    def test_abort_frees_shadow_extents(self):
+        pfs, aborted = self._aborted_migration()
+        assert aborted.stats.extents_released > 0
+        shadow = [key for key in pfs._extent_bases if key[0].startswith("f#g1")]
+        assert shadow == []
+        # The original generation's extents are untouched.
+        assert any(key[0] == "f#g0" for key in pfs._extent_bases)
+
+    def test_freed_extents_are_reused(self):
+        pfs, _ = self._aborted_migration()
+        free_before = {
+            server: list(bases) for server, bases in pfs._extent_free.items() if bases
+        }
+        assert free_before  # the abort stocked the free lists
+        server_id, bases = next(iter(sorted(free_before.items())))
+        base = pfs._extent_base("g#g0", 0, server_id)
+        assert base == bases[0]  # lowest freed base is recycled first
