@@ -8,8 +8,11 @@ Compares per-case mean wall-times of a freshly generated ``BENCH_perf.json``
 (the session hook in ``benchmarks/conftest.py`` rewrites it on every bench
 run) against the committed baseline. Exits non-zero if any case present in
 both files regressed by more than the threshold factor (default 1.25, i.e.
-25% slower). Cases new in the current run are reported but never fail —
-they have no baseline yet; commit the refreshed file to add one.
+25% slower), or if any baseline case is missing from the current run — a
+silently skipped bench would otherwise let a regression through unmeasured
+(``--allow-missing`` restores the old lenient behaviour for filtered runs).
+Cases new in the current run are reported but never fail — they have no
+baseline yet; commit the refreshed file to add one.
 """
 
 from __future__ import annotations
@@ -35,6 +38,12 @@ def main(argv: list[str] | None = None) -> int:
         default=1.25,
         help="max allowed mean-time ratio current/baseline (default 1.25)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="do not fail when baseline cases are absent from the current run "
+        "(for deliberately filtered bench invocations)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_cases(args.baseline)
@@ -58,9 +67,11 @@ def main(argv: list[str] | None = None) -> int:
         if ratio > args.threshold:
             failures.append((name, ratio))
 
-    for name in sorted(set(baseline) - set(current)):
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
         print(f"MISSING  {name}: in baseline but did not run")
 
+    failed = False
     if failures:
         print(
             f"\n{len(failures)} case(s) regressed beyond {args.threshold:.2f}x:",
@@ -68,6 +79,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        failed = True
+    if missing and not args.allow_missing:
+        print(
+            f"\n{len(missing)} baseline case(s) missing from the current run:",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        print("(pass --allow-missing for deliberately filtered runs)", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("\nall cases within threshold")
     return 0

@@ -325,6 +325,9 @@ def _replay_batch(batch, force_general: bool = False):
         assert pfs.batch_stats["general_batches"] == 1
     else:
         assert pfs.batch_stats["fast_batches"] == 1, pfs.batch_fallbacks
+        # The IOR shape (constant 64 KiB, stripe-aligned) must hit the
+        # vectorized columnar tier, not the per-sub-request event heap.
+        assert pfs.batch_stats["fast_columnar_batches"] == 1
     return sim
 
 
@@ -347,7 +350,7 @@ def test_perf_batched_replay_1m_speedup(benchmark):
 
     Times the fast path under pytest-benchmark (one round — a 1M-request
     replay is tens of seconds), then runs the per-request general path once
-    with a plain timer. The fast path must be at least 3x faster AND
+    with a plain timer. The fast path must be at least 10x faster AND
     byte-identical: same makespan from both paths.
     """
     import time
@@ -364,7 +367,7 @@ def test_perf_batched_replay_1m_speedup(benchmark):
     benchmark.extra_info["general_wall_s"] = general_wall
     benchmark.extra_info["speedup"] = general_wall / benchmark.stats.stats.min
     assert general_makespan == fast_makespan  # bit-identical simulated time
-    assert general_wall >= 3.0 * benchmark.stats.stats.min, (
+    assert general_wall >= 10.0 * benchmark.stats.stats.min, (
         f"fast path only {general_wall / benchmark.stats.stats.min:.2f}x faster"
     )
 

@@ -527,6 +527,16 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process in MiB (Linux ru_maxrss is KiB)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
 def cmd_replay_bench(args: argparse.Namespace) -> int:
     import time
 
@@ -545,7 +555,6 @@ def cmd_replay_bench(args: argparse.Namespace) -> int:
         random_offsets=not args.sequential,
     )
     workload = IORWorkload(config)
-    batch = workload.request_batch()
     testbed = _testbed(args)
     try:
         stripe = parse_size(args.layout)
@@ -556,21 +565,77 @@ def cmd_replay_bench(args: argparse.Namespace) -> int:
         )
         return 2
     layout = FixedLayout(args.hservers, args.sservers, stripe)
-    start = time.perf_counter()
-    fast = run_workload_batched(testbed, batch, layout, layout_name=format_size(stripe))
-    fast_wall = time.perf_counter() - start
-    print(
-        f"batched replay of {len(batch)} requests ({format_size(batch.total_bytes)}): "
-        f"{fast_wall:.3f}s wall, makespan {fast.makespan:.4f}s, "
-        f"{fast.throughput_mib:.1f} MiB/s"
+
+    if args.chunk_size:
+        # Streamed replay: generate + submit one window at a time on one
+        # long-lived cluster, so peak RSS is bounded by the chunk, not the
+        # run (the 100M-request mode).
+        from repro.simulate.engine import Simulator
+
+        sim = Simulator()
+        pfs = testbed.build(sim)
+        handle = pfs.create_file("shared.dat", layout)
+        start = time.perf_counter()
+        n_chunks = 0
+        for chunk in workload.iter_request_batches(args.chunk_size):
+            sim.run(handle.request_batch(chunk))
+            n_chunks += 1
+        fast_wall = time.perf_counter() - start
+        makespan, total_bytes = sim.now, n_requests * request_size
+        stats = pfs.batch_stats
+        fallbacks = dict(pfs.batch_fallbacks)
+        n_subrequests = sum(s.subrequests_served for s in pfs.servers)
+        print(
+            f"chunked replay of {n_requests} requests "
+            f"({format_size(total_bytes)}, {n_chunks} chunks of <= {args.chunk_size}): "
+            f"{fast_wall:.3f}s wall, makespan {makespan:.4f}s"
+        )
+    else:
+        batch = workload.request_batch()
+        start = time.perf_counter()
+        fast = run_workload_batched(
+            testbed, batch, layout, layout_name=format_size(stripe), stats_sink=(sink := {})
+        )
+        fast_wall = time.perf_counter() - start
+        makespan = fast.makespan
+        stats = sink["batch_stats"]
+        fallbacks = sink["batch_fallbacks"]
+        n_subrequests = sink["subrequests"]
+        print(
+            f"batched replay of {len(batch)} requests ({format_size(batch.total_bytes)}): "
+            f"{fast_wall:.3f}s wall, makespan {makespan:.4f}s, "
+            f"{fast.throughput_mib:.1f} MiB/s"
+        )
+    rate = n_subrequests / fast_wall if fast_wall > 0 else float("inf")
+    tiers = (
+        f"{stats['fast_columnar_batches']} columnar + "
+        f"{stats['fast_batches'] - stats['fast_columnar_batches']} event-heap + "
+        f"{stats['general_batches']} general"
     )
+    print(f"  {n_subrequests} sub-requests, {rate:,.0f} subreq/s; batches: {tiers}")
+    if fallbacks:
+        breakdown = ", ".join(f"{k}={v}" for k, v in sorted(fallbacks.items()))
+        print(f"  fallback reasons: {breakdown}")
+    else:
+        print("  fallback reasons: none")
+    peak_mb = _peak_rss_mb()
+    print(f"  peak RSS {peak_mb:.0f} MiB")
+    if args.max_rss_mb and peak_mb > args.max_rss_mb:
+        print(
+            f"error: peak RSS {peak_mb:.0f} MiB exceeds --max-rss-mb {args.max_rss_mb}",
+            file=sys.stderr,
+        )
+        return 1
     if args.general:
+        if args.chunk_size:
+            print("error: --general is incompatible with --chunk-size", file=sys.stderr)
+            return 2
         start = time.perf_counter()
         general = run_workload_batched(
             testbed, batch, layout, layout_name=format_size(stripe), force_general=True
         )
         general_wall = time.perf_counter() - start
-        match = "identical" if general.makespan == fast.makespan else "MISMATCH"
+        match = "identical" if general.makespan == makespan else "MISMATCH"
         print(
             f"general path: {general_wall:.3f}s wall, makespan {general.makespan:.4f}s "
             f"({match}); speedup {general_wall / fast_wall:.1f}x"
@@ -750,6 +815,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--general",
         action="store_true",
         help="also run the per-request general path; verify identical makespan and report speedup",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stream the workload as windows of N requests on one cluster "
+        "(memory-bounded; generation and replay are interleaved)",
+    )
+    p.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=0,
+        metavar="MB",
+        help="exit non-zero if the process's peak RSS exceeds this bound",
     )
     p.set_defaults(fn=cmd_replay_bench)
 

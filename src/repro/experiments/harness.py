@@ -255,6 +255,7 @@ def run_workload_batched(
     faults: Any = None,
     retry: Any = None,
     force_general: bool = False,
+    stats_sink: dict | None = None,
 ) -> RunResult:
     """Execute a workload as one columnar batch on a fresh simulated cluster.
 
@@ -265,6 +266,11 @@ def run_workload_batched(
     whenever eligible — tracing, fault schedules, or a retry policy push it
     onto the general per-request path automatically, with identical results.
     ``force_general=True`` pins the general path (the parity baseline).
+
+    ``stats_sink``, when given, receives the transient cluster's batching
+    telemetry before it is torn down: ``batch_stats`` (tier counters),
+    ``batch_fallbacks`` (per-reason general-path counts), and
+    ``subrequests`` (total sub-requests served across all servers).
     """
     from repro.pfs.batch import RequestBatch
 
@@ -288,6 +294,10 @@ def run_workload_batched(
     mf = MPIIOFile.open(world.comm, pfs, file_name, layout, collector=collector)
     done = mf.request_batch(batch, force_general=force_general)
     sim.run(done)
+    if stats_sink is not None:
+        stats_sink["batch_stats"] = dict(pfs.batch_stats)
+        stats_sink["batch_fallbacks"] = dict(pfs.batch_fallbacks)
+        stats_sink["subrequests"] = sum(s.subrequests_served for s in pfs.servers)
     if layout_name is None:
         layout_name = mf.handle.layout.describe()
     obs = collect_snapshot(tracer, pfs, makespan=sim.now) if tracer is not None else None

@@ -155,6 +155,21 @@ class RequestBatch:
         for offset, size in zip(self.offsets.tolist(), self.sizes.tolist()):
             yield offset, size
 
+    def iter_chunks(self, chunk_size: int) -> Iterator["RequestBatch"]:
+        """Split into consecutive sub-batches of at most ``chunk_size`` requests.
+
+        Chunks are zero-copy views (numpy slices) sharing this batch's
+        columns, in request order; the last chunk may be shorter. Replaying
+        the chunks back-to-back models a pipelined submission where each
+        window is issued once the previous one drains — the memory-bounded
+        way to push 100M-request replays through
+        :meth:`repro.pfs.filesystem.PFSFile.request_batch`.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, len(self), chunk_size):
+            yield self[start : start + chunk_size]
+
     def __getitem__(self, key) -> "RequestBatch":
         """Slice/fancy-index into a sub-batch (columns stay aligned)."""
         if isinstance(key, int):

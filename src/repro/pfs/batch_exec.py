@@ -2,28 +2,50 @@
 
 :func:`replay_batch` serves every request of a
 :class:`~repro.pfs.batch.RequestBatch` by replaying the discrete-event
-simulation **arithmetically**: one flat heap of plain tuples stands in for
-the generator-coroutine machinery (``Process`` objects, resource grant
-events, ``AllOf`` joins) that dominates wall-clock on million-request
-replays. The replay is not an approximation — it mirrors the general path's
-event cascade *hop for hop*:
+simulation **arithmetically**, in two tiers that share one flat, fully
+materialized job table (:class:`FlatPresplit` sub-requests, expanded with
+replica mirror writes and physical extent bases, in arrival order):
+
+1. the **columnar engine** (:mod:`repro.pfs.columnar`) evaluates every
+   FIFO resource as a vectorized prefix-max/cumsum recurrence — no Python
+   loop over sub-requests at all. It covers the common shape (single-op
+   batch, stock device/network models) and *bails* losslessly when a
+   precondition fails at run time;
+2. the **event-heap replay** (the columnar tier's fallback) walks one flat
+   heap of plain tuples instead of the generator-coroutine machinery
+   (``Process`` objects, resource grant events, ``AllOf`` joins) that
+   dominates wall-clock on million-request replays.
+
+Neither tier is an approximation — both mirror the general path's event
+cascade *hop for hop*:
 
 - every schedule point of the general path (request bootstrap / issue-delay
-  timeout, resource grant fire, service timeout) maps to exactly one tuple
-  pushed at the same simulated time and the same relative position, so
-  same-timestamp ties break identically;
+  timeout, resource grant fire, service timeout) maps to the same simulated
+  time and the same relative position, so same-timestamp ties break
+  identically (the columnar tier bails on the one tie class whose order
+  would depend on heap sequence numbers);
 - resource state (FIFO queues, in-use counts, utilization intervals,
-  granted counts) is tracked with the same synchronous-grant semantics as
+  granted counts) follows the same synchronous-grant semantics as
   :class:`repro.simulate.resources.Resource`;
-- device service times are drawn by calling the **real** device model's
-  ``service_time`` at the grant-fire hop, so per-device RNG streams advance
-  in exactly the order the general path would consume them;
-- utilization deltas are accumulated per resource in closure order and
-  applied to the live monitors afterwards, preserving float-summation
-  order.
+- device service times are drawn at the grant hop in grant order — the heap
+  tier by calling the real device model's ``service_time``, the columnar
+  tier with bitwise-identical vectorized draws — so per-device RNG streams
+  advance exactly as the general path would consume them;
+- utilization deltas accumulate per resource in closure order and apply to
+  the live monitors afterwards, preserving float-summation order.
 
-The result — completion times, busy times, byte counters, RNG states — is
-therefore byte-identical to spawning one process per request.
+The result — completion times, busy times, byte counters, RNG states,
+checksum tag tables — is therefore byte-identical to spawning one process
+per request.
+
+Replication and integrity compose with the replay instead of forcing the
+general path: mirror writes are ordinary jobs in the flat table (placed by
+:meth:`ParallelFileSystem.replica_target`, extent-allocated in the same
+first-touch order), and CRC bookkeeping commits from the flat arrays after
+the timing replay (tag stamping is idempotent and order-independent, and
+with no poisoned stripe units a verification can neither mismatch nor
+alter timing). A filesystem with *poisoned* units falls back, since reads
+could then raise mid-flight.
 
 Because the replay assumes undisturbed FIFO service, it must only run when
 the simulation is *quiescent* and no resilience machinery can fire:
@@ -37,14 +59,16 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.devices.base import OpType
 from repro.network.link import ContendedNetworkModel, NetworkModel
+from repro.pfs import columnar
 from repro.simulate.resources import Resource
 
-__all__ = ["fast_path_blocker", "replay_batch"]
+__all__ = ["FlatPresplit", "fast_path_blocker", "replay_batch"]
 
 # Event kinds of the unified replay heap. Each corresponds to one schedule
 # point of the general path (see module docstring); the integer values are
@@ -59,8 +83,44 @@ _DISK_GRANT = 6  # disk slot grant firing
 _DISK_DONE = 7  # disk service timeout maturing
 
 
+@dataclass
+class FlatPresplit:
+    """A batch's striping decomposition as flat sub-request columns.
+
+    One entry per sub-request, ordered by (request, segment, server) —
+    exactly the order the general path materializes them. ``offset`` is
+    relative to the (region, server) extent; ``server`` is the striping
+    config's server id (physical id once no server map is active, which
+    the fast path guarantees). Produced by
+    :meth:`repro.pfs.filesystem.PFSFile._presplit_flat`.
+    """
+
+    req: np.ndarray  # int64 request index
+    server: np.ndarray  # int64 striping-config server id
+    offset: np.ndarray  # int64 offset within the (region, server) extent
+    size: np.ndarray  # int64 bytes
+    region: np.ndarray  # int64 region id (extent namespace key)
+
+
+@dataclass
+class _JobSet:
+    """Fully materialized jobs of one replay, in arrival order.
+
+    Replica mirror writes are expanded into ordinary jobs (each right after
+    its primary, matching the general path's spawn order) and ``offset`` is
+    physical (extent base applied). Requests stay contiguous.
+    """
+
+    req: np.ndarray  # int64 batch index
+    server: np.ndarray  # int64 physical server id
+    offset: np.ndarray  # int64 physical offset
+    size: np.ndarray  # int64 bytes
+    is_write: np.ndarray  # bool
+    n_mirror: int  # how many jobs are replica mirror writes
+
+
 class _ServerReplay:
-    """Shadow FIFO state of one :class:`FileServer` during a replay.
+    """Shadow FIFO state of one :class:`FileServer` during a heap replay.
 
     Mirrors ``Resource`` semantics: grants are issued synchronously (state
     updated at issue time), the grant *fire* is the heap tuple. Busy-time
@@ -115,8 +175,12 @@ def fast_path_blocker(handle) -> str | None:
     component is in its plain, undisturbed configuration: FIFO resources
     with no holders, waiters, or stall windows; no retry/failover policies;
     no degraded routing or server maps; stateless network models; tracing
-    off. Anything else returns a short reason string used both for the
-    fallback decision and the ``pfs.batch.fallback.*`` counters.
+    off. Replication and checksumming do *not* block — mirror writes and
+    CRC bookkeeping replay exactly — unless corruption faults have poisoned
+    stripe units, in which case a read could raise mid-flight and the full
+    repair machinery must run. Anything else returns a short reason string
+    used both for the fallback decision and the ``pfs.batch.fallback.*``
+    counters.
     """
     pfs = handle.pfs
     sim = pfs.sim
@@ -126,12 +190,13 @@ def fast_path_blocker(handle) -> str | None:
         return "simulator-busy"
     if handle.retry is not None or pfs.retry is not None:
         return "retry-policy"
-    if handle._replicated:
-        return "replication"
     if handle.server_map is not None:
         return "server-map"
     if pfs.health.route_map is not None:
         return "degraded-routing"
+    integrity = pfs.integrity
+    if integrity is not None and integrity.units_poisoned > 0:
+        return "integrity-poisoned"
     mds = pfs.mds
     service = mds._service
     if service is None:
@@ -151,24 +216,218 @@ def fast_path_blocker(handle) -> str | None:
     return None
 
 
-def replay_batch(handle, batch, presplits) -> tuple[np.ndarray, float, int]:
+def replay_batch(handle, batch, flat: FlatPresplit) -> tuple[np.ndarray, float, int, bool]:
     """Serve ``batch`` on ``handle`` arithmetically; see module docstring.
 
     Args:
         handle: the :class:`~repro.pfs.filesystem.PFSFile` being driven.
         batch: the :class:`~repro.pfs.batch.RequestBatch` to serve.
-        presplits: per-request ``[(segment, subrequests), ...]`` lists from
-            the handle's presplit pass (layout snapshot at submission).
+        flat: the handle's flat presplit (layout snapshot at submission).
 
     Returns:
-        ``(elapsed, t_end, n_subrequests)`` — per-request elapsed seconds
-        in batch order, the simulated completion time of the whole batch,
-        and the number of sub-requests served.
+        ``(elapsed, t_end, n_subrequests, used_columnar)`` — per-request
+        elapsed seconds in batch order, the simulated completion time of
+        the whole batch, the number of sub-requests served (replica mirrors
+        included), and whether the columnar tier handled it.
 
     Caller must have verified :func:`fast_path_blocker` returned None; the
     replay itself does not re-check and would silently diverge otherwise.
     """
     pfs = handle.pfs
+    sim = pfs.sim
+    t0 = sim.now
+    n = len(batch)
+
+    # Arrival instants. The general path spawns one process per request in
+    # batch order; a request with a non-zero issue delay yields one timeout
+    # before consulting the MDS. Hence arrival *ties* at t0 resolve with all
+    # zero-delay requests (bootstrap hop only) ahead of all delayed ones
+    # (timeout hop), each group in batch order. MDS service is FIFO with one
+    # uniform service time per batch, so requests *exit* the MDS — and
+    # first-touch their extents — in that arrival order.
+    issue = batch.issue_times
+    if issue is None:
+        arrival_times = np.full(n, t0, dtype=np.float64)
+        arrival_order = None
+    else:
+        arrival_times = t0 + issue
+        immediate = np.flatnonzero(issue == 0.0)
+        delayed = np.flatnonzero(issue != 0.0)
+        arrival_order = np.concatenate(
+            (immediate, delayed[np.argsort(arrival_times[delayed], kind="stable")])
+        )
+
+    jobs = _materialize(handle, batch, flat, arrival_order)
+
+    completion = None
+    used_columnar = False
+    single = batch.single_op
+    if single is not None and columnar.eligible(pfs, batch):
+        completion = columnar.replay_columnar(
+            pfs, handle, jobs, single is OpType.READ, arrival_times, arrival_order
+        )
+        used_columnar = completion is not None
+    if completion is None:
+        completion = _replay_heap(pfs, handle, batch, jobs, arrival_times)
+
+    # Shared (timing-independent) commits.
+    pfs.mds.lookup_count += n
+    if jobs.n_mirror:
+        pfs.integrity.mirrored_writes += jobs.n_mirror
+    _commit_integrity(pfs, jobs)
+    if n:
+        is_read_col = batch.is_read
+        read_bytes = int(batch.sizes[is_read_col].sum())
+        handle.bytes_read += read_bytes
+        handle.bytes_written += batch.total_bytes - read_bytes
+        t_end = float(completion.max())
+    else:
+        t_end = t0
+    return completion - arrival_times, t_end, int(jobs.req.shape[0]), used_columnar
+
+
+def _materialize(handle, batch, flat: FlatPresplit, arrival_order) -> _JobSet:
+    """Expand a flat presplit into the replay's physical job table.
+
+    Reorders sub-requests into arrival order, interleaves replica mirror
+    writes after their primaries, retargets them via
+    :meth:`ParallelFileSystem.replica_target`, and assigns extent bases in
+    first-occurrence order — the exact ``_extent_base`` call sequence the
+    general path would issue, so first-touch allocation matches.
+    """
+    pfs = handle.pfs
+    req = flat.req
+    server = flat.server
+    offset = flat.offset
+    size = flat.size
+    region = flat.region
+    n = len(batch)
+    n_jobs = req.shape[0]
+
+    if arrival_order is not None and n_jobs:
+        rank = np.empty(n, dtype=np.int64)
+        rank[arrival_order] = np.arange(n, dtype=np.int64)
+        perm = np.argsort(rank[req], kind="stable")
+        req = req[perm]
+        server = server[perm]
+        offset = offset[perm]
+        size = size[perm]
+        region = region[perm]
+
+    is_write = (
+        ~batch.is_read[req] if n_jobs else np.zeros(0, dtype=bool)
+    )
+
+    # Replica expansion: one extra write job per (mirror copy, write sub),
+    # immediately after its primary — the general path's spawn order.
+    n_mirror = 0
+    copy_no = None
+    if handle._replicated and n_jobs:
+        layout = handle.layout
+        regs = np.unique(region)
+        rcounts = np.asarray(
+            [layout.replica_count(int(r)) for r in regs.tolist()], dtype=np.int64
+        )
+        copies = rcounts[np.searchsorted(regs, region)]
+        copies = np.where(is_write, copies, 1)
+        if (copies > 1).any():
+            idx = np.repeat(np.arange(n_jobs, dtype=np.int64), copies)
+            first = (np.cumsum(copies) - copies)[idx]
+            copy_no = np.arange(idx.shape[0], dtype=np.int64) - first
+            req = req[idx]
+            offset = offset[idx]
+            size = size[idx]
+            region = region[idx]
+            is_write = is_write[idx]
+            server = server[idx]
+            n_mirror = int((copy_no > 0).sum())
+            mult = int(copy_no.max()) + 1
+            key = server * mult + copy_no
+            uniq, inv = np.unique(key, return_inverse=True)
+            targets = np.empty(uniq.shape[0], dtype=np.int64)
+            for u, packed in enumerate(uniq.tolist()):
+                sid, copy = divmod(packed, mult)
+                targets[u] = sid if copy == 0 else pfs.replica_target(sid, copy)
+            server = targets[inv]
+            n_jobs = req.shape[0]
+
+    # Extent bases, allocated in first-occurrence (= materialization) order.
+    if n_jobs:
+        copy_vals = (
+            copy_no if copy_no is not None else np.zeros(n_jobs, dtype=np.int64)
+        )
+        region_span = int(region.max()) + 1
+        key = (copy_vals * region_span + region) * pfs.n_servers + server
+        uniq, first_at, inv = np.unique(key, return_index=True, return_inverse=True)
+        bases = np.empty(uniq.shape[0], dtype=np.int64)
+        extent_ns = f"{handle.name}#g{handle.layout_generation}"
+        extent_base = pfs._extent_base
+        for u in np.argsort(first_at, kind="stable").tolist():
+            j = int(first_at[u])
+            copy = int(copy_vals[j])
+            ns = extent_ns if copy == 0 else f"{extent_ns}~r{copy}"
+            bases[u] = extent_base(ns, int(region[j]), int(server[j]))
+        offset = offset + bases[inv]
+
+    return _JobSet(
+        req=req,
+        server=server,
+        offset=offset,
+        size=size,
+        is_write=is_write,
+        n_mirror=n_mirror,
+    )
+
+
+def _commit_integrity(pfs, jobs: _JobSet) -> None:
+    """Apply a replay's CRC bookkeeping from the flat job table.
+
+    Exact because with no poisoned stripe units (the fast path guarantee)
+    checksum state never feeds back into timing or control flow during the
+    replay: writes stamp clean tags (idempotent, order-independent — the
+    tag of a block is a pure function of its identity) and reads count one
+    verification each, finding nothing. Runs after either replay tier.
+    """
+    if pfs.integrity is None or not jobs.req.shape[0]:
+        return
+    acct = pfs.integrity
+    servers = pfs.servers
+    order = np.argsort(jobs.server, kind="stable")
+    sorted_server = jobs.server[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_server[1:] != sorted_server[:-1]))
+    )
+    stops = np.concatenate((starts[1:], [sorted_server.shape[0]]))
+    for a, b in zip(starts.tolist(), stops.tolist()):
+        checks = servers[int(sorted_server[a])].checksums
+        if checks is None:
+            continue
+        idx = order[a:b]
+        write_mask = jobs.is_write[idx]
+        acct.checks += int((~write_mask).sum())
+        if write_mask.any():
+            widx = idx[write_mask]
+            block_size = checks.block_size
+            first = jobs.offset[widx] // block_size
+            counts = (jobs.offset[widx] + jobs.size[widx] - 1) // block_size - first + 1
+            blocks = np.repeat(first, counts) + (
+                np.arange(int(counts.sum()), dtype=np.int64)
+                - np.repeat(np.cumsum(counts) - counts, counts)
+            )
+            tags = checks._tags
+            expected = checks._expected
+            for block in np.unique(blocks).tolist():
+                tags[block] = expected(block)
+
+
+def _replay_heap(pfs, handle, batch, jobs: _JobSet, arrival_times) -> np.ndarray:
+    """Event-heap tier: replay the materialized jobs tuple by tuple.
+
+    Exact for any batch shape the blocker admits (mixed ops, varying NIC
+    service at capacity > 1, schedules with grant/departure ties — all the
+    cases the columnar tier bails on). Commits resource monitors/counters;
+    returns absolute per-request completion times in batch order.
+    """
     sim = pfs.sim
     t0 = sim.now
     n = len(batch)
@@ -182,62 +441,53 @@ def replay_batch(handle, batch, presplits) -> tuple[np.ndarray, float, int]:
     service = mds._service
     mds_cap = service.capacity if service is not None else 0
 
-    # Arrival instants. The general path spawns one process per request in
-    # batch order; a request with a non-zero issue delay yields one timeout
-    # before consulting the MDS. Hence arrival *ties* at t0 resolve with all
-    # zero-delay requests (bootstrap hop only) ahead of all delayed ones
-    # (timeout hop), each group in batch order — exactly the seeding below.
     issue = batch.issue_times
     if issue is None:
-        arrival_times = np.full(n, t0, dtype=np.float64)
         heap = [(t0, i, _ARRIVE, i) for i in range(n)]
-        arrival_order = range(n)
     else:
-        arrival_times = t0 + issue
         immediate = np.flatnonzero(issue == 0.0)
         delayed = np.flatnonzero(issue != 0.0)
         heap = [(t0, seq, _ARRIVE, int(i)) for seq, i in enumerate(immediate)]
         base = len(heap)
         delayed_times = arrival_times[delayed].tolist()
         heap.extend(
-            (delayed_times[seq], base + seq, _ARRIVE, int(i)) for seq, i in enumerate(delayed)
+            (delayed_times[seq], base + seq, _ARRIVE, int(i))
+            for seq, i in enumerate(delayed)
         )
         heapq.heapify(heap)
-        # MDS service is FIFO with one uniform service time per batch, so
-        # requests *exit* the MDS — and first-touch their extents — in
-        # arrival order: zero-delay requests in batch order, then delayed
-        # ones by (arrival time, batch order).
-        arrival_order = np.concatenate(
-            (immediate, delayed[np.argsort(arrival_times[delayed], kind="stable")])
-        ).tolist()
 
-    # Materialize sub-request jobs in arrival order so extent first-touch
-    # allocation (physical base assignment) matches the general path.
+    # Build per-request job lists from the flat table (requests are
+    # contiguous in it, in arrival order).
     states: dict[int, _ServerReplay] = {}
     servers = pfs.servers
-    extent_base = pfs._extent_base
-    extent_ns = f"{handle.name}#g{handle.layout_generation}"
     jobs_by_request: list[list | None] = [None] * n
-    n_subrequests = 0
-    for i in arrival_order:
-        is_write = not is_read_col[i]
-        op = write_op if is_write else read_op
-        jobs = []
-        for segment, subs in presplits[i]:
-            region_id = segment.region_id
-            for sub in subs:
-                sid = sub.server_id
-                ss = states.get(sid)
-                if ss is None:
-                    ss = states[sid] = _ServerReplay(servers[sid])
-                base = extent_base(extent_ns, region_id, sid)
-                # job = (server state, is_write, op, physical offset, size,
-                #        batch index)
-                jobs.append((ss, is_write, op, base + sub.offset, sub.size, i))
-        jobs_by_request[i] = jobs
-        n_subrequests += len(jobs)
+    req_list = jobs.req.tolist()
+    server_list = jobs.server.tolist()
+    offset_list = jobs.offset.tolist()
+    size_list = jobs.size.tolist()
+    write_list = jobs.is_write.tolist()
+    current: list | None = None
+    prev_req = -1
+    for k in range(len(req_list)):
+        i = req_list[k]
+        if i != prev_req:
+            current = jobs_by_request[i] = []
+            prev_req = i
+        sid = server_list[k]
+        ss = states.get(sid)
+        if ss is None:
+            ss = states[sid] = _ServerReplay(servers[sid])
+        is_write = write_list[k]
+        # job = (server state, is_write, op, physical offset, size,
+        #        batch index)
+        current.append(
+            (ss, is_write, write_op if is_write else read_op, offset_list[k], size_list[k], i)
+        )
+    for i in range(n):
+        if jobs_by_request[i] is None:
+            jobs_by_request[i] = []
 
-    remaining = [len(jobs) for jobs in jobs_by_request]
+    remaining = [len(job_list) for job_list in jobs_by_request]
     completion = arrival_times.copy()
 
     # Shadow MDS service state (same Resource semantics as the servers').
@@ -358,9 +608,9 @@ def replay_batch(handle, batch, presplits) -> tuple[np.ndarray, float, int]:
                 m_granted += 1
                 push(heap, (t, seq, _MDS_GRANT, nxt))
                 seq += 1
-            jobs = jobs_by_request[payload]
-            if jobs:
-                for job in jobs:
+            job_list = jobs_by_request[payload]
+            if job_list:
+                for job in job_list:
                     push(heap, (t, seq, _SPAWN, job))
                     seq += 1
             else:
@@ -377,9 +627,9 @@ def replay_batch(handle, batch, presplits) -> tuple[np.ndarray, float, int]:
                 else:
                     m_queue.append(payload)
             else:  # zero-cost consult returns inline; spawn subs now
-                jobs = jobs_by_request[payload]
-                if jobs:
-                    for job in jobs:
+                job_list = jobs_by_request[payload]
+                if job_list:
+                    for job in job_list:
                         push(heap, (t, seq, _SPAWN, job))
                         seq += 1
                 else:
@@ -400,7 +650,6 @@ def replay_batch(handle, batch, presplits) -> tuple[np.ndarray, float, int]:
         server.disk.granted_count += ss.disk_granted
         server.bytes_served += ss.bytes_served
         server.subrequests_served += ss.subrequests
-    mds.lookup_count += n
     if service is not None and m_deltas:
         service_monitor = service.monitor
         for delta in m_deltas:
@@ -408,11 +657,4 @@ def replay_batch(handle, batch, presplits) -> tuple[np.ndarray, float, int]:
     if service is not None:
         service.granted_count += m_granted
 
-    if n:
-        read_bytes = int(batch.sizes[is_read_col].sum())
-        handle.bytes_read += read_bytes
-        handle.bytes_written += batch.total_bytes - read_bytes
-        t_end = float(completion.max())
-    else:
-        t_end = t0
-    return completion - arrival_times, t_end, n_subrequests
+    return completion

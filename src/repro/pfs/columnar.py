@@ -1,0 +1,427 @@
+"""Vectorized columnar replay: the batched fast path without the heap.
+
+The event-heap replay of :mod:`repro.pfs.batch_exec` is exact but still
+walks one Python tuple per sub-request hop. For the common batched shape —
+a single-op batch on plain FIFO resources — every per-resource schedule is
+a *deterministic FIFO recurrence* that numpy can evaluate in bulk:
+
+- a capacity-1 resource with per-job service ``s_i`` and sorted feed times
+  ``f_i`` departs at ``d_i = fl(max(f_i, d_{i-1}) + s_i)``;
+- a capacity-``c`` resource with *constant* service ``L`` decomposes into
+  ``c`` independent such chains (job ``j`` starts when job ``j - c``
+  departs), one per residue lane of the feed order.
+
+IEEE-754 forbids closed forms (every ``+`` must round in sequence), but
+``np.add.accumulate`` is an exact sequential left fold, so each busy period
+evaluates as one vectorized cumulative sum; a restart loop re-anchors at
+idle gaps. Utilization intervals fall out arithmetically: for capacity 1
+every departure closes one interval (``d_i - g_i``); for capacity > 1 the
+interval endpoints are recovered from the queue-depth prefix counts.
+
+Bit-exactness contract: completion times, busy-time floats (same summation
+order), resource counters, device counters/state, and device RNG streams
+(drawn in grant order with vectorized ``Generator.uniform`` calls, which
+are bitwise-identical to the equivalent scalar call sequence) all match the
+general DES path. Whenever a precondition cannot be established cheaply —
+varying NIC service at capacity > 1, an exact feed/departure time collision
+on a multi-slot resource (tie resolution would depend on heap sequence
+numbers), an SSD write reaching a whole GC window, or too many idle gaps
+for the restart loop — the engine *bails*: it restores any consumed device
+RNG state and returns ``None``, and the caller falls back to the event-heap
+replay (still exact, still fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.hdd import HDDModel
+from repro.devices.ssd import SSDModel
+
+__all__ = ["replay_columnar"]
+
+#: Busy-period restart loop: first/maximum np.add.accumulate span. Blocks
+#: start small (an idle gap wastes little) and double while a busy period
+#: keeps going (a long dense stretch amortizes the Python loop away).
+_BLOCK_MIN = 32
+_BLOCK_MAX = 65536
+#: Flat per-restart budget charge, so the wasted-work budget also bounds
+#: Python loop iterations on pathologically alternating feeds.
+_ITER_COST = 8
+
+
+def _chain(feed: np.ndarray, svc: np.ndarray, budget: list) -> np.ndarray | None:
+    """Departures of a capacity-1 FIFO: ``d_i = fl(max(f_i, d_{i-1}) + s_i)``.
+
+    ``feed`` must be non-decreasing. The two easy regimes are fully
+    vectorized: a queue-free feed (every job finds the resource idle, found
+    by one comparison pass) is ``feed + svc`` elementwise, and long busy
+    periods evaluate as exact sequential folds (``np.add.accumulate``) in
+    geometrically growing blocks. ``budget`` is a single-element mutable
+    wasted-work allowance shared across the whole replay; feeds that mix
+    idle gaps and short busy bursts at scale exhaust it and return None
+    (the caller falls back to the event-heap tier).
+    """
+    n = feed.shape[0]
+    done_free = feed + svc
+    if n <= 1 or not (feed[1:] < done_free[:-1]).any():
+        # Queue-free: by induction every grant is the arrival itself.
+        return done_free
+    done = np.empty(n, dtype=np.float64)
+    h = 0
+    prev = -np.inf
+    block = _BLOCK_MIN
+    while h < n:
+        g0 = feed[h] if feed[h] > prev else prev
+        end = min(n, h + block)
+        acc = np.add.accumulate(np.concatenate(([g0], svc[h:end])))
+        cand = acc[1:]  # done[h:end] assuming one busy period
+        viol = feed[h + 1 : end] > cand[:-1]
+        if viol.any():
+            stop = h + 1 + int(np.argmax(viol))
+            block = _BLOCK_MIN  # idle gap: next busy period starts small
+        else:
+            stop = end
+            block = min(block * 2, _BLOCK_MAX)  # still busy: amortize
+        budget[0] -= (end - stop) + _ITER_COST
+        if budget[0] < 0:
+            return None
+        done[h:stop] = cand[: stop - h]
+        prev = done[stop - 1]
+        h = stop
+    return done
+
+
+def _prev_done(done: np.ndarray, lag: int) -> np.ndarray:
+    """``done`` shifted by ``lag`` with ``-inf`` fill (departure of job i-lag)."""
+    out = np.empty_like(done)
+    out[:lag] = -np.inf
+    out[lag:] = done[:-lag] if lag < done.shape[0] else done[:0]
+    return out
+
+
+def _fifo_const(
+    feed: np.ndarray, service: float, cap: int, budget: list
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Departures and busy deltas of a FIFO with constant service time.
+
+    Returns ``(done, deltas)`` with deltas in interval-closure order, or
+    None on a budget/tie bail. Capacity > 1 requires no exact feed/departure
+    collisions (the general path resolves those by event sequence numbers).
+    """
+    n = feed.shape[0]
+    if cap == 1:
+        done = _chain(feed, np.full(n, service), budget)
+        if done is None:
+            return None
+        return done, done - np.maximum(feed, _prev_done(done, 1))
+    done = np.empty(n, dtype=np.float64)
+    for lane in range(min(cap, n)):
+        lane_feed = feed[lane::cap]
+        lane_done = _chain(lane_feed, np.full(lane_feed.shape[0], service), budget)
+        if lane_done is None:
+            return None
+        done[lane::cap] = lane_done
+    if np.isin(feed, done).any():
+        return None  # exact feed/departure tie: ordering is seq-dependent
+    deltas = _multislot_deltas(feed, done, cap)
+    if deltas is None:
+        return None
+    return done, deltas
+
+
+def _multislot_deltas(feed: np.ndarray, done: np.ndarray, cap: int) -> np.ndarray | None:
+    """Busy-interval deltas of a capacity-``cap`` FIFO from its schedule.
+
+    With no feed/departure ties, processing order is unambiguous and queue
+    depth before each event is a prefix count: a departure closes an
+    interval iff depth 1, a grant opens one iff depth 0. A closure whose
+    departure regrants a waiter reopens at the same instant (matching
+    ``Resource.release``'s close-then-grant).
+    """
+    n = feed.shape[0]
+    queued = feed <= _prev_done(done, cap)
+    feed_direct = feed[~queued]
+    qpre = np.concatenate(([0], np.cumsum(queued)))
+    k = np.arange(n)
+    # Depth just before departure k's release: grants issued so far (direct
+    # feeds strictly earlier, plus waiters regranted by departures < k)
+    # minus the k departures already processed.
+    depth = (
+        np.searchsorted(feed_direct, done, side="left")
+        + qpre[np.minimum(k + cap, n)]
+        - k
+    )
+    closes_mask = depth == 1
+    closes = done[closes_mask]
+    # Opens: direct grants arriving at depth 0 ...
+    r = np.searchsorted(done, feed_direct, side="left")
+    m = np.arange(feed_direct.shape[0])
+    open_direct = feed_direct[(m + qpre[np.minimum(r + cap, n)] - r) == 0]
+    # ... plus close-and-reopen instants (departure k regrants waiter k+cap).
+    kk = k[closes_mask]
+    kk = kk[kk + cap < n]
+    reopen = done[kk[queued[kk + cap]]]
+    opens = np.sort(np.concatenate((open_direct, reopen)))
+    if opens.shape[0] != closes.shape[0]:
+        return None  # schedule did not quiesce as analyzed; use the heap
+    return closes - opens
+
+
+def _device_services(
+    device, op_is_read: bool, offsets: np.ndarray, sizes: np.ndarray, sizes_f: np.ndarray
+):
+    """Vectorized ``service_breakdown`` stream of one device, in grant order.
+
+    Returns ``(service_times, new_head, new_gc)`` — deferred device state —
+    or None when exactness cannot be guaranteed (SSD write sizes reaching a
+    whole GC window). Advances the device RNG exactly as the equivalent
+    scalar call sequence would; the caller snapshots/restores it on bail.
+    """
+    n = sizes.shape[0]
+    new_head = None
+    new_gc = None
+    if type(device) is HDDModel:
+        if device.positional:
+            heads = np.empty_like(offsets)
+            heads[0] = device._head_position
+            np.add(offsets[:-1], sizes[:-1], out=heads[1:])
+            distance = np.abs(offsets - heads) / float(device.capacity)
+            seek_span = device.alpha_max - device.alpha_min
+            startup = device.alpha_min + (0.6 * seek_span) * np.sqrt(
+                np.minimum(1.0, distance)
+            )
+            startup = startup + device.rng.uniform(0.0, 0.4 * seek_span, n)
+            new_head = int(offsets[-1] + sizes[-1])
+        else:
+            startup = device.rng.uniform(device.alpha_min, device.alpha_max, n)
+        transfer = sizes_f * device.beta
+    else:  # SSDModel (caller verified the exact type)
+        if op_is_read:
+            startup = device.rng.uniform(device.read_alpha_min, device.read_alpha_max, n)
+            beta = device.beta_read
+        else:
+            startup = device.rng.uniform(device.write_alpha_min, device.write_alpha_max, n)
+            window = device.gc_window
+            if window > 0:
+                # The cumsum/floor-divide crossing test matches the scalar
+                # subtract-once bookkeeping only while the counter stays in
+                # [0, window) between writes; a single giant write (here or
+                # before this batch) breaks that invariant.
+                if int(sizes.max()) >= window or device._bytes_since_gc >= window:
+                    return None
+                counter = device._bytes_since_gc + np.cumsum(sizes)
+                before = np.empty_like(counter)
+                before[0] = device._bytes_since_gc
+                before[1:] = counter[:-1]
+                crossed = (counter // window) > (before // window)
+                startup = np.where(crossed, startup + device.gc_pause, startup)
+                new_gc = int(counter[-1] % window)
+            beta = device.beta_write
+        engaged = np.minimum(
+            device.n_channels, np.maximum(1, -(-sizes // device.channel_chunk))
+        )
+        speedup = 0.6 + 0.4 * (engaged / device.n_channels)
+        transfer = sizes_f * beta / speedup
+    slowdown = device.slowdown
+    return startup * slowdown + transfer * slowdown, new_head, new_gc
+
+
+@dataclass
+class _ServerPass:
+    """Computed schedule of one server, held until the commit phase."""
+
+    server: object
+    completion: np.ndarray  # per-job final-stage departure, feed order
+    nic_deltas: np.ndarray
+    disk_deltas: np.ndarray
+    n_jobs: int
+    total_bytes: int
+    new_head: int | None
+    new_gc: int | None
+
+
+def _server_pass(server, feed, offsets, sizes, op_is_read: bool, budget: list):
+    """Full NIC+disk schedule of one server's jobs (feed order). None = bail."""
+    net = server.network
+    sizes_f = sizes.astype(np.float64)
+    transfer = (net.latency + sizes_f * net.unit_time) * net.congestion
+    cap = server.nic.capacity
+    if cap > 1 and sizes.shape[0] > 1 and transfer.min() != transfer.max():
+        return None  # varying service on a multi-slot NIC: lanes don't apply
+
+    def nic_stage(nic_feed):
+        if cap == 1:
+            done = _chain(nic_feed, transfer, budget)
+            if done is None:
+                return None
+            return done, done - np.maximum(nic_feed, _prev_done(done, 1))
+        return _fifo_const(nic_feed, float(transfer[0]), cap, budget)
+
+    if op_is_read:
+        svc = _device_services(server.device, True, offsets, sizes, sizes_f)
+        if svc is None:
+            return None
+        svc, new_head, new_gc = svc
+        disk_done = _chain(feed, svc, budget)
+        if disk_done is None:
+            return None
+        disk_deltas = disk_done - np.maximum(feed, _prev_done(disk_done, 1))
+        nic = nic_stage(disk_done)
+        if nic is None:
+            return None
+        nic_done, nic_deltas = nic
+        completion = nic_done
+    else:
+        nic = nic_stage(feed)
+        if nic is None:
+            return None
+        nic_done, nic_deltas = nic
+        svc = _device_services(server.device, False, offsets, sizes, sizes_f)
+        if svc is None:
+            return None
+        svc, new_head, new_gc = svc
+        disk_done = _chain(nic_done, svc, budget)
+        if disk_done is None:
+            return None
+        disk_deltas = disk_done - np.maximum(nic_done, _prev_done(disk_done, 1))
+        completion = disk_done
+    return _ServerPass(
+        server=server,
+        completion=completion,
+        nic_deltas=nic_deltas,
+        disk_deltas=disk_deltas,
+        n_jobs=int(sizes.shape[0]),
+        total_bytes=int(sizes.sum()),
+        new_head=new_head,
+        new_gc=new_gc,
+    )
+
+
+def _fold_busy(monitor, deltas: np.ndarray) -> None:
+    """Fold interval deltas into a monitor in closure order, exactly.
+
+    ``np.add.accumulate`` is a sequential left fold, so seeding it with the
+    current ``busy_time`` reproduces the general path's ``+=`` sequence
+    bit for bit.
+    """
+    if deltas.shape[0]:
+        acc = np.add.accumulate(np.concatenate(([monitor.busy_time], deltas)))
+        monitor.busy_time = float(acc[-1])
+
+
+def eligible(pfs, batch) -> bool:
+    """Static columnar preconditions (cheap; dynamic ones bail at run time)."""
+    if batch.single_op is None or len(batch) == 0:
+        return False
+    for server in pfs.servers:
+        if type(server.device) not in (HDDModel, SSDModel):
+            return False
+    return True
+
+
+def replay_columnar(
+    pfs,
+    handle,
+    jobs,
+    op_is_read: bool,
+    arrival_times: np.ndarray,
+    arrival_order: np.ndarray | None,
+) -> np.ndarray | None:
+    """Vectorized replay of a materialized single-op job set.
+
+    Returns per-request absolute completion times (batch order) and commits
+    all resource/device/MDS state on success, or returns ``None`` with no
+    observable state change (device RNGs restored) so the caller can fall
+    back to the event-heap replay.
+
+    The caller guarantees :func:`repro.pfs.batch_exec.fast_path_blocker`
+    returned None and :func:`eligible` is True.
+    """
+    n = arrival_times.shape[0]
+    n_jobs = jobs.server.shape[0]
+    budget = [32 * (n_jobs + n) + 65536]
+
+    # -- MDS stage: constant lookup, FIFO slots, arrival-order feed --------
+    mds = pfs.mds
+    lookup = mds.lookup_time(handle.layout.region_count())
+    feed = arrival_times if arrival_order is None else arrival_times[arrival_order]
+    mds_deltas = None
+    service = mds._service
+    if lookup > 0:
+        res = _fifo_const(feed, lookup, service.capacity, budget)
+        if res is None:
+            return None
+        exits, mds_deltas = res
+    else:
+        exits = feed
+
+    spawn = np.empty(n, dtype=np.float64)
+    if arrival_order is None:
+        spawn[:] = exits
+    else:
+        spawn[arrival_order] = exits
+
+    # -- per-server NIC/disk schedules ------------------------------------
+    passes: list[_ServerPass] = []
+    completion_jobs = np.empty(n_jobs, dtype=np.float64)
+    snapshots = []
+    if n_jobs:
+        job_spawn = spawn[jobs.req]
+        order = np.argsort(jobs.server, kind="stable")
+        sorted_server = jobs.server[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_server[1:] != sorted_server[:-1]))
+        )
+        stops = np.concatenate((starts[1:], [n_jobs]))
+        for a, b in zip(starts.tolist(), stops.tolist()):
+            idx = order[a:b]
+            server = pfs.servers[int(sorted_server[a])]
+            snapshots.append((server.device, server.device.rng.bit_generator.state))
+            result = _server_pass(
+                server,
+                job_spawn[idx],
+                jobs.offset[idx],
+                jobs.size[idx],
+                op_is_read,
+                budget,
+            )
+            if result is None:
+                for device, state in snapshots:
+                    device.rng.bit_generator.state = state
+                return None
+            completion_jobs[idx] = result.completion
+            passes.append(result)
+
+    # -- per-request completion -------------------------------------------
+    completion = spawn.copy()  # requests with no sub-requests finish at MDS exit
+    if n_jobs:
+        req = jobs.req
+        run_starts = np.flatnonzero(np.concatenate(([True], req[1:] != req[:-1])))
+        completion[req[run_starts]] = np.maximum.reduceat(completion_jobs, run_starts)
+
+    # -- commit ------------------------------------------------------------
+    for p in passes:
+        server = p.server
+        _fold_busy(server.nic.monitor, p.nic_deltas)
+        server.nic.granted_count += p.n_jobs
+        _fold_busy(server.disk.monitor, p.disk_deltas)
+        server.disk.granted_count += p.n_jobs
+        server.bytes_served += p.total_bytes
+        server.subrequests_served += p.n_jobs
+        device = server.device
+        if op_is_read:
+            device.bytes_read += p.total_bytes
+        else:
+            device.bytes_written += p.total_bytes
+        device.requests_served += p.n_jobs
+        if p.new_head is not None:
+            device._head_position = p.new_head
+        if p.new_gc is not None:
+            device._bytes_since_gc = p.new_gc
+    if mds_deltas is not None:
+        _fold_busy(service.monitor, mds_deltas)
+        service.granted_count += n
+    return completion

@@ -171,6 +171,59 @@ class PFSFile:
             for idx, segments in enumerate(per_request_segments)
         ]
 
+    def _presplit_flat(self, batch: RequestBatch):
+        """Striping decomposition of a batch as flat sub-request columns.
+
+        Returns a :class:`repro.pfs.batch_exec.FlatPresplit` — no
+        per-request Python lists at all; the layout's region map
+        (:meth:`LayoutPolicy.segments_batch`) and the striping decomposition
+        (:func:`repro.pfs.mapping.decompose_batch_flat`) both run as
+        vectorized passes. The result is a snapshot against the current
+        layout — callers must not ``relayout`` between decomposing and
+        serving.
+        """
+        from repro.pfs.batch_exec import FlatPresplit
+        from repro.pfs.mapping import decompose_batch_flat
+
+        req, rel, seg_sizes, region, cfg_idx, configs = self.layout.segments_batch(
+            batch.offsets, batch.sizes
+        )
+        if len(configs) <= 1:
+            if configs:
+                piece, server, sub_off, sub_size = decompose_batch_flat(
+                    configs[0], rel, seg_sizes
+                )
+            else:
+                piece = server = sub_off = sub_size = np.zeros(0, dtype=np.int64)
+            return FlatPresplit(req[piece], server, sub_off, sub_size, region[piece])
+        # Multiple striping configs: decompose each distinct config's pieces
+        # in one vectorized call, then stitch the groups back into global
+        # (request, segment) order. A stable sort by piece index keeps each
+        # piece's server-ordered sub-requests intact.
+        groups: dict[int, list[int]] = {}
+        for k, config in enumerate(configs):
+            groups.setdefault(id(config), []).append(k)
+        piece_parts, server_parts, off_parts, size_parts = [], [], [], []
+        for indices in groups.values():
+            sel = np.flatnonzero(np.isin(cfg_idx, np.asarray(indices, dtype=np.int64)))
+            piece, server, sub_off, sub_size = decompose_batch_flat(
+                configs[indices[0]], rel[sel], seg_sizes[sel]
+            )
+            piece_parts.append(sel[piece])
+            server_parts.append(server)
+            off_parts.append(sub_off)
+            size_parts.append(sub_size)
+        piece = np.concatenate(piece_parts)
+        order = np.argsort(piece, kind="stable")
+        piece = piece[order]
+        return FlatPresplit(
+            req[piece],
+            np.concatenate(server_parts)[order],
+            np.concatenate(off_parts)[order],
+            np.concatenate(size_parts)[order],
+            region[piece],
+        )
+
     def request_many(
         self,
         op: OpType | str,
@@ -232,7 +285,6 @@ class PFSFile:
         sim = self.pfs.sim
         stats = self.pfs.batch_stats
         n = len(batch)
-        presplits = self._presplit(list(zip(batch.offsets.tolist(), batch.sizes.tolist())))
         if force_general:
             reason = "forced"
         elif os.environ.get("REPRO_BATCH_FAST", "1") == "0":
@@ -241,12 +293,16 @@ class PFSFile:
             reason = fast_path_blocker(self)
         done = sim.event()
         if reason is None:
-            elapsed, t_end, n_subrequests = replay_batch(self, batch, presplits)
+            flat = self._presplit_flat(batch)
+            elapsed, t_end, n_subrequests, used_columnar = replay_batch(self, batch, flat)
             sim.schedule_many([(done, elapsed, t_end)], absolute=True)
             stats["fast_batches"] += 1
+            if used_columnar:
+                stats["fast_columnar_batches"] += 1
             stats["fast_requests"] += n
             stats["fast_subrequests"] += n_subrequests
             return done
+        presplits = self._presplit(list(zip(batch.offsets.tolist(), batch.sizes.tolist())))
         stats["general_batches"] += 1
         stats["general_requests"] += n
         fallbacks = self.pfs.batch_fallbacks
@@ -542,6 +598,7 @@ class ParallelFileSystem:
         #: once any batch has been submitted.
         self.batch_stats = {
             "fast_batches": 0,
+            "fast_columnar_batches": 0,
             "fast_requests": 0,
             "fast_subrequests": 0,
             "general_batches": 0,

@@ -86,6 +86,49 @@ class LayoutPolicy(ABC):
         """Largest :meth:`replica_count` over all regions (capability probe)."""
         return 1
 
+    # -- batched decomposition ---------------------------------------------
+
+    def segments_batch(
+        self, offsets: np.ndarray, sizes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[StripingConfig]]:
+        """:meth:`segments` over many requests, emitted as flat columns.
+
+        Returns ``(request_index, rel_offset, size, region_id, config_index,
+        configs)`` where each entry is one segment piece in ``(request,
+        segment)`` order, ``rel_offset`` is the piece's offset within its
+        region (``segment.offset - segment.region_base``), and
+        ``config_index`` indexes ``configs``. The base implementation loops
+        over :meth:`segments`; layouts with closed-form region maps override
+        it with vectorized versions.
+        """
+        req: list[int] = []
+        rel: list[int] = []
+        seg_sizes: list[int] = []
+        regions: list[int] = []
+        cfg_idx: list[int] = []
+        configs: list[StripingConfig] = []
+        cfg_map: dict[int, int] = {}
+        for i, (offset, size) in enumerate(zip(offsets.tolist(), sizes.tolist())):
+            for segment in self.segments(offset, size):
+                key = id(segment.config)
+                idx = cfg_map.get(key)
+                if idx is None:
+                    idx = cfg_map[key] = len(configs)
+                    configs.append(segment.config)
+                req.append(i)
+                rel.append(segment.offset - segment.region_base)
+                seg_sizes.append(segment.size)
+                regions.append(segment.region_id)
+                cfg_idx.append(idx)
+        return (
+            np.asarray(req, dtype=np.int64),
+            np.asarray(rel, dtype=np.int64),
+            np.asarray(seg_sizes, dtype=np.int64),
+            np.asarray(regions, dtype=np.int64),
+            np.asarray(cfg_idx, dtype=np.int64),
+            configs,
+        )
+
 
 def _check_replicas(replicas: int) -> int:
     replicas = int(replicas)
@@ -125,6 +168,16 @@ class HybridFixedLayout(LayoutPolicy):
         return [
             LayoutSegment(offset=offset, size=size, config=self.config, region_id=0, region_base=0)
         ]
+
+    def segments_batch(
+        self, offsets: np.ndarray, sizes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[StripingConfig]]:
+        # Single region at base 0: every non-empty request is one piece.
+        if offsets.size and (int(offsets.min()) < 0 or int(sizes.min()) < 0):
+            raise ValueError("offset and size must be >= 0")
+        req = np.flatnonzero(sizes > 0)
+        zeros = np.zeros(req.shape[0], dtype=np.int64)
+        return req, offsets[req], sizes[req], zeros, zeros, [self.config]
 
     def replica_count(self, region_id: int) -> int:
         return self.replicas
@@ -240,6 +293,41 @@ class RegionLevelLayout(LayoutPolicy):
             )
             cursor = seg_end
         return out
+
+    def segments_batch(
+        self, offsets: np.ndarray, sizes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[StripingConfig]]:
+        # Regions tile the address space from 0, so the regions a request
+        # crosses are a contiguous index run found by two searchsorted calls.
+        if offsets.size and (int(offsets.min()) < 0 or int(sizes.min()) < 0):
+            raise ValueError("offset and size must be >= 0")
+        entries = self.rst.entries
+        starts = np.asarray([e.offset for e in entries], dtype=np.int64)
+        # Last region is unbounded; cap piece ends with +max so the minimum
+        # below always picks the request end there.
+        ends = np.asarray(
+            [e.end if e.end is not None else np.iinfo(np.int64).max for e in entries],
+            dtype=np.int64,
+        )
+        nonempty = sizes > 0
+        first = np.searchsorted(starts, offsets, side="right") - 1
+        last = np.searchsorted(starts, offsets + sizes - 1, side="right") - 1
+        counts = np.where(nonempty, last - first + 1, 0)
+        total = int(counts.sum())
+        req = np.repeat(np.arange(offsets.shape[0], dtype=np.int64), counts)
+        base = np.cumsum(counts) - counts
+        region = np.arange(total, dtype=np.int64) - base[req] + first[req]
+        seg_start = np.maximum(offsets[req], starts[region])
+        seg_end = np.minimum(offsets[req] + sizes[req], ends[region])
+        configs = [e.config for e in entries]
+        return (
+            req,
+            seg_start - starts[region],
+            seg_end - seg_start,
+            region,
+            region.copy(),
+            configs,
+        )
 
     def region_count(self) -> int:
         return len(self.rst)

@@ -293,6 +293,49 @@ def decompose_batch(
     return out
 
 
+def decompose_batch_flat(
+    config: StripingConfig,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`decompose_batch` emitted as flat sub-request columns.
+
+    Returns ``(piece_index, server_id, sub_offset, sub_size)`` int64 arrays,
+    one entry per non-empty sub-request, ordered by ``(input piece,
+    server_id)`` — the exact order in which :func:`decompose` would emit
+    them per piece. No per-request Python lists are materialized, which is
+    what the columnar replay engine consumes directly.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if offsets.shape != sizes.shape or offsets.ndim != 1:
+        raise ValueError("offsets and sizes must be equal-length 1-D arrays")
+    if offsets.size and (int(offsets.min()) < 0 or int(sizes.min()) < 0):
+        raise ValueError("offsets and sizes must be >= 0")
+    empty = np.empty(0, dtype=np.int64)
+    if offsets.size == 0:
+        return empty, empty, empty, empty
+    S = config.round_size
+    windows = np.asarray(_window_table(config), dtype=np.int64)  # (n_servers, 2)
+    a = windows[:, 0][None, :]
+    w = (windows[:, 1] - windows[:, 0])[None, :]
+
+    full_start, rem_start = np.divmod(offsets[:, None], S)
+    full_end, rem_end = np.divmod((offsets + sizes)[:, None], S)
+    p_start = full_start * w + np.clip(rem_start - a, 0, w)
+    sub_sizes = full_end * w + np.clip(rem_end - a, 0, w) - p_start
+
+    # nonzero over the (piece × server) matrix yields row-major order:
+    # piece-ascending, server-ascending within a piece — decompose's order.
+    piece, server = np.nonzero(sub_sizes > 0)
+    return (
+        piece.astype(np.int64, copy=False),
+        server.astype(np.int64, copy=False),
+        p_start[piece, server],
+        sub_sizes[piece, server],
+    )
+
+
 def critical_params(config: StripingConfig, offset: int, size: int) -> CriticalParams:
     """Exact (s_m, s_n, m, n) for one request under ``config``."""
     s_m = s_n = 0

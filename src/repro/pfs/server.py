@@ -116,14 +116,14 @@ class FileServer:
         The arithmetic replay (:mod:`repro.pfs.batch_exec`) assumes plain
         idle FIFO resources: a crashed or fault-tracked server, a C-SCAN
         disk, or any held/busy/queued slot means the replay's shadow state
-        would not match the live resources.
+        would not match the live resources. Checksums do not block — the
+        replay commits the same CRC bookkeeping from its flat job table
+        (the filesystem-level blocker still excludes poisoned state).
         """
         if self._failed:
             return "failed-server"
         if self._active is not None:
             return "fault-tracking"
-        if self.checksums is not None:
-            return "integrity"
         disk = self.disk
         if type(disk) is not Resource:
             return "disk-scheduler"

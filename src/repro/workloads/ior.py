@@ -152,6 +152,55 @@ class IORWorkload:
             is_read=np.full(n, cfg.op is OpType.READ, dtype=bool),
         )
 
+    def iter_request_batches(self, chunk_requests: int) -> Generator[RequestBatch, None, None]:
+        """Stream the run as consecutive columnar chunks, rank-major.
+
+        Concatenating the yielded batches reproduces :meth:`request_batch`
+        entry for entry (same :func:`~repro.util.rng.derive_rng` draws), but
+        peak memory is one rank's offset column plus one chunk — not the
+        whole run. This is what lets a 100M-request replay stay inside a
+        bounded RSS: generate a window, replay it, drop it.
+
+        Chunks hold exactly ``chunk_requests`` requests (the final one may
+        be shorter) and may span rank boundaries.
+        """
+        if chunk_requests < 1:
+            raise ValueError(f"chunk_requests must be >= 1, got {chunk_requests}")
+        cfg = self.config
+        requests_per_block = cfg.block_size // cfg.request_size
+        slot_grid = (
+            np.arange(cfg.segments, dtype=np.int64)[:, None] * cfg.segment_size
+            + np.arange(requests_per_block, dtype=np.int64)[None, :] * cfg.request_size
+        ).reshape(-1)
+        pending: list[np.ndarray] = []
+        pending_n = 0
+
+        def drain(parts: list[np.ndarray]) -> RequestBatch:
+            offsets = np.concatenate(parts) if len(parts) > 1 else parts[0]
+            n = offsets.shape[0]
+            return RequestBatch(
+                offsets=offsets,
+                sizes=np.full(n, cfg.request_size, dtype=np.int64),
+                is_read=np.full(n, cfg.op is OpType.READ, dtype=bool),
+            )
+
+        for rank in range(cfg.n_processes):
+            mine = slot_grid + rank * cfg.block_size
+            if cfg.random_offsets:
+                mine = derive_rng(cfg.seed, "ior", rank).permutation(mine)
+            cursor = 0
+            while cursor < mine.shape[0]:
+                take = min(chunk_requests - pending_n, mine.shape[0] - cursor)
+                pending.append(mine[cursor : cursor + take])
+                pending_n += take
+                cursor += take
+                if pending_n == chunk_requests:
+                    yield drain(pending)
+                    pending = []
+                    pending_n = 0
+        if pending_n:
+            yield drain(pending)
+
     def synthetic_trace(self) -> list[TraceRecord]:
         """The offset-sorted IOSIG trace a profiling run would produce."""
         records = []

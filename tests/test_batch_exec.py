@@ -326,6 +326,115 @@ class TestFallbackMatrix:
 
 
 # ---------------------------------------------------------------------------
+# Columnar tier: when it engages, when it hands off to the event heap
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarTier:
+    """The vectorized tier must engage on uniform batches — including with
+    replication and integrity — and hand uneven ones to the event-heap tier
+    with no general-path fallback either way."""
+
+    def _aligned_batch(self, n=48, op_read=False):
+        offsets = (np.arange(n, dtype=np.int64) * 128 * KiB) % (4 * 1024 * 1024)
+        return RequestBatch(
+            offsets=offsets,
+            sizes=np.full(n, 64 * KiB, dtype=np.int64),
+            is_read=np.full(n, op_read, dtype=bool),
+        )
+
+    def _run_pair(self, layout, batch, *, integrity=False):
+        def run(force_general):
+            sim = Simulator()
+            pfs = HybridPFS.build(sim, 2, 1, seed=0)
+            if integrity:
+                pfs.enable_integrity()
+            handle = pfs.create_file("f", layout)
+            done = handle.request_batch(batch, force_general=force_general)
+            sim.run(done)
+            return {
+                "elapsed": np.asarray(done.value, dtype=np.float64),
+                "now": sim.now,
+                "busy": sorted(pfs.server_busy_times().items()),
+                "nic_busy": [s.nic.monitor.busy_time for s in pfs.servers],
+                "rng": [s.device.rng.bit_generator.state for s in pfs.servers],
+                "tags": [
+                    None if s.checksums is None else dict(s.checksums._tags)
+                    for s in pfs.servers
+                ],
+            }, dict(pfs.batch_stats), dict(pfs.batch_fallbacks)
+
+        fast, fast_stats, fast_fallbacks = run(False)
+        general, general_stats, _ = run(True)
+        np.testing.assert_array_equal(fast["elapsed"], general["elapsed"])
+        del fast["elapsed"], general["elapsed"]
+        assert fast == general
+        assert fast_stats["fast_batches"] == 1
+        assert fast_fallbacks == {}
+        return fast_stats
+
+    @pytest.mark.parametrize("op_read", [False, True])
+    def test_uniform_batch_runs_columnar(self, op_read):
+        stats = self._run_pair(
+            FixedLayout(2, 1, 64 * KiB), self._aligned_batch(op_read=op_read)
+        )
+        assert stats["fast_columnar_batches"] == 1
+
+    @pytest.mark.parametrize("op_read", [False, True])
+    def test_columnar_with_replication_and_integrity(self, op_read):
+        """Mirrored writes and CRC bookkeeping stay on the vectorized tier."""
+        stats = self._run_pair(
+            FixedLayout(2, 1, 64 * KiB, replicas=2),
+            self._aligned_batch(op_read=op_read),
+            integrity=True,
+        )
+        assert stats["fast_columnar_batches"] == 1
+
+    def test_columnar_with_region_replicas(self):
+        layout = RegionLevelLayout(
+            RegionStripeTable(
+                [
+                    RSTEntry(
+                        region_id=0,
+                        offset=0,
+                        end=1024 * 1024,
+                        config=StripingConfig(2, 1, 64 * KiB, 64 * KiB),
+                    ),
+                    RSTEntry(
+                        region_id=1,
+                        offset=1024 * 1024,
+                        end=None,
+                        config=StripingConfig(2, 1, 64 * KiB, 64 * KiB),
+                    ),
+                ]
+            ),
+            replicas={0: 3},
+        )
+        stats = self._run_pair(layout, self._aligned_batch(), integrity=True)
+        assert stats["fast_columnar_batches"] == 1
+
+    def test_uneven_batch_uses_event_heap_not_general(self):
+        """Varying sub-request sizes on a multi-slot NIC bail out of the
+        columnar tier — to the event-heap replay, never the general path."""
+        rng = np.random.default_rng(3)
+        batch = RequestBatch(
+            offsets=rng.integers(0, 4 * 1024 * 1024, 48).astype(np.int64),
+            sizes=rng.integers(1, 256 * KiB, 48).astype(np.int64),
+            is_read=np.zeros(48, dtype=bool),
+        )
+        stats = self._run_pair(FixedLayout(2, 1, 64 * KiB), batch)
+        assert stats["fast_columnar_batches"] == 0
+
+    def test_mixed_op_batch_uses_event_heap(self):
+        batch = self._aligned_batch()
+        is_read = batch.is_read.copy()
+        is_read[::2] = True
+        batch = RequestBatch(offsets=batch.offsets, sizes=batch.sizes, is_read=is_read)
+        stats = self._run_pair(FixedLayout(2, 1, 64 * KiB), batch)
+        assert stats["fast_columnar_batches"] == 0
+
+
+# ---------------------------------------------------------------------------
 # Batched runs through the parallel job fabric (--jobs N)
 # ---------------------------------------------------------------------------
 

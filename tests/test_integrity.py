@@ -332,15 +332,37 @@ class TestBatchFallback:
         sim.run(handle.request_batch(self._batch()))
         return pfs
 
-    def test_replication_forces_general_path(self):
+    def test_replication_keeps_fast_path(self):
+        # Mirror writes are ordinary jobs in the flat replay table now; the
+        # fast path must not fall back, and the mirror accounting must match
+        # what the general path would record.
         pfs = self._run(FixedLayout(2, 2, 64 * KiB, replicas=2))
-        assert pfs.batch_stats["fast_batches"] == 0
-        assert pfs.batch_fallbacks.get("replication", 0) == 1
+        assert pfs.batch_stats["fast_batches"] == 1
+        assert pfs.batch_fallbacks.get("replication", 0) == 0
+        assert pfs.integrity.mirrored_writes > 0
 
-    def test_integrity_forces_general_path(self):
+    def test_integrity_keeps_fast_path(self):
+        # CRC bookkeeping commits from the flat job table; clean checksum
+        # state must not push the batch onto the general path.
         pfs = self._run(FixedLayout(2, 2, 64 * KiB), enable=True)
-        assert pfs.batch_stats["fast_batches"] == 0
-        assert pfs.batch_fallbacks.get("integrity", 0) == 1
+        assert pfs.batch_stats["fast_batches"] == 1
+        assert pfs.batch_fallbacks.get("integrity", 0) == 0
+        assert sum(len(s.checksums) for s in pfs.servers) > 0
+
+    def test_poisoned_state_forces_general_path(self):
+        # A poisoned stripe unit means a read could raise mid-flight — only
+        # then does integrity block the replay.
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        pfs.enable_integrity()
+        sim.run(handle.request_batch(self._batch()))
+        assert pfs.batch_stats["fast_batches"] == 1
+        server = pfs.servers[0]
+        assert server.checksums.poison_block(server.checksums.written_blocks()[0])
+        sim.run(handle.request_batch(self._batch()))
+        assert pfs.batch_stats["general_batches"] == 1
+        assert pfs.batch_fallbacks.get("integrity-poisoned", 0) == 1
 
     def test_plain_layout_keeps_fast_path(self):
         pfs = self._run(FixedLayout(2, 2, 64 * KiB))

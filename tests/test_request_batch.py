@@ -163,3 +163,62 @@ class TestWorkloadProducers:
         assert batch.issue_times[0] == 0.0
         assert (np.diff(np.sort(batch.issue_times)) >= 0).all()
         assert batch.total_bytes == workload.total_bytes
+
+
+class TestChunkedStreaming:
+    def _batch(self, n=100):
+        rng = np.random.default_rng(0)
+        return RequestBatch(
+            offsets=rng.integers(0, 1 * MiB, n).astype(np.int64),
+            sizes=rng.integers(1, 64 * KiB, n).astype(np.int64),
+            is_read=rng.random(n) < 0.5,
+            issue_times=np.round(rng.random(n) * 0.01, 6),
+        )
+
+    def test_iter_chunks_reassembles(self):
+        batch = self._batch(100)
+        chunks = list(batch.iter_chunks(17))
+        assert [len(c) for c in chunks] == [17] * 5 + [15]
+        np.testing.assert_array_equal(
+            np.concatenate([c.offsets for c in chunks]), batch.offsets
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([c.issue_times for c in chunks]), batch.issue_times
+        )
+
+    def test_iter_chunks_zero_copy(self):
+        batch = self._batch(10)
+        chunk = next(batch.iter_chunks(4))
+        assert np.shares_memory(chunk.offsets, batch.offsets)
+
+    def test_iter_chunks_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(self._batch(4).iter_chunks(0))
+
+    def test_ior_streaming_matches_one_shot(self):
+        """iter_request_batches concatenated == request_batch, entry for entry."""
+        cfg = IORConfig(
+            n_processes=4, request_size=16 * KiB, file_size=4 * 16 * 16 * KiB,
+            random_offsets=True, seed=3,
+        )
+        workload = IORWorkload(cfg)
+        whole = workload.request_batch()
+        for chunk_requests in (1, 7, 16, 1000):
+            chunks = list(workload.iter_request_batches(chunk_requests))
+            assert all(len(c) == chunk_requests for c in chunks[:-1])
+            assert len(chunks[-1]) <= chunk_requests
+            np.testing.assert_array_equal(
+                np.concatenate([c.offsets for c in chunks]), whole.offsets
+            )
+            np.testing.assert_array_equal(
+                np.concatenate([c.sizes for c in chunks]), whole.sizes
+            )
+            np.testing.assert_array_equal(
+                np.concatenate([c.is_read for c in chunks]), whole.is_read
+            )
+
+    def test_ior_streaming_rejects_bad_chunk(self):
+        workload = IORWorkload(IORConfig(n_processes=2, request_size=16 * KiB,
+                                         file_size=2 * 4 * 16 * KiB))
+        with pytest.raises(ValueError):
+            list(workload.iter_request_batches(0))
