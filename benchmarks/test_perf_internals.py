@@ -394,3 +394,65 @@ def test_perf_schedule_many(benchmark):
     baseline = _baseline_mean("test_perf_schedule_many")
     if baseline is not None:
         assert benchmark.stats.stats.mean <= baseline * 2.0
+
+
+def test_perf_serving_scenario(benchmark):
+    """Multi-tenant serving front end: WFQ + admission + hedged reads.
+
+    One contention scenario (closed-loop bronze vs hedged gold over 3H+1S)
+    timed end to end. Tracks the per-request cost the serving layer adds on
+    top of the plain PFS path: token-bucket reservations, WFQ virtual-clock
+    stamps at every disk grant, and hedge-timer setup/cancel on every
+    replicated read.
+    """
+    from repro.experiments.harness import Testbed, run_serving
+    from repro.serving import make_scenario
+
+    testbed = Testbed(n_hservers=3, n_sservers=1, seed=0)
+    scenario = make_scenario(
+        ["batch:bronze:clients=6", "web:gold:clients=3"], duration=0.2
+    )
+
+    def run():
+        return run_serving(testbed, scenario).serving.tenant("web").requests
+
+    result = benchmark(run)
+    assert result > 0
+    baseline = _baseline_mean("test_perf_serving_scenario")
+    if baseline is not None:
+        assert benchmark.stats.stats.mean <= baseline * 2.0
+
+
+def test_perf_latency_distribution(benchmark):
+    """Tail-latency pipeline: histogram observe + interpolated quantiles.
+
+    50k observations into a TAIL_LATENCY_BOUNDS histogram followed by a
+    21-point quantile grid — the per-tenant work every serving result and
+    BENCH artifact performs. Guards the interpolating ``quantile`` (and the
+    snapshot round-trip) against accidental O(buckets^2) regressions.
+    """
+    from repro.obs.metrics import TAIL_LATENCY_BOUNDS, Histogram, histogram_quantile
+
+    values = (np.random.default_rng(0).lognormal(-6.0, 1.0, 50_000)).tolist()
+
+    def run():
+        hist = Histogram("lat", bounds=TAIL_LATENCY_BOUNDS)
+        observe = hist.observe
+        for value in values:
+            observe(value)
+        entry = {
+            "type": "histogram",
+            "bounds": list(hist.bounds),
+            "counts": list(hist.counts),
+            "count": hist.count,
+            "total": hist.total,
+            "min": hist.min,
+            "max": hist.max,
+        }
+        return sum(histogram_quantile(entry, q / 20.0) for q in range(21))
+
+    result = benchmark(run)
+    assert result > 0
+    baseline = _baseline_mean("test_perf_latency_distribution")
+    if baseline is not None:
+        assert benchmark.stats.stats.mean <= baseline * 2.0

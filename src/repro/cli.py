@@ -11,6 +11,11 @@ Commands:
 - ``chaos`` — sweep stochastic fault rates, comparing HARL against a
   fixed-stripe baseline under identical fault schedules;
   ``--corrupt-rate`` folds silent data corruption into the sweep;
+- ``serve`` — multi-tenant QoS serving front end: tiered tenants
+  (bronze/silver/gold) with token-bucket admission control, weighted fair
+  queueing at the disk stage, and straggler-aware hedged reads;
+  ``--compare-hedging`` A/Bs the tail, ``--assert-p99 gold<bronze``
+  gates tier ordering for CI;
 - ``scrub`` — write a file under corruption faults, then run a background
   scrub sweep and report what it detected and repaired;
 - ``trace`` — run IOR with DES event tracing; export a Chrome trace;
@@ -359,6 +364,130 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             f"{corrupt_cols}"
         )
     return 0
+
+
+def _parse_p99_assert(spec: str) -> tuple[str, str]:
+    """``'gold<bronze'`` → ``('gold', 'bronze')`` (faster tier first)."""
+    from repro.serving import ServingSpecError
+
+    parts = [token.strip() for token in spec.split("<")]
+    if len(parts) != 2 or not all(parts):
+        raise ServingSpecError(
+            f"--assert-p99 wants 'FASTER_TIER<SLOWER_TIER', got {spec!r}"
+        )
+    return parts[0], parts[1]
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Multi-tenant QoS serving: tiers, admission control, WFQ, hedging."""
+    from dataclasses import replace
+
+    from repro.experiments.parallel import ServeJob, run_jobs
+    from repro.serving import ServingSpecError, make_scenario, parse_tier_config
+
+    testbed = _testbed(args)
+    try:
+        tier_config = None
+        if args.tiers:
+            import json
+
+            try:
+                tier_config = json.loads(Path(args.tiers).read_text())
+            except OSError as exc:
+                raise ServingSpecError(f"cannot read --tiers file: {exc}") from exc
+            except json.JSONDecodeError as exc:
+                raise ServingSpecError(
+                    f"--tiers file {args.tiers} is not valid JSON: {exc}"
+                ) from exc
+        tenants = list(args.tenant)
+        if not tenants:
+            # Demo default: one closed-loop tenant per tier in the ladder.
+            tenants = [f"{name}:{name}" for name in parse_tier_config(tier_config)]
+        scenario = make_scenario(
+            tenants,
+            tier_config=tier_config,
+            duration=args.duration,
+            seed=args.seed,
+            hedging=not args.no_hedging,
+            fair_share=not args.no_fair_share,
+            stripe=parse_size(args.stripe),
+        )
+        faults = parse_faults(args.faults) if args.faults else None
+        if args.chaos:
+            if args.chaos < 0:
+                raise FaultSpecError(f"--chaos must be >= 0, got {args.chaos}")
+            # Degrade-heavy mix: stragglers, not outages, are what hedging
+            # and tier weights are meant to absorb.
+            chaos = FaultSchedule.random(
+                seed=args.seed + 7919,
+                horizon=scenario.duration,
+                n_servers=args.hservers + args.sservers,
+                degrade_rate=args.chaos,
+                blip_rate=args.chaos * 0.5,
+                hang_rate=args.chaos * 0.25,
+            )
+            faults = FaultSchedule(events=faults.events + chaos.events) if faults else chaos
+        asserts = [_parse_p99_assert(spec) for spec in args.assert_p99]
+    except (ServingSpecError, FaultSpecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    retry = RetryPolicy(seed=args.seed) if faults is not None else None
+    jobs_list = [ServeJob(testbed=testbed, scenario=scenario, faults=faults, retry=retry)]
+    if args.compare_hedging:
+        jobs_list.append(
+            ServeJob(
+                testbed=testbed,
+                scenario=replace(scenario, hedging=False),
+                faults=faults,
+                retry=retry,
+            )
+        )
+    try:
+        results = run_jobs(jobs_list, jobs=args.jobs)
+    except FaultSpecError as exc:
+        # Unknown server names surface when the schedule binds to the PFS.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = results[0]
+    serving = result.serving
+    fault_note = f", {len(faults)} fault events" if faults else ""
+    print(
+        f"serving: {len(serving.tenants)} tenants over "
+        f"{args.hservers}h+{args.sservers}s, {scenario.duration:g}s window, "
+        f"seed {args.seed}{fault_note}"
+    )
+    print(serving.render())
+    if result.faults is not None:
+        print(_fault_stats_line(result.faults))
+    if result.integrity is not None:
+        print(_integrity_line(result.integrity))
+    if args.compare_hedging:
+        baseline = results[1].serving
+        print("\nhedging off (same seed, same faults):")
+        print(baseline.render())
+        for tier in sorted({t.tier for t in serving.tenants}):
+            on = serving.tier_quantile(tier, 0.99)
+            off = baseline.tier_quantile(tier, 0.99)
+            cut = (1.0 - on / off) * 100.0 if off > 0 else 0.0
+            print(
+                f"  {tier}: p99 {on * 1e3:.2f}ms hedged vs "
+                f"{off * 1e3:.2f}ms unhedged ({cut:+.1f}% tail cut)"
+            )
+    failed = False
+    for faster, slower in asserts:
+        try:
+            left = serving.tier_quantile(faster, 0.99)
+            right = serving.tier_quantile(slower, 0.99)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        ok = left < right
+        print(
+            f"assert p99[{faster}] < p99[{slower}]: "
+            f"{left * 1e3:.2f}ms < {right * 1e3:.2f}ms -> {'ok' if ok else 'FAIL'}"
+        )
+        failed = failed or not ok
+    return 1 if failed else 0
 
 
 def cmd_scrub(args: argparse.Namespace) -> int:
@@ -756,6 +885,73 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0 = no corruption; scales with the sweep rate)",
     )
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant QoS serving: tiers, admission control, hedged reads",
+    )
+    _add_testbed_args(p)
+    _add_jobs_arg(p)
+    p.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="tenant spec 'name[:tier[:key=value,...]]' (repeatable), e.g. "
+        "'web:gold:clients=8,think=0.01' or 'batch:bronze:arrival=poisson,"
+        "rate=200,queue=64'; default: one closed-loop tenant per tier",
+    )
+    p.add_argument(
+        "--tiers",
+        metavar="PATH",
+        help="JSON file mapping tier name -> {weight, replicas, hedge, "
+        "hedge_quantile} (default: built-in bronze/silver/gold ladder)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        help="measurement window in simulated seconds (default 1.0)",
+    )
+    p.add_argument("--stripe", default="64K", help="stripe size (default 64K)")
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="scripted fault spec, same grammar as run-ior",
+    )
+    p.add_argument(
+        "--chaos",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="add a seeded degrade-heavy random schedule (RATE = expected "
+        "degrades over the window; blips/hangs at half/quarter rate)",
+    )
+    p.add_argument(
+        "--no-hedging",
+        action="store_true",
+        help="disable hedged reads even for tiers that request them",
+    )
+    p.add_argument(
+        "--no-fair-share",
+        action="store_true",
+        help="keep FIFO disk queues instead of weighted fair queueing",
+    )
+    p.add_argument(
+        "--compare-hedging",
+        action="store_true",
+        help="also run the identical scenario with hedging off and report "
+        "the per-tier p99 delta",
+    )
+    p.add_argument(
+        "--assert-p99",
+        action="append",
+        default=[],
+        metavar="A<B",
+        help="exit 1 unless tier A's p99 beats tier B's, e.g. 'gold<bronze' "
+        "(repeatable; for CI gating)",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "scrub",

@@ -168,6 +168,10 @@ class RunResult:
     #: Checksum/replication summary (:class:`repro.pfs.integrity.IntegrityStats`)
     #: when the run's integrity layer was active; None otherwise.
     integrity: Any = None
+    #: Multi-tenant serving outcome (:class:`repro.serving.ServingResult`,
+    #: per-tenant latency histograms + hedge counters) for runs produced by
+    #: :func:`run_serving`; None for plain workload runs.
+    serving: Any = None
 
     @property
     def throughput(self) -> float:
@@ -309,6 +313,43 @@ def run_workload_batched(
         obs=obs,
         faults=injector.stats() if injector is not None else None,
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
+    )
+
+
+def run_serving(
+    testbed: Testbed,
+    scenario: Any,
+    faults: Any = None,
+    retry: Any = None,
+    trace: bool | None = None,
+) -> RunResult:
+    """Run a multi-tenant serving scenario on a fresh simulated cluster.
+
+    ``scenario`` is a :class:`repro.serving.ServingScenario`: per-tenant
+    arrival processes, QoS tiers (WFQ weight + replicas + hedging), token
+    buckets, and admission bounds. Per-tenant latency histograms and hedge
+    counters land in ``RunResult.serving`` (a picklable
+    :class:`~repro.serving.frontend.ServingResult`); ``trace``/``faults``/
+    ``retry`` behave exactly as in :func:`run_workload`. Same (seed,
+    scenario, schedule) ⇒ identical results, serial or ``--jobs N``.
+    """
+    from repro.obs.tracer import collect_snapshot
+    from repro.serving.frontend import simulate_scenario
+
+    serving, sim, pfs, tracer, injector = simulate_scenario(
+        testbed, scenario, faults=faults, retry=retry, trace=trace
+    )
+    obs = collect_snapshot(tracer, pfs, makespan=sim.now) if tracer is not None else None
+    total_bytes = sum(t.bytes_read + t.bytes_written for t in serving.tenants)
+    return RunResult(
+        layout_name=f"serving[{len(serving.tenants)} tenants]",
+        makespan=serving.makespan,
+        total_bytes=total_bytes,
+        server_busy=pfs.server_busy_times(),
+        obs=obs,
+        faults=injector.stats() if injector is not None else None,
+        integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
+        serving=serving,
     )
 
 

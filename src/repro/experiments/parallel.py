@@ -135,6 +135,22 @@ class RunJob:
 
 
 @dataclass(frozen=True)
+class ServeJob:
+    """One ``run_serving`` execution: (testbed, serving scenario).
+
+    The scenario is a frozen :class:`repro.serving.ServingScenario`; every
+    stochastic stream inside the run derives from its seed, so a ServeJob
+    produces bit-identical per-tenant histograms serial or pooled.
+    """
+
+    testbed: Any
+    scenario: Any
+    trace: bool | None = None
+    faults: Any = None
+    retry: Any = None
+
+
+@dataclass(frozen=True)
 class PlanJob:
     """One ``harl_plan`` execution: trace + calibrate + Algorithms 1-2."""
 
@@ -172,6 +188,19 @@ def execute_run_job(job: RunJob) -> Any:
     )
 
 
+def execute_serve_job(job: ServeJob) -> Any:
+    """Run one :class:`ServeJob` (module-level, hence pool-picklable)."""
+    from repro.experiments.harness import run_serving
+
+    return run_serving(
+        job.testbed,
+        job.scenario,
+        faults=job.faults,
+        retry=job.retry,
+        trace=job.trace,
+    )
+
+
 def execute_plan_job(job: PlanJob) -> Any:
     """Run one :class:`PlanJob` (module-level, hence pool-picklable)."""
     from repro.experiments.harness import harl_plan
@@ -184,15 +213,19 @@ def execute_plan_job(job: PlanJob) -> Any:
     )
 
 
-def execute_job(job: RunJob | PlanJob) -> Any:
+def execute_job(job: RunJob | PlanJob | ServeJob) -> Any:
     """Dispatch one job spec to its executor."""
     if isinstance(job, RunJob):
         return execute_run_job(job)
     if isinstance(job, PlanJob):
         return execute_plan_job(job)
+    if isinstance(job, ServeJob):
+        return execute_serve_job(job)
     raise TypeError(f"not a job spec: {type(job).__name__}")
 
 
-def run_jobs(job_list: Sequence[RunJob | PlanJob], jobs: int | None = None) -> list[Any]:
+def run_jobs(
+    job_list: Sequence[RunJob | PlanJob | ServeJob], jobs: int | None = None
+) -> list[Any]:
     """Execute a mixed batch of job specs; results align with ``job_list``."""
     return pmap(execute_job, job_list, jobs=jobs)

@@ -27,6 +27,66 @@ def exponential_bounds(start: float, count: int, factor: float = 2.0) -> tuple[f
 #: Default bucket upper bounds for latency histograms: 1 µs .. ~34 s.
 DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = exponential_bounds(1e-6, 26, 2.0)
 
+#: Finer-grained bounds for tail-latency (p99/p999) histograms: √2 spacing
+#: keeps interpolated quantiles within ±19% of the true value, 1 µs .. ~45 s.
+TAIL_LATENCY_BOUNDS: tuple[float, ...] = exponential_bounds(1e-6, 51, 2.0**0.5)
+
+
+def _interpolate_quantile(
+    bounds: tuple[float, ...],
+    counts: list[int],
+    count: int,
+    vmin: float,
+    vmax: float,
+    q: float,
+) -> float:
+    """Shared quantile core for live histograms and snapshot dicts.
+
+    q=0 and q=1 return the exact observed extremes; interior quantiles
+    interpolate linearly within the covering bucket, with the bucket edges
+    clamped to [vmin, vmax] (every observation lies in that range, so the
+    clamp only tightens the estimate — it never moves it outside the data).
+    """
+    if not 0 <= q <= 1:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count == 0:
+        return 0.0
+    if q == 0:
+        return vmin
+    if q == 1:
+        return vmax
+    target = q * count
+    seen = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count and seen + bucket_count >= target:
+            low = bounds[index - 1] if index > 0 else 0.0
+            high = bounds[index] if index < len(bounds) else vmax
+            low = max(low, vmin)
+            high = min(high, vmax)
+            fraction = (target - seen) / bucket_count
+            return low + fraction * (high - low)
+        seen += bucket_count
+    return vmax
+
+
+def histogram_quantile(entry: dict, q: float) -> float:
+    """Interpolated q-quantile from a histogram *snapshot* entry.
+
+    Operates on the plain-dict form produced by
+    :meth:`MetricsRegistry.snapshot`/:meth:`MetricsRegistry.merge`, so
+    quantiles can be computed after results cross a process-pool boundary.
+    """
+    if entry.get("type") != "histogram":
+        raise TypeError(f"not a histogram snapshot entry: {entry.get('type')!r}")
+    return _interpolate_quantile(
+        tuple(entry["bounds"]),
+        entry["counts"],
+        entry["count"],
+        entry["min"],
+        entry["max"],
+        q,
+    )
+
 
 class Counter:
     """A monotonically increasing value (events, bytes, cache hits)."""
@@ -65,8 +125,8 @@ class Histogram:
     """Fixed-bucket histogram with exact sum/count/min/max side-channels.
 
     ``bounds`` are bucket *upper* bounds; one implicit overflow bucket
-    catches everything beyond the last bound. Quantiles are approximate
-    (bucket upper bound), while :attr:`mean` is exact.
+    catches everything beyond the last bound. Quantiles interpolate within
+    the covering bucket and are exact at q=0/q=1; :attr:`mean` is exact.
     """
 
     __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max")
@@ -96,18 +156,11 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate q-quantile: the upper bound of the covering bucket."""
-        if not 0 <= q <= 1:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= target:
-                return self.bounds[index] if index < len(self.bounds) else self.max
-        return self.max
+        """Interpolated q-quantile: exact at the edges (observed min/max),
+        linear within the covering bucket elsewhere."""
+        return _interpolate_quantile(
+            self.bounds, self.counts, self.count, self.min, self.max, q
+        )
 
 
 class MetricsRegistry:
@@ -159,14 +212,17 @@ class MetricsRegistry:
             elif isinstance(metric, Gauge):
                 out[name] = {"type": "gauge", "value": metric.value}
             else:
+                # Empty histograms carry ±inf min/max sentinels internally;
+                # export 0.0 so the infinities never leak into CSV/JSON
+                # exporters or merged snapshots.
                 out[name] = {
                     "type": "histogram",
                     "bounds": list(metric.bounds),
                     "counts": list(metric.counts),
                     "total": metric.total,
                     "count": metric.count,
-                    "min": metric.min,
-                    "max": metric.max,
+                    "min": metric.min if metric.count else 0.0,
+                    "max": metric.max if metric.count else 0.0,
                 }
         return out
 
@@ -183,10 +239,14 @@ class MetricsRegistry:
             for name, entry in snapshot.items():
                 current = merged.get(name)
                 if current is None:
-                    merged[name] = {
+                    current = {
                         key: list(value) if isinstance(value, list) else value
                         for key, value in entry.items()
                     }
+                    if entry["type"] == "histogram" and not entry["count"]:
+                        current["min"] = 0.0
+                        current["max"] = 0.0
+                    merged[name] = current
                     continue
                 if current["type"] != entry["type"]:
                     raise TypeError(f"metric {name!r} has conflicting types across snapshots")
@@ -197,13 +257,21 @@ class MetricsRegistry:
                 else:
                     if current["bounds"] != list(entry["bounds"]):
                         raise ValueError(f"histogram {name!r} bucket bounds differ across snapshots")
+                    # An empty side contributes no observations, so its
+                    # placeholder min/max (0.0 from snapshot(), or ±inf from
+                    # a legacy snapshot) must not poison the merged extremes.
+                    if entry["count"]:
+                        if current["count"]:
+                            current["min"] = min(current["min"], entry["min"])
+                            current["max"] = max(current["max"], entry["max"])
+                        else:
+                            current["min"] = entry["min"]
+                            current["max"] = entry["max"]
                     current["counts"] = [
                         a + b for a, b in zip(current["counts"], entry["counts"])
                     ]
                     current["total"] += entry["total"]
                     current["count"] += entry["count"]
-                    current["min"] = min(current["min"], entry["min"])
-                    current["max"] = max(current["max"], entry["max"])
         return dict(sorted(merged.items()))
 
     @staticmethod

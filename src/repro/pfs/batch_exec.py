@@ -190,6 +190,8 @@ def fast_path_blocker(handle) -> str | None:
         return "simulator-busy"
     if handle.retry is not None or pfs.retry is not None:
         return "retry-policy"
+    if handle.hedge is not None:
+        return "hedged-reads"
     if handle.server_map is not None:
         return "server-map"
     if pfs.health.route_map is not None:

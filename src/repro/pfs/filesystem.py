@@ -66,6 +66,15 @@ class PFSFile:
         #: retries. Migration shadow handles set this so a dead target
         #: aborts the pass rather than silently placing bytes elsewhere.
         self.failfast = False
+        #: Straggler-aware read scheduling hook (see
+        #: :class:`repro.serving.hedging.HedgeScheduler`). None keeps the
+        #: replicated-read path on :meth:`_serve_repairing` unchanged; when
+        #: set, replicated reads are reordered/hedged across copies.
+        self.hedge = None
+        #: Optional ``(flow, weight)`` fair-queueing tag propagated to every
+        #: sub-request process, read by ``WFQResource`` disks. None (the
+        #: default) leaves sub-request processes untagged.
+        self.qos = None
         self._sync_replication()
 
     def _sync_replication(self) -> None:
@@ -381,6 +390,8 @@ class PFSFile:
             retry = None
             routed = False
         replicated = self._replicated
+        hedge = self.hedge
+        qos = self.qos
         for segment, subs in presplit:
             copies = self.layout.replica_count(segment.region_id) if replicated else 1
             for sub in subs:
@@ -394,23 +405,39 @@ class PFSFile:
                 server = self.pfs.servers[server_id]
                 base = self.pfs._extent_base(extent_ns, segment.region_id, server_id)
                 if copies > 1 and op is OpType.READ:
-                    generator = self._serve_repairing(
-                        server_id,
-                        base + sub.offset,
-                        sub.size,
-                        extent_ns,
-                        segment.region_id,
-                        sub.offset,
-                        copies,
-                        retry,
-                    )
+                    if hedge is not None:
+                        generator = hedge.serve_read(
+                            self,
+                            server_id,
+                            base + sub.offset,
+                            sub.size,
+                            extent_ns,
+                            segment.region_id,
+                            sub.offset,
+                            copies,
+                            retry,
+                        )
+                    else:
+                        generator = self._serve_repairing(
+                            server_id,
+                            base + sub.offset,
+                            sub.size,
+                            extent_ns,
+                            segment.region_id,
+                            sub.offset,
+                            copies,
+                            retry,
+                        )
                 elif retry is None:
                     generator = server.serve(op, base + sub.offset, sub.size)
                 else:
                     generator = self._serve_resilient(
                         op, server_id, base + sub.offset, sub.size, retry
                     )
-                sub_procs.append(sim.process(generator, name=f"{server.name}<-{self.name}"))
+                proc = sim.process(generator, name=f"{server.name}<-{self.name}")
+                if qos is not None:
+                    proc.qos = qos
+                sub_procs.append(proc)
                 if copies > 1 and op is OpType.WRITE:
                     # Synchronous mirroring: the request completes only once
                     # every copy is durable, so replication's write cost is
@@ -423,12 +450,13 @@ class PFSFile:
                             f"{extent_ns}~r{copy}", segment.region_id, target
                         )
                         acct.mirrored_writes += 1
-                        sub_procs.append(
-                            sim.process(
-                                rserver.serve(op, rbase + sub.offset, sub.size),
-                                name=f"{rserver.name}<-{self.name}~r{copy}",
-                            )
+                        rproc = sim.process(
+                            rserver.serve(op, rbase + sub.offset, sub.size),
+                            name=f"{rserver.name}<-{self.name}~r{copy}",
                         )
+                        if qos is not None:
+                            rproc.qos = qos
+                        sub_procs.append(rproc)
         if sub_procs:
             yield sim.all_of(sub_procs)
         if op is OpType.READ:
@@ -462,6 +490,8 @@ class PFSFile:
             serve = sim.process(
                 server.serve(op, offset, size), name=f"{server.name}<-{self.name}"
             )
+            if self.qos is not None:
+                serve.qos = self.qos
             failure: ServerUnavailable | None = None
             try:
                 if retry.timeout is not None:

@@ -30,7 +30,7 @@ from repro.network.link import NetworkModel
 from repro.pfs.health import ServerUnavailable
 from repro.pfs.integrity import IntegrityError
 from repro.simulate.engine import Interrupt, Process, Simulator
-from repro.simulate.resources import Resource, ScanResource
+from repro.simulate.resources import Resource, ScanResource, WFQResource
 
 
 class FileServer:
@@ -43,9 +43,11 @@ class FileServer:
         name: label used in per-server statistics (Fig. 1(a) bars).
         nic_parallelism: concurrent flows the NIC sustains at full rate;
             1 models a fully serialized GigE port.
-        disk_scheduler: ``"fifo"`` (default) or ``"scan"`` — C-SCAN
+        disk_scheduler: ``"fifo"`` (default), ``"scan"`` — C-SCAN
             elevator ordering of queued disk operations, worthwhile with
-            positional (seek-distance-dependent) device models.
+            positional (seek-distance-dependent) device models — or
+            ``"wfq"`` — weighted fair queueing over the serving layer's
+            per-tenant ``qos`` tags.
     """
 
     def __init__(
@@ -65,8 +67,12 @@ class FileServer:
             self.disk: Resource = Resource(sim, capacity=1, name=f"{name}.disk")
         elif disk_scheduler == "scan":
             self.disk = ScanResource(sim, name=f"{name}.disk")
+        elif disk_scheduler == "wfq":
+            self.disk = WFQResource(sim, name=f"{name}.disk")
         else:
-            raise ValueError(f"unknown disk_scheduler {disk_scheduler!r}; use 'fifo' or 'scan'")
+            raise ValueError(
+                f"unknown disk_scheduler {disk_scheduler!r}; use 'fifo', 'scan', or 'wfq'"
+            )
         self.nic = Resource(sim, capacity=nic_parallelism, name=f"{name}.nic")
         self.bytes_served = 0
         self.subrequests_served = 0

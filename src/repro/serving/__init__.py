@@ -1,0 +1,43 @@
+"""Multi-tenant QoS serving front end over the simulated PFS.
+
+Multiplexes many tenants — each a population of simulated clients with its
+own arrival process, service tier, and rate limits — over one hybrid PFS:
+token-bucket admission control, weighted fair queueing at the server disk
+stage, tiered replication, and straggler-aware hedged reads. See
+:mod:`repro.serving.frontend` for the scenario runner and
+``experiments.harness.run_serving`` for the harness entry point.
+"""
+
+from repro.serving.frontend import (
+    ServingResult,
+    ServingScenario,
+    TenantResult,
+    make_scenario,
+    simulate_scenario,
+)
+from repro.serving.hedging import HedgeScheduler
+from repro.serving.qos import TokenBucket
+from repro.serving.tiers import (
+    DEFAULT_TIER_CONFIG,
+    ServingSpecError,
+    TenantSpec,
+    TierSpec,
+    parse_tenant_spec,
+    parse_tier_config,
+)
+
+__all__ = [
+    "DEFAULT_TIER_CONFIG",
+    "HedgeScheduler",
+    "ServingResult",
+    "ServingScenario",
+    "ServingSpecError",
+    "TenantResult",
+    "TenantSpec",
+    "TierSpec",
+    "TokenBucket",
+    "make_scenario",
+    "parse_tenant_spec",
+    "parse_tier_config",
+    "simulate_scenario",
+]

@@ -1,0 +1,71 @@
+"""Arrival processes for open-loop tenants.
+
+Closed-loop traffic (request → think → request) lives in the frontend as
+one DES process per client; this module generates the *absolute arrival
+times* for open-loop tenants, where requests arrive regardless of how the
+system is keeping up:
+
+- ``poisson``: a stationary Poisson process at the tenant's mean rate —
+  the classic open-loop load generator.
+- ``bursty``: a two-phase modulated Poisson process (on/off), the arrival
+  shape observed in multi-tenant production traffic (cf. the FUJITSU K5
+  workload analysis, arXiv:2008.06152): bursts at ``rate * burstiness``
+  for exponentially-distributed on-phases, near silence between them,
+  with the long-run mean preserved at ``rate`` (exactly, when
+  ``burstiness * on_fraction <= 1``).
+
+All draws come from the tenant's ``derive_rng`` stream, so a (seed,
+tenant) pair always produces the identical arrival sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.serving.tiers import TenantSpec
+
+
+def open_loop_arrivals(
+    rng: np.random.Generator, spec: TenantSpec, horizon: float
+) -> Iterator[float]:
+    """Yield absolute arrival times in ``[0, horizon)`` for one tenant."""
+    if spec.arrival == "poisson":
+        yield from _poisson(rng, spec.rate, 0.0, horizon)
+    elif spec.arrival == "bursty":
+        yield from _bursty(rng, spec, horizon)
+    else:
+        raise ValueError(f"{spec.arrival!r} is not an open-loop arrival kind")
+
+
+def _poisson(
+    rng: np.random.Generator, rate: float, start: float, end: float
+) -> Iterator[float]:
+    now = start
+    scale = 1.0 / rate
+    while True:
+        now += rng.exponential(scale)
+        if now >= end:
+            return
+        yield now
+
+
+def _bursty(rng: np.random.Generator, spec: TenantSpec, horizon: float) -> Iterator[float]:
+    on_rate = spec.rate * spec.burstiness
+    # Off-phase rate chosen so the long-run mean stays spec.rate; clamped at
+    # zero (silent gaps) when the bursts alone exceed the mean.
+    off_rate = spec.rate * max(0.0, 1.0 - spec.burstiness * spec.on_fraction)
+    off_rate /= 1.0 - spec.on_fraction
+    mean_on = spec.on_time
+    mean_off = mean_on * (1.0 - spec.on_fraction) / spec.on_fraction
+    now = 0.0
+    bursting = True
+    while now < horizon:
+        duration = rng.exponential(mean_on if bursting else mean_off)
+        end = min(now + duration, horizon)
+        rate = on_rate if bursting else off_rate
+        if rate > 0:
+            yield from _poisson(rng, rate, now, end)
+        now = end
+        bursting = not bursting

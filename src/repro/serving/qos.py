@@ -1,0 +1,55 @@
+"""Per-tenant rate limiting: a deterministic virtual-clock token bucket.
+
+The bucket never samples randomness and never inspects simulator state
+beyond the timestamps the caller passes in, so a tenant's admission
+decisions are a pure function of its arrival times — serial and ``--jobs
+N`` runs agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """Token bucket with future reservations (a virtual scheduler).
+
+    ``reserve(now)`` debits one token and returns how long the caller must
+    wait before proceeding: 0 when a token is available, otherwise the time
+    until the bucket refills to one. The reservation is committed
+    immediately — the bucket's clock advances to the reserved instant — so
+    N simultaneous arrivals space out by ``1/rate`` each rather than all
+    waiting for the same token.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float = 8.0):
+        if rate <= 0:
+            raise ValueError(f"token bucket rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"token bucket burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)  # Start full: an idle tenant can burst.
+        self._last = 0.0
+
+    def backlog(self, now: float) -> float:
+        """Requests already reserved beyond ``now`` (the waiting queue).
+
+        Zero while the bucket keeps up; grows by 1 per reservation once it
+        is empty. Admission control rejects arrivals when this exceeds the
+        tenant's ``max_queue``.
+        """
+        return max(0.0, (self._last - now) * self.rate)
+
+    def reserve(self, now: float) -> float:
+        """Debit one token; return the wait (seconds) before proceeding."""
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        ready = self._last + (1.0 - self.tokens) / self.rate
+        self.tokens = 0.0
+        self._last = ready
+        return ready - now

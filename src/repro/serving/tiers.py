@@ -1,0 +1,278 @@
+"""Declarative QoS tiers and tenant specifications for the serving layer.
+
+A :class:`TierSpec` maps a named service class (bronze/silver/gold by
+default) to concrete mechanisms: a weighted-fair-queueing weight at the
+server disk stage, a region replica count, and the hedged-read policy. A
+:class:`TenantSpec` describes one tenant's traffic: how many simulated
+clients it multiplexes, its arrival process (closed-loop think/request, or
+open-loop Poisson/bursty), request shape, and its token-bucket rate limit
+and admission bound.
+
+Both are frozen dataclasses parsed from plain config dicts / CLI strings,
+so scenarios pickle across the ``experiments.parallel`` pool boundary and
+two identical specs always simulate identically. All validation raises the
+typed :class:`ServingSpecError` (a ``ValueError``), which the CLI converts
+to a clean exit-2 message like the existing fault/layout spec handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import KiB, MiB, parse_size
+
+
+class ServingSpecError(ValueError):
+    """A tenant/tier specification that cannot be used (CLI exits 2)."""
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One service class: scheduler weight + replica count + hedging policy.
+
+    ``weight`` is the tenant's share at every ``WFQResource`` disk stage
+    (relative to the other backlogged tenants); ``replicas`` the region
+    replica count of the tenant's files (>= 2 enables read-path choice);
+    ``hedge`` turns on straggler-aware reordering + hedged reads, with the
+    hedge timer set at the ``hedge_quantile`` of the primary server's
+    observed read-latency distribution.
+    """
+
+    name: str
+    weight: float = 1.0
+    replicas: int = 1
+    hedge: bool = False
+    hedge_quantile: float = 0.95
+
+    def validate(self) -> "TierSpec":
+        if not self.name:
+            raise ServingSpecError("tier name must be non-empty")
+        if not self.weight > 0:
+            raise ServingSpecError(f"tier {self.name!r}: weight must be > 0, got {self.weight}")
+        if self.replicas < 1:
+            raise ServingSpecError(
+                f"tier {self.name!r}: replicas must be >= 1, got {self.replicas}"
+            )
+        if self.hedge and self.replicas < 2:
+            raise ServingSpecError(
+                f"tier {self.name!r}: hedged reads need replicas >= 2 to have a copy to hedge to"
+            )
+        if not 0 < self.hedge_quantile < 1:
+            raise ServingSpecError(
+                f"tier {self.name!r}: hedge_quantile must be in (0, 1), got {self.hedge_quantile}"
+            )
+        return self
+
+
+#: Default tier ladder. Bronze is the baseline (weight 1, single copy);
+#: silver buys a larger fair share; gold additionally replicates its
+#: regions and hedges reads off stragglers.
+DEFAULT_TIER_CONFIG: dict[str, dict] = {
+    "bronze": {"weight": 1.0, "replicas": 1, "hedge": False},
+    "silver": {"weight": 2.0, "replicas": 1, "hedge": False},
+    "gold": {"weight": 4.0, "replicas": 2, "hedge": True, "hedge_quantile": 0.95},
+}
+
+_TIER_FIELDS = ("weight", "replicas", "hedge", "hedge_quantile")
+
+
+def parse_tier_config(config: dict | None = None) -> dict[str, TierSpec]:
+    """Config dict → validated ``{name: TierSpec}`` map.
+
+    ``None`` yields the default bronze/silver/gold ladder. Each entry is a
+    mapping of the :class:`TierSpec` fields (all optional); unknown fields,
+    non-numeric values, and out-of-range settings raise
+    :class:`ServingSpecError`.
+    """
+    if config is None:
+        config = DEFAULT_TIER_CONFIG
+    if not isinstance(config, dict):
+        raise ServingSpecError(
+            f"tier config must be a mapping of tier name -> fields, got "
+            f"{type(config).__name__}"
+        )
+    tiers: dict[str, TierSpec] = {}
+    for name, entry in config.items():
+        if not isinstance(entry, dict):
+            raise ServingSpecError(
+                f"tier {name!r}: expected a mapping of fields, got {type(entry).__name__}"
+            )
+        unknown = sorted(set(entry) - set(_TIER_FIELDS))
+        if unknown:
+            raise ServingSpecError(
+                f"tier {name!r}: unknown field(s) {unknown}; valid fields: {list(_TIER_FIELDS)}"
+            )
+        try:
+            spec = TierSpec(
+                name=str(name),
+                weight=float(entry.get("weight", 1.0)),
+                replicas=int(entry.get("replicas", 1)),
+                hedge=bool(entry.get("hedge", False)),
+                hedge_quantile=float(entry.get("hedge_quantile", 0.95)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServingSpecError(f"tier {name!r}: {exc}") from None
+        tiers[spec.name] = spec.validate()
+    if not tiers:
+        raise ServingSpecError("tier config defines no tiers")
+    return tiers
+
+
+#: Supported arrival processes (see :mod:`repro.serving.arrivals`).
+ARRIVAL_KINDS = ("closed", "poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape, service tier, and rate-limit settings."""
+
+    name: str
+    tier: str = "bronze"
+    #: Simulated client population. Closed loop: one sequential
+    #: request/think loop per client. Open loop: arrivals are tenant-wide
+    #: (rate is not per client), so millions of clients cost nothing extra.
+    clients: int = 4
+    arrival: str = "closed"
+    #: Open-loop mean arrival rate (requests/s, tenant-wide).
+    rate: float = 0.0
+    #: Closed-loop mean think time between a client's requests (seconds).
+    think_time: float = 0.0
+    #: Bursty arrivals: rate multiplier inside a burst ...
+    burstiness: float = 4.0
+    #: ... fraction of time spent bursting ...
+    on_fraction: float = 0.25
+    #: ... and mean burst duration (seconds).
+    on_time: float = 0.05
+    request_size: int = 64 * KiB
+    #: Extent of the tenant's file that requests address (offsets are drawn
+    #: uniformly from it, aligned to ``request_size``).
+    working_set: int = 8 * MiB
+    read_fraction: float = 1.0
+    #: Token-bucket rate limit (requests/s); 0 disables throttling.
+    rate_limit: float = 0.0
+    #: Token-bucket capacity (requests of burst headroom).
+    burst: float = 8.0
+    #: Admission control: reject new arrivals once this many reservations
+    #: are already waiting on the bucket (0 = unbounded queueing).
+    max_queue: int = 0
+
+    def validate(self, tiers: dict[str, TierSpec]) -> "TenantSpec":
+        if not self.name:
+            raise ServingSpecError("tenant name must be non-empty")
+        if self.tier not in tiers:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: unknown tier {self.tier!r} "
+                f"(configured tiers: {sorted(tiers)})"
+            )
+        if self.clients < 1:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: clients must be >= 1, got {self.clients}"
+            )
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: unknown arrival {self.arrival!r} "
+                f"(choose from {list(ARRIVAL_KINDS)})"
+            )
+        if self.arrival != "closed" and not self.rate > 0:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: open-loop ({self.arrival}) arrivals need rate > 0, "
+                f"got {self.rate}"
+            )
+        if self.think_time < 0:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: think_time must be >= 0, got {self.think_time}"
+            )
+        if self.burstiness < 1:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: burstiness must be >= 1, got {self.burstiness}"
+            )
+        if not 0 < self.on_fraction < 1 or self.on_time <= 0:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: need 0 < on_fraction < 1 and on_time > 0"
+            )
+        if self.request_size < 1:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: request_size must be >= 1 byte"
+            )
+        if self.working_set < self.request_size:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: working_set ({self.working_set}) smaller than "
+                f"request_size ({self.request_size})"
+            )
+        if not 0 <= self.read_fraction <= 1:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: read_fraction must be in [0, 1], "
+                f"got {self.read_fraction}"
+            )
+        if self.rate_limit < 0:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: rate_limit must be >= 0, got {self.rate_limit}"
+            )
+        if self.rate_limit > 0 and self.burst < 1:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: token bucket burst must be >= 1, got {self.burst}"
+            )
+        if self.max_queue < 0:
+            raise ServingSpecError(
+                f"tenant {self.name!r}: max_queue must be >= 0, got {self.max_queue}"
+            )
+        return self
+
+
+#: CLI key → (TenantSpec field, converter) for ``parse_tenant_spec``.
+_TENANT_KEYS = {
+    "clients": ("clients", int),
+    "arrival": ("arrival", str),
+    "rate": ("rate", float),
+    "think": ("think_time", float),
+    "size": ("request_size", parse_size),
+    "working-set": ("working_set", parse_size),
+    "reads": ("read_fraction", float),
+    "limit": ("rate_limit", float),
+    "burst": ("burst", float),
+    "queue": ("max_queue", int),
+    "burstiness": ("burstiness", float),
+    "on-fraction": ("on_fraction", float),
+    "on-time": ("on_time", float),
+}
+
+
+def parse_tenant_spec(text: str) -> TenantSpec:
+    """Parse ``name[:tier[:key=value,...]]`` into a :class:`TenantSpec`.
+
+    Example: ``analytics:gold:arrival=poisson,rate=400,size=256K,reads=0.9``.
+    Keys: clients, arrival (closed|poisson|bursty), rate, think, size,
+    working-set, reads, limit, burst, queue, burstiness, on-fraction,
+    on-time. Tier membership is validated later against the scenario's tier
+    config (see :meth:`TenantSpec.validate`).
+    """
+    head, _, body = text.partition(":")
+    name = head.strip()
+    if not name:
+        raise ServingSpecError(f"tenant spec {text!r}: empty tenant name")
+    tier, _, options = body.partition(":")
+    kwargs: dict = {}
+    if options:
+        for item in options.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ServingSpecError(
+                    f"tenant spec {text!r}: expected key=value, got {item!r}"
+                )
+            try:
+                field, convert = _TENANT_KEYS[key]
+            except KeyError:
+                raise ServingSpecError(
+                    f"tenant spec {text!r}: unknown key {key!r} "
+                    f"(valid keys: {sorted(_TENANT_KEYS)})"
+                ) from None
+            try:
+                kwargs[field] = convert(value)
+            except ValueError:
+                raise ServingSpecError(
+                    f"tenant spec {text!r}: bad value {value!r} for {key!r}"
+                ) from None
+    return TenantSpec(name=name, tier=tier.strip() or "bronze", **kwargs)

@@ -165,9 +165,14 @@ class Process(Event):
     generator returns, this event succeeds with the return value; if the
     generator raises, this event fails with that exception (re-raised in any
     process joining on it, or surfaced by :meth:`Simulator.run`).
+
+    The ``qos`` slot is an optional ``(flow, weight)`` scheduling tag read
+    by weighted-fair resources (see ``resources.WFQResource``). It is left
+    unset unless a serving layer assigns it, so untagged processes pay no
+    per-process cost.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "qos")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
         if not isinstance(generator, Generator):

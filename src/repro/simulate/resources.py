@@ -209,6 +209,67 @@ class ScanResource(Resource):
         return grant
 
 
+class WFQResource(Resource):
+    """A resource granting waiters in weighted-fair (start-time WFQ) order.
+
+    Each request is tagged with the requesting process's ``qos`` attribute —
+    a ``(flow, weight)`` pair set by the serving layer (absent/None means
+    the default flow at weight 1). The request is stamped with a virtual
+    finish time ``max(V, F_flow) + 1/weight`` where ``V`` is the resource's
+    virtual clock and ``F_flow`` the flow's previous stamp; grants go to the
+    smallest stamp (arrival order breaks ties, so a single flow degenerates
+    to FIFO). While several flows stay backlogged, each one's share of
+    grants is proportional to its weight.
+
+    Used by :class:`repro.pfs.server.FileServer` when built with
+    ``disk_scheduler="wfq"`` — the multi-tenant serving layer tags each
+    tenant's sub-request processes with ``(tenant, tier_weight)``.
+    """
+
+    __slots__ = ("_vclock", "_flow_finish", "_seq")
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str | None = None):
+        super().__init__(sim, capacity=capacity, name=name)
+        self._vclock = 0.0
+        self._flow_finish: dict[Any, float] = {}
+        self._seq = 0
+
+    def _stamp(self) -> float:
+        proc = self.sim.active_process
+        qos = getattr(proc, "qos", None) if proc is not None else None
+        flow, weight = qos if qos is not None else (None, 1.0)
+        start = self._flow_finish.get(flow, 0.0)
+        if start < self._vclock:
+            start = self._vclock
+        finish = start + 1.0 / weight
+        self._flow_finish[flow] = finish
+        return finish
+
+    def request(self, key: object = None) -> Event:
+        # The WFQ stamp replaces any positional key the caller passed; the
+        # fairness tag comes from the active process, not the call site.
+        grant = Event(self.sim)
+        finish = self._stamp()
+        if not self._held and self._in_use < self.capacity and not self._queue:
+            self._vclock = finish  # uncontended: virtual clock tracks service
+            self._grant(grant)
+        else:
+            self._seq += 1
+            self._queue.append(((finish, self._seq), grant))
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.on_enqueue(self, grant)
+        return grant
+
+    def _pop_next(self) -> Event:
+        index = min(range(len(self._queue)), key=lambda i: self._queue[i][0])
+        key, grant = self._queue[index]
+        del self._queue[index]
+        if key[0] > self._vclock:
+            self._vclock = key[0]
+        return grant
+
+
 class Store:
     """An unbounded FIFO message store (producer/consumer channel).
 

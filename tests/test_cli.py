@@ -305,3 +305,140 @@ class TestIntegrityCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "poisoned" in out
+
+
+class TestServe:
+    BED = ["--hservers", "3", "--sservers", "1", "--duration", "0.2"]
+
+    def test_default_tenants_happy_path(self, capsys):
+        assert main(["serve", *self.BED]) == 0
+        out = capsys.readouterr().out
+        for token in ("tenant", "p99", "bronze", "silver", "gold"):
+            assert token in out
+
+    def test_tenant_specs_and_hedge_counters(self, capsys):
+        code = main(
+            [
+                "serve",
+                *self.BED,
+                "--tenant",
+                "web:gold:clients=3",
+                "--tenant",
+                "batch:bronze:clients=6",
+                "--chaos",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "web" in out and "batch" in out
+        assert "hedges:" in out
+
+    def test_assert_p99_pass_and_fail(self, capsys):
+        argv = [
+            "serve",
+            *self.BED,
+            "--tenant",
+            "web:gold:clients=3",
+            "--tenant",
+            "batch:bronze:clients=6",
+        ]
+        assert main([*argv, "--assert-p99", "gold<bronze"]) == 0
+        assert "-> ok" in capsys.readouterr().out
+        # The reverse ordering fails the gate with exit 1, not 2.
+        assert main([*argv, "--assert-p99", "bronze<gold"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_hedging_reports_delta(self, capsys):
+        code = main(
+            [
+                "serve",
+                *self.BED,
+                "--tenant",
+                "web:gold:clients=4",
+                "--chaos",
+                "2",
+                "--compare-hedging",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hedging off" in out
+        assert "tail cut" in out
+
+    def test_unknown_tier_exits_2(self, capsys):
+        assert main(["serve", *self.BED, "--tenant", "web:platinum"]) == 2
+        assert "unknown tier" in capsys.readouterr().err
+
+    def test_bad_rate_exits_2(self, capsys):
+        code = main(
+            ["serve", *self.BED, "--tenant", "web:gold:arrival=poisson,rate=-5"]
+        )
+        assert code == 2
+        assert "rate > 0" in capsys.readouterr().err
+
+    def test_bad_tier_config_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "tiers.json"
+        bad.write_text('{"gold": {"weight": 0}}')
+        assert main(["serve", *self.BED, "--tiers", str(bad)]) == 2
+        assert "weight" in capsys.readouterr().err
+
+    def test_malformed_tier_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "tiers.json"
+        bad.write_text("{not json")
+        assert main(["serve", *self.BED, "--tiers", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        missing = tmp_path / "nope.json"
+        assert main(["serve", *self.BED, "--tiers", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_custom_tier_file(self, tmp_path, capsys):
+        config = tmp_path / "tiers.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "eco": {"weight": 1},
+                    "turbo": {"weight": 8, "replicas": 2, "hedge": True},
+                }
+            )
+        )
+        code = main(
+            [
+                "serve",
+                *self.BED,
+                "--tiers",
+                str(config),
+                "--tenant",
+                "a:eco",
+                "--tenant",
+                "b:turbo",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eco" in out and "turbo" in out
+
+    def test_bad_assert_spec_exits_2(self, capsys):
+        assert main(["serve", *self.BED, "--assert-p99", "goldbronze"]) == 2
+        assert "FASTER_TIER<SLOWER_TIER" in capsys.readouterr().err
+
+    def test_bad_chaos_rate_exits_2(self, capsys):
+        assert main(["serve", *self.BED, "--chaos", "-1"]) == 2
+        assert "chaos" in capsys.readouterr().err
+
+    def test_faults_spec_flows_through(self, capsys):
+        code = main(
+            [
+                "serve",
+                *self.BED,
+                "--tenant",
+                "web:gold:clients=3,reads=0.8",
+                "--faults",
+                "corrupt:hserver1@0.05%0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "integrity:" in out and "0 silent" in out

@@ -71,7 +71,10 @@ def _apply_sequence(ops):
             mds.register(name, layout)
         elif kind == "unregister" and present:
             mds.unregister(name)
-        elif kind == "relayout" and present:
+        elif kind == "relayout" and present and not pending:
+            # With a migration pending record_relayout is a documented
+            # no-op (no journal record), which would make this checkpoint
+            # a zero-length interval; treat it as a skipped op instead.
             mds.record_relayout(name, layout, mds.generation_of(name) + 1)
         elif kind == "begin" and present and not pending:
             mds.begin_migration(name, layout, mds.generation_of(name) + 1)

@@ -20,7 +20,14 @@ from repro.obs import (
     straggler_summary,
     tracing_enabled,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, exponential_bounds
+from repro.obs.metrics import (
+    TAIL_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    exponential_bounds,
+    histogram_quantile,
+)
 from repro.pfs.layout import FixedLayout
 from repro.simulate.engine import Simulator
 from repro.simulate.resources import Resource
@@ -80,6 +87,75 @@ class TestMetricsPrimitives:
         assert len(reg) == 1
 
 
+class TestInterpolatedQuantiles:
+    """Regression tests for the bucket-upper-bound quantile bug.
+
+    ``quantile`` used to return the covering bucket's upper edge for every
+    q, so q=0 never returned the minimum, q=1 overshot the maximum for
+    overflow-bucket samples, and interior quantiles were step functions of
+    the bucket grid. It now interpolates, clamped to [min, max].
+    """
+
+    def make(self, *values):
+        h = Histogram("x", bounds=(1.0, 2.0, 4.0))
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_extremes_are_exact(self):
+        h = self.make(0.3, 1.5, 3.0, 97.0)
+        assert h.quantile(0.0) == 0.3
+        assert h.quantile(1.0) == 97.0
+
+    def test_interior_interpolates(self):
+        h = self.make(*[1.0 + i / 10 for i in range(10)])  # all in (1, 2]
+        # Near the true median, not the covering bucket's upper edge (2.0).
+        assert h.quantile(0.5) == pytest.approx(1.45, abs=0.15)
+        assert 1.0 < h.quantile(0.2) < h.quantile(0.8) < 2.0
+
+    def test_overflow_bucket_clamped_to_max(self):
+        h = self.make(10.0, 20.0)  # both beyond the last bound
+        assert h.quantile(0.99) <= 20.0
+        assert h.quantile(0.5) >= 4.0
+
+    def test_single_sample(self):
+        h = self.make(1.7)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert h.quantile(q) == pytest.approx(1.7)
+
+    def test_empty_histogram(self):
+        h = Histogram("x", bounds=(1.0,))
+        assert h.quantile(0.5) == 0.0
+
+    def test_q_out_of_range(self):
+        h = self.make(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_monotone_in_q(self):
+        h = Histogram("x", bounds=TAIL_LATENCY_BOUNDS)
+        for i in range(200):
+            h.observe(1e-5 * (1.1**i % 50))
+        qs = [h.quantile(q / 20) for q in range(21)]
+        assert qs == sorted(qs)
+        assert qs[0] == h.min and qs[-1] == h.max
+
+    def test_snapshot_entry_quantile_matches_live(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.2, 2.5, 3.9, 8.0):
+            h.observe(v)
+        entry = reg.snapshot()["lat"]
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert histogram_quantile(entry, q) == h.quantile(q)
+
+    def test_histogram_quantile_rejects_non_histograms(self):
+        with pytest.raises(TypeError):
+            histogram_quantile({"type": "counter", "value": 3}, 0.5)
+
+
 class TestSnapshotMerge:
     def make_snapshot(self, count, busy):
         reg = MetricsRegistry()
@@ -94,6 +170,33 @@ class TestSnapshotMerge:
         assert merged["busy"]["value"] == 1.5  # gauges keep max
         assert merged["lat"]["count"] == 2  # histograms add
         assert merged["lat"]["counts"] == [1, 1, 0]
+
+    def test_empty_histogram_snapshot_is_finite(self):
+        # Empty histograms used to export min=+inf / max=-inf, which is
+        # not JSON-serializable and poisons min/max merges.
+        reg = MetricsRegistry()
+        reg.histogram("lat", bounds=(1.0, 2.0))
+        entry = reg.snapshot()["lat"]
+        assert entry["count"] == 0
+        assert entry["min"] == 0.0 and entry["max"] == 0.0
+        json.dumps(entry)  # must not hit Infinity
+
+    def test_merge_with_empty_histogram(self):
+        full = self.make_snapshot(2, 0.5)
+        empty_reg = MetricsRegistry()
+        empty_reg.counter("events")
+        empty_reg.gauge("busy")
+        empty_reg.histogram("lat", bounds=(1.0, 2.0))
+        empty = empty_reg.snapshot()
+        for order in ([full, empty], [empty, full], [empty, empty, full]):
+            merged = MetricsRegistry.merge(order)
+            assert merged["lat"]["count"] == 1
+            # The empty side must not drag min to 0 or contribute a max.
+            assert merged["lat"]["min"] == 0.5
+            assert merged["lat"]["max"] == 0.5
+        both_empty = MetricsRegistry.merge([empty, empty])
+        assert both_empty["lat"]["count"] == 0
+        assert both_empty["lat"]["min"] == 0.0 and both_empty["lat"]["max"] == 0.0
 
     def test_merge_type_conflict(self):
         a = {"m": {"type": "counter", "value": 1}}

@@ -1,0 +1,363 @@
+"""Tests for the multi-tenant QoS serving layer (tiers, QoS, hedging)."""
+
+import pytest
+
+from repro.experiments.harness import Testbed, run_serving
+from repro.faults import RetryPolicy, parse_faults
+from repro.serving import (
+    DEFAULT_TIER_CONFIG,
+    ServingScenario,
+    ServingSpecError,
+    TenantSpec,
+    TierSpec,
+    TokenBucket,
+    make_scenario,
+    parse_tenant_spec,
+    parse_tier_config,
+)
+from repro.serving.arrivals import open_loop_arrivals
+from repro.simulate.engine import Simulator
+from repro.simulate.resources import WFQResource
+from repro.util.rng import derive_rng
+from repro.util.units import KiB, MiB
+
+SMALL = Testbed(n_hservers=3, n_sservers=1, seed=0)
+
+#: Two HDD servers straggling hard for most of a short window — the
+#: scenario hedged reads are built for.
+DEGRADE = "degrade:hserver0@0.02x6+0.3;degrade:hserver2@0.05x4+0.25"
+
+
+class TestTierSpec:
+    def test_default_ladder(self):
+        tiers = parse_tier_config(None)
+        assert set(tiers) == {"bronze", "silver", "gold"}
+        assert tiers["gold"].weight > tiers["silver"].weight > tiers["bronze"].weight
+        assert tiers["gold"].hedge and tiers["gold"].replicas == 2
+        assert not tiers["bronze"].hedge
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ServingSpecError, match="weight"):
+            TierSpec(name="t", weight=0.0).validate()
+        with pytest.raises(ServingSpecError, match="weight"):
+            parse_tier_config({"t": {"weight": -1}})
+
+    def test_replicas_floor(self):
+        with pytest.raises(ServingSpecError, match="replicas"):
+            TierSpec(name="t", replicas=0).validate()
+
+    def test_hedge_needs_replicas(self):
+        with pytest.raises(ServingSpecError, match="hedged reads need replicas"):
+            TierSpec(name="t", hedge=True, replicas=1).validate()
+
+    def test_hedge_quantile_range(self):
+        with pytest.raises(ServingSpecError, match="hedge_quantile"):
+            TierSpec(name="t", hedge=True, replicas=2, hedge_quantile=1.0).validate()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServingSpecError, match="unknown field"):
+            parse_tier_config({"t": {"weigth": 2}})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ServingSpecError, match="mapping"):
+            parse_tier_config([("t", {})])
+        with pytest.raises(ServingSpecError, match="mapping"):
+            parse_tier_config({"t": 4})
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ServingSpecError, match="no tiers"):
+            parse_tier_config({})
+
+
+class TestTenantSpec:
+    TIERS = parse_tier_config(DEFAULT_TIER_CONFIG)
+
+    def test_parse_defaults(self):
+        spec = parse_tenant_spec("web")
+        assert spec.name == "web"
+        assert spec.tier == "bronze"
+        assert spec.arrival == "closed"
+        spec.validate(self.TIERS)
+
+    def test_parse_full(self):
+        spec = parse_tenant_spec(
+            "analytics:gold:arrival=poisson,rate=400,size=256K,reads=0.9,"
+            "limit=500,burst=16,queue=32"
+        )
+        assert spec.tier == "gold"
+        assert spec.arrival == "poisson"
+        assert spec.rate == 400.0
+        assert spec.request_size == 256 * KiB
+        assert spec.read_fraction == 0.9
+        assert spec.rate_limit == 500.0
+        assert spec.burst == 16.0
+        assert spec.max_queue == 32
+        spec.validate(self.TIERS)
+
+    def test_unknown_key(self):
+        with pytest.raises(ServingSpecError, match="unknown key"):
+            parse_tenant_spec("web:gold:coolness=11")
+
+    def test_bad_value(self):
+        with pytest.raises(ServingSpecError, match="bad value"):
+            parse_tenant_spec("web:gold:clients=many")
+
+    def test_missing_equals(self):
+        with pytest.raises(ServingSpecError, match="key=value"):
+            parse_tenant_spec("web:gold:clients")
+
+    def test_unknown_tier(self):
+        with pytest.raises(ServingSpecError, match="unknown tier"):
+            parse_tenant_spec("web:platinum").validate(self.TIERS)
+
+    def test_open_loop_needs_rate(self):
+        with pytest.raises(ServingSpecError, match="rate > 0"):
+            parse_tenant_spec("web:bronze:arrival=poisson").validate(self.TIERS)
+        with pytest.raises(ServingSpecError, match="rate > 0"):
+            TenantSpec(name="w", arrival="bursty", rate=-1).validate(self.TIERS)
+
+    def test_bounds(self):
+        with pytest.raises(ServingSpecError, match="clients"):
+            TenantSpec(name="w", clients=0).validate(self.TIERS)
+        with pytest.raises(ServingSpecError, match="arrival"):
+            TenantSpec(name="w", arrival="fractal").validate(self.TIERS)
+        with pytest.raises(ServingSpecError, match="read_fraction"):
+            TenantSpec(name="w", read_fraction=1.5).validate(self.TIERS)
+        with pytest.raises(ServingSpecError, match="working_set"):
+            TenantSpec(name="w", working_set=KiB, request_size=MiB).validate(self.TIERS)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ServingSpecError, match="no tenants"):
+            ServingScenario(tenants=()).validate()
+        with pytest.raises(ServingSpecError, match="duration"):
+            make_scenario(["a"], duration=0.0)
+        with pytest.raises(ServingSpecError, match="duplicate"):
+            make_scenario(["a", "a"])
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        # The first `burst` reservations are free; after that each one
+        # waits 1/rate longer than the previous.
+        assert [bucket.reserve(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        assert bucket.reserve(0.0) == pytest.approx(0.1)
+        assert bucket.reserve(0.0) == pytest.approx(0.2)
+
+    def test_refill_while_idle(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.reserve(0.0)
+        bucket.reserve(0.0)
+        assert bucket.reserve(0.05) == pytest.approx(0.05)
+        # A long idle stretch refills to the cap, not beyond.
+        assert bucket.reserve(10.0) == 0.0
+        assert bucket.reserve(10.0) == 0.0
+        assert bucket.reserve(10.0) == pytest.approx(0.1)
+
+    def test_backlog_counts_reservations(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.backlog(0.0) == 0.0
+        bucket.reserve(0.0)
+        for expected in (1, 2, 3):
+            bucket.reserve(0.0)
+            assert bucket.backlog(0.0) == pytest.approx(expected)
+        # Waiters drain as time passes.
+        assert bucket.backlog(0.2) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestArrivals:
+    def spec(self, **kwargs) -> TenantSpec:
+        return TenantSpec(name="t", **kwargs)
+
+    def test_poisson_deterministic(self):
+        spec = self.spec(arrival="poisson", rate=500.0)
+        first = list(open_loop_arrivals(derive_rng(7, "t"), spec, 1.0))
+        second = list(open_loop_arrivals(derive_rng(7, "t"), spec, 1.0))
+        assert first == second
+        assert first and all(0.0 < t < 1.0 for t in first)
+        assert first == sorted(first)
+        # Mean rate within a loose statistical band.
+        assert 350 < len(first) < 650
+
+    def test_bursty_mean_preserved(self):
+        spec = self.spec(
+            arrival="bursty", rate=500.0, burstiness=4.0, on_fraction=0.25, on_time=0.05
+        )
+        times = list(open_loop_arrivals(derive_rng(3, "t"), spec, 4.0))
+        assert times == sorted(times)
+        # Long-run mean stays near `rate` even though bursts run at 4x.
+        assert 0.7 * 500 * 4 < len(times) < 1.3 * 500 * 4
+
+    def test_bursty_is_bursty(self):
+        spec = self.spec(
+            arrival="bursty", rate=200.0, burstiness=4.0, on_fraction=0.25, on_time=0.05
+        )
+        times = list(open_loop_arrivals(derive_rng(5, "t"), spec, 4.0))
+        # Inter-arrival dispersion far above Poisson (CV^2 = 1).
+        import numpy as np
+
+        gaps = np.diff(times)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.5
+
+    def test_closed_is_not_open_loop(self):
+        with pytest.raises(ValueError, match="open-loop"):
+            list(open_loop_arrivals(derive_rng(0), self.spec(), 1.0))
+
+
+class TestWFQResource:
+    def test_weighted_grant_order(self):
+        sim = Simulator()
+        resource = WFQResource(sim, capacity=1, name="disk")
+        order = []
+
+        def holder():
+            grant = yield resource.request()
+            yield sim.timeout(1.0)
+            resource.release(grant)
+
+        def requester(flow, weight, tag):
+            grant = yield resource.request()
+            order.append(tag)
+            yield sim.timeout(0.01)
+            resource.release(grant)
+
+        def spawn_all():
+            yield sim.timeout(0.0)
+            for i in range(4):
+                for flow, weight in (("A", 4.0), ("B", 1.0)):
+                    proc = sim.process(
+                        requester(flow, weight, f"{flow}{i}"), name=f"{flow}{i}"
+                    )
+                    proc.qos = (flow, weight)
+
+        sim.process(holder(), name="holder")
+        sim.process(spawn_all(), name="spawner")
+        sim.run()
+        # Start-time WFQ: A's stamps step by 1/4, B's by 1 — the backlog
+        # drains A-heavy (A0 A1 A2 B0 A3 ...), not in arrival order.
+        assert order[:3] == ["A0", "A1", "A2"]
+        assert order.count("A0") == 1 and len(order) == 8
+        assert [tag[0] for tag in order[:5]].count("A") == 4
+
+    def test_single_flow_degenerates_to_fifo(self):
+        sim = Simulator()
+        resource = WFQResource(sim, capacity=1, name="disk")
+        order = []
+
+        def requester(tag):
+            grant = yield resource.request()
+            order.append(tag)
+            yield sim.timeout(0.01)
+            resource.release(grant)
+
+        for i in range(5):
+            sim.process(requester(i), name=f"r{i}")
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+def serve(scenario, faults_spec=None, testbed=SMALL):
+    faults = parse_faults(faults_spec) if faults_spec else None
+    retry = RetryPolicy(seed=scenario.seed) if faults is not None else None
+    return run_serving(testbed, scenario, faults=faults, retry=retry)
+
+
+class TestServingEndToEnd:
+    def contention_scenario(self, **kwargs) -> ServingScenario:
+        return make_scenario(
+            [
+                "batch:bronze:clients=8",
+                "web:gold:clients=4",
+            ],
+            duration=0.3,
+            **kwargs,
+        )
+
+    def test_deterministic(self):
+        first = serve(self.contention_scenario(), faults_spec=DEGRADE)
+        second = serve(self.contention_scenario(), faults_spec=DEGRADE)
+        assert first == second
+
+    def test_gold_beats_bronze_under_contention(self):
+        result = serve(self.contention_scenario(), faults_spec=DEGRADE).serving
+        gold = result.tenant("web")
+        bronze = result.tenant("batch")
+        assert gold.requests > 0 and bronze.requests > 0
+        assert gold.p99 < bronze.p99
+        assert result.tier_quantile("gold", 0.99) < result.tier_quantile("bronze", 0.99)
+
+    def test_hedging_cuts_gold_tail(self):
+        hedged = serve(self.contention_scenario(), faults_spec=DEGRADE).serving
+        plain = serve(
+            self.contention_scenario(hedging=False), faults_spec=DEGRADE
+        ).serving
+        assert hedged.hedge["serving.hedge.launched"] > 0
+        assert hedged.hedge["serving.hedge.timers_cancelled"] > 0
+        assert plain.hedge == {}
+        assert hedged.tenant("web").p99 < plain.tenant("web").p99
+
+    def test_admission_control_rejects(self):
+        scenario = make_scenario(
+            ["firehose:bronze:arrival=poisson,rate=2000,limit=100,queue=4"],
+            duration=0.25,
+        )
+        tenant = serve(scenario).serving.tenant("firehose")
+        assert tenant.rejected > 0
+        assert tenant.requests > 0
+        assert tenant.throttle_wait_s > 0.0
+
+    def test_rate_limit_throttles_closed_loop(self):
+        free = make_scenario(["t:bronze:clients=4"], duration=0.25)
+        capped = make_scenario(["t:bronze:clients=4,limit=40"], duration=0.25)
+        assert serve(capped).serving.tenant("t").requests < (
+            serve(free).serving.tenant("t").requests
+        )
+
+    def test_bursty_tenant_runs(self):
+        scenario = make_scenario(
+            ["spiky:silver:arrival=bursty,rate=300,burstiness=4"], duration=0.25
+        )
+        tenant = serve(scenario).serving.tenant("spiky")
+        assert tenant.requests > 30
+        assert tenant.failed == 0
+
+    def test_integrity_invariant_under_corruption(self):
+        scenario = make_scenario(
+            ["web:gold:clients=4,reads=0.7"],
+            duration=0.3,
+        )
+        result = serve(scenario, faults_spec="corrupt:hserver1@0.05%0.4")
+        stats = result.integrity
+        assert stats is not None
+        assert stats.silent_corruptions == 0
+        serving = result.serving
+        assert serving.tenant("web").requests > 0
+
+    def test_write_traffic_counted(self):
+        scenario = make_scenario(["mixed:silver:clients=4,reads=0.5"], duration=0.2)
+        tenant = serve(scenario).serving.tenant("mixed")
+        assert tenant.bytes_read > 0 and tenant.bytes_written > 0
+
+    def test_result_render_and_lookup(self):
+        result = serve(self.contention_scenario()).serving
+        table = result.render()
+        assert "tenant" in table and "p999" in table
+        assert "web" in table and "batch" in table
+        with pytest.raises(KeyError):
+            result.tenant("nobody")
+        with pytest.raises(KeyError):
+            result.tier_quantile("platinum", 0.5)
+
+    def test_run_result_shape(self):
+        result = serve(self.contention_scenario())
+        assert result.serving is not None
+        assert result.layout_name.startswith("serving[")
+        assert result.makespan > 0
+        assert result.total_bytes > 0

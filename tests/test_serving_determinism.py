@@ -1,0 +1,110 @@
+"""Serving determinism: serial vs pooled, hedging on vs off, no bystanders.
+
+The serving layer adds three nondeterminism hazards — hedge races, the
+shared latency model behind replica selection, and open-loop RNG draws —
+and the contract is that none of them leak: a ``ServeJob`` grid must be
+bit-identical between serial and ``--jobs N`` execution, and a scenario
+with hedging off must leave the plain read path's results untouched.
+"""
+
+import dataclasses
+
+from repro.experiments.harness import Testbed, run_serving, run_workload
+from repro.experiments.parallel import ServeJob, execute_job, run_jobs
+from repro.faults import RetryPolicy, parse_faults
+from repro.pfs.layout import FixedLayout
+from repro.serving import make_scenario
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORConfig, IORWorkload
+
+TESTBED = Testbed(n_hservers=3, n_sservers=1, seed=0)
+
+DEGRADE = "degrade:hserver0@0.02x6+0.2;degrade:hserver2@0.04x4+0.15"
+
+
+def scenario(hedging: bool, seed: int = 0):
+    return make_scenario(
+        [
+            "batch:bronze:clients=6",
+            "web:gold:clients=3",
+            "feed:silver:arrival=poisson,rate=150",
+        ],
+        duration=0.2,
+        seed=seed,
+        hedging=hedging,
+    )
+
+
+def grid() -> list[ServeJob]:
+    """Faults x hedging x seed — every serving configuration class."""
+    jobs = []
+    for faults_spec in (None, DEGRADE):
+        faults = parse_faults(faults_spec) if faults_spec else None
+        for hedging in (True, False):
+            for seed in (0, 7):
+                jobs.append(
+                    ServeJob(
+                        testbed=TESTBED,
+                        scenario=scenario(hedging, seed=seed),
+                        faults=faults,
+                        retry=RetryPolicy(seed=seed) if faults is not None else None,
+                    )
+                )
+    return jobs
+
+
+class TestServeJobDeterminism:
+    def test_serial_matches_pool(self):
+        jobs = grid()
+        serial = run_jobs(jobs, jobs=1)
+        pooled = run_jobs(jobs, jobs=2)
+        assert serial == pooled
+
+    def test_execute_job_dispatches_serve(self):
+        job = grid()[0]
+        direct = execute_job(job)
+        assert direct.serving is not None
+        assert direct == run_serving(
+            job.testbed, job.scenario, faults=job.faults, retry=job.retry
+        )
+
+    def test_repeat_runs_identical(self):
+        job = grid()[1]  # hedged + degraded: the raciest configuration
+        assert execute_job(job) == execute_job(job)
+
+    def test_seed_changes_results(self):
+        a = run_serving(TESTBED, scenario(True, seed=0))
+        b = run_serving(TESTBED, scenario(True, seed=1))
+        assert a.serving.tenants != b.serving.tenants
+
+
+class TestNoBystanderEffects:
+    """The serving layer must not perturb the pre-existing read path."""
+
+    def run_plain(self):
+        workload = IORWorkload(
+            IORConfig(
+                n_processes=4,
+                request_size=128 * KiB,
+                file_size=4 * MiB,
+                op="read",
+                random_offsets=False,
+            )
+        )
+        layout = FixedLayout(3, 1, 64 * KiB)
+        return run_workload(TESTBED, workload, layout, layout_name="fixed")
+
+    def test_plain_workload_unchanged_by_serving_run(self):
+        before = self.run_plain()
+        run_serving(TESTBED, scenario(True))
+        after = self.run_plain()
+        assert before == after
+
+    def test_hedging_off_matches_across_fairness(self):
+        # fair_share only swaps the disk scheduler; with a single flow per
+        # disk and hedging off the serving path is the plain path.
+        base = scenario(False)
+        wfq = run_serving(TESTBED, base)
+        fifo = run_serving(TESTBED, dataclasses.replace(base, fair_share=False))
+        for a, b in zip(wfq.serving.tenants, fifo.serving.tenants):
+            assert a.name == b.name and a.requests > 0 and b.requests > 0
