@@ -215,6 +215,37 @@ def test_perf_pfs_write_path_integrity_disabled(benchmark, request):
             break
 
 
+def test_perf_mds_cluster_lookup_throughput(benchmark):
+    """Sharded metadata lookup path: 32 clients x 100 consults against a
+    4-shard finger-routed cluster (ring walk + per-shard service queues).
+
+    Guards the consult hot loop the mds-bench command sweeps. The shards=1
+    parity contract keeps the default single-MDS path byte-identical to
+    the pre-cluster code, so only sharded runs pay what this measures.
+    """
+    from repro.pfs.mds_cluster import MetadataCluster
+
+    layout = FixedLayout(2, 2, 64 * KiB)
+    names = [f"bench{i:03d}" for i in range(64)]
+
+    def run():
+        sim = Simulator()
+        cluster = MetadataCluster(4, routing="finger", seed=0)
+        cluster.attach(sim)
+        for name in names:
+            cluster.register(name, layout)
+
+        def client(rank):
+            for i in range(100):
+                yield from cluster.consult(layout, names[(rank + i) % len(names)])
+
+        sim.run(sim.all_of([sim.process(client(rank)) for rank in range(32)]))
+        return cluster.lookup_count
+
+    count = benchmark(run)
+    assert count == 3200
+
+
 def test_perf_decompose(benchmark):
     """Scalar sub-request decomposition, 2000 requests."""
     config = StripingConfig(6, 2, 36 * KiB, 148 * KiB)

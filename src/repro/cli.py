@@ -6,11 +6,17 @@ Commands:
 - ``plan`` — run the Analysis Phase on a trace CSV and emit the RST JSON;
 - ``run-ior`` — simulate IOR under a chosen layout and print throughput;
   ``--faults SPEC`` injects scripted faults (including ``corrupt:`` data
-  corruption) with client retry/failover; ``--replicas N`` mirrors every
-  region N ways so corrupted reads self-heal;
+  corruption and ``mds-crash:`` metadata-shard crashes) with client
+  retry/failover; ``--replicas N`` mirrors every region N ways so
+  corrupted reads self-heal; ``--mds-shards N`` shards the metadata
+  namespace across a consistent-hash ring of N journaled servers;
 - ``chaos`` — sweep stochastic fault rates, comparing HARL against a
   fixed-stripe baseline under identical fault schedules;
   ``--corrupt-rate`` folds silent data corruption into the sweep;
+  ``--mds-crash-rate`` (with ``--mds-shards``) folds metadata-shard
+  crashes in and gates on zero lost namespace entries;
+- ``mds-bench`` — metadata-cluster lookup throughput vs. shard count,
+  linear-ring vs. finger-table routing side by side;
 - ``serve`` — multi-tenant QoS serving front end: tiered tenants
   (bronze/silver/gold) with token-bucket admission control, weighted fair
   queueing at the disk stage, and straggler-aware hedged reads;
@@ -49,7 +55,7 @@ from repro.obs import (
 )
 from repro.pfs.integrity import IntegrityError
 from repro.pfs.layout import FixedLayout, RandomLayout, RegionLevelLayout
-from repro.util.units import format_size, parse_size
+from repro.util.units import KiB, format_size, parse_size
 from repro.workloads.ior import IORConfig, IORWorkload
 from repro.workloads.traces import TraceFile, sort_trace
 
@@ -71,6 +77,60 @@ def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hservers", type=int, default=6, help="HDD server count (default 6)")
     parser.add_argument("--sservers", type=int, default=2, help="SSD server count (default 2)")
     parser.add_argument("--seed", type=int, default=0, help="testbed RNG seed")
+
+
+def _add_mds_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mds-shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard the metadata namespace across N journaled servers on a "
+        "consistent-hash ring (default 0 = single legacy MDS)",
+    )
+    parser.add_argument(
+        "--mds-routing",
+        choices=("finger", "linear"),
+        default="finger",
+        help="ring routing: 'finger' = O(log N) finger-table jumps, "
+        "'linear' = successor walk (default finger)",
+    )
+    parser.add_argument(
+        "--mds-recovery-delay",
+        default="2e-3",
+        metavar="SECONDS",
+        help="crash-to-journal-replay delay for mds-crash faults; 'none' "
+        "disables recovery and leaves the arc degraded (default 2e-3)",
+    )
+
+
+def _mds_testbed_kwargs(args: argparse.Namespace) -> dict:
+    """Validated ``Testbed`` metadata kwargs from ``--mds-*`` flags.
+
+    Raises ``ValueError`` with a user-facing message for a negative shard
+    count or an unparseable recovery delay — commands turn that into a
+    clean exit-2 error instead of a mid-run traceback.
+    """
+    shards = getattr(args, "mds_shards", 0)
+    if shards < 0:
+        raise ValueError(f"--mds-shards must be >= 0, got {shards}")
+    raw = getattr(args, "mds_recovery_delay", "2e-3")
+    if isinstance(raw, str) and raw.strip().lower() in ("none", "off"):
+        delay: float | None = None
+    else:
+        try:
+            delay = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"invalid --mds-recovery-delay {raw!r}: expected seconds or 'none'"
+            ) from None
+        if delay < 0:
+            raise ValueError(f"--mds-recovery-delay must be >= 0, got {raw}")
+    return {
+        "mds_shards": shards,
+        "mds_routing": getattr(args, "mds_routing", "finger"),
+        "mds_recovery_delay": delay,
+    }
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
@@ -100,7 +160,12 @@ def _add_ior_args(parser: argparse.ArgumentParser, layout: bool = True) -> None:
 
 
 def _testbed(args: argparse.Namespace) -> Testbed:
-    return Testbed(n_hservers=args.hservers, n_sservers=args.sservers, seed=args.seed)
+    return Testbed(
+        n_hservers=args.hservers,
+        n_sservers=args.sservers,
+        seed=args.seed,
+        **_mds_testbed_kwargs(args),
+    )
 
 
 def _ior_workload(args: argparse.Namespace) -> IORWorkload:
@@ -219,15 +284,35 @@ def _integrity_line(stats) -> str:
     )
 
 
+def _mds_stats_line(stats) -> str:
+    line = (
+        f"mds: {stats.n_shards} shards ({stats.routing}), {stats.lookups} lookups, "
+        f"mean {stats.mean_hops:.2f} hops (max {stats.hops_max})"
+    )
+    if stats.crashes or stats.retries or stats.unavailable:
+        line += (
+            f" | {stats.crashes} crashes, {stats.recoveries} recoveries, "
+            f"{stats.records_replayed} records replayed, "
+            f"{stats.entries_handed_off} entries handed off, "
+            f"{stats.retries} retries, {stats.lost_entries} lost"
+        )
+    return line
+
+
 def cmd_run_ior(args: argparse.Namespace) -> int:
-    testbed = _testbed(args)
     try:
+        testbed = _testbed(args)
         workload = _ior_workload(args)
         layout, label, is_harl = _resolve_layout(args, testbed, workload)
         faults = parse_faults(args.faults) if args.faults else None
+        if faults is not None and faults.mds_crashes() and testbed.mds_shards < 1:
+            raise FaultSpecError(
+                "mds-crash faults require a sharded metadata cluster "
+                "(run with --mds-shards >= 1)"
+            )
     except (LayoutSpecError, FaultSpecError, ValueError) as exc:
-        # Bad --layout/--faults specs and inconsistent IOR geometry (file
-        # size not a whole number of requests/processes) all exit cleanly.
+        # Bad --layout/--faults/--mds-* specs and inconsistent IOR geometry
+        # (file size not a whole number of requests/processes) exit cleanly.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # Faults imply a retry policy: without one a crashed server would turn
@@ -265,6 +350,8 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
         print(f"  {_fault_stats_line(result.faults)}")
     if result.integrity is not None:
         print(f"  {_integrity_line(result.integrity)}")
+    if result.mds is not None:
+        print(f"  {_mds_stats_line(result.mds)}")
     if is_harl:
         rst = getattr(layout, "rst", layout)  # --replicas wraps the RST
         plan = ", ".join(entry.config.describe() for entry in rst.entries)
@@ -273,6 +360,13 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
         write_chrome_trace(trace_out, result.obs)
         print(f"\nChrome trace ({result.obs.n_spans} spans) written to {trace_out}")
         print(straggler_summary(result.obs))
+    if result.mds is not None and result.mds.failed:
+        print(
+            "error: metadata shard unavailable after retries; run aborted "
+            "in degraded mode (enable recovery with --mds-recovery-delay)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -284,8 +378,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """
     from repro.experiments.parallel import RunJob, run_jobs
 
-    testbed = _testbed(args)
     try:
+        testbed = _testbed(args)
         workload = _ior_workload(args)
         rates = [float(token) for token in args.rates.split(",") if token.strip()]
         if not rates:
@@ -294,6 +388,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             raise FaultSpecError("--rates entries must be >= 0")
         if args.corrupt_rate < 0:
             raise FaultSpecError("--corrupt-rate must be >= 0")
+        if args.mds_crash_rate < 0:
+            raise FaultSpecError("--mds-crash-rate must be >= 0")
+        if args.mds_crash_rate > 0 and testbed.mds_shards < 1:
+            raise FaultSpecError("--mds-crash-rate requires --mds-shards >= 1")
         layouts = {"HARL": harl_plan(testbed, workload)}
         stripe = parse_size(args.baseline_stripe)
         layouts[format_size(stripe)] = FixedLayout(args.hservers, args.sservers, stripe)
@@ -320,6 +418,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             degrade_rate=rate,
             blip_rate=rate * 0.5,
             corrupt_rate=rate * args.corrupt_rate,
+            mds_crash_rate=rate * args.mds_crash_rate,
+            n_mds_shards=testbed.mds_shards or None,
         )
         for name, layout in layouts.items():
             keys.append((rate, name))
@@ -336,15 +436,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     results = run_jobs(jobs_list, jobs=args.jobs)
     width = max(len(name) for name in layouts) + 2
     with_corruption = args.corrupt_rate > 0
+    with_mds = testbed.mds_shards >= 1
     print(
         f"chaos sweep: {len(rates)} rates x {len(layouts)} layouts, seed {args.seed} "
         f"(rate = expected hangs+degrades per run; crashes/blips at half rate)"
     )
     corrupt_header = f" {'corrupt':>7} {'poisoned':>8}" if with_corruption else ""
+    mds_header = f" {'mds-crash':>9} {'lost':>5}" if with_mds else ""
     print(
         f"{'rate':>6} {'layout':<{width}} {'MiB/s':>10} {'slowdown':>9}  "
-        f"{'injected':>8} {'retries':>7} {'failovers':>9} {'rerouted':>8}{corrupt_header}"
+        f"{'injected':>8} {'retries':>7} {'failovers':>9} {'rerouted':>8}"
+        f"{corrupt_header}{mds_header}"
     )
+    lost_total = 0
     for (rate, name), result in zip(keys, results):
         base = reference[name].throughput
         slowdown = base / result.throughput if result.throughput > 0 else float("inf")
@@ -358,11 +462,96 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             corruptions = stats.corruptions if stats is not None else 0
             poisoned = result.integrity.units_poisoned if result.integrity is not None else 0
             corrupt_cols = f" {corruptions:>7} {poisoned:>8}"
+        mds_cols = ""
+        if with_mds:
+            mds_crashes = result.mds.crashes if result.mds is not None else 0
+            lost = result.mds.lost_entries if result.mds is not None else 0
+            if result.mds is not None and result.mds.failed:
+                lost = max(lost, 1)  # an aborted run lost its namespace
+            lost_total += lost
+            mds_cols = f" {mds_crashes:>9} {lost:>5}"
         print(
             f"{rate:>6.2f} {name:<{width}} {result.throughput_mib:>10.1f} "
             f"{slowdown:>8.2f}x  {injected:>8} {retries:>7} {failovers:>9} {rerouted:>8}"
-            f"{corrupt_cols}"
+            f"{corrupt_cols}{mds_cols}"
         )
+    if with_mds:
+        verdict = "ok" if lost_total == 0 else "FAIL"
+        print(f"mds namespace check: {lost_total} lost entries -> {verdict}")
+        if lost_total:
+            print(
+                "error: metadata entries lost after shard crash recovery",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def cmd_mds_bench(args: argparse.Namespace) -> int:
+    """Metadata-cluster lookup throughput vs. shard count and routing mode.
+
+    Drives the cluster directly (no data path): ``--clients`` concurrent
+    DES client processes each issue ``--lookups`` RST consultations over a
+    shared ``--files``-file namespace. Simulated ops/s grows with shard
+    count (each shard is an independent service queue) while finger-table
+    routing keeps hop counts logarithmic where the linear ring walk pays
+    O(N) — the two curves the ISSUE's throughput-vs-shards figure plots.
+    """
+    from repro.pfs.mds_cluster import MetadataCluster
+    from repro.simulate.engine import Simulator
+
+    try:
+        try:
+            shard_counts = [
+                int(token) for token in args.shards.split(",") if token.strip()
+            ]
+        except ValueError:
+            raise ValueError(
+                f"invalid --shards {args.shards!r}: expected comma-separated "
+                f"shard counts like '1,2,4,8'"
+            ) from None
+        if not shard_counts:
+            raise ValueError("--shards must list at least one shard count")
+        if any(count < 1 for count in shard_counts):
+            raise ValueError(f"--shards entries must be >= 1, got {args.shards!r}")
+        if args.files < 1:
+            raise ValueError(f"--files must be >= 1, got {args.files}")
+        if args.clients < 1:
+            raise ValueError(f"--clients must be >= 1, got {args.clients}")
+        if args.lookups < 1:
+            raise ValueError(f"--lookups must be >= 1, got {args.lookups}")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    layout = FixedLayout(args.hservers, args.sservers, 64 * KiB)
+    names = [f"bench{i:04d}.dat" for i in range(args.files)]
+    print(
+        f"mds-bench: {args.clients} clients x {args.lookups} lookups over "
+        f"{args.files} files, seed {args.seed}"
+    )
+    print(f"{'shards':>6} {'routing':<8} {'ops/s':>12} {'mean hops':>10} {'max':>4}")
+    for count in shard_counts:
+        for routing in ("linear", "finger"):
+            sim = Simulator()
+            cluster = MetadataCluster(count, routing=routing, seed=args.seed)
+            cluster.attach(sim)
+            for name in names:
+                cluster.register(name, layout)
+
+            def client(rank: int, cluster=cluster):
+                for i in range(args.lookups):
+                    yield from cluster.consult(layout, names[(rank + i) % len(names)])
+
+            done = sim.all_of(
+                [sim.process(client(rank)) for rank in range(args.clients)]
+            )
+            sim.run(done)
+            ops = cluster.lookup_count / sim.now if sim.now > 0 else float("inf")
+            mean = cluster.hops_total / cluster.lookup_count
+            print(
+                f"{count:>6} {routing:<8} {ops:>12,.0f} {mean:>10.2f} "
+                f"{cluster.hops_max:>4}"
+            )
     return 0
 
 
@@ -858,6 +1047,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="mirror every region N ways across the other server class "
         "(default 1 = no replication; corrupted reads self-heal when > 1)",
     )
+    _add_mds_args(p)
     p.set_defaults(fn=cmd_run_ior)
 
     p = sub.add_parser(
@@ -866,6 +1056,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_testbed_args(p)
     _add_ior_args(p, layout=False)  # chaos always compares HARL vs baseline
     _add_jobs_arg(p)
+    _add_mds_args(p)
+    p.add_argument(
+        "--mds-crash-rate",
+        type=float,
+        default=0.0,
+        help="expected metadata-shard crashes per run at sweep rate 1 "
+        "(default 0; requires --mds-shards >= 1; exits 1 if any namespace "
+        "entry is lost after recovery)",
+    )
     p.add_argument(
         "--rates",
         default="0,1,2,4",
@@ -952,6 +1151,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(repeatable; for CI gating)",
     )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "mds-bench",
+        help="metadata lookup throughput vs. shard count, linear vs finger routing",
+    )
+    _add_testbed_args(p)
+    p.add_argument(
+        "--shards",
+        default="1,2,4,8",
+        help="comma-separated shard counts to sweep (default 1,2,4,8)",
+    )
+    p.add_argument("--files", type=int, default=64, help="namespace size (default 64)")
+    p.add_argument(
+        "--clients", type=int, default=32, help="concurrent lookup clients (default 32)"
+    )
+    p.add_argument(
+        "--lookups", type=int, default=200, help="lookups per client (default 200)"
+    )
+    p.set_defaults(fn=cmd_mds_bench)
 
     p = sub.add_parser(
         "scrub",

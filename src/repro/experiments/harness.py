@@ -25,6 +25,7 @@ from repro.network.link import NetworkModel
 from repro.obs.tracer import EventTracer, ObsSnapshot, collect_snapshot, tracing_enabled
 from repro.pfs.filesystem import HybridPFS
 from repro.pfs.layout import LayoutPolicy
+from repro.pfs.mds_cluster import MetadataCluster, MetadataUnavailable
 from repro.simulate.engine import Simulator
 from repro.util.units import KiB, MiB
 
@@ -69,10 +70,28 @@ class Testbed:
     nic_parallelism: int = 4
     disk_scheduler: str = "fifo"
     network: NetworkModel | None = None
+    #: 0 (default) keeps the legacy single MetadataServer — the sharding
+    #: kill switch, byte-identical to builds that predate the cluster.
+    #: >= 1 builds a MetadataCluster with that many shards (1 shard routes
+    #: identically to legacy but pays the cluster bookkeeping).
+    mds_shards: int = 0
+    #: Ring routing mode when sharded: "finger" (O(log N)) or "linear".
+    mds_routing: str = "finger"
+    #: Crash-to-journal-replay delay for mds-crash faults; None disables
+    #: recovery (the crashed arc stays degraded for the rest of the run).
+    mds_recovery_delay: float | None = 2.0e-3
     _params_by_bucket: dict | None = field(default=None, repr=False)
 
     def build(self, sim: Simulator) -> HybridPFS:
         """Fresh PFS for one simulation run."""
+        mds = None
+        if self.mds_shards:
+            mds = MetadataCluster(
+                self.mds_shards,
+                routing=self.mds_routing,
+                recovery_delay=self.mds_recovery_delay,
+                seed=self.seed,
+            )
         return HybridPFS.build(
             sim,
             self.n_hservers,
@@ -83,6 +102,7 @@ class Testbed:
             ssd_kwargs=self.ssd_kwargs,
             nic_parallelism=self.nic_parallelism,
             disk_scheduler=self.disk_scheduler,
+            mds=mds,
         )
 
     def parameters(
@@ -151,6 +171,23 @@ class Testbed:
         return cached
 
 
+def _mds_outcome(pfs, failed: bool = False):
+    """``RunResult.mds`` payload for a cluster-backed run (else None).
+
+    The expected namespace is rebuilt from the filesystem's live handles —
+    every file's name and committed layout generation — so the cluster's
+    ``lost_entries`` check covers exactly what clients would ask for after
+    the run (the chaos zero-lost-entries gate).
+    """
+    stats = getattr(pfs.mds, "stats", None)
+    if stats is None:
+        return None
+    expected = {
+        name: handle.layout_generation for name, handle in pfs._files.items()
+    }
+    return stats(expected=expected, failed=failed)
+
+
 @dataclass(frozen=True)
 class RunResult:
     """One (workload, layout) simulation outcome."""
@@ -172,6 +209,10 @@ class RunResult:
     #: per-tenant latency histograms + hedge counters) for runs produced by
     #: :func:`run_serving`; None for plain workload runs.
     serving: Any = None
+    #: Sharded-metadata summary (:class:`repro.pfs.mds_cluster.MdsStats`:
+    #: per-shard lookups, routing hops, crash/recovery/lost-entry counts)
+    #: when the run used a MetadataCluster; None on legacy-MDS runs.
+    mds: Any = None
 
     @property
     def throughput(self) -> float:
@@ -233,7 +274,15 @@ def run_workload(
         world.comm, pfs, file_name, layout, collector=collector, n_aggregators=n_aggregators
     )
     done = world.spawn(workload.rank_program(mf))
-    sim.run(done)
+    mds_failed = False
+    try:
+        sim.run(done)
+    except MetadataUnavailable:
+        # Degraded metadata (crashed, unrecovered shard): surface the
+        # outcome in RunResult.faults/RunResult.mds, not as a traceback.
+        if injector is None:
+            raise
+        mds_failed = True
     if layout_name is None:
         layout_name = mf.handle.layout.describe()
     obs = collect_snapshot(tracer, pfs, makespan=sim.now) if tracer is not None else None
@@ -245,6 +294,7 @@ def run_workload(
         obs=obs,
         faults=injector.stats() if injector is not None else None,
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
+        mds=_mds_outcome(pfs, failed=mds_failed),
     )
 
 
@@ -297,7 +347,13 @@ def run_workload_batched(
         collector.sim = sim
     mf = MPIIOFile.open(world.comm, pfs, file_name, layout, collector=collector)
     done = mf.request_batch(batch, force_general=force_general)
-    sim.run(done)
+    mds_failed = False
+    try:
+        sim.run(done)
+    except MetadataUnavailable:
+        if injector is None:
+            raise
+        mds_failed = True
     if stats_sink is not None:
         stats_sink["batch_stats"] = dict(pfs.batch_stats)
         stats_sink["batch_fallbacks"] = dict(pfs.batch_fallbacks)
@@ -313,6 +369,7 @@ def run_workload_batched(
         obs=obs,
         faults=injector.stats() if injector is not None else None,
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
+        mds=_mds_outcome(pfs, failed=mds_failed),
     )
 
 
@@ -350,6 +407,7 @@ def run_serving(
         faults=injector.stats() if injector is not None else None,
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
         serving=serving,
+        mds=_mds_outcome(pfs),
     )
 
 

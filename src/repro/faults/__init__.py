@@ -24,6 +24,7 @@ from repro.faults.schedule import (
     DataCorruption,
     FaultSchedule,
     FaultSpecError,
+    MdsCrash,
     NetworkBlip,
     ServerCrash,
     ServerDegrade,
@@ -31,6 +32,7 @@ from repro.faults.schedule import (
     parse_faults,
 )
 from repro.pfs.health import ServerHealth, ServerUnavailable
+from repro.pfs.mds_cluster import MetadataCluster, MetadataUnavailable, ShardHealth
 
 __all__ = [
     "DataCorruption",
@@ -38,6 +40,9 @@ __all__ = [
     "FaultSchedule",
     "FaultSpecError",
     "FaultStats",
+    "MdsCrash",
+    "MetadataCluster",
+    "MetadataUnavailable",
     "NetworkBlip",
     "RetryPolicy",
     "ServerCrash",
@@ -45,6 +50,7 @@ __all__ = [
     "ServerHang",
     "ServerHealth",
     "ServerUnavailable",
+    "ShardHealth",
     "corrupt_server",
     "inject",
     "parse_faults",

@@ -39,6 +39,7 @@ from repro.faults.schedule import (
     FaultEvent,
     FaultSchedule,
     FaultSpecError,
+    MdsCrash,
     NetworkBlip,
     ServerCrash,
     ServerDegrade,
@@ -70,10 +71,23 @@ class FaultStats:
     failovers: int = 0
     rerouted_subrequests: int = 0
     exhausted: int = 0
+    #: Metadata-cluster resilience (repro.pfs.mds_cluster.ShardHealth);
+    #: all zero unless the run had a sharded MDS with mds-crash faults.
+    mds_crashes: int = 0
+    mds_recoveries: int = 0
+    mds_retries: int = 0
+    mds_unavailable: int = 0
 
     @property
     def total_injected(self) -> int:
-        return self.crashes + self.hangs + self.degrades + self.blips + self.corruptions
+        return (
+            self.crashes
+            + self.hangs
+            + self.degrades
+            + self.blips
+            + self.corruptions
+            + self.mds_crashes
+        )
 
 
 def _product(factors: list[float]) -> float:
@@ -100,7 +114,14 @@ class FaultInjector:
         #: same (seed, schedule) poisons the same units in every replay).
         self.seed = seed
         self._by_name = {server.name: i for i, server in enumerate(pfs.servers)}
-        self.injected = {"crash": 0, "hang": 0, "degrade": 0, "blip": 0, "corrupt": 0}
+        self.injected = {
+            "crash": 0,
+            "hang": 0,
+            "degrade": 0,
+            "blip": 0,
+            "corrupt": 0,
+            "mds-crash": 0,
+        }
         self.units_poisoned = 0
         self._corrupt_seq = 0
         self._slowdowns: dict[int, list[float]] = {}
@@ -120,6 +141,25 @@ class FaultInjector:
             known = ", ".join(sorted(self._by_name))
             raise FaultSpecError(f"unknown server {server!r}; servers: {known}") from None
 
+    def _resolve_shard(self, shard: int | str) -> int:
+        cluster = self.pfs.mds
+        if not hasattr(cluster, "crash_shard"):
+            raise FaultSpecError(
+                "mds-crash faults require a sharded metadata cluster "
+                "(run with --mds-shards >= 1)"
+            )
+        if isinstance(shard, str):
+            if shard.startswith("mds") and shard[3:].isdigit():
+                shard = int(shard[3:])
+            else:
+                known = ", ".join(s.name for s in cluster.shards)
+                raise FaultSpecError(f"unknown metadata shard {shard!r}; shards: {known}")
+        if not (0 <= shard < cluster.n_shards):
+            raise FaultSpecError(
+                f"shard index {shard} out of range 0..{cluster.n_shards - 1}"
+            )
+        return shard
+
     def install(self) -> "FaultInjector":
         """Arm the schedule; call once, before ``sim.run``. Returns self.
 
@@ -135,9 +175,16 @@ class FaultInjector:
             # Corruption is only observable through checksummed reads;
             # arm end-to-end integrity before any unit can be poisoned.
             self.pfs.enable_integrity()
+        if self.schedule.mds_crashes():
+            # Lookups must run interruptibly so a shard crash can abort
+            # them mid-service; armed once, before any event fires.
+            self._resolve_shard(0)  # raises FaultSpecError on a legacy MDS
+            self.pfs.mds.arm_interrupts()
         for event in self.schedule.sorted_events():
             server_id = None
-            if not isinstance(event, NetworkBlip):
+            if isinstance(event, MdsCrash):
+                server_id = self._resolve_shard(event.shard)
+            elif not isinstance(event, NetworkBlip):
                 server_id = self._resolve(event.server)
             self.sim.process(self._fire(event, server_id), name=f"fault:{event.kind}")
         return self
@@ -153,6 +200,23 @@ class FaultInjector:
             if tracer is not None:
                 tracer.on_fault("crash", server.name, sim.now, 0.0)
             self.pfs.fail_server(server_id)
+            return
+        if isinstance(event, MdsCrash):
+            cluster = self.pfs.mds
+            shard = cluster.shards[server_id]
+            if not cluster.crash_shard(server_id):
+                return  # Crashing a dead shard is a no-op.
+            self.injected["mds-crash"] += 1
+            crashed_at = sim.now
+            if tracer is not None:
+                tracer.on_fault("mds-crash", shard.name, crashed_at, 0.0)
+            if cluster.recovery_delay is None:
+                return  # Degraded mode: the arc stays down.
+            yield sim.timeout(cluster.recovery_delay)
+            successor = cluster.recover_shard(server_id)
+            if tracer is not None and successor is not None:
+                # The recovery span covers the whole outage window.
+                tracer.on_fault("mds-recovery", shard.name, crashed_at, sim.now - crashed_at)
             return
         if isinstance(event, ServerHang):
             server = self.pfs.servers[server_id]
@@ -210,6 +274,8 @@ class FaultInjector:
     def stats(self) -> FaultStats:
         """Snapshot injected-fault counts + the filesystem's recovery counters."""
         counters = self.pfs.health.counters()
+        fault_counters = getattr(self.pfs.mds, "fault_counters", None)
+        mds_counters = fault_counters() if fault_counters is not None else {}
         return FaultStats(
             crashes=self.injected["crash"],
             hangs=self.injected["hang"],
@@ -217,6 +283,7 @@ class FaultInjector:
             blips=self.injected["blip"],
             corruptions=self.injected["corrupt"],
             **counters,
+            **mds_counters,
         )
 
 

@@ -12,6 +12,7 @@ simulated time. Schedules come from three places:
       degrade:<server>@<t>x<factor>+<dur> device slowdown factor over window
       blip@<t>x<factor>+<dur>            network-wide slowdown over window
       corrupt:<server>@<t>[%<rate>]      silently corrupt written stripe units
+      mds-crash:<shard>@<t>              crash a metadata shard at t
 
   events separated by ``;``; ``<server>`` is a server name (``sserver0``)
   or integer index; malformed specs raise :class:`FaultSpecError`;
@@ -114,7 +115,25 @@ class DataCorruption:
     kind = "corrupt"
 
 
-FaultEvent = ServerCrash | ServerHang | ServerDegrade | NetworkBlip | DataCorruption
+@dataclass(frozen=True)
+class MdsCrash:
+    """Permanent crash of metadata shard ``shard`` at ``time``.
+
+    Requires a sharded metadata cluster
+    (:class:`repro.pfs.mds_cluster.MetadataCluster`); installing against a
+    legacy single MetadataServer raises :class:`FaultSpecError`. The
+    shard's in-memory namespace is lost, its journal bytes survive; when
+    the cluster has recovery enabled the injector replays the journal on
+    the ring successor after ``recovery_delay``.
+    """
+
+    time: float
+    shard: int | str
+
+    kind = "mds-crash"
+
+
+FaultEvent = ServerCrash | ServerHang | ServerDegrade | NetworkBlip | DataCorruption | MdsCrash
 
 
 @dataclass(frozen=True)
@@ -160,6 +179,9 @@ class FaultSchedule:
                     raise FaultSpecError(
                         f"server index {server} out of range 0..{n_servers - 1} in {event}"
                     )
+            shard = getattr(event, "shard", None)
+            if isinstance(shard, int) and shard < 0:
+                raise FaultSpecError(f"shard index must be >= 0, got {shard} in {event}")
         return self
 
     def sorted_events(self) -> tuple[FaultEvent, ...]:
@@ -171,6 +193,9 @@ class FaultSchedule:
 
     def corruptions(self) -> tuple[DataCorruption, ...]:
         return tuple(e for e in self.events if isinstance(e, DataCorruption))
+
+    def mds_crashes(self) -> tuple[MdsCrash, ...]:
+        return tuple(e for e in self.events if isinstance(e, MdsCrash))
 
     def to_spec(self) -> str:
         """Print the schedule in the :func:`parse_faults` grammar.
@@ -198,6 +223,8 @@ class FaultSchedule:
                     clauses.append(f"corrupt:{event.server}@{event.time!r}")
                 else:
                     clauses.append(f"corrupt:{event.server}@{event.time!r}%{event.rate!r}")
+            elif isinstance(event, MdsCrash):
+                clauses.append(f"mds-crash:{event.shard}@{event.time!r}")
             else:
                 raise FaultSpecError(f"cannot format unknown event type: {event!r}")
         return ";".join(clauses)
@@ -220,6 +247,9 @@ class FaultSchedule:
         blip_duration: tuple[float, float] = (0.05, 0.3),
         corrupt_fraction: tuple[float, float] = (0.05, 0.5),
         max_crashes: int | None = None,
+        mds_crash_rate: float = 0.0,
+        n_mds_shards: int | None = None,
+        max_mds_crashes: int | None = None,
     ) -> "FaultSchedule":
         """Draw a stochastic schedule; same arguments ⇒ same schedule.
 
@@ -237,6 +267,11 @@ class FaultSchedule:
             raise FaultSpecError(f"n_servers must be >= 1, got {n_servers}")
         if max_crashes is None:
             max_crashes = max(0, n_servers - 1)
+        if mds_crash_rate > 0 and (n_mds_shards is None or n_mds_shards < 1):
+            raise FaultSpecError("mds_crash_rate > 0 requires n_mds_shards >= 1")
+        if max_mds_crashes is None:
+            # At least one shard survives, so every crash has a successor.
+            max_mds_crashes = max(0, (n_mds_shards or 1) - 1)
         events: list[FaultEvent] = []
         for kind, rate in (
             ("crash", crash_rate),
@@ -244,6 +279,7 @@ class FaultSchedule:
             ("degrade", degrade_rate),
             ("blip", blip_rate),
             ("corrupt", corrupt_rate),
+            ("mds-crash", mds_crash_rate),
         ):
             if rate < 0:
                 raise FaultSpecError(f"{kind}_rate must be >= 0, got {rate}")
@@ -253,10 +289,14 @@ class FaultSchedule:
             count = int(rng.poisson(rate))
             if kind == "crash":
                 count = min(count, max_crashes)
+            elif kind == "mds-crash":
+                count = min(count, max_mds_crashes)
             for _ in range(count):
                 time = float(rng.uniform(0.0, horizon))
                 if kind == "crash":
                     events.append(ServerCrash(time, int(rng.integers(0, n_servers))))
+                elif kind == "mds-crash":
+                    events.append(MdsCrash(time, int(rng.integers(0, n_mds_shards))))
                 elif kind == "hang":
                     events.append(
                         ServerHang(
@@ -302,19 +342,23 @@ _SERVER = r"(?P<server>[A-Za-z_][A-Za-z0-9_\-]*|[0-9]+)"
 
 _RATE = r"(?P<rate>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
 
+_SHARD = r"(?P<shard>[A-Za-z_][A-Za-z0-9_\-]*|[0-9]+)"
+
 _PATTERNS = {
     "crash": re.compile(rf"^crash:{_SERVER}@{_TIME}$"),
     "hang": re.compile(rf"^hang:{_SERVER}@{_TIME}\+{_DUR}$"),
     "degrade": re.compile(rf"^degrade:{_SERVER}@{_TIME}x{_FACTOR}\+{_DUR}$"),
     "blip": re.compile(rf"^blip@{_TIME}x{_FACTOR}\+{_DUR}$"),
     "corrupt": re.compile(rf"^corrupt:{_SERVER}@{_TIME}(?:%{_RATE})?$"),
+    "mds-crash": re.compile(rf"^mds-crash:{_SHARD}@{_TIME}$"),
 }
 
 _USAGE = (
     "expected one of: crash:<server>@<t>  hang:<server>@<t>+<dur>  "
     "degrade:<server>@<t>x<factor>+<dur>  blip@<t>x<factor>+<dur>  "
-    "corrupt:<server>@<t>[%<rate>]  "
-    "(';'-separated; <server> is a name like sserver0 or an index)"
+    "corrupt:<server>@<t>[%<rate>]  mds-crash:<shard>@<t>  "
+    "(';'-separated; <server> is a name like sserver0 or an index, "
+    "<shard> a name like mds0 or an index)"
 )
 
 
@@ -357,6 +401,8 @@ def parse_faults(spec: str) -> FaultSchedule:
             )
         elif kind == "blip":
             events.append(NetworkBlip(time, float(groups["factor"]), float(groups["duration"])))
+        elif kind == "mds-crash":
+            events.append(MdsCrash(time, _parse_server(groups["shard"])))
         else:
             rate = 1.0 if groups.get("rate") is None else float(groups["rate"])
             events.append(DataCorruption(time, _parse_server(groups["server"]), rate))

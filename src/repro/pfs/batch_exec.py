@@ -200,6 +200,10 @@ def fast_path_blocker(handle) -> str | None:
     if integrity is not None and integrity.units_poisoned > 0:
         return "integrity-poisoned"
     mds = pfs.mds
+    if hasattr(mds, "crash_shard"):
+        # Sharded metadata cluster: routed lookups with hop costs and
+        # retry loops are not replayed arithmetically (conservative).
+        return "mds-cluster"
     service = mds._service
     if service is None:
         if mds.lookup_time(handle.layout.region_count()) > 0:

@@ -370,7 +370,7 @@ class PFSFile:
         started = sim.now
         # Metadata lookup (RST consult under HARL) sits on the critical path
         # and contends with other clients at the MDS.
-        yield from self.pfs.mds.consult(self.layout)
+        yield from self.pfs.mds.consult(self.layout, self.name)
         sub_procs = []
         extent_ns = f"{self.name}#g{self.layout_generation}"
         if presplit is None:
@@ -824,6 +824,12 @@ class ParallelFileSystem:
         if journal is not None:
             for key, value in journal.counters().items():
                 registry.counter(f"journal.{key}").inc(value)
+        # Sharded-MDS counters appear only when the metadata service is a
+        # cluster (duck typed; legacy runs export the exact historical set).
+        cluster_counters = getattr(self.mds, "cluster_counters", None)
+        if cluster_counters is not None:
+            for key, value in cluster_counters().items():
+                registry.counter(f"mds.{key}").inc(value)
 
     def reset_statistics(self) -> None:
         """Zero all per-server traffic statistics."""
@@ -872,6 +878,7 @@ class HybridPFS(ParallelFileSystem):
         ssd_kwargs: dict | None = None,
         nic_parallelism: int = 4,
         disk_scheduler: str = "fifo",
+        mds: MetadataServer | None = None,
     ) -> "HybridPFS":
         """Build the paper's testbed shape: M HDD servers + N SSD servers.
 
@@ -908,4 +915,4 @@ class HybridPFS(ParallelFileSystem):
             )
             for j in range(n_sservers)
         ]
-        return cls(sim, hservers, sservers, network)
+        return cls(sim, hservers, sservers, network, mds=mds)

@@ -280,8 +280,14 @@ class MetadataServer:
         levels = math.ceil(math.log2(n_regions)) if n_regions > 1 else 0
         return self.lookup_latency + self.per_region_latency * levels
 
-    def consult(self, layout: LayoutPolicy) -> Generator:
-        """DES generator: one queued RST lookup for a request on ``layout``."""
+    def consult(self, layout: LayoutPolicy, name: str | None = None) -> Generator:
+        """DES generator: one queued RST lookup for a request on ``layout``.
+
+        ``name`` is the file being looked up; the single server ignores it
+        (one namespace, no routing) but the sharded
+        :class:`~repro.pfs.mds_cluster.MetadataCluster` shares this
+        signature and hashes it onto the ring.
+        """
         self.lookup_count += 1
         service_time = self.lookup_time(layout.region_count())
         if service_time <= 0:

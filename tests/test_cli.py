@@ -442,3 +442,86 @@ class TestServe:
         assert code == 0
         out = capsys.readouterr().out
         assert "integrity:" in out and "0 silent" in out
+
+
+class TestMdsCli:
+    """--mds-* flags on run-ior/chaos and the mds-bench command."""
+
+    BASE = ["run-ior", "--hservers", "2", "--sservers", "1",
+            "--processes", "4", "--file-size", "4M", "--layout", "64K"]
+
+    def test_run_ior_with_shards_prints_mds_line(self, capsys):
+        assert main(self.BASE + ["--mds-shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "mds: 4 shards (finger)" in out
+
+    def test_run_ior_crash_recovers_and_exits_zero(self, capsys):
+        code = main(
+            self.BASE + ["--mds-shards", "4", "--faults", "mds-crash:0@0.001"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 lost" in out or "mds:" in out
+
+    def test_run_ior_degraded_mode_exits_one(self, capsys):
+        # Crash every shard's potential successor chain off? One shard with
+        # recovery disabled is enough: the only arc dies and stays dead.
+        code = main(
+            self.BASE
+            + ["--mds-shards", "1", "--faults", "mds-crash:0@0.001",
+               "--mds-recovery-delay", "none"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "degraded" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_negative_shards_exit_2(self, capsys):
+        assert main(self.BASE + ["--mds-shards", "-3"]) == 2
+        assert "--mds-shards" in capsys.readouterr().err
+
+    def test_bad_recovery_delay_exit_2(self, capsys):
+        assert main(self.BASE + ["--mds-recovery-delay", "soon"]) == 2
+        assert "--mds-recovery-delay" in capsys.readouterr().err
+
+    def test_mds_crash_without_cluster_exit_2(self, capsys):
+        assert main(self.BASE + ["--faults", "mds-crash:0@0.01"]) == 2
+        assert "--mds-shards" in capsys.readouterr().err
+
+    def test_bad_mds_crash_spec_exit_2(self, capsys):
+        assert main(self.BASE + ["--mds-shards", "2", "--faults", "mds-crash:@1"]) == 2
+        assert "mds-crash" in capsys.readouterr().err
+
+    def test_chaos_gate_passes_with_recovery(self, capsys):
+        code = main(
+            ["chaos", "--hservers", "2", "--sservers", "1", "--processes", "4",
+             "--file-size", "4M", "--rates", "1", "--mds-shards", "4",
+             "--mds-crash-rate", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mds-crash" in out
+        assert "0 lost entries -> ok" in out
+
+    def test_chaos_crash_rate_without_shards_exit_2(self, capsys):
+        code = main(
+            ["chaos", "--hservers", "2", "--sservers", "1",
+             "--rates", "1", "--mds-crash-rate", "1"]
+        )
+        assert code == 2
+        assert "--mds-shards" in capsys.readouterr().err
+
+    def test_mds_bench_prints_both_routings(self, capsys):
+        code = main(
+            ["mds-bench", "--shards", "1,2", "--files", "8",
+             "--clients", "4", "--lookups", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "linear" in out and "finger" in out
+        assert out.count("linear") == 2  # one row per shard count
+
+    def test_mds_bench_bad_shards_exit_2(self, capsys):
+        assert main(["mds-bench", "--shards", "two"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["mds-bench", "--shards", "0"]) == 2

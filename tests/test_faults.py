@@ -457,3 +457,76 @@ class TestToSpecRoundTrip:
     def test_empty_random_schedule_has_empty_spec(self):
         schedule = FaultSchedule.random(seed=0, horizon=1.0, n_servers=2)
         assert schedule.to_spec() == ""
+
+
+class TestMdsCrashSchedule:
+    """mds-crash: spec grammar, random generation, and injector binding."""
+
+    def test_parse_and_round_trip(self):
+        from repro.faults import MdsCrash
+
+        schedule = parse_faults("mds-crash:2@0.5;mds-crash:mds0@1.25")
+        assert schedule.events[0] == MdsCrash(0.5, 2)
+        assert schedule.events[1] == MdsCrash(1.25, "mds0")
+        assert parse_faults(schedule.to_spec()) == schedule
+        assert schedule.mds_crashes() == schedule.events
+
+    @pytest.mark.parametrize(
+        "bad", ["mds-crash:@0.5", "mds-crash:2", "mds-crash:2@-1"]
+    )
+    def test_malformed_mds_crash_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_faults(bad)
+
+    def test_validation_rejects_negative_shard(self):
+        from repro.faults import MdsCrash
+
+        with pytest.raises(FaultSpecError):
+            FaultSchedule((MdsCrash(0.5, -1),)).validate()
+
+    def test_random_draws_deterministic_mds_crashes(self):
+        kwargs = dict(
+            horizon=5.0, n_servers=4, mds_crash_rate=3.0, n_mds_shards=4
+        )
+        a = FaultSchedule.random(seed=11, **kwargs)
+        b = FaultSchedule.random(seed=11, **kwargs)
+        assert a == b
+        assert a.mds_crashes()
+        assert all(0 <= event.shard < 4 for event in a.mds_crashes())
+
+    def test_random_crash_cap_leaves_a_live_shard(self):
+        schedule = FaultSchedule.random(
+            seed=0, horizon=10.0, n_servers=4, mds_crash_rate=50.0, n_mds_shards=2
+        )
+        assert len(schedule.mds_crashes()) <= 1
+
+    def test_random_rate_without_shard_count_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultSchedule.random(seed=0, horizon=1.0, n_servers=2, mds_crash_rate=1.0)
+
+    def test_injector_rejects_mds_crash_on_legacy_mds(self):
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2)
+        schedule = parse_faults("mds-crash:0@0.5")
+        with pytest.raises(FaultSpecError, match="--mds-shards"):
+            FaultInjector(sim, pfs, schedule).install()
+
+    def test_injector_rejects_out_of_range_shard(self):
+        from repro.pfs.mds_cluster import MetadataCluster
+
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, mds=MetadataCluster(2, seed=0))
+        schedule = parse_faults("mds-crash:7@0.5")
+        with pytest.raises(FaultSpecError, match="out of range"):
+            FaultInjector(sim, pfs, schedule).install()
+
+    def test_injector_resolves_shard_names(self):
+        from repro.pfs.mds_cluster import MetadataCluster
+
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, mds=MetadataCluster(2, seed=0))
+        injector = FaultInjector(sim, pfs, parse_faults("mds-crash:mds1@0.01")).install()
+        sim.run()
+        assert injector.injected["mds-crash"] == 1
+        assert injector.stats().mds_crashes == 1
+        assert injector.stats().mds_recoveries == 1

@@ -180,6 +180,84 @@ class TestMigrationTwoPhase:
         assert mds.generation_of("f") == 1
 
 
+_CLUSTER_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["register", "unregister", "relayout", "begin", "commit", "abort", "crash"]
+        ),
+        st.integers(min_value=0, max_value=len(NAMES) - 1),
+        st.integers(min_value=0, max_value=len(LAYOUTS) - 1),
+    ),
+    min_size=1,
+    max_size=32,
+)
+
+
+@given(_CLUSTER_OPS)
+@settings(max_examples=60, deadline=None)
+def test_cluster_successor_replay_reconstructs_the_exact_namespace(ops):
+    """DESIGN §14: after any register/relayout/migrate/crash interleaving,
+    journal replay onto ring successors leaves ``namespace_state()`` equal
+    to a plain-dict model of the committed mutations.
+
+    A crash drops the victim shard's uncommitted migration intents (they
+    roll back, exactly as single-MDS recovery) but never a committed entry.
+    """
+    from repro.pfs.mds_cluster import MetadataCluster
+
+    cluster = MetadataCluster(4, seed=0)
+    model: dict[str, tuple[int, str]] = {}
+    pending: dict[str, tuple[int, object]] = {}
+    pending_owner: dict[str, int] = {}
+    alive = 4
+
+    for kind, name_index, layout_index in ops:
+        name = NAMES[name_index]
+        layout = LAYOUTS[layout_index]
+        if kind == "register" and name not in model:
+            cluster.register(name, layout)
+            model[name] = (0, canonical_spec(layout))
+        elif kind == "unregister" and name in model:
+            cluster.unregister(name)
+            del model[name]
+            pending.pop(name, None)
+            pending_owner.pop(name, None)
+        elif kind == "relayout" and name in model and name not in pending:
+            generation = model[name][0] + 1
+            cluster.record_relayout(name, layout, generation)
+            model[name] = (generation, canonical_spec(layout))
+        elif kind == "begin" and name in model and name not in pending:
+            generation = model[name][0] + 1
+            cluster.begin_migration(name, layout, generation)
+            pending[name] = (generation, layout)
+            pending_owner[name] = cluster.shard_of(name)
+        elif kind == "commit" and name in pending:
+            cluster.commit_migration(name)
+            generation, target = pending.pop(name)
+            pending_owner.pop(name, None)
+            model[name] = (generation, canonical_spec(target))
+        elif kind == "abort" and name in pending:
+            cluster.abort_migration(name)
+            pending.pop(name)
+            pending_owner.pop(name, None)
+        elif kind == "crash" and alive >= 2:
+            victim = cluster.shard_of(name)
+            cluster.crash_shard(victim)
+            assert cluster.recover_shard(victim) is not None
+            alive -= 1
+            # Uncommitted intents at the victim rolled back with its
+            # in-memory state; everything committed was replayed.
+            for lost in [key for key, owner in pending_owner.items() if owner == victim]:
+                pending.pop(lost, None)
+                pending_owner.pop(lost, None)
+        else:
+            continue
+        assert cluster.namespace_state() == model
+
+    assert cluster.namespace_state() == model
+    assert cluster.verify_namespace({key: gen for key, (gen, _) in model.items()}) == 0
+
+
 class TestJournalFraming:
     def test_layout_specs_round_trip(self):
         for layout in LAYOUTS:
