@@ -246,6 +246,72 @@ def test_perf_mds_cluster_lookup_throughput(benchmark):
     assert count == 3200
 
 
+def _metadata_storm(n_ops, shards, cache, force_general=False):
+    """Replay an open storm (zero-byte reads of one hot file); returns the pfs."""
+    from repro.pfs.mds_cluster import MetadataCluster
+    from repro.workloads.metadata import MetadataConfig, MetadataWorkload
+
+    sim = Simulator()
+    mds = MetadataCluster(shards, routing="finger", seed=0) if shards else None
+    pfs = HybridPFS.build(sim, 2, 1, seed=0, mds=mds, mds_cache=cache)
+    handle = pfs.create_file("f", FixedLayout(2, 1, 64 * KiB))
+    workload = MetadataWorkload(MetadataConfig(n_ops=n_ops, n_processes=16))
+    sim.run(handle.request_batch(workload.request_batch(), force_general=force_general))
+    return pfs
+
+
+def test_perf_mds_lookup_storm_columnar_uncached(benchmark):
+    """100k-open storm, no cache: the vectorized per-shard FIFO lookup plan.
+
+    Every consult routes to the hot file's owner shard, so this times the
+    closed-form queue construction (ring walks, entry rotation, busy-time
+    fold) that replaced the blanket ``mds-cluster`` fallback.
+    """
+
+    def run():
+        pfs = _metadata_storm(100_000, shards=8, cache=False)
+        assert pfs.batch_stats["fast_columnar_batches"] == 1, pfs.batch_fallbacks
+        assert pfs.mds.lookup_count == 100_000
+        return pfs.mds.lookup_count
+
+    assert benchmark(run) > 0
+    baseline = _baseline_mean("test_perf_mds_lookup_storm_columnar_uncached")
+    if baseline is not None:
+        assert benchmark.stats.stats.mean <= baseline * 2.0
+
+
+def test_perf_mds_lookup_storm_columnar_cached(benchmark):
+    """The same 100k-open storm with the client layout cache on: one leader
+    consult, everything else coalesced/hit in the columnar plan."""
+
+    def run():
+        pfs = _metadata_storm(100_000, shards=8, cache=True)
+        assert pfs.batch_stats["fast_columnar_batches"] == 1, pfs.batch_fallbacks
+        assert pfs.mds.lookup_count == 1
+        return pfs.mds_cache.misses
+
+    assert benchmark(run) == 1
+    baseline = _baseline_mean("test_perf_mds_lookup_storm_columnar_cached")
+    if baseline is not None:
+        assert benchmark.stats.stats.mean <= baseline * 2.0
+
+
+def test_perf_mds_lookup_scalar_cache_path(benchmark):
+    """General-path (per-request DES) storm through ``MetadataCache.lookup``:
+    the miss/coalesce/hit generator itself, 2048 processes deep."""
+
+    def run():
+        pfs = _metadata_storm(2048, shards=4, cache=True, force_general=True)
+        assert pfs.batch_stats["general_batches"] == 1
+        assert pfs.mds.lookup_count == 1
+        return pfs.mds_cache.coalesced + pfs.mds_cache.hits
+
+    assert benchmark(run) == 2047
+    baseline = _baseline_mean("test_perf_mds_lookup_scalar_cache_path")
+    if baseline is not None:
+        assert benchmark.stats.stats.mean <= baseline * 2.0
+
+
 def test_perf_decompose(benchmark):
     """Scalar sub-request decomposition, 2000 requests."""
     config = StripingConfig(6, 2, 36 * KiB, 148 * KiB)

@@ -10,13 +10,17 @@ Commands:
   retry/failover; ``--replicas N`` mirrors every region N ways so
   corrupted reads self-heal; ``--mds-shards N`` shards the metadata
   namespace across a consistent-hash ring of N journaled servers;
+  ``--mds-cache`` turns on the client-side layout cache and
+  ``--mds-profile`` selects calibrated MDS service-time costs;
 - ``chaos`` — sweep stochastic fault rates, comparing HARL against a
   fixed-stripe baseline under identical fault schedules;
   ``--corrupt-rate`` folds silent data corruption into the sweep;
   ``--mds-crash-rate`` (with ``--mds-shards``) folds metadata-shard
   crashes in and gates on zero lost namespace entries;
-- ``mds-bench`` — metadata-cluster lookup throughput vs. shard count,
-  linear-ring vs. finger-table routing side by side;
+- ``mds-bench`` — open-storm MDS contention on the experiments fabric:
+  makespan and lookup ops/s vs. shard count × client-cache on/off,
+  linear-ring vs. finger-table routing side by side (``--jobs`` fans the
+  sweep out, ``--output`` archives the report);
 - ``serve`` — multi-tenant QoS serving front end: tiered tenants
   (bronze/silver/gold) with token-bucket admission control, weighted fair
   queueing at the disk stage, and straggler-aware hedged reads;
@@ -70,6 +74,7 @@ FIGURES = {
     "fig10": (figures.fig10, {}),
     "fig11": (figures.fig11, {}),
     "fig12": (figures.fig12, {}),
+    "mds-contention": (figures.fig_mds_contention, {}),
 }
 
 
@@ -102,6 +107,21 @@ def _add_mds_args(parser: argparse.ArgumentParser) -> None:
         help="crash-to-journal-replay delay for mds-crash faults; 'none' "
         "disables recovery and leaves the arc degraded (default 2e-3)",
     )
+    parser.add_argument(
+        "--mds-cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="client-side layout cache: coalesced lookups, lease "
+        "invalidation on relayout/failover (default off)",
+    )
+    parser.add_argument(
+        "--mds-profile",
+        default=None,
+        metavar="SPEC",
+        help="MDS service-time profile: 'legacy', 'calibrated', or "
+        "'calibrated,open=1.2e-4,stat=6e-5,relayout=4.8e-4,level=8e-6' "
+        "(default: legacy constants)",
+    )
 
 
 def _mds_testbed_kwargs(args: argparse.Namespace) -> dict:
@@ -126,10 +146,20 @@ def _mds_testbed_kwargs(args: argparse.Namespace) -> dict:
             ) from None
         if delay < 0:
             raise ValueError(f"--mds-recovery-delay must be >= 0, got {raw}")
+    profile = getattr(args, "mds_profile", None)
+    if profile is not None:
+        from repro.devices.profiles import MdsProfile
+
+        try:
+            MdsProfile.parse(profile)
+        except ValueError as exc:
+            raise ValueError(f"invalid --mds-profile {profile!r}: {exc}") from None
     return {
         "mds_shards": shards,
         "mds_routing": getattr(args, "mds_routing", "finger"),
         "mds_recovery_delay": delay,
+        "mds_profile": profile,
+        "mds_cache": bool(getattr(args, "mds_cache", False)),
     }
 
 
@@ -484,27 +514,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    if any(result.cache is not None for result in results):
+        stale_total = sum(
+            result.cache.stale_hits for result in results if result.cache is not None
+        )
+        verdict = "ok" if stale_total == 0 else "FAIL"
+        print(f"mds cache stale-read audit: {stale_total} stale hits -> {verdict}")
+        if stale_total:
+            print(
+                "error: cached lookups served stale layout generations",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
 def cmd_mds_bench(args: argparse.Namespace) -> int:
-    """Metadata-cluster lookup throughput vs. shard count and routing mode.
+    """Open-storm metadata bench on the experiments fabric.
 
-    Drives the cluster directly (no data path): ``--clients`` concurrent
-    DES client processes each issue ``--lookups`` RST consultations over a
-    shared ``--files``-file namespace. Simulated ops/s grows with shard
-    count (each shard is an independent service queue) while finger-table
-    routing keeps hop counts logarithmic where the linear ring walk pays
-    O(N) — the two curves the ISSUE's throughput-vs-shards figure plots.
+    Each point is a :class:`~repro.experiments.parallel.RunJob` replaying a
+    :class:`~repro.workloads.metadata.MetadataWorkload` storm as one
+    columnar batch (shard count × routing × cache on/off), so the sweep
+    fans out under ``--jobs`` and archives with ``--output`` like any
+    figure. The uncached rows show owner-shard queueing (one hot file:
+    sharding buys hops, not slots); the cached rows show the client
+    cache's lookup-throughput recovery.
     """
-    from repro.pfs.mds_cluster import MetadataCluster
-    from repro.simulate.engine import Simulator
-
     try:
         try:
-            shard_counts = [
+            shard_counts = tuple(
                 int(token) for token in args.shards.split(",") if token.strip()
-            ]
+            )
         except ValueError:
             raise ValueError(
                 f"invalid --shards {args.shards!r}: expected comma-separated "
@@ -514,44 +554,68 @@ def cmd_mds_bench(args: argparse.Namespace) -> int:
             raise ValueError("--shards must list at least one shard count")
         if any(count < 1 for count in shard_counts):
             raise ValueError(f"--shards entries must be >= 1, got {args.shards!r}")
-        if args.files < 1:
-            raise ValueError(f"--files must be >= 1, got {args.files}")
-        if args.clients < 1:
-            raise ValueError(f"--clients must be >= 1, got {args.clients}")
-        if args.lookups < 1:
-            raise ValueError(f"--lookups must be >= 1, got {args.lookups}")
+        if args.ops < 1:
+            raise ValueError(f"--ops must be >= 1, got {args.ops}")
+        if args.processes < 1:
+            raise ValueError(f"--processes must be >= 1, got {args.processes}")
+        if args.ops % args.processes != 0:
+            raise ValueError(
+                f"--ops ({args.ops}) must divide evenly over --processes "
+                f"({args.processes})"
+            )
+        if args.spread < 0:
+            raise ValueError(f"--spread must be >= 0, got {args.spread}")
+        if args.assert_speedup is not None and args.assert_speedup <= 0:
+            raise ValueError(
+                f"--assert-speedup must be > 0, got {args.assert_speedup}"
+            )
+        profile = args.mds_profile if args.mds_profile is not None else "calibrated"
+        from repro.devices.profiles import MdsProfile
+
+        try:
+            MdsProfile.parse(profile)
+        except ValueError as exc:
+            raise ValueError(f"invalid --mds-profile {profile!r}: {exc}") from None
+        routings = ("linear", "finger") if args.routing == "both" else (args.routing,)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    layout = FixedLayout(args.hservers, args.sservers, 64 * KiB)
-    names = [f"bench{i:04d}.dat" for i in range(args.files)]
-    print(
-        f"mds-bench: {args.clients} clients x {args.lookups} lookups over "
-        f"{args.files} files, seed {args.seed}"
-    )
-    print(f"{'shards':>6} {'routing':<8} {'ops/s':>12} {'mean hops':>10} {'max':>4}")
-    for count in shard_counts:
-        for routing in ("linear", "finger"):
-            sim = Simulator()
-            cluster = MetadataCluster(count, routing=routing, seed=args.seed)
-            cluster.attach(sim)
-            for name in names:
-                cluster.register(name, layout)
-
-            def client(rank: int, cluster=cluster):
-                for i in range(args.lookups):
-                    yield from cluster.consult(layout, names[(rank + i) % len(names)])
-
-            done = sim.all_of(
-                [sim.process(client(rank)) for rank in range(args.clients)]
-            )
-            sim.run(done)
-            ops = cluster.lookup_count / sim.now if sim.now > 0 else float("inf")
-            mean = cluster.hops_total / cluster.lookup_count
+    blocks = []
+    sweeps = []
+    for routing in routings:
+        result = figures.fig_mds_contention(
+            shard_counts=shard_counts,
+            routing=routing,
+            n_ops=args.ops,
+            n_processes=args.processes,
+            spread=args.spread,
+            profile=profile,
+            jobs=args.jobs,
+        )
+        sweeps.append(result)
+        blocks.append(result.render())
+    text = "\n\n".join(blocks)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    if args.assert_speedup is not None:
+        worst, at_shards, at_routing = min(
+            (sweep.speedup(count), count, sweep.routing)
+            for sweep in sweeps
+            for count in shard_counts
+        )
+        if worst < args.assert_speedup:
             print(
-                f"{count:>6} {routing:<8} {ops:>12,.0f} {mean:>10.2f} "
-                f"{cluster.hops_max:>4}"
+                f"error: cached lookup speedup {worst:.1f}x at {at_shards} "
+                f"shards ({at_routing} routing) is below the "
+                f"--assert-speedup {args.assert_speedup:g}x gate",
+                file=sys.stderr,
             )
+            return 1
+        print(
+            f"cached speedup gate: worst {worst:.1f}x "
+            f"({at_shards} shards, {at_routing}) >= {args.assert_speedup:g}x -> ok"
+        )
     return 0
 
 
@@ -999,9 +1063,10 @@ def cmd_list_figures(args: argparse.Namespace) -> int:
         "fig10": "IOR throughput vs HServer:SServer ratio",
         "fig11": "non-uniform four-region workload",
         "fig12": "BTIO with collective I/O",
+        "mds-contention": "open-storm makespan/ops-per-s vs shards x cache",
     }
     for name in FIGURES:
-        print(f"{name:8s} {descriptions[name]}")
+        print(f"{name:14s} {descriptions[name]}")
     return 0
 
 
@@ -1154,21 +1219,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "mds-bench",
-        help="metadata lookup throughput vs. shard count, linear vs finger routing",
+        help="open-storm metadata bench: shard count x routing x cache on/off",
     )
-    _add_testbed_args(p)
     p.add_argument(
         "--shards",
         default="1,2,4,8",
         help="comma-separated shard counts to sweep (default 1,2,4,8)",
     )
-    p.add_argument("--files", type=int, default=64, help="namespace size (default 64)")
     p.add_argument(
-        "--clients", type=int, default=32, help="concurrent lookup clients (default 32)"
+        "--routing",
+        choices=("finger", "linear", "both"),
+        default="both",
+        help="ring routing mode(s) to sweep (default both)",
+    )
+    p.add_argument("--ops", type=int, default=4096, help="total opens (default 4096)")
+    p.add_argument(
+        "--processes", type=int, default=16, help="client processes (default 16)"
     )
     p.add_argument(
-        "--lookups", type=int, default=200, help="lookups per client (default 200)"
+        "--spread",
+        type=float,
+        default=0.0,
+        help="issue-time spread in seconds; 0 = one instantaneous burst (default 0)",
     )
+    p.add_argument(
+        "--mds-profile",
+        default=None,
+        metavar="SPEC",
+        help="MDS service-time profile (default: calibrated)",
+    )
+    p.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless the cached/uncached ops-per-second ratio is "
+        ">= X at every swept shard count (for CI gating)",
+    )
+    p.add_argument("--output", help="also write the table to this file")
+    _add_jobs_arg(p)
     p.set_defaults(fn=cmd_mds_bench)
 
     p = sub.add_parser(

@@ -18,7 +18,8 @@ Profiles can be constructed three ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 from repro.devices.base import OpType
 from repro.devices.hdd import HDDModel
@@ -110,3 +111,135 @@ class DeviceProfile:
             beta_write=ssd.beta_write,
             label=label or f"ssd:{ssd.name}",
         )
+
+
+#: Metadata operation classes an :class:`MdsProfile` prices separately.
+MDS_OP_CLASSES = ("open", "stat", "relayout")
+
+#: ``MdsProfile.parse`` key aliases → dataclass field names.
+_MDS_SPEC_KEYS = {
+    "open": "open_latency",
+    "stat": "stat_latency",
+    "relayout": "relayout_latency",
+    "level": "consult_per_level",
+    "per_level": "consult_per_level",
+}
+
+
+@dataclass(frozen=True)
+class MdsProfile:
+    """Calibrated service-time profile for one metadata shard.
+
+    The device analogue for the MDS: instead of one small lookup constant,
+    each operation class carries its own base service time, and every
+    consult additionally pays ``consult_per_level`` per level of the binary
+    search over the file's region table (log2 of the region count) — so
+    region-rich HARL files cost more to consult than 1-region conventional
+    files, and open storms visibly queue on a shard's service capacity.
+
+    Attributes:
+        open_latency: base service time of an open-path consult, seconds.
+        stat_latency: base service time of a stat (attributes only), seconds.
+        relayout_latency: base service time of a relayout/migration commit
+            (journaled namespace mutation), seconds.
+        consult_per_level: per-binary-search-level RST cost, seconds.
+        label: human-readable tag used in experiment tables.
+    """
+
+    open_latency: float
+    stat_latency: float
+    relayout_latency: float
+    consult_per_level: float
+    label: str = "mds"
+
+    def __post_init__(self):
+        for name in ("open_latency", "stat_latency", "relayout_latency", "consult_per_level"):
+            check_non_negative(name, getattr(self, name))
+
+    def base_latency(self, op: str) -> float:
+        """Base (region-independent) service time of one op class."""
+        if op == "open":
+            return self.open_latency
+        if op == "stat":
+            return self.stat_latency
+        if op == "relayout":
+            return self.relayout_latency
+        raise ValueError(f"unknown MDS op class {op!r}; expected one of {MDS_OP_CLASSES}")
+
+    def service_time(self, op: str, n_regions: int) -> float:
+        """Service time of one ``op`` against an ``n_regions``-region file."""
+        if n_regions < 1:
+            raise ValueError(f"n_regions must be >= 1, got {n_regions}")
+        levels = math.ceil(math.log2(n_regions)) if n_regions > 1 else 0
+        return self.base_latency(op) + self.consult_per_level * levels
+
+    @classmethod
+    def legacy(cls) -> "MdsProfile":
+        """The pre-calibration constants (bit-identical to the old MDS).
+
+        All op classes charge the historical ``lookup_latency``; the
+        per-level term is the historical ``per_region_latency``.
+        """
+        return cls(
+            open_latency=3.0e-5,
+            stat_latency=3.0e-5,
+            relayout_latency=3.0e-5,
+            consult_per_level=2.0e-6,
+            label="legacy",
+        )
+
+    @classmethod
+    def calibrated(cls) -> "MdsProfile":
+        """RPC-scale service times in the shape of a production MDS.
+
+        Opens cost an order of magnitude more than the legacy constant (a
+        full RPC + namespace walk), stats about half an open, relayouts a
+        journaled mutation several opens wide — so a shard with
+        ``parallelism`` slots saturates at tens of thousands of opens per
+        second and hot shards queue under an open storm.
+        """
+        return cls(
+            open_latency=1.2e-4,
+            stat_latency=6.0e-5,
+            relayout_latency=4.8e-4,
+            consult_per_level=8.0e-6,
+            label="calibrated",
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "MdsProfile":
+        """Build a profile from a CLI spec string.
+
+        ``spec`` is either a preset name (``legacy`` or ``calibrated``) or a
+        comma-separated list of ``key=seconds`` overrides applied on top of
+        the calibrated preset, with keys ``open``, ``stat``, ``relayout``,
+        and ``level`` (alias ``per_level``) — e.g.
+        ``"open=2e-4,level=1e-5"``. Raises ``ValueError`` on unknown
+        presets/keys or malformed numbers.
+        """
+        spec = spec.strip()
+        if not spec:
+            raise ValueError("empty --mds-profile spec")
+        if spec == "legacy":
+            return cls.legacy()
+        if spec == "calibrated":
+            return cls.calibrated()
+        overrides: dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, eq, raw = part.partition("=")
+            key = key.strip()
+            if not eq or key not in _MDS_SPEC_KEYS:
+                raise ValueError(
+                    f"bad --mds-profile entry {part!r}; expected preset "
+                    f"'legacy'/'calibrated' or key=seconds with keys "
+                    f"{sorted(set(_MDS_SPEC_KEYS))}"
+                )
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(f"bad --mds-profile value {raw!r} for key {key!r}") from None
+            overrides[_MDS_SPEC_KEYS[key]] = value
+        return replace(cls.calibrated(), label=f"custom({spec})", **overrides)

@@ -532,3 +532,134 @@ def fig12(
             )
         )
     return result
+
+
+# ---------------------------------------------------------------------------
+# MDS contention: open-storm lookup throughput vs shards × client cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MdsContentionRow:
+    """One (shard count, cache on/off) open-storm outcome."""
+
+    shards: int
+    cached: bool
+    makespan: float
+    ops_per_second: float
+    mean_hops: float
+    hits: int
+    misses: int
+    coalesced: int
+    stale_hits: int
+
+
+@dataclass
+class MdsContentionResult:
+    """Open-storm sweep: makespan/ops-per-second vs shard count × cache.
+
+    The storm opens one shared hot file, so every uncached consult routes
+    to the same owner shard — adding shards buys nothing but ring hops,
+    which is exactly the paper's metadata-overhead worry (Sec. III-C) at
+    cluster scale. The client-side layout cache collapses the storm to one
+    consult (leader) plus coalesced/hit returns; ``speedup`` reports the
+    cached-over-uncached lookup-throughput recovery per shard count.
+    """
+
+    routing: str
+    n_ops: int
+    profile: str
+    rows: list[MdsContentionRow] = field(default_factory=list)
+
+    def speedup(self, shards: int) -> float:
+        """Cached-over-uncached ops/s ratio at one shard count."""
+        by_mode = {row.cached: row for row in self.rows if row.shards == shards}
+        if True not in by_mode or False not in by_mode:
+            raise KeyError(f"no cached/uncached pair for shards={shards}")
+        uncached = by_mode[False].ops_per_second
+        return by_mode[True].ops_per_second / uncached if uncached else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"=== MDS contention: {self.n_ops} opens, one hot file, "
+            f"{self.routing} routing, {self.profile} profile ==="
+        ]
+        lines.append(
+            f"{'shards':>6} {'cache':>6} {'makespan(s)':>12} {'ops/s':>12} "
+            f"{'hops/op':>8} {'hits':>7} {'coalesced':>9} {'stale':>6}"
+        )
+        for row in self.rows:
+            lines.append(
+                f"{row.shards:>6} {'on' if row.cached else 'off':>6} "
+                f"{row.makespan:>12.6f} {row.ops_per_second:>12.0f} "
+                f"{row.mean_hops:>8.2f} {row.hits:>7} {row.coalesced:>9} "
+                f"{row.stale_hits:>6}"
+            )
+        shard_counts = sorted({row.shards for row in self.rows})
+        speedups = ", ".join(
+            f"{s} shards: {self.speedup(s):.1f}x" for s in shard_counts
+        )
+        lines.append(f"cached lookup-throughput recovery — {speedups}")
+        return "\n".join(lines)
+
+
+def fig_mds_contention(
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    routing: str = "finger",
+    n_ops: int = 4096,
+    n_processes: int = 16,
+    spread: float = 0.0,
+    profile: str = "calibrated",
+    jobs: int | None = None,
+) -> MdsContentionResult:
+    """Open-storm metadata sweep over shard count × cache on/off.
+
+    Every point replays the same :class:`~repro.workloads.metadata.
+    MetadataWorkload` storm as one columnar batch (the sharded-MDS fast
+    path) on a small data testbed — the storm moves zero bytes, so servers
+    beyond the minimum are dead weight. Points are independent
+    :class:`RunJob` specs and fan out under ``--jobs``.
+    """
+    from repro.workloads.metadata import MetadataConfig, MetadataWorkload
+
+    workload = MetadataWorkload(
+        MetadataConfig(n_ops=n_ops, n_processes=n_processes, spread=spread)
+    )
+    layout = FixedLayout(2, 1, DEFAULT_STRIPE)
+    job_list = [
+        RunJob(
+            testbed=Testbed(
+                n_hservers=2,
+                n_sservers=1,
+                mds_shards=shards,
+                mds_routing=routing,
+                mds_profile=profile,
+                mds_cache=cached,
+            ),
+            workload=workload,
+            layout=layout,
+            layout_name="64K",
+            batched=True,
+        )
+        for shards in shard_counts
+        for cached in (False, True)
+    ]
+    result = MdsContentionResult(routing=routing, n_ops=n_ops, profile=profile)
+    outcomes = run_jobs(job_list, jobs=jobs)
+    for job, outcome in zip(job_list, outcomes):
+        cache = outcome.cache
+        mds = outcome.mds
+        result.rows.append(
+            MdsContentionRow(
+                shards=job.testbed.mds_shards,
+                cached=job.testbed.mds_cache,
+                makespan=outcome.makespan,
+                ops_per_second=n_ops / outcome.makespan if outcome.makespan else 0.0,
+                mean_hops=mds.mean_hops if mds is not None else 0.0,
+                hits=cache.hits if cache is not None else 0,
+                misses=cache.misses if cache is not None else 0,
+                coalesced=cache.coalesced if cache is not None else 0,
+                stale_hits=cache.stale_hits if cache is not None else 0,
+            )
+        )
+    return result

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from repro.core.params import CostModelParameters
+from repro.devices.profiles import MdsProfile
 from repro.core.planner import HARLPlanner
 from repro.core.rst import RegionStripeTable
 from repro.experiments.cache import cached_calibration, testbed_fingerprint
@@ -26,6 +27,7 @@ from repro.obs.tracer import EventTracer, ObsSnapshot, collect_snapshot, tracing
 from repro.pfs.filesystem import HybridPFS
 from repro.pfs.layout import LayoutPolicy
 from repro.pfs.mds_cluster import MetadataCluster, MetadataUnavailable
+from repro.pfs.metadata import MetadataServer
 from repro.simulate.engine import Simulator
 from repro.util.units import KiB, MiB
 
@@ -80,10 +82,21 @@ class Testbed:
     #: Crash-to-journal-replay delay for mds-crash faults; None disables
     #: recovery (the crashed arc stays degraded for the rest of the run).
     mds_recovery_delay: float | None = 2.0e-3
+    #: MDS service-time profile spec (:meth:`MdsProfile.parse` syntax:
+    #: "legacy", "calibrated", or "calibrated,open=1e-4,..."). None keeps
+    #: the legacy constants — bit-identical to pre-profile builds.
+    mds_profile: str | None = None
+    #: Enable the client-side layout cache (coalesced lookups, lease
+    #: invalidation). Off by default: cache-off runs stay byte-identical
+    #: to builds that predate the cache.
+    mds_cache: bool = False
     _params_by_bucket: dict | None = field(default=None, repr=False)
 
     def build(self, sim: Simulator) -> HybridPFS:
         """Fresh PFS for one simulation run."""
+        profile = (
+            MdsProfile.parse(self.mds_profile) if self.mds_profile is not None else None
+        )
         mds = None
         if self.mds_shards:
             mds = MetadataCluster(
@@ -91,7 +104,10 @@ class Testbed:
                 routing=self.mds_routing,
                 recovery_delay=self.mds_recovery_delay,
                 seed=self.seed,
+                profile=profile,
             )
+        elif profile is not None:
+            mds = MetadataServer(profile=profile)
         return HybridPFS.build(
             sim,
             self.n_hservers,
@@ -103,6 +119,7 @@ class Testbed:
             nic_parallelism=self.nic_parallelism,
             disk_scheduler=self.disk_scheduler,
             mds=mds,
+            mds_cache=self.mds_cache,
         )
 
     def parameters(
@@ -213,6 +230,11 @@ class RunResult:
     #: per-shard lookups, routing hops, crash/recovery/lost-entry counts)
     #: when the run used a MetadataCluster; None on legacy-MDS runs.
     mds: Any = None
+    #: Client-side layout-cache summary
+    #: (:class:`repro.pfs.filesystem.CacheStats`: hit/miss/coalesce/
+    #: invalidation/stale counters) when ``Testbed.mds_cache`` was on;
+    #: None on cache-off runs.
+    cache: Any = None
 
     @property
     def throughput(self) -> float:
@@ -295,6 +317,7 @@ def run_workload(
         faults=injector.stats() if injector is not None else None,
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
         mds=_mds_outcome(pfs, failed=mds_failed),
+        cache=pfs.mds_cache.stats() if pfs.mds_cache is not None else None,
     )
 
 
@@ -370,6 +393,7 @@ def run_workload_batched(
         faults=injector.stats() if injector is not None else None,
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
         mds=_mds_outcome(pfs, failed=mds_failed),
+        cache=pfs.mds_cache.stats() if pfs.mds_cache is not None else None,
     )
 
 
@@ -408,6 +432,7 @@ def run_serving(
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
         serving=serving,
         mds=_mds_outcome(pfs),
+        cache=pfs.mds_cache.stats() if pfs.mds_cache is not None else None,
     )
 
 

@@ -41,7 +41,10 @@ class RequestBatch:
 
     Attributes:
         offsets: int64 byte offsets, one per request.
-        sizes: int64 request sizes in bytes; every entry must be >= 1.
+        sizes: int64 request sizes in bytes; every entry must be >= 0.
+            A zero-size request moves no data — it is a pure metadata
+            operation (an open/stat-class RST consult), the unit of the
+            open-storm workloads.
         is_read: bool column; False entries are writes.
         issue_times: optional float64 column of per-request issue times in
             seconds **relative to the submission instant** (>= 0). ``None``
@@ -66,8 +69,8 @@ class RequestBatch:
             )
         if n and self.offsets.min() < 0:
             raise ValueError("offsets must be >= 0")
-        if n and self.sizes.min() < 1:
-            raise ValueError("sizes must be >= 1")
+        if n and self.sizes.min() < 0:
+            raise ValueError("sizes must be >= 0")
         if self.issue_times is not None:
             self.issue_times = _as_column(self.issue_times, np.float64, "issue_times")
             if self.issue_times.shape[0] != n:

@@ -4,7 +4,8 @@
 :class:`~repro.pfs.batch.RequestBatch` by replaying the discrete-event
 simulation **arithmetically**, in two tiers that share one flat, fully
 materialized job table (:class:`FlatPresplit` sub-requests, expanded with
-replica mirror writes and physical extent bases, in arrival order):
+replica mirror writes and physical extent bases, in MDS-dispatch order —
+arrival order shifted by any sharded-cluster ring-hop delays):
 
 1. the **columnar engine** (:mod:`repro.pfs.columnar`) evaluates every
    FIFO resource as a vectorized prefix-max/cumsum recurrence — no Python
@@ -104,7 +105,7 @@ class FlatPresplit:
 
 @dataclass
 class _JobSet:
-    """Fully materialized jobs of one replay, in arrival order.
+    """Fully materialized jobs of one replay, in MDS-dispatch order.
 
     Replica mirror writes are expanded into ordinary jobs (each right after
     its primary, matching the general path's spawn order) and ``offset`` is
@@ -166,7 +167,7 @@ class _ServerReplay:
         self.subrequests = 0
 
 
-def fast_path_blocker(handle) -> str | None:
+def fast_path_blocker(handle, batch=None) -> str | None:
     """Why ``handle`` cannot take the batched fast path right now, or None.
 
     The replay is exact only when the simulation is quiescent (nothing else
@@ -178,9 +179,16 @@ def fast_path_blocker(handle) -> str | None:
     off. Replication and checksumming do *not* block — mirror writes and
     CRC bookkeeping replay exactly — unless corruption faults have poisoned
     stripe units, in which case a read could raise mid-flight and the full
-    repair machinery must run. Anything else returns a short reason string
-    used both for the fallback decision and the ``pfs.batch.fallback.*``
-    counters.
+    repair machinery must run.
+
+    A sharded :class:`~repro.pfs.mds_cluster.MetadataCluster` replays as
+    long as the ring is whole and calm: no armed crash interrupts, every
+    shard alive with an idle plain service queue, and no entry-time tie
+    whose general-path order would depend on event sequence numbers (the
+    per-batch analysis of :func:`_plan_mds`, which needs ``batch``). The
+    client-side metadata cache likewise replays in closed form via the
+    plan. Anything else returns a short reason string used both for the
+    fallback decision and the ``pfs.batch.fallback.*`` counters.
     """
     pfs = handle.pfs
     sim = pfs.sim
@@ -200,19 +208,45 @@ def fast_path_blocker(handle) -> str | None:
     if integrity is not None and integrity.units_poisoned > 0:
         return "integrity-poisoned"
     mds = pfs.mds
-    if hasattr(mds, "crash_shard"):
-        # Sharded metadata cluster: routed lookups with hop costs and
-        # retry loops are not replayed arithmetically (conservative).
-        return "mds-cluster"
-    service = mds._service
-    if service is None:
-        if mds.lookup_time(handle.layout.region_count()) > 0:
-            return "mds-detached"
+    sharded = hasattr(mds, "crash_shard")
+    if sharded:
+        # Armed injectors also imply a non-empty heap (caught above); the
+        # flag check is defense in depth against manual arming.
+        if mds._interruptible:
+            return "mds-interruptible"
+        if not all(mds.health.alive):
+            return "mds-degraded"
+        if len(mds.ring) != mds.n_shards:
+            return "mds-ring-changed"
+        for shard in mds.shards:
+            service = shard._service
+            if service is None:
+                if shard.lookup_time(handle.layout.region_count()) > 0:
+                    return "mds-detached"
+            elif type(service) is not Resource:
+                return "custom-mds"
+            elif service._held or service._in_use or service._queue:
+                return "mds-busy"
+        if batch is None:
+            return "mds-cluster"
     else:
-        if type(service) is not Resource:
-            return "custom-mds"
-        if service._held or service._in_use or service._queue:
-            return "mds-busy"
+        service = mds._service
+        if service is None:
+            if mds.lookup_time(handle.layout.region_count()) > 0:
+                return "mds-detached"
+        else:
+            if type(service) is not Resource:
+                return "custom-mds"
+            if service._held or service._in_use or service._queue:
+                return "mds-busy"
+        if pfs.mds_cache is not None and batch is None:
+            return "mds-cache"
+    if batch is not None and (sharded or pfs.mds_cache is not None):
+        t0 = sim.now
+        arrival_times, arrival_order = _arrivals(batch, t0)
+        _, reason = _plan_mds(handle, batch, t0, arrival_times, arrival_order)
+        if reason is not None:
+            return reason
     for server in pfs.servers:
         reason = server.fast_batch_blocker()
         if reason is not None:
@@ -220,6 +254,244 @@ def fast_path_blocker(handle) -> str | None:
         if type(server.network) not in (NetworkModel, ContendedNetworkModel):
             return "custom-network"
     return None
+
+
+def _arrivals(batch, t0: float) -> tuple[np.ndarray, np.ndarray | None]:
+    """Per-request arrival instants and arrival-order permutation.
+
+    The general path spawns one process per request in batch order; a
+    request with a non-zero issue delay yields one timeout before
+    consulting the MDS. Hence arrival *ties* at ``t0`` resolve with all
+    zero-delay requests (bootstrap hop only) ahead of all delayed ones
+    (timeout hop), each group in batch order. ``None`` for the order means
+    batch order (untimed batch).
+    """
+    n = len(batch)
+    issue = batch.issue_times
+    if issue is None:
+        return np.full(n, t0, dtype=np.float64), None
+    arrival_times = t0 + issue
+    immediate = np.flatnonzero(issue == 0.0)
+    delayed = np.flatnonzero(issue != 0.0)
+    arrival_order = np.concatenate(
+        (immediate, delayed[np.argsort(arrival_times[delayed], kind="stable")])
+    )
+    return arrival_times, arrival_order
+
+
+@dataclass
+class _MdsPlan:
+    """Closed-form MDS stage of one batched replay.
+
+    Produced by :func:`_plan_mds` (pure analysis, no state change) and
+    consumed by both replay tiers for timing and by :func:`_commit_mds`
+    for the timing-independent counters. ``mode``:
+
+    - ``"queue"``: every request performs a real consult — FIFO service at
+      ``service`` (the owner shard's under a sharded cluster) entered at
+      per-request instants (arrival plus ring-hop delay), exiting — and
+      dispatching sub-requests — in ``entry_order``;
+    - ``"fill"``: client cache miss — the first arrival leads one real
+      consult, arrivals strictly before its fill instant coalesce onto it,
+      later arrivals hit the filled entry; nobody else touches the MDS;
+    - ``"hit"``: the cache already holds a current-generation entry —
+      every request spawns at its own arrival, zero MDS load;
+    - ``"empty"``: zero-request batch, nothing to do.
+    """
+
+    mode: str
+    lookup: float = 0.0
+    service: object = None
+    #: "queue": absolute MDS-entry instants (batch order) and the batch
+    #: indices in entry order (None = batch order).
+    entry_times: np.ndarray | None = None
+    entry_order: np.ndarray | None = None
+    #: "fill"/"hit": absolute sub-request spawn instants, batch order.
+    spawn_times: np.ndarray | None = None
+    #: Permutation for :func:`_materialize`'s first-touch extent order
+    #: (None = batch order).
+    dispatch_order: np.ndarray | None = None
+    cluster: object = None
+    owner: object = None
+    hops_total: int = 0
+    hops_max: int = 0
+    #: "fill": the leader's single busy interval (release - grant), kept as
+    #: the exact float difference the live monitor would accumulate.
+    leader_busy: float = 0.0
+    n_consults: int = 0
+    n_coalesced: int = 0
+    n_hits: int = 0
+
+
+def _plan_mds(
+    handle, batch, t0: float, arrival_times, arrival_order
+) -> tuple["_MdsPlan | None", str | None]:
+    """Plan the batch's MDS stage: ``(plan, None)`` or ``(None, reason)``.
+
+    Mutates nothing, so :func:`fast_path_blocker` calls it to pre-flight
+    the tie classes whose general-path order would depend on event
+    sequence numbers, and :func:`replay_batch` calls it again (on the
+    unchanged quiescent state) to drive the replay.
+    """
+    pfs = handle.pfs
+    mds = pfs.mds
+    n = len(batch)
+    if n == 0:
+        return _MdsPlan(mode="empty"), None
+    cluster = mds if hasattr(mds, "crash_shard") else None
+    lookup = mds.lookup_time(handle.layout.region_count())
+    cache = pfs.mds_cache
+    if cache is not None:
+        if cache.is_valid(handle):
+            return (
+                _MdsPlan(
+                    mode="hit",
+                    spawn_times=arrival_times.copy(),
+                    dispatch_order=arrival_order,
+                    n_hits=n,
+                ),
+                None,
+            )
+        # Miss: the first arrival leads the one real consult; it finds the
+        # (idle, the blocker's guarantee) service immediately.
+        leader = int(arrival_order[0]) if arrival_order is not None else 0
+        leader_hops = 0
+        owner = None
+        service = mds._service if cluster is None else None
+        if cluster is not None:
+            members = cluster.ring.members()
+            entry = members[cluster._consult_seq % len(members)]
+            leader_hops, home = cluster.ring.route(entry, handle.name, cluster.routing)
+            owner = cluster.shards[home]
+            service = owner._service
+        t_enter = float(arrival_times[leader])
+        if cluster is not None and leader_hops and cluster.hop_latency > 0:
+            t_enter = t_enter + leader_hops * cluster.hop_latency
+        t_fill = t_enter + lookup if lookup > 0 else t_enter
+        # An arrival at exactly the fill instant resolves by event sequence
+        # numbers (hit vs. coalesced wait) — not replayed arithmetically.
+        ties = int(np.count_nonzero(arrival_times == t_fill))
+        if t_fill == arrival_times[leader]:
+            ties -= 1  # the leader itself (zero-cost consult)
+        if ties:
+            return None, "mds-fill-tie"
+        n_coalesced = int(np.count_nonzero(arrival_times < t_fill))
+        if arrival_times[leader] < t_fill:
+            n_coalesced -= 1
+        return (
+            _MdsPlan(
+                mode="fill",
+                lookup=lookup,
+                service=service,
+                spawn_times=np.where(arrival_times > t_fill, arrival_times, t_fill),
+                dispatch_order=arrival_order,
+                cluster=cluster,
+                owner=owner,
+                hops_total=leader_hops,
+                hops_max=leader_hops,
+                leader_busy=t_fill - t_enter,
+                n_consults=1,
+                n_coalesced=n_coalesced,
+                n_hits=int(np.count_nonzero(arrival_times > t_fill)),
+            ),
+            None,
+        )
+    if cluster is None:
+        return (
+            _MdsPlan(
+                mode="queue",
+                lookup=lookup,
+                service=mds._service,
+                entry_times=arrival_times,
+                entry_order=arrival_order,
+                dispatch_order=arrival_order,
+                n_consults=n,
+            ),
+            None,
+        )
+    # Uncached sharded cluster: entry shards rotate with the consult
+    # sequence number (assigned in arrival order), and each request pays
+    # its ring walk before queueing at the owner — so MDS entry order is
+    # arrival order shifted by per-request hop delays.
+    key = handle.name
+    members = cluster.ring.members()
+    hops_m = np.fromiter(
+        (cluster.ring.route(member, key, cluster.routing)[0] for member in members),
+        dtype=np.int64,
+        count=len(members),
+    )
+    owner = cluster.shards[cluster.ring.owner_of(key)]
+    ranks = (cluster._consult_seq + np.arange(n, dtype=np.int64)) % len(members)
+    hops_by_rank = hops_m[ranks]
+    hops_max = int(hops_by_rank.max())
+    entry_times = arrival_times
+    entry_order = arrival_order
+    if cluster.hop_latency > 0 and hops_max > 0:
+        delay = hops_by_rank * cluster.hop_latency
+        if arrival_order is None:
+            # Untimed batch: hop timers are all scheduled at t0 in batch
+            # order, so equal entry instants resolve in batch order — which
+            # is exactly what a stable sort preserves.
+            entry_times = arrival_times + delay
+            entry_order = np.argsort(entry_times, kind="stable")
+        else:
+            delay_batch = np.empty(n, dtype=np.float64)
+            delay_batch[arrival_order] = delay
+            entry_times = arrival_times + delay_batch
+            # With staggered arrivals, hop timers are scheduled at each
+            # request's own arrival, so equal post-t0 entry instants can
+            # resolve by sequence numbers the closed form cannot always
+            # reproduce. (Ties at t0 are the zero-hop immediates, which
+            # enter inline in batch order — safe.)
+            late = entry_times[entry_times > t0]
+            if late.shape[0] > 1 and np.unique(late).shape[0] != late.shape[0]:
+                return None, "mds-entry-tie"
+            entry_order = arrival_order[
+                np.argsort(entry_times[arrival_order], kind="stable")
+            ]
+    return (
+        _MdsPlan(
+            mode="queue",
+            lookup=lookup,
+            service=owner._service,
+            entry_times=entry_times,
+            entry_order=entry_order,
+            dispatch_order=entry_order,
+            cluster=cluster,
+            owner=owner,
+            hops_total=int(hops_by_rank.sum()),
+            hops_max=hops_max,
+            n_consults=n,
+        ),
+        None,
+    )
+
+
+def _commit_mds(pfs, handle, plan: _MdsPlan) -> None:
+    """Apply a plan's timing-independent MDS/cache counters after a replay."""
+    if plan.mode == "empty":
+        return
+    cluster = plan.cluster
+    if plan.n_consults:
+        pfs.mds.lookup_count += plan.n_consults
+        if cluster is not None:
+            cluster._consult_seq += plan.n_consults
+            cluster.hops_total += plan.hops_total
+            if plan.hops_max > cluster.hops_max:
+                cluster.hops_max = plan.hops_max
+            plan.owner.lookup_count += plan.n_consults
+    cache = pfs.mds_cache
+    if plan.mode == "fill":
+        if plan.lookup > 0:
+            # The leader's lone grant: one busy interval, one grant count.
+            plan.service.monitor.busy_time += plan.leader_busy
+            plan.service.granted_count += 1
+        cache.misses += 1
+        cache.coalesced += plan.n_coalesced
+        cache.fill(handle)
+    if plan.mode in ("fill", "hit"):
+        cache.hits += plan.n_hits
+        cache.audit_many(handle, plan.n_hits)
 
 
 def replay_batch(handle, batch, flat: FlatPresplit) -> tuple[np.ndarray, float, int, bool]:
@@ -244,40 +516,30 @@ def replay_batch(handle, batch, flat: FlatPresplit) -> tuple[np.ndarray, float, 
     t0 = sim.now
     n = len(batch)
 
-    # Arrival instants. The general path spawns one process per request in
-    # batch order; a request with a non-zero issue delay yields one timeout
-    # before consulting the MDS. Hence arrival *ties* at t0 resolve with all
-    # zero-delay requests (bootstrap hop only) ahead of all delayed ones
-    # (timeout hop), each group in batch order. MDS service is FIFO with one
-    # uniform service time per batch, so requests *exit* the MDS — and
-    # first-touch their extents — in that arrival order.
-    issue = batch.issue_times
-    if issue is None:
-        arrival_times = np.full(n, t0, dtype=np.float64)
-        arrival_order = None
-    else:
-        arrival_times = t0 + issue
-        immediate = np.flatnonzero(issue == 0.0)
-        delayed = np.flatnonzero(issue != 0.0)
-        arrival_order = np.concatenate(
-            (immediate, delayed[np.argsort(arrival_times[delayed], kind="stable")])
-        )
+    arrival_times, arrival_order = _arrivals(batch, t0)
+    # MDS service is FIFO with one uniform service time per batch, so
+    # requests *exit* the MDS — and first-touch their extents — in the
+    # plan's dispatch order (MDS entry order: arrival order shifted by any
+    # sharded ring-hop delays; plain arrival order for cache hits/fills).
+    plan, reason = _plan_mds(handle, batch, t0, arrival_times, arrival_order)
+    if plan is None:
+        raise RuntimeError(f"replay_batch without fast-path pre-flight: {reason}")
 
-    jobs = _materialize(handle, batch, flat, arrival_order)
+    jobs = _materialize(handle, batch, flat, plan.dispatch_order)
 
     completion = None
     used_columnar = False
     single = batch.single_op
     if single is not None and columnar.eligible(pfs, batch):
         completion = columnar.replay_columnar(
-            pfs, handle, jobs, single is OpType.READ, arrival_times, arrival_order
+            pfs, handle, jobs, single is OpType.READ, plan
         )
         used_columnar = completion is not None
     if completion is None:
-        completion = _replay_heap(pfs, handle, batch, jobs, arrival_times)
+        completion = _replay_heap(pfs, handle, batch, jobs, plan)
 
     # Shared (timing-independent) commits.
-    pfs.mds.lookup_count += n
+    _commit_mds(pfs, handle, plan)
     if jobs.n_mirror:
         pfs.integrity.mirrored_writes += jobs.n_mirror
     _commit_integrity(pfs, jobs)
@@ -292,14 +554,16 @@ def replay_batch(handle, batch, flat: FlatPresplit) -> tuple[np.ndarray, float, 
     return completion - arrival_times, t_end, int(jobs.req.shape[0]), used_columnar
 
 
-def _materialize(handle, batch, flat: FlatPresplit, arrival_order) -> _JobSet:
+def _materialize(handle, batch, flat: FlatPresplit, dispatch_order) -> _JobSet:
     """Expand a flat presplit into the replay's physical job table.
 
-    Reorders sub-requests into arrival order, interleaves replica mirror
-    writes after their primaries, retargets them via
-    :meth:`ParallelFileSystem.replica_target`, and assigns extent bases in
-    first-occurrence order — the exact ``_extent_base`` call sequence the
-    general path would issue, so first-touch allocation matches.
+    Reorders sub-requests into MDS-dispatch order (the order requests exit
+    the MDS stage and spawn their subs; ``None`` = batch order),
+    interleaves replica mirror writes after their primaries, retargets
+    them via :meth:`ParallelFileSystem.replica_target`, and assigns extent
+    bases in first-occurrence order — the exact ``_extent_base`` call
+    sequence the general path would issue, so first-touch allocation
+    matches.
     """
     pfs = handle.pfs
     req = flat.req
@@ -310,9 +574,9 @@ def _materialize(handle, batch, flat: FlatPresplit, arrival_order) -> _JobSet:
     n = len(batch)
     n_jobs = req.shape[0]
 
-    if arrival_order is not None and n_jobs:
+    if dispatch_order is not None and n_jobs:
         rank = np.empty(n, dtype=np.int64)
-        rank[arrival_order] = np.arange(n, dtype=np.int64)
+        rank[dispatch_order] = np.arange(n, dtype=np.int64)
         perm = np.argsort(rank[req], kind="stable")
         req = req[perm]
         server = server[perm]
@@ -426,44 +690,54 @@ def _commit_integrity(pfs, jobs: _JobSet) -> None:
                 tags[block] = expected(block)
 
 
-def _replay_heap(pfs, handle, batch, jobs: _JobSet, arrival_times) -> np.ndarray:
+def _replay_heap(pfs, handle, batch, jobs: _JobSet, plan: _MdsPlan) -> np.ndarray:
     """Event-heap tier: replay the materialized jobs tuple by tuple.
 
     Exact for any batch shape the blocker admits (mixed ops, varying NIC
     service at capacity > 1, schedules with grant/departure ties — all the
-    cases the columnar tier bails on). Commits resource monitors/counters;
-    returns absolute per-request completion times in batch order.
+    cases the columnar tier bails on). The MDS stage comes pre-analyzed in
+    ``plan``: queue mode feeds the shadow FIFO at the planned entry
+    instants; fill/hit modes skip the shadow MDS entirely and spawn each
+    request's sub-jobs at its planned spawn instant. Commits resource
+    monitors/counters; returns absolute per-request completion times in
+    batch order.
     """
-    sim = pfs.sim
-    t0 = sim.now
     n = len(batch)
     is_read_col = batch.is_read
     read_op = OpType.READ
     write_op = OpType.WRITE
 
-    mds = pfs.mds
-    lookup = mds.lookup_time(handle.layout.region_count())
-    mds_enabled = lookup > 0
-    service = mds._service
-    mds_cap = service.capacity if service is not None else 0
-
-    issue = batch.issue_times
-    if issue is None:
-        heap = [(t0, i, _ARRIVE, i) for i in range(n)]
+    if plan.mode == "queue":
+        lookup = plan.lookup
+        mds_enabled = lookup > 0
+        service = plan.service
+        mds_cap = service.capacity if service is not None else 0
+        entry_t = plan.entry_times
+        order = plan.entry_order
     else:
-        immediate = np.flatnonzero(issue == 0.0)
-        delayed = np.flatnonzero(issue != 0.0)
-        heap = [(t0, seq, _ARRIVE, int(i)) for seq, i in enumerate(immediate)]
-        base = len(heap)
-        delayed_times = arrival_times[delayed].tolist()
-        heap.extend(
-            (delayed_times[seq], base + seq, _ARRIVE, int(i))
-            for seq, i in enumerate(delayed)
-        )
-        heapq.heapify(heap)
+        lookup = 0.0
+        mds_enabled = False
+        service = None
+        mds_cap = 0
+        entry_t = plan.spawn_times
+        order = plan.dispatch_order
+    if n == 0:
+        entry_t = np.zeros(0, dtype=np.float64)
+
+    # ``entry_t[order]`` is nondecreasing, so the tuple list is already a
+    # valid heap; the rank doubles as the tie-breaking sequence number,
+    # reproducing the general path's same-instant resume order.
+    if order is None:
+        times = entry_t.tolist()
+        heap = [(times[k], k, _ARRIVE, k) for k in range(n)]
+    else:
+        times = entry_t[order].tolist()
+        heap = [
+            (times[r], r, _ARRIVE, int(i)) for r, i in enumerate(order.tolist())
+        ]
 
     # Build per-request job lists from the flat table (requests are
-    # contiguous in it, in arrival order).
+    # contiguous in it, in dispatch order).
     states: dict[int, _ServerReplay] = {}
     servers = pfs.servers
     jobs_by_request: list[list | None] = [None] * n
@@ -494,7 +768,7 @@ def _replay_heap(pfs, handle, batch, jobs: _JobSet, arrival_times) -> np.ndarray
             jobs_by_request[i] = []
 
     remaining = [len(job_list) for job_list in jobs_by_request]
-    completion = arrival_times.copy()
+    completion = entry_t.copy()
 
     # Shadow MDS service state (same Resource semantics as the servers').
     m_in_use = 0

@@ -327,42 +327,53 @@ def replay_columnar(
     handle,
     jobs,
     op_is_read: bool,
-    arrival_times: np.ndarray,
-    arrival_order: np.ndarray | None,
+    plan,
 ) -> np.ndarray | None:
     """Vectorized replay of a materialized single-op job set.
+
+    ``plan`` is the batch's :class:`repro.pfs.batch_exec._MdsPlan`: queue
+    mode runs the (owner shard's) lookup service as a constant-service
+    FIFO fold over the planned entry instants; cache fill/hit modes arrive
+    pre-solved — every request spawns at its planned instant and the MDS
+    stage is skipped entirely.
 
     Returns per-request absolute completion times (batch order) and commits
     all resource/device/MDS state on success, or returns ``None`` with no
     observable state change (device RNGs restored) so the caller can fall
-    back to the event-heap replay.
+    back to the event-heap replay. The plan's timing-independent counters
+    (lookup/hop/cache tallies) are NOT committed here — the caller applies
+    them via :func:`repro.pfs.batch_exec._commit_mds` after either tier.
 
     The caller guarantees :func:`repro.pfs.batch_exec.fast_path_blocker`
     returned None and :func:`eligible` is True.
     """
-    n = arrival_times.shape[0]
     n_jobs = jobs.server.shape[0]
-    budget = [32 * (n_jobs + n) + 65536]
 
-    # -- MDS stage: constant lookup, FIFO slots, arrival-order feed --------
-    mds = pfs.mds
-    lookup = mds.lookup_time(handle.layout.region_count())
-    feed = arrival_times if arrival_order is None else arrival_times[arrival_order]
+    # -- MDS stage: constant lookup, FIFO slots, entry-order feed ----------
+    lookup = plan.lookup
     mds_deltas = None
-    service = mds._service
-    if lookup > 0:
-        res = _fifo_const(feed, lookup, service.capacity, budget)
-        if res is None:
-            return None
-        exits, mds_deltas = res
+    service = plan.service
+    if plan.mode == "queue":
+        n = plan.entry_times.shape[0]
+        budget = [32 * (n_jobs + n) + 65536]
+        order = plan.entry_order
+        feed = plan.entry_times if order is None else plan.entry_times[order]
+        if lookup > 0:
+            res = _fifo_const(feed, lookup, service.capacity, budget)
+            if res is None:
+                return None
+            exits, mds_deltas = res
+        else:
+            exits = feed
+        spawn = np.empty(n, dtype=np.float64)
+        if order is None:
+            spawn[:] = exits
+        else:
+            spawn[order] = exits
     else:
-        exits = feed
-
-    spawn = np.empty(n, dtype=np.float64)
-    if arrival_order is None:
-        spawn[:] = exits
-    else:
-        spawn[arrival_order] = exits
+        n = plan.spawn_times.shape[0]
+        budget = [32 * (n_jobs + n) + 65536]
+        spawn = plan.spawn_times.copy()
 
     # -- per-server NIC/disk schedules ------------------------------------
     passes: list[_ServerPass] = []

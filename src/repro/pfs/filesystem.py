@@ -21,6 +21,7 @@ from __future__ import annotations
 import bisect
 import os
 from collections.abc import Generator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,6 +38,7 @@ from repro.pfs.integrity import (
     IntegrityError,
 )
 from repro.pfs.layout import LayoutPolicy
+from repro.pfs.mds_cluster import MetadataUnavailable
 from repro.pfs.metadata import MetadataServer
 from repro.pfs.server import FileServer
 from repro.simulate.engine import Event, Process, Simulator
@@ -127,6 +129,9 @@ class PFSFile:
         # is on). Shadow handles are not registered and stay off the record.
         if self.name in self.pfs.mds:
             self.pfs.mds.record_relayout(self.name, layout, self.layout_generation)
+        # The old-generation cache entry must never serve another request.
+        if self.pfs.mds_cache is not None:
+            self.pfs.mds_cache.invalidate(self.name)
         return self.layout_generation
 
     def read(self, offset: int, size: int) -> Process:
@@ -299,7 +304,7 @@ class PFSFile:
         elif os.environ.get("REPRO_BATCH_FAST", "1") == "0":
             reason = "disabled"
         else:
-            reason = fast_path_blocker(self)
+            reason = fast_path_blocker(self, batch)
         done = sim.event()
         if reason is None:
             flat = self._presplit_flat(batch)
@@ -369,8 +374,13 @@ class PFSFile:
         sim = self.pfs.sim
         started = sim.now
         # Metadata lookup (RST consult under HARL) sits on the critical path
-        # and contends with other clients at the MDS.
-        yield from self.pfs.mds.consult(self.layout, self.name)
+        # and contends with other clients at the MDS — unless the client's
+        # layout cache holds a current-generation entry.
+        cache = self.pfs.mds_cache
+        if cache is None:
+            yield from self.pfs.mds.consult(self.layout, self.name)
+        else:
+            yield from cache.lookup(self)
         sub_procs = []
         extent_ns = f"{self.name}#g{self.layout_generation}"
         if presplit is None:
@@ -582,6 +592,195 @@ class PFSFile:
         raise primary_error
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """Picklable client-side metadata-cache summary (``RunResult.cache``)."""
+
+    hits: int
+    misses: int
+    coalesced: int
+    invalidations: int
+    dropped_fills: int
+    #: Hits whose cached generation disagreed with the authoritative MDS
+    #: generation at hit time — the stale-read audit. The chaos gate: zero,
+    #: always.
+    stale_hits: int
+    #: Cluster-wide invalidation epoch at end of run (bumped on every
+    #: mds-crash and journal-replayed failover).
+    epoch: int
+
+    @property
+    def lookups(self) -> int:
+        """Total layout lookups the clients issued through the cache."""
+        return self.hits + self.misses + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MetadataCache:
+    """Client-side layout cache: generation-tagged entries with coalescing.
+
+    Sits in front of ``mds.consult`` on the request hot path and turns
+    O(requests) MDS trips into O(distinct files × generations):
+
+    - **Hit**: the cache holds an entry for the file whose layout
+      generation matches the handle's *and* whose fill epoch matches the
+      current invalidation epoch — the consult is skipped entirely (zero
+      simulated time, zero MDS load). Every hit is audited against the
+      authoritative MDS generation (:attr:`stale_hits`); a stale
+      generation must never serve a read.
+    - **Miss**: the first client becomes the *leader* and performs the real
+      (routed, queued, crash-survivable) ``mds.consult``; concurrent
+      lookups of the same file *coalesce* — they wait on the leader's fill
+      event instead of consulting, so an open storm costs one MDS trip.
+    - **Invalidation**: ``relayout``/``migrate`` bump the handle generation
+      (and drop the entry explicitly); ``mds-crash`` and journal-replayed
+      failover bump the cluster-wide *epoch* via
+      :meth:`~repro.pfs.mds_cluster.MetadataCluster.subscribe_invalidation`,
+      which invalidates every entry at once **and** poisons in-flight
+      fills: a fill admitted before the crash whose epoch no longer
+      matches is dropped (:attr:`dropped_fills`), never written — the
+      failover-race fix.
+
+    Everything is driven by simulated event order only, so cached runs are
+    bit-identical serial or under ``--jobs N``.
+    """
+
+    def __init__(self, pfs: "ParallelFileSystem"):
+        self.pfs = pfs
+        #: file name -> (layout generation, fill epoch) of the cached entry.
+        self._entries: dict[str, tuple[int, int]] = {}
+        #: file name -> fill event of the in-flight leader consult.
+        self._inflight: dict[str, Event] = {}
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.invalidations = 0
+        self.dropped_fills = 0
+        self.stale_hits = 0
+        subscribe = getattr(pfs.mds, "subscribe_invalidation", None)
+        if subscribe is not None:
+            subscribe(self.bump_epoch)
+
+    def bump_epoch(self) -> None:
+        """Cluster-wide invalidation: crash or failover happened.
+
+        Every cached entry and every in-flight fill carries the epoch it
+        was admitted under; bumping makes them all stale at once without
+        touching the dict on the hot path.
+        """
+        self._epoch += 1
+        self.invalidations += 1
+
+    def invalidate(self, name: str) -> None:
+        """Drop one file's entry (relayout/migration commit)."""
+        self.invalidations += 1
+        self._entries.pop(name, None)
+
+    def is_valid(self, handle: "PFSFile") -> bool:
+        """True iff a lookup of ``handle`` would hit right now."""
+        entry = self._entries.get(handle.name)
+        return (
+            entry is not None
+            and entry[0] == handle.layout_generation
+            and entry[1] == self._epoch
+        )
+
+    def _audit(self, handle: "PFSFile") -> None:
+        """Stale-read audit: compare the hit against the authoritative MDS.
+
+        Pure bookkeeping — no simulated time, no RNG. Unregistered (shadow)
+        handles and hits during a shard outage cannot be checked and are
+        skipped; the epoch bump already invalidated everything a crash
+        could have staled.
+        """
+        self.audit_many(handle, 1)
+
+    def audit_many(self, handle: "PFSFile", count: int) -> None:
+        """Stale-read audit of ``count`` hits at once (batched fast path)."""
+        if count <= 0:
+            return
+        try:
+            generation = self.pfs.mds.generation_of(handle.name)
+        except (FileNotFoundError, MetadataUnavailable):
+            return
+        if generation != handle.layout_generation:
+            self.stale_hits += count
+
+    def fill(self, handle: "PFSFile") -> None:
+        """Record a completed fill for ``handle`` at the current epoch.
+
+        The batched fast path calls this in place of the leader's inline
+        fill — the blocker guarantees no epoch bump can interleave with an
+        atomic replay, so the drop branch cannot arise there.
+        """
+        self._entries[handle.name] = (handle.layout_generation, self._epoch)
+
+    def lookup(self, handle: "PFSFile", op: str = "open") -> Generator:
+        """DES generator replacing ``mds.consult`` on the request path."""
+        name = handle.name
+        while True:
+            if self.is_valid(handle):
+                self.hits += 1
+                self._audit(handle)
+                return
+            pending = self._inflight.get(name)
+            if pending is None:
+                break
+            self.coalesced += 1
+            yield pending
+            if self.is_valid(handle):
+                # Filled by the leader we waited on; the wait was already
+                # counted as coalesced.
+                return
+            # The fill was dropped (epoch bumped mid-flight) or the layout
+            # generation moved on: revalidate from the top.
+        self.misses += 1
+        epoch = self._epoch
+        fill = self.pfs.sim.event()
+        self._inflight[name] = fill
+        try:
+            yield from self.pfs.mds.consult(handle.layout, name, op=op)
+        finally:
+            if self._inflight.get(name) is fill:
+                del self._inflight[name]
+            fill.succeed()
+        if self._epoch == epoch:
+            self._entries[name] = (handle.layout_generation, epoch)
+        else:
+            # A crash/failover invalidated the world while this consult was
+            # in flight: its answer predates the journal replay and must
+            # not repopulate the cache.
+            self.dropped_fills += 1
+
+    def counters(self) -> dict[str, int]:
+        """Flat snapshot exported as ``mds.cache.*`` metrics."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "invalidations": self.invalidations,
+            "dropped_fills": self.dropped_fills,
+            "stale_hits": self.stale_hits,
+            "epoch": self._epoch,
+        }
+
+    def stats(self) -> CacheStats:
+        """Picklable end-of-run summary (``RunResult.cache``)."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            coalesced=self.coalesced,
+            invalidations=self.invalidations,
+            dropped_fills=self.dropped_fills,
+            stale_hits=self.stale_hits,
+            epoch=self._epoch,
+        )
+
+
 class ParallelFileSystem:
     """Generic simulated PFS: ordered servers + MDS + network + fan-out.
 
@@ -601,6 +800,7 @@ class ParallelFileSystem:
         servers: list[FileServer],
         network: NetworkModel,
         mds: MetadataServer | None = None,
+        mds_cache: bool = False,
     ):
         if not servers:
             raise ValueError("filesystem needs at least one server")
@@ -609,6 +809,10 @@ class ParallelFileSystem:
         self.network = network
         self.mds = mds or MetadataServer()
         self.mds.attach(sim)
+        #: Client-side layout cache (:class:`MetadataCache`); None (the
+        #: default) keeps every consult on the MDS, byte-identical to
+        #: builds without caching.
+        self.mds_cache = MetadataCache(self) if mds_cache else None
         self._files: dict[str, PFSFile] = {}
         self._extent_bases: dict[tuple[str, int, int], int] = {}
         self._alloc_cursor: dict[int, int] = {}
@@ -830,6 +1034,11 @@ class ParallelFileSystem:
         if cluster_counters is not None:
             for key, value in cluster_counters().items():
                 registry.counter(f"mds.{key}").inc(value)
+        # Client-cache counters appear only when the cache is enabled, so
+        # cache-off runs export the exact historical metric set.
+        if self.mds_cache is not None:
+            for key, value in self.mds_cache.counters().items():
+                registry.counter(f"mds.cache.{key}").inc(value)
 
     def reset_statistics(self) -> None:
         """Zero all per-server traffic statistics."""
@@ -847,12 +1056,15 @@ class HybridPFS(ParallelFileSystem):
         sservers: list[FileServer],
         network: NetworkModel,
         mds: MetadataServer | None = None,
+        mds_cache: bool = False,
     ):
         if not hservers and not sservers:
             raise ValueError("filesystem needs at least one server")
         self.hservers = list(hservers)
         self.sservers = list(sservers)
-        super().__init__(sim, self.hservers + self.sservers, network, mds=mds)
+        super().__init__(
+            sim, self.hservers + self.sservers, network, mds=mds, mds_cache=mds_cache
+        )
 
     @property
     def class_counts(self) -> tuple[int, ...]:
@@ -879,6 +1091,7 @@ class HybridPFS(ParallelFileSystem):
         nic_parallelism: int = 4,
         disk_scheduler: str = "fifo",
         mds: MetadataServer | None = None,
+        mds_cache: bool = False,
     ) -> "HybridPFS":
         """Build the paper's testbed shape: M HDD servers + N SSD servers.
 
@@ -915,4 +1128,4 @@ class HybridPFS(ParallelFileSystem):
             )
             for j in range(n_sservers)
         ]
-        return cls(sim, hservers, sservers, network, mds=mds)
+        return cls(sim, hservers, sservers, network, mds=mds, mds_cache=mds_cache)

@@ -412,6 +412,7 @@ class MetadataCluster:
         backoff_base: float = 5.0e-4,
         backoff_cap: float = 5.0e-3,
         seed: int = 0,
+        profile=None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -435,6 +436,7 @@ class MetadataCluster:
             "lookup_latency": lookup_latency,
             "per_region_latency": per_region_latency,
             "parallelism": parallelism,
+            "profile": profile,
         }
         self.shards: list[MetadataShard] = [
             MetadataShard(i, **self._mds_kwargs) for i in range(n_shards)
@@ -458,6 +460,19 @@ class MetadataCluster:
         #: aggregate the per-shard journals) are exported instead.
         self.journal = None
         self.last_recovery = None
+        #: Callbacks fired whenever cached layout entries may have gone
+        #: stale cluster-wide (crash and journal-replayed failover); the
+        #: client-side :class:`~repro.pfs.filesystem.MetadataCache`
+        #: subscribes its epoch bump here.
+        self._invalidation_listeners: list = []
+
+    def subscribe_invalidation(self, callback) -> None:
+        """Register a zero-argument callback fired on crash/failover."""
+        self._invalidation_listeners.append(callback)
+
+    def _notify_invalidation(self) -> None:
+        for callback in self._invalidation_listeners:
+            callback()
 
     # -- plumbing ----------------------------------------------------------
 
@@ -475,9 +490,9 @@ class MetadataCluster:
         """Run lookups interruptibly (installed mds-crash faults only)."""
         self._interruptible = True
 
-    def lookup_time(self, n_regions: int) -> float:
+    def lookup_time(self, n_regions: int, op: str = "open") -> float:
         """Service time of one RST consultation (same model as one MDS)."""
-        return self.shards[0].lookup_time(n_regions)
+        return self.shards[0].lookup_time(n_regions, op=op)
 
     @property
     def parallelism(self) -> int:
@@ -573,22 +588,22 @@ class MetadataCluster:
         rng = derive_rng(self.seed, "mds-retry", key, seq, attempt)
         return base * (1.0 + 0.25 * float(rng.random()))
 
-    def consult(self, layout: LayoutPolicy, name: str | None = None) -> Generator:
+    def consult(self, layout: LayoutPolicy, name: str | None = None, op: str = "open") -> Generator:
         """DES generator: one routed, queued, crash-survivable RST lookup.
 
         Pays ``hops * hop_latency`` for the ring walk from a rotating entry
         shard to the owner, then queues at the owner's service for the
-        usual ``lookup_time``. If the owner is down (or dies mid-service,
-        when interrupts are armed) the client backs off deterministically
-        and re-routes — after recovery the successor owns the arc — until
-        the attempt budget is spent, then raises
+        usual ``lookup_time`` of the ``op`` class. If the owner is down (or
+        dies mid-service, when interrupts are armed) the client backs off
+        deterministically and re-routes — after recovery the successor owns
+        the arc — until the attempt budget is spent, then raises
         :class:`MetadataUnavailable`.
         """
         self.lookup_count += 1
         sim = self._sim
         if sim is None:
             raise RuntimeError("MetadataCluster not attached to a simulator")
-        service_time = self.lookup_time(layout.region_count())
+        service_time = self.lookup_time(layout.region_count(), op=op)
         key = name if name is not None else ""
         seq = self._consult_seq
         self._consult_seq += 1
@@ -689,6 +704,7 @@ class MetadataCluster:
         for process in list(self._inflight[shard_id]):
             process.interrupt(cause)
         self._inflight[shard_id].clear()
+        self._notify_invalidation()
         return True
 
     def recover_shard(self, shard_id: int) -> int | None:
@@ -724,6 +740,7 @@ class MetadataCluster:
         self.health.entries_handed_off += absorbed
         self.health.rolled_back += len(report.rolled_back)
         self.last_recovery = report
+        self._notify_invalidation()
         return successor_id
 
     def _alive_successor(self, shard_id: int) -> int | None:

@@ -53,11 +53,20 @@ class MetadataServer:
         lookup_latency: float = 3.0e-5,
         per_region_latency: float = 2.0e-6,
         parallelism: int = 8,
+        profile=None,
     ):
         check_non_negative("lookup_latency", lookup_latency)
         check_non_negative("per_region_latency", per_region_latency)
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        #: Optional :class:`repro.devices.profiles.MdsProfile`. None (the
+        #: default) keeps the two legacy constants below, bit-identical to
+        #: builds that predate calibrated profiles; a profile prices each
+        #: op class (open/stat/relayout) separately.
+        self.profile = profile
+        if profile is not None:
+            lookup_latency = profile.open_latency
+            per_region_latency = profile.consult_per_level
         self.lookup_latency = float(lookup_latency)
         self.per_region_latency = float(per_region_latency)
         self.parallelism = int(parallelism)
@@ -269,27 +278,33 @@ class MetadataServer:
         """Enable the queued lookup path (called by the owning filesystem)."""
         self._service = Resource(sim, capacity=self.parallelism, name="mds")
 
-    def lookup_time(self, n_regions: int) -> float:
+    def lookup_time(self, n_regions: int, op: str = "open") -> float:
         """Service time of one request's RST consultation.
 
         Base latency plus a binary-search step per log2(region count) —
-        1-region (conventional) files pay only the base.
+        1-region (conventional) files pay only the base. With a calibrated
+        :class:`~repro.devices.profiles.MdsProfile` attached, ``op`` selects
+        the op class (open/stat/relayout); without one, every op class
+        charges the legacy constants (bit-identical to older builds).
         """
+        if self.profile is not None:
+            return self.profile.service_time(op, n_regions)
         if n_regions < 1:
             raise ValueError(f"n_regions must be >= 1, got {n_regions}")
         levels = math.ceil(math.log2(n_regions)) if n_regions > 1 else 0
         return self.lookup_latency + self.per_region_latency * levels
 
-    def consult(self, layout: LayoutPolicy, name: str | None = None) -> Generator:
+    def consult(self, layout: LayoutPolicy, name: str | None = None, op: str = "open") -> Generator:
         """DES generator: one queued RST lookup for a request on ``layout``.
 
         ``name`` is the file being looked up; the single server ignores it
         (one namespace, no routing) but the sharded
         :class:`~repro.pfs.mds_cluster.MetadataCluster` shares this
-        signature and hashes it onto the ring.
+        signature and hashes it onto the ring. ``op`` picks the service-time
+        class when a calibrated profile is attached.
         """
         self.lookup_count += 1
-        service_time = self.lookup_time(layout.region_count())
+        service_time = self.lookup_time(layout.region_count(), op=op)
         if service_time <= 0:
             return
         if self._service is None:

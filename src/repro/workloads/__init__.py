@@ -9,6 +9,8 @@
   collective pattern for square process counts.
 - :mod:`repro.workloads.synthetic` — multi-region non-uniform workloads
   (the paper's modified four-region IOR, Fig. 11).
+- :mod:`repro.workloads.metadata` — open/stat-heavy metadata storms
+  (zero-byte opens of one shared file; pure MDS-contention pressure).
 """
 
 from repro.workloads.analysis import (
@@ -22,6 +24,7 @@ from repro.pfs.batch import RequestBatch
 from repro.workloads.btio import BTIOConfig, BTIOWorkload
 from repro.workloads.checkpoint import CheckpointConfig, CheckpointN1Workload, n_n_apps
 from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.metadata import MetadataConfig, MetadataWorkload
 from repro.workloads.replay import ReplayConfig, TraceReplayWorkload
 from repro.workloads.synthetic import RegionSpec, SyntheticRegionWorkload
 from repro.workloads.temporal import PhaseSpec, TemporalPhaseWorkload
@@ -34,6 +37,8 @@ __all__ = [
     "CheckpointN1Workload",
     "IORConfig",
     "IORWorkload",
+    "MetadataConfig",
+    "MetadataWorkload",
     "PhaseSpec",
     "RegionSpec",
     "ReplayConfig",

@@ -2,7 +2,8 @@
 
 Hypothesis drives the batched executor across the full input surface —
 every workload generator's batch shape, mixed ops, issue times, replication
-and integrity on or off — and asserts the strongest equivalence the
+and integrity on or off, legacy vs sharded metadata clusters, client-side
+layout cache on or off — and asserts the strongest equivalence the
 executor promises: the fast path (whichever tier serves it, columnar or
 event-heap) leaves the cluster in the *bit-identical* state the general
 per-request path would have: same makespan and per-request elapsed array,
@@ -25,6 +26,7 @@ from repro.devices.base import OpType
 from repro.pfs.batch import RequestBatch
 from repro.pfs.filesystem import HybridPFS
 from repro.pfs.layout import FixedLayout, RegionLevelLayout
+from repro.pfs.mds_cluster import MetadataCluster
 from repro.pfs.mapping import StripingConfig
 from repro.simulate.engine import Simulator
 from repro.util.units import KiB
@@ -182,12 +184,16 @@ def _scenarios(draw):
         )
         layout = RegionLevelLayout(rst, replicas={0: replicas})
     integrity = draw(st.booleans())
-    return batch, layout, integrity
+    shards = draw(st.sampled_from((0, 2, 4)))
+    routing = draw(st.sampled_from(("finger", "linear")))
+    cache = draw(st.booleans())
+    return batch, layout, integrity, shards, routing, cache
 
 
-def _run(batch, layout, integrity, force_general):
+def _run(batch, layout, integrity, shards, routing, cache, force_general):
     sim = Simulator()
-    pfs = HybridPFS.build(sim, 2, 1, seed=0)
+    mds = MetadataCluster(shards, routing=routing, seed=0) if shards else None
+    pfs = HybridPFS.build(sim, 2, 1, seed=0, mds=mds, mds_cache=cache)
     if integrity:
         pfs.enable_integrity()
     handle = pfs.create_file("f", layout)
@@ -207,7 +213,16 @@ def _run(batch, layout, integrity, force_general):
         ],
         "mirrored": None if pfs.integrity is None else pfs.integrity.mirrored_writes,
         "lookups": pfs.mds.lookup_count,
-    }, dict(pfs.batch_stats)
+        "cluster": pfs.mds.cluster_counters() if shards else None,
+        "shard_lookups": [s.lookup_count for s in pfs.mds.shards] if shards else None,
+        "cache": None if pfs.mds_cache is None else pfs.mds_cache.counters(),
+    }, dict(pfs.batch_stats), dict(pfs.batch_fallbacks)
+
+
+# Ring-hop stagger can land two planned MDS entries on the same instant with
+# different arrival ranks; the planner refuses to guess FIFO order and bails
+# to the general path. Only these tie reasons are acceptable fallbacks.
+_TIE_BAILS = {"mds-fill-tie", "mds-entry-tie"}
 
 
 @given(_scenarios())
@@ -217,10 +232,17 @@ def _run(batch, layout, integrity, force_general):
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 def test_batched_replay_matches_general_path(scenario):
-    batch, layout, integrity = scenario
-    fast, fast_stats = _run(batch, layout, integrity, force_general=False)
-    general, general_stats = _run(batch, layout, integrity, force_general=True)
-    assert fast_stats["fast_batches"] == 1
+    batch, layout, integrity, shards, routing, cache = scenario
+    fast, fast_stats, fast_falls = _run(
+        batch, layout, integrity, shards, routing, cache, force_general=False
+    )
+    general, general_stats, _ = _run(
+        batch, layout, integrity, shards, routing, cache, force_general=True
+    )
+    if batch.issue_times is not None and (shards or cache):
+        assert fast_stats["fast_batches"] == 1 or set(fast_falls) <= _TIE_BAILS
+    else:
+        assert fast_stats["fast_batches"] == 1
     assert general_stats["general_batches"] == 1
     np.testing.assert_array_equal(fast["elapsed"], general["elapsed"])
     del fast["elapsed"], general["elapsed"]

@@ -513,15 +513,66 @@ class TestMdsCli:
 
     def test_mds_bench_prints_both_routings(self, capsys):
         code = main(
-            ["mds-bench", "--shards", "1,2", "--files", "8",
-             "--clients", "4", "--lookups", "20"]
+            ["mds-bench", "--shards", "1,2", "--ops", "32", "--processes", "4"]
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "linear" in out and "finger" in out
-        assert out.count("linear") == 2  # one row per shard count
+        assert "linear routing" in out and "finger routing" in out
+        assert "lookup-throughput recovery" in out
+        # shards × cache on/off: two data rows per shard count per routing.
+        assert out.count(" on ") >= 2 and out.count(" off ") >= 2
+
+    def test_mds_bench_single_routing_and_output(self, capsys, tmp_path):
+        report = tmp_path / "mds.txt"
+        code = main(
+            ["mds-bench", "--shards", "1", "--ops", "16", "--processes", "4",
+             "--routing", "finger", "--output", str(report)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finger routing" in out and "linear routing" not in out
+        assert "finger routing" in report.read_text()
 
     def test_mds_bench_bad_shards_exit_2(self, capsys):
         assert main(["mds-bench", "--shards", "two"]) == 2
         assert "--shards" in capsys.readouterr().err
         assert main(["mds-bench", "--shards", "0"]) == 2
+
+    def test_mds_bench_indivisible_ops_exit_2(self, capsys):
+        assert main(["mds-bench", "--ops", "5", "--processes", "4"]) == 2
+        assert "--ops" in capsys.readouterr().err
+
+    def test_mds_bench_bad_profile_exit_2(self, capsys):
+        assert main(["mds-bench", "--mds-profile", "bogus"]) == 2
+        assert "--mds-profile" in capsys.readouterr().err
+
+    def test_mds_bench_speedup_gate(self, capsys):
+        base = ["mds-bench", "--shards", "1", "--ops", "32",
+                "--processes", "4", "--routing", "finger"]
+        assert main(base + ["--assert-speedup", "2"]) == 0
+        assert "-> ok" in capsys.readouterr().out
+        assert main(base + ["--assert-speedup", "1e9"]) == 1
+        assert "--assert-speedup" in capsys.readouterr().err
+        assert main(base + ["--assert-speedup", "0"]) == 2
+        assert "--assert-speedup" in capsys.readouterr().err
+
+    def test_chaos_cached_stale_audit_prints_ok(self, capsys):
+        code = main(
+            ["chaos", "--hservers", "2", "--sservers", "1", "--processes", "4",
+             "--file-size", "4M", "--rates", "1", "--mds-shards", "4",
+             "--mds-crash-rate", "2", "--mds-cache"]
+        )
+        assert code == 0
+        assert "0 stale hits -> ok" in capsys.readouterr().out
+
+    def test_run_ior_bad_mds_profile_exit_2(self, capsys):
+        assert main(self.BASE + ["--mds-profile", "bogus"]) == 2
+        assert "--mds-profile" in capsys.readouterr().err
+
+    def test_run_ior_mds_cache_and_profile_smoke(self, capsys):
+        code = main(
+            self.BASE
+            + ["--mds-shards", "2", "--mds-cache", "--mds-profile", "calibrated"]
+        )
+        assert code == 0
+        assert "mds: 2 shards" in capsys.readouterr().out

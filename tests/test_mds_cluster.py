@@ -13,8 +13,10 @@ Covers the DESIGN §14 contracts:
   entries and replays identically, serial or under ``--jobs N``;
 - degraded mode (no recovery) surfaces typed ``MetadataUnavailable``
   outcomes instead of tracebacks;
-- the batched fast path falls back (reason ``mds-cluster``) rather than
-  bypassing the routed lookup path.
+- the batched fast path replays sharded-cluster lookups (ring walk, entry
+  rotation, owner-shard queueing) bit-identically to the general path —
+  the blanket ``mds-cluster`` fallback is gone — and still falls back once
+  the ring degrades.
 """
 
 import pytest
@@ -317,15 +319,57 @@ class TestCrashMidRunDeterminism:
             )
 
 
-class TestBatchFallback:
-    def test_batched_path_falls_back_on_cluster(self):
-        testbed = _testbed(mds_shards=2)
+class TestBatchFastPath:
+    def _run(self, force_general, shards=2, routing="finger", cache=False):
+        import numpy as np
+
+        testbed = _testbed(
+            mds_shards=shards, mds_routing=routing, mds_cache=cache
+        )
         sim = Simulator()
         pfs = testbed.build(sim)
         handle = pfs.create_file("shared.dat", LAYOUT)
         batch = _ior().request_batch()
+        done = handle.request_batch(batch, force_general=force_general)
+        sim.run(done)
+        state = {
+            "elapsed": np.asarray(done.value, dtype=np.float64).tolist(),
+            "now": sim.now,
+            "busy": sorted(pfs.server_busy_times().items()),
+            "cluster": pfs.mds.cluster_counters(),
+            "shard_lookups": [s.lookup_count for s in pfs.mds.shards],
+            "shard_busy": [s.utilization_seconds for s in pfs.mds.shards],
+            "cache": None if pfs.mds_cache is None else pfs.mds_cache.counters(),
+        }
+        return pfs, state
+
+    @pytest.mark.parametrize("routing", sorted(ROUTING_MODES))
+    def test_cluster_batch_replays_bit_identical(self, routing):
+        pfs_fast, fast = self._run(False, routing=routing)
+        _, general = self._run(True, routing=routing)
+        assert pfs_fast.batch_fallbacks == {}
+        assert pfs_fast.batch_stats["fast_batches"] == 1
+        assert fast == general
+
+    @pytest.mark.parametrize("cache", [False, True])
+    def test_cached_cluster_batch_replays_bit_identical(self, cache):
+        pfs_fast, fast = self._run(False, shards=4, cache=cache)
+        _, general = self._run(True, shards=4, cache=cache)
+        assert pfs_fast.batch_fallbacks == {}
+        assert fast == general
+        if cache:
+            assert fast["cache"]["misses"] == 1
+            assert fast["cache"]["stale_hits"] == 0
+
+    def test_degraded_ring_still_falls_back(self):
+        testbed = _testbed(mds_shards=2)
+        sim = Simulator()
+        pfs = testbed.build(sim)
+        handle = pfs.create_file("shared.dat", LAYOUT)
+        pfs.mds.crash_shard(0)
+        batch = _ior().request_batch()
         sim.run(handle.request_batch(batch))
-        assert pfs.batch_fallbacks == {"mds-cluster": 1}
+        assert pfs.batch_fallbacks == {"mds-degraded": 1}
 
 
 class TestObsExport:

@@ -34,11 +34,16 @@ class TestRequestBatchType:
         with pytest.raises(ValueError, match="column lengths differ"):
             RequestBatch(offsets=[0], sizes=[4, 6], is_read=[True, False])
 
-    def test_negative_offset_and_zero_size_rejected(self):
+    def test_negative_offset_and_size_rejected(self):
         with pytest.raises(ValueError, match="offsets"):
             RequestBatch(offsets=[-1], sizes=[4], is_read=[True])
         with pytest.raises(ValueError, match="sizes"):
-            RequestBatch(offsets=[0], sizes=[0], is_read=[True])
+            RequestBatch(offsets=[0], sizes=[-1], is_read=[True])
+
+    def test_zero_size_is_a_pure_metadata_op(self):
+        batch = RequestBatch(offsets=[0], sizes=[0], is_read=[True])
+        assert batch.total_bytes == 0
+        assert len(batch) == 1
 
     def test_issue_times_validation(self):
         with pytest.raises(ValueError, match="issue_times"):
