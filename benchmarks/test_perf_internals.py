@@ -215,6 +215,38 @@ def test_perf_pfs_write_path_integrity_disabled(benchmark, request):
             break
 
 
+def test_perf_pfs_write_path_rebuild_disabled(benchmark, request):
+    """Durability guard: with no rebuild manager and no write quorum, the
+    data path must not pay for the durability layer it carries.
+
+    The hooks are slot tests per request (``rebuild is None``,
+    ``write_quorum is None``, empty ``replica_overrides``), so this bench
+    must track the faults-disabled bench — both reduce to the identical
+    pre-hook request loop. Bounded against that bench's committed mean so
+    a durability hook that starts dict-probing or spawning on the
+    disabled path shows up even before this case has its own baseline.
+    """
+
+    def run():
+        sim = Simulator()
+        pfs = HybridPFS.build(sim, 2, 2, seed=0)
+        handle = pfs.create_file("f", FixedLayout(2, 2, 64 * KiB))
+        procs = [handle.write(i * 256 * KiB, 256 * KiB) for i in range(64)]
+        sim.run(sim.all_of(procs))
+        assert pfs.rebuild is None and pfs.write_quorum is None
+        assert not pfs.replica_overrides  # Hooks never engaged.
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+    for name in ("test_perf_pfs_write_path_rebuild_disabled",
+                 "test_perf_pfs_write_path_faults_disabled"):
+        baseline = _baseline_mean(name)
+        if baseline is not None:
+            assert benchmark.stats.stats.mean <= baseline * 2.0
+            break
+
+
 def test_perf_mds_cluster_lookup_throughput(benchmark):
     """Sharded metadata lookup path: 32 clients x 100 consults against a
     4-shard finger-routed cluster (ring walk + per-shard service queues).

@@ -12,11 +12,16 @@ Commands:
   namespace across a consistent-hash ring of N journaled servers;
   ``--mds-cache`` turns on the client-side layout cache and
   ``--mds-profile`` selects calibrated MDS service-time costs;
+  ``--rebuild`` re-replicates crashed servers' regions onto survivors
+  (``--rebuild-duty-cycle`` throttles it) and ``--write-quorum K`` acks
+  writes at K durable copies with trailing mirrors asynchronous;
 - ``chaos`` — sweep stochastic fault rates, comparing HARL against a
   fixed-stripe baseline under identical fault schedules;
   ``--corrupt-rate`` folds silent data corruption into the sweep;
   ``--mds-crash-rate`` (with ``--mds-shards``) folds metadata-shard
-  crashes in and gates on zero lost namespace entries;
+  crashes in and gates on zero lost namespace entries; ``--replicas``
+  with ``--rebuild`` re-replicates after crashes (``--restore-after``
+  rejoins crashed servers) and gates the sweep on zero data loss;
 - ``mds-bench`` — open-storm MDS contention on the experiments fabric:
   makespan and lookup ops/s vs. shard count × client-cache on/off,
   linear-ring vs. finger-table routing side by side (``--jobs`` fans the
@@ -57,6 +62,7 @@ from repro.obs import (
     write_chrome_trace,
     write_spans_csv,
 )
+from repro.online import DataLossError, RebuildConfig
 from repro.pfs.integrity import IntegrityError
 from repro.pfs.layout import FixedLayout, RandomLayout, RegionLevelLayout
 from repro.util.units import KiB, format_size, parse_size
@@ -75,6 +81,7 @@ FIGURES = {
     "fig11": (figures.fig11, {}),
     "fig12": (figures.fig12, {}),
     "mds-contention": (figures.fig_mds_contention, {}),
+    "rebuild": (figures.fig_rebuild, {}),
 }
 
 
@@ -329,6 +336,31 @@ def _mds_stats_line(stats) -> str:
     return line
 
 
+def _durability_line(stats) -> str:
+    line = (
+        f"durability: {stats.placements_rebuilt} placements rebuilt "
+        f"({format_size(stats.bytes_rebuilt)}), "
+        f"at-risk peak {format_size(stats.at_risk_bytes_peak)}, "
+        f"exposure {stats.exposure_seconds:.4f}s"
+    )
+    if stats.mttr_samples:
+        line += f", MTTR mean {stats.mttr_mean:.4f}s (max {stats.mttr_max:.4f}s)"
+    if stats.data_loss_events:
+        line += (
+            f" | {stats.data_loss_events} loss events "
+            f"({format_size(stats.data_lost_bytes)} lost)"
+        )
+    return line
+
+
+def _quorum_line(stats) -> str:
+    return (
+        f"quorum: {stats.quorum_acks} early acks, "
+        f"{stats.trailing_mirrors} trailing mirrors, "
+        f"{stats.quorum_window_failures} window failures"
+    )
+
+
 def cmd_run_ior(args: argparse.Namespace) -> int:
     try:
         testbed = _testbed(args)
@@ -340,6 +372,19 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
                 "mds-crash faults require a sharded metadata cluster "
                 "(run with --mds-shards >= 1)"
             )
+        if args.rebuild and args.replicas < 2:
+            raise FaultSpecError(
+                "--rebuild needs a surviving copy to rebuild from "
+                "(run with --replicas >= 2)"
+            )
+        if not 0.0 < args.rebuild_duty_cycle <= 1.0:
+            raise FaultSpecError(
+                f"--rebuild-duty-cycle must be in (0, 1], got {args.rebuild_duty_cycle}"
+            )
+        if args.write_quorum is not None and args.write_quorum < 1:
+            raise FaultSpecError(
+                f"--write-quorum must be >= 1, got {args.write_quorum}"
+            )
     except (LayoutSpecError, FaultSpecError, ValueError) as exc:
         # Bad --layout/--faults/--mds-* specs and inconsistent IOR geometry
         # (file size not a whole number of requests/processes) exit cleanly.
@@ -348,6 +393,7 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
     # Faults imply a retry policy: without one a crashed server would turn
     # every in-flight sub-request into a hard failure instead of a failover.
     retry = RetryPolicy(seed=args.seed) if faults is not None else None
+    rebuild = RebuildConfig(duty_cycle=args.rebuild_duty_cycle) if args.rebuild else None
     trace_out = getattr(args, "trace_out", None)
     try:
         result = run_workload(
@@ -358,7 +404,12 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
             trace=True if trace_out else None,
             faults=faults,
             retry=retry,
+            rebuild=rebuild,
+            write_quorum=args.write_quorum,
         )
+    except DataLossError as exc:
+        print(f"error: data loss: {exc}", file=sys.stderr)
+        return 1
     except FaultSpecError as exc:
         # Unknown server names surface when the schedule binds to the PFS.
         print(f"error: {exc}", file=sys.stderr)
@@ -380,6 +431,10 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
         print(f"  {_fault_stats_line(result.faults)}")
     if result.integrity is not None:
         print(f"  {_integrity_line(result.integrity)}")
+    if result.durability is not None and args.rebuild:
+        print(f"  {_durability_line(result.durability)}")
+    if result.durability is not None and args.write_quorum is not None:
+        print(f"  {_quorum_line(result.durability)}")
     if result.mds is not None:
         print(f"  {_mds_stats_line(result.mds)}")
     if is_harl:
@@ -394,6 +449,13 @@ def cmd_run_ior(args: argparse.Namespace) -> int:
         print(
             "error: metadata shard unavailable after retries; run aborted "
             "in degraded mode (enable recovery with --mds-recovery-delay)",
+            file=sys.stderr,
+        )
+        return 1
+    if result.durability is not None and result.durability.data_lost_bytes > 0:
+        print(
+            f"error: {format_size(result.durability.data_lost_bytes)} of "
+            "written data lost every replica before rebuild could copy it",
             file=sys.stderr,
         )
         return 1
@@ -422,13 +484,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             raise FaultSpecError("--mds-crash-rate must be >= 0")
         if args.mds_crash_rate > 0 and testbed.mds_shards < 1:
             raise FaultSpecError("--mds-crash-rate requires --mds-shards >= 1")
-        layouts = {"HARL": harl_plan(testbed, workload)}
+        if args.replicas < 1:
+            raise FaultSpecError(f"--replicas must be >= 1, got {args.replicas}")
+        if args.rebuild and args.replicas < 2:
+            raise FaultSpecError(
+                "--rebuild needs a surviving copy to rebuild from "
+                "(run with --replicas >= 2)"
+            )
+        if not 0.0 < args.rebuild_duty_cycle <= 1.0:
+            raise FaultSpecError(
+                f"--rebuild-duty-cycle must be in (0, 1], got {args.rebuild_duty_cycle}"
+            )
+        if args.restore_after is not None and args.restore_after <= 0:
+            raise FaultSpecError(
+                f"--restore-after must be > 0, got {args.restore_after}"
+            )
+        harl = harl_plan(testbed, workload)
+        harl_name = "HARL"
+        if args.replicas > 1:
+            harl = RegionLevelLayout(harl, replicas=args.replicas)
+            harl_name = f"HARL+r{args.replicas}"
+        layouts = {harl_name: harl}
         stripe = parse_size(args.baseline_stripe)
-        layouts[format_size(stripe)] = FixedLayout(args.hservers, args.sservers, stripe)
+        fixed_name = format_size(stripe)
+        if args.replicas > 1:
+            fixed_name += f"+r{args.replicas}"
+        layouts[fixed_name] = FixedLayout(
+            args.hservers, args.sservers, stripe, replicas=args.replicas
+        )
     except (FaultSpecError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     retry = RetryPolicy(seed=args.seed)
+    rebuild = RebuildConfig(duty_cycle=args.rebuild_duty_cycle) if args.rebuild else None
     n_servers = args.hservers + args.sservers
     # Fault-free reference runs set the horizon for random schedules and
     # the denominator of the slowdown column.
@@ -450,6 +538,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             corrupt_rate=rate * args.corrupt_rate,
             mds_crash_rate=rate * args.mds_crash_rate,
             n_mds_shards=testbed.mds_shards or None,
+            # With replication in play, random crashes must leave at least
+            # one survivor per performance class or rebuild has no targets.
+            class_counts=(
+                (args.hservers, args.sservers) if args.replicas > 1 else None
+            ),
+            crash_restore_delay=args.restore_after,
         )
         for name, layout in layouts.items():
             keys.append((rate, name))
@@ -461,6 +555,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     layout_name=name,
                     faults=schedule if schedule else None,
                     retry=retry,
+                    rebuild=rebuild,
                 )
             )
     results = run_jobs(jobs_list, jobs=args.jobs)
@@ -471,14 +566,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"chaos sweep: {len(rates)} rates x {len(layouts)} layouts, seed {args.seed} "
         f"(rate = expected hangs+degrades per run; crashes/blips at half rate)"
     )
+    with_rebuild = args.rebuild
     corrupt_header = f" {'corrupt':>7} {'poisoned':>8}" if with_corruption else ""
     mds_header = f" {'mds-crash':>9} {'lost':>5}" if with_mds else ""
+    rebuild_header = (
+        f" {'data-lost':>9} {'at-risk':>8} {'mttr':>8}" if with_rebuild else ""
+    )
     print(
         f"{'rate':>6} {'layout':<{width}} {'MiB/s':>10} {'slowdown':>9}  "
         f"{'injected':>8} {'retries':>7} {'failovers':>9} {'rerouted':>8}"
-        f"{corrupt_header}{mds_header}"
+        f"{corrupt_header}{mds_header}{rebuild_header}"
     )
     lost_total = 0
+    data_lost_total = 0
     for (rate, name), result in zip(keys, results):
         base = reference[name].throughput
         slowdown = base / result.throughput if result.throughput > 0 else float("inf")
@@ -500,10 +600,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 lost = max(lost, 1)  # an aborted run lost its namespace
             lost_total += lost
             mds_cols = f" {mds_crashes:>9} {lost:>5}"
+        rebuild_cols = ""
+        if with_rebuild:
+            dur = result.durability
+            lost_bytes = dur.data_lost_bytes if dur is not None else 0
+            at_risk = dur.at_risk_bytes_peak if dur is not None else 0
+            mttr = (
+                f"{dur.mttr_mean:.3f}s"
+                if dur is not None and dur.mttr_samples
+                else "-"
+            )
+            data_lost_total += lost_bytes
+            rebuild_cols = (
+                f" {format_size(lost_bytes):>9} {format_size(at_risk):>8} {mttr:>8}"
+            )
         print(
             f"{rate:>6.2f} {name:<{width}} {result.throughput_mib:>10.1f} "
             f"{slowdown:>8.2f}x  {injected:>8} {retries:>7} {failovers:>9} {rerouted:>8}"
-            f"{corrupt_cols}{mds_cols}"
+            f"{corrupt_cols}{mds_cols}{rebuild_cols}"
         )
     if with_mds:
         verdict = "ok" if lost_total == 0 else "FAIL"
@@ -523,6 +637,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if stale_total:
             print(
                 "error: cached lookups served stale layout generations",
+                file=sys.stderr,
+            )
+            return 1
+    if with_rebuild:
+        verdict = "ok" if data_lost_total == 0 else "FAIL"
+        print(
+            f"durability check: {format_size(data_lost_total)} data lost -> {verdict}"
+        )
+        if data_lost_total:
+            print(
+                "error: written regions lost every replica before rebuild "
+                "could re-replicate them",
                 file=sys.stderr,
             )
             return 1
@@ -1064,6 +1190,7 @@ def cmd_list_figures(args: argparse.Namespace) -> int:
         "fig11": "non-uniform four-region workload",
         "fig12": "BTIO with collective I/O",
         "mds-contention": "open-storm makespan/ops-per-s vs shards x cache",
+        "rebuild": "rebuild duty cycle vs MTTR / slowdown under crashes",
     }
     for name in FIGURES:
         print(f"{name:14s} {descriptions[name]}")
@@ -1112,6 +1239,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="mirror every region N ways across the other server class "
         "(default 1 = no replication; corrupted reads self-heal when > 1)",
     )
+    p.add_argument(
+        "--rebuild",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="re-replicate regions lost to crashed servers onto survivors "
+        "(requires --replicas >= 2; exits 1 if any region loses every copy)",
+    )
+    p.add_argument(
+        "--rebuild-duty-cycle",
+        type=float,
+        default=1.0,
+        metavar="FRAC",
+        help="fraction of time the rebuild worker may occupy a disk "
+        "(default 1.0 = rebuild at full speed)",
+    )
+    p.add_argument(
+        "--write-quorum",
+        type=int,
+        default=None,
+        metavar="K",
+        help="acknowledge writes once K copies are durable; remaining "
+        "mirrors complete asynchronously (default: all copies synchronous)",
+    )
     _add_mds_args(p)
     p.set_defaults(fn=cmd_run_ior)
 
@@ -1147,6 +1297,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="expected silent-corruption events per run at sweep rate 1 "
         "(default 0 = no corruption; scales with the sweep rate)",
+    )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="mirror every region N ways in both layouts (default 1; with "
+        "> 1 random crash schedules leave at least one survivor per class)",
+    )
+    p.add_argument(
+        "--rebuild",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="re-replicate crashed servers' regions onto survivors and gate "
+        "the sweep on zero data loss (requires --replicas >= 2)",
+    )
+    p.add_argument(
+        "--rebuild-duty-cycle",
+        type=float,
+        default=1.0,
+        metavar="FRAC",
+        help="fraction of time the rebuild worker may occupy a disk "
+        "(default 1.0 = rebuild at full speed)",
+    )
+    p.add_argument(
+        "--restore-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="rejoin every crashed server this many seconds after its crash "
+        "(models chassis swap; rebuild backfills its regions on rejoin)",
     )
     p.set_defaults(fn=cmd_chaos)
 

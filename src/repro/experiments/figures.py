@@ -663,3 +663,154 @@ def fig_mds_contention(
             )
         )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Durability: rebuild duty cycle vs MTTR and foreground slowdown
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RebuildRow:
+    """One (scenario, rebuild duty cycle) durability outcome."""
+
+    label: str
+    duty: float | None
+    makespan: float
+    slowdown: float
+    mttr: float
+    at_risk_peak: int
+    bytes_rebuilt: int
+    data_lost_bytes: int
+    #: False when no durability accounting ran (rebuild off): the blank
+    #: cells mean "nobody was watching", not "nothing was at risk".
+    tracked: bool = True
+
+
+@dataclass
+class RebuildResult:
+    """Rebuild duty-cycle sweep under a mid-run permanent server crash.
+
+    The tension the sweep exposes is the classic rebuild dilemma: a high
+    duty cycle restores redundancy fast (small MTTR, short bytes-at-risk
+    exposure window) but steals device time from the foreground workload
+    (larger makespan); a low duty cycle is gentle on the foreground but
+    leaves the cluster one crash away from data loss for longer. The
+    ``2nd-crash`` row lands a second, other-class crash *inside* the
+    exposure window — with rebuild off (or too slow) the only other copy
+    dies and bytes are permanently lost; a completed rebuild shrugs it off.
+    """
+
+    replicas: int
+    crash_at: float
+    second_crash_at: float
+    rows: list[RebuildRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"=== Durability: rebuild duty cycle vs MTTR / foreground slowdown "
+            f"(replicas={self.replicas}, crash@{self.crash_at:.4f}s) ==="
+        ]
+        lines.append(
+            f"{'scenario':<22} {'duty':>6} {'makespan(s)':>12} {'slowdown':>9} "
+            f"{'MTTR(s)':>10} {'at-risk(KiB)':>13} {'rebuilt(KiB)':>13} {'lost(KiB)':>10}"
+        )
+        for row in self.rows:
+            duty = "off" if row.duty is None else f"{row.duty:.2f}"
+            if row.tracked:
+                tail = (
+                    f"{row.mttr:>10.6f} {row.at_risk_peak / KiB:>13.0f} "
+                    f"{row.bytes_rebuilt / KiB:>13.0f} {row.data_lost_bytes / KiB:>10.0f}"
+                )
+            else:
+                tail = f"{'-':>10} {'-':>13} {'-':>13} {'-':>10}"
+            lines.append(
+                f"{row.label:<22} {duty:>6} {row.makespan:>12.6f} "
+                f"{row.slowdown:>8.2f}x {tail}"
+            )
+        lines.append(
+            "second crash lands inside the first crash's exposure window: "
+            "rebuild-off loses the last copy; duty-cycled rebuild races it."
+        )
+        return "\n".join(lines)
+
+
+def fig_rebuild(
+    duty_cycles: tuple[float, ...] = (0.25, 1.0),
+    replicas: int = 2,
+    crash_at: float = 0.002,
+    second_crash_at: float = 0.004,
+    jobs: int | None = None,
+) -> RebuildResult:
+    """Durability sweep: rebuild duty cycle vs MTTR and foreground slowdown.
+
+    Four scenario families on a small replicated testbed, all independent
+    :class:`RunJob` specs (fanned out under ``--jobs``):
+
+    - ``fault-free`` — the slowdown baseline;
+    - ``crash`` with rebuild off — degraded forever (no MTTR, at-risk bytes
+      never return to zero);
+    - ``crash`` at each rebuild duty cycle — MTTR shrinks as duty rises,
+      foreground slowdown grows;
+    - ``2nd-crash-in-window`` — the unlucky double crash, rebuild off vs
+      full duty: permanent loss vs a rebuild that already restored (or
+      re-restores) redundancy.
+    """
+    from repro.faults import FaultSchedule, RetryPolicy, ServerCrash
+    from repro.online.rebuild import RebuildConfig
+
+    testbed = Testbed(n_hservers=2, n_sservers=2, seed=0)
+    workload = IORWorkload(
+        IORConfig(n_processes=4, request_size=64 * KiB, file_size=2 * MiB, seed=0)
+    )
+    layout = FixedLayout(2, 2, DEFAULT_STRIPE, replicas=replicas)
+    retry = RetryPolicy(timeout=None, max_attempts=4, jitter=0.25, seed=7)
+    one_crash = FaultSchedule((ServerCrash(crash_at, 0),))
+    # The second crash kills a server of the *other* class — where the first
+    # victim's surviving copies live — inside the exposure window.
+    double_crash = FaultSchedule(
+        (ServerCrash(crash_at, 0), ServerCrash(second_crash_at, 2))
+    )
+
+    specs: list[tuple[str, float | None, object]] = [("fault-free", None, None)]
+    specs.append(("crash, no rebuild", None, one_crash))
+    for duty in duty_cycles:
+        specs.append(("crash, rebuild", duty, one_crash))
+    specs.append(("2nd-crash, no rebuild", None, double_crash))
+    specs.append(("2nd-crash, rebuild", max(duty_cycles), double_crash))
+
+    job_list = [
+        RunJob(
+            testbed=testbed,
+            workload=workload,
+            layout=layout,
+            layout_name=label,
+            faults=schedule,
+            retry=retry if schedule is not None else None,
+            rebuild=RebuildConfig(duty_cycle=duty) if duty is not None else None,
+        )
+        for label, duty, schedule in specs
+    ]
+    outcomes = run_jobs(job_list, jobs=jobs)
+    baseline = outcomes[0].makespan
+    result = RebuildResult(
+        replicas=replicas, crash_at=crash_at, second_crash_at=second_crash_at
+    )
+    for (label, duty, _schedule), outcome in zip(specs, outcomes):
+        durability = outcome.durability
+        result.rows.append(
+            RebuildRow(
+                label=label,
+                duty=duty,
+                makespan=outcome.makespan,
+                slowdown=outcome.makespan / baseline if baseline else 0.0,
+                mttr=durability.mttr_mean if durability is not None else 0.0,
+                at_risk_peak=durability.at_risk_bytes_peak if durability is not None else 0,
+                bytes_rebuilt=durability.bytes_rebuilt if durability is not None else 0,
+                data_lost_bytes=(
+                    durability.data_lost_bytes if durability is not None else 0
+                ),
+                tracked=durability is not None,
+            )
+        )
+    return result

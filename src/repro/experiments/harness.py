@@ -235,6 +235,11 @@ class RunResult:
     #: invalidation/stale counters) when ``Testbed.mds_cache`` was on;
     #: None on cache-off runs.
     cache: Any = None
+    #: Durability summary (:class:`repro.online.rebuild.DurabilityStats`:
+    #: rebuild volume, bytes-at-risk exposure, MTTR samples, data-loss and
+    #: quorum-write counts) when the run had a rebuild manager or quorum
+    #: writes; None otherwise.
+    durability: Any = None
 
     @property
     def throughput(self) -> float:
@@ -247,6 +252,50 @@ class RunResult:
         return self.throughput / MiB
 
 
+def _attach_durability(pfs, rebuild: Any, write_quorum: int | None):
+    """Arm quorum writes and/or a rebuild manager on a fresh filesystem.
+
+    ``rebuild`` is a :class:`repro.online.rebuild.RebuildConfig` (or ``True``
+    for the defaults); returns the attached manager, or None. ``write_quorum``
+    is the ack threshold ``k``: replicated writes return once ``k`` copies are
+    durable and mirror the rest asynchronously.
+    """
+    manager = None
+    if write_quorum is not None:
+        if write_quorum < 1:
+            raise ValueError(f"write_quorum must be >= 1, got {write_quorum}")
+        pfs.write_quorum = write_quorum
+    if rebuild is not None and rebuild is not False:
+        from repro.online.rebuild import RebuildConfig, RebuildManager
+
+        config = rebuild if isinstance(rebuild, RebuildConfig) else RebuildConfig()
+        manager = RebuildManager(
+            pfs,
+            duty_cycle=config.duty_cycle,
+            chunk_size=config.chunk_size,
+            fail_on_loss=config.fail_on_loss,
+        )
+    return manager
+
+
+def _durability_outcome(sim, pfs, manager, write_quorum: int | None):
+    """Drain outstanding rebuild work, then summarize durability (or None).
+
+    Called *after* the foreground makespan is captured: rebuild that outlives
+    the workload finishes on its own simulated time, restoring redundancy
+    without inflating the foreground numbers.
+    """
+    if manager is not None:
+        if manager.active or manager.pending:
+            sim.run(sim.process(manager.drain()))
+        return manager.stats()
+    if write_quorum is not None:
+        from repro.online.rebuild import quorum_only_stats
+
+        return quorum_only_stats(pfs)
+    return None
+
+
 def run_workload(
     testbed: Testbed,
     workload: Workload,
@@ -257,6 +306,8 @@ def run_workload(
     trace: bool | None = None,
     faults: Any = None,
     retry: Any = None,
+    rebuild: Any = None,
+    write_quorum: int | None = None,
 ) -> RunResult:
     """Execute one workload under one layout on a fresh simulated cluster.
 
@@ -274,6 +325,13 @@ def run_workload(
     back off, and fail over instead of blocking on dead servers. Both are
     seed-deterministic, and with both left ``None`` this function is
     byte-for-byte the fault-free harness.
+
+    ``rebuild`` (a :class:`repro.online.rebuild.RebuildConfig`, or ``True``
+    for the defaults) attaches a rebuild manager that re-replicates crashed
+    servers' placements and backfills restored ones; ``write_quorum=k``
+    acknowledges replicated writes at ``k`` durable copies. Both default off
+    and leave fault-free runs byte-identical to builds without them; the
+    outcome rides back in ``RunResult.durability``.
     """
     sim = Simulator()
     tracer = None
@@ -288,6 +346,7 @@ def run_workload(
         injector = FaultInjector(sim, pfs, faults, seed=testbed.seed).install()
     if retry is not None:
         pfs.retry = retry
+    manager = _attach_durability(pfs, rebuild, write_quorum)
     world = SimMPI(sim, workload_processes(workload), network=pfs.network)
     if collector is not None:
         collector.sim = sim  # Trace timestamps follow this run's clock.
@@ -305,12 +364,14 @@ def run_workload(
         if injector is None:
             raise
         mds_failed = True
+    makespan = sim.now
+    durability = _durability_outcome(sim, pfs, manager, write_quorum)
     if layout_name is None:
         layout_name = mf.handle.layout.describe()
     obs = collect_snapshot(tracer, pfs, makespan=sim.now) if tracer is not None else None
     return RunResult(
         layout_name=layout_name,
-        makespan=sim.now,
+        makespan=makespan,
         total_bytes=workload_bytes(workload),
         server_busy=pfs.server_busy_times(),
         obs=obs,
@@ -318,6 +379,7 @@ def run_workload(
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
         mds=_mds_outcome(pfs, failed=mds_failed),
         cache=pfs.mds_cache.stats() if pfs.mds_cache is not None else None,
+        durability=durability,
     )
 
 
@@ -331,6 +393,8 @@ def run_workload_batched(
     trace: bool | None = None,
     faults: Any = None,
     retry: Any = None,
+    rebuild: Any = None,
+    write_quorum: int | None = None,
     force_general: bool = False,
     stats_sink: dict | None = None,
 ) -> RunResult:
@@ -365,6 +429,10 @@ def run_workload_batched(
         injector = FaultInjector(sim, pfs, faults, seed=testbed.seed).install()
     if retry is not None:
         pfs.retry = retry
+    # Rebuild or quorum writes push the batch onto the general path (the
+    # fast-path blocker counts the fallback); rebuild-off runs keep their
+    # fast tiers bit-identical.
+    manager = _attach_durability(pfs, rebuild, write_quorum)
     world = SimMPI(sim, 1, network=pfs.network)
     if collector is not None:
         collector.sim = sim
@@ -377,6 +445,8 @@ def run_workload_batched(
         if injector is None:
             raise
         mds_failed = True
+    makespan = sim.now
+    durability = _durability_outcome(sim, pfs, manager, write_quorum)
     if stats_sink is not None:
         stats_sink["batch_stats"] = dict(pfs.batch_stats)
         stats_sink["batch_fallbacks"] = dict(pfs.batch_fallbacks)
@@ -386,7 +456,7 @@ def run_workload_batched(
     obs = collect_snapshot(tracer, pfs, makespan=sim.now) if tracer is not None else None
     return RunResult(
         layout_name=layout_name,
-        makespan=sim.now,
+        makespan=makespan,
         total_bytes=batch.total_bytes,
         server_busy=pfs.server_busy_times(),
         obs=obs,
@@ -394,6 +464,7 @@ def run_workload_batched(
         integrity=pfs.integrity.stats() if pfs.integrity is not None else None,
         mds=_mds_outcome(pfs, failed=mds_failed),
         cache=pfs.mds_cache.stats() if pfs.mds_cache is not None else None,
+        durability=durability,
     )
 
 

@@ -126,6 +126,11 @@ class RunJob:
     #: seed-deterministic, so parallel fault runs replay identically).
     faults: Any = None
     retry: Any = None
+    #: Optional :class:`repro.online.rebuild.RebuildConfig` (or True for
+    #: the defaults) and quorum-ack threshold; both frozen/picklable, and
+    #: rebuild work is RNG-free, so pooled rebuild runs replay identically.
+    rebuild: Any = None
+    write_quorum: int | None = None
     #: ``batched=True`` runs the workload as one columnar batch via
     #: :func:`repro.experiments.harness.run_workload_batched` (the workload
     #: must expose ``request_batch()`` or be a RequestBatch itself);
@@ -174,6 +179,8 @@ def execute_run_job(job: RunJob) -> Any:
             trace=job.trace,
             faults=job.faults,
             retry=job.retry,
+            rebuild=job.rebuild,
+            write_quorum=job.write_quorum,
             force_general=job.force_general,
         )
     return run_workload(
@@ -185,6 +192,8 @@ def execute_run_job(job: RunJob) -> Any:
         trace=job.trace,
         faults=job.faults,
         retry=job.retry,
+        rebuild=job.rebuild,
+        write_quorum=job.write_quorum,
     )
 
 

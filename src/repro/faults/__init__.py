@@ -29,6 +29,7 @@ from repro.faults.schedule import (
     ServerCrash,
     ServerDegrade,
     ServerHang,
+    ServerRestore,
     parse_faults,
 )
 from repro.pfs.health import ServerHealth, ServerUnavailable
@@ -49,6 +50,7 @@ __all__ = [
     "ServerDegrade",
     "ServerHang",
     "ServerHealth",
+    "ServerRestore",
     "ServerUnavailable",
     "ShardHealth",
     "corrupt_server",

@@ -11,6 +11,11 @@ Fault semantics:
 - **crash** — permanent: :meth:`ParallelFileSystem.fail_server` marks the
   server dead, rebuilds the failover route map, and interrupts in-flight
   sub-requests with :class:`~repro.pfs.health.ServerUnavailable`.
+- **restore** — the inverse of crash: the server rejoins *empty*
+  (:meth:`ParallelFileSystem.restore_server` wipes its extents and checksum
+  tags), the route map heals, and — when a
+  :class:`~repro.online.rebuild.RebuildManager` is attached — a backfill
+  moves its placements home. Restoring a live server is a no-op.
 - **hang** — transient: the injector puts the server's disk and NIC
   resources on :meth:`~repro.simulate.resources.Resource.hold` for the
   window. In-service sub-requests drain normally (their payloads were
@@ -44,6 +49,7 @@ from repro.faults.schedule import (
     ServerCrash,
     ServerDegrade,
     ServerHang,
+    ServerRestore,
 )
 from repro.pfs.filesystem import ParallelFileSystem
 from repro.simulate.engine import Simulator
@@ -65,7 +71,9 @@ class FaultStats:
     degrades: int = 0
     blips: int = 0
     corruptions: int = 0
+    restores: int = 0
     servers_failed: int = 0
+    servers_restored: int = 0
     retries: int = 0
     timeouts: int = 0
     failovers: int = 0
@@ -86,6 +94,7 @@ class FaultStats:
             + self.degrades
             + self.blips
             + self.corruptions
+            + self.restores
             + self.mds_crashes
         )
 
@@ -116,6 +125,7 @@ class FaultInjector:
         self._by_name = {server.name: i for i, server in enumerate(pfs.servers)}
         self.injected = {
             "crash": 0,
+            "restore": 0,
             "hang": 0,
             "degrade": 0,
             "blip": 0,
@@ -201,6 +211,18 @@ class FaultInjector:
                 tracer.on_fault("crash", server.name, sim.now, 0.0)
             self.pfs.fail_server(server_id)
             return
+        if isinstance(event, ServerRestore):
+            server = self.pfs.servers[server_id]
+            if not server.is_failed:
+                return  # Restoring a live server is a no-op.
+            self.injected["restore"] += 1
+            if tracer is not None:
+                tracer.on_fault("restore", server.name, sim.now, 0.0)
+            # The server rejoins *empty* (its extents and checksum tags are
+            # wiped): a crash is permanent data loss on that box, and only
+            # the rebuild manager — if attached — re-populates it.
+            self.pfs.restore_server(server_id)
+            return
         if isinstance(event, MdsCrash):
             cluster = self.pfs.mds
             shard = cluster.shards[server_id]
@@ -282,6 +304,7 @@ class FaultInjector:
             degrades=self.injected["degrade"],
             blips=self.injected["blip"],
             corruptions=self.injected["corrupt"],
+            restores=self.injected["restore"],
             **counters,
             **mds_counters,
         )

@@ -13,6 +13,7 @@ simulated time. Schedules come from three places:
       blip@<t>x<factor>+<dur>            network-wide slowdown over window
       corrupt:<server>@<t>[%<rate>]      silently corrupt written stripe units
       mds-crash:<shard>@<t>              crash a metadata shard at t
+      restore:<server>@<t>               crashed server rejoins (empty) at t
 
   events separated by ``;``; ``<server>`` is a server name (``sserver0``)
   or integer index; malformed specs raise :class:`FaultSpecError`;
@@ -133,7 +134,35 @@ class MdsCrash:
     kind = "mds-crash"
 
 
-FaultEvent = ServerCrash | ServerHang | ServerDegrade | NetworkBlip | DataCorruption | MdsCrash
+@dataclass(frozen=True)
+class ServerRestore:
+    """A crashed data server rejoins the cluster *empty* at ``time``.
+
+    The rejoin models a chassis swap: same identity and device class, no
+    surviving data. :meth:`repro.pfs.filesystem.ParallelFileSystem.restore_server`
+    drops the victim's extent table entries and checksum tags, revives it in
+    :class:`~repro.pfs.health.ServerHealth`, and — when a
+    :class:`~repro.online.rebuild.RebuildManager` is attached — triggers a
+    backfill so placements whose natural home is the restored server migrate
+    home. Restoring a server that never crashed (or was already restored) is
+    a no-op; the injector still counts the event as injected.
+    """
+
+    time: float
+    server: int | str
+
+    kind = "restore"
+
+
+FaultEvent = (
+    ServerCrash
+    | ServerHang
+    | ServerDegrade
+    | NetworkBlip
+    | DataCorruption
+    | MdsCrash
+    | ServerRestore
+)
 
 
 @dataclass(frozen=True)
@@ -197,6 +226,9 @@ class FaultSchedule:
     def mds_crashes(self) -> tuple[MdsCrash, ...]:
         return tuple(e for e in self.events if isinstance(e, MdsCrash))
 
+    def restores(self) -> tuple[ServerRestore, ...]:
+        return tuple(e for e in self.events if isinstance(e, ServerRestore))
+
     def to_spec(self) -> str:
         """Print the schedule in the :func:`parse_faults` grammar.
 
@@ -225,6 +257,8 @@ class FaultSchedule:
                     clauses.append(f"corrupt:{event.server}@{event.time!r}%{event.rate!r}")
             elif isinstance(event, MdsCrash):
                 clauses.append(f"mds-crash:{event.shard}@{event.time!r}")
+            elif isinstance(event, ServerRestore):
+                clauses.append(f"restore:{event.server}@{event.time!r}")
             else:
                 raise FaultSpecError(f"cannot format unknown event type: {event!r}")
         return ";".join(clauses)
@@ -250,6 +284,8 @@ class FaultSchedule:
         mds_crash_rate: float = 0.0,
         n_mds_shards: int | None = None,
         max_mds_crashes: int | None = None,
+        class_counts: tuple[int, ...] | None = None,
+        crash_restore_delay: float | None = None,
     ) -> "FaultSchedule":
         """Draw a stochastic schedule; same arguments ⇒ same schedule.
 
@@ -260,6 +296,17 @@ class FaultSchedule:
         failures (defaults to ``n_servers - 1`` so at least one server
         survives). Corruption events poison a uniform draw from
         ``corrupt_fraction`` of the target's written stripe units.
+
+        ``class_counts`` — server counts per performance class, in index
+        order (servers ``0..c0-1`` are class 0, the next ``c1`` class 1, …;
+        must sum to ``n_servers``) — enforces a per-class survivors floor:
+        a crash is only ever aimed at a server whose class still has at
+        least two standing, so no schedule can leave the route map with a
+        dead class. The floor is conservative: paired restores (below) are
+        *not* credited back, so the guarantee holds even if every restore
+        were dropped. ``None`` preserves the legacy target stream
+        bit-for-bit. ``crash_restore_delay`` pairs every drawn crash with a
+        :class:`ServerRestore` of the same server ``delay`` seconds later.
         """
         if horizon <= 0:
             raise FaultSpecError(f"horizon must be > 0, got {horizon}")
@@ -267,6 +314,21 @@ class FaultSchedule:
             raise FaultSpecError(f"n_servers must be >= 1, got {n_servers}")
         if max_crashes is None:
             max_crashes = max(0, n_servers - 1)
+        if crash_restore_delay is not None and crash_restore_delay <= 0:
+            raise FaultSpecError(
+                f"crash_restore_delay must be > 0, got {crash_restore_delay}"
+            )
+        class_of: list[int] | None = None
+        class_alive: list[int] | None = None
+        if class_counts is not None:
+            if any(c < 0 for c in class_counts) or sum(class_counts) != n_servers:
+                raise FaultSpecError(
+                    f"class_counts {class_counts!r} must be >= 0 and sum to {n_servers}"
+                )
+            class_of = []
+            for class_index, count in enumerate(class_counts):
+                class_of.extend([class_index] * count)
+            class_alive = list(class_counts)
         if mds_crash_rate > 0 and (n_mds_shards is None or n_mds_shards < 1):
             raise FaultSpecError("mds_crash_rate > 0 requires n_mds_shards >= 1")
         if max_mds_crashes is None:
@@ -294,7 +356,20 @@ class FaultSchedule:
             for _ in range(count):
                 time = float(rng.uniform(0.0, horizon))
                 if kind == "crash":
-                    events.append(ServerCrash(time, int(rng.integers(0, n_servers))))
+                    if class_of is None:
+                        target = int(rng.integers(0, n_servers))
+                    else:
+                        assert class_alive is not None
+                        eligible = [
+                            s for s in range(n_servers) if class_alive[class_of[s]] >= 2
+                        ]
+                        if not eligible:
+                            break
+                        target = eligible[int(rng.integers(0, len(eligible)))]
+                        class_alive[class_of[target]] -= 1
+                    events.append(ServerCrash(time, target))
+                    if crash_restore_delay is not None:
+                        events.append(ServerRestore(time + crash_restore_delay, target))
                 elif kind == "mds-crash":
                     events.append(MdsCrash(time, int(rng.integers(0, n_mds_shards))))
                 elif kind == "hang":
@@ -351,12 +426,14 @@ _PATTERNS = {
     "blip": re.compile(rf"^blip@{_TIME}x{_FACTOR}\+{_DUR}$"),
     "corrupt": re.compile(rf"^corrupt:{_SERVER}@{_TIME}(?:%{_RATE})?$"),
     "mds-crash": re.compile(rf"^mds-crash:{_SHARD}@{_TIME}$"),
+    "restore": re.compile(rf"^restore:{_SERVER}@{_TIME}$"),
 }
 
 _USAGE = (
     "expected one of: crash:<server>@<t>  hang:<server>@<t>+<dur>  "
     "degrade:<server>@<t>x<factor>+<dur>  blip@<t>x<factor>+<dur>  "
     "corrupt:<server>@<t>[%<rate>]  mds-crash:<shard>@<t>  "
+    "restore:<server>@<t>  "
     "(';'-separated; <server> is a name like sserver0 or an index, "
     "<shard> a name like mds0 or an index)"
 )
@@ -403,6 +480,8 @@ def parse_faults(spec: str) -> FaultSchedule:
             events.append(NetworkBlip(time, float(groups["factor"]), float(groups["duration"])))
         elif kind == "mds-crash":
             events.append(MdsCrash(time, _parse_server(groups["shard"])))
+        elif kind == "restore":
+            events.append(ServerRestore(time, _parse_server(groups["server"])))
         else:
             rate = 1.0 if groups.get("rate") is None else float(groups["rate"])
             events.append(DataCorruption(time, _parse_server(groups["server"]), rate))

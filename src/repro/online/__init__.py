@@ -23,19 +23,34 @@ This package closes the loop at runtime:
   integrity story (DESIGN.md §11): it sweeps allocated extents, re-reads
   written stripe units through the ordinary data path, and repairs checksum
   mismatches from replica copies, rate-limited by the same ``duty_cycle``
-  mechanism as the migrator.
+  mechanism as the migrator;
+- :class:`~repro.online.rebuild.RebuildManager` restores *redundancy* after
+  permanent server loss (DESIGN.md §16): it re-replicates the dead server's
+  placements from surviving copies onto class-aware targets, backfills
+  rejoining servers, and accounts bytes-at-risk exposure windows and MTTR —
+  throttled by the shared :mod:`~repro.online.pacing` duty-cycle discipline.
 """
 
 from repro.online.controller import OnlineHARLController, run_workload_online
 from repro.online.migration import MigrationAborted, MigrationStats, RegionMigrator
 from repro.online.monitor import DriftReport, WorkloadMonitor
+from repro.online.rebuild import (
+    DataLossError,
+    DurabilityStats,
+    RebuildConfig,
+    RebuildManager,
+)
 from repro.online.scrub import ScrubReport, Scrubber
 
 __all__ = [
+    "DataLossError",
     "DriftReport",
+    "DurabilityStats",
     "MigrationAborted",
     "MigrationStats",
     "OnlineHARLController",
+    "RebuildConfig",
+    "RebuildManager",
     "RegionMigrator",
     "ScrubReport",
     "Scrubber",

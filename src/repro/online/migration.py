@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Generator
 from dataclasses import dataclass, field
 
+from repro.online.pacing import check_pacing, duty_cycle_idle
 from repro.pfs.filesystem import ParallelFileSystem, PFSFile
 from repro.pfs.health import ServerUnavailable
 from repro.pfs.layout import LayoutPolicy
@@ -64,10 +65,7 @@ class RegionMigrator:
         chunk_size: int = 4 * MiB,
         duty_cycle: float = 1.0,
     ):
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        if not (0 < duty_cycle <= 1):
-            raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+        check_pacing(chunk_size, duty_cycle)
         self.pfs = pfs
         self.file_name = file_name
         self.chunk_size = chunk_size
@@ -147,11 +145,9 @@ class RegionMigrator:
                 stats.chunks += 1
                 stats.finished_at = sim.now
                 cursor += step
-                if self.duty_cycle < 1.0:
-                    busy = sim.now - chunk_started
-                    idle = busy * (1.0 - self.duty_cycle) / self.duty_cycle
-                    if idle > 0:
-                        yield sim.timeout(idle)
+                idle = duty_cycle_idle(sim.now - chunk_started, self.duty_cycle)
+                if idle > 0:
+                    yield sim.timeout(idle)
         stats.finished_at = sim.now
         return stats
 

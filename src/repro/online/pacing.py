@@ -1,0 +1,59 @@
+"""Shared pacing discipline for background maintenance traffic.
+
+The scrubber, the region migrator, and the rebuild manager all move bytes
+through the ordinary server data path — contending with foreground I/O on
+the same disk and NIC queues — and all throttle themselves the same way: a
+``duty_cycle`` in (0, 1] bounds the fraction of wall time the background
+job may keep a device busy, by following each chunk of real work with a
+proportional idle gap. This module is that discipline, factored out so the
+three agents cannot drift apart:
+
+- :func:`check_pacing` — the common constructor validation;
+- :func:`duty_cycle_idle` — the idle gap owed after ``busy`` seconds of
+  work (0.0 at full duty, ``busy * (1 - d) / d`` below it);
+- :func:`written_runs` — contiguous written byte runs inside one extent,
+  derived from the server's checksum tags: the unit of work every sweep
+  and copy loop iterates.
+"""
+
+from __future__ import annotations
+
+
+def check_pacing(chunk_size: int, duty_cycle: float) -> None:
+    """Validate the (chunk_size, duty_cycle) pair every paced agent takes."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if not (0 < duty_cycle <= 1):
+        raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+
+
+def duty_cycle_idle(busy: float, duty_cycle: float) -> float:
+    """Idle seconds owed after ``busy`` seconds of work at ``duty_cycle``.
+
+    At full duty (1.0) the gap is exactly 0.0 — no timeout event is ever
+    scheduled, keeping full-duty runs event-identical to unpaced ones.
+    """
+    if duty_cycle >= 1.0:
+        return 0.0
+    return busy * (1.0 - duty_cycle) / duty_cycle
+
+
+def written_runs(checks, base: int, spacing: int) -> list[tuple[int, int]]:
+    """Contiguous ``(offset, size)`` runs of written bytes inside one extent.
+
+    ``checks`` is the server's :class:`~repro.pfs.integrity.ExtentChecksums`;
+    ``base`` the extent's physical base and ``spacing`` the per-extent window
+    (``ParallelFileSystem.EXTENT_SPACING``). Offsets are physical (absolute
+    on the device), block-aligned, sorted, and coalesced.
+    """
+    block_size = checks.block_size
+    runs: list[tuple[int, int]] = []
+    for block in checks.written_blocks():
+        offset = block * block_size
+        if not (base <= offset < base + spacing):
+            continue
+        if runs and runs[-1][0] + runs[-1][1] == offset:
+            runs[-1] = (runs[-1][0], runs[-1][1] + block_size)
+        else:
+            runs.append((offset, block_size))
+    return runs

@@ -26,6 +26,7 @@ from collections.abc import Generator
 from dataclasses import dataclass
 
 from repro.devices.base import OpType
+from repro.online.pacing import check_pacing, duty_cycle_idle, written_runs
 from repro.pfs.filesystem import ParallelFileSystem
 from repro.pfs.health import ServerUnavailable
 from repro.pfs.integrity import IntegrityError
@@ -33,6 +34,10 @@ from repro.simulate.engine import Process
 from repro.util.units import MiB
 
 _REPLICA_NS = re.compile(r"^(?P<base>.*)~r(?P<copy>[0-9]+)$")
+#: Rebuilt-extent namespaces (``{ns}~r{copy}~b{config_server}``), installed
+#: by :class:`repro.online.rebuild.RebuildManager`; the trailing ``~b``
+#: keeps them out of the plain-replica regex above.
+_REBUILT_NS = re.compile(r"^(?P<base>.*)~r(?P<copy>[0-9]+)~b(?P<src>[0-9]+)$")
 
 
 @dataclass
@@ -79,10 +84,7 @@ class Scrubber:
         chunk_size: int = 4 * MiB,
         duty_cycle: float = 1.0,
     ):
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        if not (0 < duty_cycle <= 1):
-            raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+        check_pacing(chunk_size, duty_cycle)
         self.pfs = pfs
         self.chunk_size = chunk_size
         self.duty_cycle = duty_cycle
@@ -98,6 +100,22 @@ class Scrubber:
         (extent-table lookups) — the data movement still pays full I/O.
         """
         bases = self.pfs._extent_bases
+        rebuilt = _REBUILT_NS.match(namespace)
+        if rebuilt is not None:
+            # A rebuild-installed placement: its logical identity is copy
+            # ``copy`` of config-server ``src``'s column; the counterpart is
+            # the first *other* copy of that column that exists.
+            base_ns = rebuilt.group("base")
+            own_copy = int(rebuilt.group("copy"))
+            src = int(rebuilt.group("src"))
+            for copy in range(self.pfs.n_servers + 1):
+                if copy == own_copy:
+                    continue
+                target, ns = self.pfs.replica_extent(base_ns, region_id, src, copy)
+                base = bases.get((ns, region_id, target))
+                if base is not None:
+                    return target, base
+            return None
         match = _REPLICA_NS.match(namespace)
         if match is not None:
             base_ns = match.group("base")
@@ -112,9 +130,8 @@ class Scrubber:
             return None
         copy = 1
         while True:
-            target = self.pfs.replica_target(server_id, copy)
-            key = (f"{namespace}~r{copy}", region_id, target)
-            base = bases.get(key)
+            target, ns = self.pfs.replica_extent(namespace, region_id, server_id, copy)
+            base = bases.get((ns, region_id, target))
             if base is not None:
                 return target, base
             copy += 1
@@ -125,18 +142,7 @@ class Scrubber:
 
     def _written_runs(self, checks, base: int) -> list[tuple[int, int]]:
         """Contiguous (offset, size) runs of written bytes inside one extent."""
-        spacing = self.pfs.EXTENT_SPACING
-        block_size = checks.block_size
-        runs: list[tuple[int, int]] = []
-        for block in checks.written_blocks():
-            offset = block * block_size
-            if not (base <= offset < base + spacing):
-                continue
-            if runs and runs[-1][0] + runs[-1][1] == offset:
-                runs[-1] = (runs[-1][0], runs[-1][1] + block_size)
-            else:
-                runs.append((offset, block_size))
-        return runs
+        return written_runs(checks, base, self.pfs.EXTENT_SPACING)
 
     def sweep(self, report: ScrubReport | None = None) -> Generator:
         """DES generator: one full verification pass over every extent.
@@ -198,11 +204,9 @@ class Scrubber:
                     report.chunks += 1
                     report.bytes_scanned += step
                     cursor += step
-                    if self.duty_cycle < 1.0:
-                        busy = sim.now - chunk_started
-                        idle = busy * (1.0 - self.duty_cycle) / self.duty_cycle
-                        if idle > 0:
-                            yield sim.timeout(idle)
+                    idle = duty_cycle_idle(sim.now - chunk_started, self.duty_cycle)
+                    if idle > 0:
+                        yield sim.timeout(idle)
         report.finished_at = sim.now
         return report
 

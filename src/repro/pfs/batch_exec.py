@@ -204,6 +204,15 @@ def fast_path_blocker(handle, batch=None) -> str | None:
         return "server-map"
     if pfs.health.route_map is not None:
         return "degraded-routing"
+    if pfs.rebuild is not None or pfs.replica_overrides:
+        # A rebuild manager's failure hooks (and any committed placement
+        # overrides) change replica addressing mid-flight; only the general
+        # path resolves them.
+        return "rebuild"
+    if pfs.write_quorum is not None and handle.layout.max_replicas() > 1:
+        # Quorum-acknowledged writes detach trailing mirrors from the ack;
+        # the closed-form replay assumes fully synchronous mirroring.
+        return "write-quorum"
     integrity = pfs.integrity
     if integrity is not None and integrity.units_poisoned > 0:
         return "integrity-poisoned"

@@ -402,10 +402,24 @@ class PFSFile:
         replicated = self._replicated
         hedge = self.hedge
         qos = self.qos
+        overrides = self.pfs.replica_overrides
+        quorum = self.pfs.write_quorum
         for segment, subs in presplit:
             copies = self.layout.replica_count(segment.region_id) if replicated else 1
             for sub in subs:
                 server_id = sub.server_id if server_map is None else server_map[sub.server_id]
+                # ``config_id`` keys the placement's logical identity for
+                # rebuild overrides; it stays None while no override exists
+                # so the historical (post-route) replica addressing below is
+                # untouched in rebuild-off runs.
+                config_id = None
+                sub_ns = extent_ns
+                if overrides:
+                    config_id = server_id
+                    override = overrides.get((extent_ns, segment.region_id, server_id, 0))
+                    if override is not None:
+                        server_id = override
+                        sub_ns = f"{extent_ns}~r0~b{config_id}"
                 if routed:
                     try:
                         server_id = health.route(server_id)
@@ -413,7 +427,7 @@ class PFSFile:
                         health.exhausted += 1
                         raise
                 server = self.pfs.servers[server_id]
-                base = self.pfs._extent_base(extent_ns, segment.region_id, server_id)
+                base = self.pfs._extent_base(sub_ns, segment.region_id, server_id)
                 if copies > 1 and op is OpType.READ:
                     if hedge is not None:
                         generator = hedge.serve_read(
@@ -426,6 +440,7 @@ class PFSFile:
                             sub.offset,
                             copies,
                             retry,
+                            config_id=config_id,
                         )
                     else:
                         generator = self._serve_repairing(
@@ -437,6 +452,7 @@ class PFSFile:
                             sub.offset,
                             copies,
                             retry,
+                            config_id=config_id,
                         )
                 elif retry is None:
                     generator = server.serve(op, base + sub.offset, sub.size)
@@ -451,22 +467,42 @@ class PFSFile:
                 if copies > 1 and op is OpType.WRITE:
                     # Synchronous mirroring: the request completes only once
                     # every copy is durable, so replication's write cost is
-                    # paid where a real mirrored PFS pays it.
+                    # paid where a real mirrored PFS pays it. With a write
+                    # quorum of k, only the first k copies (primary included)
+                    # gate the ack; trailing mirrors run asynchronously and a
+                    # crash inside the window is the rebuild manager's to
+                    # close, not the client's to observe.
                     acct = self.pfs.integrity
+                    sync_copies = copies if quorum is None else min(quorum, copies)
                     for copy in range(1, copies):
-                        target = self.pfs.replica_target(server_id, copy)
+                        if config_id is not None:
+                            target, rns = self.pfs.replica_extent(
+                                extent_ns, segment.region_id, config_id, copy
+                            )
+                        else:
+                            target = self.pfs.replica_target(server_id, copy)
+                            rns = f"{extent_ns}~r{copy}"
                         rserver = self.pfs.servers[target]
-                        rbase = self.pfs._extent_base(
-                            f"{extent_ns}~r{copy}", segment.region_id, target
-                        )
+                        rbase = self.pfs._extent_base(rns, segment.region_id, target)
                         acct.mirrored_writes += 1
-                        rproc = sim.process(
-                            rserver.serve(op, rbase + sub.offset, sub.size),
-                            name=f"{rserver.name}<-{self.name}~r{copy}",
-                        )
-                        if qos is not None:
-                            rproc.qos = qos
-                        sub_procs.append(rproc)
+                        if copy >= sync_copies:
+                            self.pfs.quorum_stats["trailing_mirrors"] += 1
+                            tproc = sim.process(
+                                self.pfs._trailing_mirror(rserver, rbase + sub.offset, sub.size),
+                                name=f"{rserver.name}<-{self.name}~r{copy}!async",
+                            )
+                            if qos is not None:
+                                tproc.qos = qos
+                        else:
+                            rproc = sim.process(
+                                self.pfs._sync_mirror(rserver, rbase + sub.offset, sub.size),
+                                name=f"{rserver.name}<-{self.name}~r{copy}",
+                            )
+                            if qos is not None:
+                                rproc.qos = qos
+                            sub_procs.append(rproc)
+                    if copies > sync_copies:
+                        self.pfs.quorum_stats["acks"] += 1
         if sub_procs:
             yield sim.all_of(sub_procs)
         if op is OpType.READ:
@@ -548,6 +584,7 @@ class PFSFile:
         sub_offset: int,
         copies: int,
         retry,
+        config_id: int | None = None,
     ) -> Generator:
         """A replicated read: verify, and self-heal from a replica on mismatch.
 
@@ -556,7 +593,9 @@ class PFSFile:
         replica copy; the first clean copy repairs the poisoned primary with
         an ordinary write — contending for the disk and NIC like any client
         — before the read completes. If every copy is corrupted the original
-        typed error propagates: never silent wrong bytes.
+        typed error propagates: never silent wrong bytes. ``config_id``
+        (set only while rebuild overrides exist) keys replica resolution by
+        the placement's logical identity instead of the post-route server.
         """
         pfs = self.pfs
         server = pfs.servers[server_id]
@@ -574,9 +613,10 @@ class PFSFile:
         # sibling sub-request failed the whole fan-out) still accounts for
         # every detection and the silent_corruptions invariant holds.
         acct.unrepairable += 1
+        lookup_id = server_id if config_id is None else config_id
         for copy in range(1, copies):
-            target = pfs.replica_target(server_id, copy)
-            rbase = pfs._extent_base(f"{extent_ns}~r{copy}", region_id, target)
+            target, rns = pfs.replica_extent(extent_ns, region_id, lookup_id, copy)
+            rbase = pfs._extent_base(rns, region_id, target)
             acct.replica_reads += 1
             try:
                 yield from pfs.servers[target].serve(OpType.READ, rbase + sub_offset, size)
@@ -840,6 +880,28 @@ class ParallelFileSystem:
         }
         #: Fallback reason -> count for batches that took the general path.
         self.batch_fallbacks: dict[str, int] = {}
+        #: Replica-placement overrides installed by the rebuild manager:
+        #: ``(extent_ns, region_id, config_server, copy) -> physical target``.
+        #: Empty in rebuild-off runs, so the request path's only cost is one
+        #: truthiness check (see :meth:`replica_extent`).
+        self.replica_overrides: dict[tuple[str, int, int, int], int] = {}
+        #: Attached :class:`repro.online.rebuild.RebuildManager`, or None.
+        self.rebuild = None
+        #: Quorum-acknowledged writes: ack a replicated write once this many
+        #: copies are durable, mirroring the rest asynchronously. None (the
+        #: default) keeps fully synchronous mirroring, byte-identical to
+        #: builds without quorum support.
+        self.write_quorum: int | None = None
+        self.quorum_stats = {
+            "acks": 0,
+            "trailing_mirrors": 0,
+            "window_failures": 0,
+            "mirror_failures": 0,
+        }
+        #: Callbacks fired (in registration order) by :meth:`fail_server` /
+        #: :meth:`restore_server` with the server id, after health flips.
+        self._failure_hooks: list = []
+        self._restore_hooks: list = []
 
     @property
     def class_counts(self) -> tuple[int, ...]:
@@ -883,6 +945,39 @@ class ParallelFileSystem:
         if not self.health.mark_failed(server_id, self.sim.now):
             return False
         self.servers[server_id].mark_failed()
+        for hook in self._failure_hooks:
+            hook(server_id)
+        return True
+
+    def restore_server(self, server_id: int) -> bool:
+        """A crashed server rejoins *empty* at the current sim time.
+
+        Models a chassis swap: same identity and device class, no surviving
+        data. The victim's extent table entries, allocation cursor, free
+        list, and checksum tags are all dropped (nothing written before the
+        crash is trusted), the server accepts sub-requests again, and the
+        health layer routes to it immediately. Re-populating it is the
+        rebuild manager's job, via the restore hooks. Returns False (a
+        no-op) if the server was alive.
+        """
+        if not (0 <= server_id < self.n_servers):
+            raise IndexError(f"server_id {server_id} out of range 0..{self.n_servers - 1}")
+        if self.health.is_alive(server_id):
+            return False
+        stale = [key for key in self._extent_bases if key[2] == server_id]
+        for key in stale:
+            del self._extent_bases[key]
+        self._alloc_cursor.pop(server_id, None)
+        self._extent_free.pop(server_id, None)
+        server = self.servers[server_id]
+        server.mark_restored()
+        if self.integrity is not None:
+            server.checksums = ExtentChecksums(
+                server.name, self.integrity.block_size, accounting=self.integrity
+            )
+        self.health.mark_restored(server_id)
+        for hook in self._restore_hooks:
+            hook(server_id)
         return True
 
     def _extent_base(self, file_name: str, region_id: int, server_id: int) -> int:
@@ -978,6 +1073,60 @@ class ParallelFileSystem:
             self._replica_pools[server_id] = pool
         return pool[(server_id + copy - 1) % len(pool)]
 
+    def replica_extent(
+        self, extent_ns: str, region_id: int, server_id: int, copy: int
+    ) -> tuple[int, str]:
+        """Current physical ``(server, extent namespace)`` of one placement.
+
+        A *placement* is copy ``copy`` of the stripe column that
+        config-server ``server_id`` owns in ``region_id``. Natural homes —
+        copy 0 on ``server_id`` under the plain namespace, copy >= 1 on
+        :meth:`replica_target` under ``"{ns}~r{copy}"`` — resolve exactly as
+        the historical request path did. A rebuild-installed override in
+        :attr:`replica_overrides` redirects the placement to its rebuilt
+        location under the uniform namespace ``"{ns}~r{copy}~b{server_id}"``
+        (``~b`` = "born on"), which keeps rebuilt extents exclusive per
+        placement — a rebuilt primary never aliases the target's own primary
+        extent for the same region — and still matches the ``"~r"`` prefix
+        :meth:`free_extents` releases.
+        """
+        if self.replica_overrides:
+            target = self.replica_overrides.get((extent_ns, region_id, server_id, copy))
+            if target is not None:
+                return target, f"{extent_ns}~r{copy}~b{server_id}"
+        if copy == 0:
+            return server_id, extent_ns
+        return self.replica_target(server_id, copy), f"{extent_ns}~r{copy}"
+
+    def _trailing_mirror(self, server: FileServer, offset: int, size: int) -> Generator:
+        """A quorum write's async mirror, running after the client ack.
+
+        Absorbs its own failures — the engine re-raises unobserved process
+        failures, and a crash inside the ack-to-durable window is exactly
+        the exposure the rebuild manager (not the acked client) must close —
+        so the failure is counted, never propagated.
+        """
+        try:
+            yield from server.serve(OpType.WRITE, offset, size)
+        except (ServerUnavailable, IntegrityError):
+            self.quorum_stats["window_failures"] += 1
+
+    def _sync_mirror(self, server: FileServer, offset: int, size: int) -> Generator:
+        """A synchronous mirror write that survives a dead mirror target.
+
+        The write itself must not fail — its primary copy is durable; the
+        mirror copy is simply *missing*, i.e. reduced redundancy, which is
+        the rebuild manager's to restore (from the primary's written runs)
+        rather than the client's to observe. Counted so chaos runs can
+        reconcile missing copies against rebuild volume. Fault-free runs
+        never enter the except arm, so the wrapper adds no events and
+        rebuild-off runs stay bit-identical.
+        """
+        try:
+            yield from server.serve(OpType.WRITE, offset, size)
+        except ServerUnavailable:
+            self.quorum_stats["mirror_failures"] += 1
+
     # -- statistics -------------------------------------------------------
 
     def server_busy_times(self) -> dict[str, float]:
@@ -1023,6 +1172,15 @@ class ParallelFileSystem:
         if self.integrity is not None and self.integrity.touched:
             for key, value in self.integrity.counters().items():
                 registry.counter(f"integrity.{key}").inc(value)
+        # Rebuild/durability counters appear only when a rebuild manager is
+        # attached; quorum counters only when quorum writes are enabled — so
+        # rebuild-off, quorum-off runs export the exact historical set.
+        if self.rebuild is not None:
+            for key, value in self.rebuild.counters().items():
+                registry.counter(f"rebuild.{key}").inc(value)
+        if self.write_quorum is not None:
+            for key, value in self.quorum_stats.items():
+                registry.counter(f"pfs.quorum.{key}").inc(value)
         # Journal counters appear only when the MDS write-ahead log is on.
         journal = getattr(self.mds, "journal", None)
         if journal is not None:

@@ -72,6 +72,7 @@ class ServerHealth:
         self.failovers = 0
         self.rerouted_subrequests = 0
         self.exhausted = 0
+        self.servers_restored = 0
 
     @property
     def n_servers(self) -> int:
@@ -90,6 +91,8 @@ class ServerHealth:
             or self.timeouts
             or self.rerouted_subrequests
             or self.exhausted
+            or self.failovers
+            or self.servers_restored
         )
 
     def class_of(self, server_id: int) -> int:
@@ -131,6 +134,24 @@ class ServerHealth:
         self.failed_at[server_id] = now
         self.route_map = self._build_route_map()
         self.failovers += 1
+        return True
+
+    def mark_restored(self, server_id: int) -> bool:
+        """Revive a failed server; returns False if it was already alive.
+
+        The route map is rebuilt (dropped back to ``None`` identity routing
+        once every server is healthy again), so sub-requests flow to the
+        restored server immediately — it rejoins *empty*; re-populating it
+        is the rebuild manager's job, not the router's.
+        """
+        if not (0 <= server_id < self.n_servers):
+            raise IndexError(f"server_id {server_id} out of range 0..{self.n_servers - 1}")
+        if self.alive[server_id]:
+            return False
+        self.alive[server_id] = True
+        self.failed_at.pop(server_id, None)
+        self.route_map = None if all(self.alive) else self._build_route_map()
+        self.servers_restored += 1
         return True
 
     def _build_route_map(self) -> tuple[int | None, ...]:
@@ -190,4 +211,5 @@ class ServerHealth:
             "failovers": self.failovers,
             "rerouted_subrequests": self.rerouted_subrequests,
             "exhausted": self.exhausted,
+            "servers_restored": self.servers_restored,
         }

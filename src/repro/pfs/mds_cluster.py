@@ -581,6 +581,39 @@ class MetadataCluster:
     def abort_migration(self, name: str) -> None:
         self._owner_or_raise(name).abort_migration(name)
 
+    def record_rebuild_begin(
+        self, name: str, generation: int, region: int, server: int, copy: int, target: int
+    ) -> None:
+        self._owner_or_raise(name).record_rebuild_begin(
+            name, generation, region, server, copy, target
+        )
+
+    def record_rebuild_commit(
+        self,
+        name: str,
+        generation: int,
+        region: int,
+        server: int,
+        copy: int,
+        target: int,
+        natural: bool,
+    ) -> None:
+        self._owner_or_raise(name).record_rebuild_commit(
+            name, generation, region, server, copy, target, natural
+        )
+
+    def record_rebuild_abort(
+        self, name: str, generation: int, region: int, server: int, copy: int
+    ) -> None:
+        self._owner_or_raise(name).record_rebuild_abort(name, generation, region, server, copy)
+
+    def replica_sites(self) -> dict[tuple[str, int, int, int, int], int]:
+        """Merged committed replica-site overrides across reachable shards."""
+        sites: dict[tuple[str, int, int, int, int], int] = {}
+        for shard in self._reachable_shards():
+            sites.update(shard._replica_sites)
+        return sites
+
     # -- DES lookup path ----------------------------------------------------
 
     def _backoff_delay(self, key: str, seq: int, attempt: int) -> float:

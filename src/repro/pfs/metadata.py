@@ -78,6 +78,13 @@ class MetadataServer:
         #: unjournaled and the MDS behaviorally identical to before.
         self.journal: MetadataJournal | None = None
         self._pending_migrations: dict[str, tuple[int, LayoutPolicy]] = {}
+        #: Committed replica-location overrides installed by the rebuild
+        #: manager: ``(name, generation, region, server, copy) -> target``.
+        #: Empty until a rebuild commits, so rebuild-off runs never touch it.
+        self._replica_sites: dict[tuple[str, int, int, int, int], int] = {}
+        #: In-flight (journaled but uncommitted) rebuild intents; a crash
+        #: between begin and commit recovers *without* the move.
+        self._pending_rebuilds: dict[tuple[str, int, int, int, int], int] = {}
         #: Set by :meth:`recover` on the recovered instance.
         self.last_recovery: RecoveryReport | None = None
 
@@ -103,6 +110,12 @@ class MetadataServer:
         del self._files[name]
         self._generations.pop(name, None)
         self._pending_migrations.pop(name, None)
+        if self._replica_sites:
+            self._replica_sites = {k: v for k, v in self._replica_sites.items() if k[0] != name}
+        if self._pending_rebuilds:
+            self._pending_rebuilds = {
+                k: v for k, v in self._pending_rebuilds.items() if k[0] != name
+            }
 
     def lookup(self, name: str) -> LayoutPolicy:
         """Return the layout for ``name``, counting the lookup."""
@@ -219,6 +232,89 @@ class MetadataServer:
         if self.journal is not None:
             self.journal.append("migration_abort", name=name)
 
+    # -- journaled rebuild records (DESIGN.md §16) --------------------------
+
+    def record_rebuild_begin(
+        self, name: str, generation: int, region: int, server: int, copy: int, target: int
+    ) -> None:
+        """Phase one of a replica move: journal the intent, mutate nothing.
+
+        ``(region, server, copy)`` names the logical placement (the
+        ``copy``-th replica of the stripe column that config-server
+        ``server`` owns in ``region``); ``target`` is where the rebuild
+        manager is about to re-create it. A crash between begin and commit
+        recovers with the *old* replica sites — the half-copied extent is
+        garbage the rebuild redoes, never a committed location.
+        """
+        if name not in self._files:
+            raise FileNotFoundError(f"no such file: {name!r}")
+        key = (name, int(generation), int(region), int(server), int(copy))
+        if self.journal is not None:
+            self.journal.append(
+                "rebuild_begin",
+                name=name,
+                generation=int(generation),
+                region=int(region),
+                server=int(server),
+                copy=int(copy),
+                target=int(target),
+            )
+        self._pending_rebuilds[key] = int(target)
+
+    def record_rebuild_commit(
+        self,
+        name: str,
+        generation: int,
+        region: int,
+        server: int,
+        copy: int,
+        target: int,
+        natural: bool,
+    ) -> None:
+        """Phase two: the copy landed; swap the replica site durably.
+
+        ``natural=True`` means the placement moved back to its configured
+        home (a backfill after a server rejoin) and the override entry is
+        *removed*; otherwise the override is installed/replaced.
+        """
+        key = (name, int(generation), int(region), int(server), int(copy))
+        self._pending_rebuilds.pop(key, None)
+        if self.journal is not None:
+            self.journal.append(
+                "rebuild_commit",
+                name=name,
+                generation=int(generation),
+                region=int(region),
+                server=int(server),
+                copy=int(copy),
+                target=int(target),
+                natural=bool(natural),
+            )
+        if natural:
+            self._replica_sites.pop(key, None)
+        else:
+            self._replica_sites[key] = int(target)
+
+    def record_rebuild_abort(
+        self, name: str, generation: int, region: int, server: int, copy: int
+    ) -> None:
+        """The copy failed mid-flight; discard the intent (sites unchanged)."""
+        key = (name, int(generation), int(region), int(server), int(copy))
+        self._pending_rebuilds.pop(key, None)
+        if self.journal is not None:
+            self.journal.append(
+                "rebuild_abort",
+                name=name,
+                generation=int(generation),
+                region=int(region),
+                server=int(server),
+                copy=int(copy),
+            )
+
+    def replica_sites(self) -> dict[tuple[str, int, int, int, int], int]:
+        """Committed replica-location overrides (copy; safe to mutate)."""
+        return dict(self._replica_sites)
+
     @classmethod
     def recover(cls, journal_data: bytes | MetadataJournal, **mds_kwargs) -> "MetadataServer":
         """Rebuild an MDS namespace from journal bytes after a crash.
@@ -264,6 +360,24 @@ class MetadataServer:
                     mds._generations[name] = generation
             elif op == "migration_abort":
                 pending.pop(name, None)
+            elif op == "rebuild_begin":
+                # Intent only: no mutation until the matching commit.
+                pass
+            elif op == "rebuild_commit":
+                key = (
+                    name,
+                    int(record["generation"]),
+                    int(record["region"]),
+                    int(record["server"]),
+                    int(record["copy"]),
+                )
+                if name in mds._files:
+                    if record.get("natural"):
+                        mds._replica_sites.pop(key, None)
+                    else:
+                        mds._replica_sites[key] = int(record["target"])
+            elif op == "rebuild_abort":
+                pass
         mds.last_recovery = RecoveryReport(
             bytes_total=len(data),
             bytes_replayed=clean,

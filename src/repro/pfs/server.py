@@ -116,6 +116,15 @@ class FileServer:
             for proc in list(self._active):
                 proc.interrupt(ServerUnavailable(f"{self.name}: server crashed", server=self.name))
 
+    def mark_restored(self) -> None:
+        """Rejoin after a crash: accept new sub-requests again.
+
+        The server comes back *empty* — the filesystem drops its extent
+        table entries and resets its checksum tags before calling this, so
+        nothing written before the crash is assumed to survive the rejoin.
+        """
+        self._failed = False
+
     def fast_batch_blocker(self) -> str | None:
         """Why this server disqualifies the batched fast path, or None.
 

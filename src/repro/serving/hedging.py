@@ -113,24 +113,28 @@ class HedgeScheduler:
         sub_offset: int,
         copies: int,
         retry,
+        config_id: int | None = None,
     ):
         """Serve one replicated read sub-request (generator).
 
         Signature mirrors ``PFSFile._serve_repairing`` plus the handle;
         ``PFSFile._request_proc`` dispatches here when ``handle.hedge`` is
-        set and the region is replicated.
+        set and the region is replicated. ``config_id`` (set only while
+        rebuild overrides exist) keys replica resolution by the placement's
+        logical identity instead of the post-route server.
         """
         pfs = self.pfs
         sim = pfs.sim
         alive = pfs.health.alive
+        lookup_id = server_id if config_id is None else config_id
         # Candidate copies: (server, physical offset, copy index).
         candidates = []
         for copy in range(copies):
             if copy == 0:
                 candidates.append((server_id, offset, 0))
             else:
-                target = pfs.replica_target(server_id, copy)
-                base = pfs._extent_base(f"{extent_ns}~r{copy}", region_id, target)
+                target, rns = pfs.replica_extent(extent_ns, region_id, lookup_id, copy)
+                base = pfs._extent_base(rns, region_id, target)
                 candidates.append((target, base + sub_offset, copy))
         if self.select:
             order = sorted(
